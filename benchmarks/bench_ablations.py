@@ -1,0 +1,140 @@
+"""Ablation benches for design choices DESIGN.md calls out.
+
+1. Smoothing window size (the paper fixes 3; we sweep it).
+2. Theorem-6 vs literal Algorithm-3 per-sample budget.
+3. Clamped vs raw Equation-11 delta for CAPP.
+"""
+
+import numpy as np
+
+from repro.core import APP, CAPP, PPSampling
+from repro.core.sampling import literal_gamma_budget
+from repro.datasets import load_stream
+from repro.experiments import format_table
+from repro.metrics import cosine_distance
+from repro.privacy import per_sample_budget
+
+
+def test_ablation_smoothing_window(benchmark, record_table):
+    """Larger SMA windows help the mean but blur the published stream."""
+    stream = load_stream("c6h6", length=400)
+
+    def run():
+        rows = []
+        for window in (None, 3, 5, 9):
+            cos_scores, mse_scores = [], []
+            for rep in range(10):
+                rng = np.random.default_rng(1000 + rep)
+                app = APP(1.0, 10, smoothing_window=window)
+                result = app.perturb_stream(stream[:60], rng)
+                cos_scores.append(cosine_distance(result.published, stream[:60]))
+                mse_scores.append(
+                    float(np.mean((result.published - stream[:60]) ** 2))
+                )
+            rows.append(
+                [str(window), float(np.mean(cos_scores)), float(np.mean(mse_scores))]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "ablation_smoothing",
+        format_table(
+            ["window", "cosine distance", "pointwise MSE"],
+            rows,
+            title="Ablation: SMA window (APP, c6h6, eps=1, w=10)",
+        ),
+    )
+    by_window = {row[0]: row for row in rows}
+    # Any smoothing beats none for publication.
+    assert by_window["3"][1] < by_window["None"][1]
+
+
+def test_ablation_sampling_budget_rule(benchmark, record_table):
+    """Theorem-6 budgets vs the literal Algorithm-3 line 2.
+
+    The literal rule is (weakly) more conservative whenever the segment
+    length exceeds the per-window sample count, so the theorem-consistent
+    rule never hurts utility.
+    """
+    length, w = 60, 10
+
+    def run():
+        rows = []
+        for n_samples in (2, 4, 6, 10):
+            seg = length // n_samples
+            theorem = per_sample_budget(1.0, w, seg)
+            literal = literal_gamma_budget(1.0, w, length, n_samples)
+            rows.append([n_samples, seg, theorem, literal])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "ablation_sampling_budget",
+        format_table(
+            ["n_s", "segment length", "Theorem-6 eps/sample", "Alg.3 literal eps/sample"],
+            rows,
+            title="Ablation: per-sample budget rules (eps=1, w=10, q=60)",
+        ),
+    )
+    for _, _, theorem, literal in rows:
+        assert theorem >= literal - 1e-12
+
+
+def test_ablation_delta_clamp(benchmark, record_table):
+    """Clamped vs raw Equation-11 delta across budgets (CAPP)."""
+    stream = load_stream("c6h6", length=400)[:40]
+
+    def run():
+        rows = []
+        for eps in (0.5, 1.0, 3.0):
+            clamped_err, raw_err = [], []
+            for rep in range(10):
+                rng = np.random.default_rng(2000 + rep)
+                clamped = CAPP(eps, 10).perturb_stream(stream, rng)
+                raw = CAPP(eps, 10, delta_clamp=None).perturb_stream(stream, rng)
+                clamped_err.append((clamped.mean_estimate() - stream.mean()) ** 2)
+                raw_err.append((raw.mean_estimate() - stream.mean()) ** 2)
+            rows.append([eps, float(np.mean(clamped_err)), float(np.mean(raw_err))])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "ablation_delta_clamp",
+        format_table(
+            ["eps", "clamped delta MSE", "raw delta MSE"],
+            rows,
+            title="Ablation: delta clamp (CAPP, c6h6, w=10)",
+        ),
+    )
+    # Both variants produce finite, sane errors.
+    for _, clamped, raw in rows:
+        assert np.isfinite(clamped) and np.isfinite(raw)
+
+
+def test_ablation_pps_num_samples(benchmark, record_table):
+    """Mean-MSE of APP-S across n_s (context for the Eq.-12 selection)."""
+    stream = load_stream("volume", length=800)[:40]
+
+    def run():
+        rows = []
+        for n_samples in (2, 4, 8, 20):
+            errors = []
+            for rep in range(10):
+                rng = np.random.default_rng(3000 + rep)
+                pps = PPSampling(1.0, 30, base="app", n_samples=n_samples)
+                result = pps.perturb_stream(stream, rng)
+                errors.append((result.mean_estimate() - stream.mean()) ** 2)
+            rows.append([n_samples, float(np.mean(errors))])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "ablation_pps_num_samples",
+        format_table(
+            ["n_s", "mean MSE"],
+            rows,
+            title="Ablation: APP-S sample count (volume, eps=1, w=30, q=40)",
+        ),
+    )
+    assert all(np.isfinite(row[1]) for row in rows)

@@ -1,0 +1,60 @@
+"""Ablation: CAPP with non-SW mechanisms via adaptive clip bounds.
+
+Section IV-C says CAPP needs mechanism-specific clip intervals but omits
+them; `repro.core.adaptive_clipping` supplies a numeric model.  This
+bench compares, per mechanism, plain APP (clip to [0,1]) against CAPP
+with the adaptively chosen bounds — and confirms the paper's headline
+that SW dominates regardless.
+"""
+
+import numpy as np
+
+from repro.core import APP, CAPP, choose_adaptive_clip_bounds
+from repro.datasets import load_stream
+from repro.experiments import format_table
+from repro.metrics import cosine_distance
+
+EPS, W = 1.0, 10
+MECHANISMS = ("sw", "laplace", "pm")
+
+
+def test_adaptive_clipping_capp(benchmark, record_table):
+    stream = load_stream("c6h6", length=400)[:60]
+
+    def run():
+        rows = []
+        for name in MECHANISMS:
+            bounds = choose_adaptive_clip_bounds(EPS / W, name)
+            app_scores, capp_scores = [], []
+            for rep in range(10):
+                rng = np.random.default_rng(7000 + rep)
+                app = APP(EPS, W, mechanism=name).perturb_stream(stream, rng)
+                capp = CAPP(
+                    EPS, W, mechanism=name, clip_bounds=bounds
+                ).perturb_stream(stream, rng)
+                app_scores.append(cosine_distance(app.published, stream))
+                capp_scores.append(cosine_distance(capp.published, stream))
+            rows.append(
+                [
+                    name,
+                    bounds.delta,
+                    float(np.mean(app_scores)),
+                    float(np.mean(capp_scores)),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "adaptive_clipping",
+        format_table(
+            ["mechanism", "chosen delta", "APP cosine", "CAPP(adaptive) cosine"],
+            rows,
+            title=f"Adaptive clip bounds per mechanism (c6h6, eps={EPS}, w={W})",
+        ),
+    )
+    by_name = {row[0]: row for row in rows}
+    # The paper's headline claim survives the extension: SW beats the
+    # unbounded mechanisms under either algorithm.
+    assert by_name["sw"][3] < by_name["laplace"][3]
+    assert by_name["sw"][3] < by_name["pm"][3]

@@ -1,0 +1,38 @@
+"""Figure 10: high-dimensional Budget-Split vs Sample-Split on Sin-data.
+
+Expected shape: APP/CAPP variants improve on the SW variants within each
+strategy; BS strategies beat SS strategies (sampling's sparse uploads hurt
+more than budget splitting).
+"""
+
+import numpy as np
+
+from repro.experiments import format_sweep, run_fig10
+
+EPSILONS = (0.5, 1.0, 2.0, 3.0)
+
+
+def test_fig10(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_fig10(
+            dimensions=(5, 10), epsilons=EPSILONS, w=10, length=150, n_repeats=4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    blocks = []
+    for d, metrics in result.items():
+        for metric, series in metrics.items():
+            blocks.append(
+                format_sweep(list(EPSILONS), series, title=f"Fig.10 d={d} ({metric})")
+            )
+    record_table("fig10", "\n\n".join(blocks))
+
+    for d, metrics in result.items():
+        cos = metrics["cosine"]
+        # Within each strategy, the PP variants publish better streams
+        # than plain SW.
+        assert np.mean(cos["app-bs"]) < np.mean(cos["sw-bs"]), d
+        assert np.mean(cos["app-ss"]) < np.mean(cos["sw-ss"]), d
+        # BS beats SS for the matching algorithm (paper's key finding).
+        assert np.mean(cos["app-bs"]) < np.mean(cos["app-ss"]) * 1.5, d

@@ -1,0 +1,55 @@
+"""Figure 11: sensitivity of the CAPP clip parameter delta on MSE.
+
+Expected shape: for fixed eps the MSE over delta forms a rough U (both
+extreme narrowing and extreme widening hurt); MSE decreases with eps; the
+Equation-11 recommended delta lands in the stable low region.
+"""
+
+import numpy as np
+
+from repro.core import clip_delta
+from repro.experiments import format_table, run_fig11
+
+EPSILONS = (0.5, 1.0, 3.0, 5.0)
+DELTAS = tuple(np.round(np.arange(-0.45, 0.51, 0.15), 2))
+
+
+def test_fig11(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_fig11(
+            datasets=("constant", "pulse", "sinusoidal", "c6h6"),
+            epsilons=EPSILONS,
+            deltas=DELTAS,
+            w=10,
+            n_subsequences=15,
+            n_repeats=3,
+            stream_length=400,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    blocks = []
+    for dataset, per_eps in result.items():
+        headers = ["eps"] + [f"d={d:g}" for d in DELTAS] + ["recommended d"]
+        rows = []
+        for eps, series in per_eps.items():
+            rec = clip_delta(eps / 10.0)  # per-slot budget eps/w
+            rows.append([f"{eps:g}"] + list(series) + [rec])
+        blocks.append(
+            format_table(headers, rows, title=f"Fig.11 {dataset} (MSE over delta)")
+        )
+    record_table("fig11", "\n\n".join(blocks))
+
+    for dataset, per_eps in result.items():
+        for eps, series in per_eps.items():
+            # The recommended delta's MSE is within 2.5x of the best
+            # delta on the grid (it lands in the stable region).
+            rec = clip_delta(eps / 10.0)
+            idx = int(np.argmin(np.abs(np.array(DELTAS) - rec)))
+            assert series[idx] <= 2.5 * min(series) + 1e-4, (dataset, eps)
+        # MSE at the largest eps is below MSE at the smallest eps for the
+        # best-delta choice.
+        best_small = min(per_eps[EPSILONS[0]])
+        best_large = min(per_eps[EPSILONS[-1]])
+        assert best_large < 2.0 * best_small, dataset

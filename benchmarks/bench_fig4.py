@@ -1,0 +1,51 @@
+"""Figure 4: mean-estimation MSE vs eps for the non-sampling algorithms.
+
+Paper grid: {C6H6, Volume, Taxi, Power} x w in {10, 30, 50},
+eps in 0.5 .. 3.0.  Expected shape: BA-SW worst on most panels (except
+Power at large eps), the PP family at or below SW-direct, errors falling
+as w grows.
+"""
+
+import numpy as np
+
+from repro.experiments import format_sweep, run_fig4
+
+EPSILONS = (0.5, 1.0, 2.0, 3.0)
+SCALE = dict(n_subsequences=20, n_repeats=2, stream_length=800, seed=0)
+
+
+def test_fig4(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_fig4(
+            datasets=("c6h6", "volume", "taxi", "power"),
+            windows=(10, 30, 50),
+            epsilons=EPSILONS,
+            **SCALE,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    blocks = []
+    for dataset, per_w in result.items():
+        for w, series in per_w.items():
+            blocks.append(
+                format_sweep(
+                    list(EPSILONS), series, title=f"Fig.4 {dataset} w={w} (MSE)"
+                )
+            )
+    record_table("fig4", "\n\n".join(blocks))
+
+    # Shape checks (averaged across the eps grid to damp noise):
+    def avg(dataset, w, name):
+        return float(np.mean(result[dataset][w][name]))
+
+    # 1) BA-SW is the worst algorithm on the smooth datasets.
+    for dataset in ("c6h6", "volume", "taxi"):
+        for w in (10, 30, 50):
+            pp_best = min(avg(dataset, w, n) for n in ("ipp", "app", "capp"))
+            assert avg(dataset, w, "ba-sw") > pp_best, (dataset, w)
+
+    # 2) Errors fall as the subsequence/window length grows (more reports
+    #    averaged into the mean).
+    for dataset in ("volume", "taxi"):
+        assert avg(dataset, 50, "app") < avg(dataset, 10, "app")

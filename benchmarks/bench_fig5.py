@@ -1,0 +1,45 @@
+"""Figure 5: publication cosine distance vs eps, non-sampling algorithms.
+
+Expected shape: SW-direct worst on every panel; the smoothed PP
+algorithms (APP, CAPP) clearly better; CAPP best overall.
+"""
+
+import numpy as np
+
+from repro.experiments import format_sweep, run_fig5
+
+EPSILONS = (0.5, 1.0, 2.0, 3.0)
+SCALE = dict(n_subsequences=20, n_repeats=2, stream_length=800, seed=0)
+
+
+def test_fig5(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_fig5(
+            datasets=("c6h6", "volume", "taxi", "power"),
+            windows=(10, 30, 50),
+            epsilons=EPSILONS,
+            **SCALE,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    blocks = []
+    for dataset, per_w in result.items():
+        for w, series in per_w.items():
+            blocks.append(
+                format_sweep(
+                    list(EPSILONS),
+                    series,
+                    title=f"Fig.5 {dataset} w={w} (cosine distance)",
+                )
+            )
+    record_table("fig5", "\n\n".join(blocks))
+
+    def avg(dataset, w, name):
+        return float(np.mean(result[dataset][w][name]))
+
+    for dataset in ("c6h6", "volume", "taxi", "power"):
+        for w in (10, 30, 50):
+            # SW-direct worse than both smoothed PP algorithms.
+            assert avg(dataset, w, "sw-direct") > avg(dataset, w, "app")
+            assert avg(dataset, w, "sw-direct") > avg(dataset, w, "capp")

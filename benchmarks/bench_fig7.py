@@ -1,0 +1,38 @@
+"""Figure 7: publication cosine distance, sampling vs non-sampling.
+
+Expected shape: sampling variants remain competitive for publication
+(reduced collection per window) but CAPP stays the best publisher; the
+sampling variants do not collapse.
+"""
+
+import numpy as np
+
+from repro.experiments import format_sweep, run_fig7
+from repro.experiments.figures import FIG6_PANELS
+
+EPSILONS = (0.5, 1.0, 2.0, 3.0)
+SCALE = dict(n_subsequences=20, n_repeats=2, stream_length=800, seed=0)
+
+
+def test_fig7(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_fig7(panels=FIG6_PANELS, epsilons=EPSILONS, **SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    blocks = [
+        format_sweep(
+            list(EPSILONS),
+            series,
+            title=f"Fig.7 {dataset} w={w} q={q} (cosine distance)",
+        )
+        for (dataset, w, q), series in result.items()
+    ]
+    record_table("fig7", "\n\n".join(blocks))
+
+    # Shape: CAPP beats SW-direct for publication on every panel (the
+    # paper's consistent finding), and the sampling variants stay within
+    # a small factor of their non-sampling counterparts.
+    for (dataset, w, q), series in result.items():
+        assert np.mean(series["capp"]) < np.mean(series["sw-direct"]), (dataset, w, q)
+        assert np.mean(series["capp-s"]) < 3.0 * np.mean(series["capp"]), (dataset, w, q)

@@ -1,0 +1,50 @@
+"""Figure 8: Wasserstein distance between estimated and true crowd-mean
+distributions (Taxi / Power populations).
+
+Expected shape: distances shrink as eps grows; the PP family beats BA-SW
+on the non-sampling panels.
+"""
+
+import numpy as np
+
+from repro.experiments import format_sweep, run_fig8
+from repro.experiments.figures import FIG8_PANELS
+
+EPSILONS = (0.5, 1.0, 2.0, 3.0)
+
+
+def test_fig8(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_fig8(
+            panels=FIG8_PANELS, epsilons=EPSILONS, n_users=120, n_repeats=3, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    blocks = [
+        format_sweep(
+            list(EPSILONS),
+            series,
+            title=(
+                f"Fig.8 {dataset} w={w} q={q} "
+                f"({'sampling' if sampling else 'non-sampling'}, Wasserstein)"
+            ),
+        )
+        for (dataset, w, q, sampling), series in result.items()
+    ]
+    record_table("fig8", "\n\n".join(blocks))
+
+    # Robust shape checks.  (The eps-trend is weak here by construction:
+    # SW's output variance is bounded in [~0.07, ~0.33] across the grid,
+    # so crowd-distribution distances move slowly with eps — see
+    # EXPERIMENTS.md for the full discussion, including the Power panels
+    # where BA-SW's raw single reports preserve the wide population
+    # distribution.)
+    for (dataset, w, q, sampling), series in result.items():
+        for name, values in series.items():
+            assert all(np.isfinite(v) and v >= 0 for v in values), (dataset, name)
+    # The paper's headline: the PP family beats BA-SW on the short-window
+    # Taxi panel.
+    taxi_short = result[("taxi", 10, 10, False)]
+    best_pp = min(np.mean(taxi_short[name]) for name in ("ipp", "app", "capp"))
+    assert best_pp < np.mean(taxi_short["ba-sw"])

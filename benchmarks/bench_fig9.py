@@ -1,0 +1,47 @@
+"""Figure 9: mechanism generalizability — Laplace/SR/PM/SW, direct vs APP.
+
+Expected shape: SW dominates the other mechanisms (bounded perturbation);
+APP improves every mechanism's publication utility; Laplace/PM at small
+eps produce enormous MSE.
+"""
+
+import numpy as np
+
+from repro.experiments import format_sweep, run_fig9
+
+EPSILONS = (0.5, 1.0, 2.0, 3.0)
+SCALE = dict(n_subsequences=20, n_repeats=2, stream_length=800, seed=0)
+
+
+def test_fig9(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_fig9(datasets=("c6h6", "volume"), epsilons=EPSILONS, w=10, **SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    blocks = []
+    for dataset, metrics in result.items():
+        for metric, series in metrics.items():
+            blocks.append(
+                format_sweep(
+                    list(EPSILONS), series, title=f"Fig.9 {dataset} ({metric})"
+                )
+            )
+    record_table("fig9", "\n\n".join(blocks))
+
+    for dataset, metrics in result.items():
+        mse_series = metrics["mse"]
+        # SW's bounded output keeps its MSE far below Laplace's and PM's
+        # at small budgets.
+        assert mse_series["sw-direct"][0] < mse_series["laplace-direct"][0]
+        assert mse_series["sw-direct"][0] < mse_series["pm-direct"][0]
+        # APP improves (or at least does not hurt) the unbounded
+        # mechanisms' mean estimation via input clipping + feedback.
+        assert np.mean(mse_series["laplace-app"]) < np.mean(
+            mse_series["laplace-direct"]
+        )
+        cos_series = metrics["cosine"]
+        # SW-APP is the best publisher among all mechanism/APP pairs.
+        sw_app = np.mean(cos_series["sw-app"])
+        for name in ("laplace-app", "sr-app", "pm-app"):
+            assert sw_app < np.mean(cos_series[name]) * 1.5, (dataset, name)

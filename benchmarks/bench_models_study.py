@@ -1,0 +1,47 @@
+"""Privacy-model trade-off bench: event-level vs w-event vs user-level.
+
+Quantifies the paper's Section-I motivation: w-event sits between the two
+classical models in both per-slot budget and protection span, and its
+utility lands between theirs.
+"""
+
+import numpy as np
+
+from repro.datasets import load_stream
+from repro.experiments import format_table, run_models_study
+
+
+def test_models_study(benchmark, record_table):
+    stream = load_stream("c6h6", length=400)[:60]
+
+    def run():
+        return run_models_study(
+            stream, epsilon=1.0, w=10, n_repeats=10,
+            rng=np.random.default_rng(0),
+        )
+
+    study = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            metrics["per_slot"],
+            int(metrics["protected_span"]),
+            metrics["mean_mse"],
+            metrics["cosine"],
+        ]
+        for name, metrics in study.items()
+    ]
+    record_table(
+        "models_study",
+        format_table(
+            ["model", "eps/slot", "protected span", "mean MSE", "cosine"],
+            rows,
+            title="Privacy models: utility vs protection (APP, c6h6, eps=1)",
+        ),
+    )
+    assert (
+        study["UserLevel"]["per_slot"]
+        < study["WEvent"]["per_slot"]
+        < study["EventLevel"]["per_slot"]
+    )
+    assert study["EventLevel"]["cosine"] < study["UserLevel"]["cosine"]

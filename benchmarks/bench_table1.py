@@ -1,0 +1,28 @@
+"""Table I: mean-estimation MSE — ToPL vs SW-direct / IPP / APP.
+
+Paper configuration: C6H6 + Taxi, eps = 1, w in {20, 40, 60}.  Expected
+shape: ToPL's MSE is orders of magnitude (paper: >100x) above the
+SW-based algorithms, growing with w.
+"""
+
+from repro.experiments import format_table1, run_table1
+
+SCALE = dict(n_subsequences=15, n_repeats=1, stream_length=800, seed=0)
+
+
+def test_table1(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_table1(windows=(20, 40, 60), datasets=("c6h6", "taxi"), **SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("table1", format_table1(result))
+
+    # Qualitative shape: ToPL far worse than every SW-based algorithm in
+    # every cell; its error grows with w (smaller per-slot budget).
+    for dataset, per_w in result.items():
+        for w, cells in per_w.items():
+            for name in ("sw-direct", "ipp", "app"):
+                assert cells["topl"] > 10 * cells[name], (dataset, w, name)
+    for dataset in result:
+        assert result[dataset][60]["topl"] > result[dataset][20]["topl"]

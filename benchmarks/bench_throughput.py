@@ -1,0 +1,42 @@
+"""Raw performance benches: mechanism and algorithm throughput.
+
+Not a paper figure — these track the library's own performance so
+regressions in the hot loops are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import APP, CAPP
+from repro.mechanisms import SquareWaveMechanism
+
+
+@pytest.fixture(scope="module")
+def values():
+    return np.random.default_rng(0).random(10_000)
+
+
+def test_sw_perturb_throughput(benchmark, values):
+    mech = SquareWaveMechanism(1.0)
+    rng = np.random.default_rng(1)
+    benchmark(mech.perturb, values, rng)
+
+
+def test_sw_estimate_distribution_throughput(benchmark, values):
+    mech = SquareWaveMechanism(1.0)
+    reports = mech.perturb(values, np.random.default_rng(2))
+    benchmark(mech.estimate_distribution, reports, 32)
+
+
+def test_app_stream_throughput(benchmark):
+    stream = np.random.default_rng(3).random(500)
+    rng = np.random.default_rng(4)
+    app = APP(1.0, 10)
+    benchmark(app.perturb_stream, stream, rng)
+
+
+def test_capp_stream_throughput(benchmark):
+    stream = np.random.default_rng(5).random(500)
+    rng = np.random.default_rng(6)
+    capp = CAPP(1.0, 10)
+    benchmark(capp.perturb_stream, stream, rng)

@@ -1,0 +1,38 @@
+"""Benchmark-suite plumbing.
+
+Benches record the paper-style result tables through the ``record_table``
+fixture; the tables are printed in the terminal summary (so they survive
+pytest's output capturing) and appended to ``benchmarks/results/`` for
+EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+_TABLES = []
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def record_table():
+    """Record a formatted result table under a bench name."""
+
+    def _record(name: str, text: str) -> None:
+        _TABLES.append((name, text))
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "paper reproduction tables")
+    for name, text in _TABLES:
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write_line(text)

@@ -1,0 +1,61 @@
+"""High-dimensional trajectories: Budget-Split vs Sample-Split (Fig. 10).
+
+A vehicle reports a d-dimensional time series (latitude, longitude,
+speed, ...) under one shared w-event budget.  Budget-Split uploads every
+dimension each slot at eps/(d*w); Sample-Split uploads one dimension per
+slot at eps/w.  This example compares both strategies wrapped around
+SW-direct, APP, and CAPP.
+
+Run:  python examples/multidim_trajectories.py
+"""
+
+import numpy as np
+
+from repro.core import BudgetSplit, SampleSplit
+from repro.datasets import sin_matrix
+from repro.experiments import format_table, make_algorithm
+from repro.metrics import cosine_distance
+
+D, LENGTH = 5, 240
+EPSILON, W = 2.0, 12
+
+trajectory = sin_matrix(D, LENGTH)
+true_means = trajectory.mean(axis=1)
+
+rows = []
+for strategy_name, strategy_cls in (("BS", BudgetSplit), ("SS", SampleSplit)):
+    for inner in ("sw-direct", "app", "capp"):
+        mse_scores, cos_scores = [], []
+        for rep in range(6):
+            rng = np.random.default_rng(50 + rep)
+            strategy = strategy_cls(
+                factory=lambda e, w, n=inner: make_algorithm(n, e, w),
+                epsilon=EPSILON,
+                w=W,
+            )
+            run = strategy.perturb_matrix(trajectory, rng)
+            mse_scores.append(float(np.mean((run.mean_estimates() - true_means) ** 2)))
+            cos_scores.append(
+                float(
+                    np.mean(
+                        [cosine_distance(run.published[i], trajectory[i]) for i in range(D)]
+                    )
+                )
+            )
+        rows.append(
+            [
+                f"{inner.upper()}-{strategy_name}",
+                float(np.mean(mse_scores)),
+                float(np.mean(cos_scores)),
+            ]
+        )
+
+print(
+    format_table(
+        ["strategy", "per-dim mean MSE", "cosine distance"],
+        rows,
+        title=f"d={D} trajectory, eps={EPSILON}, w={W}, {LENGTH} slots",
+    )
+)
+print("\nBS gives each dimension dense-but-noisier uploads; SS gives sparse-but-")
+print("cleaner ones.  On smooth sinusoids BS wins (the paper's Fig. 10 finding).")

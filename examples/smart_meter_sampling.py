@@ -1,0 +1,60 @@
+"""Smart metering with PP-S sampling: concentrate budget on segment means.
+
+A household smart meter reports power usage (96 slots/day).  The utility
+only needs *mean consumption per billing block*, so PP-S uploads one
+perturbed segment mean per block instead of every raw slot — any w-slot
+window then contains few uploads and each runs with a much larger budget
+(Theorem 6).  This example shows the budget concentration, the automatic
+n_s selection (Equation 12), and the accuracy difference against per-slot
+reporting.
+
+Run:  python examples/smart_meter_sampling.py
+"""
+
+import numpy as np
+
+from repro.baselines import NaiveSampling, SWDirect
+from repro.core import PPSampling, choose_num_samples
+from repro.datasets import power_matrix
+from repro.experiments import format_table
+
+EPSILON = 1.0
+W = 24  # protect any 6-hour window (15-minute slots)
+
+device = power_matrix(n_users=50, length=96, seed=21)[7]
+print(f"device profile: 96 slots, mean {device.mean():.3f}")
+
+auto_ns = choose_num_samples(device.size, W, EPSILON)
+print(f"Equation-12 n_s selection: {auto_ns} segments\n")
+
+rows = []
+for label, factory in (
+    ("SW-direct (per slot)", lambda: SWDirect(EPSILON, W)),
+    ("Sampling (naive)", lambda: NaiveSampling(EPSILON, W, n_samples=4)),
+    ("APP-S (4 segments)", lambda: PPSampling(EPSILON, W, base="app", n_samples=4)),
+    ("CAPP-S (4 segments)", lambda: PPSampling(EPSILON, W, base="capp", n_samples=4)),
+    (f"CAPP-S (auto n_s={auto_ns})", lambda: PPSampling(EPSILON, W, base="capp")),
+):
+    errors = []
+    eps_per_upload = None
+    for rep in range(30):
+        rng = np.random.default_rng(100 + rep)
+        result = factory().perturb_stream(device, rng)
+        errors.append((result.mean_estimate() - device.mean()) ** 2)
+        if hasattr(result, "epsilon_per_sample"):
+            eps_per_upload = result.epsilon_per_sample
+        else:
+            eps_per_upload = result.epsilon_per_slot
+    rows.append([label, eps_per_upload, float(np.mean(errors))])
+
+print(
+    format_table(
+        ["scheme", "eps per upload", "mean-estimation MSE"],
+        rows,
+        title=f"Daily mean consumption, eps={EPSILON}, w={W}",
+    )
+)
+print(
+    "\nSampling uploads run with "
+    f"{rows[2][1] / rows[0][1]:.0f}x the per-upload budget of per-slot reporting."
+)

@@ -1,0 +1,68 @@
+"""Trend dashboard: everything the collector can do with one published
+stream — smoothing, trend segmentation, range queries, terminal charts.
+
+A tele-health wearable publishes a vitals-derived score under w-event
+LDP.  The collector post-processes the reports with the variance-informed
+Kalman smoother, segments the series into trend regimes with CUSUM,
+answers interactive range queries in O(1) via the prefix-sum index, and
+renders everything as terminal charts (offline, no matplotlib).
+
+Run:  python examples/trend_dashboard.py
+"""
+
+import numpy as np
+
+from repro.analysis import SubsequenceIndex, classify_trend, segment_trends
+from repro.core import APP, KalmanSmoother, observation_variance_for
+from repro.experiments import line_chart, sparkline
+
+EPSILON, W = 2.0, 24
+
+# The patient's true score: stable -> deterioration -> recovery.
+rng = np.random.default_rng(7)
+truth = np.concatenate(
+    [
+        0.70 + rng.normal(0, 0.01, 200),          # stable
+        np.linspace(0.70, 0.35, 150) + rng.normal(0, 0.01, 150),  # declining
+        np.linspace(0.35, 0.60, 150) + rng.normal(0, 0.01, 150),  # recovering
+    ]
+)
+truth = np.clip(truth, 0, 1)
+
+# Local perturbation (user side).
+result = APP(EPSILON, W, smoothing_window=None).perturb_stream(
+    truth, np.random.default_rng(0)
+)
+
+# Collector side: variance-informed smoothing.
+smoother = KalmanSmoother(
+    observation_var=observation_variance_for(EPSILON / W), process_var=3e-4
+)
+published = smoother.smooth(result.perturbed)
+
+print(line_chart(truth, height=7, width=72, title="true score (never leaves the device)"))
+print()
+print(line_chart(published, height=7, width=72, title=f"published estimate (eps={EPSILON}, w={W})"))
+
+# Trend segmentation on the published stream.
+print("\ntrend regimes detected on the published stream:")
+for segment in segment_trends(published, threshold=0.6, flat_slope=5e-4):
+    print(
+        f"  slots {segment.start:3d}-{segment.end:3d}: {segment.direction:8s}"
+        f" (slope {segment.slope:+.5f}/slot)"
+    )
+print("overall trend:", classify_trend(published, threshold=1e-4))
+
+# Interactive range queries in O(1).
+index = SubsequenceIndex(published)
+for start, end in [(0, 199), (200, 349), (350, 499)]:
+    stats = index.statistics(start, end)
+    true_mean = truth[start : end + 1].mean()
+    print(
+        f"query [{start:3d},{end:3d}]: est mean {stats.mean:.3f} "
+        f"(true {true_mean:.3f}), est std {stats.std:.3f}"
+    )
+
+print("\nsliding 50-slot means:", sparkline(index.sliding_means(50)[::10]))
+result.accountant.assert_valid()
+print("privacy ledger valid — no 24-slot window exceeded eps =", EPSILON)

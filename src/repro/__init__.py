@@ -1,0 +1,88 @@
+"""repro — reproduction of "Dual Utilization of Perturbation for Stream
+Data Publication under Local Differential Privacy" (ICDE 2025).
+
+Quickstart::
+
+    import numpy as np
+    from repro import CAPP
+
+    stream = np.clip(np.sin(np.arange(200) / 10) / 2 + 0.5, 0, 1)
+    capp = CAPP(epsilon=1.0, w=10)
+    result = capp.perturb_stream(stream, np.random.default_rng(0))
+    print(result.mean_estimate(), float(stream.mean()))
+
+Packages:
+
+* :mod:`repro.mechanisms` — LDP randomizers (SW, Laplace, PM, SR, HM).
+* :mod:`repro.privacy` — composition, w-event budget accounting.
+* :mod:`repro.core` — IPP / APP / CAPP / PP-S / multi-dimensional strategies.
+* :mod:`repro.baselines` — SW-direct, BA-SW, ToPL, naive sampling.
+* :mod:`repro.datasets` — synthetic generators and real-data substitutes.
+* :mod:`repro.metrics` — MSE, cosine, Wasserstein, JSD.
+* :mod:`repro.analysis` — collector-side estimation, crowd-level stats.
+* :mod:`repro.experiments` — runners reproducing every table and figure.
+"""
+
+from .baselines import BASW, BDSW, NaiveSampling, SWDirect, ToPL
+from .core import (
+    APP,
+    CAPP,
+    IPP,
+    BudgetSplit,
+    OnlineAPP,
+    OnlineCAPP,
+    OnlineIPP,
+    OnlineSWDirect,
+    PerturbationResult,
+    PPSampling,
+    SampleSplit,
+    SamplingResult,
+    StreamPerturber,
+    choose_clip_bounds,
+    choose_num_samples,
+    simple_moving_average,
+)
+from .mechanisms import (
+    DuchiMechanism,
+    HybridMechanism,
+    LaplaceMechanism,
+    Mechanism,
+    PiecewiseMechanism,
+    SquareWaveMechanism,
+)
+from .privacy import PrivacyBudgetExceededError, WEventAccountant
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IPP",
+    "APP",
+    "CAPP",
+    "PPSampling",
+    "BudgetSplit",
+    "SampleSplit",
+    "StreamPerturber",
+    "PerturbationResult",
+    "SamplingResult",
+    "SWDirect",
+    "BASW",
+    "BDSW",
+    "ToPL",
+    "NaiveSampling",
+    "OnlineSWDirect",
+    "OnlineIPP",
+    "OnlineAPP",
+    "OnlineCAPP",
+    "Mechanism",
+    "SquareWaveMechanism",
+    "LaplaceMechanism",
+    "PiecewiseMechanism",
+    "DuchiMechanism",
+    "HybridMechanism",
+    "WEventAccountant",
+    "PrivacyBudgetExceededError",
+    "choose_clip_bounds",
+    "choose_num_samples",
+    "simple_moving_average",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Collector-side analysis: subsequence statistics and crowd-level views."""
+
+from .aggregation import (
+    estimate_mean,
+    estimate_published_stream,
+    subsequence,
+    subsequence_mean,
+)
+from .crowd import (
+    crowd_mean_distribution_distance,
+    crowd_mean_estimates,
+    dkw_sample_bound,
+)
+from .queries import RangeStatistics, SubsequenceIndex
+from .streaming_queries import (
+    RollingExtrema,
+    RollingMean,
+    RollingTrend,
+    StreamingQuery,
+    StreamingQueryEngine,
+    ThresholdAlert,
+)
+from .trends import (
+    TrendSegment,
+    classify_trend,
+    detect_change_points,
+    linear_trend,
+    rolling_trend,
+    segment_trends,
+)
+
+__all__ = [
+    "SubsequenceIndex",
+    "RangeStatistics",
+    "StreamingQuery",
+    "StreamingQueryEngine",
+    "RollingMean",
+    "RollingExtrema",
+    "RollingTrend",
+    "ThresholdAlert",
+    "linear_trend",
+    "rolling_trend",
+    "classify_trend",
+    "TrendSegment",
+    "detect_change_points",
+    "segment_trends",
+    "subsequence",
+    "subsequence_mean",
+    "estimate_mean",
+    "estimate_published_stream",
+    "crowd_mean_estimates",
+    "crowd_mean_distribution_distance",
+    "dkw_sample_bound",
+]

@@ -1,0 +1,51 @@
+"""Collector-side aggregation: subsequence statistics from perturbed streams.
+
+Section III-B defines the collector's two tasks over a subsequence
+``X_(i,j)``: **stream data publication** (release the reconstructed
+stream) and **statistical analysis** (e.g. the subsequence mean).  These
+helpers operate on the result objects produced by the stream perturbers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from .._validation import ensure_stream
+from ..core.base import PerturbationResult
+from ..core.sampling import SamplingResult
+
+__all__ = [
+    "subsequence",
+    "subsequence_mean",
+    "estimate_mean",
+    "estimate_published_stream",
+]
+
+AnyResult = Union[PerturbationResult, SamplingResult]
+
+
+def subsequence(values: Sequence[float], start: int, end: int) -> np.ndarray:
+    """The paper's ``X_(i,j)`` — inclusive slice ``[start, end]``."""
+    arr = ensure_stream(values)
+    if not 0 <= start <= end < arr.size:
+        raise ValueError(
+            f"invalid subsequence [{start}, {end}] for length {arr.size}"
+        )
+    return arr[start : end + 1]
+
+
+def subsequence_mean(values: Sequence[float], start: int, end: int) -> float:
+    """Ground-truth subsequence mean ``M_(i,j)``."""
+    return float(subsequence(values, start, end).mean())
+
+
+def estimate_mean(result: AnyResult) -> float:
+    """Collector-side subsequence mean estimate from a perturbation result."""
+    return result.mean_estimate()
+
+
+def estimate_published_stream(result: AnyResult) -> np.ndarray:
+    """The stream the collector publishes (post-processing included)."""
+    return result.published.copy()

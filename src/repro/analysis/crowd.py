@@ -1,0 +1,89 @@
+"""Crowd-level statistics — Section IV-C "Crowd-level statistics", Fig. 8.
+
+Given many users' streams, the collector estimates each user's subsequence
+mean and studies the *distribution* of those means across the population.
+Theorem 5 (via the DKW inequality) guarantees that per-user estimation
+error ``beta`` translates into at most ``beta`` extra sup-distance between
+the empirical and true mean distributions — so better individual estimates
+give a better crowd-level picture, which Fig. 8 measures with the
+Wasserstein distance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .._validation import ensure_positive_int, ensure_rng
+from ..core.base import StreamPerturber
+from ..metrics.distance import wasserstein_distance
+
+__all__ = [
+    "crowd_mean_estimates",
+    "crowd_mean_distribution_distance",
+    "dkw_sample_bound",
+]
+
+#: factory signature: () -> StreamPerturber (fresh perturber per user)
+PerturberFactory = Callable[[], StreamPerturber]
+
+
+def crowd_mean_estimates(
+    streams: np.ndarray,
+    factory: PerturberFactory,
+    rng: Optional[np.random.Generator] = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Per-user (estimated, true) subsequence means.
+
+    Args:
+        streams: ``(n_users, length)`` matrix of user subsequences in
+            ``[0, 1]``.
+        factory: builds a fresh perturber per user (each user perturbs
+            locally and independently).
+        rng: shared randomness source.
+
+    Returns:
+        ``(estimated_means, true_means)`` arrays of length ``n_users``.
+    """
+    matrix = np.asarray(streams, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"streams must be a (users, length) matrix, got {matrix.shape}")
+    rng = ensure_rng(rng)
+    estimated = np.empty(matrix.shape[0])
+    for i in range(matrix.shape[0]):
+        result = factory().perturb_stream(matrix[i], rng)
+        estimated[i] = result.mean_estimate()
+    return estimated, matrix.mean(axis=1)
+
+
+def crowd_mean_distribution_distance(
+    streams: np.ndarray,
+    factory: PerturberFactory,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Wasserstein distance between estimated and true mean distributions."""
+    estimated, true = crowd_mean_estimates(streams, factory, rng)
+    return wasserstein_distance(estimated, true)
+
+
+def dkw_sample_bound(eta: float, beta: float, delta: float) -> int:
+    """Theorem 5's sample-size condition ``N >= ln(2/delta) / (2 (eta-beta)^2)``.
+
+    Args:
+        eta: target sup-distance between empirical and true CDFs.
+        beta: per-user estimation error bound (must satisfy ``beta < eta``).
+        delta: failure probability.
+
+    Returns:
+        The smallest integer ``N`` satisfying the bound.
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if beta < 0.0:
+        raise ValueError(f"beta must be non-negative, got {beta}")
+    if eta <= beta:
+        raise ValueError(f"eta ({eta}) must exceed beta ({beta})")
+    bound = math.log(2.0 / delta) / (2.0 * (eta - beta) ** 2)
+    return ensure_positive_int(max(int(math.ceil(bound)), 1), "N")

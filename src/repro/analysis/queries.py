@@ -1,0 +1,111 @@
+"""Constant-time subsequence queries over published streams.
+
+The paper's collector answers statistics over arbitrary subsequences
+``X_(i,j)``.  For interactive workloads (dashboards, range scans) a
+per-query ``mean`` over a slice is O(length); :class:`SubsequenceIndex`
+precomputes prefix sums once and answers mean/variance/count queries over
+any inclusive range in O(1), plus batched queries.
+
+Everything here is post-processing of already-published values, so it is
+privacy-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import ensure_stream
+
+__all__ = ["SubsequenceIndex", "RangeStatistics"]
+
+
+@dataclass(frozen=True)
+class RangeStatistics:
+    """Summary statistics of one inclusive range query."""
+
+    start: int
+    end: int
+    count: int
+    mean: float
+    variance: float
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(max(self.variance, 0.0)))
+
+
+class SubsequenceIndex:
+    """Prefix-sum index over a published stream.
+
+    Example:
+        >>> index = SubsequenceIndex([0.1, 0.2, 0.3, 0.4])
+        >>> index.mean(1, 2)
+        0.25
+    """
+
+    def __init__(self, values: Sequence[float]) -> None:
+        arr = ensure_stream(values)
+        self._n = arr.size
+        self._prefix = np.concatenate([[0.0], np.cumsum(arr)])
+        self._prefix_sq = np.concatenate([[0.0], np.cumsum(arr**2)])
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _check_range(self, start: int, end: int) -> None:
+        if not 0 <= start <= end < self._n:
+            raise ValueError(
+                f"invalid range [{start}, {end}] for stream of length {self._n}"
+            )
+
+    def range_sum(self, start: int, end: int) -> float:
+        """Sum over the inclusive range ``[start, end]``."""
+        self._check_range(start, end)
+        return float(self._prefix[end + 1] - self._prefix[start])
+
+    def mean(self, start: int, end: int) -> float:
+        """Mean over the inclusive range (the paper's ``M_(i,j)``)."""
+        self._check_range(start, end)
+        return self.range_sum(start, end) / (end - start + 1)
+
+    def variance(self, start: int, end: int) -> float:
+        """Population variance over the inclusive range."""
+        self._check_range(start, end)
+        count = end - start + 1
+        mean = self.mean(start, end)
+        sum_sq = float(self._prefix_sq[end + 1] - self._prefix_sq[start])
+        return max(sum_sq / count - mean**2, 0.0)
+
+    def statistics(self, start: int, end: int) -> RangeStatistics:
+        """All range statistics in one call."""
+        self._check_range(start, end)
+        return RangeStatistics(
+            start=start,
+            end=end,
+            count=end - start + 1,
+            mean=self.mean(start, end),
+            variance=self.variance(start, end),
+        )
+
+    def batch_means(self, ranges: Sequence["tuple[int, int]"]) -> np.ndarray:
+        """Vectorized means for many inclusive ranges."""
+        if not len(ranges):
+            return np.empty(0)
+        arr = np.asarray(ranges, dtype=int)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError("ranges must be a sequence of (start, end) pairs")
+        starts, ends = arr[:, 0], arr[:, 1]
+        if (starts < 0).any() or (ends >= self._n).any() or (starts > ends).any():
+            raise ValueError("invalid range in batch")
+        sums = self._prefix[ends + 1] - self._prefix[starts]
+        return sums / (ends - starts + 1)
+
+    def sliding_means(self, window: int) -> np.ndarray:
+        """Means of every full window of the given length."""
+        if not 1 <= window <= self._n:
+            raise ValueError(f"window must be in [1, {self._n}], got {window}")
+        starts = np.arange(self._n - window + 1)
+        return self.batch_means(np.column_stack([starts, starts + window - 1]))

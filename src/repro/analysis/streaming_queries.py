@@ -1,0 +1,210 @@
+"""Continuous (standing) queries over an incoming published stream.
+
+A collector rarely asks one-off questions; it keeps dashboards alive.
+:class:`StreamingQueryEngine` maintains a set of registered standing
+queries — rolling means, rolling extrema, trend direction, threshold
+alerts — and updates all of them in O(#queries) per arriving report with
+O(window) memory per query.
+
+All inputs are already-published (ε-sanitized) values, so everything
+here is privacy-free post-processing.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+from .._validation import ensure_positive_int
+from .trends import linear_trend
+
+__all__ = [
+    "StreamingQuery",
+    "RollingMean",
+    "RollingExtrema",
+    "RollingTrend",
+    "ThresholdAlert",
+    "StreamingQueryEngine",
+]
+
+
+class StreamingQuery(abc.ABC):
+    """One standing query: consumes values, exposes a current answer."""
+
+    @abc.abstractmethod
+    def update(self, value: float) -> None:
+        """Consume the next published value."""
+
+    @abc.abstractmethod
+    def answer(self) -> object:
+        """The query's current answer (None while warming up)."""
+
+    def reset(self) -> None:  # pragma: no cover - trivial default
+        """Forget all state (default: re-init via __init__ contract)."""
+        raise NotImplementedError
+
+
+class RollingMean(StreamingQuery):
+    """Mean of the last ``window`` values (running sum, O(1) update)."""
+
+    def __init__(self, window: int) -> None:
+        self.window = ensure_positive_int(window, "window")
+        self._buffer: Deque[float] = deque(maxlen=self.window)
+        self._sum = 0.0
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        if len(self._buffer) == self.window:
+            self._sum -= self._buffer[0]
+        self._buffer.append(value)
+        self._sum += value
+
+    def answer(self) -> Optional[float]:
+        if not self._buffer:
+            return None
+        return self._sum / len(self._buffer)
+
+    def reset(self) -> None:
+        self._buffer.clear()
+        self._sum = 0.0
+
+
+class RollingExtrema(StreamingQuery):
+    """(min, max) of the last ``window`` values."""
+
+    def __init__(self, window: int) -> None:
+        self.window = ensure_positive_int(window, "window")
+        self._buffer: Deque[float] = deque(maxlen=self.window)
+
+    def update(self, value: float) -> None:
+        self._buffer.append(float(value))
+
+    def answer(self) -> Optional["tuple[float, float]"]:
+        if not self._buffer:
+            return None
+        return (min(self._buffer), max(self._buffer))
+
+    def reset(self) -> None:
+        self._buffer.clear()
+
+
+class RollingTrend(StreamingQuery):
+    """Least-squares slope over the last ``window`` values."""
+
+    def __init__(self, window: int) -> None:
+        self.window = ensure_positive_int(window, "window")
+        if self.window < 2:
+            raise ValueError("trend window must be at least 2")
+        self._buffer: Deque[float] = deque(maxlen=self.window)
+
+    def update(self, value: float) -> None:
+        self._buffer.append(float(value))
+
+    def answer(self) -> Optional[float]:
+        if len(self._buffer) < 2:
+            return None
+        slope, _ = linear_trend(np.array(self._buffer))
+        return slope
+
+    def reset(self) -> None:
+        self._buffer.clear()
+
+
+class ThresholdAlert(StreamingQuery):
+    """Fires when the rolling mean crosses a threshold.
+
+    ``answer()`` returns the current alert state (True/False); the
+    ``fired_count`` attribute counts state flips into the alert state.
+    """
+
+    def __init__(self, window: int, threshold: float, above: bool = True) -> None:
+        self._mean = RollingMean(window)
+        self.threshold = float(threshold)
+        self.above = bool(above)
+        self.fired_count = 0
+        self._active = False
+
+    def update(self, value: float) -> None:
+        self._mean.update(value)
+        mean = self._mean.answer()
+        if mean is None:
+            return
+        triggered = mean > self.threshold if self.above else mean < self.threshold
+        if triggered and not self._active:
+            self.fired_count += 1
+        self._active = triggered
+
+    def answer(self) -> bool:
+        return self._active
+
+    def reset(self) -> None:
+        self._mean.reset()
+        self.fired_count = 0
+        self._active = False
+
+
+class StreamingQueryEngine:
+    """Routes each arriving published value to every registered query.
+
+    Example:
+        >>> engine = StreamingQueryEngine()
+        >>> engine.register("hourly_mean", RollingMean(window=12))
+        >>> engine.register("overload", ThresholdAlert(12, threshold=0.9))
+        >>> for report in published_reports:       # doctest: +SKIP
+        ...     answers = engine.push(report)
+    """
+
+    def __init__(self) -> None:
+        self._queries: Dict[str, StreamingQuery] = {}
+        self._n_seen = 0
+
+    def register(self, name: str, query: StreamingQuery) -> None:
+        """Add a standing query under a unique name."""
+        if name in self._queries:
+            raise ValueError(f"query {name!r} already registered")
+        if not isinstance(query, StreamingQuery):
+            raise TypeError("query must be a StreamingQuery")
+        self._queries[name] = query
+
+    def unregister(self, name: str) -> None:
+        """Remove a standing query."""
+        if name not in self._queries:
+            raise KeyError(f"no query named {name!r}")
+        del self._queries[name]
+
+    @property
+    def names(self) -> "list[str]":
+        return sorted(self._queries)
+
+    def query(self, name: str) -> StreamingQuery:
+        """Access a registered query object (e.g. an alert's counters)."""
+        if name not in self._queries:
+            raise KeyError(f"no query named {name!r}")
+        return self._queries[name]
+
+    @property
+    def values_seen(self) -> int:
+        return self._n_seen
+
+    def push(self, value: float) -> Dict[str, object]:
+        """Feed one published value to all queries; return all answers."""
+        value = float(value)
+        if not np.isfinite(value):
+            raise ValueError("pushed value must be finite")
+        self._n_seen += 1
+        for query in self._queries.values():
+            query.update(value)
+        return self.answers()
+
+    def answers(self) -> Dict[str, object]:
+        """Current answers of every registered query."""
+        return {name: query.answer() for name, query in self._queries.items()}
+
+    def reset(self) -> None:
+        """Reset every query and the value counter."""
+        for query in self._queries.values():
+            query.reset()
+        self._n_seen = 0

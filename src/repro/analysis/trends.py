@@ -1,0 +1,152 @@
+"""Trend analysis on published streams.
+
+Section III-A: the collector "releases the aggregated values, e.g., mean
+or trends".  This module supplies the trend side: windowed linear-trend
+estimation, direction classification, and CUSUM change-point detection —
+all pure post-processing of published (already-private) streams, hence
+privacy-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .._validation import ensure_positive_int, ensure_stream
+
+__all__ = [
+    "linear_trend",
+    "rolling_trend",
+    "classify_trend",
+    "TrendSegment",
+    "detect_change_points",
+    "segment_trends",
+]
+
+
+def linear_trend(values: Sequence[float]) -> "tuple[float, float]":
+    """Least-squares slope and intercept over slot indices.
+
+    Returns:
+        ``(slope, intercept)`` of the fit ``value ~ slope * t + intercept``.
+    """
+    arr = ensure_stream(values)
+    if arr.size == 1:
+        return 0.0, float(arr[0])
+    t = np.arange(arr.size, dtype=float)
+    slope, intercept = np.polyfit(t, arr, 1)
+    return float(slope), float(intercept)
+
+
+def rolling_trend(values: Sequence[float], window: int) -> np.ndarray:
+    """Slope of the trailing ``window``-slot fit at every position.
+
+    Positions with fewer than two observations get slope 0.
+    """
+    arr = ensure_stream(values)
+    window = ensure_positive_int(window, "window")
+    slopes = np.zeros(arr.size)
+    for t in range(1, arr.size):
+        lo = max(0, t - window + 1)
+        segment = arr[lo : t + 1]
+        slopes[t] = linear_trend(segment)[0]
+    return slopes
+
+
+def classify_trend(values: Sequence[float], threshold: float = 1e-3) -> str:
+    """Classify the overall trend as ``"rising"``/``"falling"``/``"flat"``.
+
+    ``threshold`` is the absolute slope (per slot) below which the stream
+    counts as flat.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    slope, _ = linear_trend(values)
+    if slope > threshold:
+        return "rising"
+    if slope < -threshold:
+        return "falling"
+    return "flat"
+
+
+@dataclass(frozen=True)
+class TrendSegment:
+    """A maximal span with one trend direction between change points."""
+
+    start: int
+    end: int  # inclusive
+    direction: str
+    slope: float
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise ValueError(f"empty segment [{self.start}, {self.end}]")
+
+
+def detect_change_points(
+    values: Sequence[float],
+    threshold: float = 0.5,
+    drift: float = 0.0,
+) -> "list[int]":
+    """Two-sided CUSUM change-point detection.
+
+    Accumulates deviations from the running post-change mean; a change is
+    declared when either cumulative sum exceeds ``threshold``, after which
+    the detector resets.  ``drift`` desensitizes against slow wander.
+
+    Returns:
+        Sorted change-point indices (the first slot of each new regime).
+    """
+    arr = ensure_stream(values)
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    if drift < 0:
+        raise ValueError(f"drift must be non-negative, got {drift}")
+
+    change_points: List[int] = []
+    reference = arr[0]
+    pos = neg = 0.0
+    count = 1
+    for t in range(1, arr.size):
+        deviation = arr[t] - reference
+        pos = max(0.0, pos + deviation - drift)
+        neg = max(0.0, neg - deviation - drift)
+        if pos > threshold or neg > threshold:
+            change_points.append(t)
+            reference = arr[t]
+            pos = neg = 0.0
+            count = 1
+        else:
+            # Track the running mean of the current regime.
+            count += 1
+            reference += (arr[t] - reference) / count
+    return change_points
+
+
+def segment_trends(
+    values: Sequence[float],
+    threshold: float = 0.5,
+    drift: float = 0.0,
+    flat_slope: float = 1e-3,
+) -> "list[TrendSegment]":
+    """Split the stream at change points and classify each segment."""
+    arr = ensure_stream(values)
+    points = detect_change_points(arr, threshold, drift)
+    bounds = [0] + points + [arr.size]
+    segments: List[TrendSegment] = []
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        if hi <= lo:
+            continue
+        piece = arr[lo:hi]
+        slope, _ = linear_trend(piece)
+        segments.append(
+            TrendSegment(
+                start=lo,
+                end=hi - 1,
+                direction=classify_trend(piece, flat_slope),
+                slope=slope,
+            )
+        )
+    return segments

@@ -1,0 +1,9 @@
+"""Comparator algorithms from the paper's evaluation (Section VI)."""
+
+from .ba_sw import BASW
+from .bd_sw import BDSW
+from .naive_sampling import NaiveSampling
+from .sw_direct import MechanismDirect, SWDirect
+from .topl import ToPL
+
+__all__ = ["SWDirect", "MechanismDirect", "BASW", "BDSW", "ToPL", "NaiveSampling"]

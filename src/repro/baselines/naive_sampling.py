@@ -1,0 +1,27 @@
+"""Naive sampling baseline ("Sampling" in Figures 6-8).
+
+Same segmentation and budget concentration as PP-S, but the segment means
+are perturbed with plain SW (no deviation feedback): this isolates the
+benefit of perturbation parameterization on top of sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.sampling import PPSampling
+from .sw_direct import SWDirect
+
+__all__ = ["NaiveSampling"]
+
+
+class NaiveSampling(PPSampling):
+    """Segment means + direct SW at the Theorem-6 per-sample budget."""
+
+    def __init__(
+        self,
+        epsilon: float,
+        w: int,
+        n_samples: Optional[int] = None,
+    ) -> None:
+        super().__init__(epsilon, w, base=SWDirect, n_samples=n_samples)

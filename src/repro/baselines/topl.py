@@ -1,0 +1,104 @@
+"""ToPL baseline (Wang et al., CCS 2021) under the paper's w-event framing.
+
+ToPL publishes numerical streams in two phases:
+
+1. **Range estimation** — an initial fraction of slots is reported through
+   the SW mechanism; the collector fits the value distribution with EM and
+   picks a clipping threshold ``tau`` at a high quantile (outliers beyond
+   ``tau`` are discarded by clipping).
+2. **Value perturbation** — the remaining slots are clipped to
+   ``[0, tau]``, rescaled, and reported through the **Hybrid Mechanism**
+   (HM), which is unbiased but has a very wide output range at small
+   budgets.
+
+The paper runs every comparator at ``eps / w`` per slot; at such small
+budgets HM's output domain spans hundreds of units (e.g. ``[-80, 80]`` at
+``eps = 0.05``), which is exactly why Table I shows ToPL's MSE two orders
+of magnitude above the SW-based algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._validation import ensure_probability
+from ..core.base import StreamPerturber
+from ..mechanisms import HybridMechanism, Mechanism, SquareWaveMechanism
+from ..privacy import WEventAccountant
+
+__all__ = ["ToPL"]
+
+#: smallest admissible clipping threshold (guards against a degenerate fit)
+_MIN_TAU = 0.05
+
+
+class ToPL(StreamPerturber):
+    """ToPL stream publisher.
+
+    Args:
+        epsilon: total w-event budget.
+        w: window size (per-slot budget is ``eps / w``).
+        range_fraction: fraction of slots used for range estimation.
+        quantile: distribution quantile defining the threshold ``tau``.
+        smoothing_window: optional SMA on the published stream.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        w: int,
+        range_fraction: float = 0.3,
+        quantile: float = 0.98,
+        smoothing_window: Optional[int] = None,
+    ) -> None:
+        super().__init__(epsilon, w, mechanism="hm", smoothing_window=smoothing_window)
+        range_fraction = ensure_probability(range_fraction, "range_fraction")
+        if not 0.0 < range_fraction < 1.0:
+            raise ValueError("range_fraction must be strictly between 0 and 1")
+        self.range_fraction = range_fraction
+        self.quantile = ensure_probability(quantile, "quantile")
+
+    def estimate_threshold(self, sw_reports: np.ndarray, epsilon: float) -> float:
+        """Fit the SW reports with EM and return the ``quantile`` threshold."""
+        mech = SquareWaveMechanism(epsilon)
+        n_bins = 32
+        distribution = mech.estimate_distribution(sw_reports, n_bins=n_bins)
+        cdf = np.cumsum(distribution)
+        idx = int(np.searchsorted(cdf, self.quantile))
+        tau = (min(idx, n_bins - 1) + 1.0) / n_bins
+        return max(tau, _MIN_TAU)
+
+    def _perturb_prepared(
+        self,
+        values: np.ndarray,
+        mechanism: Mechanism,
+        accountant: WEventAccountant,
+        rng: np.random.Generator,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, float]":
+        n = values.size
+        inputs = values.copy()
+        perturbed = np.empty(n)
+
+        n_range = max(int(round(n * self.range_fraction)), 1)
+        n_range = min(n_range, n)
+
+        # Phase 1: SW reports used both for publication and threshold fit.
+        sw = SquareWaveMechanism(self.epsilon_per_slot)
+        phase1 = np.asarray(sw.perturb(values[:n_range], rng), dtype=float)
+        perturbed[:n_range] = phase1
+        for t in range(n_range):
+            accountant.charge(t, self.epsilon_per_slot)
+
+        if n_range < n:
+            tau = self.estimate_threshold(phase1, self.epsilon_per_slot)
+            hm = HybridMechanism(self.epsilon_per_slot)
+            scaled = np.clip(values[n_range:], 0.0, tau) / tau
+            reports = np.asarray(hm.perturb(scaled, rng), dtype=float)
+            perturbed[n_range:] = reports * tau
+            for t in range(n_range, n):
+                accountant.charge(t, self.epsilon_per_slot)
+
+        deviations = values - perturbed
+        return inputs, perturbed, deviations, float(deviations.sum())

@@ -1,0 +1,97 @@
+"""The paper's contribution: perturbation-parameterization stream algorithms."""
+
+from .adaptive_clipping import (
+    adaptive_clip_objective,
+    choose_adaptive_clip_bounds,
+    noise_error,
+    tail_discarding_error,
+)
+from .app import APP
+from .base import PerturbationResult, StreamPerturber
+from .postprocessing import (
+    KalmanSmoother,
+    exponential_smoothing,
+    observation_variance_for,
+)
+from .online import (
+    OnlineAPP,
+    OnlineCAPP,
+    OnlineIPP,
+    OnlinePerturber,
+    OnlineSmoother,
+    OnlineSWDirect,
+)
+from .capp import CAPP
+from .clipping import (
+    DEFAULT_DELTA_CLAMP,
+    ClipBounds,
+    choose_clip_bounds,
+    clip_delta,
+    discarding_error,
+    sensitivity_error,
+)
+from .ipp import IPP
+from .multidim import BudgetSplit, MultiDimResult, SampleSplit
+from .serialization import (
+    dumps_result,
+    loads_result,
+    result_from_dict,
+    result_to_dict,
+    result_to_public_dict,
+)
+from .sampling import (
+    PPSampling,
+    SamplingResult,
+    choose_num_samples,
+    classify_tail,
+    recommend_num_samples,
+    replicate_segments,
+    segment_bounds,
+    segment_means,
+)
+from .smoothing import simple_moving_average, smoothing_variance_reduction
+
+__all__ = [
+    "StreamPerturber",
+    "PerturbationResult",
+    "IPP",
+    "APP",
+    "CAPP",
+    "PPSampling",
+    "SamplingResult",
+    "BudgetSplit",
+    "SampleSplit",
+    "MultiDimResult",
+    "ClipBounds",
+    "choose_clip_bounds",
+    "clip_delta",
+    "sensitivity_error",
+    "discarding_error",
+    "DEFAULT_DELTA_CLAMP",
+    "choose_num_samples",
+    "classify_tail",
+    "recommend_num_samples",
+    "segment_bounds",
+    "segment_means",
+    "replicate_segments",
+    "simple_moving_average",
+    "smoothing_variance_reduction",
+    "OnlinePerturber",
+    "OnlineSWDirect",
+    "OnlineIPP",
+    "OnlineAPP",
+    "OnlineCAPP",
+    "OnlineSmoother",
+    "choose_adaptive_clip_bounds",
+    "adaptive_clip_objective",
+    "noise_error",
+    "tail_discarding_error",
+    "KalmanSmoother",
+    "exponential_smoothing",
+    "observation_variance_for",
+    "result_to_dict",
+    "result_to_public_dict",
+    "result_from_dict",
+    "dumps_result",
+    "loads_result",
+]

@@ -1,0 +1,123 @@
+"""Clip-bound selection for arbitrary mechanisms (Section IV-C extension).
+
+The paper tunes CAPP's clip range ``[l, u]`` for the SW mechanism via the
+closed-form error model of Equation 11 and notes that "in CAPP, different
+mechanisms require specific clip intervals [l, u]" — but omits the
+details.  This module supplies them: a numeric error model that works for
+*any* registered mechanism through its exposed moments.
+
+Model.  For a candidate half-extension ``delta`` (``l = -delta``,
+``u = 1 + delta``, width ``s = 1 + 2 delta``):
+
+* **noise error** — perturbing in the normalized domain and denormalizing
+  scales the mechanism's output noise by ``s``, so the per-report noise
+  cost is ``s * sqrt(Var[M(x*)])`` at the worst-case input ``x* = 1``;
+* **discarding error** — the accumulated deviation ``D`` is approximately
+  centred with the deviation std ``sigma_D = sqrt(Var[x* - M(x*)])`` of
+  the *unclipped* mechanism; mass of ``x + D`` outside ``[l, u]`` is lost.
+  Under a normal approximation the expected clipped-away magnitude is the
+  Gaussian tail integral ``E[(|Z| - delta)_+]`` with ``Z ~ N(0, sigma_D)``.
+
+``choose_adaptive_clip_bounds`` grid-searches ``delta`` to minimize the
+sum.  For the SW mechanism the resulting bounds land close to the paper's
+Equation-11 choice inside its recommended ``[-0.25, 0.25]`` band (tested),
+and the same procedure extends CAPP to Laplace/PM/SR/HM.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Type, Union
+
+import numpy as np
+
+from .._validation import ensure_epsilon
+from ..mechanisms import Mechanism
+from .base import resolve_mechanism_class
+from .clipping import ClipBounds
+
+__all__ = [
+    "noise_error",
+    "tail_discarding_error",
+    "adaptive_clip_objective",
+    "choose_adaptive_clip_bounds",
+]
+
+#: worst-case input used throughout (mirrors the paper's x = 1 choice)
+_WORST_CASE_X = 1.0
+
+
+def noise_error(mechanism: Mechanism, delta: float) -> float:
+    """Denormalized per-report noise std at the worst-case input."""
+    width = 1.0 + 2.0 * delta
+    if width <= 0.0:
+        raise ValueError(f"delta={delta} collapses the clip range")
+    variance = float(mechanism.output_variance(_WORST_CASE_X))
+    return width * math.sqrt(max(variance, 0.0))
+
+
+def tail_discarding_error(mechanism: Mechanism, delta: float) -> float:
+    """Expected magnitude clipped away from the accumulated deviation.
+
+    Gaussian-tail approximation: with ``sigma_D`` the deviation std of the
+    unclipped mechanism and ``Z ~ N(0, sigma_D)``,
+
+        E[(|Z| - delta)_+] = 2 [ sigma phi(a) - delta (1 - Phi(a)) ],
+
+    where ``a = delta / sigma``.  ``delta <= 0`` counts the *narrowing*
+    penalty: the whole deviation mass plus the sacrificed base range.
+    """
+    variance = float(mechanism.output_variance(_WORST_CASE_X))
+    sigma = math.sqrt(max(variance, 1e-18))
+    if delta <= 0.0:
+        # Narrower than the data domain: every deviation is clipped and
+        # |delta| of legitimate range is lost too.
+        mean_abs = sigma * math.sqrt(2.0 / math.pi)
+        return mean_abs + abs(delta)
+    a = delta / sigma
+    phi = math.exp(-0.5 * a * a) / math.sqrt(2.0 * math.pi)
+    upper_tail = 0.5 * math.erfc(a / math.sqrt(2.0))
+    return 2.0 * (sigma * phi - delta * upper_tail)
+
+
+def adaptive_clip_objective(mechanism: Mechanism, delta: float) -> float:
+    """Predicted per-report MSE for a candidate ``delta``.
+
+    Squared-error combination of the two terms: noise variance scales
+    with the squared width while the squared discarding tail shrinks as
+    the range widens, producing an interior optimum (linear combination
+    degenerates to the narrowest admissible range).
+    """
+    return noise_error(mechanism, delta) ** 2 + tail_discarding_error(mechanism, delta) ** 2
+
+
+def choose_adaptive_clip_bounds(
+    epsilon_per_slot: float,
+    mechanism: Union[str, Type[Mechanism], None] = None,
+    deltas: Optional[Sequence[float]] = None,
+) -> ClipBounds:
+    """Grid-search the clip range for any mechanism.
+
+    Args:
+        epsilon_per_slot: the budget each perturbation runs with.
+        mechanism: registry name, class, or ``None`` for SW.
+        deltas: candidate grid (default ``-0.4 .. 1.0`` step 0.05).
+
+    Returns:
+        The :class:`ClipBounds` minimizing the numeric error model.
+    """
+    eps = ensure_epsilon(epsilon_per_slot, "epsilon_per_slot")
+    mech = resolve_mechanism_class(mechanism)(eps)
+    if deltas is None:
+        deltas = np.round(np.arange(-0.4, 1.0001, 0.05), 4)
+    best_delta, best_value = None, math.inf
+    for delta in deltas:
+        delta = float(delta)
+        if 1.0 + 2.0 * delta <= 0.0:
+            continue
+        value = adaptive_clip_objective(mech, delta)
+        if value < best_value:
+            best_delta, best_value = delta, value
+    if best_delta is None:
+        raise ValueError("no feasible delta in the candidate grid")
+    return ClipBounds(low=-best_delta, high=1.0 + best_delta, delta=best_delta)

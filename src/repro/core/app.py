@@ -1,0 +1,58 @@
+"""Accumulated Perturbation Parameterization (APP) — Section IV-A, Alg. 1.
+
+APP carries the *accumulated* deviation ``D = sum_t d_t`` of every previous
+slot into the next input,
+
+    x^I_t = clip(x_t + D, [0, 1]),    d_t = x_t - x'_t,    D += d_t,
+
+so the running sum of reports tracks the running sum of true values
+(Lemma IV.2: the mean error shrinks as more history is folded in).  The
+published stream is SMA-smoothed (Lemma IV.1) with the paper's window of 3
+by default.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type, Union
+
+import numpy as np
+
+from ..mechanisms import Mechanism
+from ..privacy import WEventAccountant
+from .base import DEFAULT_SMOOTHING_WINDOW, StreamPerturber
+
+__all__ = ["APP"]
+
+
+class APP(StreamPerturber):
+    """Accumulated Perturbation Parameterization with SMA post-processing."""
+
+    def __init__(
+        self,
+        epsilon: float,
+        w: int,
+        mechanism: Union[str, Type[Mechanism], None] = None,
+        smoothing_window: Optional[int] = DEFAULT_SMOOTHING_WINDOW,
+    ) -> None:
+        super().__init__(epsilon, w, mechanism, smoothing_window)
+
+    def _perturb_prepared(
+        self,
+        values: np.ndarray,
+        mechanism: Mechanism,
+        accountant: WEventAccountant,
+        rng: np.random.Generator,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, float]":
+        n = values.size
+        inputs = np.empty(n)
+        perturbed = np.empty(n)
+        deviations = np.empty(n)
+
+        accumulated = 0.0
+        for t in range(n):
+            inputs[t] = float(np.clip(values[t] + accumulated, 0.0, 1.0))
+            perturbed[t] = float(mechanism.perturb(inputs[t], rng))
+            accountant.charge(t, self.epsilon_per_slot)
+            deviations[t] = values[t] - perturbed[t]
+            accumulated += deviations[t]
+        return inputs, perturbed, deviations, accumulated

@@ -1,0 +1,188 @@
+"""Shared machinery for stream perturbers (core algorithms and baselines).
+
+A :class:`StreamPerturber` turns an original stream in ``[0, 1]`` into a
+:class:`PerturbationResult` carrying everything both sides of the protocol
+see: the user-side bookkeeping (inputs, deviations, accumulated deviation)
+and the collector-side artifacts (perturbed reports and the published,
+post-processed stream).  Every perturber charges its spends through a
+:class:`~repro.privacy.WEventAccountant`, so a run that would violate
+w-event privacy fails loudly instead of silently overspending.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Type, Union
+
+import numpy as np
+
+from .._validation import (
+    ensure_epsilon,
+    ensure_in_unit_interval,
+    ensure_positive_int,
+    ensure_rng,
+    ensure_window,
+)
+from ..mechanisms import MECHANISM_REGISTRY, Mechanism, SquareWaveMechanism
+from ..privacy import WEventAccountant, per_slot_budget
+from .smoothing import simple_moving_average
+
+__all__ = ["PerturbationResult", "StreamPerturber", "resolve_mechanism_class"]
+
+#: default SMA window used by APP/CAPP in the paper's experiments
+DEFAULT_SMOOTHING_WINDOW = 3
+
+
+def resolve_mechanism_class(
+    mechanism: Union[str, Type[Mechanism], None],
+) -> Type[Mechanism]:
+    """Accept a registry name, a Mechanism subclass, or None (-> SW)."""
+    if mechanism is None:
+        return SquareWaveMechanism
+    if isinstance(mechanism, str):
+        key = mechanism.lower()
+        if key not in MECHANISM_REGISTRY:
+            known = ", ".join(sorted(MECHANISM_REGISTRY))
+            raise KeyError(f"unknown mechanism {mechanism!r}; known: {known}")
+        return MECHANISM_REGISTRY[key]
+    if isinstance(mechanism, type) and issubclass(mechanism, Mechanism):
+        return mechanism
+    raise TypeError(
+        "mechanism must be a registry name, a Mechanism subclass, or None; "
+        f"got {mechanism!r}"
+    )
+
+
+@dataclass
+class PerturbationResult:
+    """Everything produced by one pass of a stream perturber.
+
+    Attributes:
+        original: the user's true stream ``x_t``.
+        inputs: the values actually fed to the randomizer ``x^I_t`` (in the
+            canonical [0, 1] domain, after deviation adjustment, clipping
+            and — for CAPP — normalization).
+        perturbed: collector-visible reports ``x'_t`` in original units
+            (CAPP denormalizes before this point).
+        published: the collector's published stream (post-smoothing when
+            the algorithm smooths; otherwise equal to ``perturbed``).
+        deviations: per-slot deviations ``d_t = x_t - x'_t``.
+        accumulated_deviation: final value of the running deviation ``D``.
+        epsilon_per_slot: budget each slot consumed.
+        accountant: the w-event ledger charged during the run.
+    """
+
+    original: np.ndarray
+    inputs: np.ndarray
+    perturbed: np.ndarray
+    published: np.ndarray
+    deviations: np.ndarray
+    accumulated_deviation: float
+    epsilon_per_slot: float
+    accountant: WEventAccountant = field(repr=False)
+
+    def __len__(self) -> int:
+        return self.original.size
+
+    def mean_estimate(self) -> float:
+        """Collector-side subsequence mean (mean of the reports)."""
+        return float(np.mean(self.perturbed))
+
+    def published_mean(self) -> float:
+        """Mean of the published (possibly smoothed) stream."""
+        return float(np.mean(self.published))
+
+
+class StreamPerturber(abc.ABC):
+    """Base class for every stream algorithm (core and baseline).
+
+    Args:
+        epsilon: total w-event budget.
+        w: window size; each slot receives ``epsilon / w``.
+        mechanism: the randomizer family — registry name (``"sw"``,
+            ``"laplace"``, ``"pm"``, ``"sr"``, ``"hm"``), a
+            :class:`~repro.mechanisms.Mechanism` subclass, or ``None`` for
+            the Square Wave default.
+        smoothing_window: odd SMA window applied to the published stream;
+            ``None`` publishes the raw reports (the paper smooths APP and
+            CAPP with window 3, and leaves IPP and SW-direct raw).
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        w: int,
+        mechanism: Union[str, Type[Mechanism], None] = None,
+        smoothing_window: Optional[int] = None,
+    ) -> None:
+        self.epsilon = ensure_epsilon(epsilon)
+        self.w = ensure_window(w)
+        self.mechanism_class = resolve_mechanism_class(mechanism)
+        if smoothing_window is not None:
+            smoothing_window = ensure_positive_int(smoothing_window, "smoothing_window")
+            if smoothing_window % 2 == 0:
+                raise ValueError("smoothing_window must be odd")
+        self.smoothing_window = smoothing_window
+        self.epsilon_per_slot = per_slot_budget(self.epsilon, self.w)
+
+    # -- the algorithm ---------------------------------------------------
+
+    @abc.abstractmethod
+    def _perturb_prepared(
+        self,
+        values: np.ndarray,
+        mechanism: Mechanism,
+        accountant: WEventAccountant,
+        rng: np.random.Generator,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, float]":
+        """Run the algorithm on validated values.
+
+        Returns ``(inputs, perturbed, deviations, accumulated_deviation)``.
+        Implementations must charge ``accountant`` once per slot.
+        """
+
+    # -- public entry point ----------------------------------------------
+
+    def perturb_stream(
+        self,
+        values: Sequence[float],
+        rng: Optional[np.random.Generator] = None,
+    ) -> PerturbationResult:
+        """Perturb a full stream and assemble the result bundle."""
+        arr = ensure_in_unit_interval(values)
+        rng = ensure_rng(rng)
+        mechanism = self._make_mechanism()
+        accountant = WEventAccountant(self.epsilon, self.w)
+        inputs, perturbed, deviations, accumulated = self._perturb_prepared(
+            arr, mechanism, accountant, rng
+        )
+        published = self._publish(perturbed)
+        accountant.assert_valid()
+        return PerturbationResult(
+            original=arr,
+            inputs=inputs,
+            perturbed=perturbed,
+            published=published,
+            deviations=deviations,
+            accumulated_deviation=float(accumulated),
+            epsilon_per_slot=self.epsilon_per_slot,
+            accountant=accountant,
+        )
+
+    # -- hooks ------------------------------------------------------------
+
+    def _make_mechanism(self) -> Mechanism:
+        return self.mechanism_class(self.epsilon_per_slot)
+
+    def _publish(self, perturbed: np.ndarray) -> np.ndarray:
+        if self.smoothing_window is None or perturbed.size == 1:
+            return perturbed.copy()
+        return simple_moving_average(perturbed, self.smoothing_window)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(epsilon={self.epsilon}, w={self.w}, "
+            f"mechanism={self.mechanism_class.__name__}, "
+            f"smoothing_window={self.smoothing_window})"
+        )

@@ -1,0 +1,84 @@
+"""Clipped Accumulated Perturbation Parameterization (CAPP) — Alg. 2.
+
+CAPP refines APP's naive ``[0, 1]`` clipping: the deviation-adjusted input
+is clipped to a tuned range ``[l, u]``, affinely normalized into ``[0, 1]``
+for the SW mechanism, and the report is denormalized back.  Clipping and
+normalization are deterministic, so the w-event guarantee is untouched
+(Theorem 4), while the tuned range trades sensitivity error against
+discarding error (see :mod:`repro.core.clipping`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type, Union
+
+import numpy as np
+
+from ..mechanisms import Mechanism
+from ..privacy import WEventAccountant
+from .base import DEFAULT_SMOOTHING_WINDOW, StreamPerturber
+from .clipping import DEFAULT_DELTA_CLAMP, ClipBounds, choose_clip_bounds
+
+__all__ = ["CAPP"]
+
+
+class CAPP(StreamPerturber):
+    """Clipped Accumulated Perturbation Parameterization.
+
+    Args:
+        epsilon, w, mechanism, smoothing_window: as in
+            :class:`~repro.core.base.StreamPerturber`; the paper only
+            evaluates CAPP with the SW mechanism.
+        clip_bounds: explicit ``ClipBounds`` or ``(l, u)`` tuple; when
+            omitted the bounds come from the paper's error model
+            (Equation 11) at this perturber's per-slot budget.
+        delta_clamp: clamp range for the automatically chosen ``delta``
+            (ignored when ``clip_bounds`` is given); ``None`` uses the raw
+            Equation 11 value.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        w: int,
+        mechanism: Union[str, Type[Mechanism], None] = None,
+        smoothing_window: Optional[int] = DEFAULT_SMOOTHING_WINDOW,
+        clip_bounds: Union[ClipBounds, "tuple[float, float]", None] = None,
+        delta_clamp: Optional["tuple[float, float]"] = DEFAULT_DELTA_CLAMP,
+    ) -> None:
+        super().__init__(epsilon, w, mechanism, smoothing_window)
+        if clip_bounds is None:
+            self.clip_bounds = choose_clip_bounds(self.epsilon_per_slot, delta_clamp)
+        elif isinstance(clip_bounds, ClipBounds):
+            self.clip_bounds = clip_bounds
+        else:
+            low, high = clip_bounds
+            self.clip_bounds = ClipBounds(
+                low=float(low), high=float(high), delta=float(-low)
+            )
+
+    def _perturb_prepared(
+        self,
+        values: np.ndarray,
+        mechanism: Mechanism,
+        accountant: WEventAccountant,
+        rng: np.random.Generator,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, float]":
+        n = values.size
+        inputs = np.empty(n)
+        perturbed = np.empty(n)
+        deviations = np.empty(n)
+        low, high = self.clip_bounds.low, self.clip_bounds.high
+        width = self.clip_bounds.width
+
+        accumulated = 0.0
+        for t in range(n):
+            adjusted = float(np.clip(values[t] + accumulated, low, high))
+            normalized = (adjusted - low) / width
+            inputs[t] = normalized
+            report = float(mechanism.perturb(normalized, rng))
+            accountant.charge(t, self.epsilon_per_slot)
+            perturbed[t] = report * width + low  # denormalize to [l, u] scale
+            deviations[t] = values[t] - perturbed[t]
+            accumulated += deviations[t]
+        return inputs, perturbed, deviations, accumulated

@@ -1,0 +1,122 @@
+"""CAPP clip-bound selection (Section IV-B, "The choice of l and u").
+
+CAPP clips the deviation-adjusted input to ``[l, u]`` before normalizing it
+into the SW mechanism.  The paper balances two error terms evaluated at the
+worst case ``x = 1``:
+
+* **sensitivity error** ``e_s = e^{x - E[SW(x)]} - 1`` — what widening the
+  range costs (more sensitivity, more noise);
+* **discarding error** ``e_d = sqrt(Var(D_x))`` — what narrowing the range
+  costs (information thrown away by clipping);
+
+and sets ``delta = T(e_s, e_d) = e_s - e_d``, ``l = -delta``,
+``u = 1 + delta``.  Following the sensitivity study in Section VI-D-4 the
+recommended operating range is ``-0.25 <= delta <= 0.25``, so
+:func:`choose_clip_bounds` clamps by default (disable with
+``clamp=None``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .._validation import ensure_epsilon
+from ..mechanisms.moments import deviation_moments
+from ..mechanisms.square_wave import SquareWaveMechanism
+
+__all__ = [
+    "ClipBounds",
+    "sensitivity_error",
+    "discarding_error",
+    "clip_delta",
+    "choose_clip_bounds",
+    "DEFAULT_DELTA_CLAMP",
+]
+
+#: recommended delta operating range from the paper's sensitivity analysis
+DEFAULT_DELTA_CLAMP = (-0.25, 0.25)
+
+#: worst-case input used by the paper for both error terms
+_WORST_CASE_X = 1.0
+
+
+@dataclass(frozen=True)
+class ClipBounds:
+    """A CAPP clip range ``[low, high]`` with its originating ``delta``."""
+
+    low: float
+    high: float
+    delta: float
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ValueError(
+                f"clip range is empty: low={self.low} >= high={self.high}"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+
+def sensitivity_error(epsilon_per_slot: float) -> float:
+    """``e_s = e^{x - E[SW(x)]} - 1`` at the worst case ``x = 1``.
+
+    Vanishes for large budgets (no sensitivity reduction needed) and the
+    exponential amplifies even small expected deviations.
+    """
+    eps = ensure_epsilon(epsilon_per_slot, "epsilon_per_slot")
+    mech = SquareWaveMechanism(eps)
+    expected_gap = _WORST_CASE_X - float(mech.expected_output(_WORST_CASE_X))
+    return math.exp(expected_gap) - 1.0
+
+
+def discarding_error(epsilon_per_slot: float) -> float:
+    """``e_d = sqrt(Var(D_x))`` at the worst case ``x = 1``.
+
+    Grows as the budget shrinks: heavier perturbation means clipping to a
+    narrow range discards more information.
+    """
+    eps = ensure_epsilon(epsilon_per_slot, "epsilon_per_slot")
+    return deviation_moments(eps, x=_WORST_CASE_X).std
+
+
+def clip_delta(
+    epsilon_per_slot: float,
+    clamp: Optional["tuple[float, float]"] = DEFAULT_DELTA_CLAMP,
+) -> float:
+    """``delta = T(e_s, e_d) = e_s - e_d`` (Equation 11), optionally clamped."""
+    delta = sensitivity_error(epsilon_per_slot) - discarding_error(epsilon_per_slot)
+    if clamp is not None:
+        lo, hi = clamp
+        if lo > hi:
+            raise ValueError(f"clamp range is inverted: {clamp}")
+        delta = min(max(delta, lo), hi)
+    return delta
+
+
+def choose_clip_bounds(
+    epsilon_per_slot: float,
+    clamp: Optional["tuple[float, float]"] = DEFAULT_DELTA_CLAMP,
+) -> ClipBounds:
+    """Clip range ``l = -delta``, ``u = 1 + delta`` for CAPP.
+
+    Args:
+        epsilon_per_slot: the per-slot budget ``eps / w`` the mechanism will
+            actually run with.
+        clamp: inclusive range to clamp ``delta`` into; ``None`` disables
+            clamping (the paper's raw Equation 11).  The default follows the
+            paper's recommendation of ``[-0.25, 0.25]``.
+
+    Note:
+        ``delta <= -0.5`` would make the range empty; the clamp default
+        keeps well clear, and an explicit guard raises otherwise.
+    """
+    delta = clip_delta(epsilon_per_slot, clamp)
+    if delta <= -0.5:
+        raise ValueError(
+            f"delta={delta:.4g} collapses the clip range; clamp it above -0.5"
+        )
+    return ClipBounds(low=0.0 - delta, high=1.0 + delta, delta=delta)

@@ -1,0 +1,189 @@
+"""High-dimensional time-series strategies — Section IV-C, Figure 10.
+
+Two ways to spend a w-event budget across ``d`` dimensions:
+
+* **Budget-Split (BS)**: every slot uploads all ``d`` dimensions, each with
+  ``eps / (d * w)``; sequential composition inside a slot and across the
+  window keeps the total at ``eps``.
+* **Sample-Split (SS)**: every slot uploads exactly *one* dimension
+  (round-robin), with ``eps / w`` per upload; any window holds ``w``
+  uploads totalling ``eps``.  Each dimension is observed only every ``d``
+  slots and the gaps are filled by replication.
+
+Both strategies wrap an arbitrary per-dimension stream perturber (SW-direct
+for the baselines, APP/CAPP for the paper's improved variants).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .._validation import ensure_epsilon, ensure_rng, ensure_window
+from ..privacy import WEventAccountant
+from .base import PerturbationResult, StreamPerturber
+
+__all__ = [
+    "MultiDimResult",
+    "BudgetSplit",
+    "SampleSplit",
+]
+
+#: factory signature: (epsilon, w) -> StreamPerturber
+PerturberFactory = Callable[[float, int], StreamPerturber]
+
+
+@dataclass
+class MultiDimResult:
+    """Output of a multi-dimensional strategy.
+
+    Attributes:
+        original: ``(d, n)`` true matrix.
+        perturbed: ``(d, n)`` collector-visible matrix (replicated where a
+            dimension was not uploaded at a slot, for SS).
+        published: ``(d, n)`` published matrix (post-smoothing).
+        per_dimension: the inner result for each dimension.
+        accountant: slot-granularity ledger over the shared timeline.
+    """
+
+    original: np.ndarray
+    perturbed: np.ndarray
+    published: np.ndarray
+    per_dimension: "list[PerturbationResult]" = field(repr=False)
+    accountant: WEventAccountant = field(repr=False)
+
+    @property
+    def n_dimensions(self) -> int:
+        return self.original.shape[0]
+
+    def mean_estimates(self) -> np.ndarray:
+        """Per-dimension mean estimates."""
+        return self.perturbed.mean(axis=1)
+
+
+def _validate_matrix(values: Sequence[Sequence[float]]) -> np.ndarray:
+    matrix = np.asarray(values, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a (d, n) matrix, got shape {matrix.shape}")
+    if matrix.shape[0] < 1 or matrix.shape[1] < 1:
+        raise ValueError("matrix must have at least one dimension and one slot")
+    if not np.all(np.isfinite(matrix)):
+        raise ValueError("matrix must contain only finite values")
+    if matrix.min() < 0.0 or matrix.max() > 1.0:
+        raise ValueError("matrix values must lie in [0, 1]")
+    return matrix
+
+
+class BudgetSplit:
+    """Budget-Split strategy: all dimensions every slot, ``eps/(d w)`` each.
+
+    Args:
+        factory: builds the per-dimension perturber from ``(epsilon, w)``;
+            BS hands each dimension a total budget of ``eps / d``.
+        epsilon: total w-event budget across *all* dimensions.
+        w: window size.
+    """
+
+    def __init__(self, factory: PerturberFactory, epsilon: float, w: int) -> None:
+        self.factory = factory
+        self.epsilon = ensure_epsilon(epsilon)
+        self.w = ensure_window(w)
+
+    def perturb_matrix(
+        self,
+        values: Sequence[Sequence[float]],
+        rng: Optional[np.random.Generator] = None,
+    ) -> MultiDimResult:
+        matrix = _validate_matrix(values)
+        rng = ensure_rng(rng)
+        d, n = matrix.shape
+
+        per_dim_epsilon = self.epsilon / d
+        results = [
+            self.factory(per_dim_epsilon, self.w).perturb_stream(matrix[i], rng)
+            for i in range(d)
+        ]
+
+        accountant = WEventAccountant(self.epsilon, self.w)
+        per_slot = self.epsilon / (d * self.w)
+        for t in range(n):
+            for _ in range(d):
+                accountant.charge(t, per_slot)
+        accountant.assert_valid()
+
+        return MultiDimResult(
+            original=matrix,
+            perturbed=np.vstack([r.perturbed for r in results]),
+            published=np.vstack([r.published for r in results]),
+            per_dimension=results,
+            accountant=accountant,
+        )
+
+
+class SampleSplit:
+    """Sample-Split strategy: one dimension per slot, ``eps / w`` each.
+
+    Dimension ``i`` is uploaded at slots ``i, i + d, i + 2d, ...``; its
+    observed subsequence runs through the per-dimension perturber and the
+    reports are held (replicated) until the next upload.
+
+    Any ``w`` consecutive slots contain at most ``ceil(w / d)`` uploads of a
+    given dimension, so the inner perturber runs with window
+    ``ceil(w / d)`` and per-upload budget ``eps / w``.
+    """
+
+    def __init__(self, factory: PerturberFactory, epsilon: float, w: int) -> None:
+        self.factory = factory
+        self.epsilon = ensure_epsilon(epsilon)
+        self.w = ensure_window(w)
+
+    def perturb_matrix(
+        self,
+        values: Sequence[Sequence[float]],
+        rng: Optional[np.random.Generator] = None,
+    ) -> MultiDimResult:
+        matrix = _validate_matrix(values)
+        rng = ensure_rng(rng)
+        d, n = matrix.shape
+        if d > n:
+            raise ValueError(
+                f"Sample-Split needs at least d={d} slots, stream has {n}"
+            )
+
+        per_upload = self.epsilon / self.w
+        inner_window = math.ceil(self.w / d)
+        perturbed = np.empty_like(matrix)
+        published = np.empty_like(matrix)
+        results: "list[PerturbationResult]" = []
+
+        for i in range(d):
+            upload_slots = np.arange(i, n, d)
+            observed = matrix[i, upload_slots]
+            inner = self.factory(per_upload * inner_window, inner_window)
+            result = inner.perturb_stream(observed, rng)
+            results.append(result)
+            # Hold each report until the dimension's next upload; slots
+            # before the first upload reuse the first report.
+            positions = np.clip(
+                np.searchsorted(upload_slots, np.arange(n), side="right") - 1,
+                0,
+                upload_slots.size - 1,
+            )
+            perturbed[i] = result.perturbed[positions]
+            published[i] = result.published[positions]
+
+        accountant = WEventAccountant(self.epsilon, self.w)
+        for t in range(n):
+            accountant.charge(t, per_upload)
+        accountant.assert_valid()
+
+        return MultiDimResult(
+            original=matrix,
+            perturbed=perturbed,
+            published=published,
+            per_dimension=results,
+            accountant=accountant,
+        )

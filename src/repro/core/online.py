@@ -1,0 +1,241 @@
+"""Online (push-style) stream perturbers for unbounded streams.
+
+The batch :class:`~repro.core.base.StreamPerturber` API consumes a whole
+subsequence at once — convenient for experiments, but a deployed client
+sees one value per time slot and must report immediately.  The online
+perturbers here expose exactly that protocol::
+
+    publisher = OnlineCAPP(epsilon=1.0, w=24)
+    for x in sensor_readings():          # possibly infinite
+        report = publisher.submit(x)     # perturb + charge budget now
+        send_to_collector(report)
+
+Each ``submit`` charges the w-event accountant at the current slot, so an
+online publisher can run forever at a constant ``eps / w`` rate.  The
+implementations mirror the batch algorithms step for step; given the same
+generator state they produce bit-identical reports (tested).
+
+Collector-side smoothing is available incrementally through
+:class:`OnlineSmoother`, which emits the centered-SMA value for a slot as
+soon as its right context is complete (i.e. with a ``k``-slot delay).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+import numpy as np
+
+from .._validation import (
+    ensure_epsilon,
+    ensure_positive_int,
+    ensure_rng,
+    ensure_window,
+)
+from ..mechanisms import Mechanism, SquareWaveMechanism
+from ..privacy import WEventAccountant
+from .clipping import DEFAULT_DELTA_CLAMP, ClipBounds, choose_clip_bounds
+
+__all__ = [
+    "OnlinePerturber",
+    "OnlineSWDirect",
+    "OnlineIPP",
+    "OnlineAPP",
+    "OnlineCAPP",
+    "OnlineSmoother",
+]
+
+
+class OnlinePerturber(abc.ABC):
+    """Base class for push-style perturbers.
+
+    Args:
+        epsilon: total w-event budget.
+        w: window size (per-slot budget ``epsilon / w``).
+        rng: randomness source used by every subsequent :meth:`submit`.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        w: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.epsilon = ensure_epsilon(epsilon)
+        self.w = ensure_window(w)
+        self.epsilon_per_slot = self.epsilon / self.w
+        self.accountant = WEventAccountant(self.epsilon, self.w)
+        self._rng = ensure_rng(rng)
+        self._t = 0
+
+    @property
+    def slots_processed(self) -> int:
+        """Number of values submitted so far."""
+        return self._t
+
+    @abc.abstractmethod
+    def _perturb_one(self, x: float) -> float:
+        """Algorithm-specific single-slot step (state update included)."""
+
+    def submit(self, x: float) -> float:
+        """Perturb one stream value and return its report.
+
+        Raises:
+            ValueError: if ``x`` is outside ``[0, 1]`` or not finite.
+        """
+        value = float(x)
+        if not np.isfinite(value):
+            raise ValueError("submitted value must be finite")
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"submitted value must lie in [0, 1], got {value}")
+        report = self._perturb_one(value)
+        self.accountant.charge(self._t, self.epsilon_per_slot)
+        self._t += 1
+        return report
+
+    def submit_many(self, values: "list[float] | np.ndarray") -> np.ndarray:
+        """Convenience loop over :meth:`submit`."""
+        return np.array([self.submit(v) for v in np.asarray(values, dtype=float)])
+
+    def skip(self) -> None:
+        """Advance one slot without reporting (user offline / no reading).
+
+        The slot spends zero budget; the w-event guarantee is unaffected
+        (skipping can only reduce window spends).  Algorithm state
+        (accumulated deviations) is left untouched — the next report
+        corrects for everything reported so far, which is exactly the
+        dual-utilization semantics.
+        """
+        self.accountant.charge(self._t, 0.0)
+        self._t += 1
+
+
+class OnlineSWDirect(OnlinePerturber):
+    """Per-slot SW reporting (the online SW-direct baseline)."""
+
+    def __init__(self, epsilon, w, rng=None):
+        super().__init__(epsilon, w, rng)
+        self._mechanism: Mechanism = SquareWaveMechanism(self.epsilon_per_slot)
+
+    def _perturb_one(self, x: float) -> float:
+        return float(self._mechanism.perturb(x, self._rng))
+
+
+class OnlineIPP(OnlinePerturber):
+    """Online Iterative Perturbation Parameterization (Section III-C)."""
+
+    def __init__(self, epsilon, w, rng=None):
+        super().__init__(epsilon, w, rng)
+        self._mechanism = SquareWaveMechanism(self.epsilon_per_slot)
+        self._last_deviation = 0.0
+
+    def _perturb_one(self, x: float) -> float:
+        adjusted = float(np.clip(x + self._last_deviation, 0.0, 1.0))
+        report = float(self._mechanism.perturb(adjusted, self._rng))
+        self._last_deviation = x - report
+        return report
+
+
+class OnlineAPP(OnlinePerturber):
+    """Online Accumulated Perturbation Parameterization (Algorithm 1)."""
+
+    def __init__(self, epsilon, w, rng=None):
+        super().__init__(epsilon, w, rng)
+        self._mechanism = SquareWaveMechanism(self.epsilon_per_slot)
+        self.accumulated_deviation = 0.0
+
+    def _perturb_one(self, x: float) -> float:
+        adjusted = float(np.clip(x + self.accumulated_deviation, 0.0, 1.0))
+        report = float(self._mechanism.perturb(adjusted, self._rng))
+        self.accumulated_deviation += x - report
+        return report
+
+
+class OnlineCAPP(OnlinePerturber):
+    """Online Clipped Accumulated Perturbation Parameterization (Alg. 2)."""
+
+    def __init__(
+        self,
+        epsilon,
+        w,
+        rng=None,
+        clip_bounds: Optional[ClipBounds] = None,
+        delta_clamp: Optional["tuple[float, float]"] = DEFAULT_DELTA_CLAMP,
+    ):
+        super().__init__(epsilon, w, rng)
+        self._mechanism = SquareWaveMechanism(self.epsilon_per_slot)
+        self.clip_bounds = clip_bounds or choose_clip_bounds(
+            self.epsilon_per_slot, delta_clamp
+        )
+        self.accumulated_deviation = 0.0
+
+    def _perturb_one(self, x: float) -> float:
+        low, high = self.clip_bounds.low, self.clip_bounds.high
+        width = self.clip_bounds.width
+        adjusted = float(np.clip(x + self.accumulated_deviation, low, high))
+        normalized = (adjusted - low) / width
+        raw = float(self._mechanism.perturb(normalized, self._rng))
+        report = raw * width + low
+        self.accumulated_deviation += x - report
+        return report
+
+
+class OnlineSmoother:
+    """Incremental centered SMA with the batch algorithm's boundary rule.
+
+    Feeding reports one at a time, :meth:`push` returns the smoothed value
+    for the oldest slot whose full right context has arrived (``None``
+    while warming up); :meth:`flush` emits the remaining boundary slots.
+    The concatenated output equals
+    :func:`repro.core.smoothing.simple_moving_average` on the full series
+    (tested), so collectors can smooth infinite streams with ``k`` slots
+    of latency and O(window) memory.
+    """
+
+    def __init__(self, window: int) -> None:
+        window = ensure_positive_int(window, "window")
+        if window % 2 == 0:
+            raise ValueError("window must be odd (centered SMA)")
+        self.window = window
+        self.k = window // 2
+        self._buffer: List[float] = []
+        self._emitted = 0  # index of the next slot to emit
+        self._received = 0
+
+    def push(self, value: float) -> "list[float]":
+        """Add one report; return smoothed values that became final."""
+        self._buffer.append(float(value))
+        self._received += 1
+        out: List[float] = []
+        # Slot t is final once slot t + k has arrived.
+        while self._emitted + self.k < self._received:
+            out.append(self._smooth_at(self._emitted))
+            self._emitted += 1
+        # Keep only what future windows need.
+        self._trim()
+        return out
+
+    def flush(self) -> "list[float]":
+        """Emit the trailing boundary slots (stream ended)."""
+        out: List[float] = []
+        while self._emitted < self._received:
+            out.append(self._smooth_at(self._emitted))
+            self._emitted += 1
+        return out
+
+    def _smooth_at(self, t: int) -> float:
+        offset = self._received - len(self._buffer)
+        lo = max(0, t - self.k) - offset
+        hi = min(self._received - 1, t + self.k) - offset
+        window = self._buffer[lo : hi + 1]
+        return float(sum(window) / len(window))
+
+    def _trim(self) -> None:
+        # The earliest slot any future emission can reference is
+        # (next-to-emit) - k.
+        keep_from = max(0, self._emitted - self.k)
+        offset = self._received - len(self._buffer)
+        drop = keep_from - offset
+        if drop > 0:
+            del self._buffer[:drop]

@@ -1,0 +1,110 @@
+"""Serialization of perturbation results (collector-side persistence).
+
+A deployment stores published streams and their provenance; these helpers
+turn :class:`~repro.core.base.PerturbationResult` and
+:class:`~repro.core.sampling.SamplingResult` into JSON-safe dicts and
+back.  The w-event ledger is summarized (budget, window, max spend)
+rather than replayed — the audit already ran before serialization.
+
+Privacy note: ``to_public_dict`` strips the user-side fields (original
+values, inputs, deviations) so the artifact can safely leave the client;
+``to_dict`` keeps everything for local archival.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from ..privacy import WEventAccountant
+from .base import PerturbationResult
+from .sampling import SamplingResult
+
+__all__ = [
+    "result_to_dict",
+    "result_to_public_dict",
+    "result_from_dict",
+    "dumps_result",
+    "loads_result",
+]
+
+_FORMAT = "repro.perturbation-result.v1"
+
+
+def _accountant_summary(accountant: WEventAccountant) -> Dict[str, float]:
+    return {
+        "epsilon": accountant.epsilon,
+        "w": accountant.w,
+        "max_window_spend": accountant.max_window_spend(),
+        "slots": accountant.current_slot + 1,
+    }
+
+
+def result_to_dict(result: PerturbationResult) -> Dict[str, Any]:
+    """Full (user-side) dict representation."""
+    return {
+        "format": _FORMAT,
+        "kind": "sampling" if isinstance(result, SamplingResult) else "stream",
+        "original": result.original.tolist(),
+        "perturbed": result.perturbed.tolist(),
+        "published": result.published.tolist(),
+        **(
+            {
+                "segment_means": result.segment_means.tolist(),
+                "segment_reports": result.segment_reports.tolist(),
+                "n_samples": result.n_samples,
+                "segment_length": result.segment_length,
+                "epsilon_per_sample": result.epsilon_per_sample,
+            }
+            if isinstance(result, SamplingResult)
+            else {
+                "inputs": result.inputs.tolist(),
+                "deviations": result.deviations.tolist(),
+                "accumulated_deviation": result.accumulated_deviation,
+                "epsilon_per_slot": result.epsilon_per_slot,
+            }
+        ),
+        "accountant": _accountant_summary(result.accountant),
+    }
+
+
+def result_to_public_dict(result: PerturbationResult) -> Dict[str, Any]:
+    """Collector-safe dict: sanitized fields only (no true values)."""
+    full = result_to_dict(result)
+    for secret in ("original", "inputs", "deviations", "segment_means",
+                   "accumulated_deviation"):
+        full.pop(secret, None)
+    return full
+
+
+def result_from_dict(data: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    """Restore the array payload of a serialized result.
+
+    Returns a dict of numpy arrays / scalars rather than reconstructing
+    the live result object (the accountant's full history is summarized,
+    not stored).
+    """
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"unsupported result format {data.get('format')!r}")
+    restored: Dict[str, Any] = {}
+    for key, value in data.items():
+        if key in ("format", "kind", "accountant"):
+            restored[key] = value
+        elif isinstance(value, list):
+            restored[key] = np.asarray(value, dtype=float)
+        else:
+            restored[key] = value
+    return restored
+
+
+def dumps_result(result: PerturbationResult, public: bool = False) -> str:
+    """JSON string of a result (``public=True`` strips user-side fields)."""
+    payload = result_to_public_dict(result) if public else result_to_dict(result)
+    return json.dumps(payload)
+
+
+def loads_result(text: str) -> Dict[str, Any]:
+    """Inverse of :func:`dumps_result`."""
+    return result_from_dict(json.loads(text))

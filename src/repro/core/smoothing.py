@@ -1,0 +1,59 @@
+"""Simple Moving Average post-processing (Section IV-A, Lemma IV.1).
+
+The paper smooths APP/CAPP outputs with a centered SMA of window
+``2k + 1``; boundary positions average whatever values are available.
+Smoothing is collector-side post-processing, so it is privacy-free, and it
+preserves the stream mean up to boundary effects while dividing the
+per-point noise variance by the window size (Lemma IV.1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import ensure_positive_int, ensure_stream
+
+__all__ = ["simple_moving_average", "smoothing_variance_reduction"]
+
+
+def simple_moving_average(values: Sequence[float], window: int) -> np.ndarray:
+    """Centered SMA with shrinking boundary windows.
+
+    Args:
+        values: the series to smooth.
+        window: full window size ``2k + 1``; must be odd and positive.
+            ``window=1`` returns a copy unchanged.
+
+    Returns:
+        Smoothed array of the same length.
+    """
+    arr = ensure_stream(values)
+    window = ensure_positive_int(window, "window")
+    if window % 2 == 0:
+        raise ValueError(f"window must be odd (centered SMA), got {window}")
+    if window == 1 or arr.size == 1:
+        return arr.copy()
+
+    k = window // 2
+    # Prefix-sum formulation handles the shrinking boundary windows exactly:
+    # position t averages indices [max(0, t-k), min(n-1, t+k)].
+    prefix = np.concatenate([[0.0], np.cumsum(arr)])
+    n = arr.size
+    idx = np.arange(n)
+    lo = np.maximum(idx - k, 0)
+    hi = np.minimum(idx + k, n - 1)
+    return (prefix[hi + 1] - prefix[lo]) / (hi - lo + 1)
+
+
+def smoothing_variance_reduction(window: int) -> float:
+    """Interior-point variance factor of SMA: ``1 / window`` (Lemma IV.1).
+
+    For i.i.d. per-point noise the smoothed variance is the raw variance
+    divided by the window size.
+    """
+    window = ensure_positive_int(window, "window")
+    if window % 2 == 0:
+        raise ValueError(f"window must be odd (centered SMA), got {window}")
+    return 1.0 / window

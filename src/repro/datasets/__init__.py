@@ -1,0 +1,60 @@
+"""Dataset substrate: synthetic generators and real-dataset substitutes."""
+
+from .loaders import (
+    C6H6_LENGTH,
+    POWER_LENGTH,
+    POWER_USERS,
+    TAXI_LENGTH,
+    TAXI_USERS,
+    VOLUME_LENGTH,
+    c6h6_stream,
+    power_matrix,
+    taxi_matrix,
+    volume_stream,
+)
+from .normalize import NormalizationParams, denormalize, minmax_normalize
+from .profile import (
+    StreamProfile,
+    autocorrelation,
+    constancy_fraction,
+    profile_stream,
+    seasonality_strength,
+)
+from .registry import MATRIX_DATASETS, STREAM_DATASETS, load_matrix, load_stream
+from .synthetic import (
+    constant_stream,
+    pulse_stream,
+    random_walk_stream,
+    sin_matrix,
+    sinusoidal_stream,
+)
+
+__all__ = [
+    "volume_stream",
+    "c6h6_stream",
+    "taxi_matrix",
+    "power_matrix",
+    "constant_stream",
+    "pulse_stream",
+    "sinusoidal_stream",
+    "random_walk_stream",
+    "sin_matrix",
+    "minmax_normalize",
+    "denormalize",
+    "NormalizationParams",
+    "load_stream",
+    "load_matrix",
+    "STREAM_DATASETS",
+    "MATRIX_DATASETS",
+    "VOLUME_LENGTH",
+    "C6H6_LENGTH",
+    "TAXI_USERS",
+    "TAXI_LENGTH",
+    "POWER_USERS",
+    "POWER_LENGTH",
+    "StreamProfile",
+    "profile_stream",
+    "autocorrelation",
+    "constancy_fraction",
+    "seasonality_strength",
+]

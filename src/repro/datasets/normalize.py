@@ -1,0 +1,45 @@
+"""Normalization helpers for bringing raw streams into the canonical domain."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["minmax_normalize", "denormalize", "NormalizationParams"]
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NormalizationParams:
+    """Affine parameters recording how a stream was normalized."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ValueError(
+                f"degenerate normalization range [{self.low}, {self.high}]"
+            )
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        return (np.asarray(values, dtype=float) - self.low) / (self.high - self.low)
+
+    def invert(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=float) * (self.high - self.low) + self.low
+
+
+def minmax_normalize(values: np.ndarray) -> np.ndarray:
+    """Min-max rescale to ``[0, 1]`` (constant input maps to all-0.5)."""
+    arr = np.asarray(values, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("values must be finite")
+    low, high = float(arr.min()), float(arr.max())
+    if low == high:
+        return np.full_like(arr, 0.5)
+    return (arr - low) / (high - low)
+
+
+def denormalize(values: np.ndarray, low: float, high: float) -> np.ndarray:
+    """Invert a min-max normalization given the original range."""
+    return NormalizationParams(low, high).invert(values)

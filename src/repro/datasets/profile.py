@@ -1,0 +1,92 @@
+"""Dataset profiling: the statistics behind DESIGN.md's substitutions.
+
+The real Volume/C6H6/Taxi/Power datasets are replaced by synthetic
+generators; this module computes the structural properties the stream
+algorithms are actually sensitive to — range, autocorrelation,
+seasonality strength, constancy — so the substitution claims are
+checkable by code (and tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import ensure_positive_int, ensure_stream
+
+__all__ = ["StreamProfile", "profile_stream", "constancy_fraction", "autocorrelation", "seasonality_strength"]
+
+
+def autocorrelation(values: Sequence[float], lag: int = 1) -> float:
+    """Pearson autocorrelation at the given lag (0 for constant streams)."""
+    arr = ensure_stream(values)
+    lag = ensure_positive_int(lag, "lag")
+    if lag >= arr.size:
+        raise ValueError(f"lag {lag} too large for stream of length {arr.size}")
+    a, b = arr[:-lag], arr[lag:]
+    if np.std(a) == 0.0 or np.std(b) == 0.0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def constancy_fraction(values: Sequence[float], atol: float = 1e-12) -> float:
+    """Fraction of consecutive pairs that are (nearly) equal."""
+    arr = ensure_stream(values)
+    if arr.size == 1:
+        return 1.0
+    return float(np.mean(np.abs(np.diff(arr)) <= atol))
+
+
+def seasonality_strength(values: Sequence[float], period: int) -> float:
+    """Variance share explained by the mean seasonal profile (0..1)."""
+    arr = ensure_stream(values)
+    period = ensure_positive_int(period, "period")
+    if period >= arr.size:
+        raise ValueError(f"period {period} too large for stream of length {arr.size}")
+    usable = (arr.size // period) * period
+    if usable < 2 * period:
+        raise ValueError("need at least two full periods")
+    folded = arr[:usable].reshape(-1, period)
+    seasonal = folded.mean(axis=0)
+    total_var = float(arr[:usable].var())
+    if total_var == 0.0:
+        return 0.0
+    return float(np.clip(seasonal.var() / total_var, 0.0, 1.0))
+
+
+@dataclass(frozen=True)
+class StreamProfile:
+    """Structural summary of a stream."""
+
+    length: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+    lag1_autocorrelation: float
+    constancy: float
+
+    def summary(self) -> str:
+        """One-line human-readable profile."""
+        return (
+            f"n={self.length} range=[{self.minimum:.3f}, {self.maximum:.3f}] "
+            f"mean={self.mean:.3f} std={self.std:.3f} "
+            f"rho1={self.lag1_autocorrelation:.3f} const={self.constancy:.2%}"
+        )
+
+
+def profile_stream(values: Sequence[float]) -> StreamProfile:
+    """Compute the full structural profile of one stream."""
+    arr = ensure_stream(values)
+    lag1 = autocorrelation(arr, 1) if arr.size > 1 else 0.0
+    return StreamProfile(
+        length=int(arr.size),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        lag1_autocorrelation=lag1,
+        constancy=constancy_fraction(arr),
+    )

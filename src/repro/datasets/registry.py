@@ -1,0 +1,94 @@
+"""Name-based dataset registry used by the experiment configs.
+
+``load_stream`` returns single-user streams and ``load_matrix`` returns
+multi-user matrices; both accept ``length``/``n_users`` overrides so tests
+and benchmarks can run on reduced sizes while examples use paper scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .loaders import c6h6_stream, power_matrix, taxi_matrix, volume_stream
+from .synthetic import (
+    constant_stream,
+    pulse_stream,
+    random_walk_stream,
+    sin_matrix,
+    sinusoidal_stream,
+)
+
+__all__ = ["load_stream", "load_matrix", "STREAM_DATASETS", "MATRIX_DATASETS"]
+
+#: single-user stream datasets and their default lengths
+STREAM_DATASETS = {
+    "volume": 48_204,
+    "c6h6": 9_358,
+    "constant": 1_000,
+    "pulse": 1_000,
+    "sinusoidal": 1_000,
+}
+
+#: multi-user matrix datasets and their default (users, length)
+MATRIX_DATASETS = {
+    "taxi": (1_500, 1_307),
+    "power": (2_000, 96),
+}
+
+
+def load_stream(
+    name: str,
+    length: Optional[int] = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Load a single-user stream by name (values in ``[0, 1]``).
+
+    For the multi-user datasets (``taxi``, ``power``) this returns the
+    stream of user ``seed % n_users`` so single-stream experiments can
+    still draw from them.
+    """
+    key = name.lower()
+    if key == "volume":
+        return volume_stream(length or STREAM_DATASETS["volume"])
+    if key == "c6h6":
+        return c6h6_stream(length or STREAM_DATASETS["c6h6"])
+    if key == "constant":
+        return constant_stream(length or STREAM_DATASETS["constant"])
+    if key == "pulse":
+        return pulse_stream(length or STREAM_DATASETS["pulse"])
+    if key == "sinusoidal":
+        return sinusoidal_stream(length or STREAM_DATASETS["sinusoidal"])
+    if key in MATRIX_DATASETS:
+        # Single-stream extraction: generate a small user pool and pick a
+        # row deterministically (avoids materializing thousands of users).
+        pool = 8
+        matrix = load_matrix(key, n_users=pool, length=length)
+        return matrix[seed % pool]
+    if key == "random_walk":
+        return random_walk_stream(
+            length or 1_000, rng=np.random.default_rng(seed)
+        )
+    known = sorted(set(STREAM_DATASETS) | set(MATRIX_DATASETS) | {"random_walk"})
+    raise KeyError(f"unknown dataset {name!r}; known: {', '.join(known)}")
+
+
+def load_matrix(
+    name: str,
+    n_users: Optional[int] = None,
+    length: Optional[int] = None,
+    n_dimensions: Optional[int] = None,
+) -> np.ndarray:
+    """Load a multi-user (or multi-dimensional) matrix by name."""
+    key = name.lower()
+    if key == "taxi":
+        users, slots = MATRIX_DATASETS["taxi"]
+        return taxi_matrix(n_users or users, length or slots)
+    if key == "power":
+        users, slots = MATRIX_DATASETS["power"]
+        return power_matrix(n_users or users, length or slots)
+    if key in {"sin", "sin-data", "sin_data"}:
+        return sin_matrix(n_dimensions or 5, length or 400)
+    known = sorted(set(MATRIX_DATASETS) | {"sin-data"})
+    raise KeyError(f"unknown matrix dataset {name!r}; known: {', '.join(known)}")

@@ -1,0 +1,98 @@
+"""Synthetic stream generators used directly by the paper.
+
+Section VI-D evaluates on four synthetic shapes: Constant (x = 0.1), Pulse
+(a 1 every five slots, zeros elsewhere), Sinusoidal, and "Sin-data" — a
+``d``-dimensional matrix of sinusoids with varying frequencies (Fig. 10).
+All generators emit values in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._validation import ensure_positive_int, ensure_rng
+
+__all__ = [
+    "constant_stream",
+    "pulse_stream",
+    "sinusoidal_stream",
+    "random_walk_stream",
+    "sin_matrix",
+]
+
+
+def constant_stream(length: int, value: float = 0.1) -> np.ndarray:
+    """A stream pinned at ``value`` (paper default 0.1)."""
+    length = ensure_positive_int(length, "length")
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"value must lie in [0, 1], got {value}")
+    return np.full(length, float(value))
+
+
+def pulse_stream(length: int, period: int = 5, high: float = 1.0) -> np.ndarray:
+    """Zeros with a ``high`` pulse every ``period`` slots (paper default 5)."""
+    length = ensure_positive_int(length, "length")
+    period = ensure_positive_int(period, "period")
+    if not 0.0 <= high <= 1.0:
+        raise ValueError(f"high must lie in [0, 1], got {high}")
+    stream = np.zeros(length)
+    stream[period - 1 :: period] = high
+    return stream
+
+
+def sinusoidal_stream(
+    length: int,
+    cycles: float = 4.0,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """A sinusoid rescaled into ``[0, 1]`` completing ``cycles`` periods."""
+    length = ensure_positive_int(length, "length")
+    if cycles <= 0:
+        raise ValueError(f"cycles must be positive, got {cycles}")
+    t = np.arange(length, dtype=float)
+    wave = np.sin(2.0 * np.pi * cycles * t / length + phase)
+    return (wave + 1.0) / 2.0
+
+
+def random_walk_stream(
+    length: int,
+    step_scale: float = 0.02,
+    start: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """A reflected Gaussian random walk confined to ``[0, 1]``."""
+    length = ensure_positive_int(length, "length")
+    if step_scale <= 0:
+        raise ValueError(f"step_scale must be positive, got {step_scale}")
+    if not 0.0 <= start <= 1.0:
+        raise ValueError(f"start must lie in [0, 1], got {start}")
+    rng = ensure_rng(rng)
+    steps = rng.normal(0.0, step_scale, size=length)
+    steps[0] = 0.0
+    walk = start + np.cumsum(steps)
+    # Reflect into [0, 1]: fold the walk at both boundaries.
+    folded = np.mod(walk, 2.0)
+    return np.where(folded > 1.0, 2.0 - folded, folded)
+
+
+def sin_matrix(
+    n_dimensions: int,
+    length: int,
+    base_cycles: float = 2.0,
+    cycle_step: float = 1.0,
+) -> np.ndarray:
+    """The paper's "Sin-data": ``d`` sinusoids with varying frequencies.
+
+    Dimension ``i`` completes ``base_cycles + i * cycle_step`` periods, so
+    every dimension carries distinct temporal structure (Fig. 10 uses
+    d = 5 and d = 10).
+    """
+    n_dimensions = ensure_positive_int(n_dimensions, "n_dimensions")
+    length = ensure_positive_int(length, "length")
+    rows = [
+        sinusoidal_stream(length, cycles=base_cycles + i * cycle_step, phase=0.31 * i)
+        for i in range(n_dimensions)
+    ]
+    return np.vstack(rows)

@@ -1,0 +1,74 @@
+"""Experiment harness: one runner per table/figure of the paper."""
+
+from .figures import (
+    DEFAULT_EPSILONS,
+    FIG6_PANELS,
+    FIG8_PANELS,
+    FIG9_ALGORITHMS,
+    FIG10_STRATEGIES,
+    NON_SAMPLING_ALGORITHMS,
+    SAMPLING_ALGORITHMS,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+)
+from .distribution_study import run_distribution_study
+from .io import ResultDocument, load_results, save_results
+from .models_study import run_models_study
+from .registry import ALGORITHM_FACTORIES, algorithm_names, make_algorithm
+from .plotting import line_chart, sparkline, sweep_chart
+from .reporting import format_sweep, format_table
+from .runner import (
+    SweepResult,
+    mean_squared_error_of_mean,
+    publication_cosine_distance,
+    publication_jsd,
+    run_epsilon_sweep,
+    sample_subsequences,
+)
+from .table1 import TABLE1_ALGORITHMS, format_table1, run_table1
+
+__all__ = [
+    "DEFAULT_EPSILONS",
+    "NON_SAMPLING_ALGORITHMS",
+    "SAMPLING_ALGORITHMS",
+    "FIG6_PANELS",
+    "FIG8_PANELS",
+    "FIG9_ALGORITHMS",
+    "FIG10_STRATEGIES",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_table1",
+    "format_table1",
+    "TABLE1_ALGORITHMS",
+    "make_algorithm",
+    "algorithm_names",
+    "ALGORITHM_FACTORIES",
+    "run_epsilon_sweep",
+    "sample_subsequences",
+    "mean_squared_error_of_mean",
+    "publication_cosine_distance",
+    "publication_jsd",
+    "SweepResult",
+    "format_table",
+    "format_sweep",
+    "ResultDocument",
+    "save_results",
+    "load_results",
+    "run_models_study",
+    "run_distribution_study",
+    "sparkline",
+    "line_chart",
+    "sweep_chart",
+]

@@ -1,0 +1,269 @@
+"""Command-line interface for regenerating the paper's experiments.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig4 --datasets c6h6 volume --windows 10 30 --scale 0.5
+    python -m repro fig11 --scale 0.25
+    python -m repro list
+
+``--scale`` multiplies the default subsequence/repeat counts, letting a
+laptop trade accuracy for speed (1.0 reproduces the bench defaults).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .figures import (
+    DEFAULT_EPSILONS,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+)
+from .reporting import format_sweep, format_table
+from .table1 import format_table1, run_table1
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _scaled(base: int, scale: float) -> int:
+    return max(int(round(base * scale)), 1)
+
+
+def _run_table1(args: argparse.Namespace) -> str:
+    result = run_table1(
+        windows=tuple(args.windows or (20, 40, 60)),
+        datasets=tuple(args.datasets or ("c6h6", "taxi")),
+        n_subsequences=_scaled(15, args.scale),
+        stream_length=_scaled(800, args.scale),
+        seed=args.seed,
+    )
+    return format_table1(result)
+
+
+def _run_fig_grid(runner: Callable, title: str) -> Callable[[argparse.Namespace], str]:
+    def _run(args: argparse.Namespace) -> str:
+        kwargs = dict(
+            epsilons=tuple(args.epsilons or (0.5, 1.0, 2.0, 3.0)),
+            n_subsequences=_scaled(20, args.scale),
+            n_repeats=max(int(round(2 * args.scale)), 1),
+            stream_length=_scaled(800, args.scale),
+            seed=args.seed,
+        )
+        if args.datasets:
+            kwargs["datasets"] = tuple(args.datasets)
+        if args.windows:
+            kwargs["windows"] = tuple(args.windows)
+        result = runner(**kwargs)
+        blocks = []
+        for dataset, per_w in result.items():
+            for w, series in per_w.items():
+                blocks.append(
+                    format_sweep(
+                        list(kwargs["epsilons"]),
+                        series,
+                        title=f"{title} {dataset} w={w}",
+                    )
+                )
+        return "\n\n".join(blocks)
+
+    return _run
+
+
+def _run_fig6_like(runner: Callable, title: str) -> Callable[[argparse.Namespace], str]:
+    def _run(args: argparse.Namespace) -> str:
+        epsilons = tuple(args.epsilons or (0.5, 1.0, 2.0, 3.0))
+        result = runner(
+            epsilons=epsilons,
+            n_subsequences=_scaled(20, args.scale),
+            n_repeats=max(int(round(2 * args.scale)), 1),
+            stream_length=_scaled(800, args.scale),
+            seed=args.seed,
+        )
+        blocks = [
+            format_sweep(list(epsilons), series, title=f"{title} {key}")
+            for key, series in result.items()
+        ]
+        return "\n\n".join(blocks)
+
+    return _run
+
+
+def _run_fig8(args: argparse.Namespace) -> str:
+    epsilons = tuple(args.epsilons or (0.5, 1.0, 2.0, 3.0))
+    result = run_fig8(
+        epsilons=epsilons,
+        n_users=_scaled(120, args.scale),
+        n_repeats=max(int(round(3 * args.scale)), 1),
+        seed=args.seed,
+    )
+    return "\n\n".join(
+        format_sweep(list(epsilons), series, title=f"Fig.8 {key}")
+        for key, series in result.items()
+    )
+
+
+def _run_fig9(args: argparse.Namespace) -> str:
+    epsilons = tuple(args.epsilons or (0.5, 1.0, 2.0, 3.0))
+    result = run_fig9(
+        datasets=tuple(args.datasets or ("c6h6", "volume")),
+        epsilons=epsilons,
+        n_subsequences=_scaled(20, args.scale),
+        stream_length=_scaled(800, args.scale),
+        seed=args.seed,
+    )
+    blocks = []
+    for dataset, metrics in result.items():
+        for metric, series in metrics.items():
+            blocks.append(
+                format_sweep(list(epsilons), series, title=f"Fig.9 {dataset} ({metric})")
+            )
+    return "\n\n".join(blocks)
+
+
+def _run_fig10(args: argparse.Namespace) -> str:
+    epsilons = tuple(args.epsilons or (0.5, 1.0, 2.0, 3.0))
+    result = run_fig10(
+        epsilons=epsilons,
+        length=_scaled(150, args.scale),
+        n_repeats=max(int(round(4 * args.scale)), 1),
+        seed=args.seed,
+    )
+    blocks = []
+    for d, metrics in result.items():
+        for metric, series in metrics.items():
+            blocks.append(
+                format_sweep(list(epsilons), series, title=f"Fig.10 d={d} ({metric})")
+            )
+    return "\n\n".join(blocks)
+
+
+def _run_fig11(args: argparse.Namespace) -> str:
+    import numpy as np
+
+    deltas = tuple(np.round(np.arange(-0.45, 0.51, 0.15), 2))
+    epsilons = tuple(args.epsilons or (0.5, 1.0, 3.0, 5.0))
+    result = run_fig11(
+        datasets=tuple(args.datasets or ("constant", "pulse", "sinusoidal", "c6h6")),
+        epsilons=epsilons,
+        deltas=deltas,
+        n_subsequences=_scaled(15, args.scale),
+        stream_length=_scaled(400, args.scale),
+        seed=args.seed,
+    )
+    blocks = []
+    for dataset, per_eps in result.items():
+        headers = ["eps"] + [f"d={d:g}" for d in deltas]
+        rows = [[f"{eps:g}"] + list(series) for eps, series in per_eps.items()]
+        blocks.append(format_table(headers, rows, title=f"Fig.11 {dataset}"))
+    return "\n\n".join(blocks)
+
+
+def _run_models(args: argparse.Namespace) -> str:
+    import numpy as np
+
+    from ..datasets import load_stream
+    from .models_study import run_models_study
+
+    stream = load_stream((args.datasets or ["c6h6"])[0], length=_scaled(400, args.scale))
+    horizon = min(stream.size, 60)
+    study = run_models_study(
+        stream[:horizon],
+        epsilon=(args.epsilons or [1.0])[0],
+        w=(args.windows or [10])[0],
+        n_repeats=_scaled(10, args.scale),
+        rng=np.random.default_rng(args.seed),
+    )
+    rows = [
+        [name, m["per_slot"], int(m["protected_span"]), m["mean_mse"], m["cosine"]]
+        for name, m in study.items()
+    ]
+    return format_table(
+        ["model", "eps/slot", "protected span", "mean MSE", "cosine"],
+        rows,
+        title="Privacy models: utility vs protection",
+    )
+
+
+def _run_distribution(args: argparse.Namespace) -> str:
+    import numpy as np
+
+    from .distribution_study import run_distribution_study
+
+    epsilons = tuple(args.epsilons or (0.1, 0.5, 1.0, 2.0))
+    study = run_distribution_study(
+        epsilons=epsilons,
+        n_users=_scaled(4_000, args.scale),
+        rng=np.random.default_rng(args.seed),
+    )
+    rows = [[shape] + [per_eps[e] for e in epsilons] for shape, per_eps in study.items()]
+    return format_table(
+        ["population"] + [f"eps={e:g}" for e in epsilons],
+        rows,
+        title="Per-slot EM distribution reconstruction (Wasserstein)",
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "table1": _run_table1,
+    "models": _run_models,
+    "distribution": _run_distribution,
+    "fig4": _run_fig_grid(run_fig4, "Fig.4"),
+    "fig5": _run_fig_grid(run_fig5, "Fig.5"),
+    "fig6": _run_fig6_like(run_fig6, "Fig.6"),
+    "fig7": _run_fig6_like(run_fig7, "Fig.7"),
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list"],
+        help="which experiment to run ('list' prints the catalogue)",
+    )
+    parser.add_argument("--datasets", nargs="*", help="dataset names override")
+    parser.add_argument("--windows", nargs="*", type=int, help="window sizes override")
+    parser.add_argument(
+        "--epsilons", nargs="*", type=float, help="privacy budget grid override"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiplier on subsequence/repeat counts (default 1.0)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.scale <= 0:
+        print("--scale must be positive", file=sys.stderr)
+        return 2
+    print(EXPERIMENTS[args.experiment](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,401 @@
+"""Runners for every figure in Section VI.
+
+Each ``run_figN`` mirrors the corresponding figure's grid; all accept
+scale-reduction knobs (``n_subsequences``, ``n_repeats``,
+``stream_length``, dataset sizes) so benchmarks finish quickly while
+examples can run at paper scale.  Values are returned in plain dicts keyed
+the way the figure panels are.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..analysis import crowd_mean_distribution_distance
+from ..core import BudgetSplit, CAPP, SampleSplit
+from ..datasets import load_matrix, load_stream, sin_matrix
+from ..metrics import cosine_distance
+from .registry import make_algorithm
+from .runner import (
+    mean_squared_error_of_mean,
+    publication_cosine_distance,
+    run_epsilon_sweep,
+    sample_subsequences,
+)
+
+__all__ = [
+    "DEFAULT_EPSILONS",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+]
+
+#: the paper's privacy-budget grid
+DEFAULT_EPSILONS = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0)
+
+NON_SAMPLING_ALGORITHMS = ("sw-direct", "ba-sw", "ipp", "app", "capp")
+SAMPLING_ALGORITHMS = ("sw-direct", "app", "capp", "sampling", "app-s", "capp-s")
+
+SweepDict = Dict[str, "list[float]"]
+
+
+def _sweep_grid(
+    datasets: Sequence[str],
+    windows: Sequence[int],
+    algorithms: Sequence[str],
+    epsilons: Sequence[float],
+    metric: Callable,
+    query_length: Optional[int],
+    n_subsequences: int,
+    n_repeats: int,
+    stream_length: int,
+    seed: int,
+) -> "Dict[str, Dict[int, SweepDict]]":
+    result: Dict[str, Dict[int, SweepDict]] = {}
+    for dataset in datasets:
+        stream = load_stream(dataset, length=stream_length)
+        result[dataset] = {}
+        for w in windows:
+            sweep = run_epsilon_sweep(
+                stream,
+                algorithms,
+                epsilons=epsilons,
+                w=w,
+                query_length=query_length,
+                metric=metric,
+                n_subsequences=n_subsequences,
+                n_repeats=n_repeats,
+                seed=seed,
+            )
+            result[dataset][w] = sweep.values
+    return result
+
+
+def run_fig4(
+    datasets: Sequence[str] = ("c6h6", "volume", "taxi", "power"),
+    windows: Sequence[int] = (10, 30, 50),
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    algorithms: Sequence[str] = NON_SAMPLING_ALGORITHMS,
+    n_subsequences: int = 50,
+    n_repeats: int = 1,
+    stream_length: int = 2_000,
+    seed: int = 0,
+) -> "Dict[str, Dict[int, SweepDict]]":
+    """Fig. 4: mean-estimation MSE vs eps, per dataset and window size."""
+    return _sweep_grid(
+        datasets,
+        windows,
+        algorithms,
+        epsilons,
+        mean_squared_error_of_mean,
+        None,
+        n_subsequences,
+        n_repeats,
+        stream_length,
+        seed,
+    )
+
+
+def run_fig5(
+    datasets: Sequence[str] = ("c6h6", "volume", "taxi", "power"),
+    windows: Sequence[int] = (10, 30, 50),
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    algorithms: Sequence[str] = NON_SAMPLING_ALGORITHMS,
+    n_subsequences: int = 50,
+    n_repeats: int = 1,
+    stream_length: int = 2_000,
+    seed: int = 0,
+) -> "Dict[str, Dict[int, SweepDict]]":
+    """Fig. 5: publication cosine distance vs eps."""
+    return _sweep_grid(
+        datasets,
+        windows,
+        algorithms,
+        epsilons,
+        publication_cosine_distance,
+        None,
+        n_subsequences,
+        n_repeats,
+        stream_length,
+        seed,
+    )
+
+
+#: Fig. 6/7 panel configurations: (dataset, w, q)
+FIG6_PANELS = (
+    ("volume", 20, 10),
+    ("volume", 30, 10),
+    ("volume", 30, 20),
+    ("volume", 30, 40),
+    ("volume", 20, 30),
+    ("c6h6", 20, 30),
+    ("power", 20, 30),
+    ("taxi", 20, 30),
+)
+
+
+def run_fig6(
+    panels: Sequence["tuple[str, int, int]"] = FIG6_PANELS,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    algorithms: Sequence[str] = SAMPLING_ALGORITHMS,
+    n_subsequences: int = 50,
+    n_repeats: int = 1,
+    stream_length: int = 2_000,
+    seed: int = 0,
+) -> "Dict[tuple, SweepDict]":
+    """Fig. 6: mean-estimation MSE, sampling vs non-sampling."""
+    result: Dict[tuple, SweepDict] = {}
+    for dataset, w, q in panels:
+        stream = load_stream(dataset, length=stream_length)
+        sweep = run_epsilon_sweep(
+            stream,
+            algorithms,
+            epsilons=epsilons,
+            w=w,
+            query_length=q,
+            metric=mean_squared_error_of_mean,
+            n_subsequences=n_subsequences,
+            n_repeats=n_repeats,
+            seed=seed,
+        )
+        result[(dataset, w, q)] = sweep.values
+    return result
+
+
+def run_fig7(
+    panels: Sequence["tuple[str, int, int]"] = FIG6_PANELS,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    algorithms: Sequence[str] = SAMPLING_ALGORITHMS,
+    n_subsequences: int = 50,
+    n_repeats: int = 1,
+    stream_length: int = 2_000,
+    seed: int = 0,
+) -> "Dict[tuple, SweepDict]":
+    """Fig. 7: publication cosine distance, sampling vs non-sampling."""
+    result: Dict[tuple, SweepDict] = {}
+    for dataset, w, q in panels:
+        stream = load_stream(dataset, length=stream_length)
+        sweep = run_epsilon_sweep(
+            stream,
+            algorithms,
+            epsilons=epsilons,
+            w=w,
+            query_length=q,
+            metric=publication_cosine_distance,
+            n_subsequences=n_subsequences,
+            n_repeats=n_repeats,
+            seed=seed,
+        )
+        result[(dataset, w, q)] = sweep.values
+    return result
+
+
+#: Fig. 8 panels: (dataset, w, q, sampling?)
+FIG8_PANELS = (
+    ("taxi", 10, 10, False),
+    ("taxi", 30, 30, False),
+    ("power", 10, 10, False),
+    ("power", 30, 30, False),
+    ("taxi", 20, 10, True),
+    ("taxi", 20, 30, True),
+    ("taxi", 30, 10, True),
+    ("taxi", 30, 40, True),
+)
+
+
+def run_fig8(
+    panels: Sequence["tuple[str, int, int, bool]"] = FIG8_PANELS,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    n_users: int = 200,
+    n_repeats: int = 1,
+    seed: int = 0,
+) -> "Dict[tuple, SweepDict]":
+    """Fig. 8: Wasserstein distance between estimated and true mean
+    distributions across the user population (averaged over repeats)."""
+    non_sampling = ("sw-direct", "ba-sw", "ipp", "app", "capp")
+    sampling = ("sw-direct", "app", "capp", "sampling", "app-s", "capp-s")
+    result: Dict[tuple, SweepDict] = {}
+    for dataset, w, q, use_sampling in panels:
+        matrix = load_matrix(dataset, n_users=n_users)
+        rng = np.random.default_rng(seed)
+        start = int(rng.integers(0, matrix.shape[1] - q + 1))
+        block = matrix[:, start : start + q]
+        algorithms = sampling if use_sampling else non_sampling
+        values: SweepDict = {name: [] for name in algorithms}
+        for epsilon in epsilons:
+            for name in algorithms:
+                distances = [
+                    crowd_mean_distribution_distance(
+                        block,
+                        factory=lambda n=name, e=epsilon: make_algorithm(n, e, w),
+                        rng=rng,
+                    )
+                    for _ in range(n_repeats)
+                ]
+                values[name].append(float(np.mean(distances)))
+        result[(dataset, w, q, use_sampling)] = values
+    return result
+
+
+FIG9_ALGORITHMS = (
+    "laplace-direct",
+    "laplace-app",
+    "sr-direct",
+    "sr-app",
+    "pm-direct",
+    "pm-app",
+    "sw-direct",
+    "sw-app",
+)
+
+
+def run_fig9(
+    datasets: Sequence[str] = ("c6h6", "volume"),
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    w: int = 10,
+    n_subsequences: int = 50,
+    n_repeats: int = 1,
+    stream_length: int = 2_000,
+    seed: int = 0,
+) -> "Dict[str, Dict[str, SweepDict]]":
+    """Fig. 9: mechanism generalizability (MSE and cosine distance)."""
+    result: Dict[str, Dict[str, SweepDict]] = {}
+    for dataset in datasets:
+        stream = load_stream(dataset, length=stream_length)
+        mse_sweep = run_epsilon_sweep(
+            stream,
+            FIG9_ALGORITHMS,
+            epsilons=epsilons,
+            w=w,
+            metric=mean_squared_error_of_mean,
+            n_subsequences=n_subsequences,
+            n_repeats=n_repeats,
+            seed=seed,
+        )
+        cos_sweep = run_epsilon_sweep(
+            stream,
+            FIG9_ALGORITHMS,
+            epsilons=epsilons,
+            w=w,
+            metric=publication_cosine_distance,
+            n_subsequences=n_subsequences,
+            n_repeats=n_repeats,
+            seed=seed,
+        )
+        result[dataset] = {"mse": mse_sweep.values, "cosine": cos_sweep.values}
+    return result
+
+
+#: Fig. 10 strategies: name -> (strategy class, per-dimension factory name)
+FIG10_STRATEGIES = (
+    ("sw-bs", BudgetSplit, "sw-direct"),
+    ("app-bs", BudgetSplit, "app"),
+    ("capp-bs", BudgetSplit, "capp"),
+    ("sw-ss", SampleSplit, "sw-direct"),
+    ("app-ss", SampleSplit, "app"),
+    ("capp-ss", SampleSplit, "capp"),
+)
+
+
+def run_fig10(
+    dimensions: Sequence[int] = (5, 10),
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    w: int = 10,
+    length: int = 200,
+    n_repeats: int = 3,
+    seed: int = 0,
+) -> "Dict[int, Dict[str, Dict[str, list]]]":
+    """Fig. 10: Budget-Split vs Sample-Split on Sin-data.
+
+    Returns ``result[d][metric][strategy] -> series over epsilons`` with
+    metrics ``"mse"`` (per-dimension mean estimation, averaged) and
+    ``"cosine"`` (published vs true, averaged over dimensions).
+    """
+    result: Dict[int, Dict[str, Dict[str, list]]] = {}
+    for d in dimensions:
+        matrix = sin_matrix(d, length)
+        true_means = matrix.mean(axis=1)
+        per_metric: Dict[str, Dict[str, list]] = {
+            "mse": {name: [] for name, _, _ in FIG10_STRATEGIES},
+            "cosine": {name: [] for name, _, _ in FIG10_STRATEGIES},
+        }
+        for epsilon in epsilons:
+            for name, strategy_cls, inner_name in FIG10_STRATEGIES:
+                rng = np.random.default_rng(seed)
+                mse_scores, cos_scores = [], []
+                for _ in range(n_repeats):
+                    strategy = strategy_cls(
+                        factory=lambda e, win, inner=inner_name: make_algorithm(
+                            inner, e, win
+                        ),
+                        epsilon=epsilon,
+                        w=w,
+                    )
+                    run = strategy.perturb_matrix(matrix, rng)
+                    mse_scores.append(
+                        float(np.mean((run.mean_estimates() - true_means) ** 2))
+                    )
+                    cos_scores.append(
+                        float(
+                            np.mean(
+                                [
+                                    cosine_distance(run.published[i], matrix[i])
+                                    for i in range(d)
+                                ]
+                            )
+                        )
+                    )
+                per_metric["mse"][name].append(float(np.mean(mse_scores)))
+                per_metric["cosine"][name].append(float(np.mean(cos_scores)))
+        result[d] = per_metric
+    return result
+
+
+def run_fig11(
+    datasets: Sequence[str] = ("constant", "pulse", "sinusoidal", "c6h6"),
+    epsilons: Sequence[float] = (0.5, 1.0, 2.0, 3.0, 5.0),
+    deltas: Sequence[float] = tuple(np.round(np.arange(-0.45, 0.51, 0.05), 2)),
+    w: int = 10,
+    n_subsequences: int = 20,
+    n_repeats: int = 1,
+    stream_length: int = 1_000,
+    seed: int = 0,
+) -> "Dict[str, Dict[float, list]]":
+    """Fig. 11: sensitivity of the CAPP clip parameter delta on MSE.
+
+    Returns ``result[dataset][epsilon] -> MSE series over deltas`` (the
+    paper sweeps delta in [-1, 0.5]; deltas <= -0.5 collapse the clip range
+    and are excluded).
+    """
+    result: Dict[str, Dict[float, list]] = {}
+    for dataset in datasets:
+        stream = load_stream(dataset, length=stream_length)
+        rng = np.random.default_rng(seed)
+        subsequences = sample_subsequences(stream, w, n_subsequences, rng)
+        per_eps: Dict[float, list] = {}
+        for epsilon in epsilons:
+            series = []
+            for delta in deltas:
+                scores = []
+                for sub in subsequences:
+                    capp = CAPP(
+                        epsilon,
+                        w,
+                        clip_bounds=(0.0 - delta, 1.0 + delta),
+                    )
+                    for _ in range(n_repeats):
+                        run = capp.perturb_stream(sub, rng)
+                        scores.append(
+                            (run.mean_estimate() - float(sub.mean())) ** 2
+                        )
+                series.append(float(np.mean(scores)))
+            per_eps[float(epsilon)] = series
+        result[dataset] = per_eps
+    return result

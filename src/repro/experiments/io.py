@@ -1,0 +1,85 @@
+"""Persistence for experiment results (JSON round-trip).
+
+Sweep results and grid results are plain nested dicts with tuple keys in
+some runners; these helpers normalize them into a JSON-safe document with
+enough metadata to regenerate plots or diff runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["ResultDocument", "save_results", "load_results"]
+
+#: document format version (bump on breaking layout changes)
+FORMAT_VERSION = 1
+
+
+@dataclass
+class ResultDocument:
+    """A named experiment result plus its run parameters."""
+
+    experiment: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    results: Dict[str, Any] = field(default_factory=dict)
+    version: int = FORMAT_VERSION
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "ResultDocument":
+        data = json.loads(text)
+        version = data.get("version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported result document version {version!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        return ResultDocument(
+            experiment=data["experiment"],
+            parameters=data.get("parameters", {}),
+            results=data.get("results", {}),
+            version=version,
+        )
+
+
+def _stringify_keys(obj: Any) -> Any:
+    """Recursively convert non-string dict keys (tuples, ints) to strings."""
+    if isinstance(obj, dict):
+        return {
+            (k if isinstance(k, str) else repr(k)): _stringify_keys(v)
+            for k, v in obj.items()
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_stringify_keys(v) for v in obj]
+    if hasattr(obj, "tolist"):  # numpy array or scalar
+        return obj.tolist()
+    return obj
+
+
+def save_results(
+    path: str,
+    experiment: str,
+    results: Dict[str, Any],
+    parameters: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write an experiment result document to ``path`` (JSON)."""
+    document = ResultDocument(
+        experiment=experiment,
+        parameters=_stringify_keys(parameters or {}),
+        results=_stringify_keys(results),
+    )
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(document.to_json())
+
+
+def load_results(path: str) -> ResultDocument:
+    """Read a result document previously written by :func:`save_results`."""
+    with open(path) as fh:
+        return ResultDocument.from_json(fh.read())

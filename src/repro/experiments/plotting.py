@@ -1,0 +1,94 @@
+"""Terminal plotting for experiment results (no matplotlib required).
+
+Offline environments rarely have plotting stacks; these helpers render
+sweeps and streams as Unicode charts good enough to see the paper's
+shapes — orderings, trends, crossovers — straight in the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from .._validation import ensure_positive_int, ensure_stream
+
+__all__ = ["sparkline", "line_chart", "sweep_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line Unicode sparkline of a series."""
+    arr = ensure_stream(values)
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi == lo:
+        return _SPARK_LEVELS[0] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(v))] for v in scaled)
+
+
+def line_chart(
+    values: Sequence[float],
+    height: int = 10,
+    width: Optional[int] = None,
+    title: str = "",
+) -> str:
+    """Multi-row dot chart of one series.
+
+    Args:
+        values: the series to plot.
+        height: chart rows.
+        width: downsample the series to this many columns (default: no
+            downsampling).
+        title: optional first line.
+    """
+    arr = ensure_stream(values)
+    height = ensure_positive_int(height, "height")
+    if width is not None:
+        width = ensure_positive_int(width, "width")
+        if arr.size > width:
+            # Bucket means preserve shape better than strided sampling.
+            edges = np.linspace(0, arr.size, width + 1).astype(int)
+            arr = np.array(
+                [arr[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+            )
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo or 1.0
+    rows = [[" "] * arr.size for _ in range(height)]
+    for x, value in enumerate(arr):
+        y = int(round((value - lo) / span * (height - 1)))
+        rows[height - 1 - y][x] = "•"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:.4g} ┐")
+    lines.extend("      │" + "".join(row) for row in rows)
+    lines.append(f"{lo:.4g} ┘")
+    return "\n".join(lines)
+
+
+def sweep_chart(
+    epsilons: Sequence[float],
+    values: Mapping[str, Sequence[float]],
+    title: str = "",
+    log_scale: bool = False,
+) -> str:
+    """Per-algorithm sparklines for an epsilon sweep, annotated with range.
+
+    ``log_scale`` sparkifies ``log10`` of the values — useful when a
+    baseline (e.g. ToPL) is orders of magnitude above the rest.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("eps grid: " + "  ".join(f"{e:g}" for e in epsilons))
+    name_width = max((len(name) for name in values), default=0)
+    for name in sorted(values):
+        series = np.asarray(values[name], dtype=float)
+        shown = np.log10(np.maximum(series, 1e-300)) if log_scale else series
+        lines.append(
+            f"{name.ljust(name_width)}  {sparkline(shown)}  "
+            f"[{series.min():.3g} .. {series.max():.3g}]"
+        )
+    return "\n".join(lines)

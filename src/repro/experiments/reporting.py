@@ -1,0 +1,50 @@
+"""Plain-text rendering of experiment results (paper-style tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+__all__ = ["format_table", "format_sweep"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats are formatted with ``float_format``; other values with ``str``.
+    """
+    rendered = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered)) if rendered else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_sweep(
+    epsilons: Sequence[float],
+    values: Mapping[str, Sequence[float]],
+    title: str = "",
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render an epsilon sweep as one row per algorithm."""
+    headers = ["algorithm"] + [f"eps={e:g}" for e in epsilons]
+    rows = [[name] + [float(v) for v in series] for name, series in sorted(values.items())]
+    return format_table(headers, rows, title=title, float_format=float_format)

@@ -1,0 +1,146 @@
+"""Generic experiment runner shared by every table and figure.
+
+The paper's protocol (Section VI-B): draw 50 random subsequences of the
+query length from each dataset, run every algorithm on each subsequence,
+and average the utility metric over subsequences and repetitions.  The
+runner fixes seeds so results are reproducible while remaining i.i.d.
+across subsequences/repetitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from .._validation import ensure_positive_int, ensure_rng, ensure_stream
+from ..core.base import StreamPerturber
+from ..metrics import cosine_distance, jensen_shannon_divergence, mse
+from .registry import make_algorithm
+
+__all__ = [
+    "sample_subsequences",
+    "mean_squared_error_of_mean",
+    "publication_cosine_distance",
+    "publication_jsd",
+    "SweepResult",
+    "run_epsilon_sweep",
+]
+
+Metric = Callable[[StreamPerturber, np.ndarray, np.random.Generator], float]
+
+
+def sample_subsequences(
+    stream: Sequence[float],
+    length: int,
+    count: int,
+    rng: Optional[np.random.Generator] = None,
+) -> "list[np.ndarray]":
+    """Draw ``count`` random subsequences of ``length`` slots.
+
+    Sampling is with replacement over start offsets, matching the paper's
+    "50 randomly sampled time subsequences".
+    """
+    arr = ensure_stream(stream)
+    length = ensure_positive_int(length, "length")
+    count = ensure_positive_int(count, "count")
+    if length > arr.size:
+        raise ValueError(
+            f"subsequence length {length} exceeds stream length {arr.size}"
+        )
+    rng = ensure_rng(rng)
+    starts = rng.integers(0, arr.size - length + 1, size=count)
+    return [arr[s : s + length] for s in starts]
+
+
+def mean_squared_error_of_mean(
+    perturber: StreamPerturber,
+    subsequence: np.ndarray,
+    rng: np.random.Generator,
+) -> float:
+    """Squared error of the collector's subsequence-mean estimate."""
+    result = perturber.perturb_stream(subsequence, rng)
+    return (result.mean_estimate() - float(subsequence.mean())) ** 2
+
+
+def publication_cosine_distance(
+    perturber: StreamPerturber,
+    subsequence: np.ndarray,
+    rng: np.random.Generator,
+) -> float:
+    """Cosine distance between the published and true streams."""
+    result = perturber.perturb_stream(subsequence, rng)
+    return cosine_distance(result.published, subsequence)
+
+
+def publication_jsd(
+    perturber: StreamPerturber,
+    subsequence: np.ndarray,
+    rng: np.random.Generator,
+) -> float:
+    """JSD between value histograms of the published and true streams."""
+    result = perturber.perturb_stream(subsequence, rng)
+    return jensen_shannon_divergence(result.published, subsequence)
+
+
+@dataclass
+class SweepResult:
+    """Result of one epsilon sweep: ``values[algorithm][i]`` at ``epsilons[i]``."""
+
+    epsilons: "list[float]"
+    values: "Dict[str, list[float]]"
+
+    def best_algorithm(self, epsilon_index: int) -> str:
+        """Name of the algorithm with the smallest value at one epsilon."""
+        return min(self.values, key=lambda name: self.values[name][epsilon_index])
+
+    def as_rows(self) -> "list[tuple[str, list[float]]]":
+        """Rows sorted by algorithm name (for printing)."""
+        return sorted(self.values.items())
+
+
+def run_epsilon_sweep(
+    stream: Sequence[float],
+    algorithms: Iterable[str],
+    epsilons: Sequence[float],
+    w: int,
+    query_length: Optional[int] = None,
+    metric: Metric = mean_squared_error_of_mean,
+    n_subsequences: int = 50,
+    n_repeats: int = 1,
+    seed: int = 0,
+) -> SweepResult:
+    """Evaluate algorithms across a privacy-budget grid.
+
+    Args:
+        stream: the full dataset stream.
+        algorithms: registry names to compare.
+        epsilons: budget grid (the paper uses 0.5 .. 3.0).
+        w: window size.
+        query_length: subsequence length ``q`` (defaults to ``w``, the
+            paper's Figs. 4-5 protocol).
+        metric: per-(algorithm, subsequence) utility functional.
+        n_subsequences: how many random subsequences to average over.
+        n_repeats: independent perturbation repetitions per subsequence.
+        seed: seed for both subsequence sampling and perturbation.
+
+    Returns:
+        A :class:`SweepResult` with one averaged value per
+        (algorithm, epsilon).
+    """
+    q = query_length or w
+    rng = np.random.default_rng(seed)
+    subsequences = sample_subsequences(stream, q, n_subsequences, rng)
+    n_repeats = ensure_positive_int(n_repeats, "n_repeats")
+
+    values: Dict[str, list] = {name: [] for name in algorithms}
+    for epsilon in epsilons:
+        for name in values:
+            scores = []
+            for sub in subsequences:
+                perturber = make_algorithm(name, epsilon, w)
+                for _ in range(n_repeats):
+                    scores.append(metric(perturber, sub, rng))
+            values[name].append(float(np.mean(scores)))
+    return SweepResult(epsilons=[float(e) for e in epsilons], values=values)

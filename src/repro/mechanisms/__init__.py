@@ -1,0 +1,62 @@
+"""LDP numerical mechanisms — the randomizer substrate of the library.
+
+All mechanisms share the canonical input domain ``[0, 1]`` (see
+:class:`~repro.mechanisms.base.Mechanism`).  The Square Wave mechanism is
+the paper's primary randomizer; Laplace, PM, SR, and HM support the
+generalizability study (Fig. 9) and the ToPL baseline (Table I).
+"""
+
+from .base import Mechanism, OutputDomain
+from .duchi import DuchiMechanism
+from .hybrid import HybridMechanism
+from .laplace import LaplaceMechanism
+from .moments import (
+    DeviationMoments,
+    deviation_expectation_closed_form,
+    deviation_moments,
+    deviation_variance_closed_form,
+    output_moments_at_one,
+    sampling_objective,
+    variance_of_sample_variance,
+)
+from .piecewise import PiecewiseMechanism
+from .square_wave import SquareWaveMechanism, sw_half_width, sw_probabilities
+
+__all__ = [
+    "Mechanism",
+    "OutputDomain",
+    "SquareWaveMechanism",
+    "LaplaceMechanism",
+    "PiecewiseMechanism",
+    "DuchiMechanism",
+    "HybridMechanism",
+    "sw_half_width",
+    "sw_probabilities",
+    "DeviationMoments",
+    "deviation_moments",
+    "deviation_expectation_closed_form",
+    "deviation_variance_closed_form",
+    "output_moments_at_one",
+    "variance_of_sample_variance",
+    "sampling_objective",
+    "MECHANISM_REGISTRY",
+    "make_mechanism",
+]
+
+#: Name -> class registry used by experiment configs (Fig. 9).
+MECHANISM_REGISTRY = {
+    "sw": SquareWaveMechanism,
+    "laplace": LaplaceMechanism,
+    "pm": PiecewiseMechanism,
+    "sr": DuchiMechanism,
+    "hm": HybridMechanism,
+}
+
+
+def make_mechanism(name: str, epsilon: float) -> Mechanism:
+    """Instantiate a mechanism by registry name (case-insensitive)."""
+    key = name.lower()
+    if key not in MECHANISM_REGISTRY:
+        known = ", ".join(sorted(MECHANISM_REGISTRY))
+        raise KeyError(f"unknown mechanism {name!r}; known: {known}")
+    return MECHANISM_REGISTRY[key](epsilon)

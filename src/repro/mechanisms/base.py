@@ -1,0 +1,126 @@
+"""Abstract interface shared by every LDP numerical mechanism.
+
+All mechanisms in :mod:`repro.mechanisms` operate on the *canonical input
+domain* ``[0, 1]``: the stream algorithms normalize their data once and every
+randomizer speaks the same language.  Mechanisms whose natural formulation
+lives on ``[-1, 1]`` (Laplace, PM, SR, HM) handle the affine re-scaling
+internally so that, for every mechanism, ``perturb`` is unbiased *in the
+canonical domain* whenever the underlying mechanism is unbiased.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from .._validation import ensure_epsilon, ensure_rng
+
+__all__ = ["Mechanism", "OutputDomain"]
+
+
+@dataclass(frozen=True)
+class OutputDomain:
+    """Support of a mechanism's output in the canonical domain.
+
+    ``low``/``high`` may be ``-inf``/``inf`` for unbounded mechanisms
+    (e.g. Laplace).  ``discrete`` marks mechanisms with a finite output
+    alphabet (e.g. Duchi's SR, which emits one of two points).
+    """
+
+    low: float
+    high: float
+    discrete: bool = False
+
+    def __post_init__(self) -> None:
+        if self.low >= self.high:
+            raise ValueError(
+                f"output domain is empty: low={self.low} >= high={self.high}"
+            )
+
+    @property
+    def is_bounded(self) -> bool:
+        """True when both endpoints are finite."""
+        return math.isfinite(self.low) and math.isfinite(self.high)
+
+    @property
+    def width(self) -> float:
+        """Length of the support (``inf`` for unbounded mechanisms)."""
+        return self.high - self.low
+
+    def contains(self, values: Union[float, np.ndarray], atol: float = 1e-9) -> np.ndarray:
+        """Element-wise membership test with a small numeric tolerance."""
+        arr = np.asarray(values, dtype=float)
+        return (arr >= self.low - atol) & (arr <= self.high + atol)
+
+
+class Mechanism(abc.ABC):
+    """A numerical ``epsilon``-LDP randomizer on the canonical domain [0, 1].
+
+    Subclasses must be *pure* given an external random generator: every
+    source of randomness flows through the ``rng`` argument of
+    :meth:`perturb`, which keeps experiments reproducible.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        self._epsilon = ensure_epsilon(epsilon)
+
+    @property
+    def epsilon(self) -> float:
+        """Privacy budget consumed by one invocation of :meth:`perturb`."""
+        return self._epsilon
+
+    @property
+    @abc.abstractmethod
+    def output_domain(self) -> OutputDomain:
+        """Support of the output in the canonical domain."""
+
+    @abc.abstractmethod
+    def perturb(
+        self,
+        values: Union[float, np.ndarray],
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Randomize canonical-domain inputs.
+
+        Args:
+            values: scalar or array of inputs, each in ``[0, 1]``.
+            rng: source of randomness; a fresh default generator is used
+                when omitted.
+
+        Returns:
+            Array of perturbed values with the same shape as ``values``
+            (scalars come back as 0-d arrays; use ``float()`` if needed).
+        """
+
+    @abc.abstractmethod
+    def expected_output(self, x: Union[float, np.ndarray]) -> np.ndarray:
+        """``E[perturb(x)]`` as a function of the true input."""
+
+    @abc.abstractmethod
+    def output_variance(self, x: Union[float, np.ndarray]) -> np.ndarray:
+        """``Var[perturb(x)]`` as a function of the true input."""
+
+    # -- shared helpers -------------------------------------------------
+
+    def _prepare(
+        self,
+        values: Union[float, np.ndarray],
+        rng: Optional[np.random.Generator],
+    ) -> "tuple[np.ndarray, np.random.Generator]":
+        """Validate inputs and normalize the generator (for subclasses)."""
+        arr = np.asarray(values, dtype=float)
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("inputs to perturb must be finite")
+        if arr.size and (arr.min() < -1e-9 or arr.max() > 1 + 1e-9):
+            raise ValueError(
+                "inputs to perturb must lie in the canonical domain [0, 1]; "
+                f"observed range [{arr.min():.6g}, {arr.max():.6g}]"
+            )
+        return np.clip(arr, 0.0, 1.0), ensure_rng(rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(epsilon={self._epsilon!r})"

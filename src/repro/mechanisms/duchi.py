@@ -1,0 +1,65 @@
+"""Duchi et al.'s one-dimensional SR mechanism (minimax optimal for means).
+
+Native formulation: input ``t`` in ``[-1, 1]``; the output is one of two
+points ``±C'`` with ``C' = (e^eps + 1) / (e^eps - 1)``, and
+
+    Pr[y = C'] = (e^eps - 1) / (2 e^eps + 2) * t + 1/2,
+
+which makes the mechanism unbiased.  The binary alphabet is exactly why the
+paper finds it loses "substantial temporal information" (Section IV-C).
+
+Canonical wrapper: same affine maps as the other native ``[-1, 1]``
+mechanisms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+from .base import Mechanism, OutputDomain
+
+__all__ = ["DuchiMechanism"]
+
+
+class DuchiMechanism(Mechanism):
+    """Duchi's SR randomizer with the canonical ``[0, 1]`` interface."""
+
+    def __init__(self, epsilon: float) -> None:
+        super().__init__(epsilon)
+        e_eps = math.exp(self._epsilon)
+        self.magnitude = (e_eps + 1.0) / (e_eps - 1.0)
+        self._slope = (e_eps - 1.0) / (2.0 * e_eps + 2.0)
+
+    @property
+    def output_domain(self) -> OutputDomain:
+        return OutputDomain(
+            low=(1.0 - self.magnitude) / 2.0,
+            high=(1.0 + self.magnitude) / 2.0,
+            discrete=True,
+        )
+
+    def positive_probability(self, x: Union[float, np.ndarray]) -> np.ndarray:
+        """Probability of emitting the positive point ``+C'`` for input x."""
+        t = 2.0 * np.asarray(x, dtype=float) - 1.0
+        return self._slope * t + 0.5
+
+    def perturb(
+        self,
+        values: Union[float, np.ndarray],
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        arr, rng = self._prepare(values, rng)
+        prob_positive = self.positive_probability(arr)
+        sign = np.where(rng.random(arr.shape) < prob_positive, 1.0, -1.0)
+        return (sign * self.magnitude + 1.0) / 2.0
+
+    def expected_output(self, x: Union[float, np.ndarray]) -> np.ndarray:
+        return np.asarray(x, dtype=float)
+
+    def output_variance(self, x: Union[float, np.ndarray]) -> np.ndarray:
+        # Native: Var = C'^2 - t^2; canonical scales by 1/4.
+        t = 2.0 * np.asarray(x, dtype=float) - 1.0
+        return (self.magnitude**2 - t**2) / 4.0

@@ -1,0 +1,72 @@
+"""Hybrid Mechanism (HM) of Wang et al., ICDE 2019.
+
+HM mixes the Piecewise Mechanism and Duchi's SR mechanism: for budgets above
+a threshold ``eps* = 0.61`` it invokes PM with probability
+``alpha = 1 - e^{-eps/2}`` and SR otherwise; for budgets at or below the
+threshold it always uses SR.  The mixture keeps unbiasedness and achieves
+the better of the two worst-case variances.
+
+HM is the perturbation substrate of the ToPL baseline (Wang et al. 2021)
+used in the paper's Table I.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+from .base import Mechanism, OutputDomain
+from .duchi import DuchiMechanism
+from .piecewise import PiecewiseMechanism
+
+__all__ = ["HybridMechanism"]
+
+#: budget threshold below which HM degenerates to pure SR
+EPSILON_STAR = 0.61
+
+
+class HybridMechanism(Mechanism):
+    """HM randomizer with the canonical ``[0, 1]`` interface."""
+
+    def __init__(self, epsilon: float) -> None:
+        super().__init__(epsilon)
+        self._pm = PiecewiseMechanism(epsilon)
+        self._sr = DuchiMechanism(epsilon)
+        if self._epsilon > EPSILON_STAR:
+            self.alpha = 1.0 - math.exp(-self._epsilon / 2.0)
+        else:
+            self.alpha = 0.0
+
+    @property
+    def output_domain(self) -> OutputDomain:
+        pm_dom = self._pm.output_domain
+        sr_dom = self._sr.output_domain
+        return OutputDomain(
+            low=min(pm_dom.low, sr_dom.low),
+            high=max(pm_dom.high, sr_dom.high),
+        )
+
+    def perturb(
+        self,
+        values: Union[float, np.ndarray],
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        arr, rng = self._prepare(values, rng)
+        if self.alpha == 0.0:
+            return self._sr.perturb(arr, rng)
+        use_pm = rng.random(arr.shape) < self.alpha
+        pm_out = self._pm.perturb(arr, rng)
+        sr_out = self._sr.perturb(arr, rng)
+        return np.where(use_pm, pm_out, sr_out)
+
+    def expected_output(self, x: Union[float, np.ndarray]) -> np.ndarray:
+        return np.asarray(x, dtype=float)  # both components are unbiased
+
+    def output_variance(self, x: Union[float, np.ndarray]) -> np.ndarray:
+        # Mixture of unbiased components: Var = alpha * Var_PM + (1 - alpha)
+        # * Var_SR (cross term vanishes because both means equal x).
+        return self.alpha * self._pm.output_variance(x) + (
+            1.0 - self.alpha
+        ) * self._sr.output_variance(x)

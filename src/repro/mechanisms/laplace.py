@@ -1,0 +1,53 @@
+"""Bounded-input Laplace mechanism (Dwork et al. 2006), canonical wrapper.
+
+Section IV-C of the paper normalizes data to ``[-1, 1]`` (sensitivity 2)
+and adds ``Lap(2 / eps)`` noise.  Our canonical domain is ``[0, 1]``; the
+affine map ``t = 2x - 1`` has the same sensitivity-2 native domain, and the
+inverse map halves the noise scale, so in canonical units the mechanism
+adds ``Lap(1 / eps)`` to ``x``.  The output is unbounded.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+from .base import Mechanism, OutputDomain
+
+__all__ = ["LaplaceMechanism"]
+
+
+class LaplaceMechanism(Mechanism):
+    """Additive Laplace noise on the canonical domain.
+
+    The mechanism is unbiased: ``E[perturb(x)] = x``.
+    """
+
+    #: native-domain sensitivity of a value in [-1, 1]
+    NATIVE_SENSITIVITY = 2.0
+
+    def __init__(self, epsilon: float) -> None:
+        super().__init__(epsilon)
+        # Native scale 2/eps on [-1, 1]; canonical units are half as wide.
+        self.scale = self.NATIVE_SENSITIVITY / self._epsilon / 2.0
+
+    @property
+    def output_domain(self) -> OutputDomain:
+        return OutputDomain(low=-math.inf, high=math.inf)
+
+    def perturb(
+        self,
+        values: Union[float, np.ndarray],
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        arr, rng = self._prepare(values, rng)
+        return arr + rng.laplace(loc=0.0, scale=self.scale, size=arr.shape)
+
+    def expected_output(self, x: Union[float, np.ndarray]) -> np.ndarray:
+        return np.asarray(x, dtype=float)
+
+    def output_variance(self, x: Union[float, np.ndarray]) -> np.ndarray:
+        xv = np.asarray(x, dtype=float)
+        return np.full_like(xv, 2.0 * self.scale**2)

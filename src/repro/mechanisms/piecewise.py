@@ -1,0 +1,77 @@
+"""Piecewise Mechanism (PM) of Wang et al., ICDE 2019.
+
+Native formulation: input ``t`` in ``[-1, 1]``, output ``y`` in ``[-C, C]``
+with ``C = (e^{eps/2} + 1) / (e^{eps/2} - 1)``.  The output density is a
+high level ``p`` on a window ``[l(t), r(t)]`` of length ``C - 1`` centred
+appropriately and a low level ``p / e^eps`` elsewhere, which makes the
+mechanism unbiased with bounded (but, for small budgets, very wide) output.
+
+Canonical wrapper: ``x in [0, 1]`` maps to ``t = 2x - 1`` and the output
+maps back through ``(y + 1) / 2``, preserving unbiasedness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+from .base import Mechanism, OutputDomain
+
+__all__ = ["PiecewiseMechanism"]
+
+
+class PiecewiseMechanism(Mechanism):
+    """PM randomizer with the canonical ``[0, 1]`` interface."""
+
+    def __init__(self, epsilon: float) -> None:
+        super().__init__(epsilon)
+        half = math.exp(self._epsilon / 2.0)
+        self.C = (half + 1.0) / (half - 1.0)
+        #: probability of sampling from the high-density window
+        self.window_mass = half / (half + 1.0)
+
+    @property
+    def output_domain(self) -> OutputDomain:
+        # Native [-C, C] maps to [(1 - C)/2, (1 + C)/2] canonically.
+        return OutputDomain(low=(1.0 - self.C) / 2.0, high=(1.0 + self.C) / 2.0)
+
+    def _window(self, t: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        left = (self.C + 1.0) / 2.0 * t - (self.C - 1.0) / 2.0
+        return left, left + self.C - 1.0
+
+    def perturb(
+        self,
+        values: Union[float, np.ndarray],
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        arr, rng = self._prepare(values, rng)
+        shape = arr.shape
+        t = (2.0 * arr - 1.0).ravel()
+        n = t.size
+        left, right = self._window(t)
+
+        in_window = rng.random(n) < self.window_mass
+        window_draw = left + (right - left) * rng.random(n)
+        # Outside mass splits between [-C, l) (length l + C) and (r, C]
+        # (length C - r); the two lengths sum to 2C - (C - 1) = C + 1.
+        total_out = self.C + 1.0
+        s = rng.random(n) * total_out
+        left_len = left + self.C
+        out_draw = np.where(s < left_len, -self.C + s, right + (s - left_len))
+        y = np.where(in_window, window_draw, out_draw)
+        return ((y + 1.0) / 2.0).reshape(shape)
+
+    def expected_output(self, x: Union[float, np.ndarray]) -> np.ndarray:
+        # PM is unbiased in native units, hence also canonically.
+        return np.asarray(x, dtype=float)
+
+    def output_variance(self, x: Union[float, np.ndarray]) -> np.ndarray:
+        # Var[y | t] = t^2 / (e^{eps/2} - 1) + (e^{eps/2} + 3) /
+        #              (3 (e^{eps/2} - 1)^2)   (Wang et al. 2019, Eq. 7)
+        xv = np.asarray(x, dtype=float)
+        t = 2.0 * xv - 1.0
+        half = math.exp(self._epsilon / 2.0)
+        native = t**2 / (half - 1.0) + (half + 3.0) / (3.0 * (half - 1.0) ** 2)
+        return native / 4.0  # canonical units scale by 1/2 -> variance by 1/4

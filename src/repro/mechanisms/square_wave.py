@@ -1,0 +1,246 @@
+"""Square Wave (SW) mechanism of Li et al., SIGMOD 2020.
+
+The SW mechanism is the paper's primary randomizer (Section II-C).  Each
+input ``v`` in ``[0, 1]`` is reported as a value in ``[-b, 1 + b]`` drawn
+from a two-level density: ``p`` inside the window ``[v - b, v + b]`` ("near"
+mass) and ``q`` elsewhere ("far" mass), with ``p = e^eps * q``.
+
+The half-width is
+
+    b = (eps * e^eps - e^eps + 1) / (2 e^eps (e^eps - eps - 1))
+
+which we evaluate in the numerically stable form
+
+    b = (eps + expm1(-eps)) / (2 * (expm1(eps) - eps))
+
+so that the small-``eps`` limit ``b -> 1/2`` (used by Lemma IV.2 of the
+paper) comes out without catastrophic cancellation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+from .._validation import ensure_epsilon, ensure_positive_int
+from .base import Mechanism, OutputDomain
+
+__all__ = ["SquareWaveMechanism", "sw_half_width", "sw_probabilities"]
+
+
+def sw_half_width(epsilon: float) -> float:
+    """Half-width ``b`` of the SW near-window for privacy budget ``epsilon``.
+
+    Stable for the full range of budgets; tends to ``1/2`` as ``epsilon``
+    approaches zero and to ``0`` as it grows.
+    """
+    eps = ensure_epsilon(epsilon)
+    numerator = eps + math.expm1(-eps)
+    denominator = 2.0 * (math.expm1(eps) - eps)
+    return numerator / denominator
+
+
+def sw_probabilities(epsilon: float) -> "tuple[float, float, float]":
+    """Return ``(b, p, q)`` for the SW mechanism at budget ``epsilon``.
+
+    ``p`` is the density inside the near-window, ``q`` outside; they satisfy
+    ``p = e^eps * q`` and ``2*b*p + q = 1`` (the far region always has total
+    length 1 because the output domain ``[-b, 1+b]`` is ``1 + 2b`` long).
+    """
+    eps = ensure_epsilon(epsilon)
+    b = sw_half_width(eps)
+    e_eps = math.exp(eps)
+    q = 1.0 / (2.0 * b * e_eps + 1.0)
+    p = e_eps * q
+    return b, p, q
+
+
+class SquareWaveMechanism(Mechanism):
+    """The Square Wave randomizer on the canonical domain ``[0, 1]``.
+
+    Attributes:
+        b: half-width of the high-probability window.
+        p: density inside the window.
+        q: density outside the window (``p / q = e^epsilon``).
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        super().__init__(epsilon)
+        self.b, self.p, self.q = sw_probabilities(self._epsilon)
+
+    @property
+    def output_domain(self) -> OutputDomain:
+        return OutputDomain(low=-self.b, high=1.0 + self.b)
+
+    @property
+    def near_mass(self) -> float:
+        """Probability that the output lands inside the near-window."""
+        return 2.0 * self.b * self.p
+
+    def perturb(
+        self,
+        values: Union[float, np.ndarray],
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        arr, rng = self._prepare(values, rng)
+        shape = arr.shape
+        flat = arr.ravel()
+        n = flat.size
+
+        near = rng.random(n) < self.near_mass
+        # Near branch: uniform in [v - b, v + b].
+        near_draw = flat + self.b * (2.0 * rng.random(n) - 1.0)
+        # Far branch: uniform over [-b, 1 + b] \ [v - b, v + b], which has
+        # total length exactly 1: the left part [-b, v - b) has length v and
+        # the right part (v + b, 1 + b] has length 1 - v.
+        s = rng.random(n)
+        left = s < flat
+        far_draw = np.where(left, -self.b + s, self.b + s)
+        out = np.where(near, near_draw, far_draw)
+        return out.reshape(shape)
+
+    def pdf(
+        self,
+        x: Union[float, np.ndarray],
+        y: Union[float, np.ndarray],
+    ) -> np.ndarray:
+        """Density of output ``y`` given true input ``x`` (broadcasting)."""
+        xv = np.asarray(x, dtype=float)
+        yv = np.asarray(y, dtype=float)
+        inside_domain = (yv >= -self.b) & (yv <= 1.0 + self.b)
+        near = np.abs(yv - xv) <= self.b
+        return np.where(inside_domain, np.where(near, self.p, self.q), 0.0)
+
+    def expected_output(self, x: Union[float, np.ndarray]) -> np.ndarray:
+        # E[y] = q * (1 + 2b) / 2 + 2b (p - q) x   (paper Section V, "mu").
+        xv = np.asarray(x, dtype=float)
+        return self.q * (1.0 + 2.0 * self.b) / 2.0 + 2.0 * self.b * (self.p - self.q) * xv
+
+    def raw_output_moment(self, x: Union[float, np.ndarray], k: int) -> np.ndarray:
+        """``E[y^k]`` for output ``y`` given input ``x`` (exact, piecewise).
+
+        The density is ``q`` on ``[-b, 1+b]`` with an extra ``p - q`` on
+        ``[x-b, x+b]``, so each raw moment is a difference of monomial
+        integrals.
+        """
+        k = ensure_positive_int(k, "k")
+        xv = np.asarray(x, dtype=float)
+        kp1 = k + 1
+        base = self.q * ((1.0 + self.b) ** kp1 - (-self.b) ** kp1) / kp1
+        window = (self.p - self.q) * ((xv + self.b) ** kp1 - (xv - self.b) ** kp1) / kp1
+        return base + window
+
+    def output_variance(self, x: Union[float, np.ndarray]) -> np.ndarray:
+        mean = self.expected_output(x)
+        return self.raw_output_moment(x, 2) - mean**2
+
+    def central_output_moment(self, x: Union[float, np.ndarray], k: int) -> np.ndarray:
+        """``E[(y - E[y])^k]`` via binomial expansion of exact raw moments."""
+        k = ensure_positive_int(k, "k")
+        xv = np.asarray(x, dtype=float)
+        mean = self.expected_output(xv)
+        total = np.zeros_like(mean, dtype=float)
+        for j in range(k + 1):
+            coef = math.comb(k, j) * (-1.0) ** (k - j)
+            raw = self.raw_output_moment(xv, j) if j > 0 else 1.0
+            total = total + coef * raw * mean ** (k - j)
+        return total
+
+    # -- collector-side estimation --------------------------------------
+
+    def transition_matrix(self, n_input_bins: int, n_output_bins: int) -> np.ndarray:
+        """Discretized channel ``M[out, in]`` used by EM reconstruction.
+
+        ``M[o, i]`` is the probability that an input in the centre of input
+        bin ``i`` produces an output falling in output bin ``o``; columns
+        sum to 1 up to discretization error.
+        """
+        n_input_bins = ensure_positive_int(n_input_bins, "n_input_bins")
+        n_output_bins = ensure_positive_int(n_output_bins, "n_output_bins")
+        centers = (np.arange(n_input_bins) + 0.5) / n_input_bins
+        edges = np.linspace(-self.b, 1.0 + self.b, n_output_bins + 1)
+        matrix = np.empty((n_output_bins, n_input_bins), dtype=float)
+        for i, c in enumerate(centers):
+            lo, hi = c - self.b, c + self.b
+            # Mass of output bin [e0, e1] = q * len + (p - q) * overlap with
+            # the near-window.
+            e0, e1 = edges[:-1], edges[1:]
+            overlap = np.clip(np.minimum(e1, hi) - np.maximum(e0, lo), 0.0, None)
+            matrix[:, i] = self.q * (e1 - e0) + (self.p - self.q) * overlap
+        return matrix
+
+    def estimate_distribution(
+        self,
+        reports: np.ndarray,
+        n_bins: int = 64,
+        n_output_bins: Optional[int] = None,
+        max_iterations: int = 200,
+        tol: float = 1e-7,
+        smoothing: bool = True,
+    ) -> np.ndarray:
+        """EM / EMS reconstruction of the input distribution from reports.
+
+        Implements the estimator of Li et al. 2020: expectation maximization
+        over a binned input domain, optionally interleaved with a small
+        binomial smoothing kernel (the "EMS" variant) that regularizes the
+        solution for small sample sizes.
+
+        Args:
+            reports: perturbed values in ``[-b, 1 + b]``.
+            n_bins: number of input-domain histogram bins.
+            n_output_bins: number of output-domain bins (default ``2 * n_bins``).
+            max_iterations: EM iteration cap.
+            tol: stop when the L1 change of the estimate drops below this.
+            smoothing: apply the EMS smoothing kernel between iterations.
+
+        Returns:
+            Probability vector of length ``n_bins`` over ``[0, 1]``.
+        """
+        reports = np.asarray(reports, dtype=float).ravel()
+        if reports.size == 0:
+            raise ValueError("reports must be non-empty")
+        if n_output_bins is None:
+            n_output_bins = 2 * n_bins
+        matrix = self.transition_matrix(n_bins, n_output_bins)
+
+        clipped = np.clip(reports, -self.b, 1.0 + self.b)
+        width = 1.0 + 2.0 * self.b
+        idx = np.minimum(
+            ((clipped + self.b) / width * n_output_bins).astype(int),
+            n_output_bins - 1,
+        )
+        counts = np.bincount(idx, minlength=n_output_bins).astype(float)
+
+        estimate = np.full(n_bins, 1.0 / n_bins)
+        kernel = np.array([1.0, 2.0, 1.0]) / 4.0
+        for _ in range(max_iterations):
+            mixture = matrix @ estimate
+            mixture = np.maximum(mixture, 1e-300)
+            weighted = matrix.T @ (counts / mixture)
+            updated = estimate * weighted
+            total = updated.sum()
+            if total <= 0:
+                break
+            updated /= total
+            if smoothing:
+                padded = np.concatenate([updated[:1], updated, updated[-1:]])
+                updated = np.convolve(padded, kernel, mode="valid")
+                updated /= updated.sum()
+            if np.abs(updated - estimate).sum() < tol:
+                estimate = updated
+                break
+            estimate = updated
+        return estimate
+
+    def estimate_mean(
+        self,
+        reports: np.ndarray,
+        n_bins: int = 64,
+        **kwargs: object,
+    ) -> float:
+        """Mean of the EM-reconstructed input distribution."""
+        distribution = self.estimate_distribution(reports, n_bins=n_bins, **kwargs)
+        centers = (np.arange(n_bins) + 0.5) / n_bins
+        return float(np.dot(distribution, centers))

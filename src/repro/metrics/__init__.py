@@ -1,0 +1,20 @@
+"""Utility metrics used by the paper's evaluation."""
+
+from .distance import (
+    cosine_distance,
+    empirical_cdf,
+    jensen_shannon_divergence,
+    wasserstein_distance,
+)
+from .errors import mae, mean_error, mse, rmse
+
+__all__ = [
+    "mse",
+    "mae",
+    "rmse",
+    "mean_error",
+    "cosine_distance",
+    "wasserstein_distance",
+    "jensen_shannon_divergence",
+    "empirical_cdf",
+]

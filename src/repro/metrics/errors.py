@@ -1,0 +1,44 @@
+"""Pointwise error metrics (Section VI-A-2)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import ensure_stream
+
+__all__ = ["mse", "mae", "rmse", "mean_error"]
+
+
+def _pair(estimated: Sequence[float], truth: Sequence[float]) -> "tuple[np.ndarray, np.ndarray]":
+    est = ensure_stream(estimated, "estimated")
+    true = ensure_stream(truth, "truth")
+    if est.shape != true.shape:
+        raise ValueError(
+            f"shape mismatch: estimated {est.shape} vs truth {true.shape}"
+        )
+    return est, true
+
+
+def mse(estimated: Sequence[float], truth: Sequence[float]) -> float:
+    """Mean squared error — the paper's mean-estimation metric."""
+    est, true = _pair(estimated, truth)
+    return float(np.mean((est - true) ** 2))
+
+
+def mae(estimated: Sequence[float], truth: Sequence[float]) -> float:
+    """Mean absolute error."""
+    est, true = _pair(estimated, truth)
+    return float(np.mean(np.abs(est - true)))
+
+
+def rmse(estimated: Sequence[float], truth: Sequence[float]) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(estimated, truth)))
+
+
+def mean_error(estimated: Sequence[float], truth: Sequence[float]) -> float:
+    """Signed mean deviation (Lemma III.1's ``MD``)."""
+    est, true = _pair(estimated, truth)
+    return float(np.mean(est) - np.mean(true))

@@ -1,0 +1,31 @@
+"""Privacy accounting substrate: composition, budgets, w-event auditing."""
+
+from .accountant import PrivacyBudgetExceededError, WEventAccountant
+from .budget import (
+    BudgetAllocation,
+    parallel_composition,
+    per_sample_budget,
+    per_slot_budget,
+    samples_per_window,
+    sequential_composition,
+)
+from .definitions import are_w_neighboring, differing_span, make_w_neighbor
+from .models import EventLevel, PrivacyModel, UserLevel, WEvent
+
+__all__ = [
+    "PrivacyModel",
+    "EventLevel",
+    "UserLevel",
+    "WEvent",
+    "WEventAccountant",
+    "PrivacyBudgetExceededError",
+    "BudgetAllocation",
+    "sequential_composition",
+    "parallel_composition",
+    "per_slot_budget",
+    "per_sample_budget",
+    "samples_per_window",
+    "are_w_neighboring",
+    "differing_span",
+    "make_w_neighbor",
+]

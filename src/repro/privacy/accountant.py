@@ -1,0 +1,133 @@
+"""Sliding-window privacy accountant enforcing w-event LDP at runtime.
+
+Every stream algorithm in this library routes its per-slot budget spends
+through a :class:`WEventAccountant`.  The accountant maintains the exact
+spend at every time slot and raises :class:`PrivacyBudgetExceededError`
+the moment any window of ``w`` consecutive slots would exceed the total
+budget — turning the paper's Theorems 3/4/6 into an executable invariant.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from .._validation import ensure_epsilon, ensure_window
+
+__all__ = ["WEventAccountant", "PrivacyBudgetExceededError"]
+
+#: slack for floating-point accumulation across long streams
+_TOLERANCE = 1e-9
+
+
+class PrivacyBudgetExceededError(RuntimeError):
+    """Raised when a charge would push a w-window above its total budget."""
+
+
+class WEventAccountant:
+    """Tracks per-slot budget spends over a sliding window of size ``w``.
+
+    The accountant is strictly sequential: slots are charged in
+    non-decreasing time order (multiple charges to the same slot compose
+    sequentially, as Theorem 1 requires).
+
+    Example:
+        >>> acct = WEventAccountant(epsilon=1.0, w=2)
+        >>> acct.charge(0, 0.5)
+        >>> acct.charge(1, 0.5)
+        >>> acct.window_spend(1)
+        1.0
+    """
+
+    def __init__(self, epsilon: float, w: int) -> None:
+        self.epsilon = ensure_epsilon(epsilon)
+        self.w = ensure_window(w)
+        self._spends: List[float] = []
+        self._window: Deque[float] = deque(maxlen=self.w)
+        self._window_total = 0.0
+
+    @property
+    def current_slot(self) -> int:
+        """Index of the most recently charged slot (-1 before any charge)."""
+        return len(self._spends) - 1
+
+    def charge(self, t: int, epsilon: float) -> None:
+        """Record a spend of ``epsilon`` at time slot ``t``.
+
+        Slots must be visited in order; skipped slots implicitly spend 0
+        (e.g. BA-SW approximation slots that publish nothing new).
+
+        Raises:
+            PrivacyBudgetExceededError: if the containing window would
+                exceed the total budget.
+            ValueError: if ``t`` precedes the current slot.
+        """
+        spend = float(epsilon)
+        if spend < 0:
+            raise ValueError(f"epsilon spend must be non-negative, got {spend}")
+        if t < self.current_slot:
+            raise ValueError(
+                f"slots must be charged in order: got t={t} after "
+                f"t={self.current_slot}"
+            )
+        while self.current_slot < t:
+            self._advance(0.0)
+        # Compose with whatever this slot already spent.
+        new_slot_total = self._spends[t] + spend
+        prospective = self._window_total - self._window[-1] + new_slot_total
+        if prospective > self.epsilon + _TOLERANCE:
+            raise PrivacyBudgetExceededError(
+                f"charging {spend:.6g} at slot {t} would raise the window "
+                f"spend to {prospective:.6g} > budget {self.epsilon:.6g} "
+                f"(w={self.w})"
+            )
+        self._window_total = prospective
+        self._window[-1] = new_slot_total
+        self._spends[t] = new_slot_total
+
+    def _advance(self, spend: float) -> None:
+        """Open a new slot with the given initial spend."""
+        if len(self._window) == self.w:
+            self._window_total -= self._window[0]
+        self._window.append(spend)
+        self._window_total += spend
+        self._spends.append(spend)
+
+    def window_spend(self, t: Optional[int] = None) -> float:
+        """Total spend of the window ending at slot ``t`` (default: latest)."""
+        if t is None:
+            t = self.current_slot
+        if t < 0 or t > self.current_slot:
+            raise ValueError(f"slot {t} has not been charged yet")
+        start = max(0, t - self.w + 1)
+        return float(sum(self._spends[start : t + 1]))
+
+    def slot_spend(self, t: int) -> float:
+        """Spend recorded at an individual slot."""
+        if t < 0 or t > self.current_slot:
+            raise ValueError(f"slot {t} has not been charged yet")
+        return self._spends[t]
+
+    def max_window_spend(self) -> float:
+        """Maximum spend over all windows charged so far (audit helper)."""
+        if not self._spends:
+            return 0.0
+        best = 0.0
+        running = 0.0
+        window: Deque[float] = deque(maxlen=self.w)
+        for spend in self._spends:
+            if len(window) == self.w:
+                running -= window[0]
+            window.append(spend)
+            running += spend
+            best = max(best, running)
+        return best
+
+    def assert_valid(self) -> None:
+        """Re-audit the full history; raises if any window overspent."""
+        worst = self.max_window_spend()
+        if worst > self.epsilon + _TOLERANCE:
+            raise PrivacyBudgetExceededError(
+                f"audit failed: max window spend {worst:.6g} exceeds "
+                f"budget {self.epsilon:.6g}"
+            )

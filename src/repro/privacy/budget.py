@@ -1,0 +1,106 @@
+"""Privacy-budget primitives: composition theorems and budget splitting.
+
+Implements the two composition theorems from Section II-A of the paper and
+the per-slot allocation rules used throughout: w-event streaming assigns
+``eps / w`` per time slot (Theorems 3 and 4) and PP-S assigns
+``eps / n_w`` per in-window sample (Theorem 6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .._validation import ensure_epsilon, ensure_positive_int, ensure_window
+
+__all__ = [
+    "sequential_composition",
+    "parallel_composition",
+    "per_slot_budget",
+    "per_sample_budget",
+    "samples_per_window",
+    "BudgetAllocation",
+]
+
+
+def sequential_composition(epsilons: Iterable[float]) -> float:
+    """Total budget of mechanisms applied to the *same* data (Theorem 1)."""
+    values = [ensure_epsilon(e, "epsilon") for e in epsilons]
+    if not values:
+        raise ValueError("sequential_composition requires at least one epsilon")
+    return float(sum(values))
+
+
+def parallel_composition(epsilons: Iterable[float]) -> float:
+    """Total budget of mechanisms on *disjoint* data (Theorem 2)."""
+    values = [ensure_epsilon(e, "epsilon") for e in epsilons]
+    if not values:
+        raise ValueError("parallel_composition requires at least one epsilon")
+    return float(max(values))
+
+
+def per_slot_budget(epsilon: float, w: int) -> float:
+    """``eps / w`` — the per-time-slot budget of IPP/APP/CAPP."""
+    return ensure_epsilon(epsilon) / ensure_window(w)
+
+
+def samples_per_window(w: int, segment_length: int) -> int:
+    """Worst-case number of sampled uploads inside any ``w``-slot window.
+
+    Sample positions sit one per segment, ``segment_length`` slots apart, so
+    any window of ``w`` consecutive slots contains at most
+    ``ceil(w / segment_length)`` of them.
+    """
+    w = ensure_window(w)
+    segment_length = ensure_positive_int(segment_length, "segment_length")
+    return math.ceil(w / segment_length)
+
+
+def per_sample_budget(epsilon: float, w: int, segment_length: int) -> float:
+    """``eps / n_w`` — Theorem 6's per-sample budget for PP-S."""
+    n_w = samples_per_window(w, segment_length)
+    return ensure_epsilon(epsilon) / n_w
+
+
+@dataclass(frozen=True)
+class BudgetAllocation:
+    """A named split of a total budget across components.
+
+    Used by baselines (e.g. BA-SW splits each slot's budget between a
+    dissimilarity probe and publication) and by the multi-dimensional
+    Budget-Split strategy.
+    """
+
+    total: float
+    parts: "tuple[float, ...]"
+
+    def __post_init__(self) -> None:
+        ensure_epsilon(self.total, "total")
+        if not self.parts:
+            raise ValueError("allocation must have at least one part")
+        for part in self.parts:
+            ensure_epsilon(part, "part")
+        if sum(self.parts) > self.total * (1.0 + 1e-9):
+            raise ValueError(
+                f"allocation parts sum to {sum(self.parts):.6g} "
+                f"> total {self.total:.6g}"
+            )
+
+    @staticmethod
+    def even_split(total: float, n_parts: int) -> "BudgetAllocation":
+        """Split ``total`` evenly into ``n_parts`` components."""
+        total = ensure_epsilon(total, "total")
+        n_parts = ensure_positive_int(n_parts, "n_parts")
+        return BudgetAllocation(total, tuple([total / n_parts] * n_parts))
+
+    @staticmethod
+    def weighted_split(total: float, weights: Sequence[float]) -> "BudgetAllocation":
+        """Split ``total`` proportionally to positive ``weights``."""
+        total = ensure_epsilon(total, "total")
+        if not weights:
+            raise ValueError("weights must be non-empty")
+        if any(weight <= 0 for weight in weights):
+            raise ValueError("weights must be strictly positive")
+        norm = float(sum(weights))
+        return BudgetAllocation(total, tuple(total * w / norm for w in weights))

@@ -1,0 +1,75 @@
+"""Formal-definition helpers: w-neighboring streams (Definition 2).
+
+These utilities exist to make the privacy model testable: property tests
+generate neighboring pairs and verify both the neighboring predicate and
+(empirically) the mechanisms' probability-ratio bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._validation import ensure_stream, ensure_window
+
+__all__ = ["are_w_neighboring", "differing_span", "make_w_neighbor"]
+
+
+def differing_span(
+    stream_a: Sequence[float],
+    stream_b: Sequence[float],
+    atol: float = 0.0,
+) -> Optional["tuple[int, int]"]:
+    """Return ``(first, last)`` indices where the streams differ, or None.
+
+    ``atol`` allows treating nearly-equal values as equal when streams went
+    through floating-point pipelines.
+    """
+    a = ensure_stream(stream_a, "stream_a")
+    b = ensure_stream(stream_b, "stream_b")
+    if a.shape != b.shape:
+        raise ValueError(
+            f"streams must have equal length, got {a.size} and {b.size}"
+        )
+    diff = np.flatnonzero(np.abs(a - b) > atol)
+    if diff.size == 0:
+        return None
+    return int(diff[0]), int(diff[-1])
+
+
+def are_w_neighboring(
+    stream_a: Sequence[float],
+    stream_b: Sequence[float],
+    w: int,
+    atol: float = 0.0,
+) -> bool:
+    """Definition 2: all differing elements fit in ``w`` consecutive slots."""
+    w = ensure_window(w)
+    span = differing_span(stream_a, stream_b, atol)
+    if span is None:
+        return True
+    first, last = span
+    return (last - first + 1) <= w
+
+
+def make_w_neighbor(
+    stream: Sequence[float],
+    w: int,
+    start: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Produce a w-neighboring stream differing on ``[start, start + w)``.
+
+    Replaced values are fresh uniform draws in ``[0, 1]``; useful for
+    privacy property tests.
+    """
+    arr = ensure_stream(stream)
+    w = ensure_window(w)
+    if not 0 <= start < arr.size:
+        raise ValueError(f"start must index the stream, got {start}")
+    rng = rng if rng is not None else np.random.default_rng()
+    end = min(start + w, arr.size)
+    neighbor = arr.copy()
+    neighbor[start:end] = rng.random(end - start)
+    return neighbor

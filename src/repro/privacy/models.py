@@ -1,0 +1,83 @@
+"""Stream-privacy models: event-level, user-level, and w-event allocation.
+
+Section I and VII of the paper position w-event LDP between the two
+classical extremes.  This module makes the three models first-class
+budget *allocators*, so any algorithm (or analysis) can ask "what budget
+does slot ``t`` get under model M for a horizon of ``T`` slots?" and the
+trade-offs become executable:
+
+* :class:`EventLevel` — every slot gets the full ``eps`` (strongest
+  utility, protects only single events);
+* :class:`UserLevel` — the worst case: ``eps`` is split across the whole
+  horizon by sequential composition, ``eps / T`` per slot;
+* :class:`WEvent` — ``eps / w`` per slot, protecting any ``w`` consecutive
+  slots with the full budget.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from .._validation import ensure_epsilon, ensure_positive_int, ensure_window
+
+__all__ = ["PrivacyModel", "EventLevel", "UserLevel", "WEvent"]
+
+
+class PrivacyModel(abc.ABC):
+    """A rule mapping (slot, horizon) to a per-slot budget."""
+
+    def __init__(self, epsilon: float) -> None:
+        self.epsilon = ensure_epsilon(epsilon)
+
+    @abc.abstractmethod
+    def per_slot_budget(self, horizon: int) -> float:
+        """Budget each slot may spend for a stream of ``horizon`` slots."""
+
+    @abc.abstractmethod
+    def protected_span(self, horizon: int) -> int:
+        """Length of the longest fully-protected span of slots."""
+
+    def describe(self, horizon: int) -> str:
+        """One-line human-readable summary for a given horizon."""
+        return (
+            f"{type(self).__name__}: {self.per_slot_budget(horizon):.4g} per slot, "
+            f"protects {self.protected_span(horizon)} consecutive slots"
+        )
+
+
+class EventLevel(PrivacyModel):
+    """Independent ``eps`` per slot — utility-maximal, weakest protection."""
+
+    def per_slot_budget(self, horizon: int) -> float:
+        ensure_positive_int(horizon, "horizon")
+        return self.epsilon
+
+    def protected_span(self, horizon: int) -> int:
+        ensure_positive_int(horizon, "horizon")
+        return 1
+
+
+class UserLevel(PrivacyModel):
+    """Whole-stream protection via sequential composition: ``eps / T``."""
+
+    def per_slot_budget(self, horizon: int) -> float:
+        return self.epsilon / ensure_positive_int(horizon, "horizon")
+
+    def protected_span(self, horizon: int) -> int:
+        return ensure_positive_int(horizon, "horizon")
+
+
+class WEvent(PrivacyModel):
+    """``eps`` inside any sliding window of ``w`` slots: ``eps / w``."""
+
+    def __init__(self, epsilon: float, w: int) -> None:
+        super().__init__(epsilon)
+        self.w = ensure_window(w)
+
+    def per_slot_budget(self, horizon: int) -> float:
+        ensure_positive_int(horizon, "horizon")
+        return self.epsilon / self.w
+
+    def protected_span(self, horizon: int) -> int:
+        ensure_positive_int(horizon, "horizon")
+        return min(self.w, horizon)

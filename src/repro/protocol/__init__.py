@@ -1,0 +1,15 @@
+"""Multi-user collection protocol: user agents, collector, simulation."""
+
+from .collector import Collector
+from .messages import Report
+from .simulation import SimulationResult, run_protocol
+from .user import ONLINE_ALGORITHMS, UserAgent
+
+__all__ = [
+    "Report",
+    "UserAgent",
+    "Collector",
+    "SimulationResult",
+    "run_protocol",
+    "ONLINE_ALGORITHMS",
+]

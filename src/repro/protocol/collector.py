@@ -1,0 +1,156 @@
+"""Collector-side aggregation service (Step 3 of the Fig. 1 protocol).
+
+The collector ingests sanitized :class:`~repro.protocol.messages.Report`
+messages and maintains per-slot cross-user aggregates: population means,
+per-user report series (for stream publication with optional incremental
+smoothing), and on-demand EM distribution estimates over any slot.
+
+The collector never touches true values — everything it computes is
+post-processing of LDP outputs, hence privacy-free.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .._validation import ensure_epsilon, ensure_positive_int
+from ..core.online import OnlineSmoother
+from ..core.smoothing import simple_moving_average
+from ..mechanisms import SquareWaveMechanism
+from .messages import Report
+
+__all__ = ["Collector"]
+
+
+class Collector:
+    """Aggregates sanitized reports from many users.
+
+    Args:
+        epsilon_per_report: the per-report budget users ran with — needed
+            only for EM distribution reconstruction (the SW channel shape
+            depends on it); pass ``None`` to disable distribution queries.
+        smoothing_window: odd SMA window applied by publication queries;
+            ``None`` publishes raw report series.
+    """
+
+    def __init__(
+        self,
+        epsilon_per_report: Optional[float] = None,
+        smoothing_window: Optional[int] = 3,
+    ) -> None:
+        if epsilon_per_report is not None:
+            epsilon_per_report = ensure_epsilon(
+                epsilon_per_report, "epsilon_per_report"
+            )
+        if smoothing_window is not None:
+            smoothing_window = ensure_positive_int(smoothing_window, "smoothing_window")
+            if smoothing_window % 2 == 0:
+                raise ValueError("smoothing_window must be odd")
+        self.epsilon_per_report = epsilon_per_report
+        self.smoothing_window = smoothing_window
+        self._by_slot: Dict[int, List[float]] = defaultdict(list)
+        self._by_user: Dict[int, Dict[int, float]] = defaultdict(dict)
+        self._n_reports = 0
+
+    # -- ingestion -------------------------------------------------------
+
+    def ingest(self, report: Report) -> None:
+        """Record one report (duplicate (user, t) pairs are rejected)."""
+        if report.t in self._by_user[report.user_id]:
+            raise ValueError(
+                f"duplicate report for user {report.user_id} at t={report.t}"
+            )
+        self._by_user[report.user_id][report.t] = float(report.value)
+        self._by_slot[report.t].append(float(report.value))
+        self._n_reports += 1
+
+    def ingest_many(self, reports: "list[Report]") -> None:
+        for report in reports:
+            self.ingest(report)
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def n_reports(self) -> int:
+        return self._n_reports
+
+    @property
+    def n_users(self) -> int:
+        return len(self._by_user)
+
+    def slots(self) -> "list[int]":
+        """Time slots with at least one report, sorted."""
+        return sorted(self._by_slot)
+
+    # -- aggregate queries -------------------------------------------------
+
+    def population_mean(self, t: int) -> float:
+        """Cross-user mean of reports at slot ``t``."""
+        values = self._by_slot.get(t)
+        if not values:
+            raise KeyError(f"no reports at slot {t}")
+        return float(np.mean(values))
+
+    def population_mean_series(self) -> np.ndarray:
+        """Population mean at every observed slot (sorted by slot)."""
+        return np.array([self.population_mean(t) for t in self.slots()])
+
+    def user_series(self, user_id: int) -> np.ndarray:
+        """One user's report series ordered by slot."""
+        per_user = self._by_user.get(user_id)
+        if not per_user:
+            raise KeyError(f"no reports from user {user_id}")
+        return np.array([per_user[t] for t in sorted(per_user)])
+
+    def publish_user_stream(self, user_id: int) -> np.ndarray:
+        """The published (optionally smoothed) stream for one user."""
+        series = self.user_series(user_id)
+        if self.smoothing_window is None or series.size == 1:
+            return series
+        return simple_moving_average(series, self.smoothing_window)
+
+    def user_subsequence_mean(self, user_id: int, start: int, end: int) -> float:
+        """Estimated mean of one user's subsequence ``[start, end]``."""
+        per_user = self._by_user.get(user_id)
+        if not per_user:
+            raise KeyError(f"no reports from user {user_id}")
+        values = [per_user[t] for t in range(start, end + 1) if t in per_user]
+        if not values:
+            raise KeyError(f"user {user_id} has no reports in [{start}, {end}]")
+        return float(np.mean(values))
+
+    def crowd_mean_estimates(self, start: int, end: int) -> np.ndarray:
+        """Per-user subsequence-mean estimates over ``[start, end]``.
+
+        The input to crowd-level distribution analysis (Fig. 8).
+        """
+        estimates = [
+            self.user_subsequence_mean(user_id, start, end)
+            for user_id in sorted(self._by_user)
+        ]
+        return np.array(estimates)
+
+    def estimate_slot_distribution(self, t: int, n_bins: int = 32) -> np.ndarray:
+        """EM-reconstructed distribution of true values at slot ``t``.
+
+        Requires ``epsilon_per_report`` (the SW channel is budget-shaped).
+        Only statistically meaningful when many users reported at ``t``.
+        """
+        if self.epsilon_per_report is None:
+            raise RuntimeError(
+                "distribution queries need epsilon_per_report at construction"
+            )
+        values = self._by_slot.get(t)
+        if not values:
+            raise KeyError(f"no reports at slot {t}")
+        mech = SquareWaveMechanism(self.epsilon_per_report)
+        return mech.estimate_distribution(np.asarray(values), n_bins=n_bins)
+
+    def streaming_smoother(self) -> OnlineSmoother:
+        """A fresh incremental smoother matching this collector's window."""
+        if self.smoothing_window is None:
+            raise RuntimeError("collector was configured without smoothing")
+        return OnlineSmoother(self.smoothing_window)

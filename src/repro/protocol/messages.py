@@ -1,0 +1,31 @@
+"""Wire-format dataclasses for the user -> collector protocol (Fig. 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Report"]
+
+
+@dataclass(frozen=True)
+class Report:
+    """One sanitized value sent by a user at a time slot.
+
+    Attributes:
+        user_id: stable identifier of the reporting user.
+        t: time-slot index.
+        value: the perturbed value (already LDP-sanitized; the collector
+            never sees anything else).
+    """
+
+    user_id: int
+    t: int
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.user_id < 0:
+            raise ValueError(f"user_id must be non-negative, got {self.user_id}")
+        if self.t < 0:
+            raise ValueError(f"t must be non-negative, got {self.t}")
+        if not isinstance(self.value, (int, float)):
+            raise TypeError("value must be a real number")

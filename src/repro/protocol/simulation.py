@@ -1,0 +1,123 @@
+"""End-to-end protocol simulation: many users -> one collector.
+
+Drives the full Fig. 1 loop in time order — every live user emits one
+sanitized report per slot, the collector ingests them — and returns both
+sides for evaluation.  Because evaluation code (not the collector) may
+compare against ground truth, the simulation also exposes the true matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .._validation import ensure_rng
+from .collector import Collector
+from .user import UserAgent
+
+__all__ = ["SimulationResult", "run_protocol"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything produced by one protocol run."""
+
+    collector: Collector
+    users: "list[UserAgent]" = field(repr=False)
+    true_matrix: np.ndarray = field(repr=False)
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    def population_mean_mse(self) -> float:
+        """MSE between the collector's population-mean series and truth.
+
+        Computed over the slots the collector actually observed (under
+        dropout, slots with zero reports are excluded).
+        """
+        slots = self.collector.slots()
+        estimated = np.array([self.collector.population_mean(t) for t in slots])
+        truth = self.true_matrix.mean(axis=0)[slots]
+        return float(np.mean((estimated - truth) ** 2))
+
+
+def run_protocol(
+    streams: Sequence[Sequence[float]],
+    algorithm: "str | Sequence[str]" = "capp",
+    epsilon: float = 1.0,
+    w: int = 10,
+    smoothing_window: Optional[int] = 3,
+    participation: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+    on_slot: Optional[Callable[[int], None]] = None,
+) -> SimulationResult:
+    """Simulate the full collection protocol over a population.
+
+    Args:
+        streams: ``(n_users, T)`` matrix (or list of equal-length streams)
+            of true values in ``[0, 1]``.
+        algorithm: online algorithm name for every user, or one name per
+            user (heterogeneous populations — real deployments mix client
+            versions).
+        epsilon, w: w-event privacy parameters shared by all users.
+        smoothing_window: collector-side SMA window.
+        participation: per-(user, slot) probability of actually reporting
+            (models dropout / offline clients); skipped slots spend no
+            budget and the collector simply receives nothing.
+        rng: master generator; each user gets an independent child stream.
+        on_slot: optional callback invoked after each slot is collected
+            (e.g. for progress reporting or streaming analytics).
+
+    Returns:
+        A :class:`SimulationResult` with the populated collector, the
+        user agents (privacy ledgers included), and the true matrix.
+    """
+    matrix = np.asarray(streams, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"streams must form a (users, T) matrix, got {matrix.shape}")
+    rng = ensure_rng(rng)
+    n_users, horizon = matrix.shape
+
+    if isinstance(algorithm, str):
+        algorithms = [algorithm] * n_users
+    else:
+        algorithms = list(algorithm)
+        if len(algorithms) != n_users:
+            raise ValueError(
+                f"got {len(algorithms)} algorithm names for {n_users} users"
+            )
+
+    seeds = rng.integers(0, 2**63 - 1, size=n_users)
+    users = [
+        UserAgent(
+            user_id=i,
+            stream=matrix[i],
+            algorithm=algorithms[i],
+            epsilon=epsilon,
+            w=w,
+            rng=np.random.default_rng(seeds[i]),
+        )
+        for i in range(n_users)
+    ]
+    if not 0.0 < participation <= 1.0:
+        raise ValueError(f"participation must be in (0, 1], got {participation}")
+    per_report = epsilon / w
+    collector = Collector(
+        epsilon_per_report=per_report, smoothing_window=smoothing_window
+    )
+
+    for t in range(horizon):
+        for user in users:
+            if participation >= 1.0 or rng.random() < participation:
+                collector.ingest(user.step())
+            else:
+                user.skip()
+        if on_slot is not None:
+            on_slot(t)
+
+    for user in users:
+        user.perturber.accountant.assert_valid()
+    return SimulationResult(collector=collector, users=users, true_matrix=matrix)

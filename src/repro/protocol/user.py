@@ -1,0 +1,107 @@
+"""User-side agent: owns a private stream, emits sanitized reports.
+
+Implements Step 1-2 of the paper's Fig. 1 protocol.  The agent wraps an
+online perturber, so all deviation bookkeeping and budget accounting
+happen locally — the only thing that ever leaves the agent is a
+:class:`~repro.protocol.messages.Report` carrying the perturbed value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from .._validation import ensure_stream
+from ..core.online import OnlineAPP, OnlineCAPP, OnlineIPP, OnlinePerturber, OnlineSWDirect
+from .messages import Report
+
+__all__ = ["UserAgent", "ONLINE_ALGORITHMS"]
+
+#: registry of online perturbers by paper name
+ONLINE_ALGORITHMS = {
+    "sw-direct": OnlineSWDirect,
+    "ipp": OnlineIPP,
+    "app": OnlineAPP,
+    "capp": OnlineCAPP,
+}
+
+
+class UserAgent:
+    """A distributed user holding one private stream.
+
+    Args:
+        user_id: identifier included in every report.
+        stream: the user's true values in ``[0, 1]``.
+        algorithm: online perturber name (``sw-direct``/``ipp``/``app``/
+            ``capp``) or a factory ``() -> OnlinePerturber``.
+        epsilon, w: w-event privacy parameters.
+        rng: the user's local randomness.
+    """
+
+    def __init__(
+        self,
+        user_id: int,
+        stream: Sequence[float],
+        algorithm: "str | Callable[[], OnlinePerturber]" = "capp",
+        epsilon: float = 1.0,
+        w: int = 10,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.user_id = int(user_id)
+        self._stream = ensure_stream(stream)
+        if self._stream.min() < 0.0 or self._stream.max() > 1.0:
+            raise ValueError("user stream must lie in [0, 1]")
+        if callable(algorithm):
+            self._perturber = algorithm()
+        else:
+            key = algorithm.lower()
+            if key not in ONLINE_ALGORITHMS:
+                known = ", ".join(sorted(ONLINE_ALGORITHMS))
+                raise KeyError(f"unknown online algorithm {algorithm!r}; known: {known}")
+            self._perturber = ONLINE_ALGORITHMS[key](epsilon, w, rng)
+        self._cursor = 0
+
+    @property
+    def remaining(self) -> int:
+        """Slots not yet reported."""
+        return self._stream.size - self._cursor
+
+    @property
+    def perturber(self) -> OnlinePerturber:
+        """The wrapped online perturber (exposes the privacy ledger)."""
+        return self._perturber
+
+    def true_value(self, t: int) -> float:
+        """The user's private value (local use only, e.g. for evaluation)."""
+        return float(self._stream[t])
+
+    def step(self) -> Report:
+        """Sanitize and emit the next slot's report.
+
+        Raises:
+            StopIteration: when the stream is exhausted.
+        """
+        if self._cursor >= self._stream.size:
+            raise StopIteration("user stream exhausted")
+        value = float(self._stream[self._cursor])
+        report = self._perturber.submit(value)
+        message = Report(user_id=self.user_id, t=self._cursor, value=report)
+        self._cursor += 1
+        return message
+
+    def skip(self) -> None:
+        """Skip the current slot without reporting (offline / dropout).
+
+        The slot spends no budget; the next :meth:`step` reports the
+        following slot.
+        """
+        if self._cursor >= self._stream.size:
+            raise StopIteration("user stream exhausted")
+        self._perturber.skip()
+        self._cursor += 1
+
+    def reports(self) -> Iterator[Report]:
+        """Iterate over all remaining reports."""
+        while self.remaining:
+            yield self.step()

@@ -1,0 +1,31 @@
+"""Executable theory: empirical privacy audits and the paper's lemmas."""
+
+from .lemmas import (
+    LemmaComparison,
+    lemma_iii1_mean_deviation,
+    lemma_iv1_variance_reduction,
+    lemma_iv2_history_depth,
+    lemma_iv3_cosine_similarity,
+    theorem5_dkw_bound_holds,
+)
+from .predictions import (
+    MeanErrorPrediction,
+    predict_sw_direct_mean_error,
+    sw_shrinkage_slope,
+)
+from .privacy_audit import AuditResult, audit_mechanism, audit_stream_algorithm
+
+__all__ = [
+    "AuditResult",
+    "audit_mechanism",
+    "audit_stream_algorithm",
+    "LemmaComparison",
+    "lemma_iii1_mean_deviation",
+    "lemma_iv1_variance_reduction",
+    "lemma_iv2_history_depth",
+    "lemma_iv3_cosine_similarity",
+    "theorem5_dkw_bound_holds",
+    "MeanErrorPrediction",
+    "predict_sw_direct_mean_error",
+    "sw_shrinkage_slope",
+]

@@ -1,0 +1,199 @@
+"""Executable forms of the paper's utility lemmas.
+
+Each function runs the Monte Carlo experiment that the corresponding
+lemma predicts the outcome of, and returns both sides of the inequality
+so callers (tests, notebooks) can check the claim at any scale:
+
+* Lemma III.1 — IPP's mean deviation is below direct SW's.
+* Lemma IV.1  — SMA smoothing divides the per-point variance.
+* Lemma IV.2  — folding more history into the input shrinks the mean
+  error of the running estimate.
+* Lemma IV.3  — APP + smoothing has higher cosine similarity than direct
+  perturbation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._validation import ensure_positive_int, ensure_rng, ensure_stream
+from ..baselines import SWDirect
+from ..core import APP, IPP
+from ..metrics import cosine_distance
+
+__all__ = [
+    "LemmaComparison",
+    "lemma_iii1_mean_deviation",
+    "lemma_iv1_variance_reduction",
+    "lemma_iv2_history_depth",
+    "lemma_iv3_cosine_similarity",
+    "theorem5_dkw_bound_holds",
+]
+
+
+@dataclass(frozen=True)
+class LemmaComparison:
+    """Both sides of a lemma's inequality plus the verdict.
+
+    ``holds`` is ``lhs < rhs`` — every lemma here is of the form
+    "the proposed method's error is smaller".
+    """
+
+    lhs: float
+    rhs: float
+    lhs_label: str
+    rhs_label: str
+
+    @property
+    def holds(self) -> bool:
+        return self.lhs < self.rhs
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        op = "<" if self.holds else ">="
+        return f"{self.lhs_label}={self.lhs:.5g} {op} {self.rhs_label}={self.rhs:.5g}"
+
+
+def lemma_iii1_mean_deviation(
+    stream: Sequence[float],
+    epsilon: float = 1.0,
+    w: int = 10,
+    n_repeats: int = 30,
+    rng: Optional[np.random.Generator] = None,
+) -> LemmaComparison:
+    """Lemma III.1: ``MD(IPP) < MD(SW)`` (absolute mean deviations)."""
+    arr = ensure_stream(stream)
+    ensure_positive_int(n_repeats, "n_repeats")
+    rng = ensure_rng(rng)
+    ipp_devs, sw_devs = [], []
+    for _ in range(n_repeats):
+        ipp = IPP(epsilon, w).perturb_stream(arr, rng)
+        direct = SWDirect(epsilon, w).perturb_stream(arr, rng)
+        ipp_devs.append(abs(ipp.perturbed.mean() - arr.mean()))
+        sw_devs.append(abs(direct.perturbed.mean() - arr.mean()))
+    return LemmaComparison(
+        lhs=float(np.mean(ipp_devs)),
+        rhs=float(np.mean(sw_devs)),
+        lhs_label="MD(IPP)",
+        rhs_label="MD(SW)",
+    )
+
+
+def lemma_iv1_variance_reduction(
+    epsilon: float = 1.0,
+    w: int = 10,
+    smoothing_window: int = 3,
+    n_repeats: int = 200,
+    stream_length: int = 60,
+    rng: Optional[np.random.Generator] = None,
+) -> LemmaComparison:
+    """Lemma IV.1: ``Var(y_t) < Var(x'_t)`` at an interior point."""
+    rng = ensure_rng(rng)
+    stream = np.full(stream_length, 0.5)
+    t = stream_length // 2
+    raw, smoothed = [], []
+    for _ in range(ensure_positive_int(n_repeats, "n_repeats")):
+        result = APP(epsilon, w, smoothing_window=smoothing_window).perturb_stream(
+            stream, rng
+        )
+        raw.append(result.perturbed[t])
+        smoothed.append(result.published[t])
+    return LemmaComparison(
+        lhs=float(np.var(smoothed)),
+        rhs=float(np.var(raw)),
+        lhs_label="Var(smoothed)",
+        rhs_label="Var(raw)",
+    )
+
+
+def lemma_iv2_history_depth(
+    stream: Sequence[float],
+    epsilon: float = 1.0,
+    w: int = 10,
+    n_repeats: int = 30,
+    rng: Optional[np.random.Generator] = None,
+) -> LemmaComparison:
+    """Lemma IV.2: accumulating the full history beats one-step feedback.
+
+    Compares APP (full accumulated deviation) against IPP (only the last
+    deviation) on the running-mean error — the practical reading of
+    ``ME(d_i..d_t) < ME(d_t)``.
+    """
+    arr = ensure_stream(stream)
+    rng = ensure_rng(rng)
+    app_errors, ipp_errors = [], []
+    for _ in range(ensure_positive_int(n_repeats, "n_repeats")):
+        app = APP(epsilon, w).perturb_stream(arr, rng)
+        ipp = IPP(epsilon, w).perturb_stream(arr, rng)
+        app_errors.append(abs(app.mean_estimate() - arr.mean()))
+        ipp_errors.append(abs(ipp.mean_estimate() - arr.mean()))
+    return LemmaComparison(
+        lhs=float(np.mean(app_errors)),
+        rhs=float(np.mean(ipp_errors)),
+        lhs_label="ME(APP)",
+        rhs_label="ME(IPP)",
+    )
+
+
+def theorem5_dkw_bound_holds(
+    eta: float = 0.2,
+    beta: float = 0.1,
+    delta: float = 0.05,
+    n_trials: int = 50,
+    rng: Optional[np.random.Generator] = None,
+) -> "tuple[int, float]":
+    """Empirically check Theorem 5's crowd-level guarantee.
+
+    Draws ``N`` (from the theorem's sample bound) true feature values per
+    trial, corrupts each by at most ``beta``, and measures how often the
+    empirical CDF of the corrupted values strays more than ``eta`` from
+    the true distribution.
+
+    Returns:
+        ``(N, failure_rate)``; the theorem promises ``failure_rate <=
+        delta`` (up to trial noise).
+    """
+    from ..analysis import dkw_sample_bound
+    from ..metrics import empirical_cdf
+
+    rng = ensure_rng(rng)
+    n = dkw_sample_bound(eta, beta, delta)
+    grid = np.linspace(0.0, 1.0, 400)
+    failures = 0
+    for _ in range(ensure_positive_int(n_trials, "n_trials")):
+        truth = rng.random(n)  # F = Uniform(0, 1), so F(x) = x on the grid
+        corrupted = np.clip(truth + rng.uniform(-beta, beta, size=n), 0.0, 1.0)
+        gap = np.abs(empirical_cdf(corrupted, grid) - grid).max()
+        if gap > eta:
+            failures += 1
+    return n, failures / n_trials
+
+
+def lemma_iv3_cosine_similarity(
+    stream: Sequence[float],
+    epsilon: float = 1.0,
+    w: int = 10,
+    n_repeats: int = 30,
+    rng: Optional[np.random.Generator] = None,
+) -> LemmaComparison:
+    """Lemma IV.3: ``E[cos(APP+smoothing)] > E[cos(direct)]``.
+
+    Expressed as distances so the comparison stays "smaller is better":
+    ``1 - cos_sim(APP) < 1 - cos_sim(direct)``.
+    """
+    arr = ensure_stream(stream)
+    rng = ensure_rng(rng)
+    app_scores, direct_scores = [], []
+    for _ in range(ensure_positive_int(n_repeats, "n_repeats")):
+        app = APP(epsilon, w).perturb_stream(arr, rng)
+        direct = SWDirect(epsilon, w).perturb_stream(arr, rng)
+        app_scores.append(cosine_distance(app.published, arr))
+        direct_scores.append(cosine_distance(direct.published, arr))
+    return LemmaComparison(
+        lhs=float(np.mean(app_scores)),
+        rhs=float(np.mean(direct_scores)),
+        lhs_label="1-cos(APP)",
+        rhs_label="1-cos(direct)",
+    )

@@ -1,0 +1,70 @@
+"""Closed-form error predictions for the baseline estimators.
+
+Analytic counterparts of the measured experiment numbers: for SW-direct
+over an ``n``-slot subsequence the mean-estimate error decomposes exactly
+into shrinkage bias plus averaged noise variance, both available in
+closed form from the mechanism's moments.  The tests validate these
+predictions against Monte Carlo, and the Fig. 4/6 discussions in
+EXPERIMENTS.md lean on them (e.g. why sampling's win is a bias effect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import ensure_epsilon, ensure_positive_int, ensure_stream
+from ..mechanisms import SquareWaveMechanism
+
+__all__ = [
+    "MeanErrorPrediction",
+    "predict_sw_direct_mean_error",
+    "sw_shrinkage_slope",
+]
+
+
+def sw_shrinkage_slope(epsilon: float) -> float:
+    """The SW mean map's slope: ``E[SW(x)] = center + slope * (x - center)``.
+
+    ``slope = 2 b (p - q)`` — below 1, so every report is pulled toward
+    the domain centre 0.5; the pull is what sampling's larger per-upload
+    budgets mitigate (EXPERIMENTS.md, Fig. 6 discussion).
+    """
+    mech = SquareWaveMechanism(ensure_epsilon(epsilon))
+    return 2.0 * mech.b * (mech.p - mech.q)
+
+
+@dataclass(frozen=True)
+class MeanErrorPrediction:
+    """Predicted MSE decomposition of a subsequence-mean estimate."""
+
+    bias: float
+    variance: float
+
+    @property
+    def mse(self) -> float:
+        return self.bias**2 + self.variance
+
+
+def predict_sw_direct_mean_error(
+    stream: Sequence[float],
+    epsilon_per_slot: float,
+) -> MeanErrorPrediction:
+    """Exact bias/variance of SW-direct's subsequence-mean estimate.
+
+    The estimator is ``(1/n) sum_t SW(x_t)`` with independent reports, so
+
+        bias     = (1/n) sum_t (E[SW(x_t)] - x_t)
+        variance = (1/n^2) sum_t Var[SW(x_t)]
+
+    both computable from the mechanism's closed-form moments.
+    """
+    arr = ensure_stream(stream)
+    eps = ensure_epsilon(epsilon_per_slot, "epsilon_per_slot")
+    mech = SquareWaveMechanism(eps)
+    n = ensure_positive_int(arr.size, "stream length")
+    bias = float(np.mean(mech.expected_output(arr) - arr))
+    variance = float(np.sum(mech.output_variance(arr))) / n**2
+    return MeanErrorPrediction(bias=bias, variance=variance)

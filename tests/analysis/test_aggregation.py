@@ -1,0 +1,48 @@
+"""Tests for collector-side aggregation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    estimate_mean,
+    estimate_published_stream,
+    subsequence,
+    subsequence_mean,
+)
+from repro.core import APP
+
+
+class TestSubsequence:
+    def test_inclusive_slice(self):
+        values = np.arange(10, dtype=float) / 10
+        sub = subsequence(values, 2, 5)
+        np.testing.assert_allclose(sub, [0.2, 0.3, 0.4, 0.5])
+
+    def test_single_point(self):
+        sub = subsequence(np.array([0.1, 0.2, 0.3]), 1, 1)
+        assert sub.tolist() == [0.2]
+
+    def test_invalid_range_rejected(self):
+        values = np.zeros(5)
+        with pytest.raises(ValueError):
+            subsequence(values, 3, 2)
+        with pytest.raises(ValueError):
+            subsequence(values, 0, 5)
+        with pytest.raises(ValueError):
+            subsequence(values, -1, 2)
+
+    def test_mean(self):
+        values = np.array([0.0, 1.0, 1.0, 0.0])
+        assert subsequence_mean(values, 1, 2) == pytest.approx(1.0)
+
+
+class TestResultHelpers:
+    def test_estimate_mean_delegates(self, smooth_stream, rng):
+        result = APP(1.0, 10).perturb_stream(smooth_stream, rng)
+        assert estimate_mean(result) == pytest.approx(result.perturbed.mean())
+
+    def test_published_stream_is_copy(self, smooth_stream, rng):
+        result = APP(1.0, 10).perturb_stream(smooth_stream, rng)
+        out = estimate_published_stream(result)
+        out[0] = 99.0
+        assert result.published[0] != 99.0

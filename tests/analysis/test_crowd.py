@@ -1,0 +1,107 @@
+"""Tests for crowd-level statistics (Theorem 5 / Fig. 8 machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    crowd_mean_distribution_distance,
+    crowd_mean_estimates,
+    dkw_sample_bound,
+)
+from repro.baselines import SWDirect
+from repro.core import APP
+from repro.datasets import taxi_matrix
+
+
+@pytest.fixture
+def small_crowd():
+    return taxi_matrix(40, 30)
+
+
+class TestCrowdMeanEstimates:
+    def test_shapes(self, small_crowd, rng):
+        est, true = crowd_mean_estimates(
+            small_crowd, lambda: APP(1.0, 10), rng
+        )
+        assert est.shape == (40,)
+        assert true.shape == (40,)
+
+    def test_true_means_exact(self, small_crowd, rng):
+        _, true = crowd_mean_estimates(small_crowd, lambda: APP(1.0, 10), rng)
+        np.testing.assert_allclose(true, small_crowd.mean(axis=1))
+
+    def test_rejects_1d_input(self, rng):
+        with pytest.raises(ValueError, match="matrix"):
+            crowd_mean_estimates(np.zeros(10), lambda: APP(1.0, 5), rng)
+
+    def test_estimates_correlate_with_truth_at_high_budget(self, small_crowd, rng):
+        est, true = crowd_mean_estimates(
+            small_crowd, lambda: APP(10.0, 5), rng
+        )
+        assert np.corrcoef(est, true)[0, 1] > 0.3
+
+
+class TestDistributionDistance:
+    def test_nonnegative(self, small_crowd, rng):
+        distance = crowd_mean_distribution_distance(
+            small_crowd, lambda: SWDirect(1.0, 10), rng
+        )
+        assert distance >= 0.0
+
+    def test_better_algorithm_smaller_distance(self, small_crowd):
+        # More budget -> better individual estimates -> closer crowd
+        # distribution (Theorem 5's monotonicity, statistically).
+        lo, hi = [], []
+        for rep in range(5):
+            lo.append(
+                crowd_mean_distribution_distance(
+                    small_crowd,
+                    lambda: APP(0.2, 10),
+                    np.random.default_rng(700 + rep),
+                )
+            )
+            hi.append(
+                crowd_mean_distribution_distance(
+                    small_crowd,
+                    lambda: APP(5.0, 10),
+                    np.random.default_rng(700 + rep),
+                )
+            )
+        assert np.mean(hi) < np.mean(lo)
+
+
+class TestDKWBound:
+    def test_formula(self):
+        # N >= ln(2/delta) / (2 (eta - beta)^2)
+        n = dkw_sample_bound(eta=0.2, beta=0.1, delta=0.05)
+        expected = math.ceil(math.log(2 / 0.05) / (2 * 0.01))
+        assert n == expected
+
+    def test_tighter_eta_needs_more_samples(self):
+        loose = dkw_sample_bound(0.3, 0.1, 0.05)
+        tight = dkw_sample_bound(0.15, 0.1, 0.05)
+        assert tight > loose
+
+    def test_eta_must_exceed_beta(self):
+        with pytest.raises(ValueError, match="exceed"):
+            dkw_sample_bound(0.1, 0.1, 0.05)
+
+    def test_delta_validated(self):
+        with pytest.raises(ValueError):
+            dkw_sample_bound(0.2, 0.1, 1.5)
+
+    def test_empirical_dkw_holds(self, rng):
+        # Sanity: with N from the bound and beta = 0 the empirical CDF is
+        # within eta of the truth (checked against a uniform sample).
+        eta, delta = 0.15, 0.05
+        n = dkw_sample_bound(eta, 0.0, delta)
+        failures = 0
+        for _ in range(20):
+            sample = rng.random(n)
+            grid = np.linspace(0, 1, 200)
+            emp = np.searchsorted(np.sort(sample), grid, side="right") / n
+            if np.abs(emp - grid).max() > eta:
+                failures += 1
+        assert failures <= 2  # 5% failure probability, generous margin

@@ -1,0 +1,99 @@
+"""Tests for the subsequence query index."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.queries import RangeStatistics, SubsequenceIndex
+
+
+@pytest.fixture
+def index(rng):
+    return SubsequenceIndex(rng.random(100)), None
+
+
+class TestRangeQueries:
+    def test_mean_matches_numpy(self, rng):
+        values = rng.random(50)
+        index = SubsequenceIndex(values)
+        for start, end in [(0, 49), (3, 7), (10, 10), (48, 49)]:
+            assert index.mean(start, end) == pytest.approx(
+                values[start : end + 1].mean()
+            )
+
+    def test_variance_matches_numpy(self, rng):
+        values = rng.random(50)
+        index = SubsequenceIndex(values)
+        for start, end in [(0, 49), (5, 20)]:
+            assert index.variance(start, end) == pytest.approx(
+                values[start : end + 1].var(), abs=1e-12
+            )
+
+    def test_single_point_variance_zero(self, rng):
+        index = SubsequenceIndex(rng.random(10))
+        assert index.variance(4, 4) == pytest.approx(0.0, abs=1e-12)
+
+    def test_range_sum(self):
+        index = SubsequenceIndex([1.0, 2.0, 3.0])
+        assert index.range_sum(0, 2) == pytest.approx(6.0)
+        assert index.range_sum(1, 1) == pytest.approx(2.0)
+
+    def test_invalid_ranges_rejected(self, rng):
+        index = SubsequenceIndex(rng.random(10))
+        with pytest.raises(ValueError):
+            index.mean(5, 4)
+        with pytest.raises(ValueError):
+            index.mean(0, 10)
+        with pytest.raises(ValueError):
+            index.mean(-1, 3)
+
+    def test_statistics_bundle(self, rng):
+        values = rng.random(30)
+        stats = SubsequenceIndex(values).statistics(5, 14)
+        assert isinstance(stats, RangeStatistics)
+        assert stats.count == 10
+        assert stats.mean == pytest.approx(values[5:15].mean())
+        assert stats.std == pytest.approx(values[5:15].std(), abs=1e-9)
+
+
+class TestBatchQueries:
+    def test_batch_means(self, rng):
+        values = rng.random(40)
+        index = SubsequenceIndex(values)
+        ranges = [(0, 9), (10, 19), (0, 39)]
+        out = index.batch_means(ranges)
+        expected = [values[a : b + 1].mean() for a, b in ranges]
+        np.testing.assert_allclose(out, expected)
+
+    def test_empty_batch(self, rng):
+        assert SubsequenceIndex(rng.random(5)).batch_means([]).size == 0
+
+    def test_invalid_batch_rejected(self, rng):
+        index = SubsequenceIndex(rng.random(5))
+        with pytest.raises(ValueError):
+            index.batch_means([(0, 5)])
+
+    def test_sliding_means_match_convolution(self, rng):
+        values = rng.random(30)
+        index = SubsequenceIndex(values)
+        window = 7
+        out = index.sliding_means(window)
+        expected = np.convolve(values, np.ones(window) / window, mode="valid")
+        np.testing.assert_allclose(out, expected)
+
+    def test_sliding_window_bounds(self, rng):
+        index = SubsequenceIndex(rng.random(10))
+        with pytest.raises(ValueError):
+            index.sliding_means(0)
+        with pytest.raises(ValueError):
+            index.sliding_means(11)
+
+
+class TestIntegrationWithPublishedStream:
+    def test_query_published_stream(self, smooth_stream, rng):
+        from repro.core import CAPP
+
+        result = CAPP(2.0, 10).perturb_stream(smooth_stream, rng)
+        index = SubsequenceIndex(result.published)
+        assert len(index) == smooth_stream.size
+        stats = index.statistics(20, 59)
+        assert abs(stats.mean - smooth_stream[20:60].mean()) < 0.5

@@ -1,0 +1,162 @@
+"""Tests for the standing-query engine."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.streaming_queries import (
+    RollingExtrema,
+    RollingMean,
+    RollingTrend,
+    StreamingQueryEngine,
+    ThresholdAlert,
+)
+
+
+class TestRollingMean:
+    def test_warmup_returns_none(self):
+        query = RollingMean(3)
+        assert query.answer() is None
+
+    def test_partial_window(self):
+        query = RollingMean(5)
+        query.update(0.2)
+        query.update(0.4)
+        assert query.answer() == pytest.approx(0.3)
+
+    def test_sliding(self):
+        query = RollingMean(2)
+        for v in (1.0, 2.0, 3.0):
+            query.update(v)
+        assert query.answer() == pytest.approx(2.5)
+
+    def test_matches_numpy_on_long_stream(self, rng):
+        values = rng.random(500)
+        query = RollingMean(20)
+        for v in values:
+            query.update(v)
+        assert query.answer() == pytest.approx(values[-20:].mean())
+
+    def test_reset(self):
+        query = RollingMean(3)
+        query.update(1.0)
+        query.reset()
+        assert query.answer() is None
+
+
+class TestRollingExtrema:
+    def test_min_max(self):
+        query = RollingExtrema(3)
+        for v in (0.5, 0.1, 0.9, 0.4):
+            query.update(v)
+        assert query.answer() == (0.1, 0.9)
+
+    def test_old_values_expire(self):
+        query = RollingExtrema(2)
+        for v in (0.9, 0.2, 0.3):
+            query.update(v)
+        assert query.answer() == (0.2, 0.3)
+
+
+class TestRollingTrend:
+    def test_needs_two_points(self):
+        query = RollingTrend(5)
+        query.update(0.5)
+        assert query.answer() is None
+
+    def test_rising_positive(self):
+        query = RollingTrend(4)
+        for v in (0.1, 0.2, 0.3, 0.4):
+            query.update(v)
+        assert query.answer() == pytest.approx(0.1)
+
+    def test_window_must_hold_two(self):
+        with pytest.raises(ValueError):
+            RollingTrend(1)
+
+
+class TestThresholdAlert:
+    def test_fires_on_crossing(self):
+        alert = ThresholdAlert(window=2, threshold=0.5)
+        alert.update(0.2)
+        alert.update(0.2)
+        assert not alert.answer()
+        alert.update(0.9)
+        alert.update(0.9)
+        assert alert.answer()
+        assert alert.fired_count == 1
+
+    def test_refire_after_recovery(self):
+        alert = ThresholdAlert(window=1, threshold=0.5)
+        for v in (0.9, 0.1, 0.9):
+            alert.update(v)
+        assert alert.fired_count == 2
+
+    def test_below_mode(self):
+        alert = ThresholdAlert(window=1, threshold=0.5, above=False)
+        alert.update(0.1)
+        assert alert.answer()
+
+
+class TestEngine:
+    def test_register_and_push(self):
+        engine = StreamingQueryEngine()
+        engine.register("mean", RollingMean(2))
+        engine.register("trend", RollingTrend(3))
+        answers = engine.push(0.5)
+        assert answers["mean"] == pytest.approx(0.5)
+        assert answers["trend"] is None
+        assert engine.values_seen == 1
+
+    def test_duplicate_name_rejected(self):
+        engine = StreamingQueryEngine()
+        engine.register("q", RollingMean(2))
+        with pytest.raises(ValueError, match="already registered"):
+            engine.register("q", RollingMean(3))
+
+    def test_unregister(self):
+        engine = StreamingQueryEngine()
+        engine.register("q", RollingMean(2))
+        engine.unregister("q")
+        assert engine.names == []
+        with pytest.raises(KeyError):
+            engine.unregister("q")
+
+    def test_query_accessor(self):
+        engine = StreamingQueryEngine()
+        alert = ThresholdAlert(1, threshold=0.5)
+        engine.register("alert", alert)
+        assert engine.query("alert") is alert
+        with pytest.raises(KeyError):
+            engine.query("missing")
+
+    def test_non_query_rejected(self):
+        engine = StreamingQueryEngine()
+        with pytest.raises(TypeError):
+            engine.register("bad", lambda v: v)
+
+    def test_nan_rejected(self):
+        engine = StreamingQueryEngine()
+        with pytest.raises(ValueError, match="finite"):
+            engine.push(float("nan"))
+
+    def test_reset_clears_everything(self):
+        engine = StreamingQueryEngine()
+        engine.register("mean", RollingMean(2))
+        engine.push(0.4)
+        engine.reset()
+        assert engine.values_seen == 0
+        assert engine.answers()["mean"] is None
+
+    def test_end_to_end_with_online_perturber(self, rng):
+        # Published reports from an online CAPP stream drive the engine.
+        from repro.core import OnlineCAPP
+
+        publisher = OnlineCAPP(2.0, 10, rng)
+        engine = StreamingQueryEngine()
+        engine.register("mean", RollingMean(20))
+        engine.register("alert", ThresholdAlert(20, threshold=0.95))
+        for _ in range(100):
+            report = publisher.submit(0.5)
+            engine.push(report)
+        assert engine.values_seen == 100
+        assert 0.0 < engine.answers()["mean"] < 1.0

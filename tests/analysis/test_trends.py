@@ -1,0 +1,127 @@
+"""Tests for trend analysis on published streams."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    TrendSegment,
+    classify_trend,
+    detect_change_points,
+    linear_trend,
+    rolling_trend,
+    segment_trends,
+)
+
+
+class TestLinearTrend:
+    def test_exact_line(self):
+        slope, intercept = linear_trend(0.1 * np.arange(10) + 0.5)
+        assert slope == pytest.approx(0.1)
+        assert intercept == pytest.approx(0.5)
+
+    def test_constant_stream(self):
+        slope, _ = linear_trend(np.full(20, 0.3))
+        assert slope == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_point(self):
+        slope, intercept = linear_trend(np.array([0.7]))
+        assert slope == 0.0
+        assert intercept == 0.7
+
+    def test_noise_robustness(self, rng):
+        truth = 0.02 * np.arange(200)
+        noisy = truth + rng.normal(0, 0.1, size=200)
+        slope, _ = linear_trend(noisy)
+        assert slope == pytest.approx(0.02, abs=0.005)
+
+
+class TestRollingTrend:
+    def test_detects_direction_change(self):
+        stream = np.concatenate([np.linspace(0, 1, 20), np.linspace(1, 0, 20)])
+        slopes = rolling_trend(stream, window=5)
+        assert slopes[15] > 0
+        assert slopes[35] < 0
+
+    def test_first_position_zero(self):
+        slopes = rolling_trend(np.arange(5, dtype=float), window=3)
+        assert slopes[0] == 0.0
+
+    def test_length_preserved(self, rng):
+        assert rolling_trend(rng.random(30), 7).size == 30
+
+
+class TestClassifyTrend:
+    def test_rising(self):
+        assert classify_trend(np.linspace(0, 1, 50)) == "rising"
+
+    def test_falling(self):
+        assert classify_trend(np.linspace(1, 0, 50)) == "falling"
+
+    def test_flat(self):
+        assert classify_trend(np.full(50, 0.5)) == "flat"
+
+    def test_threshold(self):
+        gentle = 1e-4 * np.arange(50)
+        assert classify_trend(gentle, threshold=1e-2) == "flat"
+        assert classify_trend(gentle, threshold=1e-6) == "rising"
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            classify_trend(np.ones(5), threshold=-1.0)
+
+
+class TestChangePoints:
+    def test_single_step_detected(self):
+        stream = np.concatenate([np.zeros(30), np.ones(30)])
+        points = detect_change_points(stream, threshold=0.5)
+        assert len(points) >= 1
+        assert 28 <= points[0] <= 33
+
+    def test_no_change_on_constant(self):
+        assert detect_change_points(np.full(50, 0.4), threshold=0.5) == []
+
+    def test_multiple_steps(self):
+        stream = np.concatenate([np.zeros(25), np.ones(25), np.zeros(25)])
+        points = detect_change_points(stream, threshold=0.5)
+        assert len(points) == 2
+
+    def test_drift_desensitizes(self):
+        ramp = np.linspace(0, 1, 100)
+        sensitive = detect_change_points(ramp, threshold=0.3, drift=0.0)
+        robust = detect_change_points(ramp, threshold=0.3, drift=0.02)
+        assert len(robust) <= len(sensitive)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            detect_change_points(np.ones(5), threshold=0.0)
+
+
+class TestSegmentTrends:
+    def test_segments_cover_stream(self):
+        stream = np.concatenate([np.zeros(30), np.ones(30)])
+        segments = segment_trends(stream, threshold=0.5)
+        assert segments[0].start == 0
+        assert segments[-1].end == 59
+        for a, b in zip(segments, segments[1:]):
+            assert b.start == a.end + 1
+
+    def test_direction_labels(self):
+        stream = np.concatenate([np.linspace(0, 1, 40), np.linspace(1, 0.5, 30)])
+        # A huge threshold suppresses all change points -> one segment
+        # classified by the overall (rising) fit.
+        segments = segment_trends(stream, threshold=100.0)
+        assert len(segments) == 1
+        assert segments[0].direction == "rising"
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ValueError):
+            TrendSegment(start=5, end=4, direction="flat", slope=0.0)
+
+    def test_on_published_stream(self, rng):
+        # End-to-end: trend classification survives CAPP perturbation at a
+        # generous budget.
+        from repro.core import CAPP
+
+        stream = np.linspace(0.1, 0.9, 80)
+        result = CAPP(8.0, 4).perturb_stream(stream, rng)
+        assert classify_trend(result.published, threshold=1e-3) == "rising"

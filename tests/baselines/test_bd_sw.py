@@ -1,0 +1,76 @@
+"""Tests for the Budget-Distribution BD-SW extension baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BASW, BDSW
+
+
+class TestConstruction:
+    def test_pool_and_probe_split(self):
+        bd = BDSW(1.0, 10, probe_fraction=0.5)
+        assert bd.probe_epsilon == pytest.approx(0.05)
+        assert bd.publish_pool == pytest.approx(0.5)
+
+    def test_probe_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            BDSW(1.0, 10, probe_fraction=0.0)
+        with pytest.raises(ValueError):
+            BDSW(1.0, 10, probe_fraction=1.0)
+
+
+class TestPrivacy:
+    @pytest.mark.parametrize("w", [1, 5, 10])
+    def test_ledger_valid_on_smooth_stream(self, smooth_stream, rng, w):
+        result = BDSW(1.0, w).perturb_stream(smooth_stream, rng)
+        result.accountant.assert_valid()
+        assert result.accountant.max_window_spend() <= 1.0 + 1e-9
+
+    def test_ledger_valid_on_volatile_stream(self, rng):
+        result = BDSW(1.0, 10).perturb_stream(rng.random(300), rng)
+        result.accountant.assert_valid()
+
+    def test_ledger_valid_on_constant_stream(self, rng):
+        result = BDSW(2.0, 10).perturb_stream(np.full(300, 0.4), rng)
+        result.accountant.assert_valid()
+
+
+class TestBehaviour:
+    def test_halving_rule_first_publications(self, rng):
+        # The first publication may spend at most pool/2.
+        bd = BDSW(1.0, 10)
+        stream = rng.random(30)
+        result = bd.perturb_stream(stream, rng)
+        slot0 = result.accountant.slot_spend(0)
+        assert slot0 <= bd.probe_epsilon + bd.publish_pool / 2.0 + 1e-9
+        assert slot0 > bd.probe_epsilon  # it did publish something
+
+    def test_reports_within_sw_envelope(self, rng):
+        result = BDSW(1.0, 10).perturb_stream(rng.random(200), rng)
+        assert result.perturbed.min() >= -0.5 - 1e-9
+        assert result.perturbed.max() <= 1.5 + 1e-9
+
+    def test_constant_stream_approximates(self, rng):
+        result = BDSW(2.0, 10).perturb_stream(np.full(200, 0.6), rng)
+        repeats = np.sum(np.diff(result.perturbed) == 0.0)
+        assert repeats > 100
+
+    def test_reacts_faster_than_ba_after_jump(self):
+        # BD has no payback dead-time, so after a level shift its reports
+        # move to the new level at least as fast as BA's on average.
+        stream = np.concatenate([np.full(60, 0.2), np.full(60, 0.9)])
+        bd_lag, ba_lag = [], []
+        for rep in range(10):
+            rng = np.random.default_rng(5000 + rep)
+            bd = BDSW(2.0, 10).perturb_stream(stream, rng)
+            ba = BASW(2.0, 10).perturb_stream(stream, rng)
+            # Error in the 20 slots right after the jump.
+            bd_lag.append(np.mean(np.abs(bd.perturbed[60:80] - 0.9)))
+            ba_lag.append(np.mean(np.abs(ba.perturbed[60:80] - 0.9)))
+        assert np.mean(bd_lag) < np.mean(ba_lag) * 1.5
+
+    def test_registry_integration(self, smooth_stream, rng):
+        from repro.experiments import make_algorithm
+
+        result = make_algorithm("bd-sw", 1.0, 10).perturb_stream(smooth_stream, rng)
+        assert len(result) == smooth_stream.size

@@ -1,0 +1,64 @@
+"""Tests for the SW-direct and generic mechanism-direct baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MechanismDirect, SWDirect
+from repro.mechanisms import SquareWaveMechanism
+
+
+class TestSWDirect:
+    def test_inputs_equal_original(self, smooth_stream, rng):
+        result = SWDirect(1.0, 10).perturb_stream(smooth_stream, rng)
+        np.testing.assert_array_equal(result.inputs, result.original)
+
+    def test_reports_in_sw_domain(self, smooth_stream, rng):
+        direct = SWDirect(1.0, 10)
+        result = direct.perturb_stream(smooth_stream, rng)
+        b = SquareWaveMechanism(direct.epsilon_per_slot).b
+        assert result.perturbed.min() >= -b - 1e-12
+        assert result.perturbed.max() <= 1 + b + 1e-12
+
+    def test_no_smoothing_by_default(self, smooth_stream, rng):
+        result = SWDirect(1.0, 10).perturb_stream(smooth_stream, rng)
+        np.testing.assert_array_equal(result.published, result.perturbed)
+
+    def test_optional_smoothing(self, smooth_stream, rng):
+        result = SWDirect(1.0, 10, smoothing_window=3).perturb_stream(
+            smooth_stream, rng
+        )
+        assert not np.array_equal(result.published, result.perturbed)
+
+    def test_budget_per_slot(self, smooth_stream, rng):
+        result = SWDirect(2.0, 20).perturb_stream(smooth_stream, rng)
+        assert result.epsilon_per_slot == pytest.approx(0.1)
+        result.accountant.assert_valid()
+
+    def test_deviations_consistent(self, smooth_stream, rng):
+        result = SWDirect(1.0, 10).perturb_stream(smooth_stream, rng)
+        np.testing.assert_allclose(
+            result.deviations, result.original - result.perturbed
+        )
+
+
+class TestMechanismDirect:
+    @pytest.mark.parametrize("name", ["laplace", "pm", "sr", "hm"])
+    def test_all_mechanisms_run(self, name, smooth_stream, rng):
+        result = MechanismDirect(1.0, 10, mechanism=name).perturb_stream(
+            smooth_stream, rng
+        )
+        assert len(result) == smooth_stream.size
+
+    def test_sr_binary_reports(self, smooth_stream, rng):
+        result = MechanismDirect(1.0, 10, mechanism="sr").perturb_stream(
+            smooth_stream, rng
+        )
+        assert len(np.unique(result.perturbed)) == 2
+
+    def test_laplace_unbounded_reports_possible(self, rng):
+        # At eps/w = 0.01 the Laplace noise regularly leaves [0, 1].
+        stream = np.full(200, 0.5)
+        result = MechanismDirect(0.1, 10, mechanism="laplace").perturb_stream(
+            stream, rng
+        )
+        assert (result.perturbed < 0).any() or (result.perturbed > 1).any()

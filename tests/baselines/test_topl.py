@@ -1,0 +1,67 @@
+"""Tests for the ToPL baseline (SW range estimation + HM perturbation)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SWDirect, ToPL
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ToPL(1.0, 10, range_fraction=0.0)
+        with pytest.raises(ValueError):
+            ToPL(1.0, 10, range_fraction=1.0)
+        with pytest.raises(ValueError):
+            ToPL(1.0, 10, quantile=1.5)
+
+
+class TestThresholdEstimation:
+    def test_threshold_in_unit_interval(self, rng):
+        topl = ToPL(1.0, 10)
+        from repro.mechanisms import SquareWaveMechanism
+
+        mech = SquareWaveMechanism(0.5)
+        reports = mech.perturb(rng.random(2_000) * 0.5, rng)
+        tau = topl.estimate_threshold(reports, 0.5)
+        assert 0.05 <= tau <= 1.0
+
+    def test_low_values_give_lower_threshold(self, rng):
+        topl = ToPL(1.0, 10, quantile=0.95)
+        from repro.mechanisms import SquareWaveMechanism
+
+        mech = SquareWaveMechanism(2.0)
+        low = topl.estimate_threshold(mech.perturb(np.full(5_000, 0.1), rng), 2.0)
+        high = topl.estimate_threshold(mech.perturb(np.full(5_000, 0.9), rng), 2.0)
+        assert low < high
+
+
+class TestBehaviour:
+    def test_runs_and_accounts(self, smooth_stream, rng):
+        result = ToPL(1.0, 10).perturb_stream(smooth_stream, rng)
+        assert len(result) == smooth_stream.size
+        result.accountant.assert_valid()
+
+    def test_short_stream_all_phase1(self, rng):
+        result = ToPL(1.0, 10).perturb_stream(np.array([0.5, 0.6]), rng)
+        assert len(result) == 2
+
+    def test_phase2_reports_can_exceed_sw_domain(self, rng):
+        # HM at eps/w = 0.05 has an enormous output range; at least one
+        # report should land far outside [-1, 2] over 300 slots.
+        stream = np.full(300, 0.5)
+        result = ToPL(0.5, 10).perturb_stream(stream, rng)
+        assert np.abs(result.perturbed).max() > 2.0
+
+    def test_mse_much_worse_than_sw_direct(self):
+        # Table I's headline: ToPL's mean-estimation MSE is orders of
+        # magnitude above the SW-based algorithms at w-event budgets.
+        stream = np.clip(0.5 + 0.3 * np.sin(np.arange(60) / 6), 0, 1)
+        topl_err, direct_err = [], []
+        for rep in range(10):
+            local = np.random.default_rng(500 + rep)
+            topl = ToPL(1.0, 20).perturb_stream(stream, local)
+            direct = SWDirect(1.0, 20).perturb_stream(stream, local)
+            topl_err.append((topl.mean_estimate() - stream.mean()) ** 2)
+            direct_err.append((direct.mean_estimate() - stream.mean()) ** 2)
+        assert np.mean(topl_err) > 10.0 * np.mean(direct_err)

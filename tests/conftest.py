@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def smooth_stream():
+    """A smooth bounded stream (sinusoid in [0.2, 0.8]), length 120."""
+    t = np.arange(120, dtype=float)
+    return 0.5 + 0.3 * np.sin(2 * np.pi * t / 40.0)
+
+
+@pytest.fixture
+def step_stream():
+    """A piecewise-constant stream, length 100."""
+    stream = np.empty(100)
+    stream[:40] = 0.2
+    stream[40:70] = 0.8
+    stream[70:] = 0.5
+    return stream

@@ -1,0 +1,90 @@
+"""Tests for mechanism-generic clip-bound selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CAPP,
+    adaptive_clip_objective,
+    choose_adaptive_clip_bounds,
+    noise_error,
+    tail_discarding_error,
+)
+from repro.mechanisms import LaplaceMechanism, SquareWaveMechanism
+
+
+class TestNoiseError:
+    def test_scales_with_width(self):
+        mech = SquareWaveMechanism(1.0)
+        assert noise_error(mech, 0.5) == pytest.approx(2.0 * noise_error(mech, 0.0))
+
+    def test_collapsed_range_rejected(self):
+        with pytest.raises(ValueError, match="collapses"):
+            noise_error(SquareWaveMechanism(1.0), -0.5)
+
+    def test_larger_for_noisier_mechanism(self):
+        sw = SquareWaveMechanism(0.5)
+        laplace = LaplaceMechanism(0.5)
+        assert noise_error(laplace, 0.0) > noise_error(sw, 0.0)
+
+
+class TestTailDiscardingError:
+    def test_decreases_with_delta(self):
+        mech = SquareWaveMechanism(0.5)
+        values = [tail_discarding_error(mech, d) for d in (0.0, 0.2, 0.5, 1.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_negative_delta_pays_narrowing_penalty(self):
+        mech = SquareWaveMechanism(0.5)
+        assert tail_discarding_error(mech, -0.2) > tail_discarding_error(mech, 0.0)
+
+    def test_nonnegative(self):
+        mech = SquareWaveMechanism(2.0)
+        for delta in (-0.3, 0.0, 0.5, 2.0):
+            assert tail_discarding_error(mech, delta) >= 0.0
+
+    def test_gaussian_tail_monte_carlo(self, rng):
+        # E[(|Z| - delta)_+] for Z ~ N(0, sigma_D) matches simulation.
+        mech = SquareWaveMechanism(1.0)
+        sigma = float(np.sqrt(mech.output_variance(1.0)))
+        delta = 0.3
+        z = rng.normal(0.0, sigma, size=400_000)
+        empirical = np.maximum(np.abs(z) - delta, 0.0).mean()
+        assert tail_discarding_error(mech, delta) == pytest.approx(
+            empirical, rel=0.02
+        )
+
+
+class TestChooseAdaptiveClipBounds:
+    def test_sw_interior_optimum_in_recommended_band(self):
+        # For SW at paper-like per-slot budgets the optimum lands inside
+        # the paper's recommended delta band [-0.25, 0.25].
+        for eps in (0.05, 0.1, 0.3):
+            bounds = choose_adaptive_clip_bounds(eps, "sw")
+            assert -0.25 <= bounds.delta <= 0.25
+
+    @pytest.mark.parametrize("name", ["sw", "laplace", "pm", "sr", "hm"])
+    def test_runs_for_every_mechanism(self, name):
+        bounds = choose_adaptive_clip_bounds(0.2, name)
+        assert bounds.width > 0.0
+
+    def test_objective_consistent_with_choice(self):
+        mech = SquareWaveMechanism(0.1)
+        chosen = choose_adaptive_clip_bounds(0.1, "sw")
+        grid = np.round(np.arange(-0.4, 1.0001, 0.05), 4)
+        best = min(adaptive_clip_objective(mech, float(d)) for d in grid if 1 + 2 * d > 0)
+        assert adaptive_clip_objective(mech, chosen.delta) == pytest.approx(best)
+
+    def test_custom_grid(self):
+        bounds = choose_adaptive_clip_bounds(0.1, "sw", deltas=[0.0, 0.1])
+        assert bounds.delta in (0.0, 0.1)
+
+    def test_empty_feasible_grid_rejected(self):
+        with pytest.raises(ValueError, match="feasible"):
+            choose_adaptive_clip_bounds(0.1, "sw", deltas=[-0.6])
+
+    def test_usable_with_capp(self, smooth_stream, rng):
+        bounds = choose_adaptive_clip_bounds(0.1, "sw")
+        capp = CAPP(1.0, 10, clip_bounds=bounds)
+        result = capp.perturb_stream(smooth_stream, rng)
+        assert len(result) == smooth_stream.size

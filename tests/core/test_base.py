@@ -1,0 +1,76 @@
+"""Tests for StreamPerturber plumbing shared by all algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core import IPP, StreamPerturber
+from repro.core.base import resolve_mechanism_class
+from repro.mechanisms import (
+    DuchiMechanism,
+    LaplaceMechanism,
+    SquareWaveMechanism,
+)
+
+
+class TestResolveMechanismClass:
+    def test_none_defaults_to_sw(self):
+        assert resolve_mechanism_class(None) is SquareWaveMechanism
+
+    def test_name_lookup(self):
+        assert resolve_mechanism_class("laplace") is LaplaceMechanism
+        assert resolve_mechanism_class("SR") is DuchiMechanism
+
+    def test_class_passthrough(self):
+        assert resolve_mechanism_class(LaplaceMechanism) is LaplaceMechanism
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            resolve_mechanism_class("unknown")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            resolve_mechanism_class(3.14)
+
+    def test_non_mechanism_class(self):
+        with pytest.raises(TypeError):
+            resolve_mechanism_class(dict)
+
+
+class TestConstructorValidation:
+    def test_epsilon_validated(self):
+        with pytest.raises(ValueError):
+            IPP(-1.0, 10)
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            IPP(1.0, 0)
+
+    def test_per_slot_budget(self):
+        assert IPP(2.0, 4).epsilon_per_slot == pytest.approx(0.5)
+
+    def test_smoothing_window_must_be_odd(self):
+        with pytest.raises(ValueError, match="odd"):
+            IPP(1.0, 10, smoothing_window=2)
+
+    def test_abstract_base_not_instantiable(self):
+        with pytest.raises(TypeError):
+            StreamPerturber(1.0, 10)
+
+
+class TestPerturbStream:
+    def test_original_is_copy(self, smooth_stream, rng):
+        result = IPP(1.0, 10).perturb_stream(smooth_stream, rng)
+        result.original[0] = 99.0
+        assert smooth_stream[0] != 99.0
+
+    def test_accountant_attached_and_valid(self, smooth_stream, rng):
+        result = IPP(1.0, 10).perturb_stream(smooth_stream, rng)
+        result.accountant.assert_valid()
+        assert result.accountant.current_slot == smooth_stream.size - 1
+
+    def test_default_rng_used_when_omitted(self, smooth_stream):
+        result = IPP(1.0, 10).perturb_stream(smooth_stream)
+        assert len(result) == smooth_stream.size
+
+    def test_repr_mentions_class(self):
+        assert "IPP" in repr(IPP(1.0, 10))

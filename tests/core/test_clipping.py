@@ -1,0 +1,96 @@
+"""Tests for CAPP clip-bound selection (Equation 11 machinery)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DEFAULT_DELTA_CLAMP,
+    choose_clip_bounds,
+    clip_delta,
+    discarding_error,
+    sensitivity_error,
+)
+from repro.core.clipping import ClipBounds
+from repro.mechanisms import SquareWaveMechanism, deviation_moments
+
+
+class TestSensitivityError:
+    def test_closed_form(self):
+        # e_s = exp(1 - E[SW(1)]) - 1.
+        eps = 1.0
+        mech = SquareWaveMechanism(eps)
+        expected = math.exp(1.0 - float(mech.expected_output(1.0))) - 1.0
+        assert sensitivity_error(eps) == pytest.approx(expected, rel=1e-12)
+
+    def test_vanishes_for_large_epsilon(self):
+        # "es approaches 0 for large eps, where sensitivity reduction
+        # becomes unnecessary."  E[D_1] decays like 1/(2(eps-1)), so the
+        # error at eps = 20 sits below 0.03 and keeps shrinking.
+        assert sensitivity_error(20.0) < 0.03
+        assert sensitivity_error(50.0) < sensitivity_error(20.0)
+
+    def test_grows_as_epsilon_shrinks(self):
+        values = [sensitivity_error(e) for e in (5.0, 2.0, 1.0, 0.5, 0.1)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_positive(self):
+        assert sensitivity_error(0.5) > 0.0
+
+
+class TestDiscardingError:
+    def test_equals_deviation_std(self):
+        eps = 0.7
+        assert discarding_error(eps) == pytest.approx(deviation_moments(eps).std)
+
+    def test_grows_as_epsilon_shrinks(self):
+        # "Smaller eps leads to larger Var(D_x)".
+        values = [discarding_error(e) for e in (5.0, 2.0, 1.0, 0.5, 0.1)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+
+class TestClipDelta:
+    def test_is_difference_of_errors_unclamped(self):
+        eps = 1.0
+        raw = sensitivity_error(eps) - discarding_error(eps)
+        assert clip_delta(eps, clamp=None) == pytest.approx(raw)
+
+    def test_clamped_into_default_range(self):
+        for eps in (0.05, 0.5, 1.0, 5.0):
+            delta = clip_delta(eps)
+            assert DEFAULT_DELTA_CLAMP[0] <= delta <= DEFAULT_DELTA_CLAMP[1]
+
+    def test_custom_clamp(self):
+        value = clip_delta(0.05, clamp=(-0.1, 0.1))
+        assert -0.1 <= value <= 0.1
+
+    def test_inverted_clamp_rejected(self):
+        with pytest.raises(ValueError, match="inverted"):
+            clip_delta(1.0, clamp=(0.3, -0.3))
+
+
+class TestChooseClipBounds:
+    def test_bounds_follow_delta(self):
+        bounds = choose_clip_bounds(1.0)
+        assert bounds.low == pytest.approx(-bounds.delta)
+        assert bounds.high == pytest.approx(1.0 + bounds.delta)
+
+    def test_width_positive(self):
+        for eps in (0.05, 0.5, 1.0, 5.0):
+            assert choose_clip_bounds(eps).width > 0.0
+
+    def test_degenerate_delta_rejected(self):
+        with pytest.raises(ValueError, match="collapses"):
+            choose_clip_bounds(1.0, clamp=(-0.6, -0.6))
+
+    def test_clipbounds_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            ClipBounds(low=0.5, high=0.5, delta=-0.5)
+
+    def test_small_budget_prefers_wider_range(self):
+        # Paper: "smaller eps values are associated with larger optimal
+        # delta values" — the unclamped delta should reflect that ordering
+        # in the small-budget regime.
+        small = clip_delta(0.05, clamp=None)
+        large = clip_delta(3.0, clamp=None)
+        assert small > large

@@ -1,0 +1,107 @@
+"""Tests for Budget-Split and Sample-Split multi-dimensional strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import APP, BudgetSplit, SampleSplit
+from repro.baselines import SWDirect
+from repro.datasets import sin_matrix
+
+
+def _app_factory(epsilon, w):
+    return APP(epsilon, w)
+
+
+def _direct_factory(epsilon, w):
+    return SWDirect(epsilon, w)
+
+
+@pytest.fixture
+def matrix():
+    return sin_matrix(4, 60)
+
+
+class TestBudgetSplit:
+    def test_result_shapes(self, matrix, rng):
+        run = BudgetSplit(_app_factory, epsilon=1.0, w=5).perturb_matrix(matrix, rng)
+        assert run.original.shape == matrix.shape
+        assert run.perturbed.shape == matrix.shape
+        assert run.published.shape == matrix.shape
+        assert run.n_dimensions == 4
+        assert len(run.per_dimension) == 4
+
+    def test_per_dimension_budget(self, matrix, rng):
+        run = BudgetSplit(_app_factory, epsilon=1.0, w=5).perturb_matrix(matrix, rng)
+        # Each dimension's perturber got eps/d total -> eps/(d*w) per slot.
+        for result in run.per_dimension:
+            assert result.epsilon_per_slot == pytest.approx(1.0 / (4 * 5))
+
+    def test_accountant_within_total(self, matrix, rng):
+        run = BudgetSplit(_app_factory, epsilon=1.0, w=5).perturb_matrix(matrix, rng)
+        assert run.accountant.max_window_spend() <= 1.0 + 1e-9
+
+    def test_mean_estimates_shape(self, matrix, rng):
+        run = BudgetSplit(_direct_factory, epsilon=2.0, w=5).perturb_matrix(
+            matrix, rng
+        )
+        assert run.mean_estimates().shape == (4,)
+
+    def test_rejects_non_matrix(self, rng):
+        with pytest.raises(ValueError, match="matrix"):
+            BudgetSplit(_app_factory, 1.0, 5).perturb_matrix(np.zeros(10), rng)
+
+    def test_rejects_out_of_range(self, rng):
+        bad = np.full((2, 10), 1.5)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            BudgetSplit(_app_factory, 1.0, 5).perturb_matrix(bad, rng)
+
+
+class TestSampleSplit:
+    def test_result_shapes(self, matrix, rng):
+        run = SampleSplit(_app_factory, epsilon=1.0, w=8).perturb_matrix(matrix, rng)
+        assert run.perturbed.shape == matrix.shape
+
+    def test_round_robin_replication(self, matrix, rng):
+        d = matrix.shape[0]
+        run = SampleSplit(_direct_factory, epsilon=1.0, w=8).perturb_matrix(
+            matrix, rng
+        )
+        # Between uploads the report is held constant: dim i uploads at
+        # slots i, i+d, ...; slots in between repeat the last report.
+        for i in range(d):
+            for t in range(matrix.shape[1]):
+                anchor = i if t < i else i + ((t - i) // d) * d
+                assert run.perturbed[i, t] == run.perturbed[i, anchor]
+
+    def test_per_upload_budget_is_eps_over_w(self, matrix, rng):
+        run = SampleSplit(_app_factory, epsilon=1.0, w=8).perturb_matrix(matrix, rng)
+        # d=4, w=8 -> inner window ceil(8/4)=2, inner eps = (1/8)*2 = 0.25;
+        # per-slot = 0.125 = eps/w.
+        for result in run.per_dimension:
+            assert result.epsilon_per_slot == pytest.approx(1.0 / 8.0)
+
+    def test_accountant_within_total(self, matrix, rng):
+        run = SampleSplit(_app_factory, epsilon=1.0, w=8).perturb_matrix(matrix, rng)
+        assert run.accountant.max_window_spend() <= 1.0 + 1e-9
+
+    def test_rejects_more_dims_than_slots(self, rng):
+        tall = np.full((10, 4), 0.5)
+        with pytest.raises(ValueError, match="at least"):
+            SampleSplit(_app_factory, 1.0, 5).perturb_matrix(tall, rng)
+
+
+class TestStrategiesComparable:
+    def test_bs_beats_ss_on_smooth_sinusoids(self):
+        # Fig. 10's qualitative finding: BS outperforms SS because SS's
+        # sparse uploads hurt more than the budget split.
+        matrix = sin_matrix(5, 100)
+        true_means = matrix.mean(axis=1)
+        bs_err, ss_err = [], []
+        for rep in range(8):
+            local = np.random.default_rng(300 + rep)
+            bs = BudgetSplit(_app_factory, 1.0, 10).perturb_matrix(matrix, local)
+            ss = SampleSplit(_app_factory, 1.0, 10).perturb_matrix(matrix, local)
+            bs_err.append(np.mean((bs.mean_estimates() - true_means) ** 2))
+            ss_err.append(np.mean((ss.mean_estimates() - true_means) ** 2))
+        # Allow statistical slack: BS should win on average.
+        assert np.mean(bs_err) < 2.0 * np.mean(ss_err)

@@ -1,0 +1,143 @@
+"""Tests for the online (push-style) perturbers and incremental smoother."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    APP,
+    CAPP,
+    IPP,
+    OnlineAPP,
+    OnlineCAPP,
+    OnlineIPP,
+    OnlineSmoother,
+    OnlineSWDirect,
+    simple_moving_average,
+)
+from repro.baselines import SWDirect
+from repro.privacy import PrivacyBudgetExceededError
+
+
+BATCH_ONLINE_PAIRS = [
+    (IPP, OnlineIPP),
+    (APP, OnlineAPP),
+    (CAPP, OnlineCAPP),
+]
+
+
+class TestBatchEquivalence:
+    # SWDirect perturbs the whole stream in one vectorized call, so its
+    # randomness consumption order differs from per-slot submission; it is
+    # checked distributionally below instead of bit-for-bit.
+    @pytest.mark.parametrize("batch_cls,online_cls", BATCH_ONLINE_PAIRS)
+    def test_bit_identical_to_batch(self, batch_cls, online_cls, smooth_stream):
+        batch_kwargs = {}
+        if batch_cls in (APP, CAPP):
+            batch_kwargs["smoothing_window"] = None
+        batch = batch_cls(1.0, 10, **batch_kwargs).perturb_stream(
+            smooth_stream, np.random.default_rng(11)
+        )
+        online = online_cls(1.0, 10, np.random.default_rng(11))
+        reports = online.submit_many(smooth_stream)
+        np.testing.assert_array_equal(batch.perturbed, reports)
+
+    def test_sw_direct_distributionally_equivalent(self):
+        stream = np.full(4_000, 0.4)
+        batch = SWDirect(1.0, 10).perturb_stream(stream, np.random.default_rng(1))
+        online = OnlineSWDirect(1.0, 10, np.random.default_rng(2))
+        reports = online.submit_many(stream)
+        assert reports.mean() == pytest.approx(batch.perturbed.mean(), abs=0.02)
+        assert reports.var() == pytest.approx(batch.perturbed.var(), rel=0.1)
+
+
+class TestSubmit:
+    def test_slot_counter(self, rng):
+        online = OnlineAPP(1.0, 5, rng)
+        for i in range(7):
+            online.submit(0.5)
+        assert online.slots_processed == 7
+
+    def test_accountant_charged_per_slot(self, rng):
+        online = OnlineCAPP(1.0, 5, rng)
+        for _ in range(12):
+            online.submit(0.3)
+        online.accountant.assert_valid()
+        assert online.accountant.max_window_spend() == pytest.approx(1.0)
+
+    def test_infinite_stream_rate_sustainable(self, rng):
+        # Budget never violated at eps/w per slot, arbitrarily long.
+        online = OnlineSWDirect(0.5, 3, rng)
+        for _ in range(500):
+            online.submit(0.9)
+        online.accountant.assert_valid()
+
+    def test_rejects_out_of_range(self, rng):
+        online = OnlineIPP(1.0, 5, rng)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            online.submit(1.5)
+
+    def test_rejects_nan(self, rng):
+        online = OnlineIPP(1.0, 5, rng)
+        with pytest.raises(ValueError, match="finite"):
+            online.submit(float("nan"))
+
+    def test_app_state_visible(self, rng):
+        online = OnlineAPP(1.0, 5, rng)
+        online.submit(0.2)
+        assert np.isfinite(online.accumulated_deviation)
+
+    def test_capp_custom_bounds(self, rng):
+        from repro.core.clipping import ClipBounds
+
+        bounds = ClipBounds(low=-0.1, high=1.1, delta=0.1)
+        online = OnlineCAPP(1.0, 5, rng, clip_bounds=bounds)
+        assert online.clip_bounds is bounds
+        online.submit(0.5)
+
+
+class TestOnlineSmoother:
+    def test_matches_batch_sma(self, rng):
+        series = rng.random(37)
+        for window in (1, 3, 5, 9):
+            smoother = OnlineSmoother(window)
+            out = []
+            for v in series:
+                out.extend(smoother.push(v))
+            out.extend(smoother.flush())
+            np.testing.assert_allclose(
+                out, simple_moving_average(series, window), atol=1e-12
+            )
+
+    def test_emission_latency_is_k(self):
+        smoother = OnlineSmoother(5)  # k = 2
+        assert smoother.push(1.0) == []
+        assert smoother.push(2.0) == []
+        first = smoother.push(3.0)
+        assert len(first) == 1
+        assert first[0] == pytest.approx(2.0)  # boundary average of [1,2,3]
+
+    def test_flush_emits_remaining(self):
+        smoother = OnlineSmoother(3)
+        smoother.push(0.0)
+        out = smoother.flush()
+        assert out == [0.0]
+
+    def test_short_series(self, rng):
+        series = rng.random(2)
+        smoother = OnlineSmoother(7)
+        out = []
+        for v in series:
+            out.extend(smoother.push(v))
+        out.extend(smoother.flush())
+        np.testing.assert_allclose(out, simple_moving_average(series, 7))
+
+    def test_memory_bounded(self, rng):
+        smoother = OnlineSmoother(5)
+        for v in rng.random(10_000):
+            smoother.push(v)
+        # Buffer holds at most window + k items regardless of stream length.
+        assert len(smoother._buffer) <= 8
+
+    def test_rejects_even_window(self):
+        with pytest.raises(ValueError, match="odd"):
+            OnlineSmoother(4)

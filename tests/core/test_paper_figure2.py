@@ -1,0 +1,79 @@
+"""Paper-fidelity test: IPP's Figure-2 worked example, step by step.
+
+The paper walks IPP through a concrete 5-slot stream.  We replay it with
+a mechanism stub that returns exactly the perturbed values the figure
+shows, and assert IPP computes the same inputs and deviations:
+
+    original x_t   : 0.01  0.15  0.16  0.17  0.18
+    input x^I_t    : 0.01  0.16  0.12  0.18  0.20
+    perturbed x'_t : 0.00  0.19  0.15  0.15  0.25
+    deviation d_t  : +0.01 -0.04 +0.01 +0.02 -0.07
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import IPP, APP
+from repro.mechanisms.base import Mechanism, OutputDomain
+
+ORIGINAL = np.array([0.01, 0.15, 0.16, 0.17, 0.18])
+EXPECTED_INPUTS = np.array([0.01, 0.16, 0.12, 0.18, 0.20])
+SCRIPTED_OUTPUTS = [0.00, 0.19, 0.15, 0.15, 0.25]
+EXPECTED_DEVIATIONS = np.array([0.01, -0.04, 0.01, 0.02, -0.07])
+
+
+class ScriptedMechanism(Mechanism):
+    """Returns a predetermined output sequence (test double)."""
+
+    def __init__(self, epsilon: float) -> None:
+        super().__init__(epsilon)
+        self._outputs = list(SCRIPTED_OUTPUTS)
+        self.seen_inputs = []
+
+    @property
+    def output_domain(self) -> OutputDomain:
+        return OutputDomain(low=-0.5, high=1.5)
+
+    def perturb(self, values, rng=None):
+        arr, _ = self._prepare(values, rng)
+        self.seen_inputs.append(float(arr))
+        return np.asarray(self._outputs.pop(0))
+
+    def expected_output(self, x):
+        return np.asarray(x, dtype=float)
+
+    def output_variance(self, x):
+        return np.zeros_like(np.asarray(x, dtype=float))
+
+
+class TestFigure2Walkthrough:
+    def _run_ipp(self):
+        ipp = IPP(1.0, 5)
+        mech = ScriptedMechanism(ipp.epsilon_per_slot)
+        ipp._make_mechanism = lambda: mech
+        result = ipp.perturb_stream(ORIGINAL)
+        return result, mech
+
+    def test_inputs_match_figure(self):
+        result, mech = self._run_ipp()
+        np.testing.assert_allclose(result.inputs, EXPECTED_INPUTS, atol=1e-12)
+        np.testing.assert_allclose(mech.seen_inputs, EXPECTED_INPUTS, atol=1e-12)
+
+    def test_deviations_match_figure(self):
+        result, _ = self._run_ipp()
+        np.testing.assert_allclose(
+            result.deviations, EXPECTED_DEVIATIONS, atol=1e-12
+        )
+
+    def test_perturbed_match_figure(self):
+        result, _ = self._run_ipp()
+        np.testing.assert_allclose(result.perturbed, SCRIPTED_OUTPUTS, atol=1e-12)
+
+    def test_app_differs_from_ipp_on_same_script(self):
+        # APP accumulates ALL deviations: its third input differs from
+        # IPP's (0.16 + 0.01 - 0.04 = 0.13, not 0.12).
+        app = APP(1.0, 5, smoothing_window=None)
+        mech = ScriptedMechanism(app.epsilon_per_slot)
+        app._make_mechanism = lambda: mech
+        result = app.perturb_stream(ORIGINAL)
+        assert result.inputs[2] == pytest.approx(0.16 + 0.01 - 0.04)

@@ -1,0 +1,80 @@
+"""Tests for perturbation-result serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    APP,
+    PPSampling,
+    dumps_result,
+    loads_result,
+    result_from_dict,
+    result_to_dict,
+    result_to_public_dict,
+)
+
+
+@pytest.fixture
+def stream_result(smooth_stream, rng):
+    return APP(1.0, 10).perturb_stream(smooth_stream, rng)
+
+
+@pytest.fixture
+def sampling_result(smooth_stream, rng):
+    return PPSampling(1.0, 10, base="app", n_samples=6).perturb_stream(
+        smooth_stream, rng
+    )
+
+
+class TestToDict:
+    def test_stream_fields(self, stream_result):
+        data = result_to_dict(stream_result)
+        assert data["kind"] == "stream"
+        assert len(data["perturbed"]) == len(stream_result)
+        assert data["epsilon_per_slot"] == pytest.approx(0.1)
+        assert data["accountant"]["w"] == 10
+
+    def test_sampling_fields(self, sampling_result):
+        data = result_to_dict(sampling_result)
+        assert data["kind"] == "sampling"
+        assert data["n_samples"] == 6
+        assert len(data["segment_reports"]) == 6
+
+    def test_json_serializable(self, stream_result):
+        json.dumps(result_to_dict(stream_result))  # must not raise
+
+
+class TestPublicDict:
+    def test_strips_user_side_fields(self, stream_result):
+        data = result_to_public_dict(stream_result)
+        for secret in ("original", "inputs", "deviations", "accumulated_deviation"):
+            assert secret not in data
+        assert "perturbed" in data and "published" in data
+
+    def test_sampling_strips_true_means(self, sampling_result):
+        data = result_to_public_dict(sampling_result)
+        assert "segment_means" not in data
+        assert "segment_reports" in data
+
+
+class TestRoundTrip:
+    def test_dumps_loads(self, stream_result):
+        restored = loads_result(dumps_result(stream_result))
+        np.testing.assert_allclose(restored["perturbed"], stream_result.perturbed)
+        np.testing.assert_allclose(restored["published"], stream_result.published)
+
+    def test_public_roundtrip(self, stream_result):
+        restored = loads_result(dumps_result(stream_result, public=True))
+        assert "original" not in restored
+        np.testing.assert_allclose(restored["perturbed"], stream_result.perturbed)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="unsupported result format"):
+            result_from_dict({"format": "something-else"})
+
+    def test_accountant_summary_preserved(self, stream_result):
+        restored = loads_result(dumps_result(stream_result))
+        assert restored["accountant"]["epsilon"] == 1.0
+        assert restored["accountant"]["max_window_spend"] <= 1.0 + 1e-9

@@ -1,0 +1,91 @@
+"""Tests for SMA post-processing (Lemma IV.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import simple_moving_average, smoothing_variance_reduction
+
+
+class TestSimpleMovingAverage:
+    def test_window_one_is_identity(self):
+        x = np.array([0.1, 0.5, 0.9])
+        np.testing.assert_array_equal(simple_moving_average(x, 1), x)
+
+    def test_interior_average(self):
+        x = np.array([0.0, 3.0, 6.0, 9.0, 12.0])
+        out = simple_moving_average(x, 3)
+        assert out[2] == pytest.approx((3.0 + 6.0 + 9.0) / 3)
+
+    def test_boundary_shrinks_window(self):
+        # Paper: "when dealing with boundary windows ... simply average
+        # the available values".
+        x = np.array([0.0, 3.0, 6.0, 9.0, 12.0])
+        out = simple_moving_average(x, 3)
+        assert out[0] == pytest.approx((0.0 + 3.0) / 2)
+        assert out[-1] == pytest.approx((9.0 + 12.0) / 2)
+
+    def test_constant_stream_unchanged(self):
+        x = np.full(20, 0.4)
+        np.testing.assert_allclose(simple_moving_average(x, 5), x)
+
+    def test_preserves_length(self):
+        x = np.arange(11, dtype=float)
+        assert simple_moving_average(x, 5).size == 11
+
+    def test_matches_naive_implementation(self, rng):
+        x = rng.random(50)
+        k = 2
+        naive = np.array(
+            [x[max(0, t - k) : min(50, t + k + 1)].mean() for t in range(50)]
+        )
+        np.testing.assert_allclose(simple_moving_average(x, 2 * k + 1), naive)
+
+    def test_reduces_noise_variance(self, rng):
+        # Lemma IV.1: Var(smoothed) < Var(raw) for i.i.d. noise.
+        noise = rng.normal(0, 1, size=10_000)
+        smoothed = simple_moving_average(noise, 5)
+        assert smoothed.var() < noise.var() / 3  # ~1/5 at interior points
+
+    def test_approximately_mean_preserving(self, rng):
+        # "Smoothing has no impact on the mean of the results" (up to
+        # boundary effects).
+        x = rng.random(500)
+        assert simple_moving_average(x, 3).mean() == pytest.approx(
+            x.mean(), abs=0.01
+        )
+
+    def test_rejects_even_window(self):
+        with pytest.raises(ValueError, match="odd"):
+            simple_moving_average(np.ones(5), 2)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            simple_moving_average(np.ones(5), 0)
+
+    def test_single_element_stream(self):
+        out = simple_moving_average(np.array([0.7]), 3)
+        assert out.tolist() == [0.7]
+
+    def test_window_larger_than_stream(self):
+        x = np.array([0.0, 1.0])
+        out = simple_moving_average(x, 5)
+        # Every position averages all available values.
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+
+class TestVarianceReduction:
+    def test_factor(self):
+        assert smoothing_variance_reduction(5) == pytest.approx(0.2)
+
+    def test_rejects_even(self):
+        with pytest.raises(ValueError):
+            smoothing_variance_reduction(4)
+
+    def test_empirical_agreement(self, rng):
+        window = 7
+        noise = rng.normal(0, 1, size=50_000)
+        smoothed = simple_moving_average(noise, window)
+        interior = smoothed[window : -window]
+        assert interior.var() == pytest.approx(
+            smoothing_variance_reduction(window), rel=0.1
+        )

@@ -1,0 +1,60 @@
+"""Tests for the Section-V n_s selection guidelines (tail heuristics)."""
+
+import numpy as np
+import pytest
+
+from repro.core import classify_tail, choose_num_samples, recommend_num_samples
+
+
+class TestClassifyTail:
+    def test_gaussian_is_light(self, rng):
+        assert classify_tail(rng.normal(0, 1, size=5_000)) == "light"
+
+    def test_uniform_is_light(self, rng):
+        assert classify_tail(rng.random(5_000)) == "light"
+
+    def test_cauchy_is_heavy(self, rng):
+        # The paper's explicit heavy-tail example.
+        assert classify_tail(rng.standard_cauchy(5_000)) == "heavy"
+
+    def test_laplace_is_heavy(self, rng):
+        assert classify_tail(rng.laplace(0, 1, size=20_000)) == "heavy"
+
+    def test_constant_is_light(self):
+        assert classify_tail(np.full(10, 0.3)) == "light"
+
+    def test_too_few_values_rejected(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            classify_tail([0.1, 0.2, 0.3])
+
+    def test_custom_threshold(self, rng):
+        sample = rng.normal(0, 1, size=5_000)
+        assert classify_tail(sample, threshold=-2.0) == "heavy"
+
+
+class TestRecommendNumSamples:
+    def test_heavy_tail_small_ns(self):
+        assert recommend_num_samples(40, 10, 1.0, tail="heavy") == 2
+
+    def test_light_tail_uses_equation12(self):
+        expected = choose_num_samples(40, 10, 1.0)
+        assert recommend_num_samples(40, 10, 1.0, tail="light") == expected
+
+    def test_classifies_from_sample(self, rng):
+        heavy = recommend_num_samples(
+            40, 10, 1.0, values=rng.standard_cauchy(5_000)
+        )
+        light = recommend_num_samples(40, 10, 1.0, values=rng.random(5_000))
+        assert heavy == 2
+        assert light >= heavy
+
+    def test_needs_sample_or_label(self):
+        with pytest.raises(ValueError, match="either"):
+            recommend_num_samples(40, 10, 1.0)
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(ValueError, match="'heavy' or 'light'"):
+            recommend_num_samples(40, 10, 1.0, tail="medium")
+
+    def test_degenerate_interval(self):
+        assert recommend_num_samples(1, 10, 1.0, tail="heavy") == 1

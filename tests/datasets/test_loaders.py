@@ -1,0 +1,97 @@
+"""Tests for the real-dataset substitutes."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    c6h6_stream,
+    power_matrix,
+    taxi_matrix,
+    volume_stream,
+)
+
+
+class TestVolume:
+    def test_default_length_matches_original(self):
+        assert volume_stream().size == 48_204
+
+    def test_normalized(self):
+        stream = volume_stream(5_000)
+        assert stream.min() >= 0.0 and stream.max() <= 1.0
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(volume_stream(500), volume_stream(500))
+
+    def test_daily_seasonality(self):
+        # Rush-hour slots should carry systematically more traffic than
+        # night slots, averaged over many days.
+        stream = volume_stream(24 * 200)
+        by_hour = stream.reshape(-1, 24).mean(axis=0)
+        assert by_hour[17] > by_hour[3]
+
+    def test_autocorrelated(self):
+        stream = volume_stream(5_000)
+        lag1 = np.corrcoef(stream[:-1], stream[1:])[0, 1]
+        assert lag1 > 0.5
+
+
+class TestC6H6:
+    def test_default_length_matches_original(self):
+        assert c6h6_stream().size == 9_358
+
+    def test_normalized(self):
+        stream = c6h6_stream(3_000)
+        assert stream.min() >= 0.0 and stream.max() <= 1.0
+
+    def test_autocorrelated(self):
+        stream = c6h6_stream(3_000)
+        lag1 = np.corrcoef(stream[:-1], stream[1:])[0, 1]
+        assert lag1 > 0.7
+
+    def test_has_episodes(self):
+        # Pollution episodes create visible upper-tail mass.
+        stream = c6h6_stream(5_000)
+        assert np.quantile(stream, 0.99) > 2 * np.quantile(stream, 0.5)
+
+
+class TestTaxi:
+    def test_shape(self):
+        matrix = taxi_matrix(20, 100)
+        assert matrix.shape == (20, 100)
+
+    def test_normalized_jointly(self):
+        matrix = taxi_matrix(50, 200)
+        assert matrix.min() >= 0.0 and matrix.max() <= 1.0
+
+    def test_streams_are_smooth(self):
+        matrix = taxi_matrix(10, 500)
+        steps = np.abs(np.diff(matrix, axis=1))
+        assert steps.mean() < 0.02
+
+    def test_users_differ(self):
+        matrix = taxi_matrix(5, 100)
+        assert np.std(matrix.mean(axis=1)) > 0.01
+
+
+class TestPower:
+    def test_shape(self):
+        assert power_matrix(30, 96).shape == (30, 96)
+
+    def test_constant_fraction(self):
+        matrix = power_matrix(100, 96, constant_fraction=0.4)
+        n_constant = sum(np.ptp(matrix[i]) == 0.0 for i in range(100))
+        assert n_constant == 40
+
+    def test_piecewise_constant_structure(self):
+        # Non-constant devices still have mostly flat stretches.
+        matrix = power_matrix(100, 96, constant_fraction=0.0, seed=3)
+        small_steps = np.abs(np.diff(matrix, axis=1)) < 0.05
+        assert small_steps.mean() > 0.8
+
+    def test_in_unit_interval(self):
+        matrix = power_matrix(50, 96)
+        assert matrix.min() >= 0.0 and matrix.max() <= 1.0
+
+    def test_rejects_bad_constant_fraction(self):
+        with pytest.raises(ValueError):
+            power_matrix(10, 96, constant_fraction=1.5)

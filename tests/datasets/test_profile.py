@@ -1,0 +1,96 @@
+"""Tests for dataset profiling (the DESIGN.md substitution evidence)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    StreamProfile,
+    autocorrelation,
+    c6h6_stream,
+    constancy_fraction,
+    power_matrix,
+    profile_stream,
+    seasonality_strength,
+    volume_stream,
+)
+
+
+class TestAutocorrelation:
+    def test_perfect_persistence(self):
+        assert autocorrelation(np.arange(100, dtype=float)) == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_white_noise_near_zero(self, rng):
+        assert abs(autocorrelation(rng.random(5_000))) < 0.05
+
+    def test_alternating_negative(self):
+        stream = np.tile([0.0, 1.0], 50)
+        assert autocorrelation(stream) == pytest.approx(-1.0, abs=0.01)
+
+    def test_constant_is_zero(self):
+        assert autocorrelation(np.full(50, 0.5)) == 0.0
+
+    def test_lag_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.ones(5), lag=5)
+
+
+class TestConstancyFraction:
+    def test_constant(self):
+        assert constancy_fraction(np.full(10, 0.3)) == 1.0
+
+    def test_strictly_changing(self):
+        assert constancy_fraction(np.arange(10, dtype=float)) == 0.0
+
+    def test_piecewise(self):
+        stream = np.array([1.0, 1.0, 1.0, 2.0, 2.0])
+        assert constancy_fraction(stream) == pytest.approx(0.75)
+
+    def test_single_value(self):
+        assert constancy_fraction(np.array([0.5])) == 1.0
+
+
+class TestSeasonality:
+    def test_pure_seasonal_high(self):
+        stream = np.tile(np.sin(np.linspace(0, 2 * np.pi, 24, endpoint=False)), 20)
+        assert seasonality_strength(stream, 24) > 0.95
+
+    def test_white_noise_low(self, rng):
+        assert seasonality_strength(rng.random(24 * 50), 24) < 0.1
+
+    def test_constant_zero(self):
+        assert seasonality_strength(np.full(100, 0.5), 10) == 0.0
+
+    def test_too_few_periods_rejected(self):
+        with pytest.raises(ValueError):
+            seasonality_strength(np.ones(30), 20)
+
+
+class TestProfileStream:
+    def test_fields(self, rng):
+        profile = profile_stream(rng.random(100))
+        assert isinstance(profile, StreamProfile)
+        assert profile.length == 100
+        assert 0.0 <= profile.minimum <= profile.maximum <= 1.0
+
+    def test_summary_text(self, rng):
+        assert "rho1=" in profile_stream(rng.random(50)).summary()
+
+
+class TestSubstituteProperties:
+    """The structural claims DESIGN.md makes about the substitutes."""
+
+    def test_volume_is_seasonal_and_autocorrelated(self):
+        stream = volume_stream(24 * 100)
+        assert seasonality_strength(stream, 24) > 0.3
+        assert autocorrelation(stream) > 0.5
+
+    def test_c6h6_is_strongly_autocorrelated(self):
+        assert autocorrelation(c6h6_stream(3_000)) > 0.7
+
+    def test_power_is_constant_heavy(self):
+        matrix = power_matrix(100, 96)
+        fractions = [constancy_fraction(matrix[i], atol=1e-9) for i in range(100)]
+        # DESIGN.md: ~35% of devices are entirely flat.
+        assert np.mean([f == 1.0 for f in fractions]) == pytest.approx(0.35, abs=0.02)

@@ -1,0 +1,99 @@
+"""Tests for the dataset registry and normalization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    MATRIX_DATASETS,
+    STREAM_DATASETS,
+    NormalizationParams,
+    denormalize,
+    load_matrix,
+    load_stream,
+    minmax_normalize,
+)
+
+
+class TestLoadStream:
+    @pytest.mark.parametrize("name", sorted(STREAM_DATASETS))
+    def test_all_stream_datasets_load(self, name):
+        stream = load_stream(name, length=200)
+        assert stream.size == 200
+        assert stream.min() >= 0.0 and stream.max() <= 1.0
+
+    def test_matrix_dataset_gives_single_stream(self):
+        stream = load_stream("taxi", length=100)
+        assert stream.ndim == 1
+        assert stream.size == 100
+
+    def test_seed_selects_user(self):
+        a = load_stream("taxi", length=100, seed=0)
+        b = load_stream("taxi", length=100, seed=1)
+        assert not np.array_equal(a, b)
+
+    def test_random_walk(self):
+        stream = load_stream("random_walk", length=150, seed=2)
+        assert stream.size == 150
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_stream("nope")
+
+    def test_case_insensitive(self):
+        assert load_stream("VOLUME", length=50).size == 50
+
+
+class TestLoadMatrix:
+    @pytest.mark.parametrize("name", sorted(MATRIX_DATASETS))
+    def test_matrix_datasets_load(self, name):
+        matrix = load_matrix(name, n_users=10, length=50)
+        assert matrix.shape == (10, 50)
+
+    def test_sin_data(self):
+        matrix = load_matrix("sin-data", n_dimensions=4, length=100)
+        assert matrix.shape == (4, 100)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown matrix"):
+            load_matrix("nope")
+
+
+class TestMinmaxNormalize:
+    def test_maps_to_unit_interval(self, rng):
+        arr = rng.normal(5, 3, size=100)
+        out = minmax_normalize(arr)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_constant_maps_to_half(self):
+        out = minmax_normalize(np.full(5, 3.0))
+        np.testing.assert_array_equal(out, 0.5)
+
+    def test_preserves_order(self, rng):
+        arr = rng.normal(size=50)
+        out = minmax_normalize(arr)
+        np.testing.assert_array_equal(np.argsort(arr), np.argsort(out))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            minmax_normalize(np.array([1.0, float("nan")]))
+
+    def test_works_on_matrices(self, rng):
+        out = minmax_normalize(rng.normal(size=(4, 5)))
+        assert out.shape == (4, 5)
+        assert out.min() == pytest.approx(0.0)
+
+
+class TestNormalizationParams:
+    def test_roundtrip(self, rng):
+        params = NormalizationParams(low=10.0, high=20.0)
+        arr = rng.uniform(10, 20, size=30)
+        np.testing.assert_allclose(params.invert(params.apply(arr)), arr)
+
+    def test_denormalize_helper(self):
+        out = denormalize(np.array([0.0, 0.5, 1.0]), 10.0, 20.0)
+        np.testing.assert_allclose(out, [10.0, 15.0, 20.0])
+
+    def test_degenerate_range_rejected(self):
+        with pytest.raises(ValueError):
+            NormalizationParams(low=1.0, high=1.0)

@@ -1,0 +1,106 @@
+"""Tests for the synthetic stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    constant_stream,
+    pulse_stream,
+    random_walk_stream,
+    sin_matrix,
+    sinusoidal_stream,
+)
+
+
+class TestConstant:
+    def test_value_and_length(self):
+        stream = constant_stream(50, value=0.1)
+        assert stream.size == 50
+        assert np.all(stream == 0.1)
+
+    def test_default_matches_paper(self):
+        assert constant_stream(3)[0] == 0.1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            constant_stream(10, value=1.5)
+
+
+class TestPulse:
+    def test_pattern(self):
+        stream = pulse_stream(10, period=5)
+        np.testing.assert_array_equal(
+            stream, [0, 0, 0, 0, 1, 0, 0, 0, 0, 1]
+        )
+
+    def test_pulse_count(self):
+        assert pulse_stream(100, period=5).sum() == 20
+
+    def test_custom_high(self):
+        assert pulse_stream(10, period=5, high=0.5).max() == 0.5
+
+    def test_in_unit_interval(self):
+        stream = pulse_stream(37, period=4)
+        assert stream.min() >= 0 and stream.max() <= 1
+
+
+class TestSinusoidal:
+    def test_range(self):
+        stream = sinusoidal_stream(1000, cycles=3)
+        assert stream.min() >= 0.0
+        assert stream.max() <= 1.0
+        assert stream.max() - stream.min() > 0.9  # full swing
+
+    def test_cycles(self):
+        stream = sinusoidal_stream(400, cycles=4)
+        # 4 full cycles -> 4 maxima above 0.99.
+        peaks = np.sum(
+            (stream[1:-1] > stream[:-2])
+            & (stream[1:-1] > stream[2:])
+            & (stream[1:-1] > 0.95)
+        )
+        assert peaks == 4
+
+    def test_rejects_nonpositive_cycles(self):
+        with pytest.raises(ValueError):
+            sinusoidal_stream(10, cycles=0)
+
+
+class TestRandomWalk:
+    def test_confined_to_unit_interval(self, rng):
+        stream = random_walk_stream(5_000, step_scale=0.1, rng=rng)
+        assert stream.min() >= 0.0
+        assert stream.max() <= 1.0
+
+    def test_starts_at_start(self, rng):
+        stream = random_walk_stream(10, start=0.3, rng=rng)
+        assert stream[0] == pytest.approx(0.3)
+
+    def test_deterministic_with_seed(self):
+        a = random_walk_stream(100, rng=np.random.default_rng(1))
+        b = random_walk_stream(100, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            random_walk_stream(10, step_scale=0.0)
+
+
+class TestSinMatrix:
+    def test_shape(self):
+        assert sin_matrix(5, 100).shape == (5, 100)
+
+    def test_rows_in_unit_interval(self):
+        matrix = sin_matrix(10, 200)
+        assert matrix.min() >= 0.0 and matrix.max() <= 1.0
+
+    def test_rows_have_distinct_frequencies(self):
+        matrix = sin_matrix(3, 300)
+        # Higher-index rows oscillate faster: count sign changes of the
+        # centered series.
+        def crossings(row):
+            centered = row - 0.5
+            return np.sum(np.sign(centered[:-1]) != np.sign(centered[1:]))
+
+        counts = [crossings(matrix[i]) for i in range(3)]
+        assert counts[0] < counts[1] < counts[2]

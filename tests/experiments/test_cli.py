@@ -1,0 +1,81 @@
+"""Tests for the experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_accepts_every_experiment(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_list_option(self):
+        args = build_parser().parse_args(["list"])
+        assert args.experiment == "list"
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["fig4", "--datasets", "c6h6", "--windows", "10", "--scale", "0.5"]
+        )
+        assert args.datasets == ["c6h6"]
+        assert args.windows == [10]
+        assert args.scale == 0.5
+
+
+class TestMain:
+    def test_list_prints_catalogue(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_invalid_scale(self, capsys):
+        assert main(["table1", "--scale", "0"]) == 2
+
+    def test_table1_tiny_run(self, capsys):
+        code = main(
+            ["table1", "--scale", "0.1", "--datasets", "c6h6", "--windows", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "topl" in out
+
+    def test_fig4_tiny_run(self, capsys):
+        code = main(
+            [
+                "fig4",
+                "--scale", "0.1",
+                "--datasets", "c6h6",
+                "--windows", "10",
+                "--epsilons", "1.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig.4 c6h6 w=10" in out
+        assert "capp" in out
+
+    def test_fig11_tiny_run(self, capsys):
+        code = main(["fig11", "--scale", "0.1", "--datasets", "constant",
+                     "--epsilons", "1.0"])
+        assert code == 0
+        assert "Fig.11 constant" in capsys.readouterr().out
+
+    def test_models_tiny_run(self, capsys):
+        code = main(["models", "--scale", "0.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "WEvent" in out and "UserLevel" in out
+
+    def test_distribution_tiny_run(self, capsys):
+        code = main(["distribution", "--scale", "0.1", "--epsilons", "0.5"])
+        assert code == 0
+        assert "gaussian" in capsys.readouterr().out

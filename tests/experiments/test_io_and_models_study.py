@@ -1,0 +1,93 @@
+"""Tests for result persistence and the privacy-model study."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ResultDocument,
+    load_results,
+    run_models_study,
+    save_results,
+)
+
+
+class TestResultDocument:
+    def test_json_roundtrip(self):
+        doc = ResultDocument(
+            experiment="fig4",
+            parameters={"w": 10},
+            results={"app": [0.1, 0.2]},
+        )
+        restored = ResultDocument.from_json(doc.to_json())
+        assert restored.experiment == "fig4"
+        assert restored.parameters == {"w": 10}
+        assert restored.results == {"app": [0.1, 0.2]}
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="version"):
+            ResultDocument.from_json('{"experiment": "x", "version": 99}')
+
+
+class TestSaveLoad:
+    def test_roundtrip_on_disk(self, tmp_path):
+        path = os.path.join(tmp_path, "sub", "result.json")
+        save_results(
+            path,
+            "table1",
+            results={("c6h6", 20): {"app": 0.1}},
+            parameters={"epsilon": 1.0},
+        )
+        doc = load_results(path)
+        assert doc.experiment == "table1"
+        # Tuple keys are stringified deterministically.
+        assert "('c6h6', 20)" in doc.results
+        assert doc.parameters["epsilon"] == 1.0
+
+    def test_numpy_values_serialized(self, tmp_path):
+        path = os.path.join(tmp_path, "np.json")
+        save_results(
+            path,
+            "fig4",
+            results={"series": np.array([1.0, 2.0]), "scalar": np.float64(3.5)},
+        )
+        doc = load_results(path)
+        assert doc.results["series"] == [1.0, 2.0]
+        assert doc.results["scalar"] == 3.5
+
+
+class TestModelsStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        stream = np.clip(0.4 + 0.2 * np.sin(np.arange(60) / 6), 0, 1)
+        return run_models_study(
+            stream, epsilon=1.0, w=10, n_repeats=8,
+            rng=np.random.default_rng(0),
+        )
+
+    def test_all_models_present(self, study):
+        assert set(study) == {"EventLevel", "WEvent", "UserLevel"}
+
+    def test_budget_ordering(self, study):
+        assert (
+            study["UserLevel"]["per_slot"]
+            < study["WEvent"]["per_slot"]
+            < study["EventLevel"]["per_slot"]
+        )
+
+    def test_protection_ordering(self, study):
+        assert (
+            study["EventLevel"]["protected_span"]
+            < study["WEvent"]["protected_span"]
+            < study["UserLevel"]["protected_span"]
+        )
+
+    def test_utility_tracks_budget(self, study):
+        # Event-level (most budget) publishes better streams than
+        # user-level (least budget).
+        assert study["EventLevel"]["cosine"] < study["UserLevel"]["cosine"]
+
+    def test_metrics_finite(self, study):
+        for metrics in study.values():
+            assert all(np.isfinite(v) for v in metrics.values())

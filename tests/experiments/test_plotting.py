@@ -1,0 +1,75 @@
+"""Tests for the terminal plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import line_chart, sparkline, sweep_chart
+
+
+class TestSparkline:
+    def test_length_matches_series(self, rng):
+        assert len(sparkline(rng.random(17))) == 17
+
+    def test_constant_series_flat(self):
+        out = sparkline(np.full(8, 0.3))
+        assert out == "▁" * 8
+
+    def test_monotone_series_monotone_glyphs(self):
+        out = sparkline(np.linspace(0, 1, 8))
+        levels = "▁▂▃▄▅▆▇█"
+        indices = [levels.index(ch) for ch in out]
+        assert indices == sorted(indices)
+        assert indices[0] == 0 and indices[-1] == 7
+
+    def test_extremes_hit_both_ends(self):
+        out = sparkline([0.0, 1.0])
+        assert out[0] == "▁" and out[1] == "█"
+
+
+class TestLineChart:
+    def test_contains_title_and_bounds(self, rng):
+        out = line_chart(rng.random(30), height=5, title="My Chart")
+        assert out.splitlines()[0] == "My Chart"
+        assert "┐" in out and "┘" in out
+
+    def test_height_rows(self, rng):
+        out = line_chart(rng.random(30), height=6)
+        # 6 chart rows + 2 bound rows.
+        assert len(out.splitlines()) == 8
+
+    def test_downsampling(self, rng):
+        out = line_chart(rng.random(1_000), height=4, width=40)
+        chart_rows = out.splitlines()[1:-1]
+        assert all(len(row) <= 7 + 40 for row in chart_rows)
+
+    def test_one_dot_per_column(self, rng):
+        series = rng.random(25)
+        out = line_chart(series, height=8)
+        rows = [line[7:] for line in out.splitlines()[1:-1]]
+        for col in range(25):
+            dots = sum(1 for row in rows if col < len(row) and row[col] == "•")
+            assert dots == 1
+
+
+class TestSweepChart:
+    def test_contains_all_algorithms(self):
+        out = sweep_chart(
+            [0.5, 1.0],
+            {"app": [0.2, 0.1], "capp": [0.15, 0.08]},
+            title="Fig.4",
+        )
+        assert "Fig.4" in out
+        assert "app" in out and "capp" in out
+        assert "eps grid" in out
+
+    def test_range_annotation(self):
+        out = sweep_chart([1.0], {"x": [0.25]})
+        assert "0.25" in out
+
+    def test_log_scale_handles_huge_ratios(self):
+        out = sweep_chart(
+            [0.5, 1.0],
+            {"topl": [100.0, 50.0], "app": [0.01, 0.005]},
+            log_scale=True,
+        )
+        assert "topl" in out and "app" in out

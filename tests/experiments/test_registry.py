@@ -1,0 +1,31 @@
+"""Tests for the experiment algorithm registry."""
+
+import pytest
+
+from repro.core import StreamPerturber
+from repro.experiments import ALGORITHM_FACTORIES, algorithm_names, make_algorithm
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(ALGORITHM_FACTORIES))
+    def test_every_factory_builds(self, name):
+        perturber = make_algorithm(name, 1.0, 10)
+        assert isinstance(perturber, StreamPerturber)
+
+    def test_case_insensitive(self):
+        assert type(make_algorithm("CAPP", 1.0, 10)).__name__ == "CAPP"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            make_algorithm("magic", 1.0, 10)
+
+    def test_names_sorted(self):
+        names = algorithm_names()
+        assert names == sorted(names)
+        assert "capp" in names
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHM_FACTORIES))
+    def test_factories_run_end_to_end(self, name, smooth_stream, rng):
+        perturber = make_algorithm(name, 1.0, 10)
+        result = perturber.perturb_stream(smooth_stream, rng)
+        assert len(result) == smooth_stream.size

@@ -1,0 +1,39 @@
+"""Tests for the plain-text table rendering."""
+
+from repro.experiments import format_sweep, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        out = format_table(["a", "b"], [["x", 1.5], ["y", 2.0]])
+        assert "a" in out and "b" in out
+        assert "x" in out and "1.5" in out
+
+    def test_title_rendered_first(self):
+        out = format_table(["c"], [["v"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_alignment_consistent(self):
+        out = format_table(["col"], [["a"], ["longer"]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len(lines[2]) or lines[1].rstrip()
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.000123456]], float_format="{:.2e}")
+        assert "1.23e-04" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestFormatSweep:
+    def test_renders_epsilons_and_algorithms(self):
+        out = format_sweep([0.5, 1.0], {"app": [0.1, 0.2], "capp": [0.3, 0.4]})
+        assert "eps=0.5" in out
+        assert "app" in out and "capp" in out
+
+    def test_rows_sorted_by_algorithm(self):
+        out = format_sweep([1.0], {"z": [1.0], "a": [2.0]})
+        lines = out.splitlines()
+        assert lines[2].startswith("a")

@@ -1,0 +1,124 @@
+"""Tests for the generic experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SweepResult,
+    mean_squared_error_of_mean,
+    publication_cosine_distance,
+    publication_jsd,
+    run_epsilon_sweep,
+    sample_subsequences,
+)
+from repro.experiments.registry import make_algorithm
+
+
+class TestSampleSubsequences:
+    def test_count_and_length(self, rng):
+        stream = rng.random(500)
+        subs = sample_subsequences(stream, 20, 7, rng)
+        assert len(subs) == 7
+        assert all(s.size == 20 for s in subs)
+
+    def test_subsequences_are_views_of_stream_content(self, rng):
+        stream = rng.random(100)
+        subs = sample_subsequences(stream, 10, 3, rng)
+        for sub in subs:
+            # Each subsequence occurs contiguously in the stream.
+            found = any(
+                np.array_equal(stream[s : s + 10], sub)
+                for s in range(91)
+            )
+            assert found
+
+    def test_full_length_subsequence(self, rng):
+        stream = rng.random(30)
+        subs = sample_subsequences(stream, 30, 2, rng)
+        for sub in subs:
+            np.testing.assert_array_equal(sub, stream)
+
+    def test_too_long_rejected(self, rng):
+        with pytest.raises(ValueError, match="exceeds"):
+            sample_subsequences(rng.random(10), 11, 1, rng)
+
+    def test_deterministic_given_seed(self):
+        stream = np.random.default_rng(0).random(200)
+        a = sample_subsequences(stream, 10, 5, np.random.default_rng(42))
+        b = sample_subsequences(stream, 10, 5, np.random.default_rng(42))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestMetrics:
+    def test_mean_mse_nonnegative(self, smooth_stream, rng):
+        perturber = make_algorithm("app", 1.0, 10)
+        value = mean_squared_error_of_mean(perturber, smooth_stream, rng)
+        assert value >= 0.0
+
+    def test_cosine_in_range(self, smooth_stream, rng):
+        perturber = make_algorithm("capp", 1.0, 10)
+        value = publication_cosine_distance(perturber, smooth_stream, rng)
+        assert -1e-9 <= value <= 2.0
+
+    def test_jsd_in_range(self, smooth_stream, rng):
+        perturber = make_algorithm("sw-direct", 1.0, 10)
+        value = publication_jsd(perturber, smooth_stream, rng)
+        assert 0.0 <= value <= 1.0
+
+
+class TestRunEpsilonSweep:
+    def test_structure(self, smooth_stream):
+        sweep = run_epsilon_sweep(
+            smooth_stream,
+            ["sw-direct", "app"],
+            epsilons=[0.5, 1.0],
+            w=10,
+            n_subsequences=3,
+            seed=0,
+        )
+        assert isinstance(sweep, SweepResult)
+        assert sweep.epsilons == [0.5, 1.0]
+        assert set(sweep.values) == {"sw-direct", "app"}
+        assert all(len(v) == 2 for v in sweep.values.values())
+
+    def test_query_length_defaults_to_w(self, smooth_stream):
+        sweep = run_epsilon_sweep(
+            smooth_stream,
+            ["app"],
+            epsilons=[1.0],
+            w=15,
+            n_subsequences=2,
+            seed=0,
+        )
+        assert len(sweep.values["app"]) == 1
+
+    def test_reproducible(self, smooth_stream):
+        kwargs = dict(
+            algorithms=["app"], epsilons=[1.0], w=10, n_subsequences=3, seed=5
+        )
+        a = run_epsilon_sweep(smooth_stream, **kwargs)
+        b = run_epsilon_sweep(smooth_stream, **kwargs)
+        assert a.values == b.values
+
+    def test_best_algorithm(self):
+        sweep = SweepResult(
+            epsilons=[1.0], values={"a": [0.5], "b": [0.1]}
+        )
+        assert sweep.best_algorithm(0) == "b"
+
+    def test_as_rows_sorted(self):
+        sweep = SweepResult(epsilons=[1.0], values={"z": [1.0], "a": [2.0]})
+        assert [name for name, _ in sweep.as_rows()] == ["a", "z"]
+
+    def test_repeats_accepted(self, smooth_stream):
+        sweep = run_epsilon_sweep(
+            smooth_stream,
+            ["app"],
+            epsilons=[1.0],
+            w=10,
+            n_subsequences=2,
+            n_repeats=2,
+            seed=0,
+        )
+        assert len(sweep.values["app"]) == 1

@@ -1,0 +1,115 @@
+"""Smoke + structure tests for the table/figure runners (reduced scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    format_table1,
+    run_fig4,
+    run_fig6,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_table1,
+)
+
+# Shared reduced-scale knobs so the suite stays fast.
+SMALL = dict(n_subsequences=3, n_repeats=1, stream_length=300, seed=0)
+
+
+class TestTable1:
+    def test_structure(self):
+        result = run_table1(
+            windows=(20,), datasets=("c6h6",), n_subsequences=3,
+            stream_length=300,
+        )
+        assert set(result) == {"c6h6"}
+        assert set(result["c6h6"]) == {20}
+        cells = result["c6h6"][20]
+        assert set(cells) == {"sw-direct", "ipp", "app", "topl"}
+        assert all(v >= 0 for v in cells.values())
+
+    def test_topl_orders_of_magnitude_worse(self):
+        result = run_table1(
+            windows=(20,), datasets=("c6h6",), n_subsequences=8,
+            stream_length=500, seed=3,
+        )
+        cells = result["c6h6"][20]
+        assert cells["topl"] > 10 * cells["app"]
+
+    def test_formatting(self):
+        result = run_table1(
+            windows=(20,), datasets=("c6h6",), n_subsequences=2,
+            stream_length=300,
+        )
+        text = format_table1(result)
+        assert "Table I" in text
+        assert "c6h6" in text
+
+
+class TestFig4:
+    def test_structure(self):
+        result = run_fig4(
+            datasets=("c6h6",), windows=(10,), epsilons=(0.5, 1.0), **SMALL
+        )
+        series = result["c6h6"][10]
+        assert set(series) == {"sw-direct", "ba-sw", "ipp", "app", "capp"}
+        assert all(len(v) == 2 for v in series.values())
+
+
+class TestFig6:
+    def test_structure(self):
+        panels = (("volume", 20, 10),)
+        result = run_fig6(panels=panels, epsilons=(1.0,), **SMALL)
+        series = result[("volume", 20, 10)]
+        assert "app-s" in series and "capp-s" in series and "sampling" in series
+
+
+class TestFig8:
+    def test_structure(self):
+        panels = (("taxi", 10, 10, False), ("taxi", 20, 10, True))
+        result = run_fig8(panels=panels, epsilons=(1.0,), n_users=15, seed=0)
+        non_sampling = result[("taxi", 10, 10, False)]
+        sampling = result[("taxi", 20, 10, True)]
+        assert "ba-sw" in non_sampling
+        assert "capp-s" in sampling
+        assert all(v[0] >= 0 for v in non_sampling.values())
+
+
+class TestFig9:
+    def test_structure(self):
+        result = run_fig9(datasets=("c6h6",), epsilons=(1.0,), **SMALL)
+        assert set(result["c6h6"]) == {"mse", "cosine"}
+        assert "laplace-app" in result["c6h6"]["mse"]
+        assert "sw-app" in result["c6h6"]["cosine"]
+
+    def test_sw_beats_laplace_direct_at_small_eps(self):
+        result = run_fig9(
+            datasets=("c6h6",), epsilons=(0.5,), n_subsequences=8,
+            stream_length=500, seed=1,
+        )
+        mse = result["c6h6"]["mse"]
+        assert mse["sw-direct"][0] < mse["laplace-direct"][0]
+
+
+class TestFig10:
+    def test_structure(self):
+        result = run_fig10(dimensions=(3,), epsilons=(1.0,), length=60, n_repeats=1)
+        per = result[3]
+        assert set(per) == {"mse", "cosine"}
+        assert set(per["mse"]) == {
+            "sw-bs", "app-bs", "capp-bs", "sw-ss", "app-ss", "capp-ss",
+        }
+
+
+class TestFig11:
+    def test_structure(self):
+        deltas = (-0.2, 0.0, 0.2)
+        result = run_fig11(
+            datasets=("constant",), epsilons=(1.0,), deltas=deltas,
+            n_subsequences=2, stream_length=100,
+        )
+        series = result["constant"][1.0]
+        assert len(series) == 3
+        assert all(v >= 0 for v in series)

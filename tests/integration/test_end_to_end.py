@@ -1,0 +1,97 @@
+"""End-to-end integration tests across the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    APP,
+    BASW,
+    CAPP,
+    IPP,
+    NaiveSampling,
+    PPSampling,
+    SWDirect,
+    ToPL,
+)
+from repro.analysis import crowd_mean_distribution_distance, estimate_mean
+from repro.core import BudgetSplit, SampleSplit
+from repro.datasets import load_matrix, load_stream, sin_matrix
+from repro.metrics import cosine_distance, mse
+
+ALL_STREAM_ALGORITHMS = [SWDirect, BASW, IPP, APP, CAPP, ToPL]
+
+
+class TestFullPipelinePerDataset:
+    @pytest.mark.parametrize("dataset", ["volume", "c6h6", "taxi", "power"])
+    def test_every_algorithm_on_every_dataset(self, dataset, rng):
+        stream = load_stream(dataset, length=80)
+        for cls in ALL_STREAM_ALGORITHMS:
+            result = cls(1.0, 10).perturb_stream(stream, rng)
+            result.accountant.assert_valid()
+            assert np.all(np.isfinite(result.published))
+            assert np.isfinite(estimate_mean(result))
+
+    @pytest.mark.parametrize("base", ["ipp", "app", "capp"])
+    def test_sampling_variants(self, base, rng):
+        stream = load_stream("volume", length=90)
+        result = PPSampling(1.0, 10, base=base, n_samples=9).perturb_stream(
+            stream, rng
+        )
+        result.accountant.assert_valid()
+        assert result.perturbed.size == 90
+
+
+class TestCollectorWorkflow:
+    def test_publication_and_statistics_workflow(self, rng):
+        """The Fig. 1 protocol: perturb locally, aggregate at collector."""
+        stream = load_stream("c6h6", length=100)
+        capp = CAPP(2.0, 10)
+        result = capp.perturb_stream(stream, rng)
+
+        published = result.published
+        assert published.size == stream.size
+        assert cosine_distance(published, stream) < cosine_distance(
+            rng.random(100), stream
+        ) + 2.0  # sanity: finite, comparable
+
+        mean = estimate_mean(result)
+        assert abs(mean - stream.mean()) < 0.5
+
+    def test_crowd_workflow(self, rng):
+        matrix = load_matrix("power", n_users=25, length=40)
+        distance = crowd_mean_distribution_distance(
+            matrix, lambda: APP(2.0, 10), rng
+        )
+        assert np.isfinite(distance)
+
+    def test_multidim_workflow(self, rng):
+        matrix = sin_matrix(4, 80)
+        for strategy_cls in (BudgetSplit, SampleSplit):
+            strategy = strategy_cls(lambda e, w: APP(e, w), epsilon=2.0, w=8)
+            run = strategy.perturb_matrix(matrix, rng)
+            run.accountant.assert_valid()
+            assert run.published.shape == matrix.shape
+
+
+class TestUtilityImprovesWithBudget:
+    @pytest.mark.parametrize("cls", [SWDirect, APP, CAPP])
+    def test_mse_decreases_from_tiny_to_large_budget(self, cls):
+        stream = load_stream("volume", length=60)
+        small, large = [], []
+        for rep in range(8):
+            rng_small = np.random.default_rng(800 + rep)
+            rng_large = np.random.default_rng(900 + rep)
+            r_small = cls(0.2, 10).perturb_stream(stream, rng_small)
+            r_large = cls(10.0, 10).perturb_stream(stream, rng_large)
+            small.append(mse(r_small.published, stream))
+            large.append(mse(r_large.published, stream))
+        assert np.mean(large) < np.mean(small)
+
+
+class TestReproducibility:
+    def test_identical_runs_identical_outputs(self):
+        stream = load_stream("c6h6", length=70)
+        for cls in ALL_STREAM_ALGORITHMS:
+            a = cls(1.0, 10).perturb_stream(stream, np.random.default_rng(1))
+            b = cls(1.0, 10).perturb_stream(stream, np.random.default_rng(1))
+            np.testing.assert_array_equal(a.perturbed, b.perturbed)

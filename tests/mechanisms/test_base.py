@@ -1,0 +1,65 @@
+"""Tests for the Mechanism ABC, OutputDomain, and the registry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import (
+    MECHANISM_REGISTRY,
+    Mechanism,
+    OutputDomain,
+    SquareWaveMechanism,
+    make_mechanism,
+)
+
+
+class TestOutputDomain:
+    def test_bounded(self):
+        dom = OutputDomain(-0.5, 1.5)
+        assert dom.is_bounded
+        assert dom.width == pytest.approx(2.0)
+
+    def test_unbounded(self):
+        dom = OutputDomain(-math.inf, math.inf)
+        assert not dom.is_bounded
+        assert dom.width == math.inf
+
+    def test_contains(self):
+        dom = OutputDomain(0.0, 1.0)
+        mask = dom.contains(np.array([-0.5, 0.5, 1.5]))
+        assert mask.tolist() == [False, True, False]
+
+    def test_contains_tolerance(self):
+        dom = OutputDomain(0.0, 1.0)
+        assert bool(dom.contains(1.0 + 1e-12))
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError, match="empty"):
+            OutputDomain(1.0, 1.0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(MECHANISM_REGISTRY))
+    def test_instantiates_every_entry(self, name):
+        mech = make_mechanism(name, 1.0)
+        assert isinstance(mech, Mechanism)
+        assert mech.epsilon == 1.0
+
+    def test_case_insensitive(self):
+        assert isinstance(make_mechanism("SW", 1.0), SquareWaveMechanism)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown mechanism"):
+            make_mechanism("gauss", 1.0)
+
+
+class TestPrepare:
+    def test_clips_tiny_float_error(self, rng):
+        mech = SquareWaveMechanism(1.0)
+        # within the 1e-9 tolerance -> accepted and clipped
+        out = mech.perturb(np.array([1.0 + 5e-10]), rng)
+        assert out.shape == (1,)
+
+    def test_epsilon_property(self):
+        assert SquareWaveMechanism(0.25).epsilon == 0.25

@@ -1,0 +1,60 @@
+"""Property-style tests for the EM distribution estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mechanisms import SquareWaveMechanism
+
+
+class TestEMSimplexProperties:
+    @given(
+        eps=st.floats(min_value=0.2, max_value=5.0),
+        n_bins=st.integers(min_value=4, max_value=40),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_output_is_probability_vector(self, eps, n_bins, seed):
+        rng = np.random.default_rng(seed)
+        mech = SquareWaveMechanism(eps)
+        reports = mech.perturb(rng.random(500), rng)
+        dist = mech.estimate_distribution(reports, n_bins=n_bins)
+        assert dist.shape == (n_bins,)
+        assert dist.min() >= 0.0
+        assert dist.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_permutation_of_reports_irrelevant(self, rng):
+        mech = SquareWaveMechanism(1.0)
+        reports = mech.perturb(rng.random(2_000), rng)
+        a = mech.estimate_distribution(reports, n_bins=16)
+        b = mech.estimate_distribution(reports[::-1].copy(), n_bins=16)
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_scaling_sample_size_stabilizes(self, rng):
+        # Doubling the sample keeps the estimate close (consistency).
+        mech = SquareWaveMechanism(2.0)
+        truth = np.clip(rng.normal(0.4, 0.1, size=40_000), 0, 1)
+        reports = mech.perturb(truth, rng)
+        small = mech.estimate_distribution(reports[:20_000], n_bins=10)
+        large = mech.estimate_distribution(reports, n_bins=10)
+        assert np.abs(small - large).sum() < 0.25
+
+    def test_more_iterations_never_hurts_normalization(self, rng):
+        mech = SquareWaveMechanism(1.0)
+        reports = mech.perturb(rng.random(1_000), rng)
+        for iterations in (1, 10, 100):
+            dist = mech.estimate_distribution(
+                reports, n_bins=12, max_iterations=iterations
+            )
+            assert dist.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_two_point_mixture_recovered(self, rng):
+        mech = SquareWaveMechanism(3.0)
+        truth = np.where(rng.random(50_000) < 0.5, 0.2, 0.8)
+        reports = mech.perturb(truth, rng)
+        dist = mech.estimate_distribution(reports, n_bins=10)
+        # Bins around 0.2 and 0.8 carry most of the mass.
+        assert dist[1] + dist[2] > 0.25
+        assert dist[7] + dist[8] > 0.25
+        assert dist[4] + dist[5] < 0.25

@@ -1,0 +1,117 @@
+"""Tests for repro.mechanisms.moments against the paper's closed forms
+and Monte Carlo estimates."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import (
+    SquareWaveMechanism,
+    deviation_expectation_closed_form,
+    deviation_moments,
+    deviation_variance_closed_form,
+    output_moments_at_one,
+    sampling_objective,
+    variance_of_sample_variance,
+)
+
+
+class TestDeviationMoments:
+    @pytest.mark.parametrize("eps", [0.1, 0.5, 1.0, 3.0])
+    @pytest.mark.parametrize("x", [0.0, 0.5, 1.0])
+    def test_mean_matches_paper_closed_form(self, eps, x):
+        # Paper: E(D_x) = q((1 + 2b)x - (b + 1/2)).
+        ours = deviation_moments(eps, x).mean
+        paper = deviation_expectation_closed_form(eps, x)
+        assert ours == pytest.approx(paper, rel=1e-10, abs=1e-12)
+
+    @pytest.mark.parametrize("eps", [0.2, 1.0, 2.0])
+    def test_variance_monte_carlo(self, rng, eps):
+        mech = SquareWaveMechanism(eps)
+        x = 1.0
+        deviations = x - mech.perturb(np.full(200_000, x), rng)
+        assert deviation_moments(eps, x).variance == pytest.approx(
+            deviations.var(), rel=0.03
+        )
+
+    def test_variance_decreases_with_epsilon(self):
+        variances = [deviation_moments(e).variance for e in (0.1, 0.5, 1.0, 2.0, 5.0)]
+        assert all(a > b for a, b in zip(variances, variances[1:]))
+
+    def test_std_is_sqrt_variance(self):
+        m = deviation_moments(1.0)
+        assert m.std == pytest.approx(math.sqrt(m.variance))
+
+
+class TestPaperClosedFormVariance:
+    """The paper's Var(D_x) closed form vs our exact integration at x=1."""
+
+    @pytest.mark.parametrize("eps", [0.3, 0.7, 1.0, 2.0])
+    def test_agreement_up_to_mean_term(self, eps):
+        # The paper's closed form drops the (E D)^2 term's x-dependence by
+        # evaluating at x=1; our exact Var at x=1 should match it closely.
+        exact = deviation_moments(eps, x=1.0).variance
+        paper = deviation_variance_closed_form(eps)
+        # The printed formula carries minor typos; agreement within a few
+        # percent confirms we reproduce the intended quantity.
+        assert paper == pytest.approx(exact, rel=0.05)
+
+
+class TestOutputMomentsAtOne:
+    def test_against_monte_carlo(self, rng):
+        eps = 1.0
+        mu, sigma2, mu4 = output_moments_at_one(eps)
+        mech = SquareWaveMechanism(eps)
+        out = mech.perturb(np.full(300_000, 1.0), rng)
+        assert mu == pytest.approx(out.mean(), abs=0.005)
+        assert sigma2 == pytest.approx(out.var(), rel=0.02)
+        assert mu4 == pytest.approx(((out - out.mean()) ** 4).mean(), rel=0.05)
+
+    def test_paper_mu_closed_form(self):
+        # mu = 2bp - bq + q/2 at x = 1.
+        eps = 0.8
+        mech = SquareWaveMechanism(eps)
+        mu, _, _ = output_moments_at_one(eps)
+        paper = 2 * mech.b * mech.p - mech.b * mech.q + mech.q / 2
+        assert mu == pytest.approx(paper, rel=1e-10)
+
+
+class TestVarianceOfSampleVariance:
+    def test_classical_formula(self):
+        # For n samples: Var(S^2) = (mu4 - sigma^4 (n-3)/(n-1)) / n.
+        value = variance_of_sample_variance(10, sigma2=2.0, mu4=7.0)
+        expected = (7.0 - 4.0 * 7.0 / 9.0) / 10.0
+        assert value == pytest.approx(expected)
+
+    def test_literal_paper_variant(self):
+        value = variance_of_sample_variance(10, sigma2=2.0, mu4=7.0, literal=True)
+        expected = (7.0 - 2.0 * 7.0 / 9.0) / 10.0
+        assert value == pytest.approx(expected)
+
+    def test_single_sample_is_infinite(self):
+        assert variance_of_sample_variance(1, 1.0, 1.0) == math.inf
+
+    def test_monte_carlo_agreement(self, rng):
+        # Simulate the sample variance of n SW(1) draws many times.
+        eps, n = 1.0, 8
+        mech = SquareWaveMechanism(eps)
+        draws = mech.perturb(np.ones((20_000, n)), rng)
+        sample_vars = draws.var(axis=1, ddof=1)
+        _, sigma2, mu4 = output_moments_at_one(eps)
+        predicted = variance_of_sample_variance(n, sigma2, mu4)
+        assert sample_vars.var() == pytest.approx(predicted, rel=0.08)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            variance_of_sample_variance(0, 1.0, 1.0)
+
+
+class TestSamplingObjective:
+    def test_positive_and_finite_for_n_at_least_two(self):
+        assert 0 < sampling_objective(2, 1.0) < math.inf
+        assert 0 < sampling_objective(50, 0.5) < math.inf
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            sampling_objective(5, 0.0)

@@ -1,0 +1,134 @@
+"""Tests for the Laplace, PM, SR, and HM mechanisms (Fig. 9 / ToPL substrate)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import (
+    DuchiMechanism,
+    HybridMechanism,
+    LaplaceMechanism,
+    PiecewiseMechanism,
+)
+from repro.mechanisms.hybrid import EPSILON_STAR
+
+
+class TestLaplace:
+    def test_unbiased(self, rng):
+        mech = LaplaceMechanism(1.0)
+        out = mech.perturb(np.full(200_000, 0.3), rng)
+        assert out.mean() == pytest.approx(0.3, abs=0.01)
+
+    def test_variance_matches_analytic(self, rng):
+        mech = LaplaceMechanism(1.0)
+        out = mech.perturb(np.full(200_000, 0.3), rng)
+        assert out.var() == pytest.approx(float(mech.output_variance(0.3)), rel=0.03)
+
+    def test_scale_in_canonical_units(self):
+        # Native Lap(2/eps) on [-1,1] halves to Lap(1/eps) canonically.
+        mech = LaplaceMechanism(2.0)
+        assert mech.scale == pytest.approx(0.5)
+
+    def test_output_unbounded_domain(self):
+        dom = LaplaceMechanism(1.0).output_domain
+        assert not dom.is_bounded
+
+    def test_small_epsilon_has_huge_noise(self):
+        # The paper's motivation: Laplace generates perturbations "well
+        # beyond [-1, 1] even with small noise".
+        assert float(LaplaceMechanism(0.05).output_variance(0.5)) > 100.0
+
+
+class TestPiecewise:
+    def test_unbiased(self, rng):
+        mech = PiecewiseMechanism(1.0)
+        for x in (0.0, 0.5, 1.0):
+            out = mech.perturb(np.full(200_000, x), rng)
+            assert out.mean() == pytest.approx(x, abs=0.02)
+
+    def test_output_within_domain(self, rng):
+        mech = PiecewiseMechanism(1.0)
+        out = mech.perturb(rng.random(50_000), rng)
+        dom = mech.output_domain
+        assert out.min() >= dom.low - 1e-9
+        assert out.max() <= dom.high + 1e-9
+
+    def test_variance_matches_analytic(self, rng):
+        mech = PiecewiseMechanism(1.5)
+        out = mech.perturb(np.full(200_000, 0.7), rng)
+        assert out.var() == pytest.approx(float(mech.output_variance(0.7)), rel=0.05)
+
+    def test_small_epsilon_wide_domain(self):
+        # Paper Section IV-C: PM at eps=0.01 spans roughly [-400, 400]
+        # natively, i.e. C ~= 400.
+        mech = PiecewiseMechanism(0.01)
+        assert mech.C == pytest.approx(400.0, rel=0.01)
+
+    def test_window_inside_output_domain(self):
+        mech = PiecewiseMechanism(1.0)
+        for t in (-1.0, 0.0, 1.0):
+            left, right = mech._window(np.array([t]))
+            assert left[0] >= -mech.C - 1e-9
+            assert right[0] <= mech.C + 1e-9
+
+
+class TestDuchi:
+    def test_binary_output(self, rng):
+        mech = DuchiMechanism(1.0)
+        out = mech.perturb(rng.random(10_000), rng)
+        assert len(np.unique(out)) == 2
+
+    def test_unbiased(self, rng):
+        mech = DuchiMechanism(1.0)
+        for x in (0.1, 0.5, 0.9):
+            out = mech.perturb(np.full(300_000, x), rng)
+            assert out.mean() == pytest.approx(x, abs=0.02)
+
+    def test_positive_probability_bounds(self):
+        mech = DuchiMechanism(2.0)
+        probs = mech.positive_probability(np.linspace(0, 1, 11))
+        assert np.all(probs >= 0.0) and np.all(probs <= 1.0)
+
+    def test_positive_probability_respects_ldp_ratio(self):
+        eps = 1.0
+        mech = DuchiMechanism(eps)
+        p1 = float(mech.positive_probability(1.0))
+        p0 = float(mech.positive_probability(0.0))
+        assert p1 / p0 <= math.exp(eps) + 1e-9
+        assert (1 - p0) / (1 - p1) <= math.exp(eps) + 1e-9
+
+    def test_output_domain_discrete(self):
+        assert DuchiMechanism(1.0).output_domain.discrete
+
+    def test_variance_matches_analytic(self, rng):
+        mech = DuchiMechanism(1.0)
+        out = mech.perturb(np.full(200_000, 0.3), rng)
+        assert out.var() == pytest.approx(float(mech.output_variance(0.3)), rel=0.03)
+
+
+class TestHybrid:
+    def test_degenerates_to_sr_below_threshold(self):
+        assert HybridMechanism(EPSILON_STAR).alpha == 0.0
+        assert HybridMechanism(0.3).alpha == 0.0
+
+    def test_alpha_above_threshold(self):
+        mech = HybridMechanism(2.0)
+        assert mech.alpha == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_unbiased(self, rng):
+        for eps in (0.3, 2.0):
+            mech = HybridMechanism(eps)
+            out = mech.perturb(np.full(300_000, 0.4), rng)
+            assert out.mean() == pytest.approx(0.4, abs=0.03)
+
+    def test_variance_is_mixture(self, rng):
+        mech = HybridMechanism(2.0)
+        out = mech.perturb(np.full(300_000, 0.6), rng)
+        assert out.var() == pytest.approx(float(mech.output_variance(0.6)), rel=0.05)
+
+    def test_output_domain_covers_components(self):
+        mech = HybridMechanism(2.0)
+        dom = mech.output_domain
+        assert dom.low <= mech._pm.output_domain.low
+        assert dom.high >= mech._sr.output_domain.high

@@ -1,0 +1,169 @@
+"""Tests for the Square Wave mechanism: parameters, sampling, moments."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import SquareWaveMechanism, sw_half_width, sw_probabilities
+
+
+class TestParameters:
+    def test_half_width_matches_closed_form(self):
+        # The raw paper formula at a budget where it is numerically safe.
+        eps = 1.0
+        expected = (eps * math.exp(eps) - math.exp(eps) + 1.0) / (
+            2.0 * math.exp(eps) * (math.exp(eps) - eps - 1.0)
+        )
+        assert sw_half_width(eps) == pytest.approx(expected, rel=1e-12)
+
+    def test_half_width_small_epsilon_limit(self):
+        # b -> 1/2 as eps -> 0 (used by Lemma IV.2).
+        assert sw_half_width(1e-6) == pytest.approx(0.5, abs=1e-5)
+
+    def test_half_width_decreases_with_epsilon(self):
+        values = [sw_half_width(e) for e in (0.1, 0.5, 1.0, 2.0, 5.0, 10.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_half_width_large_epsilon_vanishes(self):
+        assert sw_half_width(30.0) < 1e-10
+
+    def test_probability_normalization(self):
+        # Total output mass: 2*b*p (near) + 1*q (far) = 1.
+        for eps in (0.05, 0.5, 1.0, 3.0):
+            b, p, q = sw_probabilities(eps)
+            assert 2 * b * p + q == pytest.approx(1.0, rel=1e-12)
+
+    def test_probability_ratio_is_exp_epsilon(self):
+        for eps in (0.1, 1.0, 2.5):
+            _, p, q = sw_probabilities(eps)
+            assert p / q == pytest.approx(math.exp(eps), rel=1e-12)
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ValueError):
+            SquareWaveMechanism(0.0)
+        with pytest.raises(ValueError):
+            SquareWaveMechanism(-1.0)
+
+
+class TestPerturb:
+    def test_output_within_domain(self, rng):
+        mech = SquareWaveMechanism(1.0)
+        out = mech.perturb(rng.random(20_000), rng)
+        assert out.min() >= -mech.b - 1e-12
+        assert out.max() <= 1.0 + mech.b + 1e-12
+
+    def test_scalar_input(self, rng):
+        mech = SquareWaveMechanism(1.0)
+        out = mech.perturb(0.5, rng)
+        assert out.shape == ()
+        assert mech.output_domain.contains(float(out))
+
+    def test_preserves_shape(self, rng):
+        mech = SquareWaveMechanism(1.0)
+        arr = rng.random((4, 5))
+        assert mech.perturb(arr, rng).shape == (4, 5)
+
+    def test_rejects_out_of_domain(self, rng):
+        mech = SquareWaveMechanism(1.0)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            mech.perturb(np.array([1.5]), rng)
+
+    def test_rejects_nan(self, rng):
+        mech = SquareWaveMechanism(1.0)
+        with pytest.raises(ValueError, match="finite"):
+            mech.perturb(np.array([float("nan")]), rng)
+
+    def test_deterministic_given_seed(self):
+        mech = SquareWaveMechanism(1.0)
+        a = mech.perturb(np.full(10, 0.3), np.random.default_rng(7))
+        b = mech.perturb(np.full(10, 0.3), np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_near_mass_frequency(self, rng):
+        # Empirical fraction of outputs inside the near-window ~= 2*b*p.
+        mech = SquareWaveMechanism(1.0)
+        x = 0.5
+        out = mech.perturb(np.full(100_000, x), rng)
+        fraction = np.mean(np.abs(out - x) <= mech.b)
+        assert fraction == pytest.approx(mech.near_mass, abs=0.01)
+
+    @pytest.mark.parametrize("x", [0.0, 0.25, 0.5, 0.75, 1.0])
+    def test_empirical_mean_matches_analytic(self, rng, x):
+        mech = SquareWaveMechanism(1.0)
+        out = mech.perturb(np.full(150_000, x), rng)
+        assert out.mean() == pytest.approx(float(mech.expected_output(x)), abs=0.005)
+
+    @pytest.mark.parametrize("x", [0.0, 0.5, 1.0])
+    def test_empirical_variance_matches_analytic(self, rng, x):
+        mech = SquareWaveMechanism(0.5)
+        out = mech.perturb(np.full(150_000, x), rng)
+        assert out.var() == pytest.approx(float(mech.output_variance(x)), rel=0.03)
+
+
+class TestPdf:
+    def test_pdf_levels(self):
+        mech = SquareWaveMechanism(1.0)
+        x = 0.5
+        assert float(mech.pdf(x, x)) == pytest.approx(mech.p)
+        assert float(mech.pdf(x, x + mech.b + 0.01)) == pytest.approx(mech.q)
+        assert float(mech.pdf(x, 1.0 + mech.b + 0.1)) == 0.0
+        assert float(mech.pdf(x, -mech.b - 0.1)) == 0.0
+
+    def test_pdf_integrates_to_one(self):
+        mech = SquareWaveMechanism(2.0)
+        ys = np.linspace(-mech.b, 1 + mech.b, 200_001)
+        densities = mech.pdf(0.3, ys)
+        integral = np.trapezoid(densities, ys)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_pdf_ratio_bounded_by_exp_epsilon(self):
+        # The core LDP property: for any output y and inputs x, x',
+        # pdf(x, y) / pdf(x', y) <= e^eps.
+        eps = 1.3
+        mech = SquareWaveMechanism(eps)
+        ys = np.linspace(-mech.b, 1 + mech.b, 501)
+        xs = np.linspace(0, 1, 51)
+        densities = np.array([mech.pdf(x, ys) for x in xs])
+        ratio = densities.max(axis=0) / densities.min(axis=0)
+        assert np.all(ratio <= math.exp(eps) * (1 + 1e-9))
+
+
+class TestMoments:
+    def test_expected_output_matches_paper_mu(self):
+        # Paper Section V: mu = 2b(p - q)x + qb + q/2.
+        mech = SquareWaveMechanism(1.0)
+        for x in (0.0, 0.3, 1.0):
+            paper = 2 * mech.b * (mech.p - mech.q) * x + mech.q * mech.b + mech.q / 2
+            assert float(mech.expected_output(x)) == pytest.approx(paper, rel=1e-12)
+
+    def test_raw_moment_one_equals_mean(self):
+        mech = SquareWaveMechanism(0.7)
+        for x in (0.1, 0.9):
+            assert float(mech.raw_output_moment(x, 1)) == pytest.approx(
+                float(mech.expected_output(x)), rel=1e-12
+            )
+
+    def test_central_moment_two_equals_variance(self):
+        mech = SquareWaveMechanism(1.5)
+        assert float(mech.central_output_moment(0.4, 2)) == pytest.approx(
+            float(mech.output_variance(0.4)), rel=1e-10
+        )
+
+    def test_central_moment_one_is_zero(self):
+        mech = SquareWaveMechanism(1.5)
+        assert float(mech.central_output_moment(0.4, 1)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_fourth_moment_against_numeric_integration(self):
+        mech = SquareWaveMechanism(0.8)
+        x = 1.0
+        ys = np.linspace(-mech.b, 1 + mech.b, 400_001)
+        dens = mech.pdf(x, ys)
+        mean = np.trapezoid(ys * dens, ys)
+        mu4 = np.trapezoid((ys - mean) ** 4 * dens, ys)
+        assert float(mech.central_output_moment(x, 4)) == pytest.approx(mu4, rel=1e-3)
+
+    def test_variance_positive(self):
+        for eps in (0.1, 1.0, 5.0):
+            mech = SquareWaveMechanism(eps)
+            assert float(mech.output_variance(0.5)) > 0.0

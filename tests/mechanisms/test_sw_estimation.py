@@ -1,0 +1,80 @@
+"""Tests for collector-side SW distribution/mean estimation (EM / EMS)."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import SquareWaveMechanism
+
+
+class TestTransitionMatrix:
+    def test_columns_sum_to_one(self):
+        mech = SquareWaveMechanism(1.0)
+        matrix = mech.transition_matrix(16, 32)
+        np.testing.assert_allclose(matrix.sum(axis=0), 1.0, atol=1e-9)
+
+    def test_shape(self):
+        mech = SquareWaveMechanism(1.0)
+        assert mech.transition_matrix(8, 24).shape == (24, 8)
+
+    def test_entries_nonnegative(self):
+        mech = SquareWaveMechanism(0.2)
+        assert mech.transition_matrix(10, 20).min() >= 0.0
+
+    def test_diagonal_dominance_direction(self):
+        # The output bin containing the input's near-window should carry
+        # more mass than a far bin.
+        mech = SquareWaveMechanism(2.0)
+        matrix = mech.transition_matrix(4, 16)
+        # input bin 0 center = 0.125; near bins are those around it.
+        width = 1 + 2 * mech.b
+        center_bin = int((0.125 + mech.b) / width * 16)
+        far_bin = 15
+        assert matrix[center_bin, 0] > matrix[far_bin, 0]
+
+
+class TestEstimateDistribution:
+    def test_recovers_point_mass_location(self, rng):
+        mech = SquareWaveMechanism(2.0)
+        reports = mech.perturb(np.full(30_000, 0.75), rng)
+        dist = mech.estimate_distribution(reports, n_bins=20)
+        assert dist.sum() == pytest.approx(1.0, abs=1e-6)
+        peak_center = (np.argmax(dist) + 0.5) / 20
+        assert peak_center == pytest.approx(0.75, abs=0.1)
+
+    def test_recovers_uniform_roughly(self, rng):
+        mech = SquareWaveMechanism(2.0)
+        truth = rng.random(40_000)
+        reports = mech.perturb(truth, rng)
+        dist = mech.estimate_distribution(reports, n_bins=10)
+        # Every bin should carry mass in the right ballpark of 0.1.
+        assert dist.min() > 0.02
+        assert dist.max() < 0.25
+
+    def test_rejects_empty_reports(self):
+        mech = SquareWaveMechanism(1.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            mech.estimate_distribution(np.array([]))
+
+    def test_smoothing_off_still_normalizes(self, rng):
+        mech = SquareWaveMechanism(1.0)
+        reports = mech.perturb(rng.random(5_000), rng)
+        dist = mech.estimate_distribution(reports, n_bins=16, smoothing=False)
+        assert dist.sum() == pytest.approx(1.0, abs=1e-6)
+        assert dist.min() >= 0.0
+
+    def test_reports_outside_domain_are_clipped_not_fatal(self, rng):
+        mech = SquareWaveMechanism(1.0)
+        reports = np.concatenate([mech.perturb(rng.random(1_000), rng), [5.0, -5.0]])
+        dist = mech.estimate_distribution(reports, n_bins=8)
+        assert dist.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestEstimateMean:
+    @pytest.mark.parametrize("true_mean", [0.3, 0.6])
+    def test_mean_estimate_close(self, rng, true_mean):
+        mech = SquareWaveMechanism(2.0)
+        truth = np.clip(rng.normal(true_mean, 0.05, size=30_000), 0, 1)
+        reports = mech.perturb(truth, rng)
+        assert mech.estimate_mean(reports, n_bins=32) == pytest.approx(
+            true_mean, abs=0.08
+        )

@@ -1,0 +1,99 @@
+"""Tests for cosine, Wasserstein, and JSD metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    cosine_distance,
+    empirical_cdf,
+    jensen_shannon_divergence,
+    wasserstein_distance,
+)
+
+
+class TestCosineDistance:
+    def test_zero_for_same_direction(self):
+        assert cosine_distance([1.0, 2.0], [2.0, 4.0]) == pytest.approx(0.0)
+
+    def test_orthogonal(self):
+        assert cosine_distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_opposite(self):
+        assert cosine_distance([1.0, 0.0], [-1.0, 0.0]) == pytest.approx(2.0)
+
+    def test_symmetry(self, rng):
+        a, b = rng.random(20) + 0.1, rng.random(20) + 0.1
+        assert cosine_distance(a, b) == pytest.approx(cosine_distance(b, a))
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            cosine_distance([0.0, 0.0], [1.0, 1.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cosine_distance([1.0], [1.0, 2.0])
+
+    def test_range(self, rng):
+        for _ in range(20):
+            a = rng.normal(size=10)
+            b = rng.normal(size=10)
+            assert -1e-12 <= cosine_distance(a, b) <= 2.0 + 1e-12
+
+
+class TestEmpiricalCdf:
+    def test_values(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0, 4.0], np.array([0.5, 2.5, 9.0]))
+        np.testing.assert_allclose(cdf, [0.0, 0.5, 1.0])
+
+    def test_monotone(self, rng):
+        grid = np.linspace(0, 1, 50)
+        cdf = empirical_cdf(rng.random(200), grid)
+        assert np.all(np.diff(cdf) >= 0.0)
+
+
+class TestWassersteinDistance:
+    def test_zero_for_identical_samples(self, rng):
+        a = rng.random(100)
+        assert wasserstein_distance(a, a) == pytest.approx(0.0)
+
+    def test_symmetry(self, rng):
+        a, b = rng.random(100), rng.random(100) + 0.2
+        assert wasserstein_distance(a, b) == pytest.approx(
+            wasserstein_distance(b, a)
+        )
+
+    def test_shifted_distributions(self, rng):
+        a = rng.normal(0.0, 0.1, size=5_000)
+        near = a + 0.05
+        far = a + 0.5
+        assert wasserstein_distance(a, near) < wasserstein_distance(a, far)
+
+    def test_degenerate_equal_points(self):
+        assert wasserstein_distance([1.0, 1.0], [1.0, 1.0]) == 0.0
+
+    def test_nonnegative(self, rng):
+        assert wasserstein_distance(rng.random(50), rng.random(50)) >= 0.0
+
+
+class TestJSD:
+    def test_zero_for_identical(self, rng):
+        a = rng.random(1_000)
+        assert jensen_shannon_divergence(a, a) == pytest.approx(0.0, abs=1e-12)
+
+    def test_bounded_by_one(self, rng):
+        # Base-2 JSD lies in [0, 1].
+        a = rng.normal(0, 1, size=2_000)
+        b = rng.normal(5, 1, size=2_000)
+        value = jensen_shannon_divergence(a, b)
+        assert 0.0 <= value <= 1.0
+
+    def test_disjoint_supports_near_one(self, rng):
+        a = rng.uniform(0, 1, size=3_000)
+        b = rng.uniform(10, 11, size=3_000)
+        assert jensen_shannon_divergence(a, b) > 0.95
+
+    def test_symmetry(self, rng):
+        a, b = rng.random(500), rng.random(500) * 2
+        assert jensen_shannon_divergence(a, b) == pytest.approx(
+            jensen_shannon_divergence(b, a)
+        )

@@ -1,0 +1,50 @@
+"""Tests for pointwise error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import mae, mean_error, mse, rmse
+
+
+class TestMSE:
+    def test_zero_for_identical(self):
+        x = np.array([0.1, 0.5, 0.9])
+        assert mse(x, x) == 0.0
+
+    def test_known_value(self):
+        assert mse([1.0, 2.0], [0.0, 0.0]) == pytest.approx(2.5)
+
+    def test_symmetry(self, rng):
+        a, b = rng.random(20), rng.random(20)
+        assert mse(a, b) == pytest.approx(mse(b, a))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            mse([1.0], [1.0, 2.0])
+
+    def test_nonnegative(self, rng):
+        assert mse(rng.random(10), rng.random(10)) >= 0.0
+
+
+class TestMAE:
+    def test_known_value(self):
+        assert mae([1.0, -1.0], [0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_mae_le_rmse(self, rng):
+        a, b = rng.random(50), rng.random(50)
+        assert mae(a, b) <= rmse(a, b) + 1e-12
+
+
+class TestRMSE:
+    def test_is_sqrt_of_mse(self, rng):
+        a, b = rng.random(30), rng.random(30)
+        assert rmse(a, b) == pytest.approx(np.sqrt(mse(a, b)))
+
+
+class TestMeanError:
+    def test_signed(self):
+        assert mean_error([2.0, 2.0], [1.0, 1.0]) == pytest.approx(1.0)
+        assert mean_error([0.0, 0.0], [1.0, 1.0]) == pytest.approx(-1.0)
+
+    def test_zero_when_means_match(self):
+        assert mean_error([0.0, 1.0], [0.5, 0.5]) == pytest.approx(0.0)

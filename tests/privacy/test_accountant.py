@@ -1,0 +1,103 @@
+"""Tests for the runtime w-event privacy accountant."""
+
+import pytest
+
+from repro.privacy import PrivacyBudgetExceededError, WEventAccountant
+
+
+class TestBasicCharging:
+    def test_single_charge(self):
+        acct = WEventAccountant(1.0, 3)
+        acct.charge(0, 0.4)
+        assert acct.slot_spend(0) == pytest.approx(0.4)
+        assert acct.window_spend(0) == pytest.approx(0.4)
+
+    def test_window_spend_slides(self):
+        acct = WEventAccountant(1.0, 2)
+        acct.charge(0, 0.5)
+        acct.charge(1, 0.5)
+        acct.charge(2, 0.5)  # window [1, 2] = 1.0, ok
+        assert acct.window_spend(2) == pytest.approx(1.0)
+        assert acct.window_spend(1) == pytest.approx(1.0)
+
+    def test_skipped_slots_spend_zero(self):
+        acct = WEventAccountant(1.0, 3)
+        acct.charge(5, 0.3)
+        assert acct.slot_spend(2) == 0.0
+        assert acct.current_slot == 5
+
+    def test_same_slot_composes_sequentially(self):
+        acct = WEventAccountant(1.0, 3)
+        acct.charge(0, 0.2)
+        acct.charge(0, 0.3)
+        assert acct.slot_spend(0) == pytest.approx(0.5)
+
+    def test_full_budget_in_one_slot(self):
+        acct = WEventAccountant(1.0, 5)
+        acct.charge(0, 1.0)
+        acct.assert_valid()
+
+
+class TestViolations:
+    def test_overspend_single_slot(self):
+        acct = WEventAccountant(1.0, 3)
+        with pytest.raises(PrivacyBudgetExceededError):
+            acct.charge(0, 1.5)
+
+    def test_overspend_across_window(self):
+        acct = WEventAccountant(1.0, 2)
+        acct.charge(0, 0.6)
+        with pytest.raises(PrivacyBudgetExceededError):
+            acct.charge(1, 0.6)
+
+    def test_spend_ok_once_window_slides_past(self):
+        acct = WEventAccountant(1.0, 2)
+        acct.charge(0, 0.9)
+        acct.charge(1, 0.1)
+        acct.charge(2, 0.9)  # window [1, 2] = 1.0
+        acct.assert_valid()
+
+    def test_out_of_order_rejected(self):
+        acct = WEventAccountant(1.0, 3)
+        acct.charge(4, 0.1)
+        with pytest.raises(ValueError, match="order"):
+            acct.charge(2, 0.1)
+
+    def test_negative_spend_rejected(self):
+        acct = WEventAccountant(1.0, 3)
+        with pytest.raises(ValueError, match="non-negative"):
+            acct.charge(0, -0.1)
+
+    def test_failed_charge_leaves_state_unchanged(self):
+        acct = WEventAccountant(1.0, 2)
+        acct.charge(0, 0.6)
+        with pytest.raises(PrivacyBudgetExceededError):
+            acct.charge(0, 0.6)
+        assert acct.slot_spend(0) == pytest.approx(0.6)
+        acct.charge(1, 0.4)  # still fine afterwards
+        acct.assert_valid()
+
+
+class TestAudit:
+    def test_max_window_spend(self):
+        acct = WEventAccountant(1.0, 2)
+        acct.charge(0, 0.2)
+        acct.charge(1, 0.7)
+        acct.charge(2, 0.3)
+        assert acct.max_window_spend() == pytest.approx(1.0)
+
+    def test_max_window_spend_empty(self):
+        assert WEventAccountant(1.0, 2).max_window_spend() == 0.0
+
+    def test_long_stream_constant_rate(self):
+        # eps/w per slot for 200 slots never violates.
+        acct = WEventAccountant(1.0, 10)
+        for t in range(200):
+            acct.charge(t, 0.1)
+        acct.assert_valid()
+        assert acct.max_window_spend() == pytest.approx(1.0)
+
+    def test_window_spend_unknown_slot(self):
+        acct = WEventAccountant(1.0, 2)
+        with pytest.raises(ValueError):
+            acct.window_spend(0)

@@ -1,0 +1,97 @@
+"""Tests for composition theorems and budget-splitting helpers."""
+
+import pytest
+
+from repro.privacy import (
+    BudgetAllocation,
+    parallel_composition,
+    per_sample_budget,
+    per_slot_budget,
+    samples_per_window,
+    sequential_composition,
+)
+
+
+class TestComposition:
+    def test_sequential_sums(self):
+        assert sequential_composition([0.1, 0.2, 0.3]) == pytest.approx(0.6)
+
+    def test_parallel_takes_max(self):
+        assert parallel_composition([0.1, 0.5, 0.3]) == pytest.approx(0.5)
+
+    def test_sequential_single(self):
+        assert sequential_composition([1.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sequential_composition([])
+        with pytest.raises(ValueError):
+            parallel_composition([])
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            sequential_composition([0.1, -0.2])
+
+
+class TestPerSlotBudget:
+    def test_division(self):
+        assert per_slot_budget(1.0, 10) == pytest.approx(0.1)
+
+    def test_w_one_keeps_full_budget(self):
+        assert per_slot_budget(2.0, 1) == 2.0
+
+
+class TestSamplesPerWindow:
+    @pytest.mark.parametrize(
+        "w,seg,expected",
+        [
+            (3, 3, 1),   # Fig. 3's worked example: full budget per upload
+            (10, 5, 2),
+            (10, 3, 4),
+            (10, 1, 10),  # degenerate sampling = per-slot budget
+            (10, 20, 1),
+            (7, 2, 4),
+        ],
+    )
+    def test_ceiling_rule(self, w, seg, expected):
+        assert samples_per_window(w, seg) == expected
+
+    def test_per_sample_budget_theorem6(self):
+        # seg_len = 3, w = 3 -> n_w = 1 -> full epsilon (Fig. 3).
+        assert per_sample_budget(1.0, 3, 3) == pytest.approx(1.0)
+        # seg_len = 1 degenerates to eps / w.
+        assert per_sample_budget(1.0, 10, 1) == pytest.approx(0.1)
+
+    def test_window_guarantee_holds(self):
+        # n_w uploads of eps/n_w each can never exceed eps in a window.
+        for w in (3, 7, 10):
+            for seg in (1, 2, 3, 5, 12):
+                n_w = samples_per_window(w, seg)
+                assert n_w * per_sample_budget(1.0, w, seg) <= 1.0 + 1e-12
+
+
+class TestBudgetAllocation:
+    def test_even_split(self):
+        alloc = BudgetAllocation.even_split(1.0, 4)
+        assert alloc.parts == (0.25, 0.25, 0.25, 0.25)
+
+    def test_weighted_split(self):
+        alloc = BudgetAllocation.weighted_split(1.0, [1, 3])
+        assert alloc.parts[0] == pytest.approx(0.25)
+        assert alloc.parts[1] == pytest.approx(0.75)
+
+    def test_rejects_oversubscription(self):
+        with pytest.raises(ValueError, match="sum"):
+            BudgetAllocation(1.0, (0.6, 0.6))
+
+    def test_rejects_empty_parts(self):
+        with pytest.raises(ValueError):
+            BudgetAllocation(1.0, ())
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            BudgetAllocation.weighted_split(1.0, [1.0, 0.0])
+
+    def test_undersubscription_allowed(self):
+        alloc = BudgetAllocation(1.0, (0.3, 0.3))
+        assert sum(alloc.parts) < alloc.total

@@ -1,0 +1,79 @@
+"""Tests for w-neighboring stream predicates and generators."""
+
+import numpy as np
+import pytest
+
+from repro.privacy import are_w_neighboring, differing_span, make_w_neighbor
+
+
+class TestDifferingSpan:
+    def test_identical_streams(self):
+        s = np.array([0.1, 0.2, 0.3])
+        assert differing_span(s, s) is None
+
+    def test_single_difference(self):
+        a = np.array([0.1, 0.2, 0.3])
+        b = np.array([0.1, 0.9, 0.3])
+        assert differing_span(a, b) == (1, 1)
+
+    def test_span_endpoints(self):
+        a = np.zeros(6)
+        b = np.zeros(6)
+        b[1] = 1.0
+        b[4] = 1.0
+        assert differing_span(a, b) == (1, 4)
+
+    def test_atol_tolerance(self):
+        a = np.array([0.1, 0.2])
+        b = np.array([0.1, 0.2 + 1e-12])
+        assert differing_span(a, b, atol=1e-9) is None
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            differing_span(np.zeros(3), np.zeros(4))
+
+
+class TestAreWNeighboring:
+    def test_within_window(self):
+        a = np.zeros(10)
+        b = a.copy()
+        b[3:6] = 1.0  # span length 3
+        assert are_w_neighboring(a, b, w=3)
+        assert not are_w_neighboring(a, b, w=2)
+
+    def test_identical_always_neighboring(self):
+        s = np.full(5, 0.5)
+        assert are_w_neighboring(s, s, w=1)
+
+    def test_scattered_differences(self):
+        a = np.zeros(10)
+        b = a.copy()
+        b[0] = 1.0
+        b[9] = 1.0  # span 10
+        assert are_w_neighboring(a, b, w=10)
+        assert not are_w_neighboring(a, b, w=9)
+
+
+class TestMakeWNeighbor:
+    def test_produces_neighbor(self, rng):
+        stream = rng.random(30)
+        neighbor = make_w_neighbor(stream, w=5, start=10, rng=rng)
+        assert are_w_neighboring(stream, neighbor, w=5)
+        # Unchanged outside the window.
+        np.testing.assert_array_equal(stream[:10], neighbor[:10])
+        np.testing.assert_array_equal(stream[15:], neighbor[15:])
+
+    def test_window_clipped_at_stream_end(self, rng):
+        stream = rng.random(10)
+        neighbor = make_w_neighbor(stream, w=5, start=8, rng=rng)
+        assert neighbor.size == 10
+        np.testing.assert_array_equal(stream[:8], neighbor[:8])
+
+    def test_values_stay_in_unit_interval(self, rng):
+        stream = rng.random(20)
+        neighbor = make_w_neighbor(stream, w=20, start=0, rng=rng)
+        assert neighbor.min() >= 0.0 and neighbor.max() <= 1.0
+
+    def test_invalid_start_rejected(self, rng):
+        with pytest.raises(ValueError):
+            make_w_neighbor(rng.random(5), w=2, start=5, rng=rng)

@@ -1,0 +1,65 @@
+"""Tests for the stream-privacy model allocators."""
+
+import pytest
+
+from repro.privacy import EventLevel, PrivacyModel, UserLevel, WEvent
+
+
+class TestEventLevel:
+    def test_full_budget_every_slot(self):
+        model = EventLevel(1.0)
+        assert model.per_slot_budget(100) == 1.0
+        assert model.per_slot_budget(1) == 1.0
+
+    def test_protects_single_event(self):
+        assert EventLevel(1.0).protected_span(100) == 1
+
+
+class TestUserLevel:
+    def test_splits_over_horizon(self):
+        model = UserLevel(1.0)
+        assert model.per_slot_budget(100) == pytest.approx(0.01)
+
+    def test_protects_everything(self):
+        assert UserLevel(1.0).protected_span(100) == 100
+
+    def test_degrades_with_horizon(self):
+        model = UserLevel(1.0)
+        assert model.per_slot_budget(1_000) < model.per_slot_budget(10)
+
+
+class TestWEvent:
+    def test_budget_independent_of_horizon(self):
+        model = WEvent(1.0, 10)
+        assert model.per_slot_budget(100) == pytest.approx(0.1)
+        assert model.per_slot_budget(10_000) == pytest.approx(0.1)
+
+    def test_protected_span_capped_by_horizon(self):
+        model = WEvent(1.0, 10)
+        assert model.protected_span(100) == 10
+        assert model.protected_span(5) == 5
+
+    def test_interpolates_between_extremes(self):
+        horizon = 100
+        event = EventLevel(1.0).per_slot_budget(horizon)
+        user = UserLevel(1.0).per_slot_budget(horizon)
+        w_event = WEvent(1.0, 10).per_slot_budget(horizon)
+        assert user < w_event < event
+
+
+class TestCommon:
+    @pytest.mark.parametrize(
+        "model",
+        [EventLevel(1.0), UserLevel(1.0), WEvent(1.0, 5)],
+    )
+    def test_describe(self, model):
+        text = model.describe(50)
+        assert type(model).__name__ in text
+
+    def test_abstract_base(self):
+        with pytest.raises(TypeError):
+            PrivacyModel(1.0)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            EventLevel(1.0).per_slot_budget(0)

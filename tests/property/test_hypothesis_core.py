@@ -1,0 +1,102 @@
+"""Property-based tests for the core stream algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import APP, CAPP, IPP, PPSampling, segment_bounds, simple_moving_average
+from repro.baselines import BASW, BDSW, SWDirect
+
+streams = arrays(
+    dtype=float,
+    shape=st.integers(min_value=3, max_value=60),
+    elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32),
+)
+budgets = st.floats(min_value=0.1, max_value=10.0)
+windows = st.integers(min_value=1, max_value=20)
+
+
+class TestDeviationBookkeeping:
+    @given(stream=streams, eps=budgets, w=windows, seed=st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_app_accumulated_deviation_invariant(self, stream, eps, w, seed):
+        result = APP(eps, w).perturb_stream(stream, np.random.default_rng(seed))
+        assert result.accumulated_deviation == pytest.approx(
+            float(result.deviations.sum()), abs=1e-9
+        )
+        np.testing.assert_allclose(
+            result.deviations, result.original - result.perturbed, atol=1e-12
+        )
+
+    @given(stream=streams, eps=budgets, w=windows, seed=st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_ipp_inputs_always_unit_interval(self, stream, eps, w, seed):
+        result = IPP(eps, w).perturb_stream(stream, np.random.default_rng(seed))
+        assert result.inputs.min() >= 0.0
+        assert result.inputs.max() <= 1.0
+
+    @given(stream=streams, eps=budgets, w=windows, seed=st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_capp_inputs_normalized(self, stream, eps, w, seed):
+        result = CAPP(eps, w).perturb_stream(stream, np.random.default_rng(seed))
+        assert result.inputs.min() >= -1e-12
+        assert result.inputs.max() <= 1.0 + 1e-12
+
+
+class TestPrivacyAccountingProperty:
+    @given(stream=streams, eps=budgets, w=windows, seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_every_algorithm_respects_window_budget(self, stream, eps, w, seed):
+        rng = np.random.default_rng(seed)
+        for cls in (SWDirect, IPP, APP, CAPP, BASW, BDSW):
+            result = cls(eps, w).perturb_stream(stream, rng)
+            assert result.accountant.max_window_spend() <= eps * (1 + 1e-9)
+
+
+class TestSmoothingProperties:
+    @given(stream=streams, k=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=50, deadline=None)
+    def test_sma_bounded_by_input_range(self, stream, k):
+        out = simple_moving_average(stream, 2 * k + 1)
+        assert out.min() >= stream.min() - 1e-12
+        assert out.max() <= stream.max() + 1e-12
+
+    @given(stream=streams, k=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=50, deadline=None)
+    def test_sma_idempotent_on_constants(self, stream, k):
+        constant = np.full_like(stream, float(stream[0]))
+        out = simple_moving_average(constant, 2 * k + 1)
+        np.testing.assert_allclose(out, constant, atol=1e-12)
+
+
+class TestSegmentationProperties:
+    @given(
+        length=st.integers(min_value=1, max_value=200),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_segments_partition_interval(self, length, data):
+        n_segments = data.draw(st.integers(min_value=1, max_value=length))
+        bounds = segment_bounds(length, n_segments)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == length
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(bounds, bounds[1:]):
+            assert a_hi == b_lo
+            assert a_lo < a_hi
+
+    @given(
+        stream=streams,
+        eps=budgets,
+        w=st.integers(min_value=1, max_value=10),
+        data=st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pps_slot_budget_never_exceeded(self, stream, eps, w, data):
+        n_samples = data.draw(st.integers(min_value=1, max_value=stream.size))
+        pps = PPSampling(eps, w, base="app", n_samples=n_samples)
+        result = pps.perturb_stream(stream, np.random.default_rng(0))
+        assert result.accountant.max_window_spend() <= eps * (1 + 1e-9)
+        # Replication conserves length and segment structure.
+        assert result.perturbed.size == stream.size

@@ -1,0 +1,115 @@
+"""Property-based tests for the extension modules (online, queries, io,
+trends, postprocessing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.queries import SubsequenceIndex
+from repro.analysis.trends import detect_change_points, segment_trends
+from repro.core import (
+    OnlineAPP,
+    OnlineSmoother,
+    exponential_smoothing,
+    simple_moving_average,
+)
+from repro.experiments.io import ResultDocument, _stringify_keys
+
+streams = arrays(
+    dtype=float,
+    shape=st.integers(min_value=2, max_value=50),
+    elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32),
+)
+
+
+class TestOnlineProperties:
+    @given(stream=streams, eps=st.floats(0.1, 5.0), w=st.integers(1, 15),
+           seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_online_app_never_overspends(self, stream, eps, w, seed):
+        online = OnlineAPP(eps, w, np.random.default_rng(seed))
+        online.submit_many(stream)
+        online.accountant.assert_valid()
+
+    @given(stream=streams, k=st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_online_smoother_equals_batch(self, stream, k):
+        window = 2 * k + 1
+        smoother = OnlineSmoother(window)
+        out = []
+        for value in stream:
+            out.extend(smoother.push(value))
+        out.extend(smoother.flush())
+        np.testing.assert_allclose(
+            out, simple_moving_average(stream, window), atol=1e-10
+        )
+        assert len(out) == stream.size
+
+
+class TestQueryProperties:
+    @given(stream=streams, data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_index_mean_matches_slice(self, stream, data):
+        index = SubsequenceIndex(stream)
+        start = data.draw(st.integers(0, stream.size - 1))
+        end = data.draw(st.integers(start, stream.size - 1))
+        assert index.mean(start, end) == pytest.approx(
+            float(stream[start : end + 1].mean()), abs=1e-9
+        )
+
+    @given(stream=streams)
+    @settings(max_examples=50, deadline=None)
+    def test_variance_nonnegative(self, stream):
+        index = SubsequenceIndex(stream)
+        assert index.variance(0, stream.size - 1) >= 0.0
+
+
+class TestTrendProperties:
+    @given(stream=streams, threshold=st.floats(0.05, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_segments_partition_stream(self, stream, threshold):
+        segments = segment_trends(stream, threshold=threshold)
+        assert segments[0].start == 0
+        assert segments[-1].end == stream.size - 1
+        for a, b in zip(segments, segments[1:]):
+            assert b.start == a.end + 1
+
+    @given(stream=streams, threshold=st.floats(0.05, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_change_points_strictly_increasing(self, stream, threshold):
+        points = detect_change_points(stream, threshold=threshold)
+        assert all(a < b for a, b in zip(points, points[1:]))
+        assert all(0 < p < stream.size for p in points)
+
+
+class TestSmoothingProperties:
+    @given(stream=streams, alpha=st.floats(0.05, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_ewma_bounded_by_input_range(self, stream, alpha):
+        out = exponential_smoothing(stream, alpha)
+        assert out.min() >= stream.min() - 1e-9
+        assert out.max() <= stream.max() + 1e-9
+
+
+class TestIOProperties:
+    nested = st.recursive(
+        st.one_of(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            st.integers(-1000, 1000),
+            st.text(max_size=8),
+        ),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=6), children, max_size=4),
+        ),
+        max_leaves=12,
+    )
+
+    @given(payload=nested)
+    @settings(max_examples=40, deadline=None)
+    def test_document_roundtrip(self, payload):
+        doc = ResultDocument(experiment="x", results={"payload": _stringify_keys(payload)})
+        restored = ResultDocument.from_json(doc.to_json())
+        assert restored.results["payload"] == _stringify_keys(payload)

@@ -1,0 +1,99 @@
+"""Property-based tests (hypothesis) for the LDP mechanisms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mechanisms import (
+    DuchiMechanism,
+    HybridMechanism,
+    LaplaceMechanism,
+    PiecewiseMechanism,
+    SquareWaveMechanism,
+    sw_probabilities,
+)
+
+epsilons = st.floats(min_value=0.01, max_value=20.0, allow_nan=False)
+unit_values = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestSquareWaveProperties:
+    @given(eps=epsilons)
+    @settings(max_examples=50, deadline=None)
+    def test_parameters_consistent(self, eps):
+        b, p, q = sw_probabilities(eps)
+        assert 0.0 < b <= 0.5 + 1e-9
+        assert p > q > 0.0
+        assert p / q == pytest.approx(math.exp(eps), rel=1e-6)
+        assert 2 * b * p + q == pytest.approx(1.0, rel=1e-9)
+
+    @given(eps=epsilons, x=unit_values, seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_output_always_in_domain(self, eps, x, seed):
+        mech = SquareWaveMechanism(eps)
+        out = mech.perturb(np.full(64, x), np.random.default_rng(seed))
+        assert out.min() >= -mech.b - 1e-12
+        assert out.max() <= 1.0 + mech.b + 1e-12
+
+    @given(eps=epsilons, x=unit_values)
+    @settings(max_examples=50, deadline=None)
+    def test_moments_sane(self, eps, x):
+        mech = SquareWaveMechanism(eps)
+        mean = float(mech.expected_output(x))
+        var = float(mech.output_variance(x))
+        assert -mech.b <= mean <= 1.0 + mech.b
+        assert var > 0.0
+        # Bounded support => variance below the square half-width bound.
+        assert var <= ((1.0 + 2.0 * mech.b) ** 2) / 4.0 + 1e-9
+
+    @given(eps=epsilons, x=unit_values, y=unit_values)
+    @settings(max_examples=50, deadline=None)
+    def test_pdf_ratio_ldp_bound(self, eps, x, y):
+        mech = SquareWaveMechanism(eps)
+        outs = np.linspace(-mech.b, 1.0 + mech.b, 64)
+        px = np.asarray(mech.pdf(x, outs), dtype=float)
+        py = np.asarray(mech.pdf(y, outs), dtype=float)
+        mask = (px > 0) & (py > 0)
+        assert np.all(px[mask] / py[mask] <= math.exp(eps) * (1 + 1e-9))
+
+
+class TestUnbiasedMechanismProperties:
+    @given(eps=st.floats(min_value=0.05, max_value=10.0), x=unit_values)
+    @settings(max_examples=30, deadline=None)
+    def test_pm_expected_output_is_identity(self, eps, x):
+        mech = PiecewiseMechanism(eps)
+        assert float(mech.expected_output(x)) == pytest.approx(x)
+
+    @given(eps=st.floats(min_value=0.05, max_value=10.0), x=unit_values)
+    @settings(max_examples=30, deadline=None)
+    def test_sr_probability_valid(self, eps, x):
+        mech = DuchiMechanism(eps)
+        prob = float(mech.positive_probability(x))
+        assert 0.0 <= prob <= 1.0
+
+    @given(
+        eps=st.floats(min_value=0.05, max_value=10.0),
+        x=unit_values,
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sr_output_two_points(self, eps, x, seed):
+        mech = DuchiMechanism(eps)
+        out = mech.perturb(np.full(16, x), np.random.default_rng(seed))
+        dom = mech.output_domain
+        for value in np.unique(out):
+            assert value == pytest.approx(dom.low) or value == pytest.approx(dom.high)
+
+    @given(eps=st.floats(min_value=0.05, max_value=10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_hm_alpha_in_unit_interval(self, eps):
+        assert 0.0 <= HybridMechanism(eps).alpha < 1.0
+
+    @given(eps=st.floats(min_value=0.05, max_value=10.0), x=unit_values)
+    @settings(max_examples=30, deadline=None)
+    def test_variances_positive(self, eps, x):
+        for cls in (LaplaceMechanism, PiecewiseMechanism, DuchiMechanism, HybridMechanism):
+            assert float(cls(eps).output_variance(x)) > 0.0

@@ -1,0 +1,118 @@
+"""Property-based tests for metrics and privacy primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics import cosine_distance, mse, wasserstein_distance
+from repro.privacy import (
+    WEventAccountant,
+    are_w_neighboring,
+    make_w_neighbor,
+    parallel_composition,
+    sequential_composition,
+)
+
+vectors = arrays(
+    dtype=float,
+    shape=st.integers(min_value=2, max_value=40),
+    elements=st.floats(min_value=0.015625, max_value=1.0, allow_nan=False, width=32),
+)
+
+
+class TestMetricAxioms:
+    @given(v=vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_mse_identity(self, v):
+        assert mse(v, v) == 0.0
+
+    @given(v=vectors, data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_mse_symmetry_and_nonnegativity(self, v, data):
+        u = data.draw(
+            arrays(
+                dtype=float,
+                shape=v.shape,
+                elements=st.floats(min_value=0.0, max_value=1.0, width=32),
+            )
+        )
+        assert mse(u, v) >= 0.0
+        assert mse(u, v) == pytest.approx(mse(v, u))
+
+    @given(v=vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_cosine_self_distance_zero(self, v):
+        assume(np.linalg.norm(v) > 1e-6)
+        assert cosine_distance(v, v) == pytest.approx(0.0, abs=1e-9)
+
+    @given(v=vectors, scale=st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_cosine_scale_invariant(self, v, scale):
+        assume(np.linalg.norm(v) > 1e-6)
+        assert cosine_distance(v, scale * v) == pytest.approx(0.0, abs=1e-9)
+
+    @given(v=vectors, shift=st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=50, deadline=None)
+    def test_wasserstein_nonnegative_and_zero_on_identity(self, v, shift):
+        assert wasserstein_distance(v, v) == pytest.approx(0.0)
+        assert wasserstein_distance(v, v + shift) >= 0.0
+
+
+class TestCompositionProperties:
+    @given(parts=st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_sequential_at_least_parallel(self, parts):
+        assert sequential_composition(parts) >= parallel_composition(parts)
+
+    @given(parts=st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_parallel_is_max(self, parts):
+        assert parallel_composition(parts) == pytest.approx(max(parts))
+
+
+class TestAccountantProperties:
+    @given(
+        w=st.integers(min_value=1, max_value=10),
+        n_slots=st.integers(min_value=1, max_value=60),
+        eps=st.floats(min_value=0.1, max_value=5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_constant_rate_never_violates(self, w, n_slots, eps):
+        acct = WEventAccountant(eps, w)
+        per_slot = eps / w
+        for t in range(n_slots):
+            acct.charge(t, per_slot)
+        acct.assert_valid()
+        assert acct.max_window_spend() <= eps * (1 + 1e-9)
+
+    @given(
+        w=st.integers(min_value=1, max_value=8),
+        eps=st.floats(min_value=0.5, max_value=3.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_single_overspend_always_caught(self, w, eps):
+        from repro.privacy import PrivacyBudgetExceededError
+
+        acct = WEventAccountant(eps, w)
+        with pytest.raises(PrivacyBudgetExceededError):
+            acct.charge(0, eps * 1.01)
+
+
+class TestNeighboringProperties:
+    @given(
+        stream=vectors,
+        w=st.integers(min_value=1, max_value=10),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_generated_neighbors_are_neighbors(self, stream, w, data):
+        start = data.draw(st.integers(min_value=0, max_value=stream.size - 1))
+        neighbor = make_w_neighbor(stream, w, start, np.random.default_rng(0))
+        assert are_w_neighboring(stream, neighbor, w)
+
+    @given(stream=vectors, w=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_reflexive(self, stream, w):
+        assert are_w_neighboring(stream, stream, w)

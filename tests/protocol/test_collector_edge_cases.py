@@ -1,0 +1,79 @@
+"""Collector edge cases: sparse slots, gaps, Sample-Split-style reporting."""
+
+import numpy as np
+import pytest
+
+from repro.protocol import Collector, Report
+
+
+class TestSparseReporting:
+    def test_users_reporting_different_slots(self):
+        # Sample-Split style: user 0 reports even slots, user 1 odd slots.
+        collector = Collector()
+        for t in range(0, 10, 2):
+            collector.ingest(Report(0, t, 0.2))
+        for t in range(1, 10, 2):
+            collector.ingest(Report(1, t, 0.8))
+        assert collector.slots() == list(range(10))
+        assert collector.population_mean(0) == pytest.approx(0.2)
+        assert collector.population_mean(1) == pytest.approx(0.8)
+
+    def test_user_series_skips_gaps(self):
+        collector = Collector()
+        collector.ingest(Report(0, 0, 0.1))
+        collector.ingest(Report(0, 5, 0.9))
+        np.testing.assert_allclose(collector.user_series(0), [0.1, 0.9])
+
+    def test_subsequence_mean_over_gap(self):
+        collector = Collector()
+        collector.ingest(Report(0, 0, 0.2))
+        collector.ingest(Report(0, 4, 0.4))
+        # Only the observed slots inside the range count.
+        assert collector.user_subsequence_mean(0, 0, 4) == pytest.approx(0.3)
+
+    def test_subsequence_mean_no_reports_in_range(self):
+        collector = Collector()
+        collector.ingest(Report(0, 10, 0.5))
+        with pytest.raises(KeyError, match="no reports in"):
+            collector.user_subsequence_mean(0, 0, 5)
+
+    def test_unknown_user_rejected(self):
+        collector = Collector()
+        collector.ingest(Report(0, 0, 0.5))
+        with pytest.raises(KeyError, match="no reports from user"):
+            collector.user_series(42)
+
+    def test_out_of_order_ingestion_allowed(self):
+        # Reports may arrive late/reordered (network reality); queries
+        # still sort by slot.
+        collector = Collector()
+        collector.ingest(Report(0, 3, 0.3))
+        collector.ingest(Report(0, 1, 0.1))
+        collector.ingest(Report(0, 2, 0.2))
+        np.testing.assert_allclose(collector.user_series(0), [0.1, 0.2, 0.3])
+
+
+class TestPublication:
+    def test_single_report_stream(self):
+        collector = Collector(smoothing_window=3)
+        collector.ingest(Report(0, 0, 0.7))
+        np.testing.assert_allclose(collector.publish_user_stream(0), [0.7])
+
+    def test_no_smoothing_configuration(self):
+        collector = Collector(smoothing_window=None)
+        for t in range(5):
+            collector.ingest(Report(0, t, float(t) / 10))
+        np.testing.assert_allclose(
+            collector.publish_user_stream(0), [0.0, 0.1, 0.2, 0.3, 0.4]
+        )
+
+    def test_even_smoothing_window_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            Collector(smoothing_window=4)
+
+    def test_crowd_estimates_sorted_by_user(self):
+        collector = Collector()
+        collector.ingest(Report(5, 0, 0.5))
+        collector.ingest(Report(1, 0, 0.1))
+        estimates = collector.crowd_mean_estimates(0, 0)
+        np.testing.assert_allclose(estimates, [0.1, 0.5])  # user 1 first

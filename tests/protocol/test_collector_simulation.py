@@ -1,0 +1,147 @@
+"""Tests for the collector service and the end-to-end simulation."""
+
+import numpy as np
+import pytest
+
+from repro.protocol import Collector, Report, run_protocol
+
+
+class TestCollectorIngestion:
+    def test_counts(self):
+        collector = Collector()
+        collector.ingest(Report(0, 0, 0.5))
+        collector.ingest(Report(1, 0, 0.7))
+        collector.ingest(Report(0, 1, 0.6))
+        assert collector.n_reports == 3
+        assert collector.n_users == 2
+        assert collector.slots() == [0, 1]
+
+    def test_duplicate_rejected(self):
+        collector = Collector()
+        collector.ingest(Report(0, 0, 0.5))
+        with pytest.raises(ValueError, match="duplicate"):
+            collector.ingest(Report(0, 0, 0.9))
+
+    def test_ingest_many(self):
+        collector = Collector()
+        collector.ingest_many([Report(0, t, 0.5) for t in range(5)])
+        assert collector.n_reports == 5
+
+
+class TestCollectorQueries:
+    @pytest.fixture
+    def populated(self):
+        collector = Collector(epsilon_per_report=0.5, smoothing_window=3)
+        for user in range(4):
+            for t in range(6):
+                collector.ingest(Report(user, t, (user + t) / 10.0))
+        return collector
+
+    def test_population_mean(self, populated):
+        # At t=0 users report 0.0, 0.1, 0.2, 0.3.
+        assert populated.population_mean(0) == pytest.approx(0.15)
+
+    def test_population_mean_series(self, populated):
+        series = populated.population_mean_series()
+        assert series.size == 6
+        assert series[1] == pytest.approx(0.25)
+
+    def test_missing_slot_raises(self, populated):
+        with pytest.raises(KeyError):
+            populated.population_mean(99)
+
+    def test_user_series(self, populated):
+        np.testing.assert_allclose(
+            populated.user_series(2), [0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
+        )
+
+    def test_publish_user_stream_smoothed(self, populated):
+        published = populated.publish_user_stream(0)
+        raw = populated.user_series(0)
+        assert published.size == raw.size
+        assert published[1] == pytest.approx(raw[0:3].mean())
+
+    def test_subsequence_mean(self, populated):
+        assert populated.user_subsequence_mean(1, 1, 3) == pytest.approx(0.3)
+
+    def test_crowd_mean_estimates(self, populated):
+        estimates = populated.crowd_mean_estimates(0, 5)
+        assert estimates.size == 4
+        assert estimates[0] == pytest.approx(0.25)
+
+    def test_distribution_query(self, rng):
+        from repro.mechanisms import SquareWaveMechanism
+
+        mech = SquareWaveMechanism(1.0)
+        collector = Collector(epsilon_per_report=1.0)
+        reports = mech.perturb(np.full(3_000, 0.8), rng)
+        for user, value in enumerate(reports):
+            collector.ingest(Report(user, 0, float(value)))
+        dist = collector.estimate_slot_distribution(0, n_bins=10)
+        assert dist.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.argmax(dist) >= 6  # peak near 0.8
+
+    def test_distribution_query_needs_epsilon(self):
+        collector = Collector(epsilon_per_report=None)
+        collector.ingest(Report(0, 0, 0.5))
+        with pytest.raises(RuntimeError, match="epsilon_per_report"):
+            collector.estimate_slot_distribution(0)
+
+    def test_streaming_smoother(self, populated):
+        smoother = populated.streaming_smoother()
+        assert smoother.window == 3
+
+    def test_smoother_requires_window(self):
+        collector = Collector(smoothing_window=None)
+        with pytest.raises(RuntimeError):
+            collector.streaming_smoother()
+
+
+class TestRunProtocol:
+    @pytest.fixture
+    def matrix(self, rng):
+        return rng.random((8, 25))
+
+    def test_full_run(self, matrix, rng):
+        result = run_protocol(matrix, algorithm="app", epsilon=1.0, w=5, rng=rng)
+        assert result.n_users == 8
+        assert result.collector.n_reports == 8 * 25
+        assert np.isfinite(result.population_mean_mse())
+
+    def test_all_user_ledgers_valid(self, matrix, rng):
+        result = run_protocol(matrix, algorithm="capp", epsilon=1.0, w=5, rng=rng)
+        for user in result.users:
+            user.perturber.accountant.assert_valid()
+
+    def test_on_slot_callback(self, matrix, rng):
+        seen = []
+        run_protocol(matrix, epsilon=1.0, w=5, rng=rng, on_slot=seen.append)
+        assert seen == list(range(25))
+
+    def test_reproducible(self, matrix):
+        a = run_protocol(matrix, epsilon=1.0, w=5, rng=np.random.default_rng(4))
+        b = run_protocol(matrix, epsilon=1.0, w=5, rng=np.random.default_rng(4))
+        np.testing.assert_array_equal(
+            a.collector.population_mean_series(),
+            b.collector.population_mean_series(),
+        )
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError, match="matrix"):
+            run_protocol(np.zeros(10), rng=rng)
+
+    def test_population_mean_tracks_truth_at_high_budget(self, rng):
+        matrix = np.tile(np.linspace(0.2, 0.8, 30), (40, 1))
+        result = run_protocol(matrix, algorithm="app", epsilon=10.0, w=3, rng=rng)
+        assert result.population_mean_mse() < 0.05
+
+    def test_heterogeneous_population(self, rng):
+        matrix = rng.random((4, 15))
+        names = ["capp", "app", "ipp", "sw-direct"]
+        result = run_protocol(matrix, algorithm=names, epsilon=1.0, w=5, rng=rng)
+        observed = [type(u.perturber).__name__ for u in result.users]
+        assert observed == ["OnlineCAPP", "OnlineAPP", "OnlineIPP", "OnlineSWDirect"]
+
+    def test_heterogeneous_length_mismatch(self, rng):
+        with pytest.raises(ValueError, match="algorithm names"):
+            run_protocol(rng.random((3, 10)), algorithm=["app"], rng=rng)

@@ -1,0 +1,82 @@
+"""Tests for dropout / skip support in the online API and protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineAPP
+from repro.protocol import UserAgent, run_protocol
+
+
+class TestOnlineSkip:
+    def test_skip_advances_slot_without_spend(self, rng):
+        online = OnlineAPP(1.0, 5, rng)
+        online.submit(0.5)
+        online.skip()
+        online.submit(0.5)
+        assert online.slots_processed == 3
+        assert online.accountant.slot_spend(1) == 0.0
+        online.accountant.assert_valid()
+
+    def test_skipping_preserves_state(self, rng):
+        online = OnlineAPP(1.0, 5, rng)
+        online.submit(0.5)
+        before = online.accumulated_deviation
+        online.skip()
+        assert online.accumulated_deviation == before
+
+    def test_all_skips_spend_nothing(self, rng):
+        online = OnlineAPP(1.0, 5, rng)
+        for _ in range(20):
+            online.skip()
+        assert online.accountant.max_window_spend() == 0.0
+
+
+class TestUserAgentSkip:
+    def test_skip_consumes_slot(self, smooth_stream, rng):
+        agent = UserAgent(0, smooth_stream, epsilon=1.0, w=10, rng=rng)
+        agent.skip()
+        report = agent.step()
+        assert report.t == 1  # slot 0 was skipped
+
+    def test_skip_exhausted_raises(self, rng):
+        agent = UserAgent(0, np.array([0.5]), epsilon=1.0, w=2, rng=rng)
+        agent.skip()
+        with pytest.raises(StopIteration):
+            agent.skip()
+
+
+class TestProtocolParticipation:
+    def test_partial_participation_fewer_reports(self, rng):
+        matrix = rng.random((10, 30))
+        result = run_protocol(
+            matrix, epsilon=1.0, w=5, participation=0.5, rng=rng
+        )
+        assert result.collector.n_reports < 10 * 30
+        assert result.collector.n_reports > 10 * 30 * 0.2
+
+    def test_full_participation_all_reports(self, rng):
+        matrix = rng.random((5, 10))
+        result = run_protocol(matrix, epsilon=1.0, w=5, participation=1.0, rng=rng)
+        assert result.collector.n_reports == 50
+
+    def test_ledgers_valid_under_dropout(self, rng):
+        matrix = rng.random((8, 40))
+        result = run_protocol(
+            matrix, epsilon=1.0, w=5, participation=0.7, rng=rng
+        )
+        for user in result.users:
+            user.perturber.accountant.assert_valid()
+
+    def test_invalid_participation_rejected(self, rng):
+        with pytest.raises(ValueError, match="participation"):
+            run_protocol(rng.random((2, 5)), participation=0.0, rng=rng)
+
+    def test_population_mean_still_estimable(self, rng):
+        # population_mean_series only covers slots with >= 1 report; with
+        # moderate dropout and enough users every slot is covered.
+        matrix = np.full((30, 20), 0.5)
+        result = run_protocol(
+            matrix, algorithm="app", epsilon=5.0, w=2, participation=0.8, rng=rng
+        )
+        series = result.collector.population_mean_series()
+        assert series.size == 20

@@ -1,0 +1,83 @@
+"""Tests for protocol messages and the user agent."""
+
+import numpy as np
+import pytest
+
+from repro.protocol import ONLINE_ALGORITHMS, Report, UserAgent
+
+
+class TestReport:
+    def test_fields(self):
+        report = Report(user_id=3, t=7, value=0.42)
+        assert report.user_id == 3
+        assert report.t == 7
+        assert report.value == 0.42
+
+    def test_frozen(self):
+        report = Report(0, 0, 0.5)
+        with pytest.raises(AttributeError):
+            report.value = 0.9
+
+    def test_negative_user_rejected(self):
+        with pytest.raises(ValueError):
+            Report(-1, 0, 0.5)
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError):
+            Report(0, -1, 0.5)
+
+
+class TestUserAgent:
+    @pytest.mark.parametrize("name", sorted(ONLINE_ALGORITHMS))
+    def test_every_algorithm(self, name, smooth_stream, rng):
+        agent = UserAgent(1, smooth_stream, algorithm=name, epsilon=1.0, w=10, rng=rng)
+        report = agent.step()
+        assert report.user_id == 1
+        assert report.t == 0
+
+    def test_reports_iterate_whole_stream(self, smooth_stream, rng):
+        agent = UserAgent(0, smooth_stream, epsilon=1.0, w=10, rng=rng)
+        reports = list(agent.reports())
+        assert len(reports) == smooth_stream.size
+        assert [r.t for r in reports] == list(range(smooth_stream.size))
+        assert agent.remaining == 0
+
+    def test_exhausted_stream_raises(self, rng):
+        agent = UserAgent(0, np.array([0.5]), epsilon=1.0, w=2, rng=rng)
+        agent.step()
+        with pytest.raises(StopIteration):
+            agent.step()
+
+    def test_true_value_local_only(self, rng):
+        stream = np.array([0.1, 0.9])
+        agent = UserAgent(0, stream, epsilon=1.0, w=2, rng=rng)
+        assert agent.true_value(1) == 0.9
+
+    def test_reports_are_sanitized(self, rng):
+        # Reports never equal true values on a fine-grained stream except
+        # with probability zero; check they differ somewhere.
+        stream = np.full(50, 0.123456)
+        agent = UserAgent(0, stream, algorithm="sw-direct", epsilon=1.0, w=10, rng=rng)
+        values = [r.value for r in agent.reports()]
+        assert any(abs(v - 0.123456) > 1e-9 for v in values)
+
+    def test_custom_factory(self, smooth_stream, rng):
+        from repro.core import OnlineAPP
+
+        agent = UserAgent(
+            5, smooth_stream, algorithm=lambda: OnlineAPP(2.0, 4, rng)
+        )
+        assert agent.perturber.w == 4
+
+    def test_out_of_range_stream_rejected(self, rng):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            UserAgent(0, np.array([0.5, 1.5]), rng=rng)
+
+    def test_unknown_algorithm_rejected(self, smooth_stream):
+        with pytest.raises(KeyError, match="unknown online algorithm"):
+            UserAgent(0, smooth_stream, algorithm="nope")
+
+    def test_privacy_ledger_accessible(self, smooth_stream, rng):
+        agent = UserAgent(0, smooth_stream, epsilon=1.0, w=10, rng=rng)
+        list(agent.reports())
+        agent.perturber.accountant.assert_valid()

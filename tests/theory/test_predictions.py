@@ -1,0 +1,69 @@
+"""Tests validating the closed-form error predictions against Monte Carlo."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SWDirect
+from repro.theory.predictions import (
+    MeanErrorPrediction,
+    predict_sw_direct_mean_error,
+    sw_shrinkage_slope,
+)
+
+
+class TestShrinkageSlope:
+    def test_below_one(self):
+        for eps in (0.05, 0.5, 1.0, 3.0):
+            assert 0.0 < sw_shrinkage_slope(eps) < 1.0
+
+    def test_increases_with_budget(self):
+        slopes = [sw_shrinkage_slope(e) for e in (0.1, 0.5, 1.0, 3.0, 10.0)]
+        assert all(a < b for a, b in zip(slopes, slopes[1:]))
+
+    def test_matches_mean_map(self):
+        # E[SW(x)] - E[SW(y)] = slope * (x - y).
+        from repro.mechanisms import SquareWaveMechanism
+
+        eps = 1.0
+        mech = SquareWaveMechanism(eps)
+        gap = float(mech.expected_output(0.9) - mech.expected_output(0.1))
+        assert gap == pytest.approx(sw_shrinkage_slope(eps) * 0.8, rel=1e-10)
+
+    def test_tiny_budget_nearly_flat(self):
+        # At eps -> 0 every report collapses toward 0.5 (slope -> 0).
+        assert sw_shrinkage_slope(0.01) < 0.02
+
+
+class TestMeanErrorPrediction:
+    def test_mse_decomposition(self):
+        pred = MeanErrorPrediction(bias=0.1, variance=0.02)
+        assert pred.mse == pytest.approx(0.01 + 0.02)
+
+    @pytest.mark.parametrize("level", [0.1, 0.5, 0.9])
+    def test_prediction_matches_monte_carlo(self, level):
+        stream = np.full(40, level)
+        eps_slot = 0.1
+        pred = predict_sw_direct_mean_error(stream, eps_slot)
+
+        errors = []
+        for rep in range(300):
+            rng = np.random.default_rng(8000 + rep)
+            result = SWDirect(eps_slot * 10, 10).perturb_stream(stream, rng)
+            errors.append((result.mean_estimate() - stream.mean()) ** 2)
+        measured = float(np.mean(errors))
+        assert measured == pytest.approx(pred.mse, rel=0.15)
+
+    def test_bias_vanishes_at_domain_center(self):
+        pred = predict_sw_direct_mean_error(np.full(20, 0.5), 0.1)
+        assert pred.bias == pytest.approx(0.0, abs=1e-12)
+
+    def test_bias_dominates_far_from_center_at_tiny_budget(self):
+        # The EXPERIMENTS.md Fig.-6 argument in closed form: at tiny
+        # budgets, a stream at 0.1 has bias^2 >> variance/n.
+        pred = predict_sw_direct_mean_error(np.full(40, 0.1), 0.025)
+        assert pred.bias**2 > 5 * pred.variance
+
+    def test_variance_scales_inverse_n(self):
+        short = predict_sw_direct_mean_error(np.full(10, 0.3), 0.1)
+        long = predict_sw_direct_mean_error(np.full(100, 0.3), 0.1)
+        assert long.variance == pytest.approx(short.variance / 10, rel=1e-9)

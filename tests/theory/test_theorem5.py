@@ -1,0 +1,34 @@
+"""Tests for the empirical Theorem 5 check."""
+
+import numpy as np
+import pytest
+
+from repro.theory import theorem5_dkw_bound_holds
+
+
+class TestTheorem5:
+    def test_failure_rate_within_delta(self):
+        n, failure_rate = theorem5_dkw_bound_holds(
+            eta=0.2, beta=0.1, delta=0.05, n_trials=60,
+            rng=np.random.default_rng(0),
+        )
+        assert n >= 1
+        # The theorem guarantees <= delta; allow trial noise.
+        assert failure_rate <= 0.05 + 0.08
+
+    def test_sample_bound_matches_formula(self):
+        import math
+
+        n, _ = theorem5_dkw_bound_holds(
+            eta=0.3, beta=0.1, delta=0.1, n_trials=5,
+            rng=np.random.default_rng(1),
+        )
+        expected = math.ceil(math.log(2 / 0.1) / (2 * (0.3 - 0.1) ** 2))
+        assert n == expected
+
+    def test_zero_corruption_also_holds(self):
+        _, failure_rate = theorem5_dkw_bound_holds(
+            eta=0.15, beta=0.0, delta=0.05, n_trials=40,
+            rng=np.random.default_rng(2),
+        )
+        assert failure_rate <= 0.05 + 0.08
