@@ -2,13 +2,30 @@
 
 Not a paper figure — these track the library's own performance so
 regressions in the hot loops are visible.
+
+The vectorized-vs-reference protocol comparison is sized through the
+environment so CI smoke jobs can run it at toy scale:
+
+* ``REPRO_BENCH_USERS`` / ``REPRO_BENCH_SLOTS`` — population shape
+  (default 10000 x 100, the paper-scale acceptance point).
+* ``REPRO_BENCH_MIN_SPEEDUP`` — required vectorized speedup factor
+  (default 10 at full size; automatically waived for tiny populations
+  where fixed overheads dominate).
 """
+
+import os
+import time
 
 import numpy as np
 import pytest
 
 from repro.core import APP, CAPP
 from repro.mechanisms import SquareWaveMechanism
+from repro.protocol import run_protocol, run_protocol_vectorized
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
 
 
 @pytest.fixture(scope="module")
@@ -40,3 +57,62 @@ def test_capp_stream_throughput(benchmark):
     rng = np.random.default_rng(6)
     capp = CAPP(1.0, 10)
     benchmark(capp.perturb_stream, stream, rng)
+
+
+def test_capp_population_throughput(benchmark):
+    """Vectorized population pass of the batch CAPP algorithm."""
+    streams = np.random.default_rng(7).random((2000, 50))
+    capp = CAPP(1.0, 10)
+    benchmark(capp.perturb_population, streams, np.random.default_rng(8))
+
+
+def test_protocol_vectorized_vs_reference(record_table):
+    """Wall-clock comparison of the two protocol paths.
+
+    This is the acceptance gate for the population engine: at the default
+    10k users x 100 slots the vectorized path must be >= 10x faster than
+    the per-user reference while producing statistically indistinguishable
+    estimates.
+    """
+    n_users = _env_int("REPRO_BENCH_USERS", 10_000)
+    horizon = _env_int("REPRO_BENCH_SLOTS", 100)
+    big_enough = n_users * horizon >= 500_000
+    min_speedup = float(
+        os.environ.get("REPRO_BENCH_MIN_SPEEDUP", 10.0 if big_enough else 0.0)
+    )
+    streams = np.random.default_rng(0).random((n_users, horizon))
+
+    start = time.perf_counter()
+    ref = run_protocol(streams, epsilon=1.0, w=10, rng=np.random.default_rng(1))
+    ref_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    vec = run_protocol_vectorized(
+        streams, epsilon=1.0, w=10, rng=np.random.default_rng(2)
+    )
+    vec_seconds = time.perf_counter() - start
+
+    assert vec.collector.n_reports == ref.collector.n_reports
+    speedup = ref_seconds / vec_seconds
+    reports = n_users * horizon
+    record_table(
+        "protocol_throughput",
+        "\n".join(
+            [
+                f"protocol throughput at {n_users} users x {horizon} slots",
+                f"  reference : {ref_seconds:8.3f} s "
+                f"({reports / ref_seconds:12.0f} reports/s)",
+                f"  vectorized: {vec_seconds:8.3f} s "
+                f"({reports / vec_seconds:12.0f} reports/s)",
+                f"  speedup   : {speedup:8.1f} x",
+                f"  ref MSE   : {ref.population_mean_mse():.6f}",
+                f"  vec MSE   : {vec.population_mean_mse():.6f}",
+            ]
+        ),
+    )
+    if min_speedup > 0:
+        assert speedup >= min_speedup, (
+            f"vectorized path is only {speedup:.1f}x faster than the "
+            f"reference at {n_users} users x {horizon} slots "
+            f"(required: {min_speedup:.1f}x)"
+        )

@@ -4,15 +4,25 @@ Benches record the paper-style result tables through the ``record_table``
 fixture; the tables are printed in the terminal summary (so they survive
 pytest's output capturing) and appended to ``benchmarks/results/`` for
 EXPERIMENTS.md.
+
+Setting ``REPRO_BENCH_PROFILE=<path>`` additionally records every
+benchmark test's wall time to a JSON artifact (uploaded by CI, so perf
+regressions leave a queryable trail per run).
 """
 
+import json
 import os
+import platform
+import sys
+import time
 
 import pytest
 
 _TABLES = []
+_PROFILE = {}
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 
 
 @pytest.fixture
@@ -29,7 +39,45 @@ def record_table():
     return _record
 
 
+def pytest_runtest_logreport(report):
+    # Only profile the call phase of tests that live in this directory.
+    if report.when != "call" or not os.environ.get("REPRO_BENCH_PROFILE"):
+        return
+    path = report.fspath.replace(os.sep, "/")
+    if "benchmarks/" not in path and not os.path.abspath(path).startswith(_BENCH_DIR):
+        return
+    _PROFILE[report.nodeid] = {
+        "duration_seconds": round(report.duration, 6),
+        "outcome": report.outcome,
+    }
+
+
+def pytest_sessionfinish(session):
+    target = os.environ.get("REPRO_BENCH_PROFILE")
+    if not target or not _PROFILE:
+        return
+    payload = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "total_seconds": round(
+            sum(entry["duration_seconds"] for entry in _PROFILE.values()), 6
+        ),
+        "benchmarks": _PROFILE,
+    }
+    parent = os.path.dirname(os.path.abspath(target))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(target, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+
 def pytest_terminal_summary(terminalreporter):
+    if os.environ.get("REPRO_BENCH_PROFILE") and _PROFILE:
+        terminalreporter.write_sep(
+            "-", f"bench profile: {len(_PROFILE)} timings -> "
+            f"{os.environ['REPRO_BENCH_PROFILE']}"
+        )
     if not _TABLES:
         return
     terminalreporter.write_sep("=", "paper reproduction tables")

@@ -9,7 +9,6 @@ publication (cosine distance) and subsequence mean estimation (MSE).
 Run:  python examples/traffic_monitoring.py
 """
 
-import numpy as np
 
 from repro.datasets import volume_stream
 from repro.experiments import (

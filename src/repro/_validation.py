@@ -16,6 +16,7 @@ __all__ = [
     "ensure_positive_int",
     "ensure_probability",
     "ensure_stream",
+    "ensure_stream_matrix",
     "ensure_in_unit_interval",
     "ensure_rng",
     "ensure_window",
@@ -76,6 +77,28 @@ def ensure_stream(values: Sequence[float], name: str = "values") -> np.ndarray:
     if not np.all(np.isfinite(arr)):
         raise ValueError(f"{name} must contain only finite values")
     return arr.copy()
+
+
+def ensure_stream_matrix(streams, name: str = "streams") -> np.ndarray:
+    """Validate a ``(n_users, T)`` population matrix of values in ``[0, 1]``.
+
+    A zero-user matrix is allowed (an empty population is a valid, if
+    trivial, protocol run); a population with zero slots is not.
+    """
+    arr = np.asarray(streams, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must form a (users, T) matrix, got shape {arr.shape}")
+    if arr.shape[0] and arr.shape[1] == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if arr.size:
+        if not np.all(np.isfinite(arr)):
+            raise ValueError(f"{name} must contain only finite values")
+        if arr.min() < 0.0 or arr.max() > 1.0:
+            raise ValueError(
+                f"{name} must lie in [0, 1]; observed range "
+                f"[{arr.min():.6g}, {arr.max():.6g}]"
+            )
+    return arr
 
 
 def ensure_in_unit_interval(values: np.ndarray, name: str = "values") -> np.ndarray:

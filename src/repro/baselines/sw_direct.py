@@ -8,7 +8,7 @@ registered mechanism (Laplace-direct, SR-direct, PM-direct in Fig. 9).
 
 from __future__ import annotations
 
-from typing import Optional, Type, Union
+from typing import Optional
 
 import numpy as np
 

@@ -7,13 +7,18 @@ from .adaptive_clipping import (
     tail_discarding_error,
 )
 from .app import APP
-from .base import PerturbationResult, StreamPerturber
+from .base import PerturbationResult, PopulationPerturbationResult, StreamPerturber
 from .postprocessing import (
     KalmanSmoother,
     exponential_smoothing,
     observation_variance_for,
 )
 from .online import (
+    BatchOnlineAPP,
+    BatchOnlineCAPP,
+    BatchOnlineIPP,
+    BatchOnlinePerturber,
+    BatchOnlineSWDirect,
     OnlineAPP,
     OnlineCAPP,
     OnlineIPP,
@@ -49,11 +54,16 @@ from .sampling import (
     segment_bounds,
     segment_means,
 )
-from .smoothing import simple_moving_average, smoothing_variance_reduction
+from .smoothing import (
+    simple_moving_average,
+    simple_moving_average_rows,
+    smoothing_variance_reduction,
+)
 
 __all__ = [
     "StreamPerturber",
     "PerturbationResult",
+    "PopulationPerturbationResult",
     "IPP",
     "APP",
     "CAPP",
@@ -75,6 +85,7 @@ __all__ = [
     "segment_means",
     "replicate_segments",
     "simple_moving_average",
+    "simple_moving_average_rows",
     "smoothing_variance_reduction",
     "OnlinePerturber",
     "OnlineSWDirect",
@@ -82,6 +93,11 @@ __all__ = [
     "OnlineAPP",
     "OnlineCAPP",
     "OnlineSmoother",
+    "BatchOnlinePerturber",
+    "BatchOnlineSWDirect",
+    "BatchOnlineIPP",
+    "BatchOnlineAPP",
+    "BatchOnlineCAPP",
     "choose_adaptive_clip_bounds",
     "adaptive_clip_objective",
     "noise_error",

@@ -56,3 +56,10 @@ class APP(StreamPerturber):
             deviations[t] = values[t] - perturbed[t]
             accumulated += deviations[t]
         return inputs, perturbed, deviations, accumulated
+
+    def _make_batch_engine(self, n_users: int, rng: np.random.Generator):
+        from .online import BatchOnlineAPP
+
+        return BatchOnlineAPP(
+            self.epsilon, self.w, n_users, rng, mechanism=self.mechanism_class
+        )

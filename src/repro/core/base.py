@@ -22,13 +22,19 @@ from .._validation import (
     ensure_in_unit_interval,
     ensure_positive_int,
     ensure_rng,
+    ensure_stream_matrix,
     ensure_window,
 )
 from ..mechanisms import MECHANISM_REGISTRY, Mechanism, SquareWaveMechanism
-from ..privacy import WEventAccountant, per_slot_budget
-from .smoothing import simple_moving_average
+from ..privacy import BatchWEventAccountant, WEventAccountant, per_slot_budget
+from .smoothing import simple_moving_average, simple_moving_average_rows
 
-__all__ = ["PerturbationResult", "StreamPerturber", "resolve_mechanism_class"]
+__all__ = [
+    "PerturbationResult",
+    "PopulationPerturbationResult",
+    "StreamPerturber",
+    "resolve_mechanism_class",
+]
 
 #: default SMA window used by APP/CAPP in the paper's experiments
 DEFAULT_SMOOTHING_WINDOW = 3
@@ -92,6 +98,41 @@ class PerturbationResult:
     def published_mean(self) -> float:
         """Mean of the published (possibly smoothed) stream."""
         return float(np.mean(self.published))
+
+
+@dataclass
+class PopulationPerturbationResult:
+    """Everything produced by one vectorized pass over a population.
+
+    The population analogue of :class:`PerturbationResult`: every per-slot
+    field becomes a ``(n_users, T)`` matrix and the scalars become
+    ``(n_users,)`` arrays, with one shared
+    :class:`~repro.privacy.BatchWEventAccountant` holding every user's
+    budget ledger.
+    """
+
+    original: np.ndarray
+    perturbed: np.ndarray
+    published: np.ndarray
+    deviations: np.ndarray
+    accumulated_deviation: np.ndarray
+    epsilon_per_slot: float
+    accountant: BatchWEventAccountant = field(repr=False)
+
+    @property
+    def n_users(self) -> int:
+        return self.original.shape[0]
+
+    def __len__(self) -> int:
+        return self.original.shape[1]
+
+    def population_mean_series(self) -> np.ndarray:
+        """Cross-user mean of the reports at every slot."""
+        return self.perturbed.mean(axis=0)
+
+    def mean_estimates(self) -> np.ndarray:
+        """Per-user subsequence-mean estimates (mean of each report row)."""
+        return self.perturbed.mean(axis=1)
 
 
 class StreamPerturber(abc.ABC):
@@ -170,7 +211,61 @@ class StreamPerturber(abc.ABC):
             accountant=accountant,
         )
 
+    def perturb_population(
+        self,
+        streams: "Sequence[Sequence[float]] | np.ndarray",
+        rng: Optional[np.random.Generator] = None,
+    ) -> PopulationPerturbationResult:
+        """Perturb every user's stream in one vectorized population pass.
+
+        Processes a ``(n_users, T)`` matrix slot-by-slot with NumPy
+        operations across the population, instead of user-by-user Python
+        loops.  Per-user semantics are identical to :meth:`perturb_stream`
+        — with one user the two paths are bit-identical given the same
+        generator (tested).
+
+        Raises:
+            NotImplementedError: for algorithms without a batched engine.
+        """
+        matrix = ensure_stream_matrix(streams)
+        if matrix.shape[0] == 0:
+            raise ValueError("streams must be non-empty")
+        rng = ensure_rng(rng)
+        n_users, horizon = matrix.shape
+        engine = self._make_batch_engine(n_users, rng)
+        perturbed = np.empty_like(matrix)
+        for t in range(horizon):
+            perturbed[:, t] = engine.submit(matrix[:, t])
+        engine.accountant.assert_valid()
+        if self.smoothing_window is None or horizon == 1:
+            published = perturbed.copy()
+        else:
+            published = simple_moving_average_rows(perturbed, self.smoothing_window)
+        try:
+            accumulated = engine.accumulated_deviation
+        except AttributeError:
+            raise TypeError(
+                f"{type(engine).__name__} does not expose accumulated_deviation; "
+                "population engines driven by perturb_population must track it"
+            ) from None
+        return PopulationPerturbationResult(
+            original=matrix.copy(),
+            perturbed=perturbed,
+            published=published,
+            deviations=matrix - perturbed,
+            accumulated_deviation=np.array(accumulated, dtype=float, copy=True),
+            epsilon_per_slot=self.epsilon_per_slot,
+            accountant=engine.accountant,
+        )
+
     # -- hooks ------------------------------------------------------------
+
+    def _make_batch_engine(self, n_users: int, rng: np.random.Generator):
+        """Build the vectorized population engine behind
+        :meth:`perturb_population` (see :mod:`repro.core.online`)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no vectorized population engine"
+        )
 
     def _make_mechanism(self) -> Mechanism:
         return self.mechanism_class(self.epsilon_per_slot)

@@ -82,3 +82,15 @@ class CAPP(StreamPerturber):
             deviations[t] = values[t] - perturbed[t]
             accumulated += deviations[t]
         return inputs, perturbed, deviations, accumulated
+
+    def _make_batch_engine(self, n_users: int, rng: np.random.Generator):
+        from .online import BatchOnlineCAPP
+
+        return BatchOnlineCAPP(
+            self.epsilon,
+            self.w,
+            n_users,
+            rng,
+            mechanism=self.mechanism_class,
+            clip_bounds=self.clip_bounds,
+        )

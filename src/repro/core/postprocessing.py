@@ -18,7 +18,7 @@ The smoother ablation bench compares all three on published streams.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

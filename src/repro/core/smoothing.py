@@ -15,7 +15,11 @@ import numpy as np
 
 from .._validation import ensure_positive_int, ensure_stream
 
-__all__ = ["simple_moving_average", "smoothing_variance_reduction"]
+__all__ = [
+    "simple_moving_average",
+    "simple_moving_average_rows",
+    "smoothing_variance_reduction",
+]
 
 
 def simple_moving_average(values: Sequence[float], window: int) -> np.ndarray:
@@ -45,6 +49,33 @@ def simple_moving_average(values: Sequence[float], window: int) -> np.ndarray:
     lo = np.maximum(idx - k, 0)
     hi = np.minimum(idx + k, n - 1)
     return (prefix[hi + 1] - prefix[lo]) / (hi - lo + 1)
+
+
+def simple_moving_average_rows(matrix: np.ndarray, window: int) -> np.ndarray:
+    """Centered SMA applied to every row of a ``(n_users, T)`` matrix.
+
+    Vectorized across the population: equivalent to calling
+    :func:`simple_moving_average` on each row (tested), in one prefix-sum
+    pass over the whole matrix.
+    """
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"matrix must be 2-D (users, T), got shape {arr.shape}")
+    window = ensure_positive_int(window, "window")
+    if window % 2 == 0:
+        raise ValueError(f"window must be odd (centered SMA), got {window}")
+    n_users, horizon = arr.shape
+    if window == 1 or horizon == 1:
+        return arr.copy()
+
+    k = window // 2
+    prefix = np.concatenate(
+        [np.zeros((n_users, 1)), np.cumsum(arr, axis=1)], axis=1
+    )
+    idx = np.arange(horizon)
+    lo = np.maximum(idx - k, 0)
+    hi = np.minimum(idx + k, horizon - 1)
+    return (prefix[:, hi + 1] - prefix[:, lo]) / (hi - lo + 1)
 
 
 def smoothing_variance_reduction(window: int) -> float:

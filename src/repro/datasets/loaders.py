@@ -13,7 +13,6 @@ to ``[0, 1]``.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -18,7 +18,6 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from .figures import (
-    DEFAULT_EPSILONS,
     run_fig4,
     run_fig5,
     run_fig6,

@@ -16,7 +16,7 @@ import numpy as np
 
 from .._validation import ensure_positive_int, ensure_rng, ensure_stream
 from ..core.base import StreamPerturber
-from ..metrics import cosine_distance, jensen_shannon_divergence, mse
+from ..metrics import cosine_distance, jensen_shannon_divergence
 from .registry import make_algorithm
 
 __all__ = [

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
-import numpy as np
 
 from ..datasets import load_stream
 from .runner import mean_squared_error_of_mean, run_epsilon_sweep

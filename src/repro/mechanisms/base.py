@@ -13,7 +13,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -95,6 +95,47 @@ class Mechanism(abc.ABC):
             Array of perturbed values with the same shape as ``values``
             (scalars come back as 0-d arrays; use ``float()`` if needed).
         """
+
+    def perturb_batch(
+        self,
+        values: Union[Sequence[float], np.ndarray],
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Randomize a 1-D population slice in one vectorized pass.
+
+        This is the population-engine entry point: one call perturbs the
+        reports of a whole ``(n_users,)`` slot slice.  Every concrete
+        mechanism implements :meth:`perturb` with NumPy array operations,
+        so the default simply enforces the batch contract (1-D in, 1-D
+        float64 out) and delegates; subclasses may override when a
+        batch-only sampling shortcut exists (see
+        :class:`~repro.mechanisms.hybrid.HybridMechanism`).
+
+        Args:
+            values: ``(n,)`` inputs in ``[0, 1]``; ``n = 0`` is allowed and
+                returns an empty array.
+            rng: source of randomness; a fresh default generator is used
+                when omitted.
+
+        Returns:
+            ``(n,)`` float64 array of perturbed values.
+        """
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 1:
+            raise ValueError(
+                f"perturb_batch expects a 1-D population slice, got shape {arr.shape}"
+            )
+        if arr.size == 0:
+            return np.empty(0, dtype=float)
+        return self._perturb_batch_impl(arr, rng)
+
+    def _perturb_batch_impl(
+        self,
+        values: np.ndarray,
+        rng: Optional[np.random.Generator],
+    ) -> np.ndarray:
+        """Batch sampling hook (input already validated as non-empty 1-D)."""
+        return np.asarray(self.perturb(values, rng), dtype=float)
 
     @abc.abstractmethod
     def expected_output(self, x: Union[float, np.ndarray]) -> np.ndarray:

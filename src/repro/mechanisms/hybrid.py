@@ -61,6 +61,28 @@ class HybridMechanism(Mechanism):
         sr_out = self._sr.perturb(arr, rng)
         return np.where(use_pm, pm_out, sr_out)
 
+    def _perturb_batch_impl(
+        self,
+        values: np.ndarray,
+        rng: Optional[np.random.Generator],
+    ) -> np.ndarray:
+        """Batch sampling that draws each component only for its own users.
+
+        :meth:`perturb` samples both PM and SR for every input and selects
+        afterwards, which is the right trade-off for scalars but wastes
+        half the draws on large population slices.
+        """
+        arr, rng = self._prepare(values, rng)
+        if self.alpha == 0.0:
+            return np.asarray(self._sr.perturb(arr, rng), dtype=float)
+        use_pm = rng.random(arr.size) < self.alpha
+        out = np.empty(arr.size, dtype=float)
+        if use_pm.any():
+            out[use_pm] = self._pm.perturb(arr[use_pm], rng)
+        if not use_pm.all():
+            out[~use_pm] = self._sr.perturb(arr[~use_pm], rng)
+        return out
+
     def expected_output(self, x: Union[float, np.ndarray]) -> np.ndarray:
         return np.asarray(x, dtype=float)  # both components are unbiased
 

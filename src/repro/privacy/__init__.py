@@ -1,6 +1,10 @@
 """Privacy accounting substrate: composition, budgets, w-event auditing."""
 
-from .accountant import PrivacyBudgetExceededError, WEventAccountant
+from .accountant import (
+    BatchWEventAccountant,
+    PrivacyBudgetExceededError,
+    WEventAccountant,
+)
 from .budget import (
     BudgetAllocation,
     parallel_composition,
@@ -18,6 +22,7 @@ __all__ = [
     "UserLevel",
     "WEvent",
     "WEventAccountant",
+    "BatchWEventAccountant",
     "PrivacyBudgetExceededError",
     "BudgetAllocation",
     "sequential_composition",

@@ -10,11 +10,13 @@ budget — turning the paper's Theorems 3/4/6 into an executable invariant.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, List, Optional, Union
 
-from .._validation import ensure_epsilon, ensure_window
+import numpy as np
 
-__all__ = ["WEventAccountant", "PrivacyBudgetExceededError"]
+from .._validation import ensure_epsilon, ensure_positive_int, ensure_window
+
+__all__ = ["WEventAccountant", "BatchWEventAccountant", "PrivacyBudgetExceededError"]
 
 #: slack for floating-point accumulation across long streams
 _TOLERANCE = 1e-9
@@ -63,8 +65,10 @@ class WEventAccountant:
             ValueError: if ``t`` precedes the current slot.
         """
         spend = float(epsilon)
-        if spend < 0:
-            raise ValueError(f"epsilon spend must be non-negative, got {spend}")
+        if not (spend >= 0) or spend == float("inf"):  # rejects NaN too
+            raise ValueError(
+                f"epsilon spend must be non-negative and finite, got {spend}"
+            )
         if t < self.current_slot:
             raise ValueError(
                 f"slots must be charged in order: got t={t} after "
@@ -130,4 +134,139 @@ class WEventAccountant:
             raise PrivacyBudgetExceededError(
                 f"audit failed: max window spend {worst:.6g} exceeds "
                 f"budget {self.epsilon:.6g}"
+            )
+
+
+class BatchWEventAccountant:
+    """Population-wide w-event ledger: one row of spends per user.
+
+    The vectorized protocol engine charges a whole population slice per
+    slot, so the accountant keeps its sliding-window state as ``(n_users,)``
+    arrays instead of scalars: a circular ``(w, n_users)`` buffer of the
+    last ``w`` per-slot spends plus running window totals.  Semantics match
+    ``n_users`` independent :class:`WEventAccountant` instances charged in
+    lockstep (tested), at a per-slot cost of O(n_users) NumPy work instead
+    of O(n_users) Python calls.
+
+    Unlike the scalar accountant, slots are always charged in strictly
+    increasing order via :meth:`charge_next` — the vectorized protocol
+    never revisits a slot, and non-participating users simply spend 0.
+
+    The w-event invariant and the audit only need O(w * n_users) state
+    (the circular window plus a running per-user maximum); the full
+    per-slot ledger kept for :meth:`user_spends`/:meth:`spends_matrix`
+    grows with the horizon, so pass ``record_history=False`` for
+    unbounded streams at production scale.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        w: int,
+        n_users: int,
+        record_history: bool = True,
+    ) -> None:
+        self.epsilon = ensure_epsilon(epsilon)
+        self.w = ensure_window(w)
+        self.n_users = ensure_positive_int(n_users, "n_users")
+        self.record_history = bool(record_history)
+        self._window = np.zeros((self.w, self.n_users))
+        self._window_total = np.zeros(self.n_users)
+        self._max_window = np.zeros(self.n_users)
+        self._history: List[np.ndarray] = []
+        self._t = 0
+
+    @property
+    def current_slot(self) -> int:
+        """Index of the most recently charged slot (-1 before any charge)."""
+        return self._t - 1
+
+    def charge_next(self, spends: Union[float, np.ndarray]) -> None:
+        """Charge the next slot with per-user spends (scalar broadcasts).
+
+        Raises:
+            PrivacyBudgetExceededError: if any user's window of ``w``
+                consecutive slots would exceed the total budget.
+            ValueError: on negative spends or a shape mismatch.
+        """
+        vec = np.broadcast_to(
+            np.asarray(spends, dtype=float), (self.n_users,)
+        ).copy()
+        # NaN would otherwise slip past a `min() < 0` check and poison the
+        # window totals, silently disabling every future overspend check.
+        if vec.size and not np.all((vec >= 0) & np.isfinite(vec)):
+            raise ValueError(
+                "epsilon spends must be non-negative and finite, "
+                f"got min {vec.min():.6g}"
+            )
+        t = self._t
+        idx = t % self.w
+        # Rows not yet written are zero, so eviction is a no-op before the
+        # window first wraps.
+        prospective = self._window_total - self._window[idx] + vec
+        worst = prospective.max()
+        if worst > self.epsilon + _TOLERANCE:
+            offender = int(prospective.argmax())
+            raise PrivacyBudgetExceededError(
+                f"charging slot {t} would raise user {offender}'s window "
+                f"spend to {worst:.6g} > budget {self.epsilon:.6g} "
+                f"(w={self.w})"
+            )
+        self._window[idx] = vec
+        self._window_total = prospective
+        np.maximum(self._max_window, prospective, out=self._max_window)
+        if self.record_history:
+            self._history.append(vec)
+        self._t += 1
+
+    def _require_history(self) -> None:
+        if not self.record_history:
+            raise RuntimeError(
+                "per-slot ledger queries need record_history=True "
+                "(disabled to bound memory on unbounded streams)"
+            )
+
+    def spends_matrix(self) -> np.ndarray:
+        """Full ``(T, n_users)`` spend history (copy)."""
+        self._require_history()
+        if not self._history:
+            return np.zeros((0, self.n_users))
+        return np.stack(self._history)
+
+    def user_spends(self, user: int) -> np.ndarray:
+        """One user's per-slot spend series — comparable to the scalar
+        accountant's ledger for equivalence testing."""
+        self._require_history()
+        if not 0 <= user < self.n_users:
+            raise ValueError(f"user must be in [0, {self.n_users}), got {user}")
+        return np.array([slot[user] for slot in self._history])
+
+    def window_spend(self, t: Optional[int] = None) -> np.ndarray:
+        """Per-user spend of the window ending at slot ``t`` (default latest)."""
+        if t is None or t == self.current_slot:
+            if self.current_slot < 0:
+                raise ValueError("no slot has been charged yet")
+            return self._window_total.copy()
+        self._require_history()
+        if t < 0 or t > self.current_slot:
+            raise ValueError(f"slot {t} has not been charged yet")
+        start = max(0, t - self.w + 1)
+        return np.sum(self._history[start : t + 1], axis=0)
+
+    def max_window_spend(self) -> np.ndarray:
+        """Per-user maximum over all windows charged so far.
+
+        Maintained incrementally, so the audit is O(n_users) regardless
+        of horizon or history retention.
+        """
+        return self._max_window.copy()
+
+    def assert_valid(self) -> None:
+        """Audit every window charged so far; raises on any overspend."""
+        peak = self._max_window.max() if self._max_window.size else 0.0
+        if peak > self.epsilon + _TOLERANCE:
+            offender = int(self._max_window.argmax())
+            raise PrivacyBudgetExceededError(
+                f"audit failed: user {offender}'s max window spend "
+                f"{peak:.6g} exceeds budget {self.epsilon:.6g}"
             )

@@ -2,8 +2,14 @@
 
 from .collector import Collector
 from .messages import Report
-from .simulation import SimulationResult, run_protocol
+from .simulation import SimulationResult, population_mean_mse, run_protocol
 from .user import ONLINE_ALGORITHMS, UserAgent
+from .vectorized import (
+    BATCH_ALGORITHMS,
+    PopulationGroup,
+    VectorizedSimulationResult,
+    run_protocol_vectorized,
+)
 
 __all__ = [
     "Report",
@@ -11,5 +17,10 @@ __all__ = [
     "Collector",
     "SimulationResult",
     "run_protocol",
+    "population_mean_mse",
     "ONLINE_ALGORITHMS",
+    "BATCH_ALGORITHMS",
+    "PopulationGroup",
+    "VectorizedSimulationResult",
+    "run_protocol_vectorized",
 ]

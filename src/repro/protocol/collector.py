@@ -71,6 +71,59 @@ class Collector:
         for report in reports:
             self.ingest(report)
 
+    def ingest_batch(
+        self,
+        t: int,
+        user_ids: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Record one slot's reports for many users in a single call.
+
+        The batch entry point of the vectorized protocol engine: instead
+        of ``n_users`` :class:`Report` objects per slot, the engine hands
+        over the participating users' ids and their perturbed values as
+        parallel arrays.  Semantically equivalent to ingesting the
+        corresponding reports one by one (duplicates rejected, same
+        aggregates), but without per-report object construction.
+
+        Args:
+            t: the time slot every value belongs to.
+            user_ids: ``(k,)`` non-negative, distinct user ids.
+            values: ``(k,)`` perturbed values aligned with ``user_ids``.
+        """
+        t = int(t)
+        if t < 0:
+            raise ValueError(f"t must be non-negative, got {t}")
+        vals = np.asarray(values, dtype=float)
+        ids = np.asarray(user_ids)
+        if vals.ndim != 1 or ids.shape != vals.shape:
+            raise ValueError(
+                f"user_ids and values must be aligned 1-D arrays, got "
+                f"shapes {ids.shape} and {vals.shape}"
+            )
+        if ids.size == 0:
+            return
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise TypeError(f"user_ids must be integers, got dtype {ids.dtype}")
+        if ids.min() < 0:
+            raise ValueError(f"user_id must be non-negative, got {ids.min()}")
+        if not np.all(np.isfinite(vals)):
+            raise ValueError("report values must be finite")
+        id_list = ids.tolist()
+        if len(set(id_list)) != len(id_list):
+            raise ValueError(f"duplicate user ids in batch at t={t}")
+        # Validate against history before mutating anything, so a rejected
+        # batch leaves the collector untouched.
+        for uid in id_list:
+            if t in self._by_user.get(uid, ()):
+                raise ValueError(f"duplicate report for user {uid} at t={t}")
+        val_list = vals.tolist()
+        by_user = self._by_user
+        for uid, value in zip(id_list, val_list):
+            by_user[uid][t] = value
+        self._by_slot[t].extend(val_list)
+        self._n_reports += len(val_list)
+
     # -- inspection ------------------------------------------------------
 
     @property

@@ -17,7 +17,20 @@ from .._validation import ensure_rng
 from .collector import Collector
 from .user import UserAgent
 
-__all__ = ["SimulationResult", "run_protocol"]
+__all__ = ["SimulationResult", "run_protocol", "population_mean_mse"]
+
+
+def population_mean_mse(collector: Collector, true_matrix: np.ndarray) -> float:
+    """MSE between a collector's population-mean series and ground truth.
+
+    Computed over the slots the collector actually observed (under
+    dropout, slots with zero reports are excluded).  Shared by the
+    reference and vectorized simulation results.
+    """
+    slots = collector.slots()
+    estimated = np.array([collector.population_mean(t) for t in slots])
+    truth = np.asarray(true_matrix, dtype=float).mean(axis=0)[slots]
+    return float(np.mean((estimated - truth) ** 2))
 
 
 @dataclass
@@ -33,15 +46,8 @@ class SimulationResult:
         return len(self.users)
 
     def population_mean_mse(self) -> float:
-        """MSE between the collector's population-mean series and truth.
-
-        Computed over the slots the collector actually observed (under
-        dropout, slots with zero reports are excluded).
-        """
-        slots = self.collector.slots()
-        estimated = np.array([self.collector.population_mean(t) for t in slots])
-        truth = self.true_matrix.mean(axis=0)[slots]
-        return float(np.mean((estimated - truth) ** 2))
+        """MSE between the collector's population-mean series and truth."""
+        return population_mean_mse(self.collector, self.true_matrix)
 
 
 def run_protocol(

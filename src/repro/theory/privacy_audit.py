@@ -21,7 +21,6 @@ cases the paper's inductive proofs build on.
 
 from __future__ import annotations
 
-import itertools
 import math
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence

@@ -1,6 +1,5 @@
 """Tests for the standing-query engine."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.streaming_queries import (

@@ -1,7 +1,6 @@
 """Deeper BA-SW behaviour coverage: absorption dynamics and thresholds."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import BASW
 

@@ -1,7 +1,6 @@
 """Tests for the naive Sampling baseline."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import NaiveSampling
 from repro.core import PPSampling

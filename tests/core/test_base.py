@@ -1,6 +1,5 @@
 """Tests for StreamPerturber plumbing shared by all algorithms."""
 
-import numpy as np
 import pytest
 
 from repro.core import IPP, StreamPerturber

@@ -1,0 +1,161 @@
+"""Batched online engines vs their scalar counterparts.
+
+With one user and the same generator the batched engines must be
+bit-identical to the scalar classes; with many users they must agree
+distributionally and keep per-user ledgers identical to scalar
+accounting under the same skip pattern.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    APP,
+    CAPP,
+    BatchOnlineAPP,
+    BatchOnlineCAPP,
+    BatchOnlineIPP,
+    BatchOnlineSWDirect,
+    OnlineAPP,
+    OnlineCAPP,
+    OnlineIPP,
+    OnlineSWDirect,
+)
+
+PAIRS = [
+    (OnlineSWDirect, BatchOnlineSWDirect),
+    (OnlineIPP, BatchOnlineIPP),
+    (OnlineAPP, BatchOnlineAPP),
+    (OnlineCAPP, BatchOnlineCAPP),
+]
+
+
+@pytest.mark.parametrize("scalar_cls,batch_cls", PAIRS)
+def test_single_user_bit_identical(scalar_cls, batch_cls):
+    stream = np.random.default_rng(0).random(30)
+    scalar = scalar_cls(1.0, 5, np.random.default_rng(42))
+    batch = batch_cls(1.0, 5, 1, np.random.default_rng(42))
+    for x in stream:
+        expected = scalar.submit(float(x))
+        got = batch.submit(np.array([x]))
+        assert got.shape == (1,)
+        assert got[0] == expected
+
+
+@pytest.mark.parametrize("scalar_cls,batch_cls", PAIRS)
+def test_skip_pattern_matches_scalar_accounting(scalar_cls, batch_cls):
+    rng = np.random.default_rng(3)
+    n_users, horizon = 5, 40
+    streams = rng.random((n_users, horizon))
+    masks = rng.random((horizon, n_users)) < 0.5
+
+    batch = batch_cls(1.0, 4, n_users, np.random.default_rng(7))
+    scalars = [scalar_cls(1.0, 4, np.random.default_rng(100 + i)) for i in range(n_users)]
+    for t in range(horizon):
+        reports = batch.submit(streams[:, t], masks[t])
+        # Masked-out users must produce NaN, participants must not.
+        assert np.all(np.isnan(reports[~masks[t]]))
+        assert np.all(np.isfinite(reports[masks[t]]))
+        for i, scalar in enumerate(scalars):
+            if masks[t, i]:
+                scalar.submit(float(streams[i, t]))
+            else:
+                scalar.skip()
+    batch.accountant.assert_valid()
+    for i, scalar in enumerate(scalars):
+        np.testing.assert_allclose(
+            batch.accountant.user_spends(i), scalar.accountant._spends
+        )
+
+
+def test_masked_state_untouched():
+    """A skipped slot must not move the skipped user's deviation state."""
+    batch = BatchOnlineAPP(1.0, 4, 3, np.random.default_rng(0))
+    batch.submit(np.array([0.2, 0.5, 0.8]))
+    before = batch.accumulated_deviation.copy()
+    mask = np.array([True, False, True])
+    batch.submit(np.array([0.3, 0.6, 0.9]), mask)
+    assert batch.accumulated_deviation[1] == before[1]
+    assert batch.accumulated_deviation[0] != before[0]
+    assert batch.accumulated_deviation[2] != before[2]
+
+
+def test_population_means_distributionally_close():
+    """Batched and scalar APP agree on the population mean of a slot."""
+    n_users, horizon = 4000, 10
+    value = 0.37
+    streams = np.full((n_users, horizon), value)
+
+    batch = BatchOnlineAPP(5.0, 5, n_users, np.random.default_rng(1))
+    batch_reports = np.column_stack(
+        [batch.submit(streams[:, t]) for t in range(horizon)]
+    )
+    scalar_reports = np.empty_like(batch_reports)
+    master = np.random.default_rng(2)
+    for i in range(n_users):
+        scalar = OnlineAPP(5.0, 5, np.random.default_rng(master.integers(2**63)))
+        scalar_reports[i] = [scalar.submit(value) for _ in range(horizon)]
+    # Cross-user means at each slot: both unbiased estimators of the same
+    # quantity with ~1/sqrt(n) noise.
+    np.testing.assert_allclose(
+        batch_reports.mean(axis=0), scalar_reports.mean(axis=0), atol=0.05
+    )
+
+
+def test_shape_validation():
+    batch = BatchOnlineAPP(1.0, 4, 3)
+    with pytest.raises(ValueError, match="shape"):
+        batch.submit(np.array([0.1, 0.2]))
+    with pytest.raises(ValueError, match="mask"):
+        batch.submit(np.array([0.1, 0.2, 0.3]), np.array([True, False]))
+    with pytest.raises(ValueError, match=r"\[0, 1\]"):
+        batch.submit(np.array([0.1, 0.2, 1.5]))
+
+
+def test_out_of_range_masked_values_ignored():
+    batch = BatchOnlineAPP(1.0, 4, 2)
+    reports = batch.submit(np.array([0.5, np.nan]), np.array([True, False]))
+    assert np.isfinite(reports[0]) and np.isnan(reports[1])
+
+
+def test_skip_slot_spends_nothing():
+    batch = BatchOnlineSWDirect(1.0, 4, 2)
+    batch.skip_slot()
+    batch.submit(np.array([0.1, 0.9]))
+    np.testing.assert_allclose(batch.accountant.user_spends(0), [0.0, 0.25])
+
+
+@pytest.mark.parametrize("perturber_cls", [APP, CAPP])
+def test_perturb_population_single_user_matches_stream(perturber_cls):
+    """perturb_population with one user == perturb_stream, bit for bit."""
+    stream = np.random.default_rng(5).random(25)
+    perturber = perturber_cls(1.0, 5)
+    ref = perturber.perturb_stream(stream, np.random.default_rng(11))
+    pop = perturber.perturb_population(stream[None, :], np.random.default_rng(11))
+    np.testing.assert_array_equal(pop.perturbed[0], ref.perturbed)
+    np.testing.assert_allclose(pop.published[0], ref.published)
+    np.testing.assert_array_equal(pop.deviations[0], ref.deviations)
+    assert pop.accumulated_deviation[0] == pytest.approx(ref.accumulated_deviation)
+    np.testing.assert_allclose(pop.accountant.user_spends(0), ref.accountant._spends)
+
+
+@pytest.mark.parametrize("perturber_cls", [APP, CAPP])
+def test_perturb_population_shapes_and_audit(perturber_cls):
+    streams = np.random.default_rng(6).random((20, 15))
+    result = perturber_cls(1.0, 5).perturb_population(streams, np.random.default_rng(0))
+    assert result.n_users == 20
+    assert len(result) == 15
+    assert result.perturbed.shape == (20, 15)
+    assert result.published.shape == (20, 15)
+    assert result.population_mean_series().shape == (15,)
+    assert result.mean_estimates().shape == (20,)
+    np.testing.assert_allclose(result.deviations, streams - result.perturbed)
+    result.accountant.assert_valid()
+
+
+def test_perturb_population_validates_matrix():
+    perturber = APP(1.0, 5)
+    with pytest.raises(ValueError, match="matrix"):
+        perturber.perturb_population(np.zeros(5))
+    with pytest.raises(ValueError, match=r"\[0, 1\]"):
+        perturber.perturb_population(np.full((2, 3), 1.5))

@@ -15,7 +15,6 @@ from repro.core import (
     simple_moving_average,
 )
 from repro.baselines import SWDirect
-from repro.privacy import PrivacyBudgetExceededError
 
 
 BATCH_ONLINE_PAIRS = [

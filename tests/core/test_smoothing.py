@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core import simple_moving_average, smoothing_variance_reduction
+from repro.core import (
+    simple_moving_average,
+    simple_moving_average_rows,
+    smoothing_variance_reduction,
+)
 
 
 class TestSimpleMovingAverage:
@@ -71,6 +75,24 @@ class TestSimpleMovingAverage:
         out = simple_moving_average(x, 5)
         # Every position averages all available values.
         np.testing.assert_allclose(out, [0.5, 0.5])
+
+
+class TestSimpleMovingAverageRows:
+    def test_matches_per_row_smoothing(self):
+        matrix = np.random.default_rng(0).random((13, 27))
+        rows = simple_moving_average_rows(matrix, 5)
+        expected = np.stack([simple_moving_average(row, 5) for row in matrix])
+        np.testing.assert_allclose(rows, expected)
+
+    def test_window_one_is_identity(self):
+        matrix = np.random.default_rng(1).random((3, 4))
+        np.testing.assert_array_equal(simple_moving_average_rows(matrix, 1), matrix)
+
+    def test_rejects_non_matrix_and_even_window(self):
+        with pytest.raises(ValueError):
+            simple_moving_average_rows(np.zeros(5), 3)
+        with pytest.raises(ValueError):
+            simple_moving_average_rows(np.zeros((2, 5)), 4)
 
 
 class TestVarianceReduction:

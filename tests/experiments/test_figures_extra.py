@@ -2,7 +2,6 @@
 and cross-runner consistency properties."""
 
 import numpy as np
-import pytest
 
 from repro.experiments import (
     run_epsilon_sweep,

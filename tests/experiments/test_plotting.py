@@ -1,7 +1,6 @@
 """Tests for the terminal plotting helpers."""
 
 import numpy as np
-import pytest
 
 from repro.experiments import line_chart, sparkline, sweep_chart
 

@@ -1,7 +1,5 @@
 """Smoke + structure tests for the table/figure runners (reduced scale)."""
 
-import numpy as np
-import pytest
 
 from repro.experiments import (
     format_table1,

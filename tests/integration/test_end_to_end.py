@@ -8,7 +8,6 @@ from repro import (
     BASW,
     CAPP,
     IPP,
-    NaiveSampling,
     PPSampling,
     SWDirect,
     ToPL,

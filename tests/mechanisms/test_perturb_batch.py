@@ -1,0 +1,80 @@
+"""Batch API of the mechanism layer: contract and distributional checks."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import (
+    DuchiMechanism,
+    HybridMechanism,
+    LaplaceMechanism,
+    PiecewiseMechanism,
+    SquareWaveMechanism,
+)
+
+ALL_MECHANISMS = [
+    SquareWaveMechanism,
+    PiecewiseMechanism,
+    DuchiMechanism,
+    LaplaceMechanism,
+    HybridMechanism,
+]
+
+
+@pytest.mark.parametrize("mechanism_cls", ALL_MECHANISMS)
+def test_batch_contract(mechanism_cls):
+    mech = mechanism_cls(1.0)
+    values = np.random.default_rng(0).random(257)
+    out = mech.perturb_batch(values, np.random.default_rng(1))
+    assert out.shape == (257,)
+    assert out.dtype == np.float64
+    assert np.all(np.isfinite(out))
+    assert np.all(mech.output_domain.contains(out))
+
+
+@pytest.mark.parametrize("mechanism_cls", ALL_MECHANISMS)
+def test_batch_empty_slice(mechanism_cls):
+    out = mechanism_cls(1.0).perturb_batch(np.empty(0))
+    assert out.shape == (0,)
+
+
+@pytest.mark.parametrize("mechanism_cls", ALL_MECHANISMS)
+def test_batch_rejects_matrices(mechanism_cls):
+    with pytest.raises(ValueError, match="1-D"):
+        mechanism_cls(1.0).perturb_batch(np.zeros((2, 3)))
+
+
+@pytest.mark.parametrize("mechanism_cls", ALL_MECHANISMS)
+def test_batch_is_unbiased(mechanism_cls):
+    """Empirical batch mean must track expected_output (law unchanged)."""
+    mech = mechanism_cls(2.0)
+    x = 0.3
+    draws = mech.perturb_batch(np.full(60_000, x), np.random.default_rng(7))
+    expected = float(mech.expected_output(x))
+    tolerance = 4.5 * float(np.sqrt(mech.output_variance(x) / draws.size))
+    assert abs(draws.mean() - expected) < tolerance
+
+
+@pytest.mark.parametrize("epsilon", [0.4, 2.0])  # below/above the HM threshold
+def test_hybrid_batch_matches_perturb_distribution(epsilon):
+    """HM's masked-draw batch override keeps the mixture law."""
+    mech = HybridMechanism(epsilon)
+    x = np.full(40_000, 0.7)
+    batch = mech.perturb_batch(x, np.random.default_rng(1))
+    loop = mech.perturb(x, np.random.default_rng(2))
+    assert batch.mean() == pytest.approx(loop.mean(), abs=0.05)
+    assert batch.var() == pytest.approx(loop.var(), rel=0.1)
+    # SR mass sits exactly on the two discrete points in both samplers.
+    sr_points = mech._sr.output_domain
+    batch_sr = np.isin(np.round(batch, 9), np.round([sr_points.low, sr_points.high], 9))
+    loop_sr = np.isin(np.round(loop, 9), np.round([sr_points.low, sr_points.high], 9))
+    assert batch_sr.mean() == pytest.approx(loop_sr.mean(), abs=0.02)
+
+
+def test_sw_batch_matches_vectorized_perturb_bitwise():
+    """For mechanisms without an override, batch == perturb on the array."""
+    mech = SquareWaveMechanism(1.0)
+    values = np.random.default_rng(3).random(100)
+    np.testing.assert_array_equal(
+        mech.perturb_batch(values, np.random.default_rng(9)),
+        mech.perturb(values, np.random.default_rng(9)),
+    )

@@ -1,0 +1,111 @@
+"""BatchWEventAccountant: lockstep equivalence with scalar accountants."""
+
+import numpy as np
+import pytest
+
+from repro.privacy import (
+    BatchWEventAccountant,
+    PrivacyBudgetExceededError,
+    WEventAccountant,
+)
+
+
+def test_matches_independent_scalar_accountants():
+    rng = np.random.default_rng(0)
+    n_users, w, epsilon, horizon = 7, 4, 1.0, 25
+    per_slot = epsilon / w
+
+    batch = BatchWEventAccountant(epsilon, w, n_users)
+    scalars = [WEventAccountant(epsilon, w) for _ in range(n_users)]
+    spend_history = []
+    for t in range(horizon):
+        mask = rng.random(n_users) < 0.6
+        spends = np.where(mask, per_slot, 0.0)
+        batch.charge_next(spends)
+        for i, acct in enumerate(scalars):
+            acct.charge(t, spends[i])
+        spend_history.append(spends)
+
+    matrix = batch.spends_matrix()
+    assert matrix.shape == (horizon, n_users)
+    np.testing.assert_array_equal(matrix, np.stack(spend_history))
+    for i, acct in enumerate(scalars):
+        np.testing.assert_allclose(batch.user_spends(i), acct._spends)
+        assert batch.window_spend()[i] == pytest.approx(acct.window_spend())
+        assert batch.max_window_spend()[i] == pytest.approx(acct.max_window_spend())
+    batch.assert_valid()
+
+
+def test_scalar_spend_broadcasts():
+    batch = BatchWEventAccountant(1.0, 2, 3)
+    batch.charge_next(0.5)
+    np.testing.assert_allclose(batch.window_spend(), [0.5, 0.5, 0.5])
+    assert batch.current_slot == 0
+
+
+def test_overspend_rejected_per_user():
+    batch = BatchWEventAccountant(1.0, 2, 3)
+    batch.charge_next([0.5, 0.5, 0.5])
+    overspend = np.array([0.4, 0.6, 0.4])  # user 1 would hit 1.1 in-window
+    with pytest.raises(PrivacyBudgetExceededError, match="user 1"):
+        batch.charge_next(overspend)
+    # The rejected charge must not have been recorded.
+    assert batch.current_slot == 0
+    np.testing.assert_allclose(batch.window_spend(), [0.5, 0.5, 0.5])
+
+
+def test_window_eviction_allows_sustained_rate():
+    batch = BatchWEventAccountant(1.0, 3, 2)
+    for _ in range(20):  # eps/w per slot forever is exactly sustainable
+        batch.charge_next(1.0 / 3.0)
+    np.testing.assert_allclose(batch.window_spend(), [1.0, 1.0])
+    batch.assert_valid()
+
+
+def test_negative_spend_rejected():
+    batch = BatchWEventAccountant(1.0, 2, 2)
+    with pytest.raises(ValueError, match="non-negative"):
+        batch.charge_next([-0.1, 0.0])
+
+
+def test_nan_and_inf_spends_rejected():
+    """NaN must not silently poison the window totals (batch and scalar)."""
+    batch = BatchWEventAccountant(1.0, 2, 2)
+    with pytest.raises(ValueError, match="finite"):
+        batch.charge_next([np.nan, 0.0])
+    with pytest.raises(ValueError, match="finite"):
+        batch.charge_next(np.inf)
+    # Rejected charges leave the invariant machinery functional.
+    batch.charge_next(0.5)
+    with pytest.raises(PrivacyBudgetExceededError):
+        batch.charge_next(0.6)
+    scalar = WEventAccountant(1.0, 2)
+    with pytest.raises(ValueError, match="finite"):
+        scalar.charge(0, float("nan"))
+    with pytest.raises(ValueError, match="finite"):
+        scalar.charge(0, float("inf"))
+
+
+def test_record_history_false_bounds_memory_but_keeps_invariant():
+    batch = BatchWEventAccountant(1.0, 3, 4, record_history=False)
+    for _ in range(50):
+        batch.charge_next(1.0 / 3.0)
+    assert len(batch._history) == 0
+    np.testing.assert_allclose(batch.window_spend(), np.ones(4))
+    np.testing.assert_allclose(batch.max_window_spend(), np.ones(4))
+    batch.assert_valid()
+    with pytest.raises(PrivacyBudgetExceededError):
+        batch.charge_next(0.5)
+    with pytest.raises(RuntimeError, match="record_history"):
+        batch.user_spends(0)
+    with pytest.raises(RuntimeError, match="record_history"):
+        batch.spends_matrix()
+    with pytest.raises(RuntimeError, match="record_history"):
+        batch.window_spend(2)
+
+
+def test_empty_history_audits_clean():
+    batch = BatchWEventAccountant(1.0, 2, 2)
+    batch.assert_valid()
+    assert batch.spends_matrix().shape == (0, 2)
+    np.testing.assert_array_equal(batch.max_window_spend(), [0.0, 0.0])

@@ -77,3 +77,56 @@ class TestPublication:
         collector.ingest(Report(1, 0, 0.1))
         estimates = collector.crowd_mean_estimates(0, 0)
         np.testing.assert_allclose(estimates, [0.1, 0.5])  # user 1 first
+
+
+class TestBatchIngest:
+    def test_matches_per_report_ingest(self):
+        values = np.random.default_rng(0).random(20)
+        ids = np.arange(20)
+        batched = Collector()
+        batched.ingest_batch(0, ids, values)
+        sequential = Collector()
+        for uid, v in zip(ids, values):
+            sequential.ingest(Report(int(uid), 0, float(v)))
+        assert batched.n_reports == sequential.n_reports == 20
+        assert batched.population_mean(0) == pytest.approx(
+            sequential.population_mean(0)
+        )
+        for uid in ids:
+            np.testing.assert_allclose(
+                batched.user_series(int(uid)), sequential.user_series(int(uid))
+            )
+
+    def test_empty_batch_is_noop(self):
+        collector = Collector()
+        collector.ingest_batch(0, np.empty(0, dtype=int), np.empty(0))
+        assert collector.n_reports == 0
+        assert collector.slots() == []
+
+    def test_duplicate_within_batch_rejected(self):
+        collector = Collector()
+        with pytest.raises(ValueError, match="duplicate user ids"):
+            collector.ingest_batch(0, np.array([1, 1]), np.array([0.1, 0.2]))
+
+    def test_duplicate_against_history_rejected_atomically(self):
+        collector = Collector()
+        collector.ingest(Report(2, 0, 0.5))
+        with pytest.raises(ValueError, match="duplicate report for user 2"):
+            collector.ingest_batch(0, np.array([1, 2]), np.array([0.1, 0.2]))
+        # The rejected batch must leave no partial state behind.
+        assert collector.n_reports == 1
+        with pytest.raises(KeyError):
+            collector.user_series(1)
+
+    def test_validation(self):
+        collector = Collector()
+        with pytest.raises(ValueError, match="non-negative"):
+            collector.ingest_batch(-1, np.array([0]), np.array([0.1]))
+        with pytest.raises(ValueError, match="aligned"):
+            collector.ingest_batch(0, np.array([0, 1]), np.array([0.1]))
+        with pytest.raises(TypeError, match="integers"):
+            collector.ingest_batch(0, np.array([0.5]), np.array([0.1]))
+        with pytest.raises(ValueError, match="finite"):
+            collector.ingest_batch(0, np.array([0]), np.array([np.nan]))
+        with pytest.raises(ValueError, match="non-negative"):
+            collector.ingest_batch(0, np.array([-1]), np.array([0.1]))

@@ -1,0 +1,100 @@
+"""Participation/dropout edge cases, exercised on both protocol paths.
+
+Covers the regimes the paper's deployment story cares about: tiny
+participation (most slots unobserved), slots every user skips, and
+heterogeneous algorithm populations under dropout.
+"""
+
+import numpy as np
+import pytest
+
+from repro.protocol import run_protocol, run_protocol_vectorized
+
+PATHS = [run_protocol, run_protocol_vectorized]
+PATH_IDS = ["reference", "vectorized"]
+
+
+def _streams(n_users=30, horizon=40, seed=0):
+    return np.random.default_rng(seed).random((n_users, horizon))
+
+
+@pytest.mark.parametrize("runner", PATHS, ids=PATH_IDS)
+def test_tiny_participation_yields_sparse_slots(runner):
+    streams = _streams()
+    result = runner(
+        streams, epsilon=2.0, w=5, participation=0.02,
+        rng=np.random.default_rng(1),
+    )
+    # With p=0.02 over 30x40 trials we expect ~24 reports and many empty
+    # slots; the collector must expose only observed slots.
+    assert 0 < result.collector.n_reports < streams.size * 0.1
+    observed = result.collector.slots()
+    assert len(observed) < streams.shape[1]
+    # MSE is still computable over the observed slots.
+    assert np.isfinite(result.population_mean_mse())
+
+
+@pytest.mark.parametrize("runner", PATHS, ids=PATH_IDS)
+def test_all_users_skip_some_slots(runner):
+    """Slots nobody reports must vanish from the collector, not crash it."""
+    streams = _streams(n_users=4, horizon=60, seed=2)
+    result = runner(
+        streams, epsilon=2.0, w=5, participation=0.1,
+        rng=np.random.default_rng(3),
+    )
+    observed = set(result.collector.slots())
+    empty = set(range(streams.shape[1])) - observed
+    assert empty, "with p=0.1 and 4 users some slots must be empty"
+    for t in sorted(empty)[:3]:
+        with pytest.raises(KeyError):
+            result.collector.population_mean(t)
+
+
+@pytest.mark.parametrize("runner", PATHS, ids=PATH_IDS)
+def test_dropout_spends_no_budget(runner):
+    streams = _streams(n_users=10, horizon=50, seed=4)
+    epsilon, w = 1.0, 5
+    result = runner(
+        streams, epsilon=epsilon, w=w, participation=0.4,
+        rng=np.random.default_rng(5),
+    )
+    per_slot = epsilon / w
+    if runner is run_protocol:
+        ledgers = [np.asarray(u.perturber.accountant._spends) for u in result.users]
+    else:
+        ledgers = [result.user_budget_spends(i) for i in range(10)]
+    total_reports = result.collector.n_reports
+    total_charged = sum(int(np.count_nonzero(ledger)) for ledger in ledgers)
+    assert total_charged == total_reports
+    for ledger in ledgers:
+        assert set(np.round(ledger, 12)) <= {0.0, round(per_slot, 12)}
+
+
+@pytest.mark.parametrize("runner", PATHS, ids=PATH_IDS)
+def test_heterogeneous_algorithms_under_dropout(runner):
+    streams = _streams(n_users=12, horizon=30, seed=6)
+    algorithms = ["capp", "app", "ipp", "sw-direct"] * 3
+    result = runner(
+        streams, algorithm=algorithms, epsilon=2.0, w=5, participation=0.5,
+        rng=np.random.default_rng(7),
+    )
+    assert 0 < result.collector.n_reports < streams.size
+    assert np.isfinite(result.population_mean_mse())
+    if runner is run_protocol_vectorized:
+        for user_id, name in enumerate(algorithms):
+            assert result.user_algorithm(user_id) == name
+
+
+@pytest.mark.parametrize("runner", PATHS, ids=PATH_IDS)
+def test_full_participation_reports_everything(runner):
+    streams = _streams(n_users=6, horizon=10, seed=8)
+    result = runner(streams, participation=1.0, rng=np.random.default_rng(9))
+    assert result.collector.n_reports == streams.size
+    assert result.collector.slots() == list(range(10))
+
+
+@pytest.mark.parametrize("runner", PATHS, ids=PATH_IDS)
+@pytest.mark.parametrize("participation", [-0.5, 0.0, 1.0001])
+def test_invalid_participation_rejected(runner, participation):
+    with pytest.raises(ValueError, match="participation"):
+        runner(_streams(4, 5), participation=participation)

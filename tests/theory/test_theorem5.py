@@ -1,7 +1,6 @@
 """Tests for the empirical Theorem 5 check."""
 
 import numpy as np
-import pytest
 
 from repro.theory import theorem5_dkw_bound_holds
 
