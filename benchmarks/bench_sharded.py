@@ -1,0 +1,117 @@
+"""Sharded-runtime scaling bench: throughput and memory vs worker count.
+
+Not a paper figure — tracks the runtime's scaling behavior so the perf
+trajectory captures the sharding win (and regressions in it).  Each
+worker count executes the same chunked workload end to end *in a fresh
+forked process* so its peak-RSS reading is that configuration's own
+high-water mark (``ru_maxrss`` is monotone over a process lifetime, so
+in-process readings would only ever report the running maximum of all
+earlier configurations).  The merged estimates are asserted bit-identical
+across worker counts, so the bench doubles as the determinism acceptance
+gate at benchmark scale.
+
+Sized through the environment so CI smoke jobs run it at toy scale:
+
+* ``REPRO_BENCH_SHARD_USERS`` / ``REPRO_BENCH_SHARD_SLOTS`` — population
+  shape (default 8000 x 50).
+* ``REPRO_BENCH_SHARD_WORKERS`` — space-separated worker counts
+  (default "1 2 4").
+* ``REPRO_BENCH_SHARD_CHUNK`` — users per shard (default: users / 8).
+"""
+
+import multiprocessing
+import os
+import resource
+import time
+
+import numpy as np
+
+from repro.runtime import MatrixSource, run_protocol_sharded
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def _run_config(streams, chunk, max_workers, conn):
+    """One configuration, executed in its own forked process."""
+    source = MatrixSource(streams, chunk_size=chunk)
+    start = time.perf_counter()
+    result = run_protocol_sharded(
+        source, epsilon=1.0, w=10, seed=1, max_workers=max_workers
+    )
+    seconds = time.perf_counter() - start
+    peak_kb = (
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        + resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    )
+    conn.send(
+        (
+            seconds,
+            peak_kb / 1024.0,
+            result.collector.n_reports,
+            result.collector.population_mean_series(),
+        )
+    )
+    conn.close()
+
+
+def _measure(streams, chunk, max_workers):
+    """Fork, run, and collect (seconds, peak MiB, n_reports, series)."""
+    if "fork" not in multiprocessing.get_all_start_methods():  # pragma: no cover
+        # No fork (e.g. macOS spawn-only dev box): measure in-process;
+        # RSS is then a lifetime high-water mark, which the table notes.
+        conn_out = []
+
+        class _Inline:
+            def send(self, payload):
+                conn_out.append(payload)
+
+            def close(self):
+                pass
+
+        _run_config(streams, chunk, max_workers, _Inline())
+        return conn_out[0]
+    ctx = multiprocessing.get_context("fork")
+    parent, child = ctx.Pipe(duplex=False)
+    process = ctx.Process(target=_run_config, args=(streams, chunk, max_workers, child))
+    process.start()
+    child.close()
+    payload = parent.recv()
+    process.join()
+    assert process.exitcode == 0
+    return payload
+
+
+def test_sharded_scaling(record_table):
+    n_users = _env_int("REPRO_BENCH_SHARD_USERS", 8_000)
+    horizon = _env_int("REPRO_BENCH_SHARD_SLOTS", 50)
+    chunk = _env_int("REPRO_BENCH_SHARD_CHUNK", max(n_users // 8, 1))
+    workers = [
+        int(token)
+        for token in os.environ.get("REPRO_BENCH_SHARD_WORKERS", "1 2 4").split()
+    ]
+
+    streams = np.random.default_rng(0).random((n_users, horizon))
+    user_slots = n_users * horizon
+
+    lines = [
+        f"sharded runtime at {n_users} users x {horizon} slots "
+        f"(chunk={chunk}, {-(-n_users // chunk)} shards, "
+        f"{os.cpu_count()} cpus)",
+        "  workers   wall s    user-slots/s   peak RSS MiB",
+    ]
+    reference = None
+    for max_workers in workers:
+        seconds, peak_mib, n_reports, series = _measure(streams, chunk, max_workers)
+        lines.append(
+            f"  {max_workers:7d} {seconds:8.3f} {user_slots / seconds:14.0f} "
+            f"{peak_mib:14.1f}"
+        )
+        assert n_reports == user_slots
+        if reference is None:
+            reference = series
+        else:
+            # Worker count must never change the answer, bit for bit.
+            np.testing.assert_array_equal(series, reference)
+    record_table("sharded_scaling", "\n".join(lines))

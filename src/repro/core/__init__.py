@@ -38,6 +38,10 @@ from .clipping import (
 from .ipp import IPP
 from .multidim import BudgetSplit, MultiDimResult, SampleSplit
 from .serialization import (
+    batch_accountant_from_dict,
+    batch_accountant_to_dict,
+    collector_state_from_dict,
+    collector_state_to_dict,
     dumps_result,
     loads_result,
     result_from_dict,
@@ -110,4 +114,8 @@ __all__ = [
     "result_from_dict",
     "dumps_result",
     "loads_result",
+    "collector_state_to_dict",
+    "collector_state_from_dict",
+    "batch_accountant_to_dict",
+    "batch_accountant_from_dict",
 ]

@@ -6,6 +6,13 @@ turn :class:`~repro.core.base.PerturbationResult` and
 back.  The w-event ledger is summarized (budget, window, max spend)
 rather than replayed — the audit already ran before serialization.
 
+The sharded runtime (:mod:`repro.runtime`) checkpoints through the same
+module: :func:`collector_state_to_dict` snapshots a collector shard's
+mergeable aggregate state and :func:`batch_accountant_to_dict` snapshots
+a population budget ledger, both as JSON-safe dicts whose floats
+round-trip exactly (so a resumed run is bit-identical to an
+uninterrupted one).
+
 Privacy note: ``to_public_dict`` strips the user-side fields (original
 values, inputs, deviations) so the artifact can safely leave the client;
 ``to_dict`` keeps everything for local archival.
@@ -14,13 +21,16 @@ values, inputs, deviations) so the artifact can safely leave the client;
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 import numpy as np
 
-from ..privacy import WEventAccountant
+from ..privacy import BatchWEventAccountant, WEventAccountant
 from .base import PerturbationResult
 from .sampling import SamplingResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (protocol -> core)
+    from ..protocol.collector import CollectorShardState
 
 __all__ = [
     "result_to_dict",
@@ -28,9 +38,15 @@ __all__ = [
     "result_from_dict",
     "dumps_result",
     "loads_result",
+    "collector_state_to_dict",
+    "collector_state_from_dict",
+    "batch_accountant_to_dict",
+    "batch_accountant_from_dict",
 ]
 
 _FORMAT = "repro.perturbation-result.v1"
+_STATE_FORMAT = "repro.collector-shard-state.v1"
+_LEDGER_FORMAT = "repro.batch-accountant.v1"
 
 
 def _accountant_summary(accountant: WEventAccountant) -> Dict[str, float]:
@@ -108,3 +124,104 @@ def dumps_result(result: PerturbationResult, public: bool = False) -> str:
 def loads_result(text: str) -> Dict[str, Any]:
     """Inverse of :func:`dumps_result`."""
     return result_from_dict(json.loads(text))
+
+
+# -- shard checkpointing (collector state + budget ledgers) ----------------
+
+
+def collector_state_to_dict(state: "CollectorShardState") -> Dict[str, Any]:
+    """JSON-safe snapshot of a mergeable collector shard state.
+
+    Floats survive the JSON round trip exactly (``repr``-based encoding),
+    so restoring and merging checkpointed shards reproduces the collector
+    a live run would have built, bit for bit.
+    """
+    payload: Dict[str, Any] = {
+        "format": _STATE_FORMAT,
+        "track_users": bool(state.track_users),
+        "keep_reports": bool(state.keep_reports),
+        "n_reports": int(state.n_reports),
+        "slot_sums": {str(t): total for t, total in state.slot_sums.items()},
+        "slot_counts": {str(t): count for t, count in state.slot_counts.items()},
+    }
+    if state.keep_reports:
+        payload["slot_values"] = {
+            str(t): state.slot_reports(t).tolist() for t in state.slot_values
+        }
+    if state.track_users:
+        payload["by_user"] = {
+            str(uid): {str(t): value for t, value in series.items()}
+            for uid, series in state.by_user.items()
+        }
+    return payload
+
+
+def collector_state_from_dict(data: Dict[str, Any]) -> "CollectorShardState":
+    """Inverse of :func:`collector_state_to_dict`."""
+    from ..protocol.collector import CollectorShardState
+
+    if data.get("format") != _STATE_FORMAT:
+        raise ValueError(f"unsupported shard-state format {data.get('format')!r}")
+    state = CollectorShardState(
+        track_users=bool(data["track_users"]),
+        keep_reports=bool(data.get("keep_reports", True)),
+        slot_sums={int(t): float(s) for t, s in data["slot_sums"].items()},
+        slot_counts={int(t): int(c) for t, c in data["slot_counts"].items()},
+        slot_values={
+            int(t): [np.asarray(values, dtype=float)]
+            for t, values in data.get("slot_values", {}).items()
+        },
+        n_reports=int(data["n_reports"]),
+    )
+    if state.track_users:
+        state.by_user = {
+            int(uid): {int(t): float(v) for t, v in series.items()}
+            for uid, series in data.get("by_user", {}).items()
+        }
+    return state
+
+
+def batch_accountant_to_dict(
+    accountant: BatchWEventAccountant,
+    include_history: bool = True,
+) -> Dict[str, Any]:
+    """JSON-safe snapshot of a population w-event ledger.
+
+    Always records the per-user maximum window spends (what the audit
+    needs); the full ``(T, n_users)`` spend history rides along only when
+    the accountant kept it and ``include_history`` is set.
+    """
+    payload: Dict[str, Any] = {
+        "format": _LEDGER_FORMAT,
+        "epsilon": accountant.epsilon,
+        "w": accountant.w,
+        "n_users": accountant.n_users,
+        "slots": accountant.current_slot + 1,
+        "max_window_spend": accountant.max_window_spend().tolist(),
+    }
+    if include_history and accountant.record_history:
+        payload["spends"] = accountant.spends_matrix().tolist()
+    return payload
+
+
+def batch_accountant_from_dict(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Restore the array payload of a serialized population ledger.
+
+    Returns plain arrays/scalars (the runtime's audit and ledger queries
+    work off the snapshot, not a live accountant): ``epsilon``, ``w``,
+    ``n_users``, ``slots``, ``max_window_spend`` as ``(n_users,)`` and
+    ``spends`` as ``(T, n_users)`` or ``None`` if no history was kept.
+    """
+    if data.get("format") != _LEDGER_FORMAT:
+        raise ValueError(f"unsupported ledger format {data.get('format')!r}")
+    spends: Optional[np.ndarray] = None
+    if data.get("spends") is not None:
+        spends = np.asarray(data["spends"], dtype=float)
+    return {
+        "epsilon": float(data["epsilon"]),
+        "w": int(data["w"]),
+        "n_users": int(data["n_users"]),
+        "slots": int(data["slots"]),
+        "max_window_spend": np.asarray(data["max_window_spend"], dtype=float),
+        "spends": spends,
+    }

@@ -23,6 +23,7 @@ from .profile import (
 from .registry import MATRIX_DATASETS, STREAM_DATASETS, load_matrix, load_stream
 from .synthetic import (
     constant_stream,
+    diurnal_stream,
     pulse_stream,
     random_walk_stream,
     sin_matrix,
@@ -37,6 +38,7 @@ __all__ = [
     "constant_stream",
     "pulse_stream",
     "sinusoidal_stream",
+    "diurnal_stream",
     "random_walk_stream",
     "sin_matrix",
     "minmax_normalize",

@@ -18,6 +18,7 @@ __all__ = [
     "constant_stream",
     "pulse_stream",
     "sinusoidal_stream",
+    "diurnal_stream",
     "random_walk_stream",
     "sin_matrix",
 ]
@@ -54,6 +55,30 @@ def sinusoidal_stream(
     t = np.arange(length, dtype=float)
     wave = np.sin(2.0 * np.pi * cycles * t / length + phase)
     return (wave + 1.0) / 2.0
+
+
+def diurnal_stream(
+    length: int,
+    period: int = 24,
+    amplitude: float = 0.25,
+    base: float = 0.5,
+) -> np.ndarray:
+    """A daily-cycle signal: ``base + amplitude * sin(2*pi*t/period)``.
+
+    The building block of the runtime's scenario workloads
+    (:mod:`repro.runtime.scenarios`); unlike :func:`sinusoidal_stream`
+    the cycle length is fixed in slots (e.g. 24 hourly slots per day)
+    rather than scaled to the stream length, so horizons of any length
+    carry the same daily shape.  Clipped into ``[0, 1]``.
+    """
+    length = ensure_positive_int(length, "length")
+    period = ensure_positive_int(period, "period")
+    if amplitude < 0:
+        raise ValueError(f"amplitude must be >= 0, got {amplitude}")
+    if not 0.0 <= base <= 1.0:
+        raise ValueError(f"base must lie in [0, 1], got {base}")
+    t = np.arange(length, dtype=float)
+    return np.clip(base + amplitude * np.sin(2.0 * np.pi * t / period), 0.0, 1.0)
 
 
 def random_walk_stream(

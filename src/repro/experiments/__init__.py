@@ -29,6 +29,7 @@ from .runner import (
     publication_cosine_distance,
     publication_jsd,
     run_epsilon_sweep,
+    run_scenario_study,
     sample_subsequences,
 )
 from .table1 import TABLE1_ALGORITHMS, format_table1, run_table1
@@ -56,6 +57,7 @@ __all__ = [
     "algorithm_names",
     "ALGORITHM_FACTORIES",
     "run_epsilon_sweep",
+    "run_scenario_study",
     "sample_subsequences",
     "mean_squared_error_of_mean",
     "publication_cosine_distance",

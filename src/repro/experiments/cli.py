@@ -5,6 +5,7 @@ Usage::
     python -m repro table1
     python -m repro fig4 --datasets c6h6 volume --windows 10 30 --scale 0.5
     python -m repro fig11 --scale 0.25
+    python -m repro scenarios --shards 4 --scale 0.5
     python -m repro list
 
 ``--scale`` multiplies the default subsequence/repeat counts, letting a
@@ -211,10 +212,37 @@ def _run_distribution(args: argparse.Namespace) -> str:
     )
 
 
+def _run_scenarios(args: argparse.Namespace) -> str:
+    from ..runtime.scenarios import SCENARIOS
+    from .runner import run_scenario_study
+
+    scenarios = tuple(args.datasets or sorted(SCENARIOS))
+    algorithms = ("capp", "app", "ipp", "sw-direct")
+    study = run_scenario_study(
+        scenarios=scenarios,
+        algorithms=algorithms,
+        n_users=_scaled(2_000, args.scale),
+        horizon=_scaled(96, args.scale),
+        epsilon=(args.epsilons or [1.0])[0],
+        w=(args.windows or [10])[0],
+        n_shards=max(args.shards, 1),
+        seed=args.seed,
+    )
+    rows = [
+        [scenario] + [study[scenario][name] for name in algorithms]
+        for scenario in scenarios
+    ]
+    title = "Scenario workloads: population-mean MSE"
+    if args.shards > 1:
+        title += f" ({args.shards} shards)"
+    return format_table(["scenario"] + list(algorithms), rows, title=title)
+
+
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "table1": _run_table1,
     "models": _run_models,
     "distribution": _run_distribution,
+    "scenarios": _run_scenarios,
     "fig4": _run_fig_grid(run_fig4, "Fig.4"),
     "fig5": _run_fig_grid(run_fig5, "Fig.5"),
     "fig6": _run_fig6_like(run_fig6, "Fig.6"),
@@ -246,6 +274,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="multiplier on subsequence/repeat counts (default 1.0)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="user-shards (and worker processes) for runtime-backed "
+        "experiments like 'scenarios' (default: unsharded)",
     )
     parser.add_argument("--seed", type=int, default=0)
     return parser

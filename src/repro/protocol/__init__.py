@@ -1,6 +1,6 @@
 """Multi-user collection protocol: user agents, collector, simulation."""
 
-from .collector import Collector
+from .collector import Collector, CollectorShardState
 from .messages import Report
 from .simulation import SimulationResult, population_mean_mse, run_protocol
 from .user import ONLINE_ALGORITHMS, UserAgent
@@ -15,6 +15,7 @@ __all__ = [
     "Report",
     "UserAgent",
     "Collector",
+    "CollectorShardState",
     "SimulationResult",
     "run_protocol",
     "population_mean_mse",

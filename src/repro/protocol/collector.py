@@ -5,13 +5,22 @@ messages and maintains per-slot cross-user aggregates: population means,
 per-user report series (for stream publication with optional incremental
 smoothing), and on-demand EM distribution estimates over any slot.
 
+All aggregate state lives in a :class:`CollectorShardState` — per-slot
+running sums and counts (O(1) mean queries), per-slot report arrays (for
+distribution reconstruction), and optionally the per-user report dicts.
+Shard states form a commutative monoid under
+:meth:`CollectorShardState.merge`, so a population can be split across
+processes or machines, aggregated independently, and combined into one
+collector whose answers equal single-collector ingestion (see
+:mod:`repro.runtime`).
+
 The collector never touches true values — everything it computes is
 post-processing of LDP outputs, hence privacy-free.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -22,7 +31,160 @@ from ..core.smoothing import simple_moving_average
 from ..mechanisms import SquareWaveMechanism
 from .messages import Report
 
-__all__ = ["Collector"]
+__all__ = ["Collector", "CollectorShardState"]
+
+
+@dataclass
+class CollectorShardState:
+    """Mergeable aggregate state of one collector (or collector shard).
+
+    Holds everything the collector's queries need: per-slot running sums
+    and report counts, per-slot report value arrays, and — unless user
+    tracking is disabled — each user's ``{slot: value}`` dict.  States are
+    associative and commutative under :meth:`merge` (sums add, counts add,
+    report arrays concatenate, user dicts union), so shard states computed
+    over disjoint user subsets combine into the state a single collector
+    would have built ingesting every report itself.
+
+    The per-slot report arrays are kept as lists of *segments* — a
+    ``(k,)`` float64 array per ingested batch (8 bytes per report and
+    O(1) merging, which is what makes holding a merged million-user
+    collector in one process cheap), or a bare float per scalar ingest so
+    the per-report reference path pays no array-construction overhead.
+    :meth:`slot_reports` concatenates (and caches) a slot's segments on
+    demand.
+
+    Args:
+        track_users: keep the per-user dict-of-dicts.  Required for
+            per-user publication queries and cross-batch duplicate
+            detection, but O(users x slots) in memory — population-scale
+            runs pass ``False`` and keep only the O(slots x reports)
+            aggregates.
+        keep_reports: retain the per-slot report arrays.  Required for
+            EM distribution reconstruction, but likewise O(users x slots)
+            — at extreme scale pass ``False`` and the state keeps only
+            the O(slots) sums/counts that mean queries need.
+    """
+
+    track_users: bool = True
+    keep_reports: bool = True
+    slot_sums: Dict[int, float] = field(default_factory=dict)
+    slot_counts: Dict[int, int] = field(default_factory=dict)
+    slot_values: Dict[int, List["np.ndarray | float"]] = field(default_factory=dict)
+    by_user: Dict[int, Dict[int, float]] = field(default_factory=dict)
+    n_reports: int = 0
+
+    # -- ingestion -------------------------------------------------------
+
+    def add_report(self, user_id: int, t: int, value: float) -> None:
+        """Fold one report in (scalar fast path — no array per report)."""
+        if self.track_users:
+            self.by_user.setdefault(user_id, {})[t] = value
+        if self.keep_reports:
+            self.slot_values.setdefault(t, []).append(value)
+        self.slot_sums[t] = self.slot_sums.get(t, 0.0) + value
+        self.slot_counts[t] = self.slot_counts.get(t, 0) + 1
+        self.n_reports += 1
+
+    def add_slot_batch(self, t: int, ids: "list[int]", values: np.ndarray) -> None:
+        """Fold one slot's reports in (inputs already validated)."""
+        segment = np.array(values, dtype=float)  # own the memory
+        if self.track_users:
+            by_user = self.by_user
+            for uid, value in zip(ids, segment.tolist()):
+                by_user.setdefault(uid, {})[t] = value
+        if self.keep_reports:
+            self.slot_values.setdefault(t, []).append(segment)
+        self.slot_sums[t] = self.slot_sums.get(t, 0.0) + float(segment.sum())
+        self.slot_counts[t] = self.slot_counts.get(t, 0) + segment.size
+        self.n_reports += segment.size
+
+    def slot_reports(self, t: int) -> np.ndarray:
+        """All reports ingested at slot ``t`` (ingestion order, compacted).
+
+        Segments may be ``(k,)`` arrays (batch ingestion) or bare floats
+        (scalar ingestion); ``hstack`` flattens both.  The compacted form
+        is cached back, so repeated queries touch one array.
+        """
+        if not self.keep_reports:
+            raise RuntimeError(
+                "per-slot report queries need keep_reports=True "
+                "(disabled to bound memory at population scale)"
+            )
+        segments = self.slot_values.get(t)
+        if not segments:
+            return np.zeros(0)
+        if len(segments) > 1 or not isinstance(segments[0], np.ndarray):
+            self.slot_values[t] = segments = [np.hstack(segments)]
+        return segments[0]
+
+    def has_report(self, user_id: int, t: int) -> bool:
+        """Whether ``(user_id, t)`` was already ingested (needs tracking)."""
+        return self.track_users and t in self.by_user.get(user_id, ())
+
+    # -- merge algebra ---------------------------------------------------
+
+    def merge_in_place(self, other: "CollectorShardState") -> None:
+        """Absorb ``other`` into this state (``other`` is not mutated).
+
+        Raises:
+            ValueError: if both states track users and share any
+                (user, slot) pair — the duplicate-report rule
+                :meth:`Collector.ingest` enforces, applied across shards.
+        """
+        if self.track_users and other.track_users:
+            for uid, series in other.by_user.items():
+                mine = self.by_user.get(uid)
+                if mine:
+                    overlap = mine.keys() & series.keys()
+                    if overlap:
+                        raise ValueError(
+                            f"merge overlap: duplicate report for user {uid} "
+                            f"at t={min(overlap)}"
+                        )
+        else:
+            self.track_users = False
+            self.by_user.clear()
+        if not (self.keep_reports and other.keep_reports):
+            self.keep_reports = False
+            self.slot_values.clear()
+        self.n_reports += other.n_reports
+        for t, total in other.slot_sums.items():
+            self.slot_sums[t] = self.slot_sums.get(t, 0.0) + total
+        for t, count in other.slot_counts.items():
+            self.slot_counts[t] = self.slot_counts.get(t, 0) + count
+        if self.keep_reports:
+            for t, values in other.slot_values.items():
+                self.slot_values.setdefault(t, []).extend(values)
+        if self.track_users:
+            for uid, series in other.by_user.items():
+                self.by_user.setdefault(uid, {}).update(series)
+
+    def merge(self, other: "CollectorShardState") -> "CollectorShardState":
+        """Combined state of two shards (neither operand is mutated).
+
+        Associative and commutative up to floating-point rounding of the
+        slot sums and the ordering of the concatenated report arrays;
+        counts and the multiset of (user, slot, value) triples combine
+        exactly.  The merged state tracks users (or retains report
+        arrays) only when both operands do — a shard that dropped state
+        cannot be reconstructed.
+        """
+        merged = self.copy()
+        merged.merge_in_place(other)
+        return merged
+
+    def copy(self) -> "CollectorShardState":
+        """Independent copy (segments are shared — they are never mutated)."""
+        return CollectorShardState(
+            track_users=self.track_users,
+            keep_reports=self.keep_reports,
+            slot_sums=dict(self.slot_sums),
+            slot_counts=dict(self.slot_counts),
+            slot_values={t: list(v) for t, v in self.slot_values.items()},
+            by_user={uid: dict(s) for uid, s in self.by_user.items()},
+            n_reports=self.n_reports,
+        )
 
 
 class Collector:
@@ -34,12 +196,22 @@ class Collector:
             depends on it); pass ``None`` to disable distribution queries.
         smoothing_window: odd SMA window applied by publication queries;
             ``None`` publishes raw report series.
+        track_users: keep per-user report dicts (default).  Population-
+            scale runs pass ``False`` to drop the O(users x slots) dict;
+            aggregate queries (means, distributions) still work, per-user
+            queries and cross-batch duplicate detection raise/disable.
+        keep_reports: retain per-slot report arrays (default).  Pass
+            ``False`` at extreme scale to keep only O(slots) running
+            aggregates; mean queries still work, distribution queries
+            raise.
     """
 
     def __init__(
         self,
         epsilon_per_report: Optional[float] = None,
         smoothing_window: Optional[int] = 3,
+        track_users: bool = True,
+        keep_reports: bool = True,
     ) -> None:
         if epsilon_per_report is not None:
             epsilon_per_report = ensure_epsilon(
@@ -51,21 +223,52 @@ class Collector:
                 raise ValueError("smoothing_window must be odd")
         self.epsilon_per_report = epsilon_per_report
         self.smoothing_window = smoothing_window
-        self._by_slot: Dict[int, List[float]] = defaultdict(list)
-        self._by_user: Dict[int, Dict[int, float]] = defaultdict(dict)
-        self._n_reports = 0
+        self._state = CollectorShardState(
+            track_users=bool(track_users), keep_reports=bool(keep_reports)
+        )
+
+    # -- shard state -----------------------------------------------------
+
+    @property
+    def state(self) -> CollectorShardState:
+        """The collector's aggregate state (live reference, not a copy)."""
+        return self._state
+
+    @property
+    def track_users(self) -> bool:
+        return self._state.track_users
+
+    @property
+    def keep_reports(self) -> bool:
+        return self._state.keep_reports
+
+    def merge_state(self, other: "CollectorShardState | Collector") -> None:
+        """Absorb another collector's (or shard's) aggregate state.
+
+        After merging every shard of a partitioned population, this
+        collector answers aggregate queries exactly as if it had ingested
+        every report itself (see the merge-algebra tests).
+        """
+        state = other._state if isinstance(other, Collector) else other
+        self._state.merge_in_place(state)
+
+    def _require_user_tracking(self) -> Dict[int, Dict[int, float]]:
+        if not self._state.track_users:
+            raise RuntimeError(
+                "per-user queries need track_users=True "
+                "(disabled to bound memory at population scale)"
+            )
+        return self._state.by_user
 
     # -- ingestion -------------------------------------------------------
 
     def ingest(self, report: Report) -> None:
         """Record one report (duplicate (user, t) pairs are rejected)."""
-        if report.t in self._by_user[report.user_id]:
+        if self._state.has_report(report.user_id, report.t):
             raise ValueError(
                 f"duplicate report for user {report.user_id} at t={report.t}"
             )
-        self._by_user[report.user_id][report.t] = float(report.value)
-        self._by_slot[report.t].append(float(report.value))
-        self._n_reports += 1
+        self._state.add_report(int(report.user_id), int(report.t), float(report.value))
 
     def ingest_many(self, reports: "list[Report]") -> None:
         for report in reports:
@@ -113,39 +316,35 @@ class Collector:
         if len(set(id_list)) != len(id_list):
             raise ValueError(f"duplicate user ids in batch at t={t}")
         # Validate against history before mutating anything, so a rejected
-        # batch leaves the collector untouched.
+        # batch leaves the collector untouched.  (Cross-batch duplicate
+        # detection needs the per-user dict, hence track_users only.)
         for uid in id_list:
-            if t in self._by_user.get(uid, ()):
+            if self._state.has_report(uid, t):
                 raise ValueError(f"duplicate report for user {uid} at t={t}")
-        val_list = vals.tolist()
-        by_user = self._by_user
-        for uid, value in zip(id_list, val_list):
-            by_user[uid][t] = value
-        self._by_slot[t].extend(val_list)
-        self._n_reports += len(val_list)
+        self._state.add_slot_batch(t, id_list, vals)
 
     # -- inspection ------------------------------------------------------
 
     @property
     def n_reports(self) -> int:
-        return self._n_reports
+        return self._state.n_reports
 
     @property
     def n_users(self) -> int:
-        return len(self._by_user)
+        return len(self._require_user_tracking())
 
     def slots(self) -> "list[int]":
         """Time slots with at least one report, sorted."""
-        return sorted(self._by_slot)
+        return sorted(self._state.slot_counts)
 
     # -- aggregate queries -------------------------------------------------
 
     def population_mean(self, t: int) -> float:
-        """Cross-user mean of reports at slot ``t``."""
-        values = self._by_slot.get(t)
-        if not values:
+        """Cross-user mean of reports at slot ``t`` (O(1) via running sums)."""
+        count = self._state.slot_counts.get(t)
+        if not count:
             raise KeyError(f"no reports at slot {t}")
-        return float(np.mean(values))
+        return self._state.slot_sums[t] / count
 
     def population_mean_series(self) -> np.ndarray:
         """Population mean at every observed slot (sorted by slot)."""
@@ -153,7 +352,7 @@ class Collector:
 
     def user_series(self, user_id: int) -> np.ndarray:
         """One user's report series ordered by slot."""
-        per_user = self._by_user.get(user_id)
+        per_user = self._require_user_tracking().get(user_id)
         if not per_user:
             raise KeyError(f"no reports from user {user_id}")
         return np.array([per_user[t] for t in sorted(per_user)])
@@ -167,7 +366,7 @@ class Collector:
 
     def user_subsequence_mean(self, user_id: int, start: int, end: int) -> float:
         """Estimated mean of one user's subsequence ``[start, end]``."""
-        per_user = self._by_user.get(user_id)
+        per_user = self._require_user_tracking().get(user_id)
         if not per_user:
             raise KeyError(f"no reports from user {user_id}")
         values = [per_user[t] for t in range(start, end + 1) if t in per_user]
@@ -182,7 +381,7 @@ class Collector:
         """
         estimates = [
             self.user_subsequence_mean(user_id, start, end)
-            for user_id in sorted(self._by_user)
+            for user_id in sorted(self._require_user_tracking())
         ]
         return np.array(estimates)
 
@@ -196,11 +395,11 @@ class Collector:
             raise RuntimeError(
                 "distribution queries need epsilon_per_report at construction"
             )
-        values = self._by_slot.get(t)
-        if not values:
+        values = self._state.slot_reports(t)
+        if not values.size:
             raise KeyError(f"no reports at slot {t}")
         mech = SquareWaveMechanism(self.epsilon_per_report)
-        return mech.estimate_distribution(np.asarray(values), n_bins=n_bins)
+        return mech.estimate_distribution(values, n_bins=n_bins)
 
     def streaming_smoother(self) -> OnlineSmoother:
         """A fresh incremental smoother matching this collector's window."""

@@ -53,7 +53,12 @@ BATCH_ALGORITHMS = {
 
 @dataclass
 class PopulationGroup:
-    """One algorithm's user cohort inside a vectorized run."""
+    """One algorithm's user cohort inside a vectorized run.
+
+    ``indices`` holds the members' *global* user ids (matrix row plus the
+    run's ``user_id_offset``), matching the collector's keys; the engine's
+    internal state arrays are addressed by position within the group.
+    """
 
     algorithm: str
     indices: np.ndarray = field(repr=False)
@@ -111,10 +116,13 @@ def run_protocol_vectorized(
     epsilon: float = 1.0,
     w: int = 10,
     smoothing_window: Optional[int] = 3,
-    participation: float = 1.0,
+    participation: "float | Sequence[float]" = 1.0,
     rng: Optional[np.random.Generator] = None,
     on_slot: Optional[Callable[[int], None]] = None,
     record_history: bool = True,
+    user_id_offset: int = 0,
+    track_users: bool = True,
+    keep_reports: bool = True,
 ) -> VectorizedSimulationResult:
     """Simulate the full collection protocol with population batching.
 
@@ -134,7 +142,10 @@ def run_protocol_vectorized(
         epsilon, w: w-event privacy parameters shared by all users.
         smoothing_window: collector-side SMA window.
         participation: per-(user, slot) probability of actually reporting;
-            skipped slots spend no budget and leave no report.
+            skipped slots spend no budget and leave no report.  Either a
+            single probability for the whole run or a ``(T,)`` per-slot
+            schedule (how :mod:`repro.runtime.scenarios` models churn and
+            dropout waves).
         rng: master generator; each algorithm group gets an independent
             child stream, participation masks are drawn from the master.
         on_slot: optional callback invoked after each slot is collected.
@@ -143,6 +154,17 @@ def run_protocol_vectorized(
             pass ``False`` to bound accountant memory at O(w) per user on
             very long horizons — the w-event invariant is enforced either
             way.
+        user_id_offset: global id of the first stream row.  The sharded
+            runtime (:mod:`repro.runtime`) runs each user-shard through
+            this function with its shard's offset, so collector keys and
+            result queries use population-global user ids everywhere.
+        track_users: forwarded to the :class:`Collector`; pass ``False``
+            at population scale to skip the O(users x slots) per-user
+            report dict (aggregate queries still work).
+        keep_reports: forwarded to the :class:`Collector`; pass ``False``
+            to also drop the O(users x slots) per-slot report arrays,
+            keeping only running aggregates (disables distribution
+            queries).
 
     Returns:
         A :class:`VectorizedSimulationResult` with the populated
@@ -164,8 +186,29 @@ def run_protocol_vectorized(
             raise ValueError(
                 f"got {len(algorithms)} algorithm names for {n_users} users"
             )
-    if not 0.0 < participation <= 1.0:
-        raise ValueError(f"participation must be in (0, 1], got {participation}")
+    schedule = np.asarray(participation, dtype=float)
+    if schedule.ndim == 0:
+        if not 0.0 < float(schedule) <= 1.0:
+            raise ValueError(f"participation must be in (0, 1], got {participation}")
+        schedule = np.full(horizon, float(schedule))
+    elif schedule.ndim == 1:
+        if schedule.shape[0] != horizon:
+            raise ValueError(
+                f"participation schedule must have one entry per slot "
+                f"({horizon}), got {schedule.shape[0]}"
+            )
+        if schedule.size and not (
+            np.all(schedule >= 0.0) and np.all(schedule <= 1.0)
+        ):
+            raise ValueError("participation schedule entries must lie in [0, 1]")
+    else:
+        raise ValueError(
+            "participation must be a scalar or a (T,) per-slot schedule, "
+            f"got shape {schedule.shape}"
+        )
+    user_id_offset = int(user_id_offset)
+    if user_id_offset < 0:
+        raise ValueError(f"user_id_offset must be non-negative, got {user_id_offset}")
 
     # Group users by algorithm (first-appearance order, like the paper's
     # heterogeneous deployments); one batched engine drives each cohort.
@@ -178,41 +221,49 @@ def run_protocol_vectorized(
         members.setdefault(key, []).append(i)
 
     seeds = rng.integers(0, 2**63 - 1, size=len(members))
+    group_rows = [
+        np.asarray(indices, dtype=np.intp) for indices in members.values()
+    ]
     groups = [
         PopulationGroup(
             algorithm=name,
-            indices=np.asarray(indices, dtype=np.intp),
+            indices=rows + user_id_offset,
             engine=BATCH_ALGORITHMS[name](
                 epsilon,
                 w,
-                len(indices),
+                rows.size,
                 np.random.default_rng(seed),
                 record_history=record_history,
             ),
         )
-        for (name, indices), seed in zip(members.items(), seeds)
+        for (name, rows), seed in zip(zip(members, group_rows), seeds)
     ]
 
     collector = Collector(
-        epsilon_per_report=epsilon / w, smoothing_window=smoothing_window
+        epsilon_per_report=epsilon / w,
+        smoothing_window=smoothing_window,
+        track_users=track_users,
+        keep_reports=keep_reports,
     )
-    all_ids = np.arange(n_users)
+    all_ids = np.arange(n_users) + user_id_offset
 
     for t in range(horizon):
+        probability = float(schedule[t])
         mask = None
-        if participation < 1.0:
-            mask = rng.random(n_users) < participation
+        if probability < 1.0:
+            mask = rng.random(n_users) < probability
         reports = np.full(n_users, np.nan)
-        for group in groups:
-            idx = group.indices
-            sub_mask = None if mask is None else mask[idx]
-            reports[idx] = group.engine.submit(matrix[idx, t], sub_mask)
+        for group, rows in zip(groups, group_rows):
+            sub_mask = None if mask is None else mask[rows]
+            reports[rows] = group.engine.submit(matrix[rows, t], sub_mask)
         if mask is None:
             collector.ingest_batch(t, all_ids, reports)
         else:
             active = np.flatnonzero(mask)
             if active.size:
-                collector.ingest_batch(t, active, reports[active])
+                collector.ingest_batch(
+                    t, active + user_id_offset, reports[active]
+                )
         if on_slot is not None:
             on_slot(t)
 

@@ -1,0 +1,59 @@
+"""Sharded streaming runtime: out-of-core population execution.
+
+Scales the Fig. 1 collection protocol past one core and one machine's
+RAM: :mod:`~repro.runtime.sources` streams the population as user-shard
+chunks (in-memory, memmapped ``.npy``, generator, or synthesized scenario
+workloads), :mod:`~repro.runtime.sharding` executes each shard through
+the vectorized engine — serially or across worker processes, with
+deterministic per-shard child generators and checkpoint/resume — and
+merges the shards' collector states into one
+:class:`~repro.protocol.Collector`.  :mod:`~repro.runtime.scenarios`
+generates workloads (diurnal cycles, bursts, churn waves, drift) beyond
+the paper's datasets.
+"""
+
+from .scenarios import (
+    SCENARIOS,
+    ScenarioSpec,
+    make_scenario,
+    participation_schedule,
+    scenario_chunk,
+    slot_level_profile,
+)
+from .sharding import (
+    GroupLedger,
+    ShardResult,
+    ShardedRunResult,
+    run_protocol_sharded,
+)
+from .sources import (
+    DEFAULT_CHUNK_SIZE,
+    GeneratorSource,
+    MatrixSource,
+    MemmapSource,
+    PopulationChunk,
+    ScenarioSource,
+    StreamSource,
+    as_source,
+)
+
+__all__ = [
+    "run_protocol_sharded",
+    "ShardedRunResult",
+    "ShardResult",
+    "GroupLedger",
+    "StreamSource",
+    "PopulationChunk",
+    "MatrixSource",
+    "MemmapSource",
+    "GeneratorSource",
+    "ScenarioSource",
+    "as_source",
+    "DEFAULT_CHUNK_SIZE",
+    "ScenarioSpec",
+    "SCENARIOS",
+    "make_scenario",
+    "slot_level_profile",
+    "participation_schedule",
+    "scenario_chunk",
+]

@@ -1,0 +1,223 @@
+"""Scenario workload generator for the sharded runtime.
+
+The paper evaluates on two real datasets and four fixed synthetic shapes
+(:mod:`repro.datasets.synthetic`).  Production collection services see
+much richer dynamics, so this module synthesizes parameterized *scenario*
+workloads — diurnal cycles, population-wide bursty events, user
+churn/dropout waves, and distribution drift — as population matrices the
+runtime can stream chunk by chunk without ever materializing the whole
+``(users, slots)`` matrix.
+
+A scenario has two deterministic layers:
+
+* a **population-level layer** shared by every user — the slot-level
+  signal profile (:func:`slot_level_profile`, including the randomly
+  timed bursts) and the per-slot participation schedule
+  (:func:`participation_schedule`, modelling churn waves).  These depend
+  only on the spec and the scenario seed, never on how the population is
+  chunked, so every shard of a sharded run sees the same world events;
+
+* a **per-user layer** — level offsets and observation noise — drawn from
+  a chunk-keyed generator by :func:`scenario_chunk`, so any chunk can be
+  (re)generated independently and reproducibly.
+
+Values are clipped into ``[0, 1]``, matching the protocol's input domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .._validation import ensure_positive_int, ensure_probability, ensure_rng
+from ..datasets.synthetic import diurnal_stream
+
+__all__ = [
+    "ScenarioSpec",
+    "SCENARIOS",
+    "make_scenario",
+    "slot_level_profile",
+    "participation_schedule",
+    "scenario_chunk",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Parameterized population workload.
+
+    Args:
+        n_users: population size.
+        horizon: number of time slots.
+        base_level: resting population signal level.
+        diurnal_amplitude: half peak-to-trough swing of the daily cycle
+            (0 disables it).
+        diurnal_period: slots per diurnal cycle (24 = hourly slots).
+        drift: total signal-level shift from the first to the last slot
+            (distribution drift; negative drifts downward).
+        burst_rate: per-slot probability that a population-wide burst
+            event starts (bursts are shared by all users, like a news
+            event or an outage).
+        burst_magnitude: level jump while a burst is active.
+        burst_width: slots a burst lasts.
+        noise_scale: per-(user, slot) Gaussian observation noise.
+        user_spread: width of the uniform per-user level offset band
+            (user heterogeneity).
+        baseline_participation: resting per-slot reporting probability.
+        churn_waves: number of dropout waves across the horizon (0
+            disables churn).
+        churn_depth: fraction of the baseline participation lost at the
+            trough of each wave.
+        churn_width: half-width of each wave in slots (raised-cosine
+            shape).
+        name: preset name, for reporting.
+    """
+
+    n_users: int
+    horizon: int
+    base_level: float = 0.5
+    diurnal_amplitude: float = 0.0
+    diurnal_period: int = 24
+    drift: float = 0.0
+    burst_rate: float = 0.0
+    burst_magnitude: float = 0.3
+    burst_width: int = 3
+    noise_scale: float = 0.05
+    user_spread: float = 0.1
+    baseline_participation: float = 1.0
+    churn_waves: int = 0
+    churn_depth: float = 0.5
+    churn_width: int = 6
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        ensure_positive_int(self.n_users, "n_users")
+        ensure_positive_int(self.horizon, "horizon")
+        ensure_positive_int(self.diurnal_period, "diurnal_period")
+        ensure_positive_int(self.burst_width, "burst_width")
+        ensure_positive_int(self.churn_width, "churn_width")
+        ensure_probability(self.base_level, "base_level")
+        ensure_probability(self.burst_rate, "burst_rate")
+        ensure_probability(self.churn_depth, "churn_depth")
+        if not 0.0 < self.baseline_participation <= 1.0:
+            raise ValueError(
+                "baseline_participation must be in (0, 1], got "
+                f"{self.baseline_participation}"
+            )
+        if self.churn_waves < 0:
+            raise ValueError(f"churn_waves must be >= 0, got {self.churn_waves}")
+        for field_name in ("noise_scale", "user_spread", "burst_magnitude"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be >= 0")
+
+
+#: preset overrides by scenario name (applied on top of the defaults)
+SCENARIOS: Dict[str, dict] = {
+    "steady": {},
+    "diurnal": {"diurnal_amplitude": 0.25, "diurnal_period": 24},
+    "bursty": {"burst_rate": 0.06, "burst_magnitude": 0.35, "burst_width": 3},
+    "churn": {
+        "diurnal_amplitude": 0.15,
+        "churn_waves": 2,
+        "churn_depth": 0.6,
+        "baseline_participation": 0.95,
+    },
+    "drift": {"drift": 0.35, "noise_scale": 0.08},
+}
+
+
+def make_scenario(name: str, n_users: int, horizon: int, **overrides) -> ScenarioSpec:
+    """Instantiate a preset scenario (overrides win over the preset)."""
+    if name not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}")
+    params = dict(SCENARIOS[name])
+    params.update(overrides)
+    return ScenarioSpec(n_users=n_users, horizon=horizon, name=name, **params)
+
+
+def slot_level_profile(
+    spec: ScenarioSpec,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """The population-level signal at every slot (before per-user noise).
+
+    Deterministic given the spec and the generator state: base level,
+    plus the diurnal sinusoid, plus linear drift, plus randomly timed
+    population-wide bursts.  The sharded runtime computes this once per
+    run (from the scenario seed) and shares it across every chunk, so
+    bursts hit all shards at the same slots.
+    """
+    rng = ensure_rng(rng)
+    t = np.arange(spec.horizon, dtype=float)
+    if spec.diurnal_amplitude:
+        level = diurnal_stream(
+            spec.horizon,
+            period=spec.diurnal_period,
+            amplitude=spec.diurnal_amplitude,
+            base=spec.base_level,
+        )
+    else:
+        level = np.full(spec.horizon, spec.base_level)
+    if spec.drift:
+        level += spec.drift * t / max(spec.horizon - 1, 1)
+    if spec.burst_rate > 0.0:
+        starts = np.flatnonzero(rng.random(spec.horizon) < spec.burst_rate)
+        for start in starts:
+            level[start : start + spec.burst_width] += spec.burst_magnitude
+    return np.clip(level, 0.0, 1.0)
+
+
+def participation_schedule(spec: ScenarioSpec) -> np.ndarray:
+    """Per-slot reporting probability with churn/dropout waves.
+
+    Fully deterministic (no generator): waves are raised-cosine dips of
+    depth ``churn_depth`` centered at evenly spaced slots, on top of the
+    baseline participation.  Feed the result to the runtime's (or
+    :func:`~repro.protocol.run_protocol_vectorized`'s) ``participation``
+    argument.
+    """
+    schedule = np.full(spec.horizon, spec.baseline_participation)
+    if spec.churn_waves and spec.churn_depth > 0.0:
+        t = np.arange(spec.horizon, dtype=float)
+        dip = np.zeros(spec.horizon)
+        for i in range(spec.churn_waves):
+            center = (i + 1) * spec.horizon / (spec.churn_waves + 1)
+            offset = np.abs(t - center)
+            inside = offset <= spec.churn_width
+            bump = 0.5 * (1.0 + np.cos(np.pi * offset[inside] / spec.churn_width))
+            dip[inside] = np.maximum(dip[inside], bump)
+        schedule *= 1.0 - spec.churn_depth * dip
+    return np.clip(schedule, 0.0, 1.0)
+
+
+def scenario_chunk(
+    spec: ScenarioSpec,
+    n_users: int,
+    rng: np.random.Generator,
+    level: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """One user-chunk's ``(n_users, horizon)`` true-value matrix.
+
+    The per-user layer: each user gets a uniform level offset (within
+    ``user_spread``) and i.i.d. Gaussian observation noise on top of the
+    shared slot profile.  Pass the precomputed ``level`` profile to keep
+    population-wide events identical across chunks; when omitted it is
+    derived from ``rng`` (single-chunk convenience).
+    """
+    n_users = ensure_positive_int(n_users, "n_users")
+    rng = ensure_rng(rng)
+    if level is None:
+        level = slot_level_profile(spec, rng)
+    level = np.asarray(level, dtype=float)
+    if level.shape != (spec.horizon,):
+        raise ValueError(
+            f"level profile must have shape ({spec.horizon},), got {level.shape}"
+        )
+    offsets = rng.uniform(-0.5, 0.5, size=n_users) * spec.user_spread
+    matrix = level[None, :] + offsets[:, None]
+    if spec.noise_scale:
+        matrix = matrix + rng.normal(0.0, spec.noise_scale, size=matrix.shape)
+    return np.clip(matrix, 0.0, 1.0)

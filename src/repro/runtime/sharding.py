@@ -1,0 +1,607 @@
+"""Sharded out-of-core execution of the collection protocol.
+
+:func:`run_protocol_sharded` splits a population into user-shards (the
+chunks of a :class:`~repro.runtime.sources.StreamSource`), runs the
+vectorized protocol engine over each shard — serially or across
+``multiprocessing`` workers — and merges the shards' collector states
+into one :class:`~repro.protocol.Collector` plus a population-wide
+budget audit.
+
+Determinism contract
+--------------------
+
+Every shard draws its randomness from a child generator spawned as
+``SeedSequence(seed, spawn_key=(chunk_index,))``.  The chunk
+decomposition is a property of the source, so the merged result is a
+pure function of ``(source, parameters, seed)``: executing with 1, 2, or
+7 workers, serially or in processes, in any completion order, produces
+bit-identical estimates and ledgers (merging happens in chunk order).
+A source with a single chunk reproduces a plain
+:func:`~repro.protocol.run_protocol_vectorized` call with that child
+generator, bit for bit.
+
+Checkpoint/resume
+-----------------
+
+With ``checkpoint_dir`` set, every completed shard's collector state and
+budget ledgers are snapshotted to JSON (through
+:mod:`repro.core.serialization`, whose floats round-trip exactly).  A
+re-run with the same directory loads completed shards instead of
+re-executing them, so a run interrupted mid-stream resumes where it
+stopped and finishes bit-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from bisect import bisect_right
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.serialization import (
+    batch_accountant_from_dict,
+    batch_accountant_to_dict,
+    collector_state_from_dict,
+    collector_state_to_dict,
+)
+from ..privacy.accountant import _TOLERANCE, PrivacyBudgetExceededError
+from ..protocol.collector import Collector, CollectorShardState
+from ..protocol.vectorized import run_protocol_vectorized
+from .sources import PopulationChunk, StreamSource, as_source
+
+__all__ = [
+    "GroupLedger",
+    "ShardResult",
+    "ShardedRunResult",
+    "run_protocol_sharded",
+]
+
+_CHECKPOINT_FORMAT = "repro.shard-checkpoint.v1"
+
+
+@dataclass
+class GroupLedger:
+    """One algorithm cohort's budget ledger inside a shard result.
+
+    ``accountant`` is the JSON-safe snapshot produced by
+    :func:`repro.core.serialization.batch_accountant_to_dict` — the audit
+    and per-user ledger queries read the snapshot, so checkpointed and
+    freshly computed shards are indistinguishable downstream.
+    """
+
+    algorithm: str
+    indices: np.ndarray = field(repr=False)  # global user ids, ascending
+    accountant: Dict[str, Any] = field(repr=False)
+    _parsed: Optional[Dict[str, Any]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _payload(self) -> Dict[str, Any]:
+        # Parse once: the (T, n_members) history conversion is O(T * n)
+        # and the audit/ledger queries may hit it many times.
+        if self._parsed is None:
+            self._parsed = batch_accountant_from_dict(self.accountant)
+        return self._parsed
+
+    @property
+    def epsilon(self) -> float:
+        return float(self.accountant["epsilon"])
+
+    @property
+    def max_window_spend(self) -> np.ndarray:
+        """Per-member maximum w-window spend (aligned with ``indices``)."""
+        return self._payload()["max_window_spend"]
+
+    @property
+    def spends(self) -> Optional[np.ndarray]:
+        """Full ``(T, n_members)`` spend history, if it was recorded."""
+        return self._payload()["spends"]
+
+
+@dataclass
+class ShardResult:
+    """Everything one executed (or checkpoint-restored) shard produced."""
+
+    index: int
+    start: int
+    n_users: int
+    horizon: int
+    state: CollectorShardState = field(repr=False)
+    ledgers: List[GroupLedger] = field(repr=False)
+    true_slot_sums: np.ndarray = field(repr=False)  # (T,) ground-truth sums
+    from_checkpoint: bool = False
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.n_users
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe checkpoint payload (exact float round trip)."""
+        return {
+            "format": _CHECKPOINT_FORMAT,
+            "index": self.index,
+            "start": self.start,
+            "n_users": self.n_users,
+            "horizon": self.horizon,
+            "state": collector_state_to_dict(self.state),
+            "ledgers": [
+                {
+                    "algorithm": ledger.algorithm,
+                    "indices": ledger.indices.tolist(),
+                    "accountant": ledger.accountant,
+                }
+                for ledger in self.ledgers
+            ],
+            "true_slot_sums": self.true_slot_sums.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardResult":
+        if data.get("format") != _CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"unsupported shard checkpoint format {data.get('format')!r}"
+            )
+        return cls(
+            index=int(data["index"]),
+            start=int(data["start"]),
+            n_users=int(data["n_users"]),
+            horizon=int(data["horizon"]),
+            state=collector_state_from_dict(data["state"]),
+            ledgers=[
+                GroupLedger(
+                    algorithm=entry["algorithm"],
+                    indices=np.asarray(entry["indices"], dtype=np.intp),
+                    accountant=entry["accountant"],
+                )
+                for entry in data["ledgers"]
+            ],
+            true_slot_sums=np.asarray(data["true_slot_sums"], dtype=float),
+            from_checkpoint=True,
+        )
+
+
+@dataclass
+class ShardedRunResult:
+    """Merged outcome of a sharded protocol run.
+
+    The collector answers aggregate queries exactly as an unsharded
+    collector ingesting every report would; per-shard results keep the
+    budget ledgers (and ground-truth slot sums) without ever holding the
+    full population matrix.
+    """
+
+    collector: Collector
+    shards: List[ShardResult] = field(repr=False)  # ascending by index
+    n_users: int = 0
+    horizon: int = 0
+    epsilon: float = 1.0
+    w: int = 10
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_resumed(self) -> int:
+        """How many shards were restored from checkpoints, not executed."""
+        return sum(shard.from_checkpoint for shard in self.shards)
+
+    def _shard_for(self, user_id: int) -> ShardResult:
+        starts = [shard.start for shard in self.shards]
+        pos = bisect_right(starts, user_id) - 1
+        if pos < 0 or user_id >= self.shards[pos].stop:
+            raise KeyError(f"no shard contains user {user_id}")
+        return self.shards[pos]
+
+    def user_algorithm(self, user_id: int) -> str:
+        """The online algorithm a user ran."""
+        shard = self._shard_for(user_id)
+        for ledger in shard.ledgers:
+            if np.any(ledger.indices == user_id):
+                return ledger.algorithm
+        raise KeyError(f"no ledger contains user {user_id}")
+
+    def user_budget_spends(self, user_id: int) -> np.ndarray:
+        """One user's per-slot budget spend series (the w-event ledger)."""
+        shard = self._shard_for(user_id)
+        for ledger in shard.ledgers:
+            position = np.flatnonzero(ledger.indices == user_id)
+            if position.size:
+                spends = ledger.spends
+                if spends is None:
+                    raise RuntimeError(
+                        "per-slot ledger queries need record_history=True"
+                    )
+                return spends[:, int(position[0])]
+        raise KeyError(f"no ledger contains user {user_id}")
+
+    def max_window_spend(self) -> np.ndarray:
+        """Per-user maximum w-window spend across the whole population."""
+        out = np.zeros(self.n_users)
+        for shard in self.shards:
+            for ledger in shard.ledgers:
+                out[ledger.indices] = ledger.max_window_spend
+        return out
+
+    def assert_valid(self) -> None:
+        """Population-wide w-event audit (raises on any overspend)."""
+        for shard in self.shards:
+            for ledger in shard.ledgers:
+                spends = ledger.max_window_spend
+                if spends.size and spends.max() > self.epsilon + _TOLERANCE:
+                    offender = int(ledger.indices[int(spends.argmax())])
+                    raise PrivacyBudgetExceededError(
+                        f"audit failed: user {offender}'s max window spend "
+                        f"{spends.max():.6g} exceeds budget {self.epsilon:.6g}"
+                    )
+
+    def true_population_mean(self) -> np.ndarray:
+        """Ground-truth population mean per slot (from per-shard sums)."""
+        if not self.n_users:
+            return np.zeros(0)
+        total = np.zeros(self.horizon)
+        for shard in self.shards:
+            total += shard.true_slot_sums
+        return total / self.n_users
+
+    def population_mean_mse(self) -> float:
+        """MSE between the collector's mean series and ground truth.
+
+        Computed over the slots the collector observed, like
+        :func:`~repro.protocol.simulation.population_mean_mse`, but from
+        streamed per-shard truth sums — the full matrix is never needed.
+        """
+        slots = self.collector.slots()
+        estimated = np.array([self.collector.population_mean(t) for t in slots])
+        truth = self.true_population_mean()[slots]
+        return float(np.mean((estimated - truth) ** 2))
+
+
+def _shard_rng(seed: int, chunk_index: int) -> np.random.Generator:
+    """The deterministic child generator for one shard."""
+    return np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(chunk_index,))
+    )
+
+
+def _execute_shard(task: "tuple[PopulationChunk, dict]") -> ShardResult:
+    """Run one user-shard through the vectorized engine (worker body)."""
+    chunk, params = task
+    result = run_protocol_vectorized(
+        chunk.matrix,
+        algorithm=params["algorithm"],
+        epsilon=params["epsilon"],
+        w=params["w"],
+        smoothing_window=params["smoothing_window"],
+        participation=params["participation"],
+        rng=_shard_rng(params["seed"], chunk.index),
+        record_history=params["record_history"],
+        user_id_offset=chunk.start,
+        track_users=params["track_users"],
+        keep_reports=params["keep_reports"],
+    )
+    ledgers = [
+        GroupLedger(
+            algorithm=group.algorithm,
+            indices=group.indices,
+            accountant=batch_accountant_to_dict(group.engine.accountant),
+        )
+        for group in result.groups
+    ]
+    return ShardResult(
+        index=chunk.index,
+        start=chunk.start,
+        n_users=chunk.n_users,
+        horizon=chunk.matrix.shape[1],
+        state=result.collector.state,
+        ledgers=ledgers,
+        true_slot_sums=chunk.matrix.sum(axis=0),
+    )
+
+
+# -- checkpoint store ------------------------------------------------------
+
+
+class _CheckpointStore:
+    """One directory of per-shard JSON snapshots plus a run manifest."""
+
+    def __init__(self, directory, meta: Dict[str, Any]) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._check_meta(meta)
+
+    def _meta_path(self) -> str:
+        return os.path.join(self.directory, "run.json")
+
+    def _shard_path(self, index: int) -> str:
+        return os.path.join(self.directory, f"shard-{index:06d}.json")
+
+    def _check_meta(self, meta: Dict[str, Any]) -> None:
+        path = self._meta_path()
+        if os.path.exists(path):
+            with open(path) as fh:
+                existing = json.load(fh)
+            if existing != meta:
+                raise ValueError(
+                    f"checkpoint directory {self.directory} belongs to a "
+                    "different run configuration; clear it or point "
+                    "checkpoint_dir elsewhere"
+                )
+        else:
+            self._write_json(path, meta)
+
+    @staticmethod
+    def _write_json(path: str, payload: Dict[str, Any]) -> None:
+        # Write-then-rename so a crash mid-write never leaves a truncated
+        # snapshot that a resume would try to load.
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+
+    def load(self, index: int) -> Optional[ShardResult]:
+        path = self._shard_path(index)
+        if not os.path.exists(path):
+            return None
+        with open(path) as fh:
+            return ShardResult.from_dict(json.load(fh))
+
+    def save(self, shard: ShardResult) -> None:
+        self._write_json(self._shard_path(shard.index), shard.to_dict())
+
+
+# -- executor --------------------------------------------------------------
+
+
+def _iter_serial(
+    tasks: Iterator["tuple[PopulationChunk, dict]"],
+) -> Iterator[ShardResult]:
+    for task in tasks:
+        yield _execute_shard(task)
+
+
+def _iter_parallel(
+    tasks: Iterator["tuple[PopulationChunk, dict]"],
+    max_workers: int,
+) -> Iterator[ShardResult]:
+    """Windowed fan-out over a process pool (bounded in-flight chunks).
+
+    At most ``max_workers + 2`` chunks are materialized at a time, so
+    out-of-core sources stay out of core.  Falls back to serial execution
+    if worker processes cannot be spawned (restricted environments).
+    """
+    try:
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+    except (OSError, PermissionError, ValueError) as error:  # pragma: no cover
+        warnings.warn(
+            f"process pool unavailable ({error}); running shards serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        yield from _iter_serial(tasks)
+        return
+    window = max_workers + 2
+    with pool:
+        pending = set()
+        for task in tasks:
+            pending.add(pool.submit(_execute_shard, task))
+            if len(pending) >= window:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield future.result()
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield future.result()
+
+
+def run_protocol_sharded(
+    source: Union[StreamSource, np.ndarray, Sequence[Sequence[float]]],
+    algorithm: "str | Sequence[str]" = "capp",
+    epsilon: float = 1.0,
+    w: int = 10,
+    smoothing_window: Optional[int] = 3,
+    participation: "float | Sequence[float] | None" = None,
+    seed: int = 0,
+    chunk_size: Optional[int] = None,
+    max_workers: Optional[int] = None,
+    checkpoint_dir=None,
+    record_history: bool = False,
+    track_users: bool = False,
+    keep_reports: bool = True,
+    on_shard: Optional[Callable[[ShardResult], None]] = None,
+) -> ShardedRunResult:
+    """Run the collection protocol shard by shard and merge the results.
+
+    The population-scale counterpart of
+    :func:`~repro.protocol.run_protocol_vectorized`: same protocol
+    semantics and collector queries, but the population streams through
+    as user-shards, each executed by the vectorized engine with a
+    deterministically spawned child generator, optionally across worker
+    processes, with per-shard checkpointing.
+
+    Args:
+        source: a :class:`~repro.runtime.sources.StreamSource`, or a raw
+            ``(users, slots)`` matrix (wrapped via ``chunk_size``).
+        algorithm: one name for everyone, or one name per (global) user.
+        epsilon, w: w-event privacy parameters shared by all users.
+        smoothing_window: collector-side SMA window.
+        participation: per-(user, slot) reporting probability — a scalar,
+            a ``(T,)`` per-slot schedule, or ``None`` to use the source's
+            default (scenario sources supply their churn schedule).
+        seed: root seed; shard ``i`` runs with
+            ``SeedSequence(seed, spawn_key=(i,))``, so results are
+            bit-reproducible for any worker count and execution order.
+        chunk_size: users per shard when ``source`` is a raw matrix
+            (default: one shard).  StreamSources carry their own chunking.
+        max_workers: ``None``/``1`` executes serially in-process;
+            ``>= 2`` fans shards out to a process pool (with a serial
+            fallback when processes cannot be spawned).
+        checkpoint_dir: directory for per-shard snapshots; an existing
+            directory resumes, skipping already-completed shards.
+        record_history: keep full per-slot budget ledgers (needed by
+            :meth:`ShardedRunResult.user_budget_spends`; off by default —
+            at population scale the history is O(users x slots)).
+        track_users: keep the collector's per-user report dicts (same
+            memory caveat; aggregate queries never need it).
+        keep_reports: retain per-slot report arrays in the merged
+            collector (needed for EM distribution queries).  At extreme
+            scale pass ``False`` and only O(slots) running aggregates
+            cross process boundaries, land in checkpoints, or stay
+            resident.
+        on_shard: callback invoked with each :class:`ShardResult` as it
+            completes (progress reporting), in completion order.
+
+    Returns:
+        A :class:`ShardedRunResult`; its ``collector`` matches what a
+        single unsharded collector would hold after ingesting every
+        shard's reports.
+    """
+    src = as_source(source, chunk_size=chunk_size)
+    if participation is None:
+        participation = src.default_participation()
+    if max_workers is None:
+        max_workers = 1
+    max_workers = int(max_workers)
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+
+    full_algorithm = algorithm if isinstance(algorithm, str) else list(algorithm)
+    params = {
+        "algorithm": full_algorithm,
+        "epsilon": float(epsilon),
+        "w": int(w),
+        "smoothing_window": smoothing_window,
+        "participation": participation,
+        "seed": int(seed),
+        "record_history": bool(record_history),
+        "track_users": bool(track_users),
+        "keep_reports": bool(keep_reports),
+    }
+
+    store = None
+    if checkpoint_dir is not None:
+        schedule = np.asarray(participation, dtype=float)
+        if isinstance(algorithm, str):
+            algorithm_id = algorithm
+        else:
+            # Fingerprint per-user assignments so resuming under a
+            # different assignment is rejected, not silently reused.
+            digest = hashlib.sha256(
+                json.dumps(list(algorithm)).encode()
+            ).hexdigest()
+            algorithm_id = f"per-user:{digest}"
+        meta = {
+            "format": _CHECKPOINT_FORMAT,
+            "seed": params["seed"],
+            "epsilon": params["epsilon"],
+            "w": params["w"],
+            "smoothing_window": smoothing_window,
+            "algorithm": algorithm_id,
+            "participation": schedule.tolist(),
+            "record_history": params["record_history"],
+            "track_users": params["track_users"],
+            "keep_reports": params["keep_reports"],
+        }
+        store = _CheckpointStore(checkpoint_dir, meta)
+
+    resumed: Dict[int, ShardResult] = {}
+
+    def tasks() -> Iterator["tuple[PopulationChunk, dict]"]:
+        for chunk in src.chunks():
+            if store is not None:
+                restored = store.load(chunk.index)
+                if restored is not None:
+                    # The manifest cannot pin the chunk decomposition or
+                    # the data (lazy sources reveal both only while
+                    # streaming), so guard per shard: a snapshot must
+                    # cover exactly this chunk of exactly this data.
+                    if (
+                        restored.start != chunk.start
+                        or restored.n_users != chunk.n_users
+                        or restored.horizon != chunk.matrix.shape[1]
+                    ):
+                        raise ValueError(
+                            f"checkpointed shard {chunk.index} covers users "
+                            f"[{restored.start}, {restored.stop}) but the "
+                            f"source's chunk covers "
+                            f"[{chunk.start}, {chunk.stop}); the chunk "
+                            "decomposition changed — clear the checkpoint "
+                            "directory or restore the original chunking"
+                        )
+                    if not np.array_equal(
+                        restored.true_slot_sums, chunk.matrix.sum(axis=0)
+                    ):
+                        raise ValueError(
+                            f"checkpointed shard {chunk.index} was computed "
+                            "from different data than the source now yields "
+                            "— clear the checkpoint directory or restore "
+                            "the original data"
+                        )
+                    resumed[chunk.index] = restored
+                    continue
+            if isinstance(full_algorithm, str):
+                yield chunk, params
+            else:
+                # Ship only this shard's slice of the per-user assignment
+                # — pickling the full O(n_users) list into every worker
+                # task is exactly the scaling cost this runtime avoids.
+                names = full_algorithm[chunk.start : chunk.stop]
+                if len(names) != chunk.n_users:
+                    raise ValueError(
+                        f"algorithm sequence too short: shard covers users "
+                        f"[{chunk.start}, {chunk.stop}) but only "
+                        f"{len(full_algorithm)} names were given"
+                    )
+                yield chunk, {**params, "algorithm": names}
+
+    if max_workers == 1:
+        results_iter = _iter_serial(tasks())
+    else:
+        results_iter = _iter_parallel(tasks(), max_workers)
+
+    by_index: Dict[int, ShardResult] = {}
+    for shard in results_iter:
+        if store is not None:
+            store.save(shard)
+        if on_shard is not None:
+            on_shard(shard)
+        by_index[shard.index] = shard
+    by_index.update(resumed)
+
+    shards = [by_index[index] for index in sorted(by_index)]
+    # Merge in chunk order so floating-point accumulation is identical for
+    # every worker count and completion order.
+    collector = Collector(
+        epsilon_per_report=float(epsilon) / int(w),
+        smoothing_window=smoothing_window,
+        track_users=track_users,
+        keep_reports=keep_reports,
+    )
+    for shard in shards:
+        collector.merge_state(shard.state)
+
+    n_users = shards[-1].stop if shards else 0
+    for previous, current in zip(shards, shards[1:]):
+        if current.start != previous.stop:
+            raise ValueError(
+                f"source yielded non-contiguous shards: shard {current.index} "
+                f"starts at user {current.start}, expected {previous.stop}"
+            )
+
+    result = ShardedRunResult(
+        collector=collector,
+        shards=shards,
+        n_users=n_users,
+        horizon=src.horizon,
+        epsilon=float(epsilon),
+        w=int(w),
+    )
+    result.assert_valid()
+    return result

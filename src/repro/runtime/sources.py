@@ -1,0 +1,300 @@
+"""Out-of-core population sources for the sharded runtime.
+
+A :class:`StreamSource` yields the population as a sequence of
+:class:`PopulationChunk` user-shards — contiguous ``(chunk_users,
+horizon)`` slices tagged with their global user offset — so the runtime
+never needs the whole ``(users, slots)`` matrix in one process's memory.
+Chunk decomposition is a property of the *source* (its ``chunk_size``),
+not of how many workers execute it: the executor may run chunks in any
+order on any number of processes and the merged result is identical
+(see :mod:`repro.runtime.sharding`).
+
+Sources:
+
+* :class:`MatrixSource` — an in-memory matrix, chunked (the adapter for
+  existing workloads and tests);
+* :class:`MemmapSource` — a ``.npy`` file opened with ``mmap_mode="r"``,
+  so populations far larger than RAM stream from disk chunk by chunk;
+* :class:`GeneratorSource` — any callable returning an iterable of
+  matrices (fully lazy, unknown total size allowed);
+* :class:`ScenarioSource` — chunks synthesized on the fly from a
+  :class:`~repro.runtime.scenarios.ScenarioSpec`, with population-wide
+  events shared across chunks and per-user randomness keyed by chunk
+  index (bit-reproducible regardless of execution order).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional, Union
+
+import numpy as np
+
+from .._validation import ensure_positive_int, ensure_stream_matrix
+from .scenarios import (
+    ScenarioSpec,
+    participation_schedule,
+    scenario_chunk,
+    slot_level_profile,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "PopulationChunk",
+    "StreamSource",
+    "MatrixSource",
+    "MemmapSource",
+    "GeneratorSource",
+    "ScenarioSource",
+    "as_source",
+]
+
+#: default user-shard size — small enough that a chunk's working set
+#: (matrix slice + engine state + reports) stays in cache-friendly
+#: territory, large enough that vectorization dominates per-chunk overhead
+DEFAULT_CHUNK_SIZE = 16_384
+
+
+@dataclass(frozen=True)
+class PopulationChunk:
+    """One contiguous user-shard of the population.
+
+    ``start`` is the global id of the first user in the chunk; user ``i``
+    of ``matrix`` is global user ``start + i`` everywhere downstream
+    (collector keys, budget ledgers).
+    """
+
+    index: int
+    start: int
+    matrix: np.ndarray = field(repr=False)
+
+    @property
+    def n_users(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def stop(self) -> int:
+        """Global id one past the chunk's last user."""
+        return self.start + self.matrix.shape[0]
+
+
+class StreamSource(abc.ABC):
+    """Lazily yields a population as ordered, contiguous user-shards.
+
+    Implementations must yield chunks with consecutive ``index`` values
+    starting at 0 and consecutive user ranges starting at 0, and must
+    yield the *same* chunks every time :meth:`chunks` is called — resume
+    and worker-count invariance both rely on the decomposition being a
+    pure function of the source.
+    """
+
+    @property
+    @abc.abstractmethod
+    def horizon(self) -> int:
+        """Number of time slots every chunk carries."""
+
+    @property
+    def n_users(self) -> Optional[int]:
+        """Total population size, if known up front (``None`` if lazy)."""
+        return None
+
+    @abc.abstractmethod
+    def chunks(self) -> Iterator[PopulationChunk]:
+        """Yield the population's chunks in user order."""
+
+    def default_participation(self) -> "float | np.ndarray":
+        """Participation the runtime uses when the caller passes none."""
+        return 1.0
+
+
+def _chunk_bounds(n_users: int, chunk_size: int) -> Iterator["tuple[int, int, int]"]:
+    """(index, start, stop) triples covering ``range(n_users)``."""
+    for index, start in enumerate(range(0, n_users, chunk_size)):
+        yield index, start, min(start + chunk_size, n_users)
+
+
+class MatrixSource(StreamSource):
+    """Chunked view over an in-memory ``(users, slots)`` matrix."""
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        self._matrix = ensure_stream_matrix(matrix)
+        if chunk_size is None:
+            chunk_size = max(self._matrix.shape[0], 1)
+        self.chunk_size = ensure_positive_int(chunk_size, "chunk_size")
+
+    @property
+    def horizon(self) -> int:
+        return self._matrix.shape[1]
+
+    @property
+    def n_users(self) -> int:
+        return self._matrix.shape[0]
+
+    def chunks(self) -> Iterator[PopulationChunk]:
+        for index, start, stop in _chunk_bounds(self._matrix.shape[0], self.chunk_size):
+            yield PopulationChunk(
+                index=index, start=start, matrix=self._matrix[start:stop]
+            )
+
+
+class MemmapSource(StreamSource):
+    """Chunked reader over an on-disk ``.npy`` population matrix.
+
+    The file is opened with ``mmap_mode="r"`` and only the slice backing
+    the in-flight chunk is ever materialized, so the population may be
+    arbitrarily larger than RAM.  Each chunk's values are validated on
+    materialization (the whole-file validation pass a ``MatrixSource``
+    would do up front is exactly what out-of-core execution must avoid).
+    """
+
+    def __init__(self, path, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        self.path = str(path)
+        self.chunk_size = ensure_positive_int(chunk_size, "chunk_size")
+        mm = np.load(self.path, mmap_mode="r")
+        if mm.ndim != 2:
+            raise ValueError(
+                f"{self.path} must hold a (users, T) matrix, got shape {mm.shape}"
+            )
+        if mm.shape[0] and mm.shape[1] == 0:
+            raise ValueError(f"{self.path} must be non-empty")
+        self._shape = mm.shape
+        del mm
+
+    @property
+    def horizon(self) -> int:
+        return self._shape[1]
+
+    @property
+    def n_users(self) -> int:
+        return self._shape[0]
+
+    def chunks(self) -> Iterator[PopulationChunk]:
+        mm = np.load(self.path, mmap_mode="r")
+        for index, start, stop in _chunk_bounds(self._shape[0], self.chunk_size):
+            block = ensure_stream_matrix(
+                np.asarray(mm[start:stop], dtype=float),
+                name=f"{self.path}[{start}:{stop}]",
+            )
+            yield PopulationChunk(index=index, start=start, matrix=block)
+
+
+class GeneratorSource(StreamSource):
+    """Chunks from a factory of matrices (fully lazy population).
+
+    Args:
+        factory: zero-argument callable returning an iterable of
+            ``(chunk_users, horizon)`` matrices.  A callable (rather than
+            a bare iterator) is required so the source can be iterated
+            more than once — resume re-enumerates the chunk stream.
+        horizon: the matrices' common slot count (validated per block).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Iterable[np.ndarray]],
+        horizon: int,
+    ) -> None:
+        if not callable(factory):
+            raise TypeError(
+                "factory must be a zero-argument callable returning an "
+                "iterable of matrices (so the stream can be replayed)"
+            )
+        self._factory = factory
+        self._horizon = ensure_positive_int(horizon, "horizon")
+
+    @property
+    def horizon(self) -> int:
+        return self._horizon
+
+    def chunks(self) -> Iterator[PopulationChunk]:
+        start = 0
+        for index, block in enumerate(self._factory()):
+            matrix = ensure_stream_matrix(block, name=f"chunk {index}")
+            if matrix.shape[1] != self._horizon:
+                raise ValueError(
+                    f"chunk {index} has horizon {matrix.shape[1]}, "
+                    f"expected {self._horizon}"
+                )
+            if matrix.shape[0] == 0:
+                continue
+            yield PopulationChunk(index=index, start=start, matrix=matrix)
+            start += matrix.shape[0]
+
+
+class ScenarioSource(StreamSource):
+    """Synthesizes a scenario workload chunk by chunk.
+
+    The population-level layer (signal profile with bursts, participation
+    schedule) is derived once from ``seed`` and shared by every chunk;
+    each chunk's per-user randomness comes from a generator keyed by
+    ``(seed, chunk index)``, so any chunk can be regenerated independently
+    — workers never need data from the parent process, and the workload is
+    bit-reproducible for any chunk execution order.
+    """
+
+    #: entropy-stream tags keeping the shared schedule draw and the
+    #: per-chunk draws on disjoint generator streams
+    _SCHEDULE_STREAM = 0
+    _CHUNK_STREAM = 1
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        seed: int = 0,
+    ) -> None:
+        if not isinstance(spec, ScenarioSpec):
+            raise TypeError(f"spec must be a ScenarioSpec, got {type(spec).__name__}")
+        self.spec = spec
+        self.chunk_size = ensure_positive_int(chunk_size, "chunk_size")
+        self.seed = int(seed)
+
+    @property
+    def horizon(self) -> int:
+        return self.spec.horizon
+
+    @property
+    def n_users(self) -> int:
+        return self.spec.n_users
+
+    def level_profile(self) -> np.ndarray:
+        """The shared slot-level signal (bursts included), seed-derived."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, self._SCHEDULE_STREAM])
+        )
+        return slot_level_profile(self.spec, rng)
+
+    def default_participation(self) -> "float | np.ndarray":
+        """The scenario's churn-aware per-slot participation schedule."""
+        if self.spec.churn_waves or self.spec.baseline_participation < 1.0:
+            return participation_schedule(self.spec)
+        return 1.0
+
+    def chunks(self) -> Iterator[PopulationChunk]:
+        level = self.level_profile()
+        for index, start, stop in _chunk_bounds(self.spec.n_users, self.chunk_size):
+            rng = np.random.default_rng(
+                np.random.SeedSequence([self.seed, self._CHUNK_STREAM, index])
+            )
+            matrix = scenario_chunk(self.spec, stop - start, rng, level=level)
+            yield PopulationChunk(index=index, start=start, matrix=matrix)
+
+
+def as_source(
+    source: Union[StreamSource, np.ndarray, "list[list[float]]"],
+    chunk_size: Optional[int] = None,
+) -> StreamSource:
+    """Coerce a raw matrix into a :class:`MatrixSource` (sources pass through)."""
+    if isinstance(source, StreamSource):
+        if chunk_size is not None:
+            raise ValueError(
+                "chunk_size applies only when passing a raw matrix; "
+                "configure the StreamSource itself instead"
+            )
+        return source
+    return MatrixSource(np.asarray(source), chunk_size=chunk_size)

@@ -78,3 +78,85 @@ class TestRoundTrip:
         restored = loads_result(dumps_result(stream_result))
         assert restored["accountant"]["epsilon"] == 1.0
         assert restored["accountant"]["max_window_spend"] <= 1.0 + 1e-9
+
+
+class TestShardSnapshots:
+    """Collector-state and ledger snapshots used by runtime checkpoints."""
+
+    def test_collector_state_exact_round_trip(self):
+        from repro.core import collector_state_from_dict, collector_state_to_dict
+        from repro.protocol import Collector, Report
+
+        collector = Collector()
+        values = np.random.default_rng(0).random(50)
+        collector.ingest_batch(0, np.arange(50), values)
+        collector.ingest(Report(3, 1, 0.25))
+        payload = json.loads(json.dumps(collector_state_to_dict(collector.state)))
+        restored = collector_state_from_dict(payload)
+        # Bit-exact: JSON floats round-trip via repr.
+        assert restored.slot_sums == collector.state.slot_sums
+        assert restored.slot_counts == collector.state.slot_counts
+        for t in collector.state.slot_values:
+            np.testing.assert_array_equal(
+                restored.slot_reports(t), collector.state.slot_reports(t)
+            )
+        assert restored.by_user == collector.state.by_user
+        assert restored.n_reports == collector.state.n_reports
+
+    def test_collector_state_untracked_round_trip(self):
+        from repro.core import collector_state_from_dict, collector_state_to_dict
+        from repro.protocol import Collector
+
+        collector = Collector(track_users=False)
+        collector.ingest_batch(2, np.arange(5), np.full(5, 0.5))
+        payload = collector_state_to_dict(collector.state)
+        assert "by_user" not in payload
+        restored = collector_state_from_dict(payload)
+        assert not restored.track_users
+        assert restored.slot_counts == {2: 5}
+
+    def test_collector_state_format_checked(self):
+        from repro.core import collector_state_from_dict
+
+        with pytest.raises(ValueError, match="format"):
+            collector_state_from_dict({"format": "nope"})
+
+    def test_batch_accountant_round_trip(self):
+        from repro.core import batch_accountant_from_dict, batch_accountant_to_dict
+        from repro.privacy import BatchWEventAccountant
+
+        accountant = BatchWEventAccountant(1.0, 4, 6)
+        for spend in (0.25, 0.0, 0.25):
+            accountant.charge_next(spend)
+        payload = json.loads(json.dumps(batch_accountant_to_dict(accountant)))
+        restored = batch_accountant_from_dict(payload)
+        assert restored["epsilon"] == 1.0
+        assert restored["w"] == 4
+        assert restored["n_users"] == 6
+        assert restored["slots"] == 3
+        np.testing.assert_array_equal(
+            restored["max_window_spend"], accountant.max_window_spend()
+        )
+        np.testing.assert_array_equal(
+            restored["spends"], accountant.spends_matrix()
+        )
+
+    def test_batch_accountant_history_optional(self):
+        from repro.core import batch_accountant_from_dict, batch_accountant_to_dict
+        from repro.privacy import BatchWEventAccountant
+
+        accountant = BatchWEventAccountant(1.0, 4, 3, record_history=False)
+        accountant.charge_next(0.25)
+        payload = batch_accountant_to_dict(accountant)
+        assert "spends" not in payload
+        assert batch_accountant_from_dict(payload)["spends"] is None
+        trimmed = batch_accountant_to_dict(
+            BatchWEventAccountant(1.0, 4, 3), include_history=False
+        )
+        assert "spends" not in trimmed
+
+    def test_batch_accountant_format_checked(self):
+        from repro.core import batch_accountant_from_dict
+
+        with pytest.raises(ValueError, match="format"):
+            batch_accountant_from_dict({"format": "nope"})

@@ -104,3 +104,30 @@ class TestSinMatrix:
 
         counts = [crossings(matrix[i]) for i in range(3)]
         assert counts[0] < counts[1] < counts[2]
+
+
+class TestDiurnalStream:
+    def test_shape_and_period(self):
+        from repro.datasets.synthetic import diurnal_stream
+
+        stream = diurnal_stream(96, period=24, amplitude=0.25, base=0.5)
+        assert stream.shape == (96,)
+        assert stream.min() >= 0.0 and stream.max() <= 1.0
+        np.testing.assert_allclose(stream[:24], stream[24:48], atol=1e-12)
+        assert stream[0] == pytest.approx(0.5)
+
+    def test_clipped_at_domain_edges(self):
+        from repro.datasets.synthetic import diurnal_stream
+
+        stream = diurnal_stream(24, period=24, amplitude=0.9, base=0.5)
+        assert stream.max() == 1.0 and stream.min() == 0.0
+
+    def test_validation(self):
+        from repro.datasets.synthetic import diurnal_stream
+
+        with pytest.raises(ValueError):
+            diurnal_stream(10, amplitude=-0.1)
+        with pytest.raises(ValueError):
+            diurnal_stream(10, base=1.2)
+        with pytest.raises(ValueError):
+            diurnal_stream(0)

@@ -79,3 +79,19 @@ class TestMain:
         code = main(["distribution", "--scale", "0.1", "--epsilons", "0.5"])
         assert code == 0
         assert "gaussian" in capsys.readouterr().out
+
+    def test_scenarios_tiny_run(self, capsys):
+        code = main(
+            [
+                "scenarios",
+                "--scale", "0.05",
+                "--datasets", "steady", "churn",
+                "--epsilons", "1.0",
+                "--windows", "8",
+                "--shards", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scenario workloads" in out and "(2 shards)" in out
+        assert "steady" in out and "churn" in out and "capp" in out

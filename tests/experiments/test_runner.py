@@ -122,3 +122,34 @@ class TestRunEpsilonSweep:
             seed=0,
         )
         assert len(sweep.values["app"]) == 1
+
+
+class TestScenarioStudy:
+    def test_structure_and_determinism(self):
+        from repro.experiments.runner import run_scenario_study
+
+        kwargs = dict(
+            scenarios=("steady", "churn"),
+            algorithms=("capp", "sw-direct"),
+            n_users=60,
+            horizon=24,
+            epsilon=2.0,
+            w=6,
+            n_shards=2,
+            max_workers=1,
+            seed=0,
+        )
+        study = run_scenario_study(**kwargs)
+        assert sorted(study) == ["churn", "steady"]
+        for per_algorithm in study.values():
+            assert sorted(per_algorithm) == ["capp", "sw-direct"]
+            for value in per_algorithm.values():
+                assert value >= 0.0
+        again = run_scenario_study(**kwargs)
+        assert study == again
+
+    def test_invalid_shards(self):
+        from repro.experiments.runner import run_scenario_study
+
+        with pytest.raises(ValueError):
+            run_scenario_study(n_shards=0, n_users=10, horizon=5)

@@ -1,0 +1,236 @@
+"""Merge algebra of CollectorShardState: the runtime's correctness core.
+
+Shard states must form a commutative monoid under ``merge`` — counts and
+the multiset of (user, slot, value) triples combine exactly, sums up to
+float rounding — and merging shard states must be indistinguishable from
+one collector ingesting every report itself, across every query type
+(means, smoothing-backed publication, EM distribution reconstruction).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol import Collector, CollectorShardState, Report
+
+
+def _ingest_rows(rows, **collector_kwargs):
+    """Collector holding the given (user, t, value) reports."""
+    collector = Collector(**collector_kwargs)
+    for user, t, value in rows:
+        collector.ingest(Report(user, t, value))
+    return collector
+
+
+def _random_rows(rng, n_users, horizon, density=0.7):
+    rows = []
+    for user in range(n_users):
+        for t in range(horizon):
+            if rng.random() < density:
+                rows.append((user, t, float(rng.random())))
+    return rows
+
+
+def _partition(rows, n_parts):
+    """Split rows by user id into disjoint shards."""
+    parts = [[] for _ in range(n_parts)]
+    for user, t, value in rows:
+        parts[user % n_parts].append((user, t, value))
+    return parts
+
+
+class TestMergeAlgebra:
+    def test_merge_equals_single_collector_ingestion(self):
+        rng = np.random.default_rng(0)
+        rows = _random_rows(rng, n_users=30, horizon=15)
+        whole = _ingest_rows(rows, epsilon_per_report=0.5)
+        merged = Collector(epsilon_per_report=0.5)
+        for part in _partition(rows, 3):
+            merged.merge_state(_ingest_rows(part, epsilon_per_report=0.5))
+
+        assert merged.n_reports == whole.n_reports
+        assert merged.n_users == whole.n_users
+        assert merged.slots() == whole.slots()
+        np.testing.assert_allclose(
+            merged.population_mean_series(),
+            whole.population_mean_series(),
+            rtol=0,
+            atol=1e-12,
+        )
+        # Per-user views are complete after the merge: publication
+        # (smoothing included) matches the single collector exactly.
+        for user in range(30):
+            np.testing.assert_array_equal(
+                merged.publish_user_stream(user), whole.publish_user_stream(user)
+            )
+        # EM distribution reconstruction sees the same report multiset.
+        np.testing.assert_allclose(
+            merged.estimate_slot_distribution(0, n_bins=8),
+            whole.estimate_slot_distribution(0, n_bins=8),
+            atol=1e-9,
+        )
+
+    def test_merge_is_commutative(self):
+        rng = np.random.default_rng(1)
+        parts = _partition(_random_rows(rng, 20, 10), 2)
+        a = _ingest_rows(parts[0]).state
+        b = _ingest_rows(parts[1]).state
+        ab, ba = a.merge(b), b.merge(a)
+        assert ab.n_reports == ba.n_reports
+        assert ab.slot_counts == ba.slot_counts
+        assert ab.by_user == ba.by_user
+        for t in ab.slot_sums:
+            # float addition of two terms is commutative bitwise
+            assert ab.slot_sums[t] == ba.slot_sums[t]
+            np.testing.assert_array_equal(
+                np.sort(ab.slot_reports(t)), np.sort(ba.slot_reports(t))
+            )
+
+    def test_merge_is_associative(self):
+        rng = np.random.default_rng(2)
+        parts = _partition(_random_rows(rng, 21, 8), 3)
+        a, b, c = (_ingest_rows(part).state for part in parts)
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.n_reports == right.n_reports
+        assert left.slot_counts == right.slot_counts
+        assert left.by_user == right.by_user
+        for t in left.slot_sums:
+            assert left.slot_sums[t] == pytest.approx(right.slot_sums[t], abs=1e-12)
+            np.testing.assert_array_equal(
+                np.sort(left.slot_reports(t)), np.sort(right.slot_reports(t))
+            )
+
+    def test_merge_with_empty_state_is_identity(self):
+        rows = _random_rows(np.random.default_rng(3), 5, 5)
+        state = _ingest_rows(rows).state
+        for merged in (state.merge(CollectorShardState()),
+                       CollectorShardState().merge(state)):
+            assert merged.n_reports == state.n_reports
+            assert merged.slot_sums == state.slot_sums
+            assert merged.by_user == state.by_user
+            for t in state.slot_values:
+                np.testing.assert_array_equal(
+                    merged.slot_reports(t), state.slot_reports(t)
+                )
+
+    def test_merge_does_not_mutate_operands(self):
+        a = _ingest_rows([(0, 0, 0.2)]).state
+        b = _ingest_rows([(1, 0, 0.4)]).state
+        a.merge(b)
+        assert a.n_reports == 1 and b.n_reports == 1
+        assert a.slot_counts == {0: 1} and b.slot_counts == {0: 1}
+
+    def test_overlapping_users_rejected(self):
+        a = _ingest_rows([(0, 0, 0.2), (0, 1, 0.3)]).state
+        b = _ingest_rows([(0, 1, 0.4)]).state
+        with pytest.raises(ValueError, match="duplicate report for user 0"):
+            a.merge(b)
+        # Disjoint slots of the same user merge fine (Sample-Split style).
+        c = _ingest_rows([(0, 2, 0.4)]).state
+        merged = a.merge(c)
+        assert merged.by_user[0] == {0: 0.2, 1: 0.3, 2: 0.4}
+
+    def test_merge_drops_user_tracking_when_either_side_lacks_it(self):
+        tracking = _ingest_rows([(0, 0, 0.2)]).state
+        bare = Collector(track_users=False)
+        bare.ingest(Report(1, 0, 0.4))
+        merged = tracking.merge(bare.state)
+        assert not merged.track_users
+        assert merged.by_user == {}
+        assert merged.n_reports == 2
+        assert merged.slot_counts[0] == 2
+
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_merge_equals_direct_ingestion(self, seed, n_parts):
+        """Any user-partition of any report set merges to the same answers."""
+        rng = np.random.default_rng(seed)
+        rows = _random_rows(rng, n_users=int(rng.integers(2, 12)),
+                            horizon=int(rng.integers(1, 8)), density=0.6)
+        if not rows:
+            return
+        whole = _ingest_rows(rows)
+        merged = Collector()
+        for part in _partition(rows, n_parts):
+            merged.merge_state(_ingest_rows(part))
+        assert merged.n_reports == whole.n_reports
+        assert merged.slots() == whole.slots()
+        np.testing.assert_allclose(
+            merged.population_mean_series(),
+            whole.population_mean_series(),
+            rtol=0,
+            atol=1e-12,
+        )
+        assert merged.state.slot_counts == whole.state.slot_counts
+
+
+class TestTrackUsersFlag:
+    def test_aggregates_without_user_dict(self):
+        collector = Collector(track_users=False)
+        collector.ingest_batch(0, np.arange(100), np.full(100, 0.25))
+        collector.ingest_batch(1, np.arange(100), np.full(100, 0.75))
+        assert collector.n_reports == 200
+        assert collector.population_mean(0) == pytest.approx(0.25)
+        np.testing.assert_allclose(
+            collector.population_mean_series(), [0.25, 0.75]
+        )
+        assert collector.state.by_user == {}
+
+    def test_per_user_queries_raise(self):
+        collector = Collector(track_users=False)
+        collector.ingest(Report(0, 0, 0.5))
+        for query in (
+            lambda: collector.user_series(0),
+            lambda: collector.publish_user_stream(0),
+            lambda: collector.user_subsequence_mean(0, 0, 1),
+            lambda: collector.crowd_mean_estimates(0, 1),
+            lambda: collector.n_users,
+        ):
+            with pytest.raises(RuntimeError, match="track_users"):
+                query()
+
+    def test_cross_batch_duplicates_undetected_without_tracking(self):
+        # The documented trade-off: dropping the per-user dict also drops
+        # cross-batch duplicate detection (within-batch still enforced).
+        collector = Collector(track_users=False)
+        collector.ingest_batch(0, np.array([0]), np.array([0.5]))
+        collector.ingest_batch(0, np.array([0]), np.array([0.5]))
+        assert collector.n_reports == 2
+        with pytest.raises(ValueError, match="duplicate user ids"):
+            collector.ingest_batch(1, np.array([0, 0]), np.array([0.5, 0.5]))
+
+    def test_keep_reports_false_keeps_running_aggregates_only(self):
+        collector = Collector(track_users=False, keep_reports=False)
+        collector.ingest_batch(0, np.arange(200), np.full(200, 0.25))
+        collector.ingest(Report(500, 1, 0.75))
+        assert collector.n_reports == 201
+        assert collector.population_mean(0) == pytest.approx(0.25)
+        assert collector.state.slot_values == {}
+        with pytest.raises(RuntimeError, match="keep_reports"):
+            collector.state.slot_reports(0)
+
+    def test_keep_reports_false_disables_distribution_queries(self):
+        collector = Collector(epsilon_per_report=1.0, keep_reports=False)
+        collector.ingest_batch(0, np.arange(10), np.full(10, 0.5))
+        with pytest.raises(RuntimeError, match="keep_reports"):
+            collector.estimate_slot_distribution(0)
+
+    def test_merge_drops_reports_when_either_side_lacks_them(self):
+        keeping = _ingest_rows([(0, 0, 0.2)]).state
+        bare = Collector(keep_reports=False)
+        bare.ingest(Report(1, 0, 0.4))
+        merged = keeping.merge(bare.state)
+        assert not merged.keep_reports
+        assert merged.slot_values == {}
+        assert merged.slot_counts[0] == 2
+        assert merged.slot_sums[0] == pytest.approx(0.6)
+
+    def test_distribution_query_works_without_tracking(self):
+        collector = Collector(epsilon_per_report=1.0, track_users=False)
+        values = np.random.default_rng(0).random(200)
+        collector.ingest_batch(0, np.arange(200), values)
+        dist = collector.estimate_slot_distribution(0, n_bins=8)
+        assert dist.shape == (8,)
+        assert dist.sum() == pytest.approx(1.0)

@@ -167,6 +167,79 @@ def test_group_lookup_unknown_user(streams):
         vec.group_for(99)
 
 
+def test_participation_schedule_constant_matches_scalar():
+    """A flat (T,) schedule is the scalar path, bit for bit (same draws)."""
+    streams = np.full((30, 12), 0.5)
+    scalar = run_protocol_vectorized(
+        streams, participation=0.7, rng=np.random.default_rng(0)
+    )
+    schedule = run_protocol_vectorized(
+        streams, participation=np.full(12, 0.7), rng=np.random.default_rng(0)
+    )
+    assert scalar.collector.n_reports == schedule.collector.n_reports
+    np.testing.assert_array_equal(
+        scalar.collector.population_mean_series(),
+        schedule.collector.population_mean_series(),
+    )
+
+
+def test_participation_schedule_zero_slot_silences_population():
+    """A 0-probability slot (churn trough) leaves no reports and no spend."""
+    streams = np.full((8, 6), 0.5)
+    schedule = np.array([1.0, 1.0, 0.0, 1.0, 0.0, 1.0])
+    vec = run_protocol_vectorized(
+        streams, participation=schedule, rng=np.random.default_rng(1)
+    )
+    assert vec.collector.slots() == [0, 1, 3, 5]
+    assert vec.collector.n_reports == 8 * 4
+    for user in range(8):
+        spends = vec.user_budget_spends(user)
+        np.testing.assert_array_equal(spends[[2, 4]], 0.0)
+        assert np.all(spends[[0, 1, 3, 5]] > 0)
+
+
+def test_participation_schedule_validation():
+    streams = np.full((4, 5), 0.5)
+    with pytest.raises(ValueError, match="one entry per slot"):
+        run_protocol_vectorized(streams, participation=np.full(4, 0.5))
+    with pytest.raises(ValueError, match=r"\[0, 1\]"):
+        run_protocol_vectorized(streams, participation=np.full(5, 1.5))
+    with pytest.raises(ValueError, match="scalar or a"):
+        run_protocol_vectorized(streams, participation=np.full((5, 1), 0.5))
+
+
+def test_user_id_offset_shifts_all_ids():
+    """The sharded runtime's shards address users by global id."""
+    streams = np.full((6, 8), 0.5)
+    vec = run_protocol_vectorized(
+        streams, rng=np.random.default_rng(2), user_id_offset=100
+    )
+    assert sorted(vec.collector._state.by_user) == list(range(100, 106))
+    for group in vec.groups:
+        assert group.indices.min() >= 100
+    assert vec.user_algorithm(103) == "capp"
+    assert vec.user_budget_spends(100).shape == (8,)
+    with pytest.raises(KeyError):
+        vec.group_for(0)
+    with pytest.raises(ValueError, match="non-negative"):
+        run_protocol_vectorized(streams, user_id_offset=-1)
+
+
+def test_track_users_false_keeps_aggregates_only():
+    """Population-scale memory fix: no O(users x slots) per-user dict."""
+    streams = np.full((10, 7), 0.5)
+    vec = run_protocol_vectorized(
+        streams, rng=np.random.default_rng(3), track_users=False
+    )
+    assert vec.collector.n_reports == streams.size
+    assert vec.collector.population_mean_series().shape == (7,)
+    assert vec.collector.state.by_user == {}
+    with pytest.raises(RuntimeError, match="track_users"):
+        vec.collector.user_series(0)
+    with pytest.raises(RuntimeError, match="track_users"):
+        vec.collector.n_users
+
+
 def test_budget_overspend_still_raises():
     """The vectorized path must keep the executable privacy invariant."""
     with pytest.raises(PrivacyBudgetExceededError):

@@ -1,0 +1,121 @@
+"""Scenario workload generator: shapes, determinism, preset semantics."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    SCENARIOS,
+    ScenarioSpec,
+    make_scenario,
+    participation_schedule,
+    scenario_chunk,
+    slot_level_profile,
+)
+
+
+class TestSpecValidation:
+    def test_presets_instantiate(self):
+        for name in SCENARIOS:
+            spec = make_scenario(name, n_users=10, horizon=48)
+            assert spec.name == name
+            assert spec.n_users == 10
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            make_scenario("typo", n_users=10, horizon=48)
+
+    def test_overrides_win(self):
+        spec = make_scenario("diurnal", 10, 48, diurnal_amplitude=0.4)
+        assert spec.diurnal_amplitude == 0.4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(n_users=0, horizon=10)
+        with pytest.raises(ValueError):
+            ScenarioSpec(n_users=10, horizon=10, base_level=1.5)
+        with pytest.raises(ValueError):
+            ScenarioSpec(n_users=10, horizon=10, baseline_participation=0.0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(n_users=10, horizon=10, churn_waves=-1)
+        with pytest.raises(ValueError):
+            ScenarioSpec(n_users=10, horizon=10, noise_scale=-0.1)
+
+
+class TestLevelProfile:
+    def test_range_and_shape(self):
+        for name in SCENARIOS:
+            spec = make_scenario(name, 10, 96)
+            level = slot_level_profile(spec, np.random.default_rng(0))
+            assert level.shape == (96,)
+            assert level.min() >= 0.0 and level.max() <= 1.0
+
+    def test_steady_profile_is_flat(self):
+        spec = make_scenario("steady", 10, 50)
+        level = slot_level_profile(spec, np.random.default_rng(0))
+        np.testing.assert_allclose(level, spec.base_level)
+
+    def test_diurnal_cycle_repeats(self):
+        spec = make_scenario("diurnal", 10, 96, diurnal_period=24)
+        level = slot_level_profile(spec, np.random.default_rng(0))
+        np.testing.assert_allclose(level[:24], level[24:48], atol=1e-12)
+        assert level.max() - level.min() > 0.3
+
+    def test_drift_shifts_level(self):
+        spec = make_scenario("drift", 10, 60, noise_scale=0.0)
+        level = slot_level_profile(spec, np.random.default_rng(0))
+        assert level[-1] - level[0] == pytest.approx(spec.drift, abs=1e-9)
+
+    def test_bursts_elevate_slots(self):
+        spec = make_scenario("bursty", 10, 60, base_level=0.3, burst_rate=1.0)
+        level = slot_level_profile(spec, np.random.default_rng(0))
+        # With burst probability 1 every slot is elevated (and clipped).
+        assert level.min() >= 0.3 + spec.burst_magnitude - 1e-12 or level.max() == 1.0
+
+    def test_burst_timing_depends_only_on_generator(self):
+        spec = make_scenario("bursty", 10, 60)
+        a = slot_level_profile(spec, np.random.default_rng(5))
+        b = slot_level_profile(spec, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestParticipationSchedule:
+    def test_no_churn_is_flat_baseline(self):
+        spec = make_scenario("steady", 10, 40)
+        np.testing.assert_allclose(participation_schedule(spec), 1.0)
+
+    def test_churn_waves_dip_and_recover(self):
+        spec = make_scenario("churn", 10, 90)
+        schedule = participation_schedule(spec)
+        assert schedule.shape == (90,)
+        assert schedule.min() >= 0.0 and schedule.max() <= 1.0
+        trough = schedule.min()
+        assert trough == pytest.approx(
+            spec.baseline_participation * (1 - spec.churn_depth), abs=1e-9
+        )
+        # Away from the waves the population is back at baseline.
+        assert schedule[0] == pytest.approx(spec.baseline_participation)
+        assert schedule[-1] == pytest.approx(spec.baseline_participation)
+        # Two waves -> two local minima regions.
+        assert (schedule < spec.baseline_participation * 0.9).sum() >= 2
+
+
+class TestScenarioChunk:
+    def test_shape_range_determinism(self):
+        spec = make_scenario("diurnal", 100, 48)
+        level = slot_level_profile(spec, np.random.default_rng(0))
+        a = scenario_chunk(spec, 7, np.random.default_rng(1), level=level)
+        b = scenario_chunk(spec, 7, np.random.default_rng(1), level=level)
+        assert a.shape == (7, 48)
+        assert a.min() >= 0.0 and a.max() <= 1.0
+        np.testing.assert_array_equal(a, b)
+
+    def test_level_shape_validated(self):
+        spec = make_scenario("steady", 10, 20)
+        with pytest.raises(ValueError, match="level profile"):
+            scenario_chunk(spec, 5, np.random.default_rng(0), level=np.zeros(3))
+
+    def test_users_track_shared_profile(self):
+        spec = make_scenario("diurnal", 100, 48, noise_scale=0.01, user_spread=0.02)
+        level = slot_level_profile(spec, np.random.default_rng(0))
+        chunk = scenario_chunk(spec, 200, np.random.default_rng(2), level=level)
+        np.testing.assert_allclose(chunk.mean(axis=0), level, atol=0.05)

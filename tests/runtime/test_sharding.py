@@ -1,0 +1,395 @@
+"""Sharded runtime equivalence suite.
+
+The acceptance gate of the runtime: a sharded run — any shard count, any
+chunked source, any worker count, interrupted and resumed or not — must
+produce estimates and w-event budget ledgers identical to the equivalent
+unsharded ``run_protocol_vectorized`` run, with merge semantics equal to
+single-collector ingestion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.protocol import run_protocol_vectorized
+from repro.protocol.simulation import population_mean_mse
+from repro.runtime import (
+    GeneratorSource,
+    MatrixSource,
+    PopulationChunk,
+    ScenarioSource,
+    StreamSource,
+    make_scenario,
+    run_protocol_sharded,
+)
+
+
+@pytest.fixture(scope="module")
+def streams():
+    rng = np.random.default_rng(0)
+    base = 0.5 + 0.3 * np.sin(np.linspace(0, 4 * np.pi, 40))
+    return np.clip(base + 0.1 * rng.standard_normal((240, 40)), 0.0, 1.0)
+
+
+def _series(result):
+    return result.collector.population_mean_series()
+
+
+class TestUnshardedEquivalence:
+    def test_single_chunk_is_bit_identical_to_vectorized(self, streams):
+        """One shard *is* an unsharded run with the spawned child rng."""
+        sharded = run_protocol_sharded(
+            streams, epsilon=2.0, w=5, seed=7, record_history=True,
+            track_users=True,
+        )
+        child = np.random.default_rng(np.random.SeedSequence(7, spawn_key=(0,)))
+        vec = run_protocol_vectorized(
+            streams, epsilon=2.0, w=5, rng=child, record_history=True
+        )
+        np.testing.assert_array_equal(_series(sharded), _series(vec))
+        assert sharded.collector.n_reports == vec.collector.n_reports
+        for user in (0, 100, 239):
+            np.testing.assert_array_equal(
+                sharded.user_budget_spends(user), vec.user_budget_spends(user)
+            )
+
+    @pytest.mark.parametrize("chunk_size", [17, 60, 240])
+    def test_ledgers_identical_to_unsharded(self, streams, chunk_size):
+        """Budget accounting is decomposition-invariant (full participation)."""
+        vec = run_protocol_vectorized(
+            streams, epsilon=1.0, w=10, rng=np.random.default_rng(1),
+            record_history=True,
+        )
+        sharded = run_protocol_sharded(
+            MatrixSource(streams, chunk_size=chunk_size),
+            epsilon=1.0, w=10, seed=3, record_history=True,
+        )
+        for user in (0, 17, 59, 200):
+            np.testing.assert_array_equal(
+                sharded.user_budget_spends(user), vec.user_budget_spends(user)
+            )
+        np.testing.assert_array_equal(
+            sharded.max_window_spend(),
+            np.concatenate(
+                [g.engine.accountant.max_window_spend() for g in vec.groups]
+            ),
+        )
+
+    def test_zero_one_schedule_ledgers_identical_to_unsharded(self, streams):
+        """A deterministic on/off schedule yields identical spend patterns
+        regardless of sharding (no mask randomness at p in {0, 1})."""
+        schedule = np.tile([1.0, 1.0, 0.0, 1.0], 10)
+        vec = run_protocol_vectorized(
+            streams, epsilon=1.0, w=8, participation=schedule,
+            rng=np.random.default_rng(2), record_history=True,
+        )
+        sharded = run_protocol_sharded(
+            MatrixSource(streams, chunk_size=50),
+            epsilon=1.0, w=8, participation=schedule, seed=5,
+            record_history=True,
+        )
+        assert sharded.collector.slots() == vec.collector.slots()
+        assert sharded.collector.n_reports == vec.collector.n_reports
+        for user in (0, 49, 50, 239):
+            np.testing.assert_array_equal(
+                sharded.user_budget_spends(user), vec.user_budget_spends(user)
+            )
+
+    def test_estimates_match_unsharded_within_sampling_tolerance(self, streams):
+        """Different shardings draw different (same-law) noise: estimates
+        agree statistically, exactly like vectorized-vs-reference."""
+        vec = run_protocol_vectorized(
+            streams, epsilon=5.0, w=5, rng=np.random.default_rng(4)
+        )
+        sharded = run_protocol_sharded(
+            MatrixSource(streams, chunk_size=37), epsilon=5.0, w=5, seed=6
+        )
+        assert sharded.collector.n_reports == vec.collector.n_reports
+        np.testing.assert_allclose(_series(sharded), _series(vec), atol=0.12)
+        assert sharded.population_mean_mse() == pytest.approx(
+            vec.population_mean_mse(), rel=0.6, abs=0.003
+        )
+
+    def test_true_mean_streams_match_full_matrix(self, streams):
+        sharded = run_protocol_sharded(
+            MatrixSource(streams, chunk_size=33), epsilon=2.0, w=5, seed=1
+        )
+        np.testing.assert_allclose(
+            sharded.true_population_mean(), streams.mean(axis=0), atol=1e-12
+        )
+        assert sharded.population_mean_mse() == pytest.approx(
+            population_mean_mse(sharded.collector, streams), abs=1e-12
+        )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("max_workers", [2, 7])
+    def test_worker_counts_1_2_7_are_bit_identical(self, streams, max_workers):
+        """The nondeterminism trap: per-shard spawned generators make the
+        result a pure function of (source, params, seed) — the worker
+        count only schedules chunks, it never changes them."""
+        source = MatrixSource(streams, chunk_size=48)
+        serial = run_protocol_sharded(source, epsilon=1.0, w=10, seed=9)
+        parallel = run_protocol_sharded(
+            source, epsilon=1.0, w=10, seed=9, max_workers=max_workers
+        )
+        np.testing.assert_array_equal(_series(serial), _series(parallel))
+        assert serial.collector.n_reports == parallel.collector.n_reports
+        np.testing.assert_array_equal(
+            serial.max_window_spend(), parallel.max_window_spend()
+        )
+
+    def test_shard_counts_1_2_7_change_draws_not_law_or_ledgers(self, streams):
+        results = {}
+        for n_shards in (1, 2, 7):
+            chunk = -(-streams.shape[0] // n_shards)
+            result = run_protocol_sharded(
+                MatrixSource(streams, chunk_size=chunk),
+                epsilon=5.0, w=5, seed=11, record_history=True,
+            )
+            assert result.n_shards == n_shards
+            assert result.collector.n_reports == streams.size
+            # Ledger spends are identical for every decomposition...
+            expected = np.full(streams.shape[1], 1.0)
+            np.testing.assert_allclose(result.user_budget_spends(0), expected)
+            np.testing.assert_allclose(result.max_window_spend(), 5.0)
+            results[n_shards] = _series(result)
+        # ...and the estimates are same-law draws (the decomposition only
+        # re-keys which generator produces which user's noise), so every
+        # shard count reproduces the same estimates up to sampling noise.
+        np.testing.assert_allclose(results[1], results[2], atol=0.12)
+        np.testing.assert_allclose(results[1], results[7], atol=0.12)
+
+    def test_same_seed_same_source_reproduces_exactly(self, streams):
+        source = MatrixSource(streams, chunk_size=100)
+        a = run_protocol_sharded(source, epsilon=1.0, w=10, seed=42)
+        b = run_protocol_sharded(source, epsilon=1.0, w=10, seed=42)
+        np.testing.assert_array_equal(_series(a), _series(b))
+        c = run_protocol_sharded(source, epsilon=1.0, w=10, seed=43)
+        assert not np.array_equal(_series(a), _series(c))
+
+
+class TestCheckpointResume:
+    def test_resumed_run_matches_uninterrupted(self, streams, tmp_path):
+        uninterrupted = run_protocol_sharded(
+            MatrixSource(streams, chunk_size=60), epsilon=1.0, w=10, seed=13,
+            record_history=True,
+        )
+
+        crash_after = 2
+        state = {"armed": True}
+
+        def blocks():
+            for i, start in enumerate(range(0, streams.shape[0], 60)):
+                if state["armed"] and i >= crash_after:
+                    raise RuntimeError("simulated crash")
+                yield streams[start : start + 60]
+
+        source = GeneratorSource(blocks, horizon=streams.shape[1])
+        checkpoint = tmp_path / "ckpt"
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            run_protocol_sharded(
+                source, epsilon=1.0, w=10, seed=13,
+                checkpoint_dir=checkpoint, record_history=True,
+            )
+        saved = sorted(p.name for p in checkpoint.glob("shard-*.json"))
+        assert len(saved) == crash_after
+
+        state["armed"] = False
+        resumed = run_protocol_sharded(
+            source, epsilon=1.0, w=10, seed=13,
+            checkpoint_dir=checkpoint, record_history=True,
+        )
+        assert resumed.n_resumed == crash_after
+        assert resumed.n_shards == 4
+        np.testing.assert_array_equal(_series(resumed), _series(uninterrupted))
+        assert resumed.collector.n_reports == uninterrupted.collector.n_reports
+        for user in (0, 61, 239):
+            np.testing.assert_array_equal(
+                resumed.user_budget_spends(user),
+                uninterrupted.user_budget_spends(user),
+            )
+
+    def test_completed_run_resumes_without_execution(self, streams, tmp_path):
+        source = MatrixSource(streams[:60], chunk_size=20)
+        checkpoint = tmp_path / "done"
+        first = run_protocol_sharded(
+            source, epsilon=1.0, w=10, seed=1, checkpoint_dir=checkpoint
+        )
+        again = run_protocol_sharded(
+            source, epsilon=1.0, w=10, seed=1, checkpoint_dir=checkpoint
+        )
+        assert first.n_resumed == 0
+        assert again.n_resumed == again.n_shards == 3
+        np.testing.assert_array_equal(_series(first), _series(again))
+
+    def test_mismatched_configuration_rejected(self, streams, tmp_path):
+        source = MatrixSource(streams[:40], chunk_size=20)
+        checkpoint = tmp_path / "cfg"
+        run_protocol_sharded(
+            source, epsilon=1.0, w=10, seed=1, checkpoint_dir=checkpoint
+        )
+        with pytest.raises(ValueError, match="different run configuration"):
+            run_protocol_sharded(
+                source, epsilon=2.0, w=10, seed=1, checkpoint_dir=checkpoint
+            )
+
+    def test_changed_chunk_decomposition_rejected(self, streams, tmp_path):
+        """Resuming under a different chunking must error, not silently
+        return a truncated population."""
+        checkpoint = tmp_path / "chunks"
+        run_protocol_sharded(
+            MatrixSource(streams[:40], chunk_size=10),
+            epsilon=1.0, w=10, seed=1, checkpoint_dir=checkpoint,
+        )
+        with pytest.raises(ValueError, match="decomposition changed"):
+            run_protocol_sharded(
+                MatrixSource(streams[:40], chunk_size=40),
+                epsilon=1.0, w=10, seed=1, checkpoint_dir=checkpoint,
+            )
+
+    def test_changed_source_data_rejected(self, streams, tmp_path):
+        """Snapshots are bound to the data, not just the decomposition."""
+        checkpoint = tmp_path / "data"
+        run_protocol_sharded(
+            MatrixSource(streams[:40], chunk_size=20),
+            epsilon=1.0, w=10, seed=1, checkpoint_dir=checkpoint,
+        )
+        altered = streams[:40].copy()
+        altered[3, 5] = 1.0 - altered[3, 5]
+        with pytest.raises(ValueError, match="different data"):
+            run_protocol_sharded(
+                MatrixSource(altered, chunk_size=20),
+                epsilon=1.0, w=10, seed=1, checkpoint_dir=checkpoint,
+            )
+
+    def test_changed_per_user_algorithms_rejected(self, streams, tmp_path):
+        """Per-user algorithm assignments are fingerprinted in the manifest."""
+        checkpoint = tmp_path / "algos"
+        source = MatrixSource(streams[:40], chunk_size=20)
+        run_protocol_sharded(
+            source, algorithm=["capp"] * 40, epsilon=1.0, w=10, seed=1,
+            checkpoint_dir=checkpoint,
+        )
+        with pytest.raises(ValueError, match="different run configuration"):
+            run_protocol_sharded(
+                source, algorithm=["app"] * 40, epsilon=1.0, w=10, seed=1,
+                checkpoint_dir=checkpoint,
+            )
+        # The same assignment still resumes cleanly.
+        again = run_protocol_sharded(
+            source, algorithm=["capp"] * 40, epsilon=1.0, w=10, seed=1,
+            checkpoint_dir=checkpoint,
+        )
+        assert again.n_resumed == 2
+
+
+class TestRuntimeSemantics:
+    def test_scenario_source_uses_its_churn_schedule(self):
+        spec = make_scenario("churn", n_users=120, horizon=40)
+        source = ScenarioSource(spec, chunk_size=40, seed=2)
+        result = run_protocol_sharded(source, epsilon=1.0, w=8, seed=3)
+        # Churn means not everyone reports every slot.
+        assert result.collector.n_reports < 120 * 40
+        assert result.n_shards == 3
+        result.assert_valid()
+
+    def test_heterogeneous_algorithms_sliced_per_shard(self, streams):
+        names = (["capp", "app", "ipp", "sw-direct"] * 60)[: streams.shape[0]]
+        result = run_protocol_sharded(
+            MatrixSource(streams, chunk_size=100),
+            algorithm=names, epsilon=2.0, w=5, seed=4,
+        )
+        assert result.collector.n_reports == streams.size
+        for user_id in (0, 1, 2, 3, 101, 238):
+            assert result.user_algorithm(user_id) == names[user_id]
+
+    def test_algorithm_sequence_too_short(self, streams):
+        with pytest.raises(ValueError, match="too short"):
+            run_protocol_sharded(
+                MatrixSource(streams, chunk_size=100),
+                algorithm=["capp"] * 10, epsilon=1.0, w=10,
+            )
+
+    def test_record_history_off_blocks_ledger_queries(self, streams):
+        result = run_protocol_sharded(streams[:20], epsilon=1.0, w=10, seed=0)
+        with pytest.raises(RuntimeError, match="record_history"):
+            result.user_budget_spends(0)
+        assert result.max_window_spend().shape == (20,)
+        result.assert_valid()
+
+    def test_track_users_merges_per_user_views(self, streams):
+        result = run_protocol_sharded(
+            MatrixSource(streams[:30], chunk_size=10),
+            epsilon=1.0, w=10, seed=0, track_users=True,
+        )
+        assert result.collector.n_users == 30
+        assert result.collector.user_series(25).shape == (streams.shape[1],)
+
+    def test_keep_reports_false_streams_aggregates_only(self, streams):
+        """Extreme-scale mode: nothing O(users x slots) survives the run."""
+        result = run_protocol_sharded(
+            MatrixSource(streams, chunk_size=80),
+            epsilon=1.0, w=10, seed=0, keep_reports=False,
+        )
+        assert result.collector.n_reports == streams.size
+        assert result.collector.population_mean_series().shape == (streams.shape[1],)
+        assert result.collector.state.slot_values == {}
+        with pytest.raises(RuntimeError, match="keep_reports"):
+            result.collector.estimate_slot_distribution(0)
+        result.assert_valid()
+
+    def test_keep_reports_false_checkpoints_stay_small(self, streams, tmp_path):
+        checkpoint = tmp_path / "lean"
+        lean = run_protocol_sharded(
+            MatrixSource(streams, chunk_size=120), epsilon=1.0, w=10, seed=2,
+            keep_reports=False, checkpoint_dir=checkpoint,
+        )
+        resumed = run_protocol_sharded(
+            MatrixSource(streams, chunk_size=120), epsilon=1.0, w=10, seed=2,
+            keep_reports=False, checkpoint_dir=checkpoint,
+        )
+        assert resumed.n_resumed == 2
+        np.testing.assert_array_equal(_series(lean), _series(resumed))
+        # Without report arrays a shard snapshot is O(slots), not O(users*slots).
+        shard_bytes = max(
+            p.stat().st_size for p in checkpoint.glob("shard-*.json")
+        )
+        assert shard_bytes < 40_000
+
+    def test_on_shard_callback(self, streams):
+        seen = []
+        run_protocol_sharded(
+            MatrixSource(streams[:50], chunk_size=10),
+            epsilon=1.0, w=10, seed=0, on_shard=lambda s: seen.append(s.index),
+        )
+        assert sorted(seen) == [0, 1, 2, 3, 4]
+
+    def test_empty_population(self):
+        result = run_protocol_sharded(np.empty((0, 5)), epsilon=1.0, w=10)
+        assert result.n_users == 0
+        assert result.collector.n_reports == 0
+        assert result.horizon == 5
+        assert result.true_population_mean().size == 0
+        result.assert_valid()
+
+    def test_unknown_user_lookup(self, streams):
+        result = run_protocol_sharded(streams[:10], epsilon=1.0, w=10)
+        with pytest.raises(KeyError, match="no shard contains"):
+            result.user_algorithm(99)
+
+    def test_non_contiguous_source_rejected(self):
+        class GappySource(StreamSource):
+            @property
+            def horizon(self):
+                return 4
+
+            def chunks(self):
+                yield PopulationChunk(0, 0, np.full((3, 4), 0.5))
+                yield PopulationChunk(1, 5, np.full((3, 4), 0.5))
+
+        with pytest.raises(ValueError, match="non-contiguous"):
+            run_protocol_sharded(GappySource(), epsilon=1.0, w=10)
+
+    def test_invalid_worker_count(self, streams):
+        with pytest.raises(ValueError, match="max_workers"):
+            run_protocol_sharded(streams[:5], max_workers=0)
