@@ -1,0 +1,83 @@
+"""Live ingestion bench: sustained throughput and slot-finalization tail.
+
+Serves a population through the live pipeline (`repro.service`) and
+records sustained reports/sec plus p50/p99 slot-finalization latency for
+each producer configuration.  The merged estimates are asserted
+bit-identical across worker counts — the bench doubles as the live
+determinism gate — and the best configuration must clear a throughput
+floor (the serving-readiness acceptance bar).
+
+Sized through the environment so CI smoke jobs run it at toy scale:
+
+* ``REPRO_BENCH_INGEST_USERS`` / ``REPRO_BENCH_INGEST_SLOTS`` —
+  population shape (default 20000 x 50).
+* ``REPRO_BENCH_INGEST_SHARDS`` — user-shards / producers (default 4).
+* ``REPRO_BENCH_INGEST_WORKERS`` — space-separated producer thread
+  counts (default "1 2 4"; 1 is the strict serial slot clock).
+* ``REPRO_BENCH_INGEST_MIN_RPS`` — sustained reports/sec floor the best
+  configuration must clear (default 100000).
+"""
+
+import os
+
+import numpy as np
+
+from repro.runtime import MatrixSource
+from repro.service import run_live
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def test_ingestion_throughput(record_table):
+    n_users = _env_int("REPRO_BENCH_INGEST_USERS", 20_000)
+    horizon = _env_int("REPRO_BENCH_INGEST_SLOTS", 50)
+    n_shards = _env_int("REPRO_BENCH_INGEST_SHARDS", 4)
+    min_rps = _env_int("REPRO_BENCH_INGEST_MIN_RPS", 100_000)
+    workers = [
+        int(token)
+        for token in os.environ.get("REPRO_BENCH_INGEST_WORKERS", "1 2 4").split()
+    ]
+
+    matrix = np.random.default_rng(0).random((n_users, horizon))
+    chunk = -(-n_users // n_shards)  # ceil division
+
+    lines = [
+        f"live ingestion at {n_users} users x {horizon} slots "
+        f"({n_shards} shards, chunk={chunk}, {os.cpu_count()} cpus)",
+        "  workers   reports/s   p50 slot ms   p99 slot ms   backpressure",
+    ]
+    reference = None
+    best_rps = 0.0
+    for max_workers in workers:
+        result = run_live(
+            MatrixSource(matrix, chunk_size=chunk),
+            epsilon=1.0,
+            w=10,
+            seed=1,
+            max_workers=max_workers,
+            queue_capacity=max(2 * n_shards, 8),
+            coalesce=n_shards,
+        )
+        assert result.n_reports == n_users * horizon
+        rps = result.reports_per_second
+        best_rps = max(best_rps, rps)
+        waits = 0 if result.queue_stats is None else result.queue_stats.producer_waits
+        lines.append(
+            f"  {max_workers:7d} {rps:11.0f} "
+            f"{result.latency_quantile(0.50) * 1e3:13.3f} "
+            f"{result.latency_quantile(0.99) * 1e3:13.3f} {waits:14d}"
+        )
+        series = result.population_mean_series()
+        if reference is None:
+            reference = series
+        else:
+            # Producer threading must never change the answer, bit for bit.
+            np.testing.assert_array_equal(series, reference)
+    lines.append(f"  floor: {min_rps} reports/s (best observed {best_rps:.0f})")
+    record_table("ingestion_throughput", "\n".join(lines))
+    assert best_rps >= min_rps, (
+        f"sustained ingestion throughput {best_rps:.0f} reports/s is below "
+        f"the {min_rps} reports/s serving floor"
+    )

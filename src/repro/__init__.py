@@ -20,6 +20,8 @@ Packages:
 * :mod:`repro.datasets` — synthetic generators and real-data substitutes.
 * :mod:`repro.metrics` — MSE, cosine, Wasserstein, JSD.
 * :mod:`repro.analysis` — collector-side estimation, crowd-level stats.
+* :mod:`repro.runtime` — sharded out-of-core population execution.
+* :mod:`repro.service` — live slot-clocked ingestion and serving.
 * :mod:`repro.experiments` — runners reproducing every table and figure.
 """
 

@@ -19,6 +19,7 @@ from .streaming_queries import (
     StreamingQuery,
     StreamingQueryEngine,
     ThresholdAlert,
+    standard_dashboard,
 )
 from .trends import (
     TrendSegment,
@@ -38,6 +39,7 @@ __all__ = [
     "RollingExtrema",
     "RollingTrend",
     "ThresholdAlert",
+    "standard_dashboard",
     "linear_trend",
     "rolling_trend",
     "classify_trend",

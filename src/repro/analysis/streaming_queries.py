@@ -8,11 +8,21 @@ O(window) memory per query.
 
 All inputs are already-published (ε-sanitized) values, so everything
 here is privacy-free post-processing.
+
+Non-finite inputs are rejected everywhere, not just at the engine's
+``push`` boundary: a single NaN folded into :class:`RollingMean`'s
+running sum would poison every later answer (NaN never leaves a running
+sum, even after the offending value slides out of the window), and a
+NaN-poisoned mean silently disables :class:`ThresholdAlert` (every
+comparison with NaN is False, so the alert can neither fire nor clear).
+Each query therefore validates in ``update`` as well, so state can never
+be corrupted through direct query access either.
 """
 
 from __future__ import annotations
 
 import abc
+import math
 from collections import deque
 from typing import Deque, Dict, Optional
 
@@ -28,11 +38,25 @@ __all__ = [
     "RollingTrend",
     "ThresholdAlert",
     "StreamingQueryEngine",
+    "standard_dashboard",
 ]
 
 
+def _ensure_finite(value: float) -> float:
+    """Coerce one published value to float, rejecting NaN/inf."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"published values must be finite, got {value}")
+    return value
+
+
 class StreamingQuery(abc.ABC):
-    """One standing query: consumes values, exposes a current answer."""
+    """One standing query: consumes values, exposes a current answer.
+
+    ``update`` implementations must reject non-finite values (use
+    :func:`_ensure_finite`) — see the module docstring for why a single
+    NaN would otherwise corrupt rolling state permanently.
+    """
 
     @abc.abstractmethod
     def update(self, value: float) -> None:
@@ -56,7 +80,7 @@ class RollingMean(StreamingQuery):
         self._sum = 0.0
 
     def update(self, value: float) -> None:
-        value = float(value)
+        value = _ensure_finite(value)
         if len(self._buffer) == self.window:
             self._sum -= self._buffer[0]
         self._buffer.append(value)
@@ -80,7 +104,7 @@ class RollingExtrema(StreamingQuery):
         self._buffer: Deque[float] = deque(maxlen=self.window)
 
     def update(self, value: float) -> None:
-        self._buffer.append(float(value))
+        self._buffer.append(_ensure_finite(value))
 
     def answer(self) -> Optional["tuple[float, float]"]:
         if not self._buffer:
@@ -101,7 +125,7 @@ class RollingTrend(StreamingQuery):
         self._buffer: Deque[float] = deque(maxlen=self.window)
 
     def update(self, value: float) -> None:
-        self._buffer.append(float(value))
+        self._buffer.append(_ensure_finite(value))
 
     def answer(self) -> Optional[float]:
         if len(self._buffer) < 2:
@@ -208,3 +232,29 @@ class StreamingQueryEngine:
         for query in self._queries.values():
             query.reset()
         self._n_seen = 0
+
+
+def standard_dashboard(
+    window: int = 5,
+    alert_threshold: float = 0.52,
+    alert_above: bool = True,
+) -> StreamingQueryEngine:
+    """The canonical serving dashboard: mean, extrema, trend, alert.
+
+    One engine with the four standing queries every live surface (the
+    live study, the serve-replay CLI, the dashboard example) registers:
+    ``rolling_mean``, ``extrema``, ``trend`` (window at least 2 — a
+    1-slot trend can never answer), and ``alert`` on the rolling mean.
+    The 0.52 default threshold sits just above the resting raw-report
+    mean: per-slot SW reports shrink the signal toward 0.5 at strong
+    per-report privacy, so alerting at the *true* burst level would
+    never fire.
+    """
+    engine = StreamingQueryEngine()
+    engine.register("rolling_mean", RollingMean(window))
+    engine.register("extrema", RollingExtrema(window))
+    engine.register("trend", RollingTrend(max(window, 2)))
+    engine.register(
+        "alert", ThresholdAlert(window, alert_threshold, above=alert_above)
+    )
+    return engine

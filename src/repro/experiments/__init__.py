@@ -29,6 +29,7 @@ from .runner import (
     publication_cosine_distance,
     publication_jsd,
     run_epsilon_sweep,
+    run_live_study,
     run_scenario_study,
     sample_subsequences,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "algorithm_names",
     "ALGORITHM_FACTORIES",
     "run_epsilon_sweep",
+    "run_live_study",
     "run_scenario_study",
     "sample_subsequences",
     "mean_squared_error_of_mean",

@@ -6,10 +6,18 @@ Usage::
     python -m repro fig4 --datasets c6h6 volume --windows 10 30 --scale 0.5
     python -m repro fig11 --scale 0.25
     python -m repro scenarios --shards 4 --scale 0.5
+    python -m repro live --shards 2 --scale 0.5
+    python -m repro serve-replay --datasets bursty --shards 2 \
+        --sink events.jsonl --record-batches
     python -m repro list
 
 ``--scale`` multiplies the default subsequence/repeat counts, letting a
 laptop trade accuracy for speed (1.0 reproduces the bench defaults).
+
+``serve-replay`` streams a scenario workload through the live ingestion
+pipeline (:mod:`repro.service`) with a standing dashboard, optionally
+writing every event to a JSONL sink; with ``--record-batches`` the sink
+is a complete replayable capture of the run.
 """
 
 from __future__ import annotations
@@ -238,11 +246,105 @@ def _run_scenarios(args: argparse.Namespace) -> str:
     return format_table(["scenario"] + list(algorithms), rows, title=title)
 
 
+def _run_live(args: argparse.Namespace) -> str:
+    from ..runtime.scenarios import SCENARIOS
+    from .runner import run_live_study
+
+    if args.sink or args.record_batches:
+        print(
+            "note: --sink/--record-batches apply to serve-replay only; "
+            "the live study runs without an event log",
+            file=sys.stderr,
+        )
+    scenarios = tuple(args.datasets or sorted(SCENARIOS))
+    study = run_live_study(
+        scenarios=scenarios,
+        n_users=_scaled(2_000, args.scale),
+        horizon=_scaled(96, args.scale),
+        epsilon=(args.epsilons or [1.0])[0],
+        w=(args.windows or [10])[0],
+        n_shards=max(args.shards, 1),
+        alert_window=args.dashboard_window,
+        alert_threshold=args.alert_threshold,
+        queue_capacity=args.queue_capacity,
+        coalesce=args.coalesce,
+        seed=args.seed,
+    )
+    columns = [
+        "mse",
+        "reports_per_sec",
+        "p99_latency_ms",
+        "alerts_fired",
+        "bit_identical",
+    ]
+    rows = [
+        [scenario] + [study[scenario][column] for column in columns]
+        for scenario in scenarios
+    ]
+    return format_table(
+        ["scenario", "MSE", "reports/s", "p99 ms", "alerts", "bit-identical"],
+        rows,
+        title="Live serving study (live pipeline vs offline runtime)",
+    )
+
+
+def _run_serve_replay(args: argparse.Namespace) -> str:
+    from ..analysis.streaming_queries import standard_dashboard
+    from ..runtime import ScenarioSource, make_scenario
+    from ..service import JSONLSink, run_live
+
+    scenario = (args.datasets or ["diurnal"])[0]
+    n_users = _scaled(2_000, args.scale)
+    horizon = _scaled(96, args.scale)
+    n_shards = max(args.shards, 1)
+    window = args.dashboard_window
+
+    spec = make_scenario(scenario, n_users=n_users, horizon=horizon)
+    source = ScenarioSource(spec, chunk_size=-(-n_users // n_shards), seed=args.seed)
+
+    dashboard = standard_dashboard(window, args.alert_threshold)
+
+    sinks = [JSONLSink(args.sink)] if args.sink else []
+    result = run_live(
+        source,
+        algorithm="capp",
+        epsilon=(args.epsilons or [1.0])[0],
+        w=(args.windows or [10])[0],
+        seed=args.seed + 1,
+        max_workers=n_shards,
+        queue_capacity=args.queue_capacity,
+        coalesce=args.coalesce,
+        sinks=sinks,
+        dashboards={"dashboard": dashboard},
+        record_batches=args.record_batches,
+    )
+
+    alert = dashboard.query("alert")
+    rows = [
+        ["scenario", scenario],
+        ["users x slots", f"{n_users} x {horizon}"],
+        ["shards (producers)", n_shards],
+        ["reports ingested", result.n_reports],
+        ["reports/s sustained", f"{result.reports_per_second:.0f}"],
+        ["p99 slot latency", f"{result.latency_quantile(0.99) * 1e3:.3f} ms"],
+        ["alerts fired", alert.fired_count],
+        ["final rolling mean", dashboard.answers()["rolling_mean"]],
+    ]
+    if result.queue_stats is not None:
+        rows.append(["backpressure waits", result.queue_stats.producer_waits])
+        rows.append(["mean coalesced drain", f"{result.queue_stats.mean_drain:.2f}"])
+    if args.sink:
+        rows.append(["event log", args.sink])
+    return format_table(["metric", "value"], rows, title="Live serve-replay")
+
+
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "table1": _run_table1,
     "models": _run_models,
     "distribution": _run_distribution,
     "scenarios": _run_scenarios,
+    "live": _run_live,
+    "serve-replay": _run_serve_replay,
     "fig4": _run_fig_grid(run_fig4, "Fig.4"),
     "fig5": _run_fig_grid(run_fig5, "Fig.5"),
     "fig6": _run_fig6_like(run_fig6, "Fig.6"),
@@ -283,6 +385,46 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments like 'scenarios' (default: unsharded)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    live = parser.add_argument_group("live serving (live / serve-replay)")
+    live.add_argument(
+        "--sink",
+        metavar="PATH",
+        help="JSONL event-log path (serve-replay only; omit for no log)",
+    )
+    live.add_argument(
+        "--record-batches",
+        action="store_true",
+        help="record every ingested batch in the sink, making the log a "
+        "replayable capture (serve-replay only)",
+    )
+    live.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=256,
+        help="bounded-queue capacity before producers block (default 256)",
+    )
+    live.add_argument(
+        "--coalesce",
+        type=int,
+        default=8,
+        help="max batches drained per consumer lock round-trip (default 8)",
+    )
+    live.add_argument(
+        "--dashboard-window",
+        type=int,
+        default=5,
+        help="rolling window (slots) for the standing dashboard queries — "
+        "independent of the w-event privacy window set via --windows "
+        "(default 5)",
+    )
+    live.add_argument(
+        "--alert-threshold",
+        type=float,
+        default=0.52,
+        help="dashboard threshold-alert level on the rolling slot mean "
+        "(default 0.52 — raw-report means compress the signal toward "
+        "0.5 at strong per-report privacy, so alert just above rest)",
+    )
     return parser
 
 

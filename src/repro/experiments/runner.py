@@ -27,6 +27,7 @@ __all__ = [
     "SweepResult",
     "run_epsilon_sweep",
     "run_scenario_study",
+    "run_live_study",
 ]
 
 Metric = Callable[[StreamPerturber, np.ndarray, np.random.Generator], float]
@@ -199,4 +200,92 @@ def run_scenario_study(
             )
             per_algorithm[name] = run.population_mean_mse()
         results[scenario] = per_algorithm
+    return results
+
+
+def run_live_study(
+    scenarios: Iterable[str] = ("steady", "diurnal", "bursty", "churn", "drift"),
+    algorithm: str = "capp",
+    n_users: int = 2_000,
+    horizon: int = 96,
+    epsilon: float = 1.0,
+    w: int = 10,
+    n_shards: int = 2,
+    max_workers: Optional[int] = None,
+    alert_window: int = 5,
+    alert_threshold: float = 0.52,
+    queue_capacity: int = 256,
+    coalesce: int = 8,
+    seed: int = 0,
+) -> "Dict[str, Dict[str, float]]":
+    """Serve each scenario live and cross-check against the offline runtime.
+
+    Every scenario workload is streamed through the live ingestion
+    pipeline (:mod:`repro.service`) with a standing dashboard (rolling
+    mean, extrema, trend, threshold alert) and, in parallel with the
+    serving metrics, re-executed through the offline sharded runtime to
+    verify the two paths agree bit-for-bit — the live pipeline is an
+    execution mode of the same protocol, not a different estimator.
+
+    Args:
+        scenarios: preset names from the scenario registry.
+        algorithm: online algorithm every user runs.
+        n_users, horizon: population shape per scenario.
+        epsilon, w: w-event privacy parameters.
+        n_shards: user-shards (and live producer feeds) per run.
+        max_workers: producer threads (default: ``n_shards``).
+        alert_window, alert_threshold: the dashboard's rolling window and
+            threshold-alert configuration (fires when the rolling mean
+            crosses it).
+        queue_capacity, coalesce: live-pipeline admission control (see
+            :class:`~repro.service.BoundedBatchQueue`).
+        seed: scenario-data and protocol randomness root seed.
+
+    Returns:
+        ``{scenario: {"mse", "reports_per_sec", "p99_latency_ms",
+        "alerts_fired", "bit_identical"}}`` — ``bit_identical`` is 1.0
+        when the live and offline estimate series match exactly.
+    """
+    from ..analysis.streaming_queries import standard_dashboard
+    from ..runtime import ScenarioSource, make_scenario, run_protocol_sharded
+    from ..service import run_live
+
+    n_shards = ensure_positive_int(n_shards, "n_shards")
+    n_users = ensure_positive_int(n_users, "n_users")
+    chunk = -(-n_users // n_shards)  # ceil division
+    results: Dict[str, Dict[str, float]] = {}
+    for scenario in scenarios:
+        spec = make_scenario(scenario, n_users=n_users, horizon=horizon)
+        source = ScenarioSource(spec, chunk_size=chunk, seed=seed)
+
+        dashboard = standard_dashboard(alert_window, alert_threshold)
+
+        live = run_live(
+            source,
+            algorithm=algorithm,
+            epsilon=epsilon,
+            w=w,
+            seed=seed + 1,
+            max_workers=n_shards if max_workers is None else max_workers,
+            queue_capacity=queue_capacity,
+            coalesce=coalesce,
+            dashboards={"study": dashboard},
+        )
+        offline = run_protocol_sharded(
+            source, algorithm=algorithm, epsilon=epsilon, w=w, seed=seed + 1
+        )
+        matches = bool(
+            np.array_equal(
+                live.population_mean_series(),
+                offline.collector.population_mean_series(),
+            )
+        )
+        alert = dashboard.query("alert")
+        results[scenario] = {
+            "mse": offline.population_mean_mse(),
+            "reports_per_sec": live.reports_per_second,
+            "p99_latency_ms": live.latency_quantile(0.99) * 1e3,
+            "alerts_fired": float(alert.fired_count),
+            "bit_identical": 1.0 if matches else 0.0,
+        }
     return results

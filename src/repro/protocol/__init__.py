@@ -7,6 +7,7 @@ from .user import ONLINE_ALGORITHMS, UserAgent
 from .vectorized import (
     BATCH_ALGORITHMS,
     PopulationGroup,
+    PopulationSlotEngine,
     VectorizedSimulationResult,
     run_protocol_vectorized,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "ONLINE_ALGORITHMS",
     "BATCH_ALGORITHMS",
     "PopulationGroup",
+    "PopulationSlotEngine",
     "VectorizedSimulationResult",
     "run_protocol_vectorized",
 ]

@@ -37,6 +37,7 @@ from .simulation import population_mean_mse
 __all__ = [
     "BATCH_ALGORITHMS",
     "PopulationGroup",
+    "PopulationSlotEngine",
     "VectorizedSimulationResult",
     "run_protocol_vectorized",
 ]
@@ -110,6 +111,182 @@ class VectorizedSimulationResult:
         return group.engine.accountant.user_spends(position)
 
 
+class PopulationSlotEngine:
+    """Incremental, slot-by-slot executor of the population protocol.
+
+    Owns everything the user side of one (sub)population needs — the
+    per-algorithm batched engines, the participation schedule, and the
+    master generator — and sanitizes one time slot per :meth:`step` call.
+    :func:`run_protocol_vectorized` drives one instance over a full
+    ``(users, slots)`` matrix; the live ingestion service
+    (:mod:`repro.service`) drives one instance per user-shard, advancing
+    all shards in lockstep on a shared slot clock.
+
+    Randomness contract: construction draws one group-seed block from the
+    master generator and each :meth:`step` draws at most one
+    participation mask, in slot order — exactly the consumption order of
+    the batch run, so stepping a shard live or replaying it offline
+    yields bit-identical reports for the same generator.
+
+    Args:
+        n_users: number of users driven by this engine.
+        horizon: number of slots the schedule covers; :meth:`step` may be
+            called at most ``horizon`` times.
+        algorithm: one online-algorithm name for every user, or one name
+            per user (cohorts are grouped like the batch runner).
+        epsilon, w: w-event privacy parameters shared by all users.
+        participation: per-(user, slot) reporting probability — scalar or
+            ``(horizon,)`` schedule.
+        rng: master generator (group seeds + participation masks).
+        record_history: keep full per-slot budget ledgers.
+        user_id_offset: global id of user row 0 (shard placement).
+    """
+
+    def __init__(
+        self,
+        n_users: int,
+        horizon: int,
+        algorithm: "str | Sequence[str]" = "capp",
+        epsilon: float = 1.0,
+        w: int = 10,
+        participation: "float | Sequence[float]" = 1.0,
+        rng: Optional[np.random.Generator] = None,
+        record_history: bool = True,
+        user_id_offset: int = 0,
+    ) -> None:
+        # Zero users (and, for an empty population, zero slots) are valid,
+        # matching ensure_stream_matrix's contract for the batch runner.
+        self.n_users = int(n_users)
+        self.horizon = int(horizon)
+        if self.n_users < 0:
+            raise ValueError(f"n_users must be non-negative, got {n_users}")
+        if self.horizon < 0 or (self.horizon == 0 and self.n_users > 0):
+            raise ValueError(
+                f"horizon must be positive (got {horizon}) unless the "
+                "population is empty"
+            )
+        rng = ensure_rng(rng)
+
+        if isinstance(algorithm, str):
+            algorithms = [algorithm] * self.n_users
+        else:
+            algorithms = list(algorithm)
+            if len(algorithms) != self.n_users:
+                raise ValueError(
+                    f"got {len(algorithms)} algorithm names for {self.n_users} users"
+                )
+        schedule = np.asarray(participation, dtype=float)
+        if schedule.ndim == 0:
+            if not 0.0 < float(schedule) <= 1.0:
+                raise ValueError(
+                    f"participation must be in (0, 1], got {participation}"
+                )
+            schedule = np.full(self.horizon, float(schedule))
+        elif schedule.ndim == 1:
+            if schedule.shape[0] != self.horizon:
+                raise ValueError(
+                    f"participation schedule must have one entry per slot "
+                    f"({self.horizon}), got {schedule.shape[0]}"
+                )
+            if schedule.size and not (
+                np.all(schedule >= 0.0) and np.all(schedule <= 1.0)
+            ):
+                raise ValueError("participation schedule entries must lie in [0, 1]")
+        else:
+            raise ValueError(
+                "participation must be a scalar or a (T,) per-slot schedule, "
+                f"got shape {schedule.shape}"
+            )
+        user_id_offset = int(user_id_offset)
+        if user_id_offset < 0:
+            raise ValueError(
+                f"user_id_offset must be non-negative, got {user_id_offset}"
+            )
+
+        # Group users by algorithm (first-appearance order, like the
+        # paper's heterogeneous deployments); one batched engine per cohort.
+        members: "dict[str, list[int]]" = {}
+        for i, name in enumerate(algorithms):
+            key = name.lower()
+            if key not in BATCH_ALGORITHMS:
+                known = ", ".join(sorted(BATCH_ALGORITHMS))
+                raise KeyError(f"unknown online algorithm {name!r}; known: {known}")
+            members.setdefault(key, []).append(i)
+
+        seeds = rng.integers(0, 2**63 - 1, size=len(members))
+        self._group_rows = [
+            np.asarray(indices, dtype=np.intp) for indices in members.values()
+        ]
+        self.groups = [
+            PopulationGroup(
+                algorithm=name,
+                indices=rows + user_id_offset,
+                engine=BATCH_ALGORITHMS[name](
+                    epsilon,
+                    w,
+                    rows.size,
+                    np.random.default_rng(seed),
+                    record_history=record_history,
+                ),
+            )
+            for (name, rows), seed in zip(zip(members, self._group_rows), seeds)
+        ]
+        self.user_id_offset = user_id_offset
+        self._schedule = schedule
+        self._rng = rng
+        self._all_ids = np.arange(self.n_users) + user_id_offset
+        self._t = 0
+
+    @property
+    def slots_processed(self) -> int:
+        """How many slots have been stepped so far."""
+        return self._t
+
+    def step(
+        self, values: "Sequence[float] | np.ndarray"
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Sanitize the next slot for the whole (sub)population.
+
+        Args:
+            values: ``(n_users,)`` true values in ``[0, 1]`` for this slot
+                (non-participants' entries are ignored).
+
+        Returns:
+            ``(ids, reports)`` — the participating users' global ids and
+            their perturbed reports, ready for
+            :meth:`~repro.protocol.Collector.ingest_batch`.  Both are
+            empty when nobody participates.
+        """
+        if self._t >= self.horizon:
+            raise RuntimeError(
+                f"all {self.horizon} slots already stepped; the engine's "
+                "schedule (and budget ledger) covers a fixed horizon"
+            )
+        column = np.asarray(values, dtype=float)
+        if column.shape != (self.n_users,):
+            raise ValueError(
+                f"values must have shape ({self.n_users},), got {column.shape}"
+            )
+        probability = float(self._schedule[self._t])
+        mask = None
+        if probability < 1.0:
+            mask = self._rng.random(self.n_users) < probability
+        reports = np.full(self.n_users, np.nan)
+        for group, rows in zip(self.groups, self._group_rows):
+            sub_mask = None if mask is None else mask[rows]
+            reports[rows] = group.engine.submit(column[rows], sub_mask)
+        self._t += 1
+        if mask is None:
+            return self._all_ids, reports
+        active = np.flatnonzero(mask)
+        return active + self.user_id_offset, reports[active]
+
+    def assert_valid(self) -> None:
+        """Run every cohort's w-event budget audit (raises on overspend)."""
+        for group in self.groups:
+            group.engine.accountant.assert_valid()
+
+
 def run_protocol_vectorized(
     streams: Sequence[Sequence[float]],
     algorithm: "str | Sequence[str]" = "capp",
@@ -175,100 +352,34 @@ def run_protocol_vectorized(
     # construction — otherwise invalid values hiding behind dropout masks
     # would be accepted or rejected nondeterministically.
     matrix = ensure_stream_matrix(streams)
-    rng = ensure_rng(rng)
     n_users, horizon = matrix.shape
 
-    if isinstance(algorithm, str):
-        algorithms = [algorithm] * n_users
-    else:
-        algorithms = list(algorithm)
-        if len(algorithms) != n_users:
-            raise ValueError(
-                f"got {len(algorithms)} algorithm names for {n_users} users"
-            )
-    schedule = np.asarray(participation, dtype=float)
-    if schedule.ndim == 0:
-        if not 0.0 < float(schedule) <= 1.0:
-            raise ValueError(f"participation must be in (0, 1], got {participation}")
-        schedule = np.full(horizon, float(schedule))
-    elif schedule.ndim == 1:
-        if schedule.shape[0] != horizon:
-            raise ValueError(
-                f"participation schedule must have one entry per slot "
-                f"({horizon}), got {schedule.shape[0]}"
-            )
-        if schedule.size and not (
-            np.all(schedule >= 0.0) and np.all(schedule <= 1.0)
-        ):
-            raise ValueError("participation schedule entries must lie in [0, 1]")
-    else:
-        raise ValueError(
-            "participation must be a scalar or a (T,) per-slot schedule, "
-            f"got shape {schedule.shape}"
-        )
-    user_id_offset = int(user_id_offset)
-    if user_id_offset < 0:
-        raise ValueError(f"user_id_offset must be non-negative, got {user_id_offset}")
-
-    # Group users by algorithm (first-appearance order, like the paper's
-    # heterogeneous deployments); one batched engine drives each cohort.
-    members: "dict[str, list[int]]" = {}
-    for i, name in enumerate(algorithms):
-        key = name.lower()
-        if key not in BATCH_ALGORITHMS:
-            known = ", ".join(sorted(BATCH_ALGORITHMS))
-            raise KeyError(f"unknown online algorithm {name!r}; known: {known}")
-        members.setdefault(key, []).append(i)
-
-    seeds = rng.integers(0, 2**63 - 1, size=len(members))
-    group_rows = [
-        np.asarray(indices, dtype=np.intp) for indices in members.values()
-    ]
-    groups = [
-        PopulationGroup(
-            algorithm=name,
-            indices=rows + user_id_offset,
-            engine=BATCH_ALGORITHMS[name](
-                epsilon,
-                w,
-                rows.size,
-                np.random.default_rng(seed),
-                record_history=record_history,
-            ),
-        )
-        for (name, rows), seed in zip(zip(members, group_rows), seeds)
-    ]
-
+    stepper = PopulationSlotEngine(
+        n_users,
+        horizon,
+        algorithm=algorithm,
+        epsilon=epsilon,
+        w=w,
+        participation=participation,
+        rng=rng,
+        record_history=record_history,
+        user_id_offset=user_id_offset,
+    )
     collector = Collector(
         epsilon_per_report=epsilon / w,
         smoothing_window=smoothing_window,
         track_users=track_users,
         keep_reports=keep_reports,
     )
-    all_ids = np.arange(n_users) + user_id_offset
 
     for t in range(horizon):
-        probability = float(schedule[t])
-        mask = None
-        if probability < 1.0:
-            mask = rng.random(n_users) < probability
-        reports = np.full(n_users, np.nan)
-        for group, rows in zip(groups, group_rows):
-            sub_mask = None if mask is None else mask[rows]
-            reports[rows] = group.engine.submit(matrix[rows, t], sub_mask)
-        if mask is None:
-            collector.ingest_batch(t, all_ids, reports)
-        else:
-            active = np.flatnonzero(mask)
-            if active.size:
-                collector.ingest_batch(
-                    t, active + user_id_offset, reports[active]
-                )
+        ids, reports = stepper.step(matrix[:, t])
+        if ids.size:
+            collector.ingest_batch(t, ids, reports)
         if on_slot is not None:
             on_slot(t)
 
-    for group in groups:
-        group.engine.accountant.assert_valid()
+    stepper.assert_valid()
     return VectorizedSimulationResult(
-        collector=collector, groups=groups, true_matrix=matrix
+        collector=collector, groups=stepper.groups, true_matrix=matrix
     )

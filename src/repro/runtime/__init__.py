@@ -25,6 +25,7 @@ from .sharding import (
     ShardResult,
     ShardedRunResult,
     run_protocol_sharded,
+    shard_rng,
 )
 from .sources import (
     DEFAULT_CHUNK_SIZE,
@@ -39,6 +40,7 @@ from .sources import (
 
 __all__ = [
     "run_protocol_sharded",
+    "shard_rng",
     "ShardedRunResult",
     "ShardResult",
     "GroupLedger",

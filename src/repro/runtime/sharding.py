@@ -60,6 +60,7 @@ __all__ = [
     "ShardResult",
     "ShardedRunResult",
     "run_protocol_sharded",
+    "shard_rng",
 ]
 
 _CHECKPOINT_FORMAT = "repro.shard-checkpoint.v1"
@@ -263,8 +264,14 @@ class ShardedRunResult:
         return float(np.mean((estimated - truth) ** 2))
 
 
-def _shard_rng(seed: int, chunk_index: int) -> np.random.Generator:
-    """The deterministic child generator for one shard."""
+def shard_rng(seed: int, chunk_index: int) -> np.random.Generator:
+    """The deterministic child generator for one shard.
+
+    Shared by every execution mode that runs a user-shard — the offline
+    sharded runtime here and the live ingestion service
+    (:mod:`repro.service`) — so a shard's randomness depends only on
+    ``(seed, chunk_index)``, never on how or where the shard executes.
+    """
     return np.random.default_rng(
         np.random.SeedSequence(seed, spawn_key=(chunk_index,))
     )
@@ -280,7 +287,7 @@ def _execute_shard(task: "tuple[PopulationChunk, dict]") -> ShardResult:
         w=params["w"],
         smoothing_window=params["smoothing_window"],
         participation=params["participation"],
-        rng=_shard_rng(params["seed"], chunk.index),
+        rng=shard_rng(params["seed"], chunk.index),
         record_history=params["record_history"],
         user_id_offset=chunk.start,
         track_users=params["track_users"],
@@ -308,6 +315,35 @@ def _execute_shard(task: "tuple[PopulationChunk, dict]") -> ShardResult:
 # -- checkpoint store ------------------------------------------------------
 
 
+def _load_checkpoint_json(path: str, what: str) -> Dict[str, Any]:
+    """Read one checkpoint JSON file, failing loudly on corruption.
+
+    A truncated or garbled snapshot (crash mid-write without the rename
+    guard, disk corruption, manual edits) must surface as a clean,
+    actionable error — never as a half-parsed payload silently merged
+    into results.
+    """
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except json.JSONDecodeError as error:
+        raise ValueError(
+            f"corrupted {path}: {what} is not valid JSON ({error}); the "
+            "file is likely truncated — delete it to recompute"
+        ) from error
+    except UnicodeDecodeError as error:
+        raise ValueError(
+            f"corrupted {path}: {what} is not readable text ({error}); "
+            "delete the file to recompute"
+        ) from error
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"corrupted {path}: {what} must be a JSON object, got "
+            f"{type(data).__name__}; delete the file to recompute"
+        )
+    return data
+
+
 class _CheckpointStore:
     """One directory of per-shard JSON snapshots plus a run manifest."""
 
@@ -325,8 +361,7 @@ class _CheckpointStore:
     def _check_meta(self, meta: Dict[str, Any]) -> None:
         path = self._meta_path()
         if os.path.exists(path):
-            with open(path) as fh:
-                existing = json.load(fh)
+            existing = _load_checkpoint_json(path, "run manifest")
             if existing != meta:
                 raise ValueError(
                     f"checkpoint directory {self.directory} belongs to a "
@@ -349,8 +384,17 @@ class _CheckpointStore:
         path = self._shard_path(index)
         if not os.path.exists(path):
             return None
-        with open(path) as fh:
-            return ShardResult.from_dict(json.load(fh))
+        data = _load_checkpoint_json(path, f"shard {index} checkpoint")
+        try:
+            return ShardResult.from_dict(data)
+        except ValueError:
+            raise  # from_dict's format diagnostics are already precise
+        except (KeyError, TypeError) as error:
+            raise ValueError(
+                f"corrupted {path}: shard {index} checkpoint is missing or "
+                f"has malformed fields ({error!r}); delete the file to "
+                "recompute the shard"
+            ) from error
 
     def save(self, shard: ShardResult) -> None:
         self._write_json(self._shard_path(shard.index), shard.to_dict())

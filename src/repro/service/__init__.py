@@ -1,0 +1,44 @@
+"""Live ingestion service: slot-clocked streaming collection.
+
+The serving layer on top of the sharded runtime: users publish one
+sanitized report per timestamp, and the collector answers continuously.
+:mod:`~repro.service.feeds` produces per-slot report batches (live from
+a :class:`~repro.runtime.StreamSource`, or replayed from a JSONL event
+log), :mod:`~repro.service.queueing` applies bounded-queue backpressure
+with batch coalescing, and :mod:`~repro.service.pipeline` runs the
+slot barrier that updates the :class:`~repro.protocol.Collector`
+incrementally, fans finalized estimates out to
+:class:`~repro.analysis.StreamingQueryEngine` dashboards, and emits
+every event to pluggable :mod:`~repro.service.sinks`.
+
+Live results are bit-identical to the offline
+:func:`~repro.runtime.run_protocol_sharded` merge for the same seed and
+chunk decomposition — serving is an execution mode, not a different
+estimator (locked down by the golden-fixture tests).
+"""
+
+from .events import EVENT_LOG_FORMAT, ReportBatch, SlotEstimate
+from .feeds import EventLogSource, ShardFeed, shard_feeds
+from .pipeline import IngestionPipeline, LiveRunResult, replay_event_log, run_live
+from .queueing import BoundedBatchQueue, QueueClosedError, QueueStats
+from .sinks import CallbackSink, JSONLSink, MemorySink, Sink
+
+__all__ = [
+    "EVENT_LOG_FORMAT",
+    "ReportBatch",
+    "SlotEstimate",
+    "ShardFeed",
+    "shard_feeds",
+    "EventLogSource",
+    "IngestionPipeline",
+    "LiveRunResult",
+    "run_live",
+    "replay_event_log",
+    "BoundedBatchQueue",
+    "QueueClosedError",
+    "QueueStats",
+    "Sink",
+    "MemorySink",
+    "JSONLSink",
+    "CallbackSink",
+]

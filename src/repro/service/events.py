@@ -1,0 +1,138 @@
+"""Event types flowing through the live ingestion pipeline.
+
+Two kinds of events exist:
+
+* :class:`ReportBatch` — the *input* unit: one user-shard's sanitized
+  reports for one time slot, produced by a
+  :class:`~repro.service.feeds.ShardFeed` (or replayed from an event
+  log).  A batch may be empty — the pipeline's slot barrier still needs
+  it to know the shard has nothing to say at that slot.
+* :class:`SlotEstimate` — the *output* unit: everything the pipeline
+  knows about a slot at the moment it finalizes (report count,
+  population-mean estimate, every registered dashboard's answers).
+
+Both serialize to JSON-safe records (``to_record``/``from_record``) so
+sinks can persist them and :class:`~repro.service.feeds.EventLogSource`
+can replay a recorded run bit-identically — Python's ``repr``-based JSON
+float encoding round-trips every finite float exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = ["EVENT_LOG_FORMAT", "ReportBatch", "SlotEstimate", "jsonify"]
+
+#: format tag stamped on the ``run_started`` record of every event log
+EVENT_LOG_FORMAT = "repro.live-events.v1"
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively coerce a query answer into JSON-safe builtins.
+
+    Dashboard answers may contain NumPy scalars, tuples (rolling
+    extrema), or ``None`` (warm-up); sinks get plain floats/lists/dicts.
+    """
+    if isinstance(value, dict):
+        return {str(key): jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [jsonify(item) for item in value.tolist()]
+    if isinstance(value, (np.floating, float)):
+        return float(value)
+    if isinstance(value, (np.bool_, bool)):
+        return bool(value)
+    if isinstance(value, (np.integer, int)):
+        return int(value)
+    return value
+
+
+@dataclass(frozen=True)
+class ReportBatch:
+    """One shard's sanitized reports for one time slot.
+
+    ``shard`` is the producing chunk's index — the pipeline ingests a
+    slot's batches in ascending shard order, which is what makes live
+    results bit-identical to the offline merge (shards merge in chunk
+    order there too).  ``user_ids`` and ``values`` are aligned arrays;
+    both may be empty when no member of the shard participated.
+    """
+
+    shard: int
+    t: int
+    user_ids: np.ndarray = field(repr=False)
+    values: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shard", int(self.shard))
+        object.__setattr__(self, "t", int(self.t))
+        ids = np.asarray(self.user_ids)
+        vals = np.asarray(self.values, dtype=float)
+        if ids.ndim != 1 or ids.shape != vals.shape:
+            raise ValueError(
+                f"user_ids and values must be aligned 1-D arrays, got "
+                f"shapes {ids.shape} and {vals.shape}"
+            )
+        if ids.size and not np.issubdtype(ids.dtype, np.integer):
+            raise TypeError(f"user_ids must be integers, got dtype {ids.dtype}")
+        if self.shard < 0:
+            raise ValueError(f"shard must be non-negative, got {self.shard}")
+        if self.t < 0:
+            raise ValueError(f"t must be non-negative, got {self.t}")
+        object.__setattr__(self, "user_ids", ids)
+        object.__setattr__(self, "values", vals)
+
+    @property
+    def n_reports(self) -> int:
+        return self.user_ids.size
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-safe event-log record (exact float round trip)."""
+        return {
+            "type": "batch",
+            "shard": self.shard,
+            "t": self.t,
+            "user_ids": [int(uid) for uid in self.user_ids.tolist()],
+            "values": self.values.tolist(),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "ReportBatch":
+        """Inverse of :meth:`to_record`."""
+        if record.get("type") != "batch":
+            raise ValueError(f"not a batch record: type={record.get('type')!r}")
+        return cls(
+            shard=int(record["shard"]),
+            t=int(record["t"]),
+            user_ids=np.asarray(record["user_ids"], dtype=np.intp),
+            values=np.asarray(record["values"], dtype=float),
+        )
+
+
+@dataclass(frozen=True)
+class SlotEstimate:
+    """Everything the pipeline publishes when one slot finalizes.
+
+    ``mean`` is ``None`` for slots where nobody reported (total churn):
+    the slot still finalizes — dashboards are simply not advanced, since
+    there is no published value to feed them.
+    """
+
+    t: int
+    n_reports: int
+    mean: Optional[float]
+    answers: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-safe sink record."""
+        return {
+            "type": "slot",
+            "t": int(self.t),
+            "n_reports": int(self.n_reports),
+            "mean": None if self.mean is None else float(self.mean),
+            "answers": jsonify(self.answers),
+        }

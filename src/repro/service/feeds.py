@@ -1,0 +1,225 @@
+"""Report-batch producers for the live ingestion pipeline.
+
+Two producer families exist:
+
+* :class:`ShardFeed` — the *live* producer: wraps one population chunk
+  of a :class:`~repro.runtime.sources.StreamSource` together with an
+  incremental :class:`~repro.protocol.PopulationSlotEngine` and
+  sanitizes the chunk's true values into one
+  :class:`~repro.service.events.ReportBatch` per slot.  Feeds built by
+  :func:`shard_feeds` use the exact per-shard child generators of the
+  offline runtime (``SeedSequence(seed, spawn_key=(chunk,))``), so a
+  live run's reports are bit-identical to
+  :func:`~repro.runtime.run_protocol_sharded` for the same seed and
+  chunk decomposition.
+* :class:`EventLogSource` — the *replay* producer: re-yields the batches
+  recorded in a JSONL event log (a pipeline run with batch recording
+  enabled), so a captured run can be re-ingested — bit-identically —
+  without re-running any mechanism.
+
+Unlike the offline runtime, live operation holds every shard's chunk
+resident at once (the slot clock touches one column of each chunk per
+tick); for populations beyond RAM, run the offline sharded runtime and
+serve its merged collector instead.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..protocol.vectorized import PopulationSlotEngine
+from ..runtime.sharding import shard_rng
+from ..runtime.sources import PopulationChunk, StreamSource, as_source
+from .events import EVENT_LOG_FORMAT, ReportBatch
+
+__all__ = ["ShardFeed", "shard_feeds", "EventLogSource"]
+
+
+class ShardFeed:
+    """Sanitizes one user-shard into per-slot report batches.
+
+    Iterating yields exactly ``horizon`` batches, one per slot in slot
+    order (a batch is yielded even when nobody in the shard participates
+    — the pipeline's slot barrier needs it).  The feed owns the shard's
+    protocol state: its engines' budget ledgers survive the run for the
+    population-wide w-event audit.  The chunk matrix itself is released
+    after the last slot streams out — a finished run (and the
+    :class:`~repro.service.pipeline.LiveRunResult` holding its feeds)
+    keeps only the O(users) ledgers, not the O(users x slots) data.
+    """
+
+    def __init__(self, chunk: PopulationChunk, engine: PopulationSlotEngine) -> None:
+        if engine.n_users != chunk.n_users:
+            raise ValueError(
+                f"engine drives {engine.n_users} users but chunk "
+                f"{chunk.index} holds {chunk.n_users}"
+            )
+        if engine.user_id_offset != chunk.start:
+            raise ValueError(
+                f"engine offset {engine.user_id_offset} does not match "
+                f"chunk start {chunk.start}"
+            )
+        if engine.horizon != chunk.matrix.shape[1]:
+            raise ValueError(
+                f"engine horizon {engine.horizon} does not match chunk "
+                f"horizon {chunk.matrix.shape[1]}"
+            )
+        self.chunk: "PopulationChunk | None" = chunk
+        self.engine = engine
+        self.shard = chunk.index
+        self.n_users = chunk.n_users
+
+    @property
+    def horizon(self) -> int:
+        return self.engine.horizon
+
+    def __iter__(self) -> Iterator[ReportBatch]:
+        chunk = self.chunk
+        if chunk is None:
+            raise RuntimeError(
+                f"shard {self.shard} feed was already consumed; its chunk "
+                "matrix has been released (build fresh feeds to re-serve)"
+            )
+        matrix = chunk.matrix
+        for t in range(self.horizon):
+            ids, values = self.engine.step(matrix[:, t])
+            yield ReportBatch(shard=self.shard, t=t, user_ids=ids, values=values)
+        self.chunk = None  # free O(users x slots); ledgers stay on the engine
+
+
+def shard_feeds(
+    source: Union[StreamSource, np.ndarray, Sequence[Sequence[float]]],
+    algorithm: "str | Sequence[str]" = "capp",
+    epsilon: float = 1.0,
+    w: int = 10,
+    participation: "float | Sequence[float] | None" = None,
+    seed: int = 0,
+    chunk_size: Optional[int] = None,
+    record_history: bool = False,
+) -> List[ShardFeed]:
+    """Build one live feed per chunk of a population source.
+
+    Mirrors :func:`~repro.runtime.run_protocol_sharded`'s per-shard
+    setup exactly — same chunk decomposition, same per-shard child
+    generators, same per-user algorithm slicing — which is the whole
+    determinism story: a pipeline serving these feeds produces the same
+    reports, in the same slot/shard order, as the offline run.
+
+    Args:
+        source: a :class:`~repro.runtime.sources.StreamSource` or a raw
+            ``(users, slots)`` matrix (wrapped via ``chunk_size``).
+        algorithm: one name for everyone, or one name per (global) user.
+        epsilon, w: w-event privacy parameters shared by all users.
+        participation: scalar or ``(T,)`` schedule; ``None`` uses the
+            source's default (scenario sources supply their churn
+            schedule).
+        seed: root seed; chunk ``i`` gets ``shard_rng(seed, i)``.
+        chunk_size: users per shard when ``source`` is a raw matrix.
+        record_history: keep full per-slot budget ledgers on every feed
+            engine (O(users x slots) memory — audits don't need it).
+    """
+    src = as_source(source, chunk_size=chunk_size)
+    if participation is None:
+        participation = src.default_participation()
+    per_user = None if isinstance(algorithm, str) else list(algorithm)
+
+    feeds: List[ShardFeed] = []
+    for chunk in src.chunks():
+        if per_user is None:
+            names: "str | list[str]" = algorithm
+        else:
+            names = per_user[chunk.start : chunk.stop]
+            if len(names) != chunk.n_users:
+                raise ValueError(
+                    f"algorithm sequence too short: shard covers users "
+                    f"[{chunk.start}, {chunk.stop}) but only "
+                    f"{len(per_user)} names were given"
+                )
+        engine = PopulationSlotEngine(
+            chunk.n_users,
+            chunk.matrix.shape[1],
+            algorithm=names,
+            epsilon=epsilon,
+            w=w,
+            participation=participation,
+            rng=shard_rng(int(seed), chunk.index),
+            record_history=record_history,
+            user_id_offset=chunk.start,
+        )
+        feeds.append(ShardFeed(chunk, engine))
+    return feeds
+
+
+class EventLogSource:
+    """Replayable stream of report batches from a JSONL event log.
+
+    Reads a log written by the pipeline's
+    :class:`~repro.service.sinks.JSONLSink` with batch recording enabled.
+    The ``run_started`` record carries the run's configuration
+    (:meth:`metadata`), so :func:`~repro.service.pipeline.replay_event_log`
+    can rebuild an identically configured pipeline without the caller
+    restating anything.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self._metadata: Optional[Dict[str, Any]] = None
+
+    def _records(self) -> Iterator[Dict[str, Any]]:
+        with open(self.path) as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ValueError(
+                        f"corrupted event log {self.path}: line {lineno} "
+                        f"is not valid JSON ({error})"
+                    ) from error
+                if not isinstance(record, dict):
+                    raise ValueError(
+                        f"corrupted event log {self.path}: line {lineno} "
+                        "is not a record object"
+                    )
+                yield record
+
+    def metadata(self) -> Dict[str, Any]:
+        """The run configuration from the log's ``run_started`` record."""
+        if self._metadata is None:
+            for record in self._records():
+                if record.get("type") == "run_started":
+                    if record.get("format") != EVENT_LOG_FORMAT:
+                        raise ValueError(
+                            f"unsupported event log format "
+                            f"{record.get('format')!r} in {self.path}"
+                        )
+                    self._metadata = record
+                    break
+            else:
+                raise ValueError(
+                    f"event log {self.path} has no run_started record; "
+                    "was it written by a pipeline JSONL sink?"
+                )
+        return self._metadata
+
+    def batches(self) -> Iterator[ReportBatch]:
+        """Yield the recorded batches in their original ingestion order."""
+        found = False
+        for record in self._records():
+            if record.get("type") == "batch":
+                found = True
+                yield ReportBatch.from_record(record)
+        if not found:
+            raise ValueError(
+                f"event log {self.path} holds no batch records; record "
+                "batches when serving (record_batches=True) to make a "
+                "log replayable"
+            )
+
+    def __iter__(self) -> Iterator[ReportBatch]:
+        return self.batches()

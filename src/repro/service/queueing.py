@@ -1,0 +1,157 @@
+"""Bounded multi-producer queue with backpressure and coalesced drains.
+
+The ingestion pipeline's admission control: producers (shard feeds on
+worker threads) block in :meth:`BoundedBatchQueue.put` once ``capacity``
+batches are in flight — backpressure, so a fast producer can never grow
+memory unboundedly ahead of the collector — and the consumer drains up
+to ``coalesce`` batches per :meth:`~BoundedBatchQueue.get_batch` call,
+amortizing one lock round-trip over several batches when the queue runs
+deep (the streaming analogue of batch ingestion).
+
+The queue is transport only: it never reorders batches from one
+producer, and the pipeline's slot barrier restores the deterministic
+cross-shard ingestion order, so queue timing never affects results.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from .._validation import ensure_positive_int
+
+__all__ = ["QueueClosedError", "QueueStats", "BoundedBatchQueue"]
+
+
+class QueueClosedError(RuntimeError):
+    """Raised by :meth:`BoundedBatchQueue.put` after the queue is closed."""
+
+
+@dataclass
+class QueueStats:
+    """Counters describing one run's traffic through the queue.
+
+    ``producer_waits`` counts backpressure events (a put found the queue
+    full and had to block); ``max_drain`` is the largest number of
+    batches one ``get_batch`` call coalesced.
+    """
+
+    capacity: int
+    coalesce: int
+    total_batches: int = 0
+    high_watermark: int = 0
+    producer_waits: int = 0
+    consumer_waits: int = 0
+    drains: int = 0
+    max_drain: int = 0
+
+    @property
+    def mean_drain(self) -> float:
+        """Average batches handed over per consumer drain."""
+        if not self.drains:
+            return 0.0
+        return self.total_batches / self.drains
+
+
+class BoundedBatchQueue:
+    """Thread-safe bounded FIFO of report batches.
+
+    Args:
+        capacity: maximum batches in flight before producers block.
+        coalesce: maximum batches handed to the consumer per drain.
+    """
+
+    def __init__(self, capacity: int = 256, coalesce: int = 8) -> None:
+        self.capacity = ensure_positive_int(capacity, "capacity")
+        self.coalesce = ensure_positive_int(coalesce, "coalesce")
+        self._items: Deque = deque()
+        self._condition = threading.Condition()
+        self._closed = False
+        self._stats = QueueStats(capacity=self.capacity, coalesce=self.coalesce)
+
+    def __len__(self) -> int:
+        with self._condition:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._condition:
+            return self._closed
+
+    @property
+    def stats(self) -> QueueStats:
+        """The live stats object (stable once the run has finished)."""
+        return self._stats
+
+    def put(self, item, timeout: Optional[float] = None) -> None:
+        """Enqueue one batch, blocking while the queue is at capacity.
+
+        Raises:
+            QueueClosedError: the queue was closed (shutdown/abort).
+            TimeoutError: the queue stayed full for ``timeout`` seconds.
+        """
+        with self._condition:
+            blocked = False
+            while len(self._items) >= self.capacity and not self._closed:
+                if not blocked:
+                    # One backpressure event per blocked put, however many
+                    # times the wait wakes spuriously before space frees.
+                    blocked = True
+                    self._stats.producer_waits += 1
+                if not self._condition.wait(timeout):
+                    raise TimeoutError(
+                        f"queue full ({self.capacity} batches) for "
+                        f"{timeout} s; consumer stalled?"
+                    )
+            if self._closed:
+                raise QueueClosedError("queue is closed")
+            self._items.append(item)
+            self._stats.total_batches += 1
+            self._stats.high_watermark = max(
+                self._stats.high_watermark, len(self._items)
+            )
+            self._condition.notify_all()
+
+    def get_batch(self, timeout: Optional[float] = None) -> List:
+        """Drain up to ``coalesce`` pending batches in one lock round-trip.
+
+        Blocks while the queue is empty and open.  Returns an empty list
+        only when the queue is closed and fully drained — the consumer's
+        end-of-stream signal.
+
+        Raises:
+            TimeoutError: the queue stayed empty for ``timeout`` seconds.
+        """
+        with self._condition:
+            waited = False
+            while not self._items and not self._closed:
+                if not waited:
+                    waited = True
+                    self._stats.consumer_waits += 1
+                if not self._condition.wait(timeout):
+                    raise TimeoutError(
+                        f"queue empty for {timeout} s; producers stalled?"
+                    )
+            drained = []
+            while self._items and len(drained) < self.coalesce:
+                drained.append(self._items.popleft())
+            if drained:
+                self._stats.drains += 1
+                self._stats.max_drain = max(self._stats.max_drain, len(drained))
+                self._condition.notify_all()
+            return drained
+
+    def close(self, abort: bool = False) -> None:
+        """Stop accepting puts; ``abort=True`` also discards pending items.
+
+        Closing is idempotent.  Producers blocked in :meth:`put` wake and
+        raise :class:`QueueClosedError`; the consumer drains whatever
+        remains (nothing after an abort) and then receives ``[]``.
+        """
+        with self._condition:
+            self._closed = True
+            if abort:
+                self._items.clear()
+            self._condition.notify_all()

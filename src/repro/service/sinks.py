@@ -1,0 +1,96 @@
+"""Pluggable output sinks for the live ingestion pipeline.
+
+A sink receives every pipeline event as a JSON-safe dict record —
+``run_started``, per-slot ``slot`` estimates, optionally every ingested
+``batch`` (when the pipeline records batches for replay), and
+``run_finished``.  Three implementations cover the common deployments:
+
+* :class:`MemorySink` — keeps records in a list (tests, notebooks);
+* :class:`JSONLSink` — appends one JSON line per record to a file; a log
+  written with batch recording enabled is a complete, replayable capture
+  of the run (see :class:`~repro.service.feeds.EventLogSource`);
+* :class:`CallbackSink` — forwards each record to a callable (live
+  dashboards, alert hooks).
+
+Sinks are synchronous and are invoked from the pipeline's consumer
+thread only, so implementations need no locking of their own.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+from typing import Any, Callable, Dict, List
+
+__all__ = ["Sink", "MemorySink", "JSONLSink", "CallbackSink"]
+
+
+class Sink(abc.ABC):
+    """One destination for pipeline event records."""
+
+    @abc.abstractmethod
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Consume one JSON-safe event record."""
+
+    def close(self) -> None:
+        """Flush and release resources (default: nothing to do)."""
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class MemorySink(Sink):
+    """Buffers every record in order (inspection and tests)."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def of_type(self, record_type: str) -> List[Dict[str, Any]]:
+        """All buffered records of one event type."""
+        return [r for r in self.records if r.get("type") == record_type]
+
+
+class JSONLSink(Sink):
+    """Writes one JSON line per record (the pipeline's event log).
+
+    Floats are encoded via ``repr`` (Python's ``json`` default), so every
+    finite value round-trips exactly — a recorded run replays
+    bit-identically.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._fh = open(self.path, "w")
+        self.n_records = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if self._fh.closed:
+            raise RuntimeError(f"sink {self.path} is closed")
+        self._fh.write(json.dumps(record) + "\n")
+        self.n_records += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+
+class CallbackSink(Sink):
+    """Forwards every record to a callable (alert hooks, live UIs)."""
+
+    def __init__(self, callback: Callable[[Dict[str, Any]], None]) -> None:
+        if not callable(callback):
+            raise TypeError("callback must be callable")
+        self._callback = callback
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self._callback(record)

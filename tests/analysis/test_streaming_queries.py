@@ -159,3 +159,67 @@ class TestEngine:
             engine.push(report)
         assert engine.values_seen == 100
         assert 0.0 < engine.answers()["mean"] < 1.0
+
+
+class TestNonFiniteRejection:
+    """No path — engine push or direct query update — admits NaN/inf.
+
+    A NaN folded into RollingMean's running sum would poison every later
+    answer (it never leaves the sum, even after the value slides out of
+    the window), and a NaN-poisoned mean silently disables
+    ThresholdAlert: NaN comparisons are always False, so the alert could
+    neither fire nor clear.  Validation therefore lives in update(), not
+    just at the engine boundary.
+    """
+
+    BAD_VALUES = [float("nan"), float("inf"), float("-inf")]
+
+    @pytest.mark.parametrize("bad", BAD_VALUES)
+    def test_every_query_rejects_direct_update(self, bad):
+        queries = [
+            RollingMean(3),
+            RollingExtrema(3),
+            RollingTrend(3),
+            ThresholdAlert(3, threshold=0.5),
+        ]
+        for query in queries:
+            with pytest.raises(ValueError, match="finite"):
+                query.update(bad)
+
+    @pytest.mark.parametrize("bad", BAD_VALUES)
+    def test_engine_push_rejects(self, bad):
+        engine = StreamingQueryEngine()
+        engine.register("mean", RollingMean(2))
+        with pytest.raises(ValueError, match="finite"):
+            engine.push(bad)
+        assert engine.values_seen == 0
+
+    def test_rejected_update_leaves_rolling_state_unpoisoned(self):
+        mean = RollingMean(2)
+        mean.update(0.4)
+        with pytest.raises(ValueError):
+            mean.update(float("nan"))
+        mean.update(0.6)
+        # Window is [0.4, 0.6]: the rejected NaN contributed nothing.
+        assert mean.answer() == pytest.approx(0.5)
+        mean.update(0.8)
+        assert mean.answer() == pytest.approx(0.7)
+
+    def test_rejected_update_leaves_alert_functional(self):
+        alert = ThresholdAlert(2, threshold=0.5)
+        alert.update(0.2)
+        with pytest.raises(ValueError):
+            alert.update(float("inf"))
+        alert.update(0.9)
+        alert.update(0.9)
+        assert alert.answer() is True
+        assert alert.fired_count == 1
+
+    def test_threshold_alert_still_clears_after_rejected_value(self):
+        alert = ThresholdAlert(1, threshold=0.5)
+        alert.update(0.9)
+        assert alert.answer() is True
+        with pytest.raises(ValueError):
+            alert.update(float("nan"))
+        alert.update(0.1)
+        assert alert.answer() is False

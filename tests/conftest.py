@@ -4,6 +4,22 @@ import numpy as np
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden regression fixtures under tests/golden/ "
+        "from the current implementation instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """Whether this run should rewrite golden fixtures (--update-golden)."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def rng():
     """A deterministic random generator, fresh per test."""

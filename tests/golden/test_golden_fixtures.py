@@ -1,0 +1,252 @@
+"""Golden regression fixtures: canonical outputs for fixed seeds.
+
+Every execution mode of the protocol — the in-memory vectorized run, the
+offline sharded runtime, and the live ingestion pipeline — must
+reproduce the checked-in per-slot estimates and budget-ledger digests
+**bit for bit**.  These fixtures pin the actual numbers, so any change
+to mechanism sampling, generator seeding, merge order, or float
+accumulation shows up as a diff against a file in version control, not
+as a silent drift.
+
+Regenerate deliberately with::
+
+    python -m pytest tests/golden --update-golden
+
+and commit the diff (the review of that diff *is* the determinism
+review).
+"""
+
+import hashlib
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.protocol import run_protocol_vectorized
+from repro.runtime import MatrixSource, run_protocol_sharded, shard_rng
+from repro.service import run_live
+
+GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
+GOLDEN_FORMAT = "repro.golden.v1"
+
+#: fixed-seed configurations pinned by the fixtures; ``chunk_size`` is
+#: part of the contract — estimates are a pure function of
+#: (data, parameters, seed, chunk decomposition)
+CONFIGS = {
+    "single_chunk": dict(
+        n_users=12,
+        horizon=8,
+        chunk_size=12,
+        algorithm="capp",
+        epsilon=1.3,
+        w=5,
+        participation=0.8,
+        data_seed=21,
+        seed=7,
+    ),
+    "multi_shard": dict(
+        n_users=30,
+        horizon=10,
+        chunk_size=8,
+        algorithm=["capp", "app", "ipp", "sw-direct"] * 7 + ["capp", "app"],
+        epsilon=1.0,
+        w=6,
+        participation=0.9,
+        data_seed=5,
+        seed=3,
+    ),
+}
+
+
+def _matrix(config):
+    rng = np.random.default_rng(config["data_seed"])
+    return rng.random((config["n_users"], config["horizon"]))
+
+
+def _source(config):
+    return MatrixSource(_matrix(config), chunk_size=config["chunk_size"])
+
+
+def _ledger_digest(shard_ledgers):
+    """SHA-256 over the canonical per-shard, per-cohort ledger summary.
+
+    ``shard_ledgers`` is ``[(shard_index, [(algorithm, indices,
+    max_window_spend), ...]), ...]``.  JSON float encoding is
+    ``repr``-exact, so the digest is stable across platforms yet changes
+    on any single-bit spend difference.
+    """
+    canonical = [
+        {
+            "shard": int(shard),
+            "cohorts": [
+                {
+                    "algorithm": algorithm,
+                    "indices": [int(i) for i in np.asarray(indices).tolist()],
+                    "max_window_spend": np.asarray(spends, dtype=float).tolist(),
+                }
+                for algorithm, indices, spends in cohorts
+            ],
+        }
+        for shard, cohorts in shard_ledgers
+    ]
+    payload = json.dumps(canonical, sort_keys=True).encode()
+    return "sha256:" + hashlib.sha256(payload).hexdigest()
+
+
+def _sharded_ledgers(run):
+    return [
+        (
+            shard.index,
+            [
+                (ledger.algorithm, ledger.indices, ledger.max_window_spend)
+                for ledger in shard.ledgers
+            ],
+        )
+        for shard in run.shards
+    ]
+
+
+def _live_ledgers(result):
+    return [
+        (
+            feed.shard,
+            [
+                (
+                    group.algorithm,
+                    group.indices,
+                    group.engine.accountant.max_window_spend(),
+                )
+                for group in feed.engine.groups
+            ],
+        )
+        for feed in sorted(result.feeds, key=lambda feed: feed.shard)
+    ]
+
+
+def _vectorized_ledgers(result):
+    return [
+        (
+            0,
+            [
+                (
+                    group.algorithm,
+                    group.indices,
+                    group.engine.accountant.max_window_spend(),
+                )
+                for group in result.groups
+            ],
+        )
+    ]
+
+
+def _snapshot(config, collector, ledger_digest):
+    slots = collector.slots()
+    return {
+        "format": GOLDEN_FORMAT,
+        "config": {
+            key: value for key, value in config.items() if key != "algorithm"
+        },
+        "algorithm": (
+            config["algorithm"]
+            if isinstance(config["algorithm"], str)
+            else "per-user"
+        ),
+        "slots": [int(t) for t in slots],
+        "counts": [int(collector.state.slot_counts[t]) for t in slots],
+        "means": [float(collector.population_mean(t)) for t in slots],
+        "n_reports": int(collector.n_reports),
+        "ledger_digest": ledger_digest,
+    }
+
+
+def _check_against_golden(name, snapshot, update):
+    path = os.path.join(GOLDEN_DIR, f"{name}.json")
+    if update:
+        with open(path, "w") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if not os.path.exists(path):
+        pytest.fail(
+            f"golden fixture {path} is missing; generate it with "
+            "`python -m pytest tests/golden --update-golden` and commit it"
+        )
+    with open(path) as fh:
+        golden = json.load(fh)
+    assert golden["format"] == GOLDEN_FORMAT
+    # Exact comparison on purpose: JSON floats round-trip bit-for-bit, and
+    # these fixtures exist to catch single-ULP drift.
+    assert snapshot == golden
+
+
+def _run_all_paths(config):
+    """Execute one pinned config through every execution mode."""
+    matrix = _matrix(config)
+    sharded = run_protocol_sharded(
+        _source(config),
+        algorithm=config["algorithm"],
+        epsilon=config["epsilon"],
+        w=config["w"],
+        participation=config["participation"],
+        seed=config["seed"],
+    )
+    live = run_live(
+        _source(config),
+        algorithm=config["algorithm"],
+        epsilon=config["epsilon"],
+        w=config["w"],
+        participation=config["participation"],
+        seed=config["seed"],
+    )
+    vectorized = None
+    if config["chunk_size"] >= config["n_users"]:
+        # A single-chunk decomposition is exactly one vectorized run with
+        # the shard-0 child generator.
+        vectorized = run_protocol_vectorized(
+            matrix,
+            algorithm=config["algorithm"],
+            epsilon=config["epsilon"],
+            w=config["w"],
+            participation=config["participation"],
+            rng=shard_rng(config["seed"], 0),
+        )
+    return sharded, live, vectorized
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_all_execution_modes_reproduce_golden(name, update_golden):
+    config = CONFIGS[name]
+    sharded, live, vectorized = _run_all_paths(config)
+
+    reference = sharded.collector.population_mean_series()
+    np.testing.assert_array_equal(live.population_mean_series(), reference)
+    assert live.n_reports == sharded.collector.n_reports
+    assert (
+        live.collector.state.slot_counts == sharded.collector.state.slot_counts
+    )
+
+    sharded_digest = _ledger_digest(_sharded_ledgers(sharded))
+    live_digest = _ledger_digest(_live_ledgers(live))
+    assert live_digest == sharded_digest
+
+    if vectorized is not None:
+        np.testing.assert_array_equal(
+            vectorized.collector.population_mean_series(), reference
+        )
+        assert _ledger_digest(_vectorized_ledgers(vectorized)) == sharded_digest
+
+    snapshot = _snapshot(config, sharded.collector, sharded_digest)
+    _check_against_golden(name, snapshot, update_golden)
+
+
+def test_update_flag_writes_fixture(tmp_path, monkeypatch, update_golden):
+    """--update-golden rewrites the fixture file it then asserts against."""
+    import sys
+
+    if update_golden:
+        pytest.skip("meta-test is for normal runs")
+    monkeypatch.setattr(sys.modules[__name__], "GOLDEN_DIR", str(tmp_path))
+    snapshot = {"format": GOLDEN_FORMAT, "means": [0.5]}
+    _check_against_golden("scratch", snapshot, update=True)
+    with open(tmp_path / "scratch.json") as fh:
+        assert json.load(fh) == snapshot

@@ -250,3 +250,16 @@ def test_budget_overspend_still_raises():
         engine = BatchOnlineSWDirect(1.0, 2, 4)
         engine.accountant.charge_next(0.6)
         engine.accountant.charge_next(0.6)
+
+
+def test_empty_population_is_a_valid_trivial_run():
+    """ensure_stream_matrix's zero-user contract holds on the batch path."""
+    import numpy as np
+
+    from repro.protocol import run_protocol_vectorized
+
+    for shape in [(0, 5), (0, 0)]:
+        result = run_protocol_vectorized(np.zeros(shape))
+        assert result.collector.n_reports == 0
+        assert result.groups == []
+        assert result.n_users == 0

@@ -1,0 +1,164 @@
+"""Failure injection for checkpoint/resume: kills and corrupted files.
+
+The resume guarantee is only as good as its worst interruption point, so
+the sharded run is killed after *every* shard boundary and resumed, and
+each resume must be bit-identical to the uninterrupted run.  Damaged
+snapshots (truncated JSON, binary garbage, wrong format, missing fields)
+must fail with a clean, actionable error — never feed half-parsed state
+into a merge.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.runtime import MatrixSource, run_protocol_sharded
+
+N_USERS, HORIZON, CHUNK = 24, 12, 6  # 4 shards
+PARAMS = dict(algorithm="capp", epsilon=1.1, w=5, participation=0.85, seed=13)
+
+
+class _Kill(RuntimeError):
+    """The injected mid-run crash."""
+
+
+def _source():
+    matrix = np.random.default_rng(42).random((N_USERS, HORIZON))
+    return MatrixSource(matrix, chunk_size=CHUNK)
+
+
+def _series(run):
+    return run.collector.population_mean_series()
+
+
+@pytest.fixture(scope="module")
+def uninterrupted():
+    return run_protocol_sharded(_source(), **PARAMS)
+
+
+class TestKillResume:
+    @pytest.mark.parametrize("kill_after", [1, 2, 3, 4])
+    def test_kill_after_each_shard_then_resume_bit_exact(
+        self, kill_after, tmp_path, uninterrupted
+    ):
+        checkpoint = tmp_path / "ckpt"
+        completed = []
+
+        def crash(shard):
+            completed.append(shard.index)
+            if len(completed) == kill_after:
+                raise _Kill(f"injected kill after shard {shard.index}")
+
+        # kill_after == 4 crashes between the final snapshot and the
+        # merge: everything is already on disk, resume executes nothing.
+        with pytest.raises(_Kill):
+            run_protocol_sharded(
+                _source(), checkpoint_dir=checkpoint, on_shard=crash, **PARAMS
+            )
+        saved = sorted(checkpoint.glob("shard-*.json"))
+        assert len(saved) == kill_after
+
+        resumed = run_protocol_sharded(
+            _source(), checkpoint_dir=checkpoint, **PARAMS
+        )
+        assert resumed.n_resumed == kill_after
+        np.testing.assert_array_equal(_series(resumed), _series(uninterrupted))
+        assert (
+            resumed.collector.state.slot_sums
+            == uninterrupted.collector.state.slot_sums
+        )
+        assert resumed.collector.n_reports == uninterrupted.collector.n_reports
+
+    def test_repeated_kills_then_resume_bit_exact(self, tmp_path, uninterrupted):
+        """Crash-after-every-shard restarts still converge to the answer.
+
+        Each attempt executes exactly one new shard (resumed shards skip
+        the ``on_shard`` callback) and dies, so the run only finishes on
+        the attempt that needs no fresh execution beyond the crash point.
+        """
+        checkpoint = tmp_path / "ckpt2"
+
+        def crash_after_first_executed(shard):
+            raise _Kill(f"kill after executing shard {shard.index}")
+
+        for attempt in range(4):
+            with pytest.raises(_Kill):
+                run_protocol_sharded(
+                    _source(),
+                    checkpoint_dir=checkpoint,
+                    on_shard=crash_after_first_executed,
+                    **PARAMS,
+                )
+            assert len(sorted(checkpoint.glob("shard-*.json"))) == attempt + 1
+        resumed = run_protocol_sharded(
+            _source(), checkpoint_dir=checkpoint, **PARAMS
+        )
+        assert resumed.n_resumed == 4
+        np.testing.assert_array_equal(_series(resumed), _series(uninterrupted))
+
+
+class TestCorruptedCheckpoints:
+    def _checkpointed(self, tmp_path):
+        checkpoint = tmp_path / "ckpt"
+        run_protocol_sharded(_source(), checkpoint_dir=checkpoint, **PARAMS)
+        return checkpoint
+
+    def test_truncated_shard_file_raises_clean_error(self, tmp_path):
+        checkpoint = self._checkpointed(tmp_path)
+        path = checkpoint / "shard-000001.json"
+        payload = path.read_text()
+        path.write_text(payload[: len(payload) // 2])
+        with pytest.raises(ValueError, match="truncated|not valid JSON"):
+            run_protocol_sharded(_source(), checkpoint_dir=checkpoint, **PARAMS)
+
+    def test_binary_garbage_shard_file_raises_clean_error(self, tmp_path):
+        checkpoint = self._checkpointed(tmp_path)
+        (checkpoint / "shard-000000.json").write_bytes(b"\xff\xfe\x00garbage\x9c")
+        with pytest.raises(ValueError, match="corrupted"):
+            run_protocol_sharded(_source(), checkpoint_dir=checkpoint, **PARAMS)
+
+    def test_wrong_format_tag_raises_clean_error(self, tmp_path):
+        checkpoint = self._checkpointed(tmp_path)
+        path = checkpoint / "shard-000002.json"
+        data = json.loads(path.read_text())
+        data["format"] = "somebody.elses.checkpoint.v9"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="unsupported shard checkpoint format"):
+            run_protocol_sharded(_source(), checkpoint_dir=checkpoint, **PARAMS)
+
+    def test_missing_fields_raise_clean_error(self, tmp_path):
+        checkpoint = self._checkpointed(tmp_path)
+        path = checkpoint / "shard-000003.json"
+        data = json.loads(path.read_text())
+        del data["state"]
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="missing or has malformed fields"):
+            run_protocol_sharded(_source(), checkpoint_dir=checkpoint, **PARAMS)
+
+    def test_non_object_payload_raises_clean_error(self, tmp_path):
+        checkpoint = self._checkpointed(tmp_path)
+        (checkpoint / "shard-000001.json").write_text('["not", "a", "dict"]')
+        with pytest.raises(ValueError, match="must be a JSON object"):
+            run_protocol_sharded(_source(), checkpoint_dir=checkpoint, **PARAMS)
+
+    def test_corrupted_manifest_raises_clean_error(self, tmp_path):
+        checkpoint = self._checkpointed(tmp_path)
+        (checkpoint / "run.json").write_text("{truncated")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            run_protocol_sharded(_source(), checkpoint_dir=checkpoint, **PARAMS)
+
+    def test_corruption_never_silently_changes_results(self, tmp_path, uninterrupted):
+        """After deleting a damaged snapshot, resume recomputes it exactly."""
+        checkpoint = self._checkpointed(tmp_path)
+        path = checkpoint / "shard-000001.json"
+        path.write_text("garbage")
+        with pytest.raises(ValueError):
+            run_protocol_sharded(_source(), checkpoint_dir=checkpoint, **PARAMS)
+        os.remove(path)
+        recovered = run_protocol_sharded(
+            _source(), checkpoint_dir=checkpoint, **PARAMS
+        )
+        assert recovered.n_resumed == 3
+        np.testing.assert_array_equal(_series(recovered), _series(uninterrupted))

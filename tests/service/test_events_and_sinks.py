@@ -1,0 +1,141 @@
+"""Event records and sinks: validation, round trips, float exactness."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    CallbackSink,
+    JSONLSink,
+    MemorySink,
+    ReportBatch,
+    SlotEstimate,
+)
+from repro.service.events import jsonify
+
+
+class TestReportBatch:
+    def test_round_trip_is_float_exact(self):
+        values = np.random.default_rng(0).random(17) * (1.0 / 3.0)
+        batch = ReportBatch(
+            shard=2, t=5, user_ids=np.arange(17, dtype=np.intp), values=values
+        )
+        restored = ReportBatch.from_record(
+            json.loads(json.dumps(batch.to_record()))
+        )
+        assert restored.shard == 2 and restored.t == 5
+        np.testing.assert_array_equal(restored.values, values)
+        np.testing.assert_array_equal(restored.user_ids, batch.user_ids)
+
+    def test_empty_batch_allowed(self):
+        batch = ReportBatch(
+            shard=0, t=0, user_ids=np.zeros(0, dtype=np.intp), values=np.zeros(0)
+        )
+        assert batch.n_reports == 0
+        assert ReportBatch.from_record(batch.to_record()).n_reports == 0
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError, match="aligned"):
+            ReportBatch(
+                shard=0, t=0, user_ids=np.arange(3), values=np.zeros(2)
+            )
+
+    def test_float_ids_rejected(self):
+        with pytest.raises(TypeError, match="integers"):
+            ReportBatch(
+                shard=0, t=0, user_ids=np.array([0.5]), values=np.zeros(1)
+            )
+
+    def test_negative_slot_and_shard_rejected(self):
+        ids, vals = np.arange(1), np.zeros(1)
+        with pytest.raises(ValueError, match="t must be non-negative"):
+            ReportBatch(shard=0, t=-1, user_ids=ids, values=vals)
+        with pytest.raises(ValueError, match="shard must be non-negative"):
+            ReportBatch(shard=-1, t=0, user_ids=ids, values=vals)
+
+    def test_from_record_rejects_other_types(self):
+        with pytest.raises(ValueError, match="not a batch record"):
+            ReportBatch.from_record({"type": "slot"})
+
+
+class TestSlotEstimate:
+    def test_record_carries_answers_json_safely(self):
+        estimate = SlotEstimate(
+            t=3,
+            n_reports=10,
+            mean=np.float64(0.25),
+            answers={"dash": {"extrema": (np.float64(0.1), np.float64(0.9))}},
+        )
+        record = json.loads(json.dumps(estimate.to_record()))
+        assert record["type"] == "slot"
+        assert record["mean"] == 0.25
+        assert record["answers"]["dash"]["extrema"] == [0.1, 0.9]
+
+    def test_empty_slot_serializes_none_mean(self):
+        record = SlotEstimate(t=0, n_reports=0, mean=None).to_record()
+        assert record["mean"] is None
+
+
+class TestJsonify:
+    def test_coerces_numpy_scalars_and_containers(self):
+        payload = jsonify(
+            {
+                "f": np.float64(1.5),
+                "i": np.int64(3),
+                "b": np.bool_(True),
+                "arr": np.array([1.0, 2.0]),
+                "tup": (1, 2),
+                "none": None,
+            }
+        )
+        assert payload == {
+            "f": 1.5,
+            "i": 3,
+            "b": True,
+            "arr": [1.0, 2.0],
+            "tup": [1, 2],
+            "none": None,
+        }
+        json.dumps(payload)  # must be JSON-safe end to end
+
+
+class TestSinks:
+    def test_memory_sink_filters_by_type(self):
+        sink = MemorySink()
+        sink.emit({"type": "a", "x": 1})
+        sink.emit({"type": "b"})
+        sink.emit({"type": "a", "x": 2})
+        assert [r["x"] for r in sink.of_type("a")] == [1, 2]
+
+    def test_jsonl_sink_writes_one_line_per_record(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JSONLSink(path) as sink:
+            sink.emit({"type": "a", "value": 1.0 / 3.0})
+            sink.emit({"type": "b"})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["value"] == 1.0 / 3.0
+        assert sink.n_records == 2
+
+    def test_jsonl_sink_rejects_emit_after_close(self, tmp_path):
+        sink = JSONLSink(tmp_path / "events.jsonl")
+        sink.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sink.emit({"type": "a"})
+
+    def test_jsonl_sink_creates_parent_directories(self, tmp_path):
+        sink = JSONLSink(tmp_path / "deep" / "nested" / "events.jsonl")
+        sink.emit({"type": "a"})
+        sink.close()
+        assert (tmp_path / "deep" / "nested" / "events.jsonl").exists()
+
+    def test_callback_sink_forwards(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        sink.emit({"type": "a"})
+        assert seen == [{"type": "a"}]
+
+    def test_callback_sink_requires_callable(self):
+        with pytest.raises(TypeError):
+            CallbackSink("not callable")

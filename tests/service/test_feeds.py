@@ -1,0 +1,145 @@
+"""ShardFeed / shard_feeds: construction contracts and batch streams."""
+
+import numpy as np
+import pytest
+
+from repro.protocol import PopulationSlotEngine
+from repro.runtime import MatrixSource, shard_rng
+from repro.runtime.sources import PopulationChunk
+from repro.service import ShardFeed, shard_feeds
+
+
+def _chunk(index=0, start=0, n_users=6, horizon=4, seed=0):
+    matrix = np.random.default_rng(seed).random((n_users, horizon))
+    return PopulationChunk(index=index, start=start, matrix=matrix)
+
+
+def _engine(chunk, **overrides):
+    kwargs = dict(
+        algorithm="capp",
+        epsilon=1.0,
+        w=4,
+        rng=shard_rng(0, chunk.index),
+        user_id_offset=chunk.start,
+    )
+    kwargs.update(overrides)
+    return PopulationSlotEngine(chunk.n_users, chunk.matrix.shape[1], **kwargs)
+
+
+class TestShardFeed:
+    def test_yields_one_batch_per_slot_in_order(self):
+        chunk = _chunk(index=2, start=12)
+        feed = ShardFeed(chunk, _engine(chunk))
+        batches = list(feed)
+        assert [batch.t for batch in batches] == [0, 1, 2, 3]
+        assert all(batch.shard == 2 for batch in batches)
+        assert all(batch.n_reports == 6 for batch in batches)
+        # Global ids respect the chunk's offset.
+        assert batches[0].user_ids.tolist() == list(range(12, 18))
+
+    def test_dropout_slots_still_yield_batches(self):
+        chunk = _chunk(n_users=4, horizon=5)
+        schedule = np.array([1.0, 0.0, 1.0, 0.0, 1.0])
+        feed = ShardFeed(chunk, _engine(chunk, participation=schedule))
+        batches = list(feed)
+        assert len(batches) == 5
+        assert batches[1].n_reports == 0  # nobody reports, batch still flows
+        assert batches[0].n_reports == 4
+
+    def test_mismatched_users_rejected(self):
+        chunk = _chunk(n_users=6)
+        other = _chunk(n_users=5)
+        with pytest.raises(ValueError, match="drives 5 users"):
+            ShardFeed(chunk, _engine(other))
+
+    def test_mismatched_offset_rejected(self):
+        chunk = _chunk(start=10)
+        engine = _engine(chunk, user_id_offset=0)
+        with pytest.raises(ValueError, match="offset 0"):
+            ShardFeed(chunk, engine)
+
+    def test_mismatched_horizon_rejected(self):
+        chunk = _chunk(horizon=4)
+        other = _chunk(horizon=7)
+        with pytest.raises(ValueError, match="horizon 7"):
+            ShardFeed(chunk, _engine(other))
+
+
+class TestShardFeeds:
+    def test_one_feed_per_chunk_with_matching_offsets(self):
+        matrix = np.random.default_rng(1).random((25, 6))
+        feeds = shard_feeds(MatrixSource(matrix, chunk_size=10), seed=5)
+        assert [feed.shard for feed in feeds] == [0, 1, 2]
+        assert [feed.n_users for feed in feeds] == [10, 10, 5]
+        assert [feed.engine.user_id_offset for feed in feeds] == [0, 10, 20]
+
+    def test_raw_matrix_accepts_chunk_size(self):
+        matrix = np.random.default_rng(1).random((8, 4))
+        feeds = shard_feeds(matrix, chunk_size=3, seed=0)
+        assert [feed.n_users for feed in feeds] == [3, 3, 2]
+
+    def test_per_user_algorithms_sliced_per_shard(self):
+        matrix = np.random.default_rng(1).random((6, 4))
+        names = ["capp", "app", "ipp", "sw-direct", "capp", "app"]
+        feeds = shard_feeds(matrix, algorithm=names, chunk_size=4, seed=0)
+        assert [g.algorithm for g in feeds[0].engine.groups] == [
+            "capp",
+            "app",
+            "ipp",
+            "sw-direct",
+        ]
+        assert [g.algorithm for g in feeds[1].engine.groups] == ["capp", "app"]
+
+    def test_short_algorithm_sequence_rejected(self):
+        matrix = np.random.default_rng(1).random((6, 4))
+        with pytest.raises(ValueError, match="too short"):
+            shard_feeds(matrix, algorithm=["capp"] * 4, chunk_size=4, seed=0)
+
+
+class TestSlotEngineContract:
+    def test_step_past_horizon_rejected(self):
+        chunk = _chunk(horizon=2)
+        engine = _engine(chunk)
+        engine.step(chunk.matrix[:, 0])
+        engine.step(chunk.matrix[:, 1])
+        with pytest.raises(RuntimeError, match="already stepped"):
+            engine.step(chunk.matrix[:, 0])
+
+    def test_step_validates_column_shape(self):
+        chunk = _chunk(n_users=6)
+        with pytest.raises(ValueError, match=r"shape \(6,\)"):
+            _engine(chunk).step(np.zeros(5))
+
+    def test_stepping_equals_batch_run_bitwise(self):
+        """The incremental engine IS the batch engine, slot by slot."""
+        from repro.protocol import run_protocol_vectorized
+
+        matrix = np.random.default_rng(9).random((11, 7))
+        batch = run_protocol_vectorized(
+            matrix, epsilon=1.4, w=5, participation=0.8, rng=shard_rng(4, 0)
+        )
+        engine = PopulationSlotEngine(
+            11, 7, epsilon=1.4, w=5, participation=0.8, rng=shard_rng(4, 0)
+        )
+        for t in range(7):
+            ids, values = engine.step(matrix[:, t])
+            expected = batch.collector.state.slot_reports(t)
+            np.testing.assert_array_equal(values, expected)
+        assert engine.slots_processed == 7
+
+
+class TestChunkRelease:
+    def test_exhausted_feed_releases_its_matrix(self):
+        chunk = _chunk()
+        feed = ShardFeed(chunk, _engine(chunk))
+        list(feed)
+        assert feed.chunk is None  # O(users x slots) freed
+        assert feed.shard == 0 and feed.n_users == 6  # metadata survives
+        assert len(feed.engine.groups) == 1  # ledgers survive for the audit
+
+    def test_second_iteration_fails_loudly(self):
+        chunk = _chunk()
+        feed = ShardFeed(chunk, _engine(chunk))
+        list(feed)
+        with pytest.raises(RuntimeError, match="already consumed"):
+            list(feed)

@@ -1,0 +1,140 @@
+"""BoundedBatchQueue: backpressure, coalescing, close semantics."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import BoundedBatchQueue, QueueClosedError
+
+
+class TestBasics:
+    def test_fifo_order_within_capacity(self):
+        queue = BoundedBatchQueue(capacity=8, coalesce=8)
+        for item in range(5):
+            queue.put(item)
+        assert len(queue) == 5
+        assert queue.get_batch() == [0, 1, 2, 3, 4]
+        assert len(queue) == 0
+
+    def test_coalesce_caps_drain_size(self):
+        queue = BoundedBatchQueue(capacity=16, coalesce=3)
+        for item in range(7):
+            queue.put(item)
+        assert queue.get_batch() == [0, 1, 2]
+        assert queue.get_batch() == [3, 4, 5]
+        assert queue.get_batch() == [6]
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedBatchQueue(capacity=0)
+        with pytest.raises(ValueError):
+            BoundedBatchQueue(capacity=4, coalesce=0)
+
+    def test_stats_track_traffic(self):
+        queue = BoundedBatchQueue(capacity=4, coalesce=2)
+        for item in range(4):
+            queue.put(item)
+        queue.get_batch()
+        queue.get_batch()
+        stats = queue.stats
+        assert stats.total_batches == 4
+        assert stats.high_watermark == 4
+        assert stats.drains == 2
+        assert stats.max_drain == 2
+        assert stats.mean_drain == pytest.approx(2.0)
+
+    def test_mean_drain_zero_before_any_drain(self):
+        assert BoundedBatchQueue().stats.mean_drain == 0.0
+
+
+class TestBackpressure:
+    def test_put_blocks_at_capacity_until_consumer_drains(self):
+        queue = BoundedBatchQueue(capacity=2, coalesce=1)
+        queue.put("a")
+        queue.put("b")
+        done = threading.Event()
+
+        def producer():
+            queue.put("c")  # must block until a drain frees a slot
+            done.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not done.is_set()
+        assert queue.get_batch() == ["a"]
+        thread.join(timeout=2.0)
+        assert done.is_set()
+        assert queue.stats.producer_waits >= 1
+
+    def test_put_timeout_raises(self):
+        queue = BoundedBatchQueue(capacity=1)
+        queue.put("a")
+        with pytest.raises(TimeoutError, match="queue full"):
+            queue.put("b", timeout=0.01)
+
+    def test_get_timeout_raises(self):
+        queue = BoundedBatchQueue(capacity=1)
+        with pytest.raises(TimeoutError, match="queue empty"):
+            queue.get_batch(timeout=0.01)
+
+
+class TestClose:
+    def test_put_after_close_raises(self):
+        queue = BoundedBatchQueue()
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.put("x")
+
+    def test_close_drains_remaining_then_signals_end(self):
+        queue = BoundedBatchQueue(capacity=8, coalesce=8)
+        queue.put("a")
+        queue.put("b")
+        queue.close()
+        assert queue.get_batch() == ["a", "b"]
+        assert queue.get_batch() == []
+
+    def test_abort_discards_pending(self):
+        queue = BoundedBatchQueue(capacity=8)
+        queue.put("a")
+        queue.close(abort=True)
+        assert queue.get_batch() == []
+
+    def test_close_unblocks_waiting_producer(self):
+        queue = BoundedBatchQueue(capacity=1)
+        queue.put("a")
+        raised = threading.Event()
+
+        def producer():
+            try:
+                queue.put("b")
+            except QueueClosedError:
+                raised.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(timeout=2.0)
+        assert raised.is_set()
+
+    def test_close_unblocks_waiting_consumer(self):
+        queue = BoundedBatchQueue()
+        got = []
+
+        def consumer():
+            got.append(queue.get_batch())
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(timeout=2.0)
+        assert got == [[]]
+
+    def test_close_is_idempotent(self):
+        queue = BoundedBatchQueue()
+        queue.close()
+        queue.close(abort=True)
+        assert queue.closed
