@@ -1,0 +1,141 @@
+"""Estimator-registry benches: the population engines across all names.
+
+Two acceptance gates for the registry refactor, plus the machine-readable
+perf trajectory:
+
+* ``test_table1_vectorized_vs_scalar`` — the paper-figure harness on the
+  vectorized engine must be an order of magnitude faster than the scalar
+  reference at population scale while agreeing statistically (the
+  experiment-layer analogue of ``bench_throughput``'s protocol gate).
+* ``test_population_engine_matrix`` — users/sec of every registered
+  estimator under both engines, written to the repo-root
+  ``BENCH_population.json`` (uploaded as a CI artifact) so future PRs can
+  gate on per-estimator regressions.
+
+Sized through the environment so CI smoke jobs run at toy scale:
+
+* ``REPRO_BENCH_TABLE1_USERS`` — subsequence-rows for the table1 gate
+  (default 10000, the acceptance point).
+* ``REPRO_BENCH_TABLE1_MIN_SPEEDUP`` — required vectorized speedup
+  (default 10 at full size; waived automatically for tiny runs where
+  fixed overheads dominate).
+* ``REPRO_BENCH_MATRIX_USERS`` / ``REPRO_BENCH_MATRIX_SLOTS`` — population
+  shape for the per-estimator matrix (default 2000 x 40).
+* ``REPRO_BENCH_MATRIX_SCALAR_USERS`` — how many users the scalar
+  reference is timed on before extrapolating its rate (default 100).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_table1
+from repro.registry import algorithm_names, make_algorithm
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def test_table1_vectorized_vs_scalar(record_table, record_population_bench):
+    """Wall-clock gate: run_table1 on the vectorized vs the scalar engine."""
+    n_rows = _env_int("REPRO_BENCH_TABLE1_USERS", 10_000)
+    big_enough = n_rows >= 5_000
+    min_speedup = float(
+        os.environ.get("REPRO_BENCH_TABLE1_MIN_SPEEDUP", 10.0 if big_enough else 0.0)
+    )
+    config = dict(
+        windows=(20,),
+        datasets=("c6h6",),
+        n_subsequences=n_rows,
+        n_repeats=1,
+        stream_length=2_000,
+        seed=0,
+    )
+
+    start = time.perf_counter()
+    scalar = run_table1(engine="scalar", **config)
+    scalar_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    vectorized = run_table1(engine="vectorized", **config)
+    vectorized_seconds = time.perf_counter() - start
+
+    speedup = scalar_seconds / vectorized_seconds
+    lines = [
+        f"run_table1 at {n_rows} subsequence-rows (c6h6, w=20)",
+        f"  scalar    : {scalar_seconds:8.3f} s",
+        f"  vectorized: {vectorized_seconds:8.3f} s",
+        f"  speedup   : {speedup:8.1f} x",
+        "  cells (scalar vs vectorized):",
+    ]
+    agreement = {}
+    for name, s_value in scalar["c6h6"][20].items():
+        v_value = vectorized["c6h6"][20][name]
+        lines.append(f"    {name:10s} {s_value:12.6g} {v_value:12.6g}")
+        agreement[name] = {"scalar": s_value, "vectorized": v_value}
+        # Same estimator over the same subsequences with independent
+        # noise: cells agree within sampling tolerance, and at this many
+        # rows the sampling error is small.
+        assert v_value == pytest.approx(s_value, rel=0.5, abs=0.05), name
+    record_table("registry_table1", "\n".join(lines))
+    record_population_bench(
+        "table1",
+        {
+            "rows": n_rows,
+            "scalar_seconds": round(scalar_seconds, 4),
+            "vectorized_seconds": round(vectorized_seconds, 4),
+            "speedup": round(speedup, 2),
+            "cells": agreement,
+        },
+    )
+    if min_speedup > 0:
+        assert speedup >= min_speedup, (
+            f"vectorized table1 is only {speedup:.1f}x faster than the "
+            f"scalar path at {n_rows} rows (required: {min_speedup:.1f}x)"
+        )
+
+
+def test_population_engine_matrix(record_table, record_population_bench):
+    """Users/sec of every registered estimator, scalar vs batch engine."""
+    n_users = _env_int("REPRO_BENCH_MATRIX_USERS", 2_000)
+    horizon = _env_int("REPRO_BENCH_MATRIX_SLOTS", 40)
+    scalar_users = min(_env_int("REPRO_BENCH_MATRIX_SCALAR_USERS", 100), n_users)
+    matrix = np.random.default_rng(0).random((n_users, horizon))
+
+    lines = [
+        f"population engines at {n_users} users x {horizon} slots "
+        f"(scalar timed on {scalar_users} users)",
+        "  algorithm        scalar u/s   vectorized u/s   speedup",
+    ]
+    payload = {}
+    for name in algorithm_names():
+        perturber = make_algorithm(name, 1.0, 10)
+
+        start = time.perf_counter()
+        rng = np.random.default_rng(1)
+        for i in range(scalar_users):
+            perturber.perturb_stream(matrix[i], rng)
+        scalar_rate = scalar_users / (time.perf_counter() - start)
+
+        start = time.perf_counter()
+        perturber.perturb_population(matrix, np.random.default_rng(2))
+        vectorized_rate = n_users / (time.perf_counter() - start)
+
+        speedup = vectorized_rate / scalar_rate
+        lines.append(
+            f"  {name:16s} {scalar_rate:10.0f} {vectorized_rate:16.0f} "
+            f"{speedup:9.1f}x"
+        )
+        payload[name] = {
+            "scalar_users_per_sec": round(scalar_rate, 1),
+            "vectorized_users_per_sec": round(vectorized_rate, 1),
+            "speedup": round(speedup, 2),
+        }
+    record_table("registry_matrix", "\n".join(lines))
+    record_population_bench(
+        "population",
+        {"n_users": n_users, "horizon": horizon, "estimators": payload},
+    )

@@ -83,7 +83,7 @@ def _measure(streams, chunk, max_workers):
     return payload
 
 
-def test_sharded_scaling(record_table):
+def test_sharded_scaling(record_table, record_population_bench):
     n_users = _env_int("REPRO_BENCH_SHARD_USERS", 8_000)
     horizon = _env_int("REPRO_BENCH_SHARD_SLOTS", 50)
     chunk = _env_int("REPRO_BENCH_SHARD_CHUNK", max(n_users // 8, 1))
@@ -102,12 +102,18 @@ def test_sharded_scaling(record_table):
         "  workers   wall s    user-slots/s   peak RSS MiB",
     ]
     reference = None
+    per_worker = {}
     for max_workers in workers:
         seconds, peak_mib, n_reports, series = _measure(streams, chunk, max_workers)
         lines.append(
             f"  {max_workers:7d} {seconds:8.3f} {user_slots / seconds:14.0f} "
             f"{peak_mib:14.1f}"
         )
+        per_worker[str(max_workers)] = {
+            "users_per_sec": round(n_users / seconds, 1),
+            "user_slots_per_sec": round(user_slots / seconds, 1),
+            "peak_rss_mib": round(peak_mib, 1),
+        }
         assert n_reports == user_slots
         if reference is None:
             reference = series
@@ -115,3 +121,12 @@ def test_sharded_scaling(record_table):
             # Worker count must never change the answer, bit for bit.
             np.testing.assert_array_equal(series, reference)
     record_table("sharded_scaling", "\n".join(lines))
+    record_population_bench(
+        "sharded",
+        {
+            "n_users": n_users,
+            "horizon": horizon,
+            "chunk": chunk,
+            "workers": per_worker,
+        },
+    )

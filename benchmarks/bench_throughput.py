@@ -66,7 +66,7 @@ def test_capp_population_throughput(benchmark):
     benchmark(capp.perturb_population, streams, np.random.default_rng(8))
 
 
-def test_protocol_vectorized_vs_reference(record_table):
+def test_protocol_vectorized_vs_reference(record_table, record_population_bench):
     """Wall-clock comparison of the two protocol paths.
 
     This is the acceptance gate for the population engine: at the default
@@ -109,6 +109,16 @@ def test_protocol_vectorized_vs_reference(record_table):
                 f"  vec MSE   : {vec.population_mean_mse():.6f}",
             ]
         ),
+    )
+    record_population_bench(
+        "protocol",
+        {
+            "n_users": n_users,
+            "horizon": horizon,
+            "reference_users_per_sec": round(n_users / ref_seconds, 1),
+            "vectorized_users_per_sec": round(n_users / vec_seconds, 1),
+            "speedup": round(speedup, 2),
+        },
     )
     if min_speedup > 0:
         assert speedup >= min_speedup, (

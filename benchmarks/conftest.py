@@ -24,6 +24,43 @@ _PROFILE = {}
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 
+#: machine-readable perf trajectory: users/sec per estimator per engine,
+#: merged section by section so future PRs can gate on regressions
+POPULATION_BENCH_PATH = os.path.join(
+    os.path.dirname(_BENCH_DIR), "BENCH_population.json"
+)
+
+
+@pytest.fixture
+def record_population_bench():
+    """Merge one section into the repo-root ``BENCH_population.json``.
+
+    Each contributing bench (registry matrix, table1 gate, sharded
+    scaling, protocol throughput) owns one top-level section; the file
+    accumulates whichever benches ran, so smoke runs update only their
+    own numbers.
+    """
+
+    def _record(section: str, payload: dict) -> None:
+        document = {}
+        if os.path.exists(POPULATION_BENCH_PATH):
+            try:
+                with open(POPULATION_BENCH_PATH) as fh:
+                    document = json.load(fh)
+            except (json.JSONDecodeError, OSError):
+                document = {}
+        if not isinstance(document, dict):
+            document = {}
+        document["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+        document["python"] = sys.version.split()[0]
+        document["platform"] = platform.platform()
+        document[section] = payload
+        with open(POPULATION_BENCH_PATH, "w") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    return _record
+
 
 @pytest.fixture
 def record_table():

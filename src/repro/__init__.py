@@ -20,6 +20,8 @@ Packages:
 * :mod:`repro.datasets` — synthetic generators and real-data substitutes.
 * :mod:`repro.metrics` — MSE, cosine, Wasserstein, JSD.
 * :mod:`repro.analysis` — collector-side estimation, crowd-level stats.
+* :mod:`repro.registry` — capability-aware estimator registry (scalar
+  and population-batch engines for every paper algorithm, by name).
 * :mod:`repro.runtime` — sharded out-of-core population execution.
 * :mod:`repro.service` — live slot-clocked ingestion and serving.
 * :mod:`repro.experiments` — runners reproducing every table and figure.
@@ -53,6 +55,13 @@ from .mechanisms import (
     SquareWaveMechanism,
 )
 from .privacy import PrivacyBudgetExceededError, WEventAccountant
+from .registry import (
+    algorithm_names,
+    capabilities,
+    capability_matrix,
+    make_algorithm,
+    make_batch_engine,
+)
 
 __version__ = "1.0.0"
 
@@ -86,5 +95,10 @@ __all__ = [
     "choose_clip_bounds",
     "choose_num_samples",
     "simple_moving_average",
+    "make_algorithm",
+    "make_batch_engine",
+    "algorithm_names",
+    "capabilities",
+    "capability_matrix",
     "__version__",
 ]

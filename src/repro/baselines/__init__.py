@@ -1,9 +1,21 @@
 """Comparator algorithms from the paper's evaluation (Section VI)."""
 
 from .ba_sw import BASW
+from .batch import BatchBASW, BatchBDSW, BatchPPSampling, BatchToPL
 from .bd_sw import BDSW
 from .naive_sampling import NaiveSampling
 from .sw_direct import MechanismDirect, SWDirect
 from .topl import ToPL
 
-__all__ = ["SWDirect", "MechanismDirect", "BASW", "BDSW", "ToPL", "NaiveSampling"]
+__all__ = [
+    "SWDirect",
+    "MechanismDirect",
+    "BASW",
+    "BDSW",
+    "ToPL",
+    "NaiveSampling",
+    "BatchBASW",
+    "BatchBDSW",
+    "BatchToPL",
+    "BatchPPSampling",
+]

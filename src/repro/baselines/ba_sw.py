@@ -121,3 +121,15 @@ class BASW(StreamPerturber):
             perturbed[t] = last_report
             deviations[t] = x - perturbed[t]
         return inputs, perturbed, deviations, float(deviations.sum())
+
+    def _make_batch_engine(self, n_users, rng, horizon=None, record_history=True):
+        from .batch import BatchBASW
+
+        return BatchBASW(
+            self.epsilon,
+            self.w,
+            n_users,
+            rng,
+            probe_fraction=self.probe_fraction,
+            record_history=record_history,
+        )

@@ -25,6 +25,11 @@ class MechanismDirect(StreamPerturber):
     No deviation feedback: the input at slot ``t`` is exactly ``x_t``.
     Deviations are still recorded so downstream analysis can compare the
     bookkeeping across algorithms.
+
+    The randomizer is invoked one slot at a time — the generator is
+    consumed in slot order, exactly like the online/batched engines, so
+    the vectorized population path is bit-identical to this reference
+    for a single user with the same generator (tested).
     """
 
     def _perturb_prepared(
@@ -36,11 +41,24 @@ class MechanismDirect(StreamPerturber):
     ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, float]":
         n = values.size
         inputs = values.copy()
-        perturbed = np.asarray(mechanism.perturb(values, rng), dtype=float)
+        perturbed = np.empty(n)
         for t in range(n):
+            perturbed[t] = mechanism.perturb_batch(values[t : t + 1], rng)[0]
             accountant.charge(t, self.epsilon_per_slot)
         deviations = values - perturbed
         return inputs, perturbed, deviations, float(deviations.sum())
+
+    def _make_batch_engine(self, n_users, rng, horizon=None, record_history=True):
+        from ..core.online import BatchOnlineSWDirect
+
+        return BatchOnlineSWDirect(
+            self.epsilon,
+            self.w,
+            n_users,
+            rng,
+            mechanism=self.mechanism_class,
+            record_history=record_history,
+        )
 
 
 class SWDirect(MechanismDirect):

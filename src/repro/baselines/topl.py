@@ -15,11 +15,17 @@ The paper runs every comparator at ``eps / w`` per slot; at such small
 budgets HM's output domain spans hundreds of units (e.g. ``[-80, 80]`` at
 ``eps = 0.05``), which is exactly why Table I shows ToPL's MSE two orders
 of magnitude above the SW-based algorithms.
+
+Both phases invoke their randomizer one slot at a time (the generator is
+consumed in slot order), and the threshold fit runs through the shared
+multi-row EM (:meth:`SquareWaveMechanism.estimate_distribution_rows`), so
+the vectorized population engine is bit-identical to this reference for a
+single user with the same generator (tested).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -28,10 +34,41 @@ from ..core.base import StreamPerturber
 from ..mechanisms import HybridMechanism, Mechanism, SquareWaveMechanism
 from ..privacy import WEventAccountant
 
-__all__ = ["ToPL"]
+__all__ = ["ToPL", "estimate_tau_rows", "range_phase_length"]
 
 #: smallest admissible clipping threshold (guards against a degenerate fit)
 _MIN_TAU = 0.05
+
+#: input-domain bins used by the threshold fit
+_TAU_BINS = 32
+
+
+def range_phase_length(horizon: int, range_fraction: float) -> int:
+    """Number of leading slots spent on range estimation."""
+    n_range = max(int(round(horizon * range_fraction)), 1)
+    return min(n_range, horizon)
+
+
+def estimate_tau_rows(
+    report_rows: "Sequence[np.ndarray]",
+    epsilon: float,
+    quantile: float,
+) -> np.ndarray:
+    """Per-row clipping thresholds from SW range-estimation reports.
+
+    Fits every row's value distribution with the shared multi-row EM and
+    returns the ``quantile`` threshold of each, floored at the degenerate
+    guard.  Rows with no reports stay at the uniform prior, which lands
+    the threshold at 1.0 (no clipping).
+    """
+    mech = SquareWaveMechanism(epsilon)
+    distributions = mech.estimate_distribution_rows(report_rows, n_bins=_TAU_BINS)
+    cdf = np.cumsum(distributions, axis=1)
+    # First bin whose CDF reaches the quantile — the vectorized form of
+    # ``np.searchsorted(cdf_row, quantile)`` for nondecreasing rows.
+    idx = (cdf < quantile).sum(axis=1)
+    tau = (np.minimum(idx, _TAU_BINS - 1) + 1.0) / _TAU_BINS
+    return np.maximum(tau, _MIN_TAU)
 
 
 class ToPL(StreamPerturber):
@@ -62,13 +99,7 @@ class ToPL(StreamPerturber):
 
     def estimate_threshold(self, sw_reports: np.ndarray, epsilon: float) -> float:
         """Fit the SW reports with EM and return the ``quantile`` threshold."""
-        mech = SquareWaveMechanism(epsilon)
-        n_bins = 32
-        distribution = mech.estimate_distribution(sw_reports, n_bins=n_bins)
-        cdf = np.cumsum(distribution)
-        idx = int(np.searchsorted(cdf, self.quantile))
-        tau = (min(idx, n_bins - 1) + 1.0) / n_bins
-        return max(tau, _MIN_TAU)
+        return float(estimate_tau_rows([sw_reports], epsilon, self.quantile)[0])
 
     def _perturb_prepared(
         self,
@@ -81,24 +112,46 @@ class ToPL(StreamPerturber):
         inputs = values.copy()
         perturbed = np.empty(n)
 
-        n_range = max(int(round(n * self.range_fraction)), 1)
-        n_range = min(n_range, n)
+        n_range = range_phase_length(n, self.range_fraction)
 
         # Phase 1: SW reports used both for publication and threshold fit.
         sw = SquareWaveMechanism(self.epsilon_per_slot)
-        phase1 = np.asarray(sw.perturb(values[:n_range], rng), dtype=float)
-        perturbed[:n_range] = phase1
         for t in range(n_range):
+            perturbed[t] = sw.perturb_batch(values[t : t + 1], rng)[0]
             accountant.charge(t, self.epsilon_per_slot)
 
         if n_range < n:
-            tau = self.estimate_threshold(phase1, self.epsilon_per_slot)
+            tau = self.estimate_threshold(perturbed[:n_range], self.epsilon_per_slot)
             hm = HybridMechanism(self.epsilon_per_slot)
-            scaled = np.clip(values[n_range:], 0.0, tau) / tau
-            reports = np.asarray(hm.perturb(scaled, rng), dtype=float)
-            perturbed[n_range:] = reports * tau
             for t in range(n_range, n):
+                scaled = np.clip(values[t : t + 1], 0.0, tau) / tau
+                perturbed[t] = hm.perturb_batch(scaled, rng)[0] * tau
                 accountant.charge(t, self.epsilon_per_slot)
 
         deviations = values - perturbed
         return inputs, perturbed, deviations, float(deviations.sum())
+
+    def _make_batch_engine(
+        self,
+        n_users: int,
+        rng: np.random.Generator,
+        horizon: Optional[int] = None,
+        record_history: bool = True,
+    ):
+        from .batch import BatchToPL
+
+        if horizon is None:
+            raise ValueError(
+                "ToPL's two-phase schedule needs the stream horizon up "
+                "front; pass horizon= when building its batch engine"
+            )
+        return BatchToPL(
+            self.epsilon,
+            self.w,
+            n_users,
+            horizon,
+            rng=rng,
+            range_fraction=self.range_fraction,
+            quantile=self.quantile,
+            record_history=record_history,
+        )

@@ -57,9 +57,14 @@ class APP(StreamPerturber):
             accumulated += deviations[t]
         return inputs, perturbed, deviations, accumulated
 
-    def _make_batch_engine(self, n_users: int, rng: np.random.Generator):
+    def _make_batch_engine(self, n_users, rng, horizon=None, record_history=True):
         from .online import BatchOnlineAPP
 
         return BatchOnlineAPP(
-            self.epsilon, self.w, n_users, rng, mechanism=self.mechanism_class
+            self.epsilon,
+            self.w,
+            n_users,
+            rng,
+            mechanism=self.mechanism_class,
+            record_history=record_history,
         )

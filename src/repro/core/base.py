@@ -232,7 +232,7 @@ class StreamPerturber(abc.ABC):
             raise ValueError("streams must be non-empty")
         rng = ensure_rng(rng)
         n_users, horizon = matrix.shape
-        engine = self._make_batch_engine(n_users, rng)
+        engine = self._make_batch_engine(n_users, rng, horizon=horizon)
         perturbed = np.empty_like(matrix)
         for t in range(horizon):
             perturbed[:, t] = engine.submit(matrix[:, t])
@@ -260,9 +260,21 @@ class StreamPerturber(abc.ABC):
 
     # -- hooks ------------------------------------------------------------
 
-    def _make_batch_engine(self, n_users: int, rng: np.random.Generator):
+    def _make_batch_engine(
+        self,
+        n_users: int,
+        rng: np.random.Generator,
+        horizon: "Optional[int]" = None,
+        record_history: bool = True,
+    ):
         """Build the vectorized population engine behind
-        :meth:`perturb_population` (see :mod:`repro.core.online`)."""
+        :meth:`perturb_population` (see :mod:`repro.core.online`).
+
+        ``horizon`` is the number of slots the engine will be stepped
+        through; algorithms whose schedule depends on the interval length
+        (ToPL's two phases, PP-S segmentation) require it, the slot-local
+        algorithms ignore it.
+        """
         raise NotImplementedError(
             f"{type(self).__name__} has no vectorized population engine"
         )

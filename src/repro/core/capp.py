@@ -83,7 +83,7 @@ class CAPP(StreamPerturber):
             accumulated += deviations[t]
         return inputs, perturbed, deviations, accumulated
 
-    def _make_batch_engine(self, n_users: int, rng: np.random.Generator):
+    def _make_batch_engine(self, n_users, rng, horizon=None, record_history=True):
         from .online import BatchOnlineCAPP
 
         return BatchOnlineCAPP(
@@ -93,4 +93,5 @@ class CAPP(StreamPerturber):
             rng,
             mechanism=self.mechanism_class,
             clip_bounds=self.clip_bounds,
+            record_history=record_history,
         )

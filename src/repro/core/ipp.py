@@ -47,3 +47,15 @@ class IPP(StreamPerturber):
             last_deviation = values[t] - perturbed[t]
             deviations[t] = last_deviation
         return inputs, perturbed, deviations, last_deviation
+
+    def _make_batch_engine(self, n_users, rng, horizon=None, record_history=True):
+        from .online import BatchOnlineIPP
+
+        return BatchOnlineIPP(
+            self.epsilon,
+            self.w,
+            n_users,
+            rng,
+            mechanism=self.mechanism_class,
+            record_history=record_history,
+        )

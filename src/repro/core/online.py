@@ -28,7 +28,9 @@ vectorized operations.  With one user the batched engines are
 bit-identical to their scalar counterparts given the same generator
 (tested); with many users they are distributionally equivalent, since
 independent per-user draws and one shared vectorized draw follow the same
-law.
+law.  The baseline algorithms' batched engines live in
+:mod:`repro.baselines.batch` and follow the same contract; all of them
+are reachable by paper name through :mod:`repro.registry`.
 """
 
 from __future__ import annotations
@@ -310,13 +312,22 @@ class BatchOnlinePerturber(abc.ABC):
                 )
             reports[active] = self._perturb_active(vals, active)
 
-        if mask is None:
-            spends: "float | np.ndarray" = self.epsilon_per_slot
-        else:
-            spends = np.where(mask, self.epsilon_per_slot, 0.0)
-        self.accountant.charge_next(spends)
+        self.accountant.charge_next(self._slot_spends(mask))
         self._t += 1
         return reports
+
+    def _slot_spends(self, mask: Optional[np.ndarray]) -> "float | np.ndarray":
+        """Budget charged for the slot just perturbed.
+
+        The default is the flat ``eps / w`` rate of the core algorithms
+        (zero for masked-out users).  Engines with data-dependent spends
+        — budget absorption/distribution, sampling — record their actual
+        per-user spends during :meth:`_perturb_active` and override this
+        to hand them to the accountant.
+        """
+        if mask is None:
+            return self.epsilon_per_slot
+        return np.where(mask, self.epsilon_per_slot, 0.0)
 
     def skip_slot(self) -> None:
         """Advance one slot with nobody reporting (all users offline)."""
@@ -325,10 +336,25 @@ class BatchOnlinePerturber(abc.ABC):
 
 
 class BatchOnlineSWDirect(BatchOnlinePerturber):
-    """Population-batched per-slot SW reporting (online SW-direct)."""
+    """Population-batched per-slot direct reporting (any mechanism).
+
+    The default Square Wave mechanism gives the paper's online
+    "SW-direct"; passing ``mechanism=`` generalizes the same loop to the
+    Fig. 9 direct variants (Laplace-direct, SR-direct, PM-direct).  The
+    per-user deviation running sum is tracked (like the scalar
+    bookkeeping) so :meth:`StreamPerturber.perturb_population` can report
+    it; direct reporting never feeds it back.
+    """
+
+    def __init__(self, epsilon, w, n_users, rng=None, mechanism=None,
+                 record_history=True):
+        super().__init__(epsilon, w, n_users, rng, mechanism, record_history)
+        self.accumulated_deviation = np.zeros(self.n_users)
 
     def _perturb_active(self, values: np.ndarray, active: np.ndarray) -> np.ndarray:
-        return self._mechanism.perturb_batch(values, self._rng)
+        reports = self._mechanism.perturb_batch(values, self._rng)
+        self.accumulated_deviation[active] += values - reports
+        return reports
 
 
 class BatchOnlineIPP(BatchOnlinePerturber):
@@ -344,6 +370,11 @@ class BatchOnlineIPP(BatchOnlinePerturber):
         reports = self._mechanism.perturb_batch(adjusted, self._rng)
         self.last_deviation[active] = values - reports
         return reports
+
+    @property
+    def accumulated_deviation(self) -> np.ndarray:
+        """IPP carries only the previous slot's deviation (Lemma III.1)."""
+        return self.last_deviation
 
 
 class BatchOnlineAPP(BatchOnlinePerturber):

@@ -31,6 +31,7 @@ from .._validation import (
     ensure_in_unit_interval,
     ensure_positive_int,
     ensure_rng,
+    ensure_stream_matrix,
     ensure_window,
 )
 from ..mechanisms.moments import output_moments_at_one, variance_of_sample_variance
@@ -348,4 +349,89 @@ class PPSampling(StreamPerturber):
             epsilon_per_sample=eps_sample,
             base_result=base_result,
             accountant=accountant,
+        )
+
+    def perturb_population(
+        self,
+        streams: "Sequence[Sequence[float]] | np.ndarray",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        """Vectorized PP-S over a whole population (same interval per user).
+
+        Mirrors :meth:`perturb_stream` step for step — per-user segment
+        means, one batched inner PP pass over the ``(n_users, n_s)``
+        means matrix, replication back to full length — so with one user
+        the two paths are bit-identical given the same generator
+        (tested).  The slot-granularity audit charges every user
+        ``eps_sample`` at each segment's upload position, exactly like
+        the scalar ledger.
+        """
+        from ..core.base import PopulationPerturbationResult
+        from ..privacy import BatchWEventAccountant
+
+        matrix = ensure_stream_matrix(streams)
+        if matrix.shape[0] == 0:
+            raise ValueError("streams must be non-empty")
+        rng = ensure_rng(rng)
+        n_users, length = matrix.shape
+
+        n_samples = self.n_samples or choose_num_samples(length, self.w, self.epsilon)
+        n_samples = min(n_samples, length)
+        seg_len = length // n_samples
+        n_w = samples_per_window(self.w, seg_len)
+        eps_sample = per_sample_budget(self.epsilon, self.w, seg_len)
+        bounds = segment_bounds(length, n_samples)
+
+        means = np.column_stack(
+            [matrix[:, lo:hi].mean(axis=1) for lo, hi in bounds]
+        )
+        means = np.clip(means, 0.0, 1.0)
+
+        inner = self.base_class(
+            epsilon=eps_sample * n_w, w=n_w, **self.base_kwargs
+        )
+        base = inner.perturb_population(means, rng)
+
+        perturbed = np.empty_like(matrix)
+        published = np.empty_like(matrix)
+        for r, (lo, hi) in enumerate(bounds):
+            perturbed[:, lo:hi] = base.perturbed[:, r : r + 1]
+            published[:, lo:hi] = base.published[:, r : r + 1]
+
+        accountant = BatchWEventAccountant(self.epsilon, self.w, n_users)
+        starts = {lo for lo, _ in bounds}
+        for t in range(length):
+            accountant.charge_next(eps_sample if t in starts else 0.0)
+        accountant.assert_valid()
+
+        return PopulationPerturbationResult(
+            original=matrix.copy(),
+            perturbed=perturbed,
+            published=published,
+            deviations=matrix - perturbed,
+            accumulated_deviation=np.array(
+                base.accumulated_deviation, dtype=float, copy=True
+            ),
+            epsilon_per_slot=eps_sample,
+            accountant=accountant,
+        )
+
+    def _make_batch_engine(self, n_users, rng, horizon=None, record_history=True):
+        from ..baselines.batch import BatchPPSampling
+
+        if horizon is None:
+            raise ValueError(
+                "PP-S segmentation needs the stream horizon up front; pass "
+                "horizon= when building its batch engine"
+            )
+        return BatchPPSampling(
+            self.epsilon,
+            self.w,
+            n_users,
+            horizon,
+            base=self.base_class,
+            n_samples=self.n_samples,
+            base_kwargs=self.base_kwargs,
+            rng=rng,
+            record_history=record_history,
         )

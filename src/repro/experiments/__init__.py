@@ -20,7 +20,14 @@ from .figures import (
 from .distribution_study import run_distribution_study
 from .io import ResultDocument, load_results, save_results
 from .models_study import run_models_study
-from .registry import ALGORITHM_FACTORIES, algorithm_names, make_algorithm
+from .registry import (
+    ALGORITHM_FACTORIES,
+    algorithm_names,
+    capabilities,
+    capability_matrix,
+    make_algorithm,
+    make_batch_engine,
+)
 from .plotting import line_chart, sparkline, sweep_chart
 from .reporting import format_sweep, format_table
 from .runner import (
@@ -55,7 +62,10 @@ __all__ = [
     "format_table1",
     "TABLE1_ALGORITHMS",
     "make_algorithm",
+    "make_batch_engine",
     "algorithm_names",
+    "capabilities",
+    "capability_matrix",
     "ALGORITHM_FACTORIES",
     "run_epsilon_sweep",
     "run_live_study",

@@ -53,8 +53,27 @@ def _run_table1(args: argparse.Namespace) -> str:
         n_subsequences=_scaled(15, args.scale),
         stream_length=_scaled(800, args.scale),
         seed=args.seed,
+        engine=args.engine,
     )
     return format_table1(result)
+
+
+def _format_algorithms() -> str:
+    """The estimator catalogue with per-name capability flags."""
+    from ..registry import ALGORITHMS, capability_matrix
+
+    matrix = capability_matrix()
+    columns = ["scalar", "batch", "sharded", "live", "participation"]
+    rows = []
+    for name in sorted(matrix):
+        flags = matrix[name]
+        cells = ["yes" if flags[c] else "no" for c in columns]
+        rows.append([name] + cells + [ALGORITHMS[name].description])
+    return format_table(
+        ["algorithm"] + columns + ["description"],
+        rows,
+        title="Registered estimators (see repro.registry)",
+    )
 
 
 def _run_fig_grid(runner: Callable, title: str) -> Callable[[argparse.Namespace], str]:
@@ -65,6 +84,7 @@ def _run_fig_grid(runner: Callable, title: str) -> Callable[[argparse.Namespace]
             n_repeats=max(int(round(2 * args.scale)), 1),
             stream_length=_scaled(800, args.scale),
             seed=args.seed,
+            engine=args.engine,
         )
         if args.datasets:
             kwargs["datasets"] = tuple(args.datasets)
@@ -95,6 +115,7 @@ def _run_fig6_like(runner: Callable, title: str) -> Callable[[argparse.Namespace
             n_repeats=max(int(round(2 * args.scale)), 1),
             stream_length=_scaled(800, args.scale),
             seed=args.seed,
+            engine=args.engine,
         )
         blocks = [
             format_sweep(list(epsilons), series, title=f"{title} {key}")
@@ -127,6 +148,7 @@ def _run_fig9(args: argparse.Namespace) -> str:
         n_subsequences=_scaled(20, args.scale),
         stream_length=_scaled(800, args.scale),
         seed=args.seed,
+        engine=args.engine,
     )
     blocks = []
     for dataset, metrics in result.items():
@@ -363,8 +385,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["list"],
-        help="which experiment to run ('list' prints the catalogue)",
+        choices=sorted(EXPERIMENTS) + ["list", "algorithms"],
+        help="which experiment to run ('list' prints the catalogue, "
+        "'algorithms' the estimator registry with capability flags)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("scalar", "vectorized"),
+        default="vectorized",
+        help="execution engine for sweep-based experiments (table1, "
+        "fig4-fig7, fig9): 'vectorized' batches all subsequences into "
+        "one population pass per cell, 'scalar' runs the per-user "
+        "reference loop (default: vectorized)",
     )
     parser.add_argument("--datasets", nargs="*", help="dataset names override")
     parser.add_argument("--windows", nargs="*", type=int, help="window sizes override")
@@ -433,6 +465,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
+        return 0
+    if args.experiment == "algorithms":
+        print(_format_algorithms())
         return 0
     if args.scale <= 0:
         print("--scale must be positive", file=sys.stderr)

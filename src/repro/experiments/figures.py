@@ -57,6 +57,7 @@ def _sweep_grid(
     n_repeats: int,
     stream_length: int,
     seed: int,
+    engine: str,
 ) -> "Dict[str, Dict[int, SweepDict]]":
     result: Dict[str, Dict[int, SweepDict]] = {}
     for dataset in datasets:
@@ -73,6 +74,7 @@ def _sweep_grid(
                 n_subsequences=n_subsequences,
                 n_repeats=n_repeats,
                 seed=seed,
+                engine=engine,
             )
             result[dataset][w] = sweep.values
     return result
@@ -87,6 +89,7 @@ def run_fig4(
     n_repeats: int = 1,
     stream_length: int = 2_000,
     seed: int = 0,
+    engine: str = "vectorized",
 ) -> "Dict[str, Dict[int, SweepDict]]":
     """Fig. 4: mean-estimation MSE vs eps, per dataset and window size."""
     return _sweep_grid(
@@ -100,6 +103,7 @@ def run_fig4(
         n_repeats,
         stream_length,
         seed,
+        engine,
     )
 
 
@@ -112,6 +116,7 @@ def run_fig5(
     n_repeats: int = 1,
     stream_length: int = 2_000,
     seed: int = 0,
+    engine: str = "vectorized",
 ) -> "Dict[str, Dict[int, SweepDict]]":
     """Fig. 5: publication cosine distance vs eps."""
     return _sweep_grid(
@@ -125,6 +130,7 @@ def run_fig5(
         n_repeats,
         stream_length,
         seed,
+        engine,
     )
 
 
@@ -149,6 +155,7 @@ def run_fig6(
     n_repeats: int = 1,
     stream_length: int = 2_000,
     seed: int = 0,
+    engine: str = "vectorized",
 ) -> "Dict[tuple, SweepDict]":
     """Fig. 6: mean-estimation MSE, sampling vs non-sampling."""
     result: Dict[tuple, SweepDict] = {}
@@ -164,6 +171,7 @@ def run_fig6(
             n_subsequences=n_subsequences,
             n_repeats=n_repeats,
             seed=seed,
+            engine=engine,
         )
         result[(dataset, w, q)] = sweep.values
     return result
@@ -177,6 +185,7 @@ def run_fig7(
     n_repeats: int = 1,
     stream_length: int = 2_000,
     seed: int = 0,
+    engine: str = "vectorized",
 ) -> "Dict[tuple, SweepDict]":
     """Fig. 7: publication cosine distance, sampling vs non-sampling."""
     result: Dict[tuple, SweepDict] = {}
@@ -192,6 +201,7 @@ def run_fig7(
             n_subsequences=n_subsequences,
             n_repeats=n_repeats,
             seed=seed,
+            engine=engine,
         )
         result[(dataset, w, q)] = sweep.values
     return result
@@ -264,6 +274,7 @@ def run_fig9(
     n_repeats: int = 1,
     stream_length: int = 2_000,
     seed: int = 0,
+    engine: str = "vectorized",
 ) -> "Dict[str, Dict[str, SweepDict]]":
     """Fig. 9: mechanism generalizability (MSE and cosine distance)."""
     result: Dict[str, Dict[str, SweepDict]] = {}
@@ -278,6 +289,7 @@ def run_fig9(
             n_subsequences=n_subsequences,
             n_repeats=n_repeats,
             seed=seed,
+            engine=engine,
         )
         cos_sweep = run_epsilon_sweep(
             stream,
@@ -288,6 +300,7 @@ def run_fig9(
             n_subsequences=n_subsequences,
             n_repeats=n_repeats,
             seed=seed,
+            engine=engine,
         )
         result[dataset] = {"mse": mse_sweep.values, "cosine": cos_sweep.values}
     return result

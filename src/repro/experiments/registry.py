@@ -1,72 +1,32 @@
-"""Algorithm registry: canonical names -> perturber factories.
+"""Algorithm registry (compatibility shim).
 
-Experiment configs and benchmarks refer to algorithms by the names the
-paper uses in its figure legends ("SW-direct", "BA-SW", "IPP", "APP",
-"CAPP", "ToPL", "Sampling", "APP-S", "CAPP-S", and the Fig. 9 mechanism
-variants such as "Laplace-APP").
+The registry grew into the package-level :mod:`repro.registry` so that
+every layer — protocol, runtime, service, experiments — can resolve
+estimators by canonical paper name without importing the experiment
+harness.  This module re-exports the experiment-facing names so existing
+imports keep working.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from ..registry import (
+    ALGORITHM_FACTORIES,
+    ALGORITHMS,
+    AlgorithmSpec,
+    algorithm_names,
+    capabilities,
+    capability_matrix,
+    make_algorithm,
+    make_batch_engine,
+)
 
-from ..baselines import BASW, BDSW, NaiveSampling, SWDirect, ToPL
-from ..baselines.sw_direct import MechanismDirect
-from ..core import APP, CAPP, IPP, PPSampling, StreamPerturber
-
-__all__ = ["ALGORITHM_FACTORIES", "make_algorithm", "algorithm_names"]
-
-#: factory signature: (epsilon, w) -> StreamPerturber
-Factory = Callable[[float, int], StreamPerturber]
-
-
-def _mechanism_direct(mechanism: str) -> Factory:
-    def factory(epsilon: float, w: int) -> StreamPerturber:
-        return MechanismDirect(epsilon, w, mechanism=mechanism)
-
-    return factory
-
-
-def _mechanism_app(mechanism: str) -> Factory:
-    def factory(epsilon: float, w: int) -> StreamPerturber:
-        return APP(epsilon, w, mechanism=mechanism)
-
-    return factory
-
-
-ALGORITHM_FACTORIES: Dict[str, Factory] = {
-    # non-sampling comparison set (Figs. 4, 5, 8a-d; Table I)
-    "sw-direct": lambda epsilon, w: SWDirect(epsilon, w),
-    "ba-sw": lambda epsilon, w: BASW(epsilon, w),
-    "bd-sw": lambda epsilon, w: BDSW(epsilon, w),
-    "ipp": lambda epsilon, w: IPP(epsilon, w),
-    "app": lambda epsilon, w: APP(epsilon, w),
-    "capp": lambda epsilon, w: CAPP(epsilon, w),
-    "topl": lambda epsilon, w: ToPL(epsilon, w),
-    # sampling comparison set (Figs. 6, 7, 8e-h)
-    "sampling": lambda epsilon, w: NaiveSampling(epsilon, w),
-    "app-s": lambda epsilon, w: PPSampling(epsilon, w, base="app"),
-    "capp-s": lambda epsilon, w: PPSampling(epsilon, w, base="capp"),
-    # mechanism generalizability (Fig. 9)
-    "sw-app": _mechanism_app("sw"),
-    "laplace-direct": _mechanism_direct("laplace"),
-    "laplace-app": _mechanism_app("laplace"),
-    "sr-direct": _mechanism_direct("sr"),
-    "sr-app": _mechanism_app("sr"),
-    "pm-direct": _mechanism_direct("pm"),
-    "pm-app": _mechanism_app("pm"),
-}
-
-
-def make_algorithm(name: str, epsilon: float, w: int) -> StreamPerturber:
-    """Instantiate an algorithm by its paper name (case-insensitive)."""
-    key = name.lower()
-    if key not in ALGORITHM_FACTORIES:
-        known = ", ".join(sorted(ALGORITHM_FACTORIES))
-        raise KeyError(f"unknown algorithm {name!r}; known: {known}")
-    return ALGORITHM_FACTORIES[key](epsilon, w)
-
-
-def algorithm_names() -> "list[str]":
-    """All registered algorithm names."""
-    return sorted(ALGORITHM_FACTORIES)
+__all__ = [
+    "ALGORITHM_FACTORIES",
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "algorithm_names",
+    "capabilities",
+    "capability_matrix",
+    "make_algorithm",
+    "make_batch_engine",
+]

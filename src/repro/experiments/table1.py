@@ -28,8 +28,14 @@ def run_table1(
     n_repeats: int = 1,
     stream_length: int = 2_000,
     seed: int = 0,
+    engine: str = "vectorized",
 ) -> "Dict[str, Dict[int, Dict[str, float]]]":
-    """Compute Table I cells: ``result[dataset][w][algorithm] -> MSE``."""
+    """Compute Table I cells: ``result[dataset][w][algorithm] -> MSE``.
+
+    ``engine="vectorized"`` (default) runs every cell as one population
+    pass over the stacked subsequences; ``"scalar"`` keeps the per-user
+    reference loop (see :func:`~repro.experiments.run_epsilon_sweep`).
+    """
     result: Dict[str, Dict[int, Dict[str, float]]] = {}
     for dataset in datasets:
         stream = load_stream(dataset, length=stream_length)
@@ -44,6 +50,7 @@ def run_table1(
                 n_subsequences=n_subsequences,
                 n_repeats=n_repeats,
                 seed=seed,
+                engine=engine,
             )
             result[dataset][w] = {
                 name: series[0] for name, series in sweep.values.items()

@@ -20,7 +20,7 @@ paper) comes out without catastrophic cancellation.
 from __future__ import annotations
 
 import math
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -232,6 +232,95 @@ class SquareWaveMechanism(Mechanism):
                 estimate = updated
                 break
             estimate = updated
+        return estimate
+
+    def report_histogram(self, reports: np.ndarray, n_output_bins: int) -> np.ndarray:
+        """Output-domain histogram of a report set (EM sufficient statistic).
+
+        Factored out of :meth:`estimate_distribution` so multi-user EM
+        (:meth:`estimate_distribution_rows`) bins each user's reports with
+        exactly the same rule.  An empty report set yields all-zero counts.
+        """
+        reports = np.asarray(reports, dtype=float).ravel()
+        n_output_bins = ensure_positive_int(n_output_bins, "n_output_bins")
+        if reports.size == 0:
+            return np.zeros(n_output_bins)
+        clipped = np.clip(reports, -self.b, 1.0 + self.b)
+        width = 1.0 + 2.0 * self.b
+        idx = np.minimum(
+            ((clipped + self.b) / width * n_output_bins).astype(int),
+            n_output_bins - 1,
+        )
+        return np.bincount(idx, minlength=n_output_bins).astype(float)
+
+    def estimate_distribution_rows(
+        self,
+        report_rows: "Sequence[np.ndarray]",
+        n_bins: int = 64,
+        n_output_bins: Optional[int] = None,
+        max_iterations: int = 200,
+        tol: float = 1e-7,
+        smoothing: bool = True,
+    ) -> np.ndarray:
+        """EM/EMS reconstruction for many independent report sets at once.
+
+        The population counterpart of :meth:`estimate_distribution`: each
+        row of the result is one report set's input-distribution estimate,
+        all rows iterated together with one transition matrix and two
+        matrix products per EM step instead of per-user Python loops.
+        Rows converge (or exhaust their iteration budget) independently —
+        a converged row is frozen while the rest keep iterating, so every
+        row's trajectory is exactly what it would be running alone.  Rows
+        with no reports stay at the uniform prior.
+
+        Args:
+            report_rows: one array of perturbed reports per user (lengths
+                may differ; empty rows are allowed).
+            n_bins, n_output_bins, max_iterations, tol, smoothing: as in
+                :meth:`estimate_distribution`.
+
+        Returns:
+            ``(len(report_rows), n_bins)`` matrix of probability vectors.
+        """
+        n_bins = ensure_positive_int(n_bins, "n_bins")
+        if n_output_bins is None:
+            n_output_bins = 2 * n_bins
+        matrix = self.transition_matrix(n_bins, n_output_bins)
+        counts = np.stack(
+            [self.report_histogram(row, n_output_bins) for row in report_rows]
+        ) if len(report_rows) else np.zeros((0, n_output_bins))
+
+        n_rows = counts.shape[0]
+        estimate = np.full((n_rows, n_bins), 1.0 / n_bins)
+        active = np.arange(n_rows)
+        for _ in range(max_iterations):
+            if active.size == 0:
+                break
+            current = estimate[active]
+            mixture = np.maximum(current @ matrix.T, 1e-300)
+            weighted = (counts[active] / mixture) @ matrix
+            updated = current * weighted
+            total = updated.sum(axis=1)
+            # A row whose mass collapses freezes at its pre-update value,
+            # like the scalar path's `total <= 0: break`.
+            alive = total > 0
+            active = active[alive]
+            if active.size == 0:
+                break
+            updated = updated[alive] / total[alive, None]
+            if smoothing:
+                padded = np.concatenate(
+                    [updated[:, :1], updated, updated[:, -1:]], axis=1
+                )
+                updated = (
+                    padded[:, :-2] * 0.25
+                    + padded[:, 1:-1] * 0.5
+                    + padded[:, 2:] * 0.25
+                )
+                updated = updated / updated.sum(axis=1, keepdims=True)
+            delta = np.abs(updated - estimate[active]).sum(axis=1)
+            estimate[active] = updated
+            active = active[delta >= tol]
         return estimate
 
     def estimate_mean(

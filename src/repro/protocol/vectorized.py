@@ -42,8 +42,10 @@ __all__ = [
     "run_protocol_vectorized",
 ]
 
-#: registry of batched online engines by paper name (mirrors
-#: :data:`repro.protocol.user.ONLINE_ALGORITHMS`)
+#: direct-construction fast path for the four core engines (mirrors
+#: :data:`repro.protocol.user.ONLINE_ALGORITHMS`); every other estimator
+#: name resolves through the package registry (:mod:`repro.registry`),
+#: so the full Table-I / Fig. 4-9 comparison set runs on this engine
 BATCH_ALGORITHMS = {
     "sw-direct": BatchOnlineSWDirect,
     "ipp": BatchOnlineIPP,
@@ -207,11 +209,48 @@ class PopulationSlotEngine:
         # paper's heterogeneous deployments); one batched engine per cohort.
         members: "dict[str, list[int]]" = {}
         for i, name in enumerate(algorithms):
-            key = name.lower()
-            if key not in BATCH_ALGORITHMS:
-                known = ", ".join(sorted(BATCH_ALGORITHMS))
-                raise KeyError(f"unknown online algorithm {name!r}; known: {known}")
-            members.setdefault(key, []).append(i)
+            members.setdefault(name.lower(), []).append(i)
+
+        def build_engine(name: str, n_members: int, generator):
+            # Core four: construct directly (the original fast path, kept
+            # bit-identical for the pinned golden fixtures).  Everything
+            # else resolves through the capability-aware registry, which
+            # also owns the unknown-name diagnostics.
+            cls = BATCH_ALGORITHMS.get(name)
+            if cls is not None:
+                return cls(
+                    epsilon, w, n_members, generator, record_history=record_history
+                )
+            from ..registry import make_batch_engine
+
+            return make_batch_engine(
+                name,
+                epsilon,
+                w,
+                n_members,
+                rng=generator,
+                horizon=self.horizon,
+                record_history=record_history,
+            )
+
+        # Validate names (and surface close-match suggestions) before any
+        # generator draw, so a typo cannot perturb the seed stream; also
+        # reject up front any estimator whose capability flags rule out
+        # this run's participation schedule, instead of failing mid-run
+        # at whichever slot first masks a user out.
+        partial = bool(schedule.size) and float(schedule.min()) < 1.0
+        for name in members:
+            if name not in BATCH_ALGORITHMS:
+                from ..registry import capabilities
+
+                flags = capabilities(name)
+                if partial and not flags["participation"]:
+                    raise ValueError(
+                        f"algorithm {name!r} does not support partial "
+                        "participation (it uploads on a calendar shared by "
+                        "the whole population); run it with "
+                        "participation=1.0"
+                    )
 
         seeds = rng.integers(0, 2**63 - 1, size=len(members))
         self._group_rows = [
@@ -221,13 +260,7 @@ class PopulationSlotEngine:
             PopulationGroup(
                 algorithm=name,
                 indices=rows + user_id_offset,
-                engine=BATCH_ALGORITHMS[name](
-                    epsilon,
-                    w,
-                    rows.size,
-                    np.random.default_rng(seed),
-                    record_history=record_history,
-                ),
+                engine=build_engine(name, rows.size, np.random.default_rng(seed)),
             )
             for (name, rows), seed in zip(zip(members, self._group_rows), seeds)
         ]
@@ -277,8 +310,15 @@ class PopulationSlotEngine:
             reports[rows] = group.engine.submit(column[rows], sub_mask)
         self._t += 1
         if mask is None:
-            return self._all_ids, reports
-        active = np.flatnonzero(mask)
+            finite = np.isfinite(reports)
+            if finite.all():
+                return self._all_ids, reports
+            # Engines may withhold reports on some slots even at full
+            # participation (e.g. sampling before its first upload); a
+            # NaN report means "nothing to ingest" for that user.
+            active = np.flatnonzero(finite)
+        else:
+            active = np.flatnonzero(mask & np.isfinite(reports))
         return active + self.user_id_offset, reports[active]
 
     def assert_valid(self) -> None:
@@ -313,9 +353,12 @@ def run_protocol_vectorized(
     Args:
         streams: ``(n_users, T)`` matrix (or list of equal-length streams)
             of true values in ``[0, 1]``.
-        algorithm: online algorithm name for every user, or one name per
-            user (heterogeneous populations run one batched engine per
-            distinct algorithm).
+        algorithm: algorithm name for every user, or one name per user
+            (heterogeneous populations run one batched engine per
+            distinct algorithm).  Any name registered in
+            :mod:`repro.registry` is accepted — the core four, the
+            BA/BD/ToPL baselines, the sampling family, and the Fig. 9
+            mechanism variants.
         epsilon, w: w-event privacy parameters shared by all users.
         smoothing_window: collector-side SMA window.
         participation: per-(user, slot) probability of actually reporting;

@@ -1,0 +1,252 @@
+"""Capability-aware estimator registry: the population-scale entry point.
+
+Every algorithm the paper evaluates (Table I, Figs. 4-9) is registered
+here under its figure-legend name, with two factories per name:
+
+* :func:`make_algorithm` — the scalar :class:`~repro.core.base.StreamPerturber`
+  reference (one user, one interval at a time);
+* :func:`make_batch_engine` — the vectorized population engine driving
+  ``n_users`` streams as NumPy state arrays, the execution substrate of
+  :func:`~repro.protocol.run_protocol_vectorized`, the sharded runtime
+  and the live ingestion service.
+
+Per-name capability flags record what each estimator supports, so any
+layer can ask by canonical name instead of hardcoding algorithm lists:
+
+``scalar`` / ``batch``
+    every registered name has both engines; with one user and the same
+    generator the two are bit-identical (tested).
+``sharded`` / ``live``
+    the batch engine follows the slot-clocked ``submit`` contract, so the
+    name runs through ``run_protocol_vectorized``, ``run_protocol_sharded``
+    and the live :class:`~repro.service.IngestionPipeline`.
+``participation``
+    whether the slot-clocked engine accepts partial participation masks
+    (dropout).  The sampling family uploads on a calendar shared by the
+    whole population and requires everyone present.
+``needs_horizon``
+    whether the batch engine must know the stream horizon at
+    construction (two-phase and segmented schedules).
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ._validation import ensure_rng
+from .baselines import BASW, BDSW, NaiveSampling, SWDirect, ToPL
+from .baselines.sw_direct import MechanismDirect
+from .core import APP, CAPP, IPP, PPSampling, StreamPerturber
+
+__all__ = [
+    "AlgorithmSpec",
+    "ALGORITHMS",
+    "ALGORITHM_FACTORIES",
+    "algorithm_names",
+    "capabilities",
+    "capability_matrix",
+    "make_algorithm",
+    "make_batch_engine",
+]
+
+#: factory signature: (epsilon, w) -> StreamPerturber
+Factory = Callable[[float, int], StreamPerturber]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered estimator: scalar factory plus capability flags."""
+
+    name: str
+    factory: Factory
+    description: str = ""
+    needs_horizon: bool = False
+    supports_participation: bool = True
+
+    def capabilities(self) -> Dict[str, bool]:
+        """Execution-mode capability flags for this estimator."""
+        return {
+            "scalar": True,
+            "batch": True,
+            "sharded": True,
+            "live": True,
+            "participation": self.supports_participation,
+            "needs_horizon": self.needs_horizon,
+        }
+
+
+def _mechanism_direct(mechanism: str) -> Factory:
+    def factory(epsilon: float, w: int) -> StreamPerturber:
+        return MechanismDirect(epsilon, w, mechanism=mechanism)
+
+    return factory
+
+
+def _mechanism_app(mechanism: str) -> Factory:
+    def factory(epsilon: float, w: int) -> StreamPerturber:
+        return APP(epsilon, w, mechanism=mechanism)
+
+    return factory
+
+
+def _spec(name: str, factory: Factory, description: str, **flags) -> AlgorithmSpec:
+    return AlgorithmSpec(name=name, factory=factory, description=description, **flags)
+
+
+ALGORITHMS: Dict[str, AlgorithmSpec] = {
+    spec.name: spec
+    for spec in [
+        # non-sampling comparison set (Figs. 4, 5, 8a-d; Table I)
+        _spec(
+            "sw-direct",
+            lambda epsilon, w: SWDirect(epsilon, w),
+            "per-slot SW reporting, no feedback",
+        ),
+        _spec(
+            "ba-sw",
+            lambda epsilon, w: BASW(epsilon, w),
+            "w-event budget absorption + SW (Kellaris et al.)",
+        ),
+        _spec(
+            "bd-sw",
+            lambda epsilon, w: BDSW(epsilon, w),
+            "w-event budget distribution + SW (Kellaris et al.)",
+        ),
+        _spec(
+            "ipp",
+            lambda epsilon, w: IPP(epsilon, w),
+            "iterative perturbation parameterization (Sec. III-C)",
+        ),
+        _spec(
+            "app",
+            lambda epsilon, w: APP(epsilon, w),
+            "accumulated perturbation parameterization (Alg. 1)",
+        ),
+        _spec(
+            "capp",
+            lambda epsilon, w: CAPP(epsilon, w),
+            "clipped APP with tuned clipping (Alg. 2)",
+        ),
+        _spec(
+            "topl",
+            lambda epsilon, w: ToPL(epsilon, w),
+            "two-phase range estimation + HM (Wang et al.)",
+            needs_horizon=True,
+        ),
+        # sampling comparison set (Figs. 6, 7, 8e-h)
+        _spec(
+            "sampling",
+            lambda epsilon, w: NaiveSampling(epsilon, w),
+            "segment means + direct SW at the Theorem-6 budget",
+            needs_horizon=True,
+            supports_participation=False,
+        ),
+        _spec(
+            "app-s",
+            lambda epsilon, w: PPSampling(epsilon, w, base="app"),
+            "PP-S sampling over APP (Alg. 3)",
+            needs_horizon=True,
+            supports_participation=False,
+        ),
+        _spec(
+            "capp-s",
+            lambda epsilon, w: PPSampling(epsilon, w, base="capp"),
+            "PP-S sampling over CAPP (Alg. 3)",
+            needs_horizon=True,
+            supports_participation=False,
+        ),
+        # mechanism generalizability (Fig. 9)
+        _spec("sw-app", _mechanism_app("sw"), "APP with the SW mechanism"),
+        _spec(
+            "laplace-direct",
+            _mechanism_direct("laplace"),
+            "per-slot Laplace reporting",
+        ),
+        _spec("laplace-app", _mechanism_app("laplace"), "APP with Laplace"),
+        _spec("sr-direct", _mechanism_direct("sr"), "per-slot Duchi SR reporting"),
+        _spec("sr-app", _mechanism_app("sr"), "APP with Duchi SR"),
+        _spec("pm-direct", _mechanism_direct("pm"), "per-slot PM reporting"),
+        _spec("pm-app", _mechanism_app("pm"), "APP with PM"),
+    ]
+}
+
+#: back-compat view: canonical name -> scalar factory
+ALGORITHM_FACTORIES: Dict[str, Factory] = {
+    name: spec.factory for name, spec in ALGORITHMS.items()
+}
+
+
+def _resolve(name: str) -> AlgorithmSpec:
+    key = name.lower()
+    spec = ALGORITHMS.get(key)
+    if spec is None:
+        known = ", ".join(sorted(ALGORITHMS))
+        close = difflib.get_close_matches(key, ALGORITHMS, n=3, cutoff=0.5)
+        hint = f"; did you mean {' or '.join(repr(c) for c in close)}?" if close else ""
+        raise KeyError(f"unknown algorithm {name!r}{hint} (known: {known})")
+    return spec
+
+
+def make_algorithm(name: str, epsilon: float, w: int) -> StreamPerturber:
+    """Instantiate a scalar algorithm by its paper name (case-insensitive).
+
+    Unknown names raise with close-match suggestions and the full
+    catalogue.
+    """
+    return _resolve(name).factory(epsilon, w)
+
+
+def make_batch_engine(
+    name: str,
+    epsilon: float,
+    w: int,
+    n_users: int,
+    rng: Optional[np.random.Generator] = None,
+    horizon: Optional[int] = None,
+    record_history: bool = True,
+):
+    """Build a vectorized population engine by paper name.
+
+    The engine follows the :class:`~repro.core.online.BatchOnlinePerturber`
+    slot-clocked contract (``submit`` one ``(n_users,)`` slice per slot)
+    and is bit-identical to the scalar algorithm for one user with the
+    same generator.
+
+    Args:
+        name: canonical algorithm name (case-insensitive).
+        epsilon, w: w-event privacy parameters.
+        n_users: population size driven by the engine.
+        rng: generator owning every subsequent draw.
+        horizon: number of slots the engine will see; required by
+            horizon-dependent schedules (``needs_horizon`` capability).
+        record_history: keep the full per-slot budget ledger.
+    """
+    spec = _resolve(name)
+    if spec.needs_horizon and horizon is None:
+        raise ValueError(
+            f"algorithm {spec.name!r} schedules its budget over the whole "
+            "interval; pass horizon= to build its batch engine"
+        )
+    scalar = spec.factory(epsilon, w)
+    return scalar._make_batch_engine(
+        n_users, ensure_rng(rng), horizon=horizon, record_history=record_history
+    )
+
+
+def algorithm_names() -> "list[str]":
+    """All registered algorithm names, sorted."""
+    return sorted(ALGORITHMS)
+
+
+def capabilities(name: str) -> Dict[str, bool]:
+    """Capability flags of one registered estimator."""
+    return _resolve(name).capabilities()
+
+
+def capability_matrix() -> "Dict[str, Dict[str, bool]]":
+    """``{name: capability flags}`` for every registered estimator."""
+    return {name: ALGORITHMS[name].capabilities() for name in algorithm_names()}

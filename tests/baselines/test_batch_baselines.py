@@ -1,0 +1,192 @@
+"""Batched baseline engines vs their scalar counterparts.
+
+The registry's contract: for one user and the same generator, every
+algorithm's vectorized population path is **bit-identical** to its scalar
+``perturb_stream`` reference; for populations it must keep per-user
+ledgers valid and states independent.  These tests pin that contract for
+every name the registry can build, plus the streaming-sampling engine's
+upload semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASW,
+    BDSW,
+    BatchBASW,
+    BatchBDSW,
+    BatchPPSampling,
+    BatchToPL,
+    ToPL,
+)
+from repro.core import PPSampling
+from repro.registry import algorithm_names, capabilities, make_algorithm
+
+STREAM = np.random.default_rng(5).random(40)
+
+
+@pytest.mark.parametrize("name", algorithm_names())
+def test_single_user_population_bit_identical(name):
+    """perturb_population with one user == perturb_stream, bit for bit."""
+    perturber = make_algorithm(name, 1.0, 8)
+    scalar = perturber.perturb_stream(STREAM, np.random.default_rng(77))
+    population = perturber.perturb_population(
+        STREAM[None, :], np.random.default_rng(77)
+    )
+    np.testing.assert_array_equal(population.perturbed[0], scalar.perturbed)
+    np.testing.assert_array_equal(population.published[0], scalar.published)
+
+
+@pytest.mark.parametrize("name", algorithm_names())
+def test_population_budget_audit(name):
+    """Every engine's population ledger passes the w-event audit."""
+    matrix = np.random.default_rng(0).random((30, 24))
+    perturber = make_algorithm(name, 1.0, 6)
+    result = perturber.perturb_population(matrix, np.random.default_rng(1))
+    result.accountant.assert_valid()
+    assert result.perturbed.shape == matrix.shape
+    assert np.all(np.isfinite(result.perturbed))
+
+
+class TestBatchBASW:
+    def test_sw_domain_containment(self):
+        matrix = np.random.default_rng(2).random((40, 30))
+        result = BASW(1.0, 6).perturb_population(matrix, np.random.default_rng(3))
+        # Every report is an SW draw at budget <= eps (b < 1/2 always).
+        assert result.perturbed.min() >= -0.5 - 1e-9
+        assert result.perturbed.max() <= 1.5 + 1e-9
+
+    def test_masked_users_skip_state(self):
+        engine = BatchBASW(1.0, 5, 3, np.random.default_rng(0))
+        engine.submit(np.array([0.2, 0.5, 0.8]))
+        pot_before = engine.pot[1]
+        mask = np.array([True, False, True])
+        reports = engine.submit(np.array([0.3, 0.6, 0.9]), mask)
+        assert np.isnan(reports[1])
+        assert engine.pot[1] == pot_before
+        np.testing.assert_array_equal(engine.accountant.user_spends(1)[-1:], [0.0])
+
+    def test_publication_spend_recorded(self):
+        engine = BatchBASW(1.0, 5, 4, np.random.default_rng(1))
+        engine.submit(np.full(4, 0.5))  # first slot always publishes
+        spends = engine.accountant.spends_matrix()[0]
+        assert np.all(spends > engine.probe_epsilon)  # probe + pot
+        engine.accountant.assert_valid()
+
+
+class TestBatchBDSW:
+    def test_sw_domain_containment(self):
+        matrix = np.random.default_rng(4).random((40, 30))
+        result = BDSW(1.0, 6).perturb_population(matrix, np.random.default_rng(5))
+        assert result.perturbed.min() >= -0.5 - 1e-9
+        assert result.perturbed.max() <= 1.5 + 1e-9
+
+    def test_window_state_tracks_time_order(self):
+        engine = BatchBDSW(1.0, 4, 2, np.random.default_rng(0))
+        for t in range(6):
+            engine.submit(np.array([0.4, 0.6]))
+        engine.accountant.assert_valid()
+        # The window never holds more than w slots of publication spends.
+        assert engine.window_spends.shape == (2, 4)
+
+
+class TestBatchToPL:
+    def test_requires_horizon(self):
+        from repro.registry import make_batch_engine
+
+        with pytest.raises(ValueError, match="horizon"):
+            make_batch_engine("topl", 1.0, 8, 4)
+
+    def test_phase_boundary_matches_scalar(self):
+        engine = BatchToPL(1.0, 8, 3, horizon=40, rng=np.random.default_rng(0))
+        assert engine.n_range == 12  # round(40 * 0.3)
+        for t in range(40):
+            engine.submit(np.full(3, 0.5))
+        assert engine.tau is not None
+        assert engine.tau.shape == (3,)
+        assert np.all(engine.tau >= 0.05) and np.all(engine.tau <= 1.0)
+        with pytest.raises(RuntimeError, match="already submitted"):
+            engine.submit(np.full(3, 0.5))
+
+    def test_fully_masked_user_gets_unit_threshold(self):
+        engine = BatchToPL(1.0, 8, 2, horizon=10, rng=np.random.default_rng(0))
+        mask = np.array([True, False])
+        for t in range(engine.n_range):
+            engine.submit(np.array([0.1, 0.1]), mask)
+        engine.submit(np.array([0.1, 0.1]))  # first phase-2 slot fits tau
+        assert engine.tau[1] == 1.0  # uniform prior -> no clipping
+        assert engine.tau[0] < 1.0  # low values fit a low threshold
+
+
+class TestBatchPPSampling:
+    def test_upload_reports_match_scalar_segments(self):
+        sampler = PPSampling(1.0, 8, base="capp")
+        scalar = sampler.perturb_stream(STREAM, np.random.default_rng(9))
+        engine = sampler._make_batch_engine(
+            1, np.random.default_rng(9), horizon=STREAM.size
+        )
+        per_slot = [engine.submit(STREAM[t : t + 1])[0] for t in range(STREAM.size)]
+        engine.accountant.assert_valid()
+        uploads = sorted(engine._upload_slots)
+        np.testing.assert_array_equal(
+            np.array([per_slot[t] for t in uploads]), scalar.segment_reports
+        )
+
+    def test_republishes_between_uploads(self):
+        engine = BatchPPSampling(
+            1.0, 6, 2, horizon=20, base="app", rng=np.random.default_rng(0)
+        )
+        first_upload = min(engine._upload_slots)
+        reports = [engine.submit(np.full(2, 0.5)) for _ in range(20)]
+        for t in range(first_upload):
+            assert np.isnan(reports[t]).all()  # nothing uploaded yet
+        for t in range(first_upload, 20):
+            assert np.isfinite(reports[t]).all()
+        # Non-upload slots re-publish the previous upload verbatim.
+        for t in range(first_upload + 1, 20):
+            if t not in engine._upload_slots:
+                np.testing.assert_array_equal(reports[t], reports[t - 1])
+
+    def test_rejects_partial_participation(self):
+        engine = BatchPPSampling(
+            1.0, 6, 3, horizon=12, rng=np.random.default_rng(0)
+        )
+        with pytest.raises(NotImplementedError, match="participation"):
+            engine.submit(np.full(3, 0.5), np.array([True, False, True]))
+
+    def test_charges_only_at_uploads(self):
+        engine = BatchPPSampling(
+            1.0, 6, 2, horizon=12, rng=np.random.default_rng(0)
+        )
+        for t in range(12):
+            engine.submit(np.full(2, 0.5))
+        spends = engine.accountant.spends_matrix()[:, 0]
+        uploads = sorted(engine._upload_slots)
+        assert np.all(spends[uploads] == engine.epsilon_per_sample)
+        others = [t for t in range(12) if t not in engine._upload_slots]
+        assert np.all(spends[others] == 0.0)
+
+
+class TestRegistryCapabilities:
+    def test_sampling_family_needs_horizon_and_full_participation(self):
+        for name in ("sampling", "app-s", "capp-s"):
+            flags = capabilities(name)
+            assert flags["needs_horizon"] and not flags["participation"]
+
+    def test_topl_needs_horizon(self):
+        assert capabilities("topl")["needs_horizon"]
+
+    def test_slot_local_names_support_participation(self):
+        for name in ("sw-direct", "ba-sw", "bd-sw", "ipp", "app", "capp"):
+            assert capabilities(name)["participation"]
+
+
+def test_scalar_topl_threshold_round_trip(rng):
+    """The rows-EM threshold fit stays within the scalar contract."""
+    topl = ToPL(1.0, 10)
+    from repro.mechanisms import SquareWaveMechanism
+
+    reports = SquareWaveMechanism(0.5).perturb(rng.random(2_000) * 0.4, rng)
+    tau = topl.estimate_threshold(reports, 0.5)
+    assert 0.05 <= tau <= 1.0

@@ -95,3 +95,38 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Scenario workloads" in out and "(2 shards)" in out
         assert "steady" in out and "churn" in out and "capp" in out
+
+
+class TestEngineFlag:
+    def test_engine_default_and_choices(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.engine == "vectorized"
+        args = build_parser().parse_args(["table1", "--engine", "scalar"])
+        assert args.engine == "scalar"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--engine", "turbo"])
+
+    def test_table1_scalar_engine_runs(self, capsys):
+        code = main(
+            [
+                "table1",
+                "--scale", "0.1",
+                "--datasets", "c6h6",
+                "--windows", "20",
+                "--engine", "scalar",
+            ]
+        )
+        assert code == 0
+        assert "Table I" in capsys.readouterr().out
+
+
+class TestAlgorithmsCommand:
+    def test_listing_shows_every_name_and_capabilities(self, capsys):
+        from repro.experiments import algorithm_names
+
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in algorithm_names():
+            assert name in out
+        for column in ("scalar", "batch", "sharded", "live", "participation"):
+            assert column in out

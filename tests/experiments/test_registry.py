@@ -19,13 +19,61 @@ class TestRegistry:
         with pytest.raises(KeyError, match="unknown algorithm"):
             make_algorithm("magic", 1.0, 10)
 
+    def test_unknown_suggests_close_matches(self):
+        with pytest.raises(KeyError, match="did you mean 'capp'"):
+            make_algorithm("cpap", 1.0, 10)
+        with pytest.raises(KeyError, match="did you mean"):
+            make_algorithm("topll", 1.0, 10)
+
     def test_names_sorted(self):
         names = algorithm_names()
         assert names == sorted(names)
         assert "capp" in names
+        # The full Table-I / Fig. 4-9 comparison set is registered.
+        for required in ("ba-sw", "bd-sw", "topl", "sampling", "app-s",
+                         "capp-s", "laplace-app", "pm-direct", "sr-app"):
+            assert required in names
 
     @pytest.mark.parametrize("name", sorted(ALGORITHM_FACTORIES))
     def test_factories_run_end_to_end(self, name, smooth_stream, rng):
         perturber = make_algorithm(name, 1.0, 10)
         result = perturber.perturb_stream(smooth_stream, rng)
         assert len(result) == smooth_stream.size
+
+
+class TestBatchRegistry:
+    @pytest.mark.parametrize("name", sorted(ALGORITHM_FACTORIES))
+    def test_every_name_builds_a_batch_engine(self, name):
+        import numpy as np
+
+        from repro.experiments import make_batch_engine
+
+        engine = make_batch_engine(
+            name, 1.0, 5, 4, rng=np.random.default_rng(0), horizon=12
+        )
+        reports = engine.submit(np.full(4, 0.5))
+        assert reports.shape == (4,)
+
+    def test_horizon_required_when_flagged(self):
+        import numpy as np
+
+        from repro.experiments import capabilities, make_batch_engine
+
+        for name in sorted(ALGORITHM_FACTORIES):
+            if not capabilities(name)["needs_horizon"]:
+                engine = make_batch_engine(
+                    name, 1.0, 5, 2, rng=np.random.default_rng(0)
+                )
+                assert engine.n_users == 2
+            else:
+                with pytest.raises(ValueError, match="horizon"):
+                    make_batch_engine(name, 1.0, 5, 2)
+
+    def test_capability_matrix_covers_all_names(self):
+        from repro.experiments import algorithm_names, capability_matrix
+
+        matrix = capability_matrix()
+        assert sorted(matrix) == algorithm_names()
+        for flags in matrix.values():
+            assert flags["scalar"] and flags["batch"]
+            assert flags["sharded"] and flags["live"]

@@ -153,3 +153,60 @@ class TestScenarioStudy:
 
         with pytest.raises(ValueError):
             run_scenario_study(n_shards=0, n_users=10, horizon=5)
+
+
+class TestEngineSwitch:
+    """Scalar vs vectorized sweep engines: same statistics, one code path."""
+
+    def test_invalid_engine_rejected(self, smooth_stream):
+        with pytest.raises(ValueError, match="engine"):
+            run_epsilon_sweep(
+                smooth_stream, ["capp"], [1.0], w=10, engine="turbo"
+            )
+
+    def test_vectorized_matches_scalar_within_tolerance(self, smooth_stream):
+        kwargs = dict(
+            algorithms=["sw-direct", "capp", "topl", "capp-s"],
+            epsilons=[2.0],
+            w=10,
+            n_subsequences=40,
+            seed=0,
+        )
+        scalar = run_epsilon_sweep(smooth_stream, engine="scalar", **kwargs)
+        vectorized = run_epsilon_sweep(smooth_stream, engine="vectorized", **kwargs)
+        for name in kwargs["algorithms"]:
+            s, v = scalar.values[name][0], vectorized.values[name][0]
+            # Same estimator averaged over the same 40 subsequences with
+            # independent noise draws: agree within sampling error.
+            assert v == pytest.approx(s, rel=2.0, abs=0.05), name
+
+    def test_vectorized_repeats_add_rows(self, smooth_stream):
+        sweep = run_epsilon_sweep(
+            smooth_stream,
+            ["capp"],
+            [1.0],
+            w=10,
+            n_subsequences=5,
+            n_repeats=3,
+            engine="vectorized",
+        )
+        assert len(sweep.values["capp"]) == 1
+
+    def test_custom_metric_falls_back_to_scalar(self, smooth_stream):
+        calls = []
+
+        def metric(perturber, subsequence, rng):
+            calls.append(len(subsequence))
+            return 0.0
+
+        sweep = run_epsilon_sweep(
+            smooth_stream,
+            ["capp"],
+            [1.0],
+            w=10,
+            n_subsequences=3,
+            metric=metric,
+            engine="vectorized",
+        )
+        assert sweep.values["capp"] == [0.0]
+        assert len(calls) == 3  # scalar loop ran the custom metric

@@ -56,6 +56,22 @@ CONFIGS = {
         data_seed=5,
         seed=3,
     ),
+    # A registry baseline (not one of the core four) through the sharded
+    # runtime: pins ToPL's two-phase schedule — SW range slots, the
+    # multi-row EM threshold fit, HM value slots — per shard.  Full
+    # participation: ToPL's estimates at fixed seed are part of the
+    # contract, and the sampling-free schedule keeps every slot populated.
+    "topl_sharded": dict(
+        n_users=10,
+        horizon=12,
+        chunk_size=4,
+        algorithm="topl",
+        epsilon=1.0,
+        w=5,
+        participation=1.0,
+        data_seed=13,
+        seed=9,
+    ),
 }
 
 

@@ -1,0 +1,99 @@
+"""Property tests for the baseline batch engines.
+
+Same contract as the mechanism-level ``perturb_batch`` suite, one level
+up: for every registered estimator the population engine must be
+bitwise-equal to the scalar reference for one user on arbitrary streams,
+budgets and seeds, and its outputs must stay inside the algorithm's
+output domain.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mechanisms.square_wave import sw_half_width
+from repro.registry import algorithm_names, make_algorithm, make_batch_engine
+
+#: newly batched baselines (the core four are pinned by the existing
+#: ``test_batch_online`` suite); sampling variants exercise segmentation
+NEW_BATCH_NAMES = [
+    "ba-sw",
+    "bd-sw",
+    "topl",
+    "laplace-direct",
+    "pm-direct",
+    "sr-direct",
+    "sw-app",
+    "pm-app",
+    "sampling",
+    "capp-s",
+]
+
+epsilons = st.floats(min_value=0.2, max_value=6.0, allow_nan=False)
+streams = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=8,
+    max_size=32,
+).map(np.asarray)
+seeds = st.integers(0, 2**32 - 1)
+
+
+class TestScalarBatchEquivalence:
+    @pytest.mark.parametrize("name", NEW_BATCH_NAMES)
+    @given(eps=epsilons, stream=streams, seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_single_user_bitwise(self, name, eps, stream, seed):
+        perturber = make_algorithm(name, eps, 5)
+        scalar = perturber.perturb_stream(stream, np.random.default_rng(seed))
+        population = perturber.perturb_population(
+            stream[None, :], np.random.default_rng(seed)
+        )
+        np.testing.assert_array_equal(population.perturbed[0], scalar.perturbed)
+        np.testing.assert_array_equal(population.published[0], scalar.published)
+
+
+class TestDomainContainment:
+    @pytest.mark.parametrize("name", ["ba-sw", "bd-sw"])
+    @given(eps=epsilons, seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_budget_scheme_reports_in_sw_domain(self, name, eps, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.random((12, 20))
+        result = make_algorithm(name, eps, 5).perturb_population(matrix, rng)
+        # Publications draw SW at data-dependent budgets <= eps; the SW
+        # half-width is monotonically shrinking in the budget, so the
+        # widest possible support is the smallest budget's.
+        b_max = 0.5  # sup over all budgets (b -> 1/2 as eps -> 0)
+        assert result.perturbed.min() >= -b_max - 1e-9
+        assert result.perturbed.max() <= 1.0 + b_max + 1e-9
+        result.accountant.assert_valid()
+
+    @given(eps=epsilons, seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_topl_phase1_in_sw_domain(self, eps, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.random((8, 20))
+        engine = make_batch_engine("topl", eps, 5, 8, rng=rng, horizon=20)
+        b = sw_half_width(eps / 5)
+        for t in range(engine.n_range):
+            reports = engine.submit(matrix[:, t])
+            assert reports.min() >= -b - 1e-9
+            assert reports.max() <= 1.0 + b + 1e-9
+        for t in range(engine.n_range, 20):
+            assert np.all(np.isfinite(engine.submit(matrix[:, t])))
+        engine.accountant.assert_valid()
+
+
+class TestLedgerInvariants:
+    @pytest.mark.parametrize("name", sorted(algorithm_names()))
+    @given(seed=seeds)
+    @settings(max_examples=5, deadline=None)
+    def test_every_engine_respects_w_event_budget(self, name, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.random((6, 18))
+        engine = make_batch_engine(name, 1.0, 4, 6, rng=rng, horizon=18)
+        for t in range(18):
+            engine.submit(matrix[:, t])
+        engine.accountant.assert_valid()
+        assert np.all(engine.accountant.max_window_spend() <= 1.0 + 1e-9)

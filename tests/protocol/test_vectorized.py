@@ -140,7 +140,7 @@ def test_user_series_queries_match_reference_shapes(streams):
 def test_validation_mirrors_reference():
     with pytest.raises(ValueError, match="matrix"):
         run_protocol_vectorized(np.zeros(5))
-    with pytest.raises(KeyError, match="unknown online algorithm"):
+    with pytest.raises(KeyError, match="unknown algorithm"):
         run_protocol_vectorized(np.full((2, 3), 0.5), algorithm="nope")
     with pytest.raises(ValueError, match="algorithm names"):
         run_protocol_vectorized(np.full((2, 3), 0.5), algorithm=["capp"])

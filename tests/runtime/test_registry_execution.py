@@ -1,0 +1,117 @@
+"""Every registered estimator through every population execution mode.
+
+The acceptance contract of the estimator registry: each name in
+``algorithm_names()`` runs through ``run_protocol_vectorized`` and
+``run_protocol_sharded``; a single-chunk sharded run equals the
+vectorized run **bit for bit** (it is one vectorized call with the
+shard-0 child generator), and a multi-shard live run equals the offline
+multi-shard run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.protocol import run_protocol_vectorized
+from repro.registry import algorithm_names, capabilities
+from repro.runtime import MatrixSource, run_protocol_sharded, shard_rng
+from repro.service import run_live
+
+MATRIX = np.random.default_rng(11).random((12, 15))
+
+
+@pytest.mark.parametrize("name", algorithm_names())
+def test_single_chunk_sharded_equals_vectorized(name):
+    vectorized = run_protocol_vectorized(
+        MATRIX, algorithm=name, epsilon=1.0, w=5, rng=shard_rng(3, 0)
+    )
+    sharded = run_protocol_sharded(
+        MatrixSource(MATRIX, chunk_size=MATRIX.shape[0]),
+        algorithm=name,
+        epsilon=1.0,
+        w=5,
+        seed=3,
+    )
+    np.testing.assert_array_equal(
+        sharded.collector.population_mean_series(),
+        vectorized.collector.population_mean_series(),
+    )
+    assert sharded.collector.n_reports == vectorized.collector.n_reports
+    sharded.assert_valid()
+
+
+@pytest.mark.parametrize("name", algorithm_names())
+def test_live_equals_multi_shard_offline(name):
+    sharded = run_protocol_sharded(
+        MatrixSource(MATRIX, chunk_size=5), algorithm=name, epsilon=1.0, w=5, seed=3
+    )
+    live = run_live(
+        MatrixSource(MATRIX, chunk_size=5), algorithm=name, epsilon=1.0, w=5, seed=3
+    )
+    np.testing.assert_array_equal(
+        live.population_mean_series(),
+        sharded.collector.population_mean_series(),
+    )
+
+
+@pytest.mark.parametrize(
+    "name",
+    [n for n in algorithm_names() if capabilities(n)["participation"]],
+)
+def test_participation_masks_run_for_slot_local_names(name):
+    result = run_protocol_vectorized(
+        MATRIX,
+        algorithm=name,
+        epsilon=1.0,
+        w=5,
+        participation=0.7,
+        rng=np.random.default_rng(0),
+    )
+    assert 0 < result.collector.n_reports < MATRIX.size
+
+
+def test_sampling_rejects_partial_participation_upfront():
+    """Capability mismatch fails at construction, not mid-run."""
+    with pytest.raises(ValueError, match="partial participation"):
+        run_protocol_vectorized(
+            MATRIX,
+            algorithm="capp-s",
+            epsilon=1.0,
+            w=5,
+            participation=0.5,
+            rng=np.random.default_rng(0),
+        )
+
+
+def test_sampling_engine_rejects_all_masked_slot():
+    """An everyone-offline slot must raise, not desync the calendar."""
+    from repro.registry import make_batch_engine
+
+    engine = make_batch_engine(
+        "capp-s", 1.0, 5, 3, rng=np.random.default_rng(0), horizon=12
+    )
+    with pytest.raises(NotImplementedError, match="participation"):
+        engine.submit(np.full(3, 0.5), np.zeros(3, dtype=bool))
+    with pytest.raises(NotImplementedError, match="skip"):
+        engine.skip_slot()
+
+
+def test_heterogeneous_population_mixes_baseline_cohorts():
+    names = ["capp", "ba-sw", "topl", "sw-direct"] * 3
+    result = run_protocol_vectorized(
+        MATRIX, algorithm=names, epsilon=1.0, w=5, rng=np.random.default_rng(1)
+    )
+    assert sorted(g.algorithm for g in result.groups) == [
+        "ba-sw",
+        "capp",
+        "sw-direct",
+        "topl",
+    ]
+    assert result.user_algorithm(1) == "ba-sw"
+    result.groups[0].engine.accountant.assert_valid()
+
+
+def test_unknown_name_suggests_close_matches():
+    with pytest.raises(KeyError, match="did you mean"):
+        run_protocol_vectorized(
+            MATRIX, algorithm="cap", epsilon=1.0, w=5, rng=np.random.default_rng(0)
+        )
