@@ -1,0 +1,81 @@
+"""Network gateway bench: end-to-end reports/sec over loopback TCP.
+
+Serves a population through the full transport tier — shard feeds
+encoded to the binary wire format, uploaded by a concurrent client
+fleet over real TCP connections, decoded and barrier-ingested by the
+asyncio server — and records sustained reports/sec plus p50/p99
+slot-finalization latency.  The served estimates are asserted
+bit-identical to ``run_protocol_sharded`` (the gateway determinism
+gate), and throughput must clear the serving floor.
+
+Sized through the environment so CI smoke jobs run at toy scale:
+
+* ``REPRO_BENCH_GATEWAY_USERS`` / ``REPRO_BENCH_GATEWAY_SLOTS`` —
+  population shape (default 20000 x 50).
+* ``REPRO_BENCH_GATEWAY_SHARDS`` — user-shards / concurrent client
+  connections (default 4).
+* ``REPRO_BENCH_GATEWAY_MIN_RPS`` — sustained reports/sec floor
+  (default 50000, the acceptance bar).
+"""
+
+import os
+
+import numpy as np
+
+from repro.gateway import run_gateway
+from repro.runtime import MatrixSource, run_protocol_sharded
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def test_gateway_throughput(record_table, record_population_bench):
+    n_users = _env_int("REPRO_BENCH_GATEWAY_USERS", 20_000)
+    horizon = _env_int("REPRO_BENCH_GATEWAY_SLOTS", 50)
+    n_shards = _env_int("REPRO_BENCH_GATEWAY_SHARDS", 4)
+    min_rps = _env_int("REPRO_BENCH_GATEWAY_MIN_RPS", 50_000)
+
+    matrix = np.random.default_rng(0).random((n_users, horizon))
+    chunk = -(-n_users // n_shards)  # ceil division
+    params = dict(epsilon=1.0, w=10, seed=1)
+
+    run = run_gateway(MatrixSource(matrix, chunk_size=chunk), **params)
+    offline = run_protocol_sharded(MatrixSource(matrix, chunk_size=chunk), **params)
+    # The transport tier must never change an answer, bit for bit.
+    np.testing.assert_array_equal(
+        run.result.population_mean_series(),
+        offline.collector.population_mean_series(),
+    )
+    assert run.result.n_reports == n_users * horizon
+
+    snapshot = run.metrics.snapshot()
+    rps = snapshot["reports_per_second"]
+    lines = [
+        f"gateway over loopback TCP at {n_users} users x {horizon} slots "
+        f"({n_shards} shards / connections, {os.cpu_count()} cpus)",
+        f"  reports/s sustained : {rps:12.0f}",
+        f"  p50 slot finalize   : {snapshot['p50_slot_latency_seconds'] * 1e3:9.3f} ms",
+        f"  p99 slot finalize   : {snapshot['p99_slot_latency_seconds'] * 1e3:9.3f} ms",
+        f"  wire bytes received : {snapshot['bytes_received']:12d}",
+        f"  frames received     : {snapshot['frames_received']:12d}",
+        f"  duplicates / sheds  : {snapshot['duplicates']} / {snapshot['sheds']}",
+        f"  floor: {min_rps} reports/s",
+    ]
+    record_table("gateway_throughput", "\n".join(lines))
+    record_population_bench(
+        "gateway",
+        {
+            "n_users": n_users,
+            "horizon": horizon,
+            "n_shards": n_shards,
+            "reports_per_second": rps,
+            "p50_slot_latency_seconds": snapshot["p50_slot_latency_seconds"],
+            "p99_slot_latency_seconds": snapshot["p99_slot_latency_seconds"],
+            "bytes_received": snapshot["bytes_received"],
+        },
+    )
+    assert rps >= min_rps, (
+        f"gateway throughput {rps:.0f} reports/s is below the {min_rps} "
+        f"reports/s serving floor"
+    )

@@ -1,0 +1,134 @@
+"""Perf-regression gate over the committed ``BENCH_population.json``.
+
+Compares a freshly measured perf trajectory against the baseline
+committed at the repo root and **fails (exit 1)** when any estimator's
+vectorized users/sec dropped below ``(1 - tolerance)`` of its committed
+value.  CI's ``bench-gate`` job snapshots the committed file, re-runs
+``benchmarks/bench_registry.py`` (which rewrites the trajectory in
+place), then runs this gate::
+
+    cp BENCH_population.json bench-baseline.json
+    python -m pytest benchmarks/bench_registry.py -x -q
+    python benchmarks/perf_gate.py --baseline bench-baseline.json
+
+The tolerance is deliberately loose (default 40% — configurable via
+``--tolerance`` or ``REPRO_BENCH_GATE_TOLERANCE``): shared CI runners
+are noisy, and the gate exists to catch algorithmic regressions (a hot
+path going quadratic, vectorization silently lost), not scheduler
+jitter.  Estimators present in only one file are reported but never
+fail the gate — new estimators have no baseline yet, and smoke runs may
+measure a subset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Tuple
+
+#: the per-estimator metric the gate enforces
+METRIC = "vectorized_users_per_sec"
+
+
+def load_estimators(path: str) -> Dict[str, float]:
+    """The ``{estimator: vectorized users/sec}`` map from a trajectory file."""
+    with open(path) as fh:
+        document = json.load(fh)
+    estimators = document.get("population", {}).get("estimators", {})
+    if not isinstance(estimators, dict) or not estimators:
+        raise ValueError(
+            f"{path} has no population.estimators section; run "
+            "benchmarks/bench_registry.py to produce one"
+        )
+    rates = {}
+    for name, payload in estimators.items():
+        rate = payload.get(METRIC)
+        if isinstance(rate, (int, float)) and rate > 0:
+            rates[name] = float(rate)
+    if not rates:
+        raise ValueError(f"{path} records no positive {METRIC} values")
+    return rates
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    tolerance: float,
+) -> Tuple[List[str], List[str]]:
+    """Per-estimator verdict lines and the regressions among them."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    floor_factor = 1.0 - tolerance
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            lines.append(f"  {name:16s} baseline {baseline[name]:12.0f}  (not measured — skipped)")
+            continue
+        if name not in baseline:
+            lines.append(f"  {name:16s} current  {current[name]:12.0f}  (no baseline — skipped)")
+            continue
+        ratio = current[name] / baseline[name]
+        verdict = "ok" if ratio >= floor_factor else "REGRESSED"
+        lines.append(
+            f"  {name:16s} {baseline[name]:12.0f} -> {current[name]:12.0f} "
+            f"u/s  ({ratio:6.2f}x)  {verdict}"
+        )
+        if ratio < floor_factor:
+            regressions.append(
+                f"{name}: {current[name]:.0f} users/sec is "
+                f"{(1.0 - ratio) * 100:.0f}% below the committed "
+                f"{baseline[name]:.0f} (allowed drop: {tolerance * 100:.0f}%)"
+            )
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        help="committed trajectory snapshot (taken before re-running benches)",
+    )
+    parser.add_argument(
+        "--current",
+        default="BENCH_population.json",
+        help="freshly measured trajectory (default: repo-root file, which "
+        "bench_registry rewrites in place)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_GATE_TOLERANCE", 0.40)),
+        help="max allowed fractional drop in vectorized users/sec "
+        "(default 0.40, or REPRO_BENCH_GATE_TOLERANCE)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.tolerance < 1.0:
+        print(f"tolerance must be in (0, 1), got {args.tolerance}", file=sys.stderr)
+        return 2
+
+    try:
+        baseline = load_estimators(args.baseline)
+        current = load_estimators(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"perf gate error: {error}", file=sys.stderr)
+        return 2
+
+    lines, regressions = compare(baseline, current, args.tolerance)
+    print(
+        f"perf gate: {METRIC}, tolerance {args.tolerance * 100:.0f}% "
+        f"({len(current)} measured vs {len(baseline)} baseline)"
+    )
+    print("\n".join(lines))
+    if regressions:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for regression in regressions:
+            print(f"  {regression}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

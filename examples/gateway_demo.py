@@ -1,0 +1,88 @@
+"""Network gateway demo: a client fleet uploading over real TCP.
+
+Demonstrates the `repro.gateway` subsystem end to end:
+
+1. synthesize a bursty scenario workload and split it into user-shards
+   (:func:`~repro.runtime.scenario_source`);
+2. start the asyncio gateway server on an ephemeral loopback port and
+   upload the population as a concurrent client fleet — with arrival
+   jitter, plus two *forced mid-slot disconnects* to show
+   reconnect-and-resume recovering without re-spending budget;
+3. print the transport telemetry (throughput, tail latency, duplicates,
+   reconnects) and verify the served estimates are **bit-identical** to
+   the offline sharded runtime for the same seed and decomposition.
+
+Run ``python examples/gateway_demo.py`` (add ``--users``/``--slots`` to
+scale).
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.streaming_queries import standard_dashboard
+from repro.gateway import run_gateway
+from repro.runtime import run_protocol_sharded, scenario_source
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--users", type=int, default=4_000)
+    parser.add_argument("--slots", type=int, default=96)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    source = scenario_source(
+        "bursty",
+        n_users=args.users,
+        horizon=args.slots,
+        n_shards=args.shards,
+        seed=args.seed,
+    )
+    params = dict(algorithm="capp", epsilon=1.0, w=10, seed=args.seed + 1)
+
+    print(
+        f"serving {args.users} users x {args.slots} slots over loopback TCP "
+        f"({args.shards} client connections, jitter + forced drops)..."
+    )
+    dashboard = standard_dashboard(window=5, alert_threshold=0.52)
+    run = run_gateway(
+        source,
+        jitter=0.001,
+        drops={1: [args.slots // 3], 2: [args.slots // 2]},
+        dashboards={"main": dashboard},
+        **params,
+    )
+
+    snapshot = run.metrics.snapshot()
+    print(f"\n  reports ingested  : {run.result.n_reports}")
+    print(f"  reports/s         : {snapshot['reports_per_second']:.0f}")
+    print(f"  p50 slot finalize : {snapshot['p50_slot_latency_seconds'] * 1e3:.3f} ms")
+    print(f"  p99 slot finalize : {snapshot['p99_slot_latency_seconds'] * 1e3:.3f} ms")
+    print(f"  wire traffic      : {snapshot['bytes_received']} bytes up, "
+          f"{snapshot['bytes_sent']} bytes down")
+    print(f"  duplicates/sheds  : {snapshot['duplicates']} / {snapshot['sheds']}")
+    for report in run.shard_reports:
+        note = f" (dropped at slots {report.dropped_slots})" if report.dropped_slots else ""
+        print(
+            f"    shard {report.shard}: uploaded {report.uploaded}, "
+            f"reconnects {report.reconnects}{note}"
+        )
+    alert = dashboard.query("alert")
+    print(f"  burst alerts fired: {alert.fired_count}")
+
+    print("\nverifying against the offline sharded runtime...")
+    offline = run_protocol_sharded(source, **params)
+    np.testing.assert_array_equal(
+        run.result.population_mean_series(),
+        offline.collector.population_mean_series(),
+    )
+    print(
+        "  bit-identical: every slot estimate matches the offline run "
+        "exactly — TCP framing, jitter, and reconnects changed nothing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -12,9 +12,9 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.base import StreamPerturber
 from ..mechanisms import Mechanism
 from ..privacy import WEventAccountant
-from ..core.base import StreamPerturber
 
 __all__ = ["SWDirect", "MechanismDirect"]
 

@@ -8,11 +8,17 @@ from .adaptive_clipping import (
 )
 from .app import APP
 from .base import PerturbationResult, PopulationPerturbationResult, StreamPerturber
-from .postprocessing import (
-    KalmanSmoother,
-    exponential_smoothing,
-    observation_variance_for,
+from .capp import CAPP
+from .clipping import (
+    DEFAULT_DELTA_CLAMP,
+    ClipBounds,
+    choose_clip_bounds,
+    clip_delta,
+    discarding_error,
+    sensitivity_error,
 )
+from .ipp import IPP
+from .multidim import BudgetSplit, MultiDimResult, SampleSplit
 from .online import (
     BatchOnlineAPP,
     BatchOnlineCAPP,
@@ -26,27 +32,10 @@ from .online import (
     OnlineSmoother,
     OnlineSWDirect,
 )
-from .capp import CAPP
-from .clipping import (
-    DEFAULT_DELTA_CLAMP,
-    ClipBounds,
-    choose_clip_bounds,
-    clip_delta,
-    discarding_error,
-    sensitivity_error,
-)
-from .ipp import IPP
-from .multidim import BudgetSplit, MultiDimResult, SampleSplit
-from .serialization import (
-    batch_accountant_from_dict,
-    batch_accountant_to_dict,
-    collector_state_from_dict,
-    collector_state_to_dict,
-    dumps_result,
-    loads_result,
-    result_from_dict,
-    result_to_dict,
-    result_to_public_dict,
+from .postprocessing import (
+    KalmanSmoother,
+    exponential_smoothing,
+    observation_variance_for,
 )
 from .sampling import (
     PPSampling,
@@ -57,6 +46,17 @@ from .sampling import (
     replicate_segments,
     segment_bounds,
     segment_means,
+)
+from .serialization import (
+    batch_accountant_from_dict,
+    batch_accountant_to_dict,
+    collector_state_from_dict,
+    collector_state_to_dict,
+    dumps_result,
+    loads_result,
+    result_from_dict,
+    result_to_dict,
+    result_to_public_dict,
 )
 from .smoothing import (
     simple_moving_average,

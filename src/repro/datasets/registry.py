@@ -7,7 +7,8 @@ and benchmarks can run on reduced sizes while examples use paper scale.
 
 from __future__ import annotations
 
-from typing import Optional
+import difflib
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -36,6 +37,14 @@ MATRIX_DATASETS = {
     "taxi": (1_500, 1_307),
     "power": (2_000, 96),
 }
+
+
+def _unknown_name_message(kind: str, name: str, known: Iterable[str]) -> str:
+    """Unknown-name error text with close-match hints (CLI-friendly)."""
+    known = sorted(known)
+    close = difflib.get_close_matches(str(name).lower(), known, n=3, cutoff=0.5)
+    hint = f"; did you mean {' or '.join(repr(c) for c in close)}?" if close else ""
+    return f"unknown {kind} {name!r}{hint} (known: {', '.join(known)})"
 
 
 def load_stream(
@@ -71,7 +80,7 @@ def load_stream(
             length or 1_000, rng=np.random.default_rng(seed)
         )
     known = sorted(set(STREAM_DATASETS) | set(MATRIX_DATASETS) | {"random_walk"})
-    raise KeyError(f"unknown dataset {name!r}; known: {', '.join(known)}")
+    raise KeyError(_unknown_name_message("dataset", name, known))
 
 
 def load_matrix(
@@ -91,4 +100,4 @@ def load_matrix(
     if key in {"sin", "sin-data", "sin_data"}:
         return sin_matrix(n_dimensions or 5, length or 400)
     known = sorted(set(MATRIX_DATASETS) | {"sin-data"})
-    raise KeyError(f"unknown matrix dataset {name!r}; known: {', '.join(known)}")
+    raise KeyError(_unknown_name_message("matrix dataset", name, known))

@@ -1,5 +1,6 @@
 """Experiment harness: one runner per table/figure of the paper."""
 
+from .distribution_study import run_distribution_study
 from .figures import (
     DEFAULT_EPSILONS,
     FIG6_PANELS,
@@ -17,9 +18,9 @@ from .figures import (
     run_fig10,
     run_fig11,
 )
-from .distribution_study import run_distribution_study
 from .io import ResultDocument, load_results, save_results
 from .models_study import run_models_study
+from .plotting import line_chart, sparkline, sweep_chart
 from .registry import (
     ALGORITHM_FACTORIES,
     algorithm_names,
@@ -28,7 +29,6 @@ from .registry import (
     make_algorithm,
     make_batch_engine,
 )
-from .plotting import line_chart, sparkline, sweep_chart
 from .reporting import format_sweep, format_table
 from .runner import (
     SweepResult,

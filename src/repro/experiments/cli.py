@@ -9,6 +9,9 @@ Usage::
     python -m repro live --shards 2 --scale 0.5
     python -m repro serve-replay --datasets bursty --shards 2 \
         --sink events.jsonl --record-batches
+    python -m repro gateway-serve --datasets bursty --shards 4 --verify
+    python -m repro gateway-serve --standalone --port 7070   # then, elsewhere:
+    python -m repro gateway-fleet --connect 127.0.0.1:7070
     python -m repro list
 
 ``--scale`` multiplies the default subsequence/repeat counts, letting a
@@ -18,6 +21,16 @@ laptop trade accuracy for speed (1.0 reproduces the bench defaults).
 pipeline (:mod:`repro.service`) with a standing dashboard, optionally
 writing every event to a JSONL sink; with ``--record-batches`` the sink
 is a complete replayable capture of the run.
+
+``gateway-serve`` serves the same workloads over real TCP through
+:mod:`repro.gateway` — by default with an in-process client fleet over
+loopback; with ``--standalone`` it waits for an external fleet started
+via ``gateway-fleet``.  Both sides derive the shard decomposition from
+the same scenario arguments, so gateway-served estimates are
+bit-identical to the offline sharded run (``--verify`` checks).
+
+Unknown dataset/algorithm/scenario names exit with status 2 and a
+one-line message carrying the registries' close-match suggestions.
 """
 
 from __future__ import annotations
@@ -39,7 +52,11 @@ from .figures import (
 from .reporting import format_sweep, format_table
 from .table1 import format_table1, run_table1
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "CLIError"]
+
+
+class CLIError(Exception):
+    """A usage error that should exit with a one-line message, not a trace."""
 
 
 def _scaled(base: int, scale: float) -> int:
@@ -312,7 +329,7 @@ def _run_live(args: argparse.Namespace) -> str:
 
 def _run_serve_replay(args: argparse.Namespace) -> str:
     from ..analysis.streaming_queries import standard_dashboard
-    from ..runtime import ScenarioSource, make_scenario
+    from ..runtime import scenario_source
     from ..service import JSONLSink, run_live
 
     scenario = (args.datasets or ["diurnal"])[0]
@@ -321,8 +338,9 @@ def _run_serve_replay(args: argparse.Namespace) -> str:
     n_shards = max(args.shards, 1)
     window = args.dashboard_window
 
-    spec = make_scenario(scenario, n_users=n_users, horizon=horizon)
-    source = ScenarioSource(spec, chunk_size=-(-n_users // n_shards), seed=args.seed)
+    source = scenario_source(
+        scenario, n_users=n_users, horizon=horizon, n_shards=n_shards, seed=args.seed
+    )
 
     dashboard = standard_dashboard(window, args.alert_threshold)
 
@@ -360,6 +378,196 @@ def _run_serve_replay(args: argparse.Namespace) -> str:
     return format_table(["metric", "value"], rows, title="Live serve-replay")
 
 
+def _gateway_workload(args):
+    """Scenario source + protocol parameters shared by serve and fleet.
+
+    Both gateway commands rebuild the workload from the same arguments,
+    which is what lets a separately launched fleet produce exactly the
+    reports the server-side verification expects.
+    """
+    from ..runtime import scenario_source
+
+    scenario = (args.datasets or ["bursty"])[0]
+    n_users = _scaled(2_000, args.scale)
+    horizon = _scaled(96, args.scale)
+    n_shards = max(args.shards, 1)
+    source = scenario_source(
+        scenario, n_users=n_users, horizon=horizon, n_shards=n_shards, seed=args.seed
+    )
+    protocol = dict(
+        algorithm=args.algorithm,
+        epsilon=(args.epsilons or [1.0])[0],
+        w=(args.windows or [10])[0],
+        seed=args.seed + 1,
+    )
+    return scenario, source, n_shards, protocol
+
+
+def _write_metrics_json(path: str, payload: Dict) -> None:
+    import json
+
+    from ..service.events import jsonify
+
+    with open(path, "w") as fh:
+        json.dump(jsonify(payload), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _run_gateway_serve(args: argparse.Namespace) -> str:
+    from ..gateway import run_gateway
+    from ..runtime import run_protocol_sharded
+
+    scenario, source, n_shards, protocol = _gateway_workload(args)
+    if args.standalone:
+        return _serve_standalone(args, scenario, source, n_shards, protocol)
+
+    try:
+        run = run_gateway(
+            source, host=args.host, port=args.port, jitter=args.jitter, **protocol
+        )
+    except (ConnectionError, TimeoutError, OSError) as error:
+        raise CLIError(f"gateway serve failed: {error}") from error
+    snapshot = run.metrics.snapshot()
+    bit_identical = None
+    if args.verify:
+        offline = run_protocol_sharded(source, **protocol)
+        bit_identical = bool(
+            run.result.collector.state.slot_sums == offline.collector.state.slot_sums
+            and run.result.collector.state.slot_counts
+            == offline.collector.state.slot_counts
+        )
+
+    rows = [
+        ["scenario", scenario],
+        ["shards (connections)", n_shards],
+        ["algorithm", protocol["algorithm"]],
+        ["reports ingested", run.result.n_reports],
+        ["reports/s sustained", f"{snapshot['reports_per_second']:.0f}"],
+        ["p50 slot latency", f"{snapshot['p50_slot_latency_seconds'] * 1e3:.3f} ms"],
+        ["p99 slot latency", f"{snapshot['p99_slot_latency_seconds'] * 1e3:.3f} ms"],
+        ["bytes received", snapshot["bytes_received"]],
+        ["duplicates / sheds", f"{snapshot['duplicates']} / {snapshot['sheds']}"],
+        ["reconnects", sum(r.reconnects for r in run.shard_reports)],
+    ]
+    if bit_identical is not None:
+        rows.append(["bit-identical to sharded run", "yes" if bit_identical else "NO"])
+    if args.metrics_out:
+        _write_metrics_json(
+            args.metrics_out,
+            {
+                "scenario": scenario,
+                "n_shards": n_shards,
+                "algorithm": protocol["algorithm"],
+                "bit_identical": bit_identical,
+                "gateway": snapshot,
+                "shards": [
+                    {
+                        "shard": r.shard,
+                        "uploaded": r.uploaded,
+                        "duplicates": r.duplicates,
+                        "skipped": r.skipped,
+                        "reconnects": r.reconnects,
+                    }
+                    for r in run.shard_reports
+                ],
+            },
+        )
+        rows.append(["metrics json", args.metrics_out])
+    if bit_identical is False:
+        raise CLIError(
+            "gateway-served estimates diverged from the offline sharded run"
+        )
+    return format_table(["metric", "value"], rows, title="Gateway serve (loopback fleet)")
+
+
+def _serve_standalone(args, scenario, source, n_shards, protocol) -> str:
+    """Listen on --port and wait for an external gateway-fleet."""
+    import asyncio
+
+    from ..gateway import GatewayServer
+    from ..service import IngestionPipeline
+
+    pipeline = IngestionPipeline(
+        n_shards=n_shards,
+        horizon=source.horizon,
+        epsilon=protocol["epsilon"],
+        w=protocol["w"],
+    )
+
+    async def _serve():
+        server = GatewayServer(pipeline, host=args.host, port=args.port)
+        await server.start(metadata={"algorithm": protocol["algorithm"]})
+        print(
+            f"gateway listening on {args.host}:{server.port} — upload with\n"
+            f"  python -m repro gateway-fleet --connect {args.host}:{server.port} "
+            f"--datasets {scenario} --shards {n_shards} --scale {args.scale:g} "
+            f"--seed {args.seed}",
+            file=sys.stderr,
+        )
+        try:
+            await server.wait_complete(timeout=args.serve_timeout or None)
+        finally:
+            await server.stop()
+        return server
+
+    try:
+        server = asyncio.run(_serve())
+    except (TimeoutError, asyncio.TimeoutError) as error:
+        raise CLIError(
+            f"no fleet completed the run within --serve-timeout "
+            f"{args.serve_timeout:g}s"
+        ) from error
+    except OSError as error:  # bind failure (port in use, bad host)
+        raise CLIError(f"cannot listen on {args.host}:{args.port}: {error}") from error
+    snapshot = server.metrics.snapshot()
+    result = server.result()
+    rows = [
+        ["scenario", scenario],
+        ["reports ingested", result.n_reports],
+        ["reports/s sustained", f"{snapshot['reports_per_second']:.0f}"],
+        ["p99 slot latency", f"{snapshot['p99_slot_latency_seconds'] * 1e3:.3f} ms"],
+        ["connections served", snapshot["connections_opened"]],
+    ]
+    if args.metrics_out:
+        _write_metrics_json(args.metrics_out, {"scenario": scenario, "gateway": snapshot})
+        rows.append(["metrics json", args.metrics_out])
+    return format_table(["metric", "value"], rows, title="Gateway serve (standalone)")
+
+
+def _run_gateway_fleet(args: argparse.Namespace) -> str:
+    from ..gateway import GatewayError, run_fleet
+
+    if not args.connect:
+        raise CLIError("gateway-fleet requires --connect HOST:PORT")
+    host, _, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise CLIError(f"--connect must be HOST:PORT, got {args.connect!r}") from None
+    scenario, source, n_shards, protocol = _gateway_workload(args)
+    try:
+        reports = run_fleet(
+            source,
+            host or "127.0.0.1",
+            port,
+            jitter=args.jitter,
+            **protocol,
+        )
+    except (ConnectionError, TimeoutError, OSError) as error:
+        raise CLIError(f"cannot reach gateway at {args.connect}: {error}") from error
+    except GatewayError as error:
+        raise CLIError(f"gateway rejected the fleet: {error}") from error
+    rows = [
+        [r.shard, r.uploaded, r.duplicates, r.skipped, r.reconnects]
+        for r in reports
+    ]
+    return format_table(
+        ["shard", "uploaded", "duplicates", "skipped", "reconnects"],
+        rows,
+        title=f"Gateway fleet: {scenario} -> {args.connect}",
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "table1": _run_table1,
     "models": _run_models,
@@ -367,6 +575,8 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "scenarios": _run_scenarios,
     "live": _run_live,
     "serve-replay": _run_serve_replay,
+    "gateway-serve": _run_gateway_serve,
+    "gateway-fleet": _run_gateway_fleet,
     "fig4": _run_fig_grid(run_fig4, "Fig.4"),
     "fig5": _run_fig_grid(run_fig5, "Fig.5"),
     "fig6": _run_fig6_like(run_fig6, "Fig.6"),
@@ -457,6 +667,61 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0.52 — raw-report means compress the signal toward "
         "0.5 at strong per-report privacy, so alert just above rest)",
     )
+    gateway = parser.add_argument_group(
+        "network gateway (gateway-serve / gateway-fleet)"
+    )
+    gateway.add_argument(
+        "--algorithm",
+        default="capp",
+        help="estimator name for gateway workloads (any registry name; "
+        "default capp)",
+    )
+    gateway.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="gateway-serve listen address (default loopback)",
+    )
+    gateway.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="gateway-serve listen port (default 0: ephemeral)",
+    )
+    gateway.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="gateway-fleet: the serving gateway's address",
+    )
+    gateway.add_argument(
+        "--jitter",
+        type=float,
+        default=0.0,
+        help="max per-slot client arrival jitter in seconds (default 0)",
+    )
+    gateway.add_argument(
+        "--standalone",
+        action="store_true",
+        help="gateway-serve: wait for an external gateway-fleet instead "
+        "of running the loopback fleet in-process",
+    )
+    gateway.add_argument(
+        "--verify",
+        action="store_true",
+        help="gateway-serve: re-run the offline sharded runtime and "
+        "assert the gateway-served estimates are bit-identical",
+    )
+    gateway.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the gateway metrics snapshot as JSON",
+    )
+    gateway.add_argument(
+        "--serve-timeout",
+        type=float,
+        default=0.0,
+        help="standalone serve: give up after this many seconds "
+        "(default 0: wait forever)",
+    )
     return parser
 
 
@@ -472,7 +737,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.scale <= 0:
         print("--scale must be positive", file=sys.stderr)
         return 2
-    print(EXPERIMENTS[args.experiment](args))
+    try:
+        print(EXPERIMENTS[args.experiment](args))
+    except CLIError as error:
+        print(f"error: {error.args[0] if error.args else error}", file=sys.stderr)
+        return 2
+    except KeyError as error:
+        # Unknown dataset/algorithm/scenario names land here as KeyErrors
+        # whose messages already carry the registries' difflib
+        # suggestions; a usage mistake deserves one line, not a trace.
+        # Any other KeyError is an internal bug — let it trace.
+        message = error.args[0] if error.args else None
+        if not (isinstance(message, str) and message.startswith("unknown ")):
+            raise
+        print(f"error: {message}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -14,7 +14,7 @@ from typing import Callable, Dict, Optional, Sequence
 import numpy as np
 
 from ..analysis import crowd_mean_distribution_distance
-from ..core import BudgetSplit, CAPP, SampleSplit
+from ..core import CAPP, BudgetSplit, SampleSplit
 from ..datasets import load_matrix, load_stream, sin_matrix
 from ..metrics import cosine_distance
 from .registry import make_algorithm

@@ -12,8 +12,8 @@ from typing import Dict, Sequence
 
 
 from ..datasets import load_stream
-from .runner import mean_squared_error_of_mean, run_epsilon_sweep
 from .reporting import format_table
+from .runner import mean_squared_error_of_mean, run_epsilon_sweep
 
 __all__ = ["run_table1", "format_table1", "TABLE1_ALGORITHMS"]
 

@@ -1,0 +1,63 @@
+"""Network ingestion gateway: the transport tier of the serving stack.
+
+The paper's protocol assumes untrusted clients uploading perturbed
+reports to a collector over a network; this package is that missing
+layer.  :mod:`~repro.gateway.wire` defines a versioned, length-prefixed
+binary frame format (documented in ``docs/wire_format.md``);
+:mod:`~repro.gateway.server` is the asyncio TCP server that validates
+uploads and feeds them into the live
+:class:`~repro.service.IngestionPipeline` slot barrier;
+:mod:`~repro.gateway.client` and :mod:`~repro.gateway.fleet` drive N
+simulated user-shards as concurrent connections with arrival jitter,
+load-shed retries, and reconnect-on-drop;
+:mod:`~repro.gateway.metrics` counts what the server saw.
+
+Layer stack with the gateway in place::
+
+    client fleet  -- TCP -->  gateway server  -->  ingestion pipeline
+    (shard feeds)             (validate/shed)      (slot barrier)
+                                                        |
+                                              collector shards -> queries
+
+Gateway-served estimates are bit-identical to
+:func:`~repro.runtime.run_protocol_sharded` for the same seed and shard
+decomposition — the network can reorder, stall, shed, and drop without
+ever changing an answer.
+"""
+
+from .client import GatewayClient, GatewayError
+from .fleet import (
+    GatewayRunResult,
+    ShardUploadReport,
+    drive_feed,
+    run_fleet,
+    run_fleet_async,
+    run_gateway,
+)
+from .metrics import GatewayMetrics
+from .server import GatewayServer
+from .wire import (
+    MAX_PAYLOAD_BYTES,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    FrameType,
+    WireError,
+)
+
+__all__ = [
+    "GatewayClient",
+    "GatewayError",
+    "GatewayMetrics",
+    "GatewayServer",
+    "GatewayRunResult",
+    "ShardUploadReport",
+    "drive_feed",
+    "run_fleet",
+    "run_fleet_async",
+    "run_gateway",
+    "FrameType",
+    "WireError",
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "MAX_PAYLOAD_BYTES",
+]

@@ -1,0 +1,188 @@
+"""Asyncio client for the report-ingestion gateway.
+
+:class:`GatewayClient` owns one connection for one user-shard: it
+performs the ``HELLO`` handshake (learning the server's ``resume_slot``
+for the shard — where to pick up after a reconnect), uploads one framed
+:class:`~repro.service.events.ReportBatch` per slot, and waits for each
+acknowledgement before sending the next (one batch in flight per
+connection; the server's load shedding paces faster shards via
+``REJECT`` + retry).
+
+The client never re-runs a mechanism: retries and reconnect resends
+reuse the batch object already produced by the shard's feed, so the
+privacy budget is spent exactly once per slot however unreliable the
+transport is.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from ..service.events import ReportBatch
+from .wire import (
+    FrameType,
+    WireError,
+    decode_control,
+    encode_batch_frame,
+    encode_control,
+    read_frame,
+)
+
+__all__ = ["GatewayClient", "GatewayError"]
+
+
+class GatewayError(RuntimeError):
+    """The server reported a protocol error (``ERROR`` frame)."""
+
+
+class GatewayClient:
+    """One shard's connection to a :class:`~repro.gateway.GatewayServer`.
+
+    Args:
+        host, port: the gateway's listen address.
+        shard: the user-shard this connection uploads for.
+        connect_timeout: seconds to wait for the TCP connect + handshake.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        shard: int,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.shard = int(shard)
+        self.connect_timeout = float(connect_timeout)
+        self.resume_slot = 0
+        self.horizon: Optional[int] = None
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None and not self._writer.is_closing()
+
+    async def connect(self) -> int:
+        """Open the connection and handshake; returns the resume slot.
+
+        ``resume_slot`` is the next slot the server expects from this
+        shard — ``0`` on a first connect, later after a reconnect whose
+        predecessor delivered batches (acked or not).
+        """
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.connect_timeout
+        )
+        try:
+            await self._send(encode_control(FrameType.HELLO, shard=self.shard))
+            ack = await asyncio.wait_for(
+                self._expect(FrameType.HELLO_ACK), self.connect_timeout
+            )
+        except BaseException:
+            # A failed handshake must not leak the dialed socket — the
+            # fleet's retry loop would otherwise stack half-open
+            # connections against a stalled server.
+            self.abort()
+            raise
+        self.resume_slot = int(ack["resume_slot"])
+        self.horizon = int(ack["horizon"])
+        return self.resume_slot
+
+    async def send_batch(self, batch: ReportBatch, drop_before_ack: bool = False) -> str:
+        """Upload one batch and wait for its acknowledgement.
+
+        Returns ``"accepted"`` or ``"duplicate"``.  A ``REJECT`` (load
+        shed) is handled internally: the client sleeps the server's
+        ``retry_after_seconds`` hint and resends the same batch object.
+
+        ``drop_before_ack`` is the fault-injection hook used by the
+        fleet's reconnect tests: the frame is written, then the
+        connection is torn down before reading the ack — exactly the
+        window where a real client cannot know whether the upload
+        landed.
+        """
+        if batch.shard != self.shard:
+            raise ValueError(
+                f"client uploads shard {self.shard} but batch is for "
+                f"shard {batch.shard}"
+            )
+        while True:
+            await self._send(encode_batch_frame(batch))
+            if drop_before_ack:
+                self.abort()
+                raise ConnectionResetError(
+                    f"injected drop after uploading slot {batch.t}"
+                )
+            frame = await self._read()
+            frame_type, fields = frame
+            if frame_type == FrameType.BATCH_ACK:
+                self.resume_slot = max(self.resume_slot, int(fields["t"]) + 1)
+                return "duplicate" if fields.get("duplicate") else "accepted"
+            if frame_type == FrameType.REJECT:
+                await asyncio.sleep(float(fields.get("retry_after_seconds", 0.02)))
+                continue
+            raise WireError(f"unexpected frame type {frame_type} awaiting ack")
+
+    async def finish(self) -> None:
+        """Graceful goodbye (``FIN`` / ``FIN_ACK``), then close.
+
+        A server that already hung up (run complete, listener closing)
+        is not a client fault — the goodbye is best-effort.
+        """
+        try:
+            if self.connected:
+                await self._send(encode_control(FrameType.FIN))
+                await self._expect(FrameType.FIN_ACK)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            await self.close()
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    def abort(self) -> None:
+        """Tear the transport down immediately (no goodbye, no flush)."""
+        if self._writer is not None:
+            transport = self._writer.transport
+            if transport is not None:
+                transport.abort()
+            self._writer = None
+            self._reader = None
+
+    # -- internals -------------------------------------------------------
+
+    async def _send(self, frame: bytes) -> None:
+        if self._writer is None:
+            raise ConnectionError("client is not connected")
+        self._writer.write(frame)
+        await self._writer.drain()
+
+    async def _read(self):
+        if self._reader is None:
+            raise ConnectionError("client is not connected")
+        frame = await read_frame(self._reader)
+        if frame is None:
+            raise ConnectionResetError("server closed the connection")
+        frame_type, payload = frame
+        fields = decode_control(payload) if payload else {}
+        if frame_type == FrameType.ERROR:
+            raise GatewayError(fields.get("message", "server reported an error"))
+        return frame_type, fields
+
+    async def _expect(self, expected_type: int):
+        frame_type, fields = await self._read()
+        if frame_type != expected_type:
+            raise WireError(
+                f"expected frame type {expected_type}, got {frame_type}"
+            )
+        return fields

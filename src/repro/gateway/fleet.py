@@ -1,0 +1,318 @@
+"""Async client fleet: N simulated user-shards uploading concurrently.
+
+The fleet turns any population source — raw matrices, memmaps, or the
+:mod:`repro.runtime.scenarios` presets — into a *network* workload: one
+:class:`~repro.gateway.client.GatewayClient` connection per shard feed,
+all running concurrently on one event loop, with configurable arrival
+jitter and reconnect-on-drop.  Because the shard engines live on the
+feeds (client side), a dropped connection loses no protocol state: the
+fleet reconnects, the ``HELLO_ACK`` resume slot says what the server
+already holds, and the upload continues without re-running a mechanism
+or re-spending budget.
+
+:func:`run_gateway` is the one-call loopback driver — server plus fleet
+in one event loop — and the gateway analogue of
+:func:`~repro.service.run_live`: same arguments, same bit-identical
+result, but every report crosses a real TCP connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.streaming_queries import StreamingQueryEngine
+from ..service.feeds import ShardFeed, shard_feeds
+from ..service.pipeline import IngestionPipeline, LiveRunResult
+from ..service.sinks import Sink
+from .client import GatewayClient
+from .metrics import GatewayMetrics
+from .server import GatewayServer
+
+__all__ = [
+    "ShardUploadReport",
+    "GatewayRunResult",
+    "drive_feed",
+    "run_fleet_async",
+    "run_fleet",
+    "run_gateway",
+]
+
+
+@dataclass
+class ShardUploadReport:
+    """What one shard's client experienced while uploading its horizon."""
+
+    shard: int
+    uploaded: int = 0
+    duplicates: int = 0
+    skipped: int = 0
+    reconnects: int = 0
+    dropped_slots: List[int] = field(default_factory=list)
+
+    @property
+    def delivered(self) -> int:
+        """Slots the server holds from this shard (however they got there)."""
+        return self.uploaded + self.duplicates + self.skipped
+
+
+@dataclass
+class GatewayRunResult:
+    """A finished gateway-served run: estimates plus transport telemetry."""
+
+    result: LiveRunResult
+    metrics: GatewayMetrics
+    shard_reports: List[ShardUploadReport]
+    port: int
+
+
+async def _connect_with_retry(
+    client: GatewayClient, attempts: int, backoff: float
+) -> None:
+    """Connect + handshake, retrying refused/late servers with backoff."""
+    for attempt in range(attempts):
+        try:
+            await client.connect()
+            return
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            if attempt == attempts - 1:
+                raise
+            await asyncio.sleep(backoff * (attempt + 1))
+
+
+async def drive_feed(
+    feed: ShardFeed,
+    host: str,
+    port: int,
+    jitter: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    drop_slots: Iterable[int] = (),
+    max_reconnects: int = 10,
+    connect_attempts: int = 20,
+    backoff: float = 0.05,
+) -> ShardUploadReport:
+    """Upload one shard feed's full horizon through the gateway.
+
+    Args:
+        feed: the shard's batch producer (consumed exactly once — the
+            in-flight batch is held across retries and reconnects, so
+            budget is never re-spent).
+        host, port: the gateway address.
+        jitter: max per-slot arrival delay in seconds; each slot sleeps
+            ``rng.uniform(0, jitter)`` first, desynchronizing shard
+            arrival the way real client populations do.
+        rng: jitter generator (required when ``jitter > 0``).
+        drop_slots: fault injection — after uploading each listed slot,
+            the connection is torn down *before* reading the ack (the
+            ambiguous window), forcing a reconnect-and-resume.
+        max_reconnects: reconnect budget across the whole upload.
+        connect_attempts, backoff: initial-connect retry schedule (the
+            fleet may start before the server is listening).
+    """
+    if jitter > 0.0 and rng is None:
+        raise ValueError("jitter > 0 requires an rng")
+    client = GatewayClient(host, port, feed.shard)
+    report = ShardUploadReport(shard=feed.shard)
+    pending_drops = set(int(t) for t in drop_slots)
+    await _connect_with_retry(client, connect_attempts, backoff)
+    try:
+        for batch in feed:
+            if jitter > 0.0:
+                await asyncio.sleep(float(rng.uniform(0.0, jitter)))
+            while True:
+                try:
+                    if not client.connected:
+                        if report.reconnects >= max_reconnects:
+                            raise ConnectionError(
+                                f"shard {feed.shard} exhausted its "
+                                f"{max_reconnects} reconnects"
+                            )
+                        await _connect_with_retry(client, connect_attempts, backoff)
+                        report.reconnects += 1
+                    if batch.t < client.resume_slot:
+                        # Delivered before the drop; only the ack was lost.
+                        report.skipped += 1
+                        break
+                    drop = batch.t in pending_drops
+                    if drop:
+                        pending_drops.discard(batch.t)
+                        report.dropped_slots.append(batch.t)
+                    status = await client.send_batch(batch, drop_before_ack=drop)
+                    if status == "duplicate":
+                        report.duplicates += 1
+                    else:
+                        report.uploaded += 1
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    await asyncio.sleep(backoff)
+        await client.finish()
+    finally:
+        await client.close()
+    return report
+
+
+async def run_fleet_async(
+    feeds: Sequence[ShardFeed],
+    host: str,
+    port: int,
+    jitter: float = 0.0,
+    seed: int = 0,
+    drops: Optional[Dict[int, Iterable[int]]] = None,
+    max_reconnects: int = 10,
+) -> List[ShardUploadReport]:
+    """Drive every shard feed concurrently; returns per-shard reports.
+
+    ``seed`` keys the per-shard jitter generators
+    (``SeedSequence([seed, shard])``) — jitter schedules are
+    reproducible, and since the pipeline barrier makes timing
+    answer-irrelevant, jitter only exercises arrival interleavings.
+    """
+    drops = drops or {}
+    tasks = [
+        drive_feed(
+            feed,
+            host,
+            port,
+            jitter=jitter,
+            rng=np.random.default_rng(np.random.SeedSequence([int(seed), feed.shard]))
+            if jitter > 0.0
+            else None,
+            drop_slots=drops.get(feed.shard, ()),
+            max_reconnects=max_reconnects,
+        )
+        for feed in feeds
+    ]
+    return list(await asyncio.gather(*tasks))
+
+
+def run_fleet(
+    source,
+    host: str,
+    port: int,
+    algorithm: "str | Sequence[str]" = "capp",
+    epsilon: float = 1.0,
+    w: int = 10,
+    participation: "float | Sequence[float] | None" = None,
+    seed: int = 0,
+    chunk_size: Optional[int] = None,
+    jitter: float = 0.0,
+    drops: Optional[Dict[int, Iterable[int]]] = None,
+) -> List[ShardUploadReport]:
+    """Sync driver: sanitize a population source and upload it to a server.
+
+    The client half of the two-process deployment (``python -m repro
+    gateway-fleet``): builds the shard feeds exactly as
+    :func:`~repro.service.run_live` would — same per-shard generators,
+    so the serving side's results match the offline run bit for bit —
+    and uploads them over TCP.
+    """
+    feeds = shard_feeds(
+        source,
+        algorithm=algorithm,
+        epsilon=epsilon,
+        w=w,
+        participation=participation,
+        seed=seed,
+        chunk_size=chunk_size,
+    )
+    if not feeds:
+        raise ValueError("source yielded no chunks; nothing to upload")
+    return asyncio.run(
+        run_fleet_async(feeds, host, port, jitter=jitter, seed=seed, drops=drops)
+    )
+
+
+def run_gateway(
+    source,
+    algorithm: "str | Sequence[str]" = "capp",
+    epsilon: float = 1.0,
+    w: int = 10,
+    smoothing_window: Optional[int] = 3,
+    participation: "float | Sequence[float] | None" = None,
+    seed: int = 0,
+    chunk_size: Optional[int] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    jitter: float = 0.0,
+    drops: Optional[Dict[int, Iterable[int]]] = None,
+    max_slot_skew: int = 8,
+    retry_after: float = 0.02,
+    sinks: Sequence[Sink] = (),
+    dashboards: Optional[Dict[str, StreamingQueryEngine]] = None,
+    record_batches: bool = False,
+    track_users: bool = False,
+    keep_reports: bool = True,
+    record_history: bool = False,
+    complete_timeout: float = 120.0,
+) -> GatewayRunResult:
+    """Serve a population through the gateway over loopback TCP.
+
+    Starts a :class:`~repro.gateway.GatewayServer` on ``host:port``
+    (``0`` picks an ephemeral port), uploads the population as a
+    concurrent client fleet, and returns the finished run.  The
+    estimates are bit-identical to
+    :func:`~repro.runtime.run_protocol_sharded` with the same seed and
+    chunk decomposition — the transport tier is an execution mode, not
+    an estimator — and the population-wide w-event audit runs before
+    returning, exactly like :func:`~repro.service.run_live`.
+    """
+    feeds = shard_feeds(
+        source,
+        algorithm=algorithm,
+        epsilon=epsilon,
+        w=w,
+        participation=participation,
+        seed=seed,
+        chunk_size=chunk_size,
+        record_history=record_history,
+    )
+    if not feeds:
+        raise ValueError("source yielded no chunks; nothing to serve")
+    pipeline = IngestionPipeline(
+        n_shards=len(feeds),
+        horizon=feeds[0].horizon,
+        epsilon=epsilon,
+        w=w,
+        smoothing_window=smoothing_window,
+        track_users=track_users,
+        keep_reports=keep_reports,
+        max_slot_skew=max_slot_skew,
+        record_batches=record_batches,
+    )
+    for sink in sinks:
+        pipeline.add_sink(sink)
+    for name, engine in (dashboards or {}).items():
+        pipeline.register_dashboard(name, engine)
+
+    async def _serve() -> GatewayRunResult:
+        server = GatewayServer(
+            pipeline, host=host, port=port, retry_after=retry_after
+        )
+        await server.start(
+            metadata={
+                "algorithm": algorithm if isinstance(algorithm, str) else "per-user",
+                "seed": int(seed),
+            }
+        )
+        bound_port = server.port
+        try:
+            reports = await run_fleet_async(
+                feeds, host, bound_port, jitter=jitter, seed=seed, drops=drops
+            )
+            await server.wait_complete(timeout=complete_timeout)
+        finally:
+            await server.stop()
+        result = server.result(feeds=feeds)
+        return GatewayRunResult(
+            result=result,
+            metrics=server.metrics,
+            shard_reports=reports,
+            port=bound_port,
+        )
+
+    run = asyncio.run(_serve())
+    run.result.assert_valid()
+    return run

@@ -1,0 +1,88 @@
+"""Operational counters for the report-ingestion gateway.
+
+One :class:`GatewayMetrics` instance per server, mutated only from the
+server's event loop (asyncio serializes the handlers, so no locking).
+``snapshot()`` renders everything JSON-safe for the CLI's
+``--metrics-out`` artifact and the CI gateway smoke job.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+import numpy as np
+
+__all__ = ["GatewayMetrics"]
+
+
+@dataclass
+class GatewayMetrics:
+    """Everything the gateway counts while serving.
+
+    ``batches_accepted`` / ``reports_accepted`` count payloads that
+    reached the pipeline barrier; duplicates (idempotent resends after a
+    reconnect) and sheds (load-shedding rejections that the client
+    retries) are counted separately and never double-ingested.
+    """
+
+    connections_opened: int = 0
+    connections_closed: int = 0
+    frames_received: int = 0
+    frames_sent: int = 0
+    bytes_received: int = 0
+    bytes_sent: int = 0
+    batches_accepted: int = 0
+    reports_accepted: int = 0
+    duplicates: int = 0
+    sheds: int = 0
+    protocol_errors: int = 0
+    slots_finalized: int = 0
+    started_at: float = field(default_factory=time.perf_counter)
+    finished_at: float = 0.0
+    slot_latencies: List[float] = field(default_factory=list, repr=False)
+
+    def mark_finished(self) -> None:
+        """Stamp the end of the run (first call wins)."""
+        if not self.finished_at:
+            self.finished_at = time.perf_counter()
+
+    @property
+    def elapsed_seconds(self) -> float:
+        end = self.finished_at or time.perf_counter()
+        return max(end - self.started_at, 0.0)
+
+    @property
+    def reports_per_second(self) -> float:
+        elapsed = self.elapsed_seconds
+        if elapsed <= 0.0:
+            return float("inf")
+        return self.reports_accepted / elapsed
+
+    def latency_quantile(self, q: float) -> float:
+        """A quantile of slot-finalization latency observed at the gateway."""
+        if not self.slot_latencies:
+            return 0.0
+        return float(np.quantile(np.asarray(self.slot_latencies), q))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe view of every counter plus derived rates."""
+        return {
+            "connections_opened": self.connections_opened,
+            "connections_closed": self.connections_closed,
+            "frames_received": self.frames_received,
+            "frames_sent": self.frames_sent,
+            "bytes_received": self.bytes_received,
+            "bytes_sent": self.bytes_sent,
+            "batches_accepted": self.batches_accepted,
+            "reports_accepted": self.reports_accepted,
+            "duplicates": self.duplicates,
+            "sheds": self.sheds,
+            "protocol_errors": self.protocol_errors,
+            "slots_finalized": self.slots_finalized,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "reports_per_second": round(self.reports_per_second, 1),
+            "p50_slot_latency_seconds": round(self.latency_quantile(0.50), 6),
+            "p99_slot_latency_seconds": round(self.latency_quantile(0.99), 6),
+        }

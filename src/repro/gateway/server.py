@@ -1,0 +1,311 @@
+"""Asyncio TCP report-ingestion server feeding the live pipeline.
+
+:class:`GatewayServer` is the network front of the serving stack: it
+accepts untrusted client connections speaking the length-prefixed wire
+format of :mod:`repro.gateway.wire`, validates every upload's shape and
+slot against the run configuration, and submits decoded
+:class:`~repro.service.events.ReportBatch`\\ es into an
+:class:`~repro.service.IngestionPipeline`.  The pipeline's slot barrier
+re-establishes deterministic cross-shard ingestion order, so a
+gateway-served run is **bit-identical** to
+:func:`~repro.runtime.run_protocol_sharded` for the same seed and shard
+decomposition — network timing, connection interleaving, and reconnects
+can change latencies, never answers.
+
+Fault tolerance and admission control
+-------------------------------------
+
+* **Authentication: none.**  The gateway trusts transport identity as
+  little as the paper's collector does — every payload is validated
+  structurally (magic, version, frame type, dtype, shape, slot range,
+  shard range, in-order upload), and the privacy guarantees never
+  depended on the collector being honest about *values* anyway.
+* **Backpressure / load shedding.**  A batch more than
+  ``max_slot_skew`` slots ahead of the barrier clock is *shed*: the
+  server answers ``REJECT`` with a ``retry_after_seconds`` hint instead
+  of buffering it, so one stalled shard can never make the others park
+  an unbounded horizon in server memory.  The barrier holds at most
+  ``n_shards * (max_slot_skew + 1)`` batches.  The laggard shard itself
+  is never shed (its batch is the clock's next requirement), which keeps
+  shedding deadlock-free.
+* **Duplicate uploads.**  Each shard must upload slots in order; a
+  batch for a slot the server already holds from that shard is answered
+  with an idempotent duplicate ack and not re-ingested.  This is what
+  makes client reconnects safe: a client that lost an ack resends, and
+  the ``HELLO_ACK``'s ``resume_slot`` tells a reconnecting client where
+  to pick up.
+* **Disconnects.**  A connection dropping mid-slot loses nothing — the
+  shard's engine state lives client-side, delivered batches stay at the
+  barrier, and the reconnect handshake resumes the upload exactly where
+  it stopped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional
+
+from ..service.events import ReportBatch
+from ..service.pipeline import IngestionPipeline, LiveRunResult
+from .metrics import GatewayMetrics
+from .wire import (
+    MAX_PAYLOAD_BYTES,
+    FrameType,
+    WireError,
+    decode_batch_payload,
+    decode_control,
+    encode_control,
+    read_frame,
+)
+
+__all__ = ["GatewayServer"]
+
+
+class GatewayServer:
+    """TCP ingestion front for one pipeline run.
+
+    Args:
+        pipeline: the slot-barrier pipeline the run feeds (its
+            ``n_shards``/``horizon`` define what clients may upload).
+        host, port: listen address; port ``0`` binds an ephemeral port
+            (read it back from :attr:`port` after :meth:`start`).
+        retry_after: the shed hint, in seconds — how long a rejected
+            client should wait before resending.
+        max_payload_bytes: per-frame payload refusal bound.
+        metrics: counter sheet (a fresh one is created when omitted).
+    """
+
+    def __init__(
+        self,
+        pipeline: IngestionPipeline,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        retry_after: float = 0.02,
+        max_payload_bytes: int = MAX_PAYLOAD_BYTES,
+        metrics: Optional[GatewayMetrics] = None,
+    ) -> None:
+        if not isinstance(pipeline, IngestionPipeline):
+            raise TypeError(
+                f"pipeline must be an IngestionPipeline, got {type(pipeline).__name__}"
+            )
+        self.pipeline = pipeline
+        self.host = host
+        self._requested_port = int(port)
+        self.retry_after = float(retry_after)
+        self.max_payload_bytes = int(max_payload_bytes)
+        self.metrics = metrics if metrics is not None else GatewayMetrics()
+        # Next slot each shard is expected to upload (shards upload in
+        # slot order, so this is both the duplicate filter and the
+        # reconnect resume point).
+        self._next_expected: List[int] = [0] * pipeline.n_shards
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._handlers: "set[asyncio.Task]" = set()
+        self._done = asyncio.Event()
+        self._started = 0.0
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self, metadata: Optional[Dict[str, Any]] = None) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self._requested_port
+        )
+        self._started = time.perf_counter()
+        meta = {"transport": "tcp", "gateway": True}
+        meta.update(metadata or {})
+        self.pipeline.start_run(meta)
+
+    async def wait_complete(self, timeout: Optional[float] = None) -> None:
+        """Block until every slot in the horizon has finalized."""
+        if self.pipeline.complete:
+            return
+        await asyncio.wait_for(self._done.wait(), timeout)
+
+    async def stop(self, drain_timeout: float = 5.0) -> None:
+        """Stop accepting connections and close the listener.
+
+        In-flight connection handlers get ``drain_timeout`` seconds to
+        finish their goodbyes (``FIN``/``FIN_ACK``) before being
+        cancelled — an abrupt listener close must not turn a clean run
+        completion into client-side connection errors.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._handlers:
+            _, pending = await asyncio.wait(self._handlers, timeout=drain_timeout)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+    def result(self, feeds: Optional[List[Any]] = None) -> LiveRunResult:
+        """Package the completed run (pipeline must have finished).
+
+        ``feeds`` attaches the shard feeds (and their budget ledgers)
+        when the fleet ran in-process — loopback runs can then audit the
+        population-wide w-event guarantee exactly like ``run_live``.
+        """
+        self.metrics.mark_finished()
+        self.pipeline.finish()
+        return self.pipeline.build_result(
+            self.metrics.elapsed_seconds,
+            feeds=feeds,
+            extra={"gateway_metrics": self.metrics.snapshot()},
+        )
+
+    # -- connection handling ---------------------------------------------
+
+    async def _send(self, writer: asyncio.StreamWriter, frame: bytes) -> None:
+        writer.write(frame)
+        self.metrics.frames_sent += 1
+        self.metrics.bytes_sent += len(frame)
+        await writer.drain()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        self.metrics.connections_opened += 1
+        shard: Optional[int] = None
+        try:
+            while True:
+                frame = await read_frame(reader, self.max_payload_bytes)
+                if frame is None:
+                    break
+                frame_type, payload = frame
+                self.metrics.frames_received += 1
+                self.metrics.bytes_received += len(payload) + 8
+                if frame_type == FrameType.HELLO:
+                    shard = await self._handle_hello(writer, payload)
+                elif frame_type == FrameType.BATCH:
+                    await self._handle_batch(writer, shard, payload)
+                elif frame_type == FrameType.FIN:
+                    await self._send(writer, encode_control(FrameType.FIN_ACK))
+                    break
+                else:
+                    raise WireError(f"unexpected frame type {frame_type} from client")
+        except (WireError, ValueError) as error:
+            # Protocol violation: name the fault, then drop the client.
+            self.metrics.protocol_errors += 1
+            try:
+                await self._send(
+                    writer, encode_control(FrameType.ERROR, message=str(error))
+                )
+            except (ConnectionError, RuntimeError):
+                pass
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client dropped mid-frame; reconnect handshake recovers
+        finally:
+            self.metrics.connections_closed += 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _handle_hello(
+        self, writer: asyncio.StreamWriter, payload: bytes
+    ) -> int:
+        hello = decode_control(payload)
+        try:
+            shard = int(hello["shard"])
+        except (KeyError, TypeError, ValueError):
+            raise WireError("HELLO must carry an integer 'shard' field") from None
+        if not 0 <= shard < self.pipeline.n_shards:
+            raise WireError(
+                f"shard {shard} out of range; this run serves shards "
+                f"0..{self.pipeline.n_shards - 1}"
+            )
+        await self._send(
+            writer,
+            encode_control(
+                FrameType.HELLO_ACK,
+                shard=shard,
+                resume_slot=self._next_expected[shard],
+                horizon=self.pipeline.horizon,
+                n_shards=self.pipeline.n_shards,
+            ),
+        )
+        return shard
+
+    async def _handle_batch(
+        self, writer: asyncio.StreamWriter, shard: Optional[int], payload: bytes
+    ) -> None:
+        if shard is None:
+            raise WireError("BATCH before HELLO; handshake first")
+        batch = decode_batch_payload(payload)
+        if batch.shard != shard:
+            raise WireError(
+                f"connection authenticated shard {shard} but uploaded a "
+                f"batch for shard {batch.shard}"
+            )
+        if batch.t >= self.pipeline.horizon:
+            raise WireError(
+                f"slot {batch.t} is beyond the run horizon {self.pipeline.horizon}"
+            )
+        expected = self._next_expected[shard]
+        if self.pipeline.has_batch(batch.t, batch.shard):
+            # Resend after a lost ack (the batch is already buffered at
+            # the barrier, or its slot finalized): acknowledge
+            # idempotently.  Equivalent to ``batch.t < expected`` under
+            # the in-order upload invariant, but asks the barrier itself.
+            self.metrics.duplicates += 1
+            await self._send(
+                writer,
+                encode_control(
+                    FrameType.BATCH_ACK, t=batch.t, accepted=False, duplicate=True
+                ),
+            )
+            return
+        if batch.t > expected:
+            raise WireError(
+                f"shard {shard} uploaded slot {batch.t} before slot "
+                f"{expected}; uploads must be in slot order"
+            )
+        if batch.t >= self.pipeline.next_slot + self.pipeline.max_slot_skew:
+            # Load shedding: this shard is far ahead of the laggard.
+            self.metrics.sheds += 1
+            await self._send(
+                writer,
+                encode_control(
+                    FrameType.REJECT, t=batch.t, retry_after_seconds=self.retry_after
+                ),
+            )
+            return
+        self._ingest(batch)
+        await self._send(
+            writer,
+            encode_control(
+                FrameType.BATCH_ACK, t=batch.t, accepted=True, duplicate=False
+            ),
+        )
+
+    def _ingest(self, batch: ReportBatch) -> None:
+        """Submit one validated batch; track finalizations and completion."""
+        finalized = self.pipeline.submit(batch)
+        self._next_expected[batch.shard] = batch.t + 1
+        self.metrics.batches_accepted += 1
+        self.metrics.reports_accepted += batch.n_reports
+        if finalized:
+            self.metrics.slots_finalized += len(finalized)
+            self.metrics.slot_latencies.extend(
+                self.pipeline.slot_latencies[-len(finalized):]
+            )
+        if self.pipeline.complete:
+            self.metrics.mark_finished()
+            self._done.set()

@@ -1,0 +1,158 @@
+"""Length-prefixed binary framing for the report-ingestion gateway.
+
+Every message on a gateway connection is one *frame*:
+
+.. code-block:: text
+
+    offset  size  field
+    0       2     magic  b"RG"
+    2       1     wire-format version (currently 1)
+    3       1     frame type
+    4       4     payload length (big-endian u32)
+    8       n     payload
+
+Control frames (``HELLO``, ``HELLO_ACK``, ``BATCH_ACK``, ``REJECT``,
+``FIN``, ``FIN_ACK``, ``ERROR``) carry a UTF-8 JSON object payload;
+``BATCH`` frames carry the binary report-batch payload from
+:mod:`repro.protocol.messages`.  The full layout and the version
+negotiation rules are documented in ``docs/wire_format.md``.
+
+The reader is deliberately strict: wrong magic, an unknown version, an
+unknown frame type, or an oversized payload raise :class:`WireError`
+immediately — a gateway serving untrusted clients must fail a damaged
+connection, never guess at resynchronization.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+from ..protocol.messages import decode_report_batch, encode_report_batch
+from ..service.events import ReportBatch
+
+__all__ = [
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "MAX_PAYLOAD_BYTES",
+    "FrameType",
+    "WireError",
+    "encode_frame",
+    "encode_control",
+    "encode_batch_frame",
+    "decode_control",
+    "decode_batch_payload",
+    "read_frame",
+]
+
+#: two-byte frame preamble ("Report Gateway")
+WIRE_MAGIC = b"RG"
+
+#: the wire-format version this module speaks
+WIRE_VERSION = 1
+
+#: default refusal bound for a single frame's payload — large enough for
+#: ~4M reports per batch, small enough that a corrupt length prefix
+#: cannot make the server allocate unbounded memory
+MAX_PAYLOAD_BYTES = 64 * 1024 * 1024
+
+_FRAME_HEADER = struct.Struct(">2sBBI")
+
+
+class FrameType:
+    """Frame-type codes (one byte on the wire)."""
+
+    HELLO = 1
+    HELLO_ACK = 2
+    BATCH = 3
+    BATCH_ACK = 4
+    REJECT = 5
+    FIN = 6
+    FIN_ACK = 7
+    ERROR = 8
+
+    #: every code this version understands
+    ALL = frozenset(range(1, 9))
+
+
+class WireError(ValueError):
+    """A frame violated the wire format (magic, version, type, size)."""
+
+
+def encode_frame(frame_type: int, payload: bytes = b"") -> bytes:
+    """One complete frame: header plus payload."""
+    if frame_type not in FrameType.ALL:
+        raise WireError(f"unknown frame type {frame_type}")
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise WireError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte frame bound"
+        )
+    return _FRAME_HEADER.pack(WIRE_MAGIC, WIRE_VERSION, frame_type, len(payload)) + payload
+
+
+def encode_control(frame_type: int, **fields: Any) -> bytes:
+    """A control frame with a JSON object payload."""
+    return encode_frame(frame_type, json.dumps(fields).encode("utf-8"))
+
+
+def decode_control(payload: bytes) -> Dict[str, Any]:
+    """Parse a control frame's JSON payload (must be an object)."""
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError(f"control payload is not valid JSON: {error}") from error
+    if not isinstance(record, dict):
+        raise WireError("control payload must be a JSON object")
+    return record
+
+
+def encode_batch_frame(batch: ReportBatch) -> bytes:
+    """Frame one report batch for the wire."""
+    payload = encode_report_batch(batch.shard, batch.t, batch.user_ids, batch.values)
+    return encode_frame(FrameType.BATCH, payload)
+
+
+def decode_batch_payload(payload: bytes) -> ReportBatch:
+    """Decode a ``BATCH`` payload into a validated :class:`ReportBatch`."""
+    try:
+        shard, t, user_ids, values = decode_report_batch(payload)
+        return ReportBatch(shard=shard, t=t, user_ids=user_ids, values=values)
+    except (ValueError, TypeError) as error:
+        raise WireError(f"malformed batch payload: {error}") from error
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    max_payload: int = MAX_PAYLOAD_BYTES,
+) -> Optional[Tuple[int, bytes]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    EOF in the middle of a frame (a connection dropped mid-send) raises
+    ``asyncio.IncompleteReadError`` — the caller decides whether that is
+    a client fault or an expected disconnect.
+    """
+    try:
+        header = await reader.readexactly(_FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise
+    magic, version, frame_type, length = _FRAME_HEADER.unpack(header)
+    if magic != WIRE_MAGIC:
+        raise WireError(f"bad frame magic {magic!r} (expected {WIRE_MAGIC!r})")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {version}; this endpoint speaks "
+            f"version {WIRE_VERSION}"
+        )
+    if frame_type not in FrameType.ALL:
+        raise WireError(f"unknown frame type {frame_type}")
+    if length > max_payload:
+        raise WireError(
+            f"frame payload of {length} bytes exceeds the {max_payload}-byte bound"
+        )
+    payload = await reader.readexactly(length) if length else b""
+    return frame_type, payload

@@ -1,7 +1,12 @@
 """Multi-user collection protocol: user agents, collector, simulation."""
 
 from .collector import Collector, CollectorShardState
-from .messages import Report
+from .messages import (
+    BATCH_PAYLOAD_VERSION,
+    Report,
+    decode_report_batch,
+    encode_report_batch,
+)
 from .simulation import SimulationResult, population_mean_mse, run_protocol
 from .user import ONLINE_ALGORITHMS, UserAgent
 from .vectorized import (
@@ -14,6 +19,9 @@ from .vectorized import (
 
 __all__ = [
     "Report",
+    "BATCH_PAYLOAD_VERSION",
+    "encode_report_batch",
+    "decode_report_batch",
     "UserAgent",
     "Collector",
     "CollectorShardState",

@@ -1,10 +1,30 @@
-"""Wire-format dataclasses for the user -> collector protocol (Fig. 1)."""
+"""Wire-format types for the user -> collector protocol (Fig. 1).
+
+:class:`Report` is the conceptual unit — one sanitized value from one
+user at one slot.  The network gateway ships reports in per-shard,
+per-slot *batches*; :func:`encode_report_batch` /
+:func:`decode_report_batch` are the binary payload codec for those
+batches (the frame layer around them lives in
+:mod:`repro.gateway.wire`; the full layout is documented in
+``docs/wire_format.md``).  The codec is exact: ``float64`` report values
+round-trip bit-for-bit, which is what lets gateway-served runs stay
+bit-identical to in-process execution.
+"""
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
+from typing import Tuple
 
-__all__ = ["Report"]
+import numpy as np
+
+__all__ = [
+    "Report",
+    "BATCH_PAYLOAD_VERSION",
+    "encode_report_batch",
+    "decode_report_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -29,3 +49,73 @@ class Report:
             raise ValueError(f"t must be non-negative, got {self.t}")
         if not isinstance(self.value, (int, float)):
             raise TypeError("value must be a real number")
+
+
+#: version tag of the batch payload layout below (bumped on layout change)
+BATCH_PAYLOAD_VERSION = 1
+
+# Payload header: shard (u32), t (u32), n_reports (u32), id dtype code
+# (u8), value dtype code (u8), 2 reserved bytes.  Big-endian, fixed 16
+# bytes; the arrays that follow are little-endian (numpy native on every
+# supported platform, so encode/decode are zero-copy views).
+_BATCH_HEADER = struct.Struct(">IIIBBH")
+_ID_DTYPE_CODE = 1  # int64, little-endian
+_VALUE_DTYPE_CODE = 2  # float64, little-endian
+_ID_DTYPE = np.dtype("<i8")
+_VALUE_DTYPE = np.dtype("<f8")
+
+
+def encode_report_batch(
+    shard: int, t: int, user_ids: np.ndarray, values: np.ndarray
+) -> bytes:
+    """Serialize one shard-slot report batch to its wire payload.
+
+    ``user_ids`` must be integral and ``values`` floating; both are cast
+    to the wire dtypes (int64 / float64 little-endian).  The float cast
+    is exact for float64 inputs — sanitized reports survive the trip
+    bit-for-bit.
+    """
+    ids = np.ascontiguousarray(user_ids, dtype=_ID_DTYPE)
+    vals = np.ascontiguousarray(values, dtype=_VALUE_DTYPE)
+    if ids.ndim != 1 or ids.shape != vals.shape:
+        raise ValueError(
+            f"user_ids and values must be aligned 1-D arrays, got shapes "
+            f"{ids.shape} and {vals.shape}"
+        )
+    header = _BATCH_HEADER.pack(
+        int(shard), int(t), ids.size, _ID_DTYPE_CODE, _VALUE_DTYPE_CODE, 0
+    )
+    return header + ids.tobytes() + vals.tobytes()
+
+
+def decode_report_batch(payload: bytes) -> Tuple[int, int, np.ndarray, np.ndarray]:
+    """Inverse of :func:`encode_report_batch`.
+
+    Returns ``(shard, t, user_ids, values)``.  Raises ``ValueError`` on
+    truncated, oversized, or unknown-dtype payloads — the gateway server
+    turns these into protocol errors rather than crashing.
+    """
+    if len(payload) < _BATCH_HEADER.size:
+        raise ValueError(
+            f"batch payload truncated: {len(payload)} bytes is shorter "
+            f"than the {_BATCH_HEADER.size}-byte header"
+        )
+    shard, t, n_reports, id_code, value_code, _ = _BATCH_HEADER.unpack_from(payload)
+    if id_code != _ID_DTYPE_CODE or value_code != _VALUE_DTYPE_CODE:
+        raise ValueError(
+            f"unknown batch dtype codes ({id_code}, {value_code}); this "
+            f"decoder speaks payload version {BATCH_PAYLOAD_VERSION}"
+        )
+    expected = _BATCH_HEADER.size + n_reports * (_ID_DTYPE.itemsize + _VALUE_DTYPE.itemsize)
+    if len(payload) != expected:
+        raise ValueError(
+            f"batch payload for {n_reports} reports must be {expected} "
+            f"bytes, got {len(payload)}"
+        )
+    offset = _BATCH_HEADER.size
+    ids = np.frombuffer(payload, dtype=_ID_DTYPE, count=n_reports, offset=offset)
+    offset += n_reports * _ID_DTYPE.itemsize
+    vals = np.frombuffer(payload, dtype=_VALUE_DTYPE, count=n_reports, offset=offset)
+    # Copy out of the frame buffer (frombuffer views are read-only and
+    # pin the whole received frame alive).
+    return int(shard), int(t), ids.astype(np.intp), vals.astype(float)

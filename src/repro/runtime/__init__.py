@@ -22,8 +22,8 @@ from .scenarios import (
 )
 from .sharding import (
     GroupLedger,
-    ShardResult,
     ShardedRunResult,
+    ShardResult,
     run_protocol_sharded,
     shard_rng,
 )
@@ -36,6 +36,7 @@ from .sources import (
     ScenarioSource,
     StreamSource,
     as_source,
+    scenario_source,
 )
 
 __all__ = [
@@ -51,6 +52,7 @@ __all__ = [
     "GeneratorSource",
     "ScenarioSource",
     "as_source",
+    "scenario_source",
     "DEFAULT_CHUNK_SIZE",
     "ScenarioSpec",
     "SCENARIOS",

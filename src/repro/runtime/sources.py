@@ -34,6 +34,7 @@ import numpy as np
 from .._validation import ensure_positive_int, ensure_stream_matrix
 from .scenarios import (
     ScenarioSpec,
+    make_scenario,
     participation_schedule,
     scenario_chunk,
     slot_level_profile,
@@ -48,6 +49,7 @@ __all__ = [
     "GeneratorSource",
     "ScenarioSource",
     "as_source",
+    "scenario_source",
 ]
 
 #: default user-shard size — small enough that a chunk's working set
@@ -283,6 +285,28 @@ class ScenarioSource(StreamSource):
             )
             matrix = scenario_chunk(self.spec, stop - start, rng, level=level)
             yield PopulationChunk(index=index, start=start, matrix=matrix)
+
+
+def scenario_source(
+    name: str,
+    n_users: int,
+    horizon: int,
+    n_shards: int = 1,
+    seed: int = 0,
+    **overrides,
+) -> ScenarioSource:
+    """A preset scenario chunked into ``n_shards`` equal user-shards.
+
+    The shared construction behind every workload entry point that takes
+    a scenario *name* — the live CLI, the network gateway's serve/fleet
+    commands, and the examples — so the server and a separately launched
+    client fleet derive the exact same shard decomposition (and hence
+    bit-identical results) from the same arguments.
+    """
+    n_shards = ensure_positive_int(n_shards, "n_shards")
+    spec = make_scenario(name, n_users=n_users, horizon=horizon, **overrides)
+    chunk_size = -(-spec.n_users // n_shards)  # ceil division
+    return ScenarioSource(spec, chunk_size=chunk_size, seed=seed)
 
 
 def as_source(

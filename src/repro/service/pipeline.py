@@ -212,9 +212,92 @@ class IngestionPipeline:
         """The slot the barrier is currently waiting to complete."""
         return self._next_slot
 
+    @property
+    def complete(self) -> bool:
+        """Whether every slot in the horizon has finalized."""
+        return self._next_slot >= self.horizon
+
+    @property
+    def slot_latencies(self) -> List[float]:
+        """Per-slot finalization latencies so far, in finalization order.
+
+        Latency runs from a slot's first buffered batch to its
+        finalization (the time the slot spent open at the barrier).
+        The returned list is live — treat it as read-only.
+        """
+        return self._latencies
+
+    def has_batch(self, t: int, shard: int) -> bool:
+        """Whether ``(t, shard)`` was already delivered (buffered at the
+        barrier, or part of a finalized slot).
+
+        The network gateway's duplicate-ack path asks this before
+        ingesting — a client that lost an ack mid-reconnect resends, and
+        the resend must neither error nor double-ingest.
+        """
+        if t < self._next_slot:
+            return True
+        return shard in self._pending.get(t, ())
+
     def _emit(self, record: Dict[str, Any]) -> None:
         for sink in self._sinks:
             sink.emit(record)
+
+    def start_run(self, metadata: Optional[Dict[str, Any]] = None) -> None:
+        """Emit the ``run_started`` record carrying the run configuration."""
+        record: Dict[str, Any] = {
+            "type": "run_started",
+            "format": EVENT_LOG_FORMAT,
+            "n_shards": self.n_shards,
+            "horizon": self.horizon,
+            "epsilon": self.epsilon,
+            "w": self.w,
+            "smoothing_window": self.collector.smoothing_window,
+            "track_users": self.collector.track_users,
+            "keep_reports": self.collector.keep_reports,
+        }
+        record.update(metadata or {})
+        self._emit(record)
+
+    def build_result(
+        self,
+        elapsed_seconds: float,
+        queue_stats: Optional[QueueStats] = None,
+        feeds: Optional[List[ShardFeed]] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> LiveRunResult:
+        """Package the finished run, emit ``run_finished``, close sinks.
+
+        Shared by every driver of the pipeline — in-process serving,
+        event-log replay, and the network gateway — so they all publish
+        the same result shape and trailer record.
+        """
+        result = LiveRunResult(
+            collector=self.collector,
+            slots=list(self.slot_estimates),
+            horizon=self.horizon,
+            n_shards=self.n_shards,
+            epsilon=self.epsilon,
+            w=self.w,
+            elapsed_seconds=elapsed_seconds,
+            slot_latencies=np.asarray(self._latencies, dtype=float),
+            queue_stats=queue_stats,
+            dashboards=dict(self._dashboards),
+            feeds=feeds,
+        )
+        record: Dict[str, Any] = {
+            "type": "run_finished",
+            "slots": len(self.slot_estimates),
+            "n_reports": self.collector.n_reports,
+            "elapsed_seconds": elapsed_seconds,
+            "reports_per_second": result.reports_per_second,
+            "p99_slot_latency_seconds": result.latency_quantile(0.99),
+        }
+        record.update(extra or {})
+        self._emit(record)
+        for sink in self._sinks:
+            sink.close()
+        return result
 
     # -- ingestion -------------------------------------------------------
 
@@ -362,19 +445,7 @@ class IngestionPipeline:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
 
-        record: Dict[str, Any] = {
-            "type": "run_started",
-            "format": EVENT_LOG_FORMAT,
-            "n_shards": self.n_shards,
-            "horizon": self.horizon,
-            "epsilon": self.epsilon,
-            "w": self.w,
-            "smoothing_window": self.collector.smoothing_window,
-            "track_users": self.collector.track_users,
-            "keep_reports": self.collector.keep_reports,
-        }
-        record.update(metadata or {})
-        self._emit(record)
+        self.start_run(metadata)
 
         start = time.perf_counter()
         queue_stats: Optional[QueueStats] = None
@@ -391,33 +462,7 @@ class IngestionPipeline:
                 sink.close()
             raise
         elapsed = time.perf_counter() - start
-
-        result = LiveRunResult(
-            collector=self.collector,
-            slots=list(self.slot_estimates),
-            horizon=self.horizon,
-            n_shards=self.n_shards,
-            epsilon=self.epsilon,
-            w=self.w,
-            elapsed_seconds=elapsed,
-            slot_latencies=np.asarray(self._latencies, dtype=float),
-            queue_stats=queue_stats,
-            dashboards=dict(self._dashboards),
-            feeds=feeds,
-        )
-        self._emit(
-            {
-                "type": "run_finished",
-                "slots": len(self.slot_estimates),
-                "n_reports": self.collector.n_reports,
-                "elapsed_seconds": elapsed,
-                "reports_per_second": result.reports_per_second,
-                "p99_slot_latency_seconds": result.latency_quantile(0.99),
-            }
-        )
-        for sink in self._sinks:
-            sink.close()
-        return result
+        return self.build_result(elapsed, queue_stats=queue_stats, feeds=feeds)
 
     def _serve_serial(self, feeds: List[ShardFeed]) -> None:
         """Strict slot clock: advance every shard once per tick."""
@@ -638,29 +683,4 @@ def replay_event_log(
             sink.close()
         raise
     elapsed = time.perf_counter() - start
-
-    result = LiveRunResult(
-        collector=pipeline.collector,
-        slots=list(pipeline.slot_estimates),
-        horizon=pipeline.horizon,
-        n_shards=pipeline.n_shards,
-        epsilon=pipeline.epsilon,
-        w=pipeline.w,
-        elapsed_seconds=elapsed,
-        slot_latencies=np.asarray(pipeline._latencies, dtype=float),
-        dashboards=pipeline.dashboards,
-        feeds=None,
-    )
-    pipeline._emit(
-        {
-            "type": "run_finished",
-            "slots": len(result.slots),
-            "n_reports": result.n_reports,
-            "elapsed_seconds": elapsed,
-            "reports_per_second": result.reports_per_second,
-            "replayed_from": source.path,
-        }
-    )
-    for sink in sinks:
-        sink.close()
-    return result
+    return pipeline.build_result(elapsed, extra={"replayed_from": source.path})

@@ -21,7 +21,7 @@ from __future__ import annotations
 import abc
 import json
 import os
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["Sink", "MemorySink", "JSONLSink", "CallbackSink"]
 
@@ -44,12 +44,27 @@ class Sink(abc.ABC):
 
 
 class MemorySink(Sink):
-    """Buffers every record in order (inspection and tests)."""
+    """Buffers records in order (inspection and tests).
 
-    def __init__(self) -> None:
+    ``max_records`` bounds the buffer for long-running serves: once the
+    cap is reached, further records are counted but not stored, and
+    :attr:`truncated` flips so a reader can tell "the run emitted
+    exactly this" apart from "this is a prefix".
+    """
+
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        if max_records is not None and int(max_records) < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        self.max_records = None if max_records is None else int(max_records)
         self.records: List[Dict[str, Any]] = []
+        self.n_emitted = 0
+        self.truncated = False
 
     def emit(self, record: Dict[str, Any]) -> None:
+        self.n_emitted += 1
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.truncated = True
+            return
         self.records.append(record)
 
     def of_type(self, record_type: str) -> List[Dict[str, Any]]:

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core import APP, BudgetSplit, SampleSplit
 from repro.baselines import SWDirect
+from repro.core import APP, BudgetSplit, SampleSplit
 from repro.datasets import sin_matrix
 
 

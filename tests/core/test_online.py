@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.baselines import SWDirect
 from repro.core import (
     APP,
     CAPP,
@@ -14,7 +15,6 @@ from repro.core import (
     OnlineSWDirect,
     simple_moving_average,
 )
-from repro.baselines import SWDirect
 
 
 BATCH_ONLINE_PAIRS = [

@@ -13,7 +13,7 @@ shows, and assert IPP computes the same inputs and deviations:
 import numpy as np
 import pytest
 
-from repro.core import IPP, APP
+from repro.core import APP, IPP
 from repro.mechanisms.base import Mechanism, OutputDomain
 
 ORIGINAL = np.array([0.01, 0.15, 0.16, 0.17, 0.18])

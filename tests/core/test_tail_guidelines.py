@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import classify_tail, choose_num_samples, recommend_num_samples
+from repro.core import choose_num_samples, classify_tail, recommend_num_samples
 
 
 class TestClassifyTail:

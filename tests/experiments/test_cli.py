@@ -97,6 +97,62 @@ class TestMain:
         assert "steady" in out and "churn" in out and "capp" in out
 
 
+class TestErrorPaths:
+    """Usage mistakes exit 2 with one suggestion-bearing line, no trace."""
+
+    def test_unknown_dataset_exits_cleanly(self, capsys):
+        assert main(["table1", "--scale", "0.05", "--datasets", "c6h7"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: unknown dataset 'c6h7'")
+        assert "did you mean 'c6h6'" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unknown_algorithm_exits_cleanly(self, capsys):
+        assert main(["gateway-serve", "--scale", "0.05", "--algorithm", "cap"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown algorithm 'cap'")
+        assert "did you mean" in err and "capp" in err
+
+    def test_unknown_scenario_exits_cleanly(self, capsys):
+        assert main(["scenarios", "--scale", "0.05", "--datasets", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown scenario 'nope'")
+
+    def test_fleet_without_connect_exits_cleanly(self, capsys):
+        assert main(["gateway-fleet"]) == 2
+        err = capsys.readouterr().err
+        assert "requires --connect" in err
+
+    def test_malformed_connect_exits_cleanly(self, capsys):
+        assert main(["gateway-fleet", "--connect", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+
+class TestGatewayServeCommand:
+    def test_loopback_serve_with_verify_and_metrics(self, capsys, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "gw.json"
+        code = main(
+            [
+                "gateway-serve",
+                "--scale", "0.05",
+                "--datasets", "bursty",
+                "--shards", "3",
+                "--verify",
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Gateway serve" in out
+        assert "bit-identical to sharded run" in out and "yes" in out
+        payload = json.loads(metrics_path.read_text())
+        assert payload["bit_identical"] is True
+        assert payload["gateway"]["reports_accepted"] > 0
+        assert len(payload["shards"]) == 3
+
+
 class TestEngineFlag:
     def test_engine_default_and_choices(self):
         args = build_parser().parse_args(["table1"])

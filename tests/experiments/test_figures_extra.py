@@ -4,10 +4,10 @@ and cross-runner consistency properties."""
 import numpy as np
 
 from repro.experiments import (
+    publication_cosine_distance,
     run_epsilon_sweep,
     run_fig5,
     run_fig7,
-    publication_cosine_distance,
 )
 
 SMALL = dict(n_subsequences=3, n_repeats=1, stream_length=300, seed=0)

@@ -1,0 +1,139 @@
+"""Wire format: framing, control codec, batch payload exactness."""
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+
+from repro.gateway.wire import (
+    MAX_PAYLOAD_BYTES,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    FrameType,
+    WireError,
+    decode_batch_payload,
+    decode_control,
+    encode_batch_frame,
+    encode_control,
+    encode_frame,
+    read_frame,
+)
+from repro.protocol.messages import decode_report_batch, encode_report_batch
+from repro.service import ReportBatch
+
+
+def _read_one(data: bytes):
+    async def _go():
+        # StreamReader must be built on a running loop (3.10/3.11).
+        reader = asyncio.StreamReader()
+        if data:
+            reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(_go())
+
+
+class TestBatchPayload:
+    def test_round_trip_is_bit_exact(self):
+        rng = np.random.default_rng(0)
+        values = np.concatenate(
+            [
+                rng.random(50),
+                [0.0, 1.0, np.nextafter(0.0, 1.0), np.nextafter(1.0, 0.0), -3.5e300],
+            ]
+        )
+        ids = np.arange(values.size, dtype=np.intp) * 7
+        shard, t, out_ids, out_vals = decode_report_batch(
+            encode_report_batch(3, 11, ids, values)
+        )
+        assert (shard, t) == (3, 11)
+        np.testing.assert_array_equal(out_ids, ids)
+        # Bitwise, not approximate: the gateway's determinism contract.
+        assert out_vals.tobytes() == values.astype(float).tobytes()
+
+    def test_empty_batch_round_trips(self):
+        shard, t, ids, vals = decode_report_batch(
+            encode_report_batch(0, 0, np.zeros(0, dtype=np.intp), np.zeros(0))
+        )
+        assert (shard, t, ids.size, vals.size) == (0, 0, 0, 0)
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError, match="aligned"):
+            encode_report_batch(0, 0, np.arange(3), np.zeros(2))
+
+    def test_truncated_payload_rejected(self):
+        payload = encode_report_batch(0, 0, np.arange(4), np.zeros(4))
+        with pytest.raises(ValueError, match="bytes"):
+            decode_report_batch(payload[:-3])
+        with pytest.raises(ValueError, match="truncated"):
+            decode_report_batch(payload[:8])
+
+    def test_unknown_dtype_codes_rejected(self):
+        payload = bytearray(encode_report_batch(0, 0, np.arange(2), np.zeros(2)))
+        payload[12] = 9  # id dtype code
+        with pytest.raises(ValueError, match="dtype"):
+            decode_report_batch(bytes(payload))
+
+
+class TestFraming:
+    def test_control_frame_round_trip(self):
+        frame = encode_control(FrameType.HELLO, shard=2, extra="x")
+        frame_type, payload = _read_one(frame)
+        assert frame_type == FrameType.HELLO
+        assert decode_control(payload) == {"shard": 2, "extra": "x"}
+
+    def test_batch_frame_round_trip(self):
+        batch = ReportBatch(
+            shard=1, t=4, user_ids=np.array([3, 9]), values=np.array([0.25, 0.75])
+        )
+        frame_type, payload = _read_one(encode_batch_frame(batch))
+        assert frame_type == FrameType.BATCH
+        decoded = decode_batch_payload(payload)
+        assert (decoded.shard, decoded.t) == (1, 4)
+        np.testing.assert_array_equal(decoded.user_ids, batch.user_ids)
+        np.testing.assert_array_equal(decoded.values, batch.values)
+
+    def test_clean_eof_returns_none(self):
+        assert _read_one(b"") is None
+
+    def test_mid_frame_eof_raises_incomplete(self):
+        frame = encode_control(FrameType.HELLO, shard=0)
+        with pytest.raises(asyncio.IncompleteReadError):
+            _read_one(frame[: len(frame) - 2])
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_control(FrameType.HELLO))
+        frame[0:2] = b"XX"
+        with pytest.raises(WireError, match="magic"):
+            _read_one(bytes(frame))
+
+    def test_unsupported_version_rejected(self):
+        frame = bytearray(encode_control(FrameType.HELLO))
+        frame[2] = WIRE_VERSION + 1
+        with pytest.raises(WireError, match="version"):
+            _read_one(bytes(frame))
+
+    def test_unknown_frame_type_rejected(self):
+        frame = bytearray(encode_control(FrameType.HELLO))
+        frame[3] = 200
+        with pytest.raises(WireError, match="frame type"):
+            _read_one(bytes(frame))
+        with pytest.raises(WireError, match="frame type"):
+            encode_frame(200)
+
+    def test_oversized_payload_rejected_by_reader(self):
+        header = struct.pack(">2sBBI", WIRE_MAGIC, WIRE_VERSION, FrameType.BATCH, 1 << 30)
+        with pytest.raises(WireError, match="exceeds"):
+            _read_one(header)
+
+    def test_oversized_payload_rejected_by_encoder(self):
+        with pytest.raises(WireError, match="exceeds"):
+            encode_frame(FrameType.BATCH, b"\0" * (MAX_PAYLOAD_BYTES + 1))
+
+    def test_non_json_control_payload_rejected(self):
+        with pytest.raises(WireError, match="JSON"):
+            decode_control(b"\xff\xfe")
+        with pytest.raises(WireError, match="object"):
+            decode_control(b"[1, 2]")

@@ -6,8 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.core import APP, CAPP, IPP, PPSampling, segment_bounds, simple_moving_average
 from repro.baselines import BASW, BDSW, SWDirect
+from repro.core import APP, CAPP, IPP, PPSampling, segment_bounds, simple_moving_average
 
 streams = arrays(
     dtype=float,

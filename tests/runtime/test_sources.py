@@ -182,3 +182,26 @@ class TestScenarioSource:
 def test_stream_source_is_abstract():
     with pytest.raises(TypeError):
         StreamSource()
+
+
+class TestScenarioSourceHelper:
+    def test_shard_decomposition_from_shared_args(self):
+        from repro.runtime import scenario_source
+
+        source = scenario_source("diurnal", n_users=100, horizon=12, n_shards=3, seed=5)
+        chunks = list(source.chunks())
+        assert [c.n_users for c in chunks] == [34, 34, 32]
+        assert source.spec.name == "diurnal"
+        # The whole point: two independent processes (server and fleet)
+        # building from the same arguments get identical chunks.
+        again = scenario_source("diurnal", n_users=100, horizon=12, n_shards=3, seed=5)
+        for a, b in zip(chunks, again.chunks()):
+            np.testing.assert_array_equal(a.matrix, b.matrix)
+
+    def test_overrides_and_unknown_name(self):
+        from repro.runtime import scenario_source
+
+        source = scenario_source("steady", 10, 8, burst_rate=0.5)
+        assert source.spec.burst_rate == 0.5
+        with pytest.raises(KeyError, match="unknown scenario"):
+            scenario_source("nope", 10, 8)

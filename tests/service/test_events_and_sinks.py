@@ -139,3 +139,64 @@ class TestSinks:
     def test_callback_sink_requires_callable(self):
         with pytest.raises(TypeError):
             CallbackSink("not callable")
+
+
+class TestSinkEdgeCases:
+    def test_jsonl_sink_unwritable_path_raises_cleanly(self, tmp_path):
+        """A path under a regular file fails at construction, not mid-run."""
+        blocker = tmp_path / "blocker"
+        blocker.write_text("i am a file, not a directory")
+        with pytest.raises(OSError):
+            JSONLSink(blocker / "events.jsonl")
+
+    def test_jsonl_sink_close_is_idempotent(self, tmp_path):
+        sink = JSONLSink(tmp_path / "events.jsonl")
+        sink.close()
+        sink.close()  # second close must not raise
+
+    def test_memory_sink_truncation_flag(self):
+        sink = MemorySink(max_records=2)
+        for i in range(5):
+            sink.emit({"type": "a", "i": i})
+        assert [r["i"] for r in sink.records] == [0, 1]
+        assert sink.truncated
+        assert sink.n_emitted == 5
+
+    def test_memory_sink_untruncated_by_default(self):
+        sink = MemorySink()
+        for i in range(1000):
+            sink.emit({"i": i})
+        assert not sink.truncated
+        assert len(sink.records) == sink.n_emitted == 1000
+
+    def test_memory_sink_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError, match="max_records"):
+            MemorySink(max_records=0)
+
+    @pytest.mark.parametrize("max_workers", [1, 3])
+    def test_callback_sink_raising_mid_slot_does_not_deadlock(self, max_workers):
+        """A sink blowing up during finalization must fail the run fast —
+        propagating the error and joining every producer thread — rather
+        than wedging the slot barrier."""
+        from repro.runtime import MatrixSource
+        from repro.service import run_live
+
+        class SinkBoom(RuntimeError):
+            pass
+
+        def explode(record):
+            if record.get("type") == "slot" and record["t"] == 2:
+                raise SinkBoom("sink failed mid-slot")
+
+        matrix = np.random.default_rng(3).random((12, 8))
+        with pytest.raises(SinkBoom):
+            run_live(
+                MatrixSource(matrix, chunk_size=4),
+                epsilon=1.0,
+                w=4,
+                seed=9,
+                max_workers=max_workers,
+                sinks=[CallbackSink(explode)],
+            )
+        # Reaching here at all proves no deadlock; the failing slot never
+        # finalized more than once and threads were joined by serve().

@@ -1,0 +1,114 @@
+"""The CI perf-regression gate over BENCH_population.json."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_GATE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "perf_gate.py",
+)
+
+spec = importlib.util.spec_from_file_location("perf_gate", _GATE_PATH)
+perf_gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(perf_gate)
+
+
+def _trajectory(path, estimators):
+    payload = {
+        "population": {
+            "estimators": {
+                name: {"vectorized_users_per_sec": rate}
+                for name, rate in estimators.items()
+            }
+        }
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+@pytest.fixture
+def files(tmp_path):
+    def _make(baseline, current):
+        return (
+            _trajectory(tmp_path / "baseline.json", baseline),
+            _trajectory(tmp_path / "current.json", current),
+        )
+
+    return _make
+
+
+class TestGateVerdicts:
+    def test_passes_within_tolerance(self, files, capsys):
+        baseline, current = files({"capp": 100_000.0}, {"capp": 70_000.0})
+        code = perf_gate.main(["--baseline", baseline, "--current", current])
+        assert code == 0
+        assert "perf gate passed" in capsys.readouterr().out
+
+    def test_fails_past_tolerance(self, files, capsys):
+        baseline, current = files(
+            {"capp": 100_000.0, "ipp": 50_000.0},
+            {"capp": 100_500.0, "ipp": 20_000.0},  # ipp dropped 60%
+        )
+        code = perf_gate.main(["--baseline", baseline, "--current", current])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "ipp" in captured.err and "60% below" in captured.err
+
+    def test_tolerance_flag_tightens_the_gate(self, files):
+        baseline, current = files({"capp": 100_000.0}, {"capp": 85_000.0})
+        assert perf_gate.main(["--baseline", baseline, "--current", current]) == 0
+        assert (
+            perf_gate.main(
+                ["--baseline", baseline, "--current", current, "--tolerance", "0.10"]
+            )
+            == 1
+        )
+
+    def test_env_tolerance_respected(self, files, monkeypatch):
+        baseline, current = files({"capp": 100_000.0}, {"capp": 85_000.0})
+        monkeypatch.setenv("REPRO_BENCH_GATE_TOLERANCE", "0.10")
+        assert perf_gate.main(["--baseline", baseline, "--current", current]) == 1
+
+    def test_unmatched_estimators_reported_not_failed(self, files, capsys):
+        baseline, current = files(
+            {"capp": 100_000.0, "retired": 9_000.0},
+            {"capp": 99_000.0, "brand-new": 5.0},
+        )
+        code = perf_gate.main(["--baseline", baseline, "--current", current])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "not measured — skipped" in out  # retired
+        assert "no baseline — skipped" in out  # brand-new
+
+
+class TestGateErrors:
+    def test_missing_section_is_usage_error(self, tmp_path, files, capsys):
+        baseline, _ = files({"capp": 1.0}, {"capp": 1.0})
+        empty = tmp_path / "empty.json"
+        empty.write_text("{}")
+        code = perf_gate.main(["--baseline", baseline, "--current", str(empty)])
+        assert code == 2
+        assert "no population.estimators" in capsys.readouterr().err
+
+    def test_unreadable_baseline_is_usage_error(self, files, capsys):
+        _, current = files({"capp": 1.0}, {"capp": 1.0})
+        code = perf_gate.main(["--baseline", "/nonexistent.json", "--current", current])
+        assert code == 2
+
+    def test_bad_tolerance_is_usage_error(self, files):
+        baseline, current = files({"capp": 1.0}, {"capp": 1.0})
+        code = perf_gate.main(
+            ["--baseline", baseline, "--current", current, "--tolerance", "1.5"]
+        )
+        assert code == 2
+
+    def test_committed_baseline_parses(self):
+        """The repo-root trajectory must stay gate-compatible."""
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        rates = perf_gate.load_estimators(os.path.join(root, "BENCH_population.json"))
+        assert "capp" in rates and rates["capp"] > 0
