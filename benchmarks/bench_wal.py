@@ -1,0 +1,168 @@
+"""Write-ahead log bench: append throughput, gateway overhead, recovery.
+
+Three durability numbers, recorded as the ``wal`` section of
+``BENCH_population.json`` so the perf gate can hold the line:
+
+* **append throughput** — batches/sec and MB/sec appended under each
+  fsync policy (``never`` / ``commit`` / ``always``), pure WAL cost
+  with no pipeline attached;
+* **gateway overhead** — end-to-end reports/sec of ``run_gateway``
+  with and without a WAL at the default ``commit`` policy.  The
+  acceptance bar: logging every batch costs **< 15%** of gateway
+  throughput;
+* **recovery rate** — batches/sec replayed by ``recover_pipeline``
+  over a crashed run's log (how fast a restart catches up).
+
+Sized through the environment so CI smoke jobs run at toy scale:
+
+* ``REPRO_BENCH_WAL_USERS`` / ``REPRO_BENCH_WAL_SLOTS`` — population
+  shape for the gateway-overhead pass (default 8000 x 40).
+* ``REPRO_BENCH_WAL_BATCHES`` — appended batches per fsync policy in
+  the throughput pass (default 2000).
+* ``REPRO_BENCH_WAL_MAX_OVERHEAD`` — allowed fractional throughput
+  loss with the WAL enabled (default 0.15, the acceptance bar).
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from repro.gateway import run_gateway
+from repro.runtime import MatrixSource
+from repro.service import ReportBatch
+from repro.wal import WriteAheadLog, recover_pipeline
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def _env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+def _batch(t: int, shard: int = 0, n: int = 64) -> ReportBatch:
+    rng = np.random.default_rng(t)
+    return ReportBatch(
+        shard=shard,
+        t=t,
+        user_ids=np.arange(n, dtype=np.int64),
+        values=rng.uniform(-1.0, 1.0, size=n),
+    )
+
+
+def _append_rate(policy: str, n_batches: int) -> dict:
+    """Pure append cost: batches/sec and MB/sec under one fsync policy."""
+    directory = tempfile.mkdtemp(prefix=f"bench-wal-{policy}-")
+    try:
+        wal = WriteAheadLog(directory, fsync=policy)
+        batches = [_batch(t) for t in range(min(n_batches, 256))]
+        start = time.perf_counter()
+        for i in range(n_batches):
+            wal.append_batch(batches[i % len(batches)])
+            if policy == "commit" and i % 16 == 15:
+                wal.append_commit(i // 16, 64 * 16, 0.0)
+        elapsed = time.perf_counter() - start
+        stats = wal.stats()
+        wal.close()
+        return {
+            "batches_per_second": round(n_batches / elapsed, 1),
+            "mb_per_second": round(stats["bytes_appended"] / elapsed / 1e6, 2),
+            "syncs": stats["syncs"],
+        }
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def test_wal_throughput_and_overhead(record_table, record_population_bench):
+    n_users = _env_int("REPRO_BENCH_WAL_USERS", 8_000)
+    horizon = _env_int("REPRO_BENCH_WAL_SLOTS", 40)
+    n_batches = _env_int("REPRO_BENCH_WAL_BATCHES", 2_000)
+    max_overhead = _env_float("REPRO_BENCH_WAL_MAX_OVERHEAD", 0.15)
+    n_shards = 4
+
+    append = {policy: _append_rate(policy, n_batches) for policy in
+              ("never", "commit", "always")}
+
+    # Gateway throughput with and without the log, same source and seed.
+    matrix = np.random.default_rng(0).random((n_users, horizon))
+    chunk = -(-n_users // n_shards)
+    params = dict(epsilon=1.0, w=10, seed=1)
+
+    repeats = _env_int("REPRO_BENCH_WAL_REPEATS", 3)
+
+    def _serve(wal_dir=None):
+        run = run_gateway(
+            MatrixSource(matrix, chunk_size=chunk), wal_dir=wal_dir, **params
+        )
+        return run, run.metrics.snapshot()["reports_per_second"]
+
+    # Best-of-N on both sides: a single short serve is at the mercy of
+    # the scheduler, and the gate compares peaks, not averages.
+    plain_run, plain_rps = _serve()
+    for _ in range(repeats - 1):
+        _, rps = _serve()
+        plain_rps = max(plain_rps, rps)
+    logged_rps = 0.0
+    wal_root = tempfile.mkdtemp(prefix="bench-wal-gateway-")
+    try:
+        for attempt in range(repeats):
+            wal_dir = os.path.join(wal_root, f"wal-{attempt}")
+            logged_run, rps = _serve(wal_dir=wal_dir)
+            logged_rps = max(logged_rps, rps)
+            # The log must never change an answer, bit for bit.
+            np.testing.assert_array_equal(
+                logged_run.result.population_mean_series(),
+                plain_run.result.population_mean_series(),
+            )
+        overhead = 1.0 - logged_rps / plain_rps
+
+        # Recovery rate: replay the full log into a fresh pipeline.
+        start = time.perf_counter()
+        recovery = recover_pipeline(wal_dir)
+        recovery_elapsed = time.perf_counter() - start
+        replayed = recovery.replayed_batches
+        recovery_rate = replayed / recovery_elapsed if recovery_elapsed else 0.0
+        assert recovery.run_ended
+    finally:
+        shutil.rmtree(wal_root, ignore_errors=True)
+
+    lines = [
+        f"write-ahead log at {n_users} users x {horizon} slots "
+        f"({n_shards} shards, {n_batches} append-bench batches)",
+        "  append throughput (batches/s | MB/s | syncs):",
+    ]
+    for policy in ("never", "commit", "always"):
+        a = append[policy]
+        lines.append(
+            f"    fsync={policy:6s} {a['batches_per_second']:12.0f} | "
+            f"{a['mb_per_second']:8.2f} | {a['syncs']}"
+        )
+    lines += [
+        f"  gateway reports/s   : {plain_rps:12.0f} (no WAL)",
+        f"  gateway reports/s   : {logged_rps:12.0f} (WAL, fsync=commit)",
+        f"  logging overhead    : {overhead * 100:9.1f}%  (bar: <{max_overhead * 100:.0f}%)",
+        f"  recovery replay     : {recovery_rate:12.0f} batches/s "
+        f"({replayed} batches in {recovery_elapsed * 1e3:.1f} ms)",
+    ]
+    record_table("wal_throughput", "\n".join(lines))
+    record_population_bench(
+        "wal",
+        {
+            "n_users": n_users,
+            "horizon": horizon,
+            "append": append,
+            "gateway_reports_per_second_plain": round(plain_rps, 1),
+            "gateway_reports_per_second_wal": round(logged_rps, 1),
+            "overhead_fraction": round(overhead, 4),
+            "recovery_batches_per_second": round(recovery_rate, 1),
+            "recovered_batches": replayed,
+        },
+    )
+    assert overhead < max_overhead, (
+        f"WAL logging costs {overhead * 100:.1f}% of gateway throughput; "
+        f"the acceptance bar is <{max_overhead * 100:.0f}%"
+    )

@@ -52,6 +52,84 @@ def load_estimators(path: str) -> Dict[str, float]:
     return rates
 
 
+#: hard ceiling on the WAL's fractional gateway-throughput cost
+WAL_MAX_OVERHEAD = float(os.environ.get("REPRO_BENCH_WAL_MAX_OVERHEAD", 0.15))
+
+
+def load_wal(path: str) -> Dict[str, float]:
+    """The gated scalars from a trajectory file's ``wal`` section.
+
+    Returns an empty dict when the section is absent (smoke runs that
+    measured only the estimator matrix) — the WAL gate then skips.
+    """
+    with open(path) as fh:
+        document = json.load(fh)
+    section = document.get("wal", {})
+    if not isinstance(section, dict):
+        return {}
+    gated = {}
+    for key in (
+        "gateway_reports_per_second_wal",
+        "recovery_batches_per_second",
+        "overhead_fraction",
+    ):
+        value = section.get(key)
+        if isinstance(value, (int, float)):
+            gated[key] = float(value)
+    return gated
+
+
+def compare_wal(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    tolerance: float,
+) -> Tuple[List[str], List[str]]:
+    """Verdict lines and regressions for the durability numbers.
+
+    Two checks: the absolute overhead ceiling (logging must stay under
+    ``WAL_MAX_OVERHEAD`` of gateway throughput, regardless of history)
+    and the usual relative floors on WAL-logged throughput and recovery
+    replay rate against the committed baseline.
+    """
+    lines: List[str] = []
+    regressions: List[str] = []
+    if not current:
+        lines.append("  wal: not measured — skipped")
+        return lines, regressions
+    overhead = current.get("overhead_fraction")
+    if overhead is not None:
+        verdict = "ok" if overhead < WAL_MAX_OVERHEAD else "REGRESSED"
+        lines.append(
+            f"  wal overhead      {overhead * 100:11.1f}%  "
+            f"(ceiling {WAL_MAX_OVERHEAD * 100:.0f}%)  {verdict}"
+        )
+        if overhead >= WAL_MAX_OVERHEAD:
+            regressions.append(
+                f"wal: logging overhead {overhead * 100:.1f}% breaches the "
+                f"{WAL_MAX_OVERHEAD * 100:.0f}% ceiling"
+            )
+    floor_factor = 1.0 - tolerance
+    for key in ("gateway_reports_per_second_wal", "recovery_batches_per_second"):
+        if key not in current:
+            continue
+        if key not in baseline:
+            lines.append(f"  wal {key}: {current[key]:.0f}  (no baseline — skipped)")
+            continue
+        ratio = current[key] / baseline[key]
+        verdict = "ok" if ratio >= floor_factor else "REGRESSED"
+        lines.append(
+            f"  wal {key:32s} {baseline[key]:12.0f} -> "
+            f"{current[key]:12.0f}  ({ratio:6.2f}x)  {verdict}"
+        )
+        if ratio < floor_factor:
+            regressions.append(
+                f"wal {key}: {current[key]:.0f}/s is "
+                f"{(1.0 - ratio) * 100:.0f}% below the committed "
+                f"{baseline[key]:.0f} (allowed drop: {tolerance * 100:.0f}%)"
+            )
+    return lines, regressions
+
+
 def compare(
     baseline: Dict[str, float],
     current: Dict[str, float],
@@ -116,6 +194,11 @@ def main(argv=None) -> int:
         return 2
 
     lines, regressions = compare(baseline, current, args.tolerance)
+    wal_lines, wal_regressions = compare_wal(
+        load_wal(args.baseline), load_wal(args.current), args.tolerance
+    )
+    lines += wal_lines
+    regressions += wal_regressions
     print(
         f"perf gate: {METRIC}, tolerance {args.tolerance * 100:.0f}% "
         f"({len(current)} measured vs {len(baseline)} baseline)"

@@ -42,11 +42,17 @@ __all__ = [
     "collector_state_from_dict",
     "batch_accountant_to_dict",
     "batch_accountant_from_dict",
+    "WAL_CHECKPOINT_FORMAT",
+    "wal_checkpoint_to_dict",
+    "wal_checkpoint_from_dict",
 ]
 
 _FORMAT = "repro.perturbation-result.v1"
 _STATE_FORMAT = "repro.collector-shard-state.v1"
 _LEDGER_FORMAT = "repro.batch-accountant.v1"
+
+#: format tag of WAL compaction checkpoints (see :mod:`repro.wal`)
+WAL_CHECKPOINT_FORMAT = "repro.wal-checkpoint.v1"
 
 
 def _accountant_summary(accountant: WEventAccountant) -> Dict[str, float]:
@@ -179,6 +185,52 @@ def collector_state_from_dict(data: Dict[str, Any]) -> "CollectorShardState":
             for uid, series in data.get("by_user", {}).items()
         }
     return state
+
+
+def wal_checkpoint_to_dict(
+    config: Dict[str, Any],
+    metadata: Dict[str, Any],
+    collector_state: "CollectorShardState",
+    slot_records: "list[Dict[str, Any]]",
+    next_slot: int,
+    live_segment: int,
+) -> Dict[str, Any]:
+    """JSON-safe WAL compaction checkpoint (exact float round trip).
+
+    Bundles everything recovery needs to rebuild a pipeline without the
+    compacted segments: the run configuration (the pipeline constructor
+    arguments), the collector's mergeable aggregate state, the published
+    per-slot estimate records, the barrier clock, and the index of the
+    first segment still needed on top of the snapshot.
+    """
+    return {
+        "format": WAL_CHECKPOINT_FORMAT,
+        "config": dict(config),
+        "metadata": dict(metadata),
+        "collector_state": collector_state_to_dict(collector_state),
+        "slots": list(slot_records),
+        "next_slot": int(next_slot),
+        "live_segment": int(live_segment),
+    }
+
+
+def wal_checkpoint_from_dict(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Inverse of :func:`wal_checkpoint_to_dict`.
+
+    Returns the checkpoint with ``collector_state`` restored to a live
+    :class:`~repro.protocol.collector.CollectorShardState`; the slot
+    records stay as dicts (``SlotEstimate.from_record`` rebuilds them).
+    """
+    if data.get("format") != WAL_CHECKPOINT_FORMAT:
+        raise ValueError(f"unsupported WAL checkpoint format {data.get('format')!r}")
+    return {
+        "config": dict(data["config"]),
+        "metadata": dict(data.get("metadata", {})),
+        "collector_state": collector_state_from_dict(data["collector_state"]),
+        "slots": list(data["slots"]),
+        "next_slot": int(data["next_slot"]),
+        "live_segment": int(data["live_segment"]),
+    }
 
 
 def batch_accountant_to_dict(

@@ -12,6 +12,8 @@ Usage::
     python -m repro gateway-serve --datasets bursty --shards 4 --verify
     python -m repro gateway-serve --standalone --port 7070   # then, elsewhere:
     python -m repro gateway-fleet --connect 127.0.0.1:7070
+    python -m repro gateway-serve --wal waldir --shards 4    # durable serving
+    python -m repro wal-compact --wal waldir
     python -m repro list
 
 ``--scale`` multiplies the default subsequence/repeat counts, letting a
@@ -28,6 +30,13 @@ loopback; with ``--standalone`` it waits for an external fleet started
 via ``gateway-fleet``.  Both sides derive the shard decomposition from
 the same scenario arguments, so gateway-served estimates are
 bit-identical to the offline sharded run (``--verify`` checks).
+
+``--wal DIR`` makes the serve durable (:mod:`repro.wal`): a fresh
+directory starts a logged run, and a directory holding an interrupted
+run's log triggers crash recovery — the server replays the WAL, then
+listens for the fleet to resume.  ``wal-compact`` folds a log into a
+checkpoint snapshot (``--dry-run`` only verifies it); the operator
+procedures live in ``docs/operations.md``.
 
 Unknown dataset/algorithm/scenario names exit with status 2 and a
 one-line message carrying the registries' close-match suggestions.
@@ -417,13 +426,27 @@ def _run_gateway_serve(args: argparse.Namespace) -> str:
     from ..gateway import run_gateway
     from ..runtime import run_protocol_sharded
 
+    if args.wal:
+        from ..wal import WriteAheadLog
+
+        if WriteAheadLog.exists(args.wal):
+            # The directory holds an interrupted run: recover and resume
+            # instead of starting a new one.
+            return _serve_recovered(args)
+
     scenario, source, n_shards, protocol = _gateway_workload(args)
     if args.standalone:
         return _serve_standalone(args, scenario, source, n_shards, protocol)
 
     try:
         run = run_gateway(
-            source, host=args.host, port=args.port, jitter=args.jitter, **protocol
+            source,
+            host=args.host,
+            port=args.port,
+            jitter=args.jitter,
+            wal_dir=args.wal,
+            fsync=args.fsync,
+            **protocol,
         )
     except (ConnectionError, TimeoutError, OSError) as error:
         raise CLIError(f"gateway serve failed: {error}") from error
@@ -449,6 +472,8 @@ def _run_gateway_serve(args: argparse.Namespace) -> str:
         ["duplicates / sheds", f"{snapshot['duplicates']} / {snapshot['sheds']}"],
         ["reconnects", sum(r.reconnects for r in run.shard_reports)],
     ]
+    if args.wal:
+        rows.append(["write-ahead log", f"{args.wal} (fsync={args.fsync})"])
     if bit_identical is not None:
         rows.append(["bit-identical to sharded run", "yes" if bit_identical else "NO"])
     if args.metrics_out:
@@ -493,6 +518,11 @@ def _serve_standalone(args, scenario, source, n_shards, protocol) -> str:
         epsilon=protocol["epsilon"],
         w=protocol["w"],
     )
+    wal = None
+    if args.wal:
+        from ..wal import WriteAheadLog
+
+        wal = pipeline.attach_wal(WriteAheadLog(args.wal, fsync=args.fsync))
 
     async def _serve():
         server = GatewayServer(pipeline, host=args.host, port=args.port)
@@ -519,6 +549,9 @@ def _serve_standalone(args, scenario, source, n_shards, protocol) -> str:
         ) from error
     except OSError as error:  # bind failure (port in use, bad host)
         raise CLIError(f"cannot listen on {args.host}:{args.port}: {error}") from error
+    finally:
+        if wal is not None:
+            wal.close()
     snapshot = server.metrics.snapshot()
     result = server.result()
     rows = [
@@ -528,10 +561,123 @@ def _serve_standalone(args, scenario, source, n_shards, protocol) -> str:
         ["p99 slot latency", f"{snapshot['p99_slot_latency_seconds'] * 1e3:.3f} ms"],
         ["connections served", snapshot["connections_opened"]],
     ]
+    if args.wal:
+        rows.append(["write-ahead log", f"{args.wal} (fsync={args.fsync})"])
     if args.metrics_out:
         _write_metrics_json(args.metrics_out, {"scenario": scenario, "gateway": snapshot})
         rows.append(["metrics json", args.metrics_out])
     return format_table(["metric", "value"], rows, title="Gateway serve (standalone)")
+
+
+def _serve_recovered(args: argparse.Namespace) -> str:
+    """Recover an interrupted run from its WAL, then resume serving.
+
+    The run configuration comes from the log itself (``RUN_START`` or
+    the latest checkpoint), not from the command line — restart the
+    fleet with the *same* ``gateway-fleet`` arguments as before and its
+    clients will resume from the recovered per-shard slots.
+    """
+    import asyncio
+
+    from ..gateway import GatewayServer
+    from ..wal import WalCorruptionError, WriteAheadLog, recover_pipeline
+
+    try:
+        recovery = recover_pipeline(args.wal)
+    except WalCorruptionError as error:
+        raise CLIError(f"write-ahead log is damaged: {error}") from error
+    pipeline = recovery.pipeline
+    summary = recovery.summary()
+    rows = [[key, summary[key]] for key in sorted(summary)]
+    if recovery.run_ended or pipeline.complete:
+        rows.append(["status", "run already complete; nothing to serve"])
+        return format_table(
+            ["metric", "value"], rows, title="Gateway serve (recovered)"
+        )
+    wal = pipeline.attach_wal(WriteAheadLog(args.wal, fsync=args.fsync))
+
+    async def _serve():
+        server = GatewayServer(
+            pipeline,
+            host=args.host,
+            port=args.port,
+            next_expected=recovery.next_expected,
+        )
+        await server.start(metadata=recovery.metadata)
+        print(
+            f"recovered run at slot {pipeline.next_slot}/{pipeline.horizon}; "
+            f"listening on {args.host}:{server.port} — restart the fleet "
+            f"with its original gateway-fleet arguments to resume",
+            file=sys.stderr,
+        )
+        try:
+            await server.wait_complete(timeout=args.serve_timeout or None)
+        finally:
+            await server.stop()
+        return server
+
+    try:
+        server = asyncio.run(_serve())
+    except (TimeoutError, asyncio.TimeoutError) as error:
+        raise CLIError(
+            f"no fleet completed the run within --serve-timeout "
+            f"{args.serve_timeout:g}s"
+        ) from error
+    except OSError as error:
+        raise CLIError(f"cannot listen on {args.host}:{args.port}: {error}") from error
+    finally:
+        wal.close()
+    snapshot = server.metrics.snapshot()
+    result = server.result()
+    rows += [
+        ["reports ingested (total)", result.n_reports],
+        ["batches accepted after restart", snapshot["batches_accepted"]],
+        ["connections served", snapshot["connections_opened"]],
+        ["write-ahead log", f"{args.wal} (fsync={args.fsync})"],
+    ]
+    if args.metrics_out:
+        _write_metrics_json(
+            args.metrics_out,
+            {"recovery": summary, "gateway": snapshot},
+        )
+        rows.append(["metrics json", args.metrics_out])
+    return format_table(["metric", "value"], rows, title="Gateway serve (recovered)")
+
+
+def _run_wal_compact(args: argparse.Namespace) -> str:
+    from ..wal import WalCorruptionError, WriteAheadLog, compact, recover_pipeline
+
+    if not args.wal:
+        raise CLIError("wal-compact requires --wal DIR")
+    if not WriteAheadLog.exists(args.wal):
+        raise CLIError(f"no write-ahead log at {args.wal}")
+    try:
+        recovery = recover_pipeline(args.wal)
+    except WalCorruptionError as error:
+        raise CLIError(f"write-ahead log is damaged: {error}") from error
+    summary = recovery.summary()
+    rows = [[key, summary[key]] for key in sorted(summary)]
+    if args.dry_run:
+        return format_table(
+            ["metric", "value"],
+            rows,
+            title="WAL verify (dry run; log unchanged)",
+        )
+    wal = recovery.pipeline.attach_wal(
+        WriteAheadLog(args.wal, fsync=args.fsync)
+    )
+    try:
+        outcome = compact(wal, recovery.pipeline)
+    finally:
+        wal.close()
+    rows += [
+        ["checkpoint written", outcome.checkpoint_path],
+        ["live segment", outcome.live_segment],
+        ["segments deleted", outcome.segments_deleted],
+        ["checkpoints deleted", outcome.checkpoints_deleted],
+        ["pending batches re-appended", outcome.pending_reappended],
+    ]
+    return format_table(["metric", "value"], rows, title="WAL compaction")
 
 
 def _run_gateway_fleet(args: argparse.Namespace) -> str:
@@ -577,6 +723,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "serve-replay": _run_serve_replay,
     "gateway-serve": _run_gateway_serve,
     "gateway-fleet": _run_gateway_fleet,
+    "wal-compact": _run_wal_compact,
     "fig4": _run_fig_grid(run_fig4, "Fig.4"),
     "fig5": _run_fig_grid(run_fig5, "Fig.5"),
     "fig6": _run_fig6_like(run_fig6, "Fig.6"),
@@ -588,10 +735,131 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
 }
 
 
+# One paragraph + one runnable example per subcommand, rendered into
+# ``--help``'s epilog (and printed by ``python -m repro list``).  Keep
+# the examples copy-pasteable — docs/operations.md links here.
+COMMAND_HELP: Dict[str, str] = {
+    "table1": (
+        "Reproduce Table 1: per-mechanism utility across window sizes and "
+        "datasets, on the vectorized population engine by default.\n"
+        "  python -m repro table1 --scale 0.5"
+    ),
+    "models": (
+        "Compare privacy models (event-, w-event-, user-level) on one "
+        "stream: per-slot budget, protected span, and utility side by side.\n"
+        "  python -m repro models --scale 0.2"
+    ),
+    "distribution": (
+        "Per-slot exponential-mechanism distribution reconstruction "
+        "quality (Wasserstein distance) across population shapes.\n"
+        "  python -m repro distribution --scale 0.1 --epsilons 0.5 1.0"
+    ),
+    "scenarios": (
+        "Population-scale scenario workloads (diurnal, bursty, ...) "
+        "through the sharded runtime; reports population-mean MSE per "
+        "estimator.\n"
+        "  python -m repro scenarios --shards 4 --scale 0.5"
+    ),
+    "live": (
+        "Live-serving study: the slot-clocked ingestion pipeline vs the "
+        "offline runtime — throughput, latency, alerts, and the "
+        "bit-identical check per scenario.\n"
+        "  python -m repro live --shards 2 --scale 0.5"
+    ),
+    "serve-replay": (
+        "Stream one scenario through the live pipeline with a standing "
+        "dashboard; --sink writes a JSONL event log, --record-batches "
+        "makes that log a complete replayable capture.\n"
+        "  python -m repro serve-replay --datasets bursty --shards 2 "
+        "--sink events.jsonl --record-batches"
+    ),
+    "gateway-serve": (
+        "Serve a scenario over real TCP: loopback client fleet by "
+        "default, --standalone to wait for an external gateway-fleet, "
+        "--wal DIR for a durable run (an existing WAL directory is "
+        "recovered and resumed instead), --verify for the bit-equality "
+        "audit.\n"
+        "  python -m repro gateway-serve --datasets bursty --shards 4 "
+        "--wal waldir --verify"
+    ),
+    "gateway-fleet": (
+        "The client half of a two-process deployment: rebuild the shard "
+        "feeds from the same arguments as the server and upload them to "
+        "--connect HOST:PORT, reconnecting and resuming on drops.\n"
+        "  python -m repro gateway-fleet --connect 127.0.0.1:7070 "
+        "--datasets bursty --shards 4"
+    ),
+    "wal-compact": (
+        "Fold a write-ahead log into a checkpoint snapshot and delete "
+        "the segments it covers; --dry-run only replays and verifies the "
+        "log (integrity check), changing nothing.\n"
+        "  python -m repro wal-compact --wal waldir --dry-run"
+    ),
+    "fig4": (
+        "Utility vs epsilon grids per dataset and window (Fig. 4; fig5 "
+        "is the same sweep for the sample-level baselines).\n"
+        "  python -m repro fig4 --datasets c6h6 volume --windows 10 30 "
+        "--scale 0.5"
+    ),
+    "fig5": (
+        "Companion sweep to fig4 over the remaining mechanism family.\n"
+        "  python -m repro fig5 --scale 0.5"
+    ),
+    "fig6": (
+        "Aggregate utility vs epsilon across mechanisms (Fig. 6; fig7 is "
+        "the matching sweep on its second metric).\n"
+        "  python -m repro fig6 --scale 0.5"
+    ),
+    "fig7": (
+        "Companion sweep to fig6 (second utility metric).\n"
+        "  python -m repro fig7 --scale 0.5"
+    ),
+    "fig8": (
+        "Population-mean estimation error vs epsilon on synthetic user "
+        "populations (Fig. 8).\n"
+        "  python -m repro fig8 --scale 0.5"
+    ),
+    "fig9": (
+        "Per-dataset multi-metric sweep vs epsilon (Fig. 9).\n"
+        "  python -m repro fig9 --datasets c6h6 --scale 0.5"
+    ),
+    "fig10": (
+        "Dimensionality study: utility vs epsilon per stream dimension "
+        "d (Fig. 10).\n"
+        "  python -m repro fig10 --scale 0.5"
+    ),
+    "fig11": (
+        "Budget-split sensitivity: utility across allocation deltas per "
+        "dataset and epsilon (Fig. 11).\n"
+        "  python -m repro fig11 --scale 0.25"
+    ),
+    "list": (
+        "Print every runnable experiment name, one per line.\n"
+        "  python -m repro list"
+    ),
+    "algorithms": (
+        "Print the estimator registry with per-name capability flags "
+        "(scalar/batch/sharded/live/participation).\n"
+        "  python -m repro algorithms"
+    ),
+}
+
+
+def _build_epilog() -> str:
+    blocks = ["commands:"]
+    for name in sorted(COMMAND_HELP):
+        text = COMMAND_HELP[name]
+        indented = "\n".join("    " + line for line in text.splitlines())
+        blocks.append(f"  {name}\n{indented}")
+    return "\n\n".join(blocks)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's tables and figures.",
+        epilog=_build_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "experiment",
@@ -721,6 +989,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="standalone serve: give up after this many seconds "
         "(default 0: wait forever)",
+    )
+    wal = parser.add_argument_group("durability (gateway-serve / wal-compact)")
+    wal.add_argument(
+        "--wal",
+        metavar="DIR",
+        help="write-ahead log directory: gateway-serve logs every "
+        "accepted batch there before acking (an existing log is "
+        "recovered and resumed); wal-compact folds it into a checkpoint",
+    )
+    wal.add_argument(
+        "--fsync",
+        choices=("always", "commit", "never"),
+        default="commit",
+        help="WAL fsync policy: 'always' syncs every record, 'commit' "
+        "(default) syncs at slot commits, 'never' leaves flushing to "
+        "the OS — all three survive kill -9; fsync only matters for "
+        "power loss",
+    )
+    wal.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="wal-compact: replay and verify the log, then stop without "
+        "writing a checkpoint or deleting anything",
     )
     return parser
 

@@ -10,21 +10,31 @@ uploads and feeds them into the live
 :mod:`~repro.gateway.client` and :mod:`~repro.gateway.fleet` drive N
 simulated user-shards as concurrent connections with arrival jitter,
 load-shed retries, and reconnect-on-drop;
-:mod:`~repro.gateway.metrics` counts what the server saw.
+:mod:`~repro.gateway.metrics` counts what the server saw (every counter
+is documented in ``docs/operations.md``).
+
+Durability: pass ``wal_dir`` to :func:`run_gateway` (or ``--wal`` to
+``python -m repro gateway-serve``) and the server appends every
+accepted batch plus per-slot commits to the :mod:`repro.wal`
+write-ahead log *before* acknowledging, so a ``kill -9`` mid-slot is
+recoverable bit-exactly — :mod:`~repro.gateway.chaos` is the harness
+that proves it by killing the server at random points mid-run.
 
 Layer stack with the gateway in place::
 
     client fleet  -- TCP -->  gateway server  -->  ingestion pipeline
     (shard feeds)             (validate/shed)      (slot barrier)
-                                                        |
-                                              collector shards -> queries
+                                  |                     |
+                              write-ahead log   collector shards -> queries
+                              (crash recovery)
 
 Gateway-served estimates are bit-identical to
 :func:`~repro.runtime.run_protocol_sharded` for the same seed and shard
-decomposition — the network can reorder, stall, shed, and drop without
-ever changing an answer.
+decomposition — the network can reorder, stall, shed, drop, and even
+crash the server without ever changing an answer.
 """
 
+from .chaos import ChaosReport, CrashEvent, pipeline_fingerprint, run_chaos
 from .client import GatewayClient, GatewayError
 from .fleet import (
     GatewayRunResult,
@@ -55,6 +65,10 @@ __all__ = [
     "run_fleet",
     "run_fleet_async",
     "run_gateway",
+    "ChaosReport",
+    "CrashEvent",
+    "run_chaos",
+    "pipeline_fingerprint",
     "FrameType",
     "WireError",
     "WIRE_MAGIC",

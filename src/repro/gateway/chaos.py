@@ -1,0 +1,356 @@
+"""Chaos harness: random crash/recovery injection against the gateway.
+
+:func:`run_chaos` serves a population through the WAL-enabled gateway
+while repeatedly killing the server at randomly chosen accepted-batch
+counts.  Each "kill" goes through :meth:`GatewayServer.crash` — the
+in-process equivalent of ``kill -9`` (connections torn, nothing
+flushed) — after which the harness:
+
+1. fingerprints the abandoned server's in-memory pipeline state,
+2. recovers a fresh pipeline from the WAL directory with
+   :func:`~repro.wal.recover_pipeline`,
+3. asserts the recovered state equals the abandoned state **bit for
+   bit** (collector sums/counts, published estimates, barrier clock,
+   batches still buffered at the barrier, and the per-shard resume
+   slots), and
+4. restarts the server on the same port with the recovered resume
+   slots.
+
+The client fleet lives through every crash: connections error out,
+clients back off, reconnect, learn their ``resume_slot`` from the
+``HELLO_ACK`` handshake, and re-upload only what the recovered server
+does not hold.  Because the shard engines (and their privacy ledgers)
+never leave the clients, no mechanism is re-run and no budget is
+re-spent, however many times the server dies.
+
+After the horizon completes, the final estimates and ledgers are
+compared against an uninterrupted offline
+:func:`~repro.runtime.run_protocol_sharded` reference — the whole chaos
+run must be indistinguishable, bitwise, from a run where nothing ever
+crashed.  ``drops`` additionally injects client-side partition faults
+(upload-then-drop-before-ack) on top of the server crashes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..runtime.sharding import run_protocol_sharded
+from ..service.feeds import shard_feeds
+from ..service.pipeline import IngestionPipeline, LiveRunResult
+from ..wal import WriteAheadLog, recover_pipeline
+from .fleet import ShardUploadReport, drive_feed
+from .server import GatewayServer
+
+__all__ = ["CrashEvent", "ChaosReport", "run_chaos", "pipeline_fingerprint"]
+
+
+def pipeline_fingerprint(pipeline: IngestionPipeline) -> Dict[str, Any]:
+    """Bit-exact digest of everything a pipeline knows.
+
+    Floats go through ``repr`` (distinguishing every bit pattern except
+    NaN payloads, which the pipeline never produces) and arrays through
+    ``tobytes``, so two fingerprints compare equal iff the states are
+    bit-identical.
+    """
+    return {
+        "next_slot": pipeline.next_slot,
+        "n_reports": pipeline.collector.n_reports,
+        "slot_sums": {
+            t: repr(total) for t, total in pipeline.collector.state.slot_sums.items()
+        },
+        "slot_counts": dict(pipeline.collector.state.slot_counts),
+        "slots": [
+            (est.t, est.n_reports, None if est.mean is None else repr(est.mean))
+            for est in pipeline.slot_estimates
+        ],
+        "pending": [
+            (b.t, b.shard, b.user_ids.tobytes(), b.values.tobytes())
+            for b in pipeline.pending_batches()
+        ],
+    }
+
+
+@dataclass
+class CrashEvent:
+    """One server kill and the recovery that followed it."""
+
+    crash_number: int
+    target_batches: int
+    accepted_at_crash: int
+    recovered_next_slot: int
+    replayed_batches: int
+    skipped_batches: int
+    next_expected: List[int]
+    state_bit_equal: bool
+
+
+@dataclass
+class ChaosReport:
+    """Everything one :func:`run_chaos` campaign produced."""
+
+    result: LiveRunResult = field(repr=False)
+    crashes: List[CrashEvent]
+    shard_reports: List[ShardUploadReport]
+    port: int
+    offline_bit_equal: bool
+    ledgers_bit_equal: bool
+
+    @property
+    def n_crashes(self) -> int:
+        return len(self.crashes)
+
+    @property
+    def total_reconnects(self) -> int:
+        return sum(report.reconnects for report in self.shard_reports)
+
+    def assert_bit_equal(self) -> None:
+        """Every crash recovered bit-exactly and the final run matches
+        the uninterrupted offline reference (raises otherwise)."""
+        broken = [c.crash_number for c in self.crashes if not c.state_bit_equal]
+        if broken:
+            raise AssertionError(f"recovery diverged after crashes {broken}")
+        if not self.offline_bit_equal:
+            raise AssertionError(
+                "final estimates differ from the uninterrupted offline run"
+            )
+        if not self.ledgers_bit_equal:
+            raise AssertionError(
+                "privacy ledgers differ from the uninterrupted offline run"
+            )
+
+
+def _choose_crash_points(
+    n_crashes: int, total_batches: int, seed: int
+) -> List[int]:
+    """Distinct accepted-batch counts to kill the server at, ascending."""
+    n_crashes = int(n_crashes)
+    if n_crashes < 1:
+        raise ValueError(f"n_crashes must be >= 1, got {n_crashes}")
+    candidates = np.arange(1, total_batches)  # never before the first batch
+    if candidates.size == 0:
+        raise ValueError("population too small to crash mid-run")
+    rng = np.random.default_rng(np.random.SeedSequence([int(seed), 0xC4A5]))
+    count = min(n_crashes, candidates.size)
+    points = rng.choice(candidates, size=count, replace=False)
+    return sorted(int(p) for p in points)
+
+
+def run_chaos(
+    source,
+    wal_dir: str,
+    n_crashes: int = 20,
+    algorithm: "str | Sequence[str]" = "capp",
+    epsilon: float = 1.0,
+    w: int = 10,
+    smoothing_window: Optional[int] = 3,
+    participation: "float | Sequence[float] | None" = None,
+    seed: int = 0,
+    chunk_size: Optional[int] = None,
+    fsync: str = "commit",
+    drops: Optional[Dict[int, Iterable[int]]] = None,
+    jitter: float = 0.0,
+    crash_seed: int = 0,
+    backoff: float = 0.01,
+    host: str = "127.0.0.1",
+    complete_timeout: float = 120.0,
+) -> ChaosReport:
+    """Serve a population while randomly killing the WAL-backed server.
+
+    Args:
+        source: population source (matrix or StreamSource), as in
+            :func:`~repro.gateway.run_gateway`.
+        wal_dir: fresh directory for the run's write-ahead log.
+        n_crashes: how many random kill points to draw (capped by the
+            number of batches in the run minus one).
+        algorithm, epsilon, w, smoothing_window, participation, seed,
+            chunk_size: protocol parameters, as everywhere else.
+        fsync: WAL fsync policy (crash recovery works under all three —
+            ``kill -9`` never loses page-cache writes).
+        drops: extra partition injection — ``{shard: [slots]}`` whose
+            uploads tear the connection before reading the ack.
+        jitter: max per-slot client arrival delay in seconds.
+        crash_seed: seeds the kill-point draw (independent of ``seed``
+            so the protocol randomness never shifts with the fault plan).
+        backoff: client reconnect backoff in seconds.
+        host: listen address (loopback for tests).
+        complete_timeout: bound on waiting for the final slot.
+
+    Returns:
+        A :class:`ChaosReport`; call :meth:`ChaosReport.assert_bit_equal`
+        to enforce the bit-equality contract in one line.
+    """
+    if WriteAheadLog.exists(wal_dir):
+        raise ValueError(f"{wal_dir} already holds a WAL; chaos runs start fresh")
+    feeds = shard_feeds(
+        source,
+        algorithm=algorithm,
+        epsilon=epsilon,
+        w=w,
+        participation=participation,
+        seed=seed,
+        chunk_size=chunk_size,
+    )
+    if not feeds:
+        raise ValueError("source yielded no chunks; nothing to serve")
+    horizon = feeds[0].horizon
+    n_shards = len(feeds)
+    crash_points = _choose_crash_points(n_crashes, n_shards * horizon, crash_seed)
+    metadata = {
+        "algorithm": algorithm if isinstance(algorithm, str) else "per-user",
+        "seed": int(seed),
+        "chaos": True,
+    }
+    # Reconnect budget: every server kill plus every injected drop can
+    # cost each client one reconnect, with headroom for shed retries.
+    max_reconnects = len(crash_points) + sum(
+        len(list(slots)) for slots in (drops or {}).values()
+    ) + 10
+
+    def fresh_pipeline() -> IngestionPipeline:
+        return IngestionPipeline(
+            n_shards=n_shards,
+            horizon=horizon,
+            epsilon=epsilon,
+            w=w,
+            smoothing_window=smoothing_window,
+            track_users=False,
+            keep_reports=True,
+        )
+
+    async def _campaign() -> Tuple[LiveRunResult, List[ShardUploadReport], List[CrashEvent], int]:
+        pipeline = fresh_pipeline()
+        pipeline.attach_wal(WriteAheadLog(wal_dir, fsync=fsync))
+        server = GatewayServer(pipeline, host=host, port=0)
+        await server.start(metadata=metadata)
+        port = server.port
+
+        fleet = [
+            asyncio.ensure_future(
+                drive_feed(
+                    feed,
+                    host,
+                    port,
+                    jitter=jitter,
+                    rng=np.random.default_rng(
+                        np.random.SeedSequence([int(seed), feed.shard])
+                    )
+                    if jitter > 0.0
+                    else None,
+                    drop_slots=(drops or {}).get(feed.shard, ()),
+                    max_reconnects=max_reconnects,
+                    connect_attempts=200,
+                    backoff=backoff,
+                )
+            )
+            for feed in feeds
+        ]
+
+        crashes: List[CrashEvent] = []
+        accepted_before = 0
+        try:
+            for number, target in enumerate(crash_points, start=1):
+                # Every batch must be accepted for the run to complete,
+                # so the accepted counter always reaches the target —
+                # even if the horizon finishes in the same poll window
+                # (a post-completion crash is just another recovery).
+                while accepted_before + server.metrics.batches_accepted < target:
+                    failed = [
+                        task.exception()
+                        for task in fleet
+                        if task.done() and not task.cancelled() and task.exception()
+                    ]
+                    if failed:
+                        raise failed[0]
+                    await asyncio.sleep(0.001)
+                await server.crash()  # kill -9: no flush, no goodbyes
+                # The pipeline is frozen now — this is the exact state
+                # the "killed" process abandoned.
+                accepted_before += server.metrics.batches_accepted
+                expected = pipeline_fingerprint(pipeline)
+                expected_next = list(server._next_expected)
+
+                recovery = recover_pipeline(wal_dir)
+                recovered = pipeline_fingerprint(recovery.pipeline)
+                crashes.append(
+                    CrashEvent(
+                        crash_number=number,
+                        target_batches=target,
+                        accepted_at_crash=accepted_before,
+                        recovered_next_slot=recovery.pipeline.next_slot,
+                        replayed_batches=recovery.replayed_batches,
+                        skipped_batches=recovery.skipped_batches,
+                        next_expected=list(recovery.next_expected),
+                        state_bit_equal=(
+                            recovered == expected
+                            and recovery.next_expected == expected_next
+                        ),
+                    )
+                )
+                pipeline = recovery.pipeline
+                pipeline.attach_wal(WriteAheadLog(wal_dir, fsync=fsync))
+                server = GatewayServer(
+                    pipeline,
+                    host=host,
+                    port=port,
+                    next_expected=recovery.next_expected,
+                )
+                await server.start(metadata=metadata)
+
+            reports = list(await asyncio.gather(*fleet))
+            await server.wait_complete(timeout=complete_timeout)
+        finally:
+            for task in fleet:
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(*fleet, return_exceptions=True)
+            await server.stop()
+        result = server.result(feeds=feeds)
+        wal = pipeline.wal
+        if wal is not None:
+            wal.close()
+        return result, reports, crashes, port
+
+    result, reports, crashes, port = asyncio.run(_campaign())
+    result.assert_valid()
+
+    offline = run_protocol_sharded(
+        source,
+        algorithm=algorithm,
+        epsilon=epsilon,
+        w=w,
+        smoothing_window=smoothing_window,
+        participation=participation,
+        seed=seed,
+        chunk_size=chunk_size,
+        track_users=False,
+        keep_reports=True,
+    )
+    offline_bit_equal = (
+        result.collector.state.slot_sums == offline.collector.state.slot_sums
+        and result.collector.state.slot_counts
+        == offline.collector.state.slot_counts
+        and result.collector.n_reports == offline.collector.n_reports
+        and np.array_equal(
+            result.population_mean_series(),
+            offline.collector.population_mean_series(),
+        )
+    )
+    live_spend = np.zeros(offline.n_users)
+    for feed in feeds:
+        for group in feed.engine.groups:
+            live_spend[group.indices] = group.engine.accountant.max_window_spend()
+    ledgers_bit_equal = np.array_equal(live_spend, offline.max_window_spend())
+
+    return ChaosReport(
+        result=result,
+        crashes=crashes,
+        shard_reports=reports,
+        port=port,
+        offline_bit_equal=offline_bit_equal,
+        ledgers_bit_equal=ledgers_bit_equal,
+    )

@@ -247,6 +247,8 @@ def run_gateway(
     keep_reports: bool = True,
     record_history: bool = False,
     complete_timeout: float = 120.0,
+    wal_dir: Optional[str] = None,
+    fsync: str = "commit",
 ) -> GatewayRunResult:
     """Serve a population through the gateway over loopback TCP.
 
@@ -258,6 +260,12 @@ def run_gateway(
     chunk decomposition — the transport tier is an execution mode, not
     an estimator — and the population-wide w-event audit runs before
     returning, exactly like :func:`~repro.service.run_live`.
+
+    ``wal_dir`` enables the durable write-ahead log
+    (:mod:`repro.wal`): every accepted batch and slot commit is logged
+    before its ack, under the given ``fsync`` policy.  This driver
+    serves fresh runs only — restarting from an existing WAL directory
+    is the recovery path (``python -m repro gateway-serve --wal``).
     """
     feeds = shard_feeds(
         source,
@@ -286,6 +294,17 @@ def run_gateway(
         pipeline.add_sink(sink)
     for name, engine in (dashboards or {}).items():
         pipeline.register_dashboard(name, engine)
+    wal = None
+    if wal_dir is not None:
+        from ..wal import WalError, WriteAheadLog
+
+        if WriteAheadLog.exists(wal_dir):
+            raise WalError(
+                f"{wal_dir} already holds a WAL; run_gateway serves fresh "
+                "runs — recover an interrupted one with "
+                "`python -m repro gateway-serve --wal` instead"
+            )
+        wal = pipeline.attach_wal(WriteAheadLog(wal_dir, fsync=fsync))
 
     async def _serve() -> GatewayRunResult:
         server = GatewayServer(
@@ -313,6 +332,10 @@ def run_gateway(
             port=bound_port,
         )
 
-    run = asyncio.run(_serve())
+    try:
+        run = asyncio.run(_serve())
+    finally:
+        if wal is not None:
+            wal.close()
     run.result.assert_valid()
     return run

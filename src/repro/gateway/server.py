@@ -74,6 +74,11 @@ class GatewayServer:
             client should wait before resending.
         max_payload_bytes: per-frame payload refusal bound.
         metrics: counter sheet (a fresh one is created when omitted).
+        next_expected: per-shard resume slots for a server restarted on
+            a recovered pipeline (take them from
+            :attr:`~repro.wal.WalRecovery.next_expected`); reconnecting
+            clients are told to resume exactly where the crashed server
+            left off.  Omit for a fresh run (every shard starts at 0).
     """
 
     def __init__(
@@ -84,6 +89,7 @@ class GatewayServer:
         retry_after: float = 0.02,
         max_payload_bytes: int = MAX_PAYLOAD_BYTES,
         metrics: Optional[GatewayMetrics] = None,
+        next_expected: Optional[List[int]] = None,
     ) -> None:
         if not isinstance(pipeline, IngestionPipeline):
             raise TypeError(
@@ -98,11 +104,26 @@ class GatewayServer:
         # Next slot each shard is expected to upload (shards upload in
         # slot order, so this is both the duplicate filter and the
         # reconnect resume point).
-        self._next_expected: List[int] = [0] * pipeline.n_shards
+        if next_expected is None:
+            self._next_expected: List[int] = [0] * pipeline.n_shards
+        else:
+            resumed = [int(slot) for slot in next_expected]
+            if len(resumed) != pipeline.n_shards:
+                raise ValueError(
+                    f"next_expected names {len(resumed)} shards but the "
+                    f"pipeline serves {pipeline.n_shards}"
+                )
+            if any(not 0 <= slot <= pipeline.horizon for slot in resumed):
+                raise ValueError(
+                    f"next_expected slots {resumed} must lie in "
+                    f"[0, {pipeline.horizon}]"
+                )
+            self._next_expected = resumed
         self._server: Optional[asyncio.base_events.Server] = None
         self._handlers: "set[asyncio.Task]" = set()
         self._done = asyncio.Event()
         self._started = 0.0
+        self._crashed = False
 
     # -- lifecycle -------------------------------------------------------
 
@@ -150,6 +171,38 @@ class GatewayServer:
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
 
+    async def crash(self) -> None:
+        """Simulate ``kill -9``: drop everything, flush nothing.
+
+        The listener and every connection are torn down with no
+        goodbyes, and the attached write-ahead log (if any) is abandoned
+        without an fsync — exactly the state a killed process leaves
+        behind, since WAL appends are unbuffered (already in the OS page
+        cache) and everything else lives in process memory.  The chaos
+        harness (:mod:`repro.gateway.chaos`) crashes servers through
+        this hook and asserts that recovery from the WAL reproduces the
+        abandoned in-memory state bit for bit.
+        """
+        # Close + cancel synchronously before the first await: once this
+        # coroutine starts, not one more batch may reach the pipeline
+        # (a cancelled handler raises at its next await instead of
+        # resuming, and a handler whose task never got to run bails on
+        # the crashed flag), so the caller's last observation of the
+        # pipeline is exactly the state the "killed" process left behind.
+        self._crashed = True
+        if self._server is not None:
+            self._server.close()
+        for task in list(self._handlers):
+            task.cancel()
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        wal = self.pipeline.wal
+        if wal is not None:
+            wal.abandon()
+
     def result(self, feeds: Optional[List[Any]] = None) -> LiveRunResult:
         """Package the completed run (pipeline must have finished).
 
@@ -176,6 +229,13 @@ class GatewayServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if self._crashed:
+            # Accepted just before crash(), scheduled just after: a dead
+            # process answers nobody — drop the connection unserved.
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            return
         task = asyncio.current_task()
         if task is not None:
             self._handlers.add(task)
@@ -210,12 +270,17 @@ class GatewayServer:
                 pass
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client dropped mid-frame; reconnect handshake recovers
+        except asyncio.CancelledError:
+            # stop()/crash() tore this connection down on purpose; end
+            # quietly (asyncio's connection_made callback would log a
+            # still-cancelled task as a loop error).
+            pass
         finally:
             self.metrics.connections_closed += 1
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, RuntimeError):
+            except (ConnectionError, RuntimeError, asyncio.CancelledError):
                 pass
 
     async def _handle_hello(

@@ -242,6 +242,39 @@ class Collector:
     def keep_reports(self) -> bool:
         return self._state.keep_reports
 
+    def restore_state(self, state: CollectorShardState) -> None:
+        """Replace this collector's aggregate state wholesale.
+
+        The checkpoint-restore entry point of the write-ahead log
+        (:mod:`repro.wal`): unlike :meth:`merge_state` — which folds the
+        restored sums into fresh zeros and is therefore only equal up to
+        floating-point identities like ``0.0 + -0.0`` — replacement is
+        bit-exact by construction.  Only an *empty* collector may be
+        restored, and the state's memory switches must match the
+        collector's configuration.
+        """
+        if not isinstance(state, CollectorShardState):
+            raise TypeError(
+                f"expected a CollectorShardState, got {type(state).__name__}"
+            )
+        if self._state.n_reports or self._state.slot_sums or self._state.slot_counts:
+            raise RuntimeError(
+                "restore_state needs an empty collector (it replaces, "
+                "never merges)"
+            )
+        if (
+            state.track_users != self._state.track_users
+            or state.keep_reports != self._state.keep_reports
+        ):
+            raise ValueError(
+                "checkpoint state was built with "
+                f"track_users={state.track_users}/"
+                f"keep_reports={state.keep_reports} but this collector is "
+                f"configured with track_users={self._state.track_users}/"
+                f"keep_reports={self._state.keep_reports}"
+            )
+        self._state = state
+
     def merge_state(self, other: "CollectorShardState | Collector") -> None:
         """Absorb another collector's (or shard's) aggregate state.
 

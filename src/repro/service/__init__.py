@@ -15,6 +15,13 @@ Live results are bit-identical to the offline
 :func:`~repro.runtime.run_protocol_sharded` merge for the same seed and
 chunk decomposition — serving is an execution mode, not a different
 estimator (locked down by the golden-fixture tests).
+
+Durability: :meth:`IngestionPipeline.attach_wal` hooks a
+:class:`repro.wal.WriteAheadLog` into the barrier — every accepted
+batch is appended before it is buffered and every finalized slot gets
+a commit record, so :func:`repro.wal.recover_pipeline` can rebuild the
+exact pipeline state after a crash (see ``docs/operations.md`` for the
+recovery drill and ``docs/wal_format.md`` for the bytes).
 """
 
 from .events import EVENT_LOG_FORMAT, ReportBatch, SlotEstimate

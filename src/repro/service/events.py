@@ -136,3 +136,16 @@ class SlotEstimate:
             "mean": None if self.mean is None else float(self.mean),
             "answers": jsonify(self.answers),
         }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "SlotEstimate":
+        """Inverse of :meth:`to_record` (WAL checkpoint restore)."""
+        if record.get("type") != "slot":
+            raise ValueError(f"not a slot record: type={record.get('type')!r}")
+        mean = record.get("mean")
+        return cls(
+            t=int(record["t"]),
+            n_reports=int(record["n_reports"]),
+            mean=None if mean is None else float(mean),
+            answers=dict(record.get("answers", {})),
+        )

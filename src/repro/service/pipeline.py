@@ -175,6 +175,8 @@ class IngestionPipeline:
         self._latencies: List[float] = []
         self._next_slot = 0
         self._finished = False
+        self._wal: Optional[Any] = None
+        self._run_metadata: Dict[str, Any] = {}
 
     # -- wiring ----------------------------------------------------------
 
@@ -202,6 +204,60 @@ class IngestionPipeline:
             raise TypeError("engine must be a StreamingQueryEngine")
         self._dashboards[name] = engine
         return engine
+
+    def attach_wal(self, wal: Any) -> Any:
+        """Attach a :class:`~repro.wal.WriteAheadLog`; returns it.
+
+        Once attached, every accepted batch is appended to the log
+        *before* it is buffered (so before any ack can be sent), and
+        every finalized slot appends a commit record — the durability
+        contract :func:`~repro.wal.recover_pipeline` replays from.
+        """
+        from ..wal.log import WriteAheadLog
+
+        if not isinstance(wal, WriteAheadLog):
+            raise TypeError(f"wal must be a WriteAheadLog, got {type(wal).__name__}")
+        if self._wal is not None:
+            raise RuntimeError("pipeline already has a write-ahead log attached")
+        self._wal = wal
+        return wal
+
+    @property
+    def wal(self) -> Optional[Any]:
+        """The attached write-ahead log, if any."""
+        return self._wal
+
+    @property
+    def run_metadata(self) -> Dict[str, Any]:
+        """The metadata passed to :meth:`start_run` (or set by recovery),
+        preserved so compaction checkpoints keep carrying it once the
+        segment holding the ``RUN_START`` record is deleted."""
+        return dict(self._run_metadata)
+
+    @run_metadata.setter
+    def run_metadata(self, metadata: Dict[str, Any]) -> None:
+        self._run_metadata = dict(metadata or {})
+
+    def run_config(self) -> Dict[str, Any]:
+        """The pipeline's constructor arguments, JSON-safe.
+
+        This is what the WAL's ``RUN_START`` record and compaction
+        checkpoints store — :func:`~repro.wal.recover_pipeline` rebuilds
+        an identically configured pipeline from it.
+        """
+        return {
+            "n_shards": self.n_shards,
+            "horizon": self.horizon,
+            "epsilon": self.epsilon,
+            "w": self.w,
+            "smoothing_window": self.collector.smoothing_window,
+            "track_users": self.collector.track_users,
+            "keep_reports": self.collector.keep_reports,
+            "queue_capacity": self.queue_capacity,
+            "coalesce": self.coalesce,
+            "max_slot_skew": self.max_slot_skew,
+            "record_batches": self.record_batches,
+        }
 
     @property
     def dashboards(self) -> Dict[str, StreamingQueryEngine]:
@@ -239,6 +295,73 @@ class IngestionPipeline:
             return True
         return shard in self._pending.get(t, ())
 
+    def pending_batches(self) -> List[ReportBatch]:
+        """Batches buffered at the barrier, in ``(slot, shard)`` order.
+
+        Compaction re-appends exactly these into the fresh WAL segment —
+        they are the only accepted batches a checkpoint cannot cover
+        (their slots have not finalized, so the collector state does not
+        contain them yet).
+        """
+        batches: List[ReportBatch] = []
+        for t in sorted(self._pending):
+            waiting = self._pending[t]
+            for shard in sorted(waiting):
+                batches.append(waiting[shard])
+        return batches
+
+    def restore(
+        self,
+        collector_state: Any,
+        slot_estimates: Sequence[SlotEstimate],
+        next_slot: int,
+    ) -> None:
+        """Restore a checkpointed run onto this *fresh* pipeline.
+
+        Replaces the collector state wholesale (bit-exact — see
+        :meth:`~repro.protocol.Collector.restore_state`), reinstates the
+        published slot estimates, and advances the barrier clock; WAL
+        replay then drives the remaining batches through the normal
+        :meth:`submit` path.  Registered dashboards are caught up by
+        re-pushing the restored slot means, so their engines answer as
+        if they had watched the whole run.  Slot latencies restart at
+        the restore point — they measure this process's serving, not the
+        crashed one's.
+        """
+        if (
+            self._next_slot
+            or self._pending
+            or self.slot_estimates
+            or self.collector.n_reports
+        ):
+            raise RuntimeError(
+                "restore needs a fresh pipeline (nothing submitted yet)"
+            )
+        next_slot = int(next_slot)
+        if not 0 <= next_slot <= self.horizon:
+            raise ValueError(
+                f"next_slot {next_slot} outside the run horizon {self.horizon}"
+            )
+        estimates = list(slot_estimates)
+        if len(estimates) != next_slot:
+            raise ValueError(
+                f"checkpoint inconsistent: clock at slot {next_slot} but "
+                f"{len(estimates)} slot estimates were stored"
+            )
+        for position, estimate in enumerate(estimates):
+            if not isinstance(estimate, SlotEstimate) or estimate.t != position:
+                raise ValueError(
+                    f"checkpoint inconsistent: estimate {position} is "
+                    f"{estimate!r}, expected slot {position}"
+                )
+        self.collector.restore_state(collector_state)
+        self.slot_estimates = estimates
+        self._next_slot = next_slot
+        for estimate in estimates:
+            if estimate.mean is not None:
+                for engine in self._dashboards.values():
+                    engine.push(estimate.mean)
+
     def _emit(self, record: Dict[str, Any]) -> None:
         for sink in self._sinks:
             sink.emit(record)
@@ -257,6 +380,9 @@ class IngestionPipeline:
             "keep_reports": self.collector.keep_reports,
         }
         record.update(metadata or {})
+        self._run_metadata = dict(metadata or {})
+        if self._wal is not None and not self._wal.resumed:
+            self._wal.append_run_start(self.run_config(), metadata or {})
         self._emit(record)
 
     def build_result(
@@ -294,6 +420,14 @@ class IngestionPipeline:
             "p99_slot_latency_seconds": result.latency_quantile(0.99),
         }
         record.update(extra or {})
+        if self._wal is not None:
+            self._wal.append_run_end(
+                {
+                    "slots": len(self.slot_estimates),
+                    "n_reports": self.collector.n_reports,
+                }
+            )
+            record["wal"] = self._wal.stats()
         self._emit(record)
         for sink in self._sinks:
             sink.close()
@@ -336,6 +470,25 @@ class IngestionPipeline:
             raise ValueError(
                 f"duplicate batch from shard {batch.shard} for slot {batch.t}"
             )
+        if self._wal is not None:
+            # Append, buffer, and finalize under the log's lock: a
+            # concurrent compaction snapshot must see this batch either
+            # pending or finalized — never appended-but-unbuffered,
+            # which would let it delete the batch's only copy.
+            with self._wal.exclusive():
+                return self._admit(batch, waiting)
+        return self._admit(batch, waiting)
+
+    def _admit(
+        self, batch: ReportBatch, waiting: Dict[int, ReportBatch]
+    ) -> List[SlotEstimate]:
+        """Log, buffer, and finalize one fully validated batch."""
+        if self._wal is not None:
+            # Write-ahead: the batch is durable before it is buffered, so
+            # it is durable before any ack can reach the client.  All
+            # validation already passed — the log never holds a batch the
+            # barrier would refuse on replay.
+            self._wal.append_batch(batch)
         if batch.t not in self._first_seen:
             self._first_seen[batch.t] = time.perf_counter()
         waiting[batch.shard] = batch
@@ -382,6 +535,10 @@ class IngestionPipeline:
         self.slot_estimates.append(estimate)
         self._latencies.append(time.perf_counter() - self._first_seen.pop(t))
         self._next_slot = t + 1
+        if self._wal is not None:
+            # The commit record is the default fsync point: once it is
+            # durable, power loss cannot take back a published slot.
+            self._wal.append_commit(t, count, mean)
         self._emit(estimate.to_record())
         return estimate
 

@@ -1,0 +1,79 @@
+"""Durable write-ahead log for the live serving tier.
+
+This package is the durability layer of the stack described in
+``docs/architecture.md``: the gateway and the ingestion pipeline append
+every accepted :class:`~repro.service.events.ReportBatch` — plus a
+commit record per finalized slot — to a segmented, CRC-framed binary
+log *before* acknowledging anything, so a ``kill -9`` of the server
+mid-slot loses nothing.  On restart, :func:`recover_pipeline` replays
+the log tail on top of the latest compaction checkpoint and the run
+continues **bit-identical** to an uninterrupted one; because the
+privacy ledgers live client-side, recovery never re-spends budget.
+
+Layout of the package:
+
+* :mod:`~repro.wal.records` — the CRC-framed record codec (the byte
+  format is specified in ``docs/wal_format.md``);
+* :mod:`~repro.wal.segment` — segment/checkpoint file layout and the
+  unbuffered segment writer;
+* :mod:`~repro.wal.log` — :class:`WriteAheadLog`, the appender with
+  fsync policies and size-based rotation;
+* :mod:`~repro.wal.recovery` — :func:`recover_pipeline` (replay) and
+  :func:`compact` (checkpoint + old-segment deletion).
+
+Operational procedures — enabling the WAL on a gateway, the
+crash-recovery drill, compaction cadence — are in
+``docs/operations.md``.
+"""
+
+from .log import DEFAULT_SEGMENT_BYTES, FSYNC_POLICIES, WriteAheadLog
+from .records import (
+    MAX_RECORD_PAYLOAD,
+    RECORD_HEADER_BYTES,
+    WAL_MAGIC,
+    WAL_VERSION,
+    RecordType,
+    WalCorruptionError,
+    WalError,
+)
+from .recovery import (
+    CompactionResult,
+    WalRecovery,
+    compact,
+    load_latest_checkpoint,
+    recover_pipeline,
+    write_checkpoint,
+)
+from .segment import (
+    SegmentWriter,
+    checkpoint_path,
+    list_checkpoints,
+    list_segments,
+    read_segment_records,
+    segment_path,
+)
+
+__all__ = [
+    "WAL_MAGIC",
+    "WAL_VERSION",
+    "MAX_RECORD_PAYLOAD",
+    "RECORD_HEADER_BYTES",
+    "RecordType",
+    "WalError",
+    "WalCorruptionError",
+    "FSYNC_POLICIES",
+    "DEFAULT_SEGMENT_BYTES",
+    "WriteAheadLog",
+    "WalRecovery",
+    "CompactionResult",
+    "recover_pipeline",
+    "compact",
+    "write_checkpoint",
+    "load_latest_checkpoint",
+    "SegmentWriter",
+    "segment_path",
+    "checkpoint_path",
+    "list_segments",
+    "list_checkpoints",
+    "read_segment_records",
+]

@@ -1,0 +1,305 @@
+"""The segmented write-ahead log the live tier appends to.
+
+:class:`WriteAheadLog` owns one WAL directory: it appends CRC-framed
+records (:mod:`repro.wal.records`) to the highest-numbered segment
+(:mod:`repro.wal.segment`), rotating to a fresh segment when the current
+one reaches ``segment_bytes``.  Appends are unbuffered — every record
+reaches the OS page cache before the call returns, so an accepted batch
+survives ``kill -9`` of the process regardless of the fsync policy.
+
+fsync policies (power-loss durability)
+--------------------------------------
+
+``fsync`` controls when the log forces the page cache to stable storage:
+
+* ``"always"`` — fsync after every record.  An acked batch survives
+  power loss; the slowest policy.
+* ``"commit"`` (default) — fsync at slot-commit, run-start and run-end
+  records.  Power loss can take back at most the batches of the slots
+  still open at the barrier, which clients simply re-upload on
+  reconnect (the resume handshake asks the recovered server what it
+  holds) — so nothing is lost *and* nothing is re-spent.  Commit syncs
+  are *pipelined*: the fdatasync runs on a dedicated thread and the
+  append path only waits for it at the **next** durability point
+  (commit, rotation, explicit :meth:`sync`, or :meth:`close`), so the
+  gateway's event loop is never blocked behind the disk.  The window
+  this opens — one in-flight commit — is covered by the same resume
+  handshake.
+* ``"never"`` — leave flushing to the OS.  Still ``kill -9``-safe;
+  fastest; power loss may take back the unflushed tail.
+
+Opening a directory that already holds segments or checkpoints sets
+:attr:`resumed` and rotates to a fresh segment, so recovery's torn-tail
+rule stays simple: a truncated record can only sit at the physical end
+of a segment.  Appends and compaction share one re-entrant lock
+(:meth:`exclusive`), so a compaction snapshot can never interleave with
+a half-appended record.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Dict, Iterator, Optional
+
+from ..service.events import ReportBatch
+from .records import (
+    RecordType,
+    WalError,
+    encode_batch_record,
+    encode_json_record,
+)
+from .segment import (
+    SegmentWriter,
+    list_checkpoints,
+    list_segments,
+    segment_path,
+)
+
+__all__ = ["FSYNC_POLICIES", "DEFAULT_SEGMENT_BYTES", "WriteAheadLog"]
+
+#: accepted values of the ``fsync`` knob
+FSYNC_POLICIES = ("always", "commit", "never")
+
+#: default segment rotation threshold
+DEFAULT_SEGMENT_BYTES = 64 * 1024 * 1024
+
+
+class WriteAheadLog:
+    """Durable append log for one pipeline run.
+
+    Args:
+        directory: the WAL directory (created if missing).  One run per
+            directory — opening a directory with existing segments means
+            *resuming* that run after recovery.
+        fsync: power-loss durability policy (see the module docstring).
+        segment_bytes: rotate to a fresh segment once the current one
+            reaches this size (checked before each append, so a segment
+            may exceed it by at most one record).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        fsync: str = "commit",
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise WalError(
+                f"unknown fsync policy {fsync!r}; choose from {FSYNC_POLICIES}"
+            )
+        segment_bytes = int(segment_bytes)
+        if segment_bytes < 1:
+            raise WalError(f"segment_bytes must be >= 1, got {segment_bytes}")
+        self.directory = str(directory)
+        self.fsync = fsync
+        self.segment_bytes = segment_bytes
+        os.makedirs(self.directory, exist_ok=True)
+        segments = list_segments(self.directory)
+        checkpoints = list_checkpoints(self.directory)
+        #: whether the directory already held a run when this log opened
+        self.resumed = bool(segments) or bool(checkpoints)
+        next_index = 0
+        if segments:
+            next_index = segments[-1][0] + 1
+        if checkpoints:
+            next_index = max(next_index, checkpoints[-1][0] + 1)
+        self._lock = threading.RLock()
+        self._writer: Optional[SegmentWriter] = SegmentWriter(
+            segment_path(self.directory, next_index)
+        )
+        self._segment_index = next_index
+        self.records_appended = 0
+        self.batches_appended = 0
+        self.commits_appended = 0
+        self.bytes_appended = 0
+        self.syncs = 0
+        self.rotations = 0
+        self._sync_pool: Optional[ThreadPoolExecutor] = None
+        self._sync_future: Optional[Future] = None
+
+    # -- state -----------------------------------------------------------
+
+    @classmethod
+    def exists(cls, directory: str) -> bool:
+        """Whether ``directory`` holds a recoverable log (segments or
+        checkpoints) — the restart-time "resume or start fresh?" probe."""
+        directory = str(directory)
+        if not os.path.isdir(directory):
+            return False
+        try:
+            segments = list_segments(directory)
+        except WalError:
+            return True  # damaged numbering is still *something* to recover
+        return bool(segments) or bool(list_checkpoints(directory))
+
+    @property
+    def closed(self) -> bool:
+        return self._writer is None
+
+    @property
+    def segment_index(self) -> int:
+        """Index of the segment currently being appended to."""
+        return self._segment_index
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-safe counter snapshot (for run results and the CLI)."""
+        with self._lock:
+            return {
+                "directory": self.directory,
+                "fsync": self.fsync,
+                "resumed": self.resumed,
+                "segment_index": self._segment_index,
+                "segment_bytes": self.segment_bytes,
+                "records_appended": self.records_appended,
+                "batches_appended": self.batches_appended,
+                "commits_appended": self.commits_appended,
+                "bytes_appended": self.bytes_appended,
+                "syncs": self.syncs,
+                "rotations": self.rotations,
+            }
+
+    # -- appending -------------------------------------------------------
+
+    def append_run_start(
+        self, config: Dict[str, Any], metadata: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Log the run configuration (first record of a fresh log)."""
+        record = encode_json_record(
+            RecordType.RUN_START,
+            {"config": dict(config), "metadata": dict(metadata or {})},
+        )
+        self._append(record, want_sync=self.fsync != "never")
+
+    def append_batch(self, batch: ReportBatch) -> None:
+        """Log one accepted report batch (before its ack is sent)."""
+        if not isinstance(batch, ReportBatch):
+            raise WalError(f"expected a ReportBatch, got {type(batch).__name__}")
+        record = encode_batch_record(batch)
+        self._append(record, want_sync=False)
+        with self._lock:
+            self.batches_appended += 1
+
+    def append_commit(self, t: int, n_reports: int, mean: Optional[float]) -> None:
+        """Log one slot's barrier commit (fsync point under ``"commit"``)."""
+        record = encode_json_record(
+            RecordType.COMMIT,
+            {
+                "t": int(t),
+                "n_reports": int(n_reports),
+                "mean": None if mean is None else float(mean),
+            },
+        )
+        self._append(record, want_sync=self.fsync != "never")
+        with self._lock:
+            self.commits_appended += 1
+
+    def append_run_end(self, summary: Dict[str, Any]) -> None:
+        """Log run completion (the result was built and published)."""
+        record = encode_json_record(RecordType.RUN_END, dict(summary))
+        self._append(record, want_sync=self.fsync != "never")
+
+    def _append(self, record: bytes, want_sync: bool) -> None:
+        with self._lock:
+            writer = self._writer
+            if writer is None:
+                raise WalError(f"write-ahead log {self.directory} is closed")
+            if writer.size > 0 and writer.size + len(record) > self.segment_bytes:
+                self._rotate_locked()
+                writer = self._writer
+            writer.append(record)
+            self.records_appended += 1
+            self.bytes_appended += len(record)
+            if want_sync or self.fsync == "always":
+                if self.fsync == "always":
+                    # "always" promises the record is on stable storage
+                    # before the ack — no pipelining.
+                    writer.sync()
+                else:
+                    self._issue_sync_locked(writer)
+                self.syncs += 1
+
+    def _issue_sync_locked(self, writer: SegmentWriter) -> None:
+        """Pipelined sync: dispatch to the sync thread, waiting only for
+        the previous dispatch (depth one keeps the loss window at a
+        single commit)."""
+        self._drain_sync_locked()
+        if self._sync_pool is None:
+            self._sync_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="wal-sync"
+            )
+        self._sync_future = self._sync_pool.submit(writer.sync)
+
+    def _drain_sync_locked(self) -> None:
+        future, self._sync_future = self._sync_future, None
+        if future is not None:
+            future.result()  # a failed fdatasync surfaces here
+
+    # -- rotation / compaction hooks -------------------------------------
+
+    def rotate(self) -> int:
+        """Seal the current segment and open the next; returns its index.
+
+        The sealed segment is fsynced — rotation is a durability
+        boundary regardless of policy (compaction is about to treat
+        everything before the new segment as replaceable).
+        """
+        with self._lock:
+            if self._writer is None:
+                raise WalError(f"write-ahead log {self.directory} is closed")
+            self._rotate_locked()
+            return self._segment_index
+
+    def _rotate_locked(self) -> None:
+        assert self._writer is not None
+        self._drain_sync_locked()
+        self._writer.close(sync=True)
+        self._segment_index += 1
+        self._writer = SegmentWriter(
+            segment_path(self.directory, self._segment_index)
+        )
+        self.rotations += 1
+
+    @contextlib.contextmanager
+    def exclusive(self) -> Iterator["WriteAheadLog"]:
+        """Hold the append lock (compaction snapshots run under this)."""
+        with self._lock:
+            yield self
+
+    def sync(self) -> None:
+        """Force the current segment to stable storage now (drains any
+        in-flight pipelined commit sync first)."""
+        with self._lock:
+            if self._writer is not None:
+                self._drain_sync_locked()
+                self._writer.sync()
+                self.syncs += 1
+
+    # -- shutdown --------------------------------------------------------
+
+    def close(self) -> None:
+        """Clean shutdown: fsync and close the live segment."""
+        with self._lock:
+            if self._writer is not None:
+                self._drain_sync_locked()
+                self._writer.close(sync=True)
+                self._writer = None
+            if self._sync_pool is not None:
+                self._sync_pool.shutdown(wait=True)
+                self._sync_pool = None
+
+    def abandon(self) -> None:
+        """Crash-like shutdown: close the file descriptor *without*
+        fsync, exactly what ``kill -9`` leaves behind (the unbuffered
+        appends are already in the page cache; nothing else is flushed).
+        The chaos harness uses this to make an in-process "crash"
+        indistinguishable from a killed process."""
+        with self._lock:
+            if self._writer is not None:
+                self._writer.close(sync=False)
+                self._writer = None
+            if self._sync_pool is not None:
+                self._sync_pool.shutdown(wait=False)
+                self._sync_pool = None

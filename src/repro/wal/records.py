@@ -1,0 +1,208 @@
+"""CRC-framed binary records of the write-ahead log.
+
+Every entry in a WAL segment is one *record*:
+
+.. code-block:: text
+
+    offset  size  field
+    0       2     magic  b"RW"
+    2       1     wal-format version (currently 1)
+    3       1     record type
+    4       4     payload length (big-endian u32)
+    8       4     CRC-32 over the type byte plus the payload
+    12      n     payload
+
+The framing deliberately mirrors the gateway wire format
+(:mod:`repro.gateway.wire`) with one addition — the CRC — because a log
+is read back after a crash, where a torn or bit-rotted tail must be
+*detected*, not trusted.  ``BATCH`` records carry the exact binary
+payload of :func:`repro.protocol.messages.encode_report_batch` (float64
+report values round-trip bit-for-bit); ``RUN_START``, ``COMMIT`` and
+``RUN_END`` carry UTF-8 JSON objects.  The full byte-level layout is
+documented in ``docs/wal_format.md``.
+
+Two failure classes are distinguished when parsing a segment back:
+
+* a record truncated at the physical end of the segment is a **torn
+  write** (the process died mid-append) — tolerated and reported, the
+  prefix before it is intact;
+* a complete record whose CRC does not match, or whose header is
+  malformed, is **corruption** — :class:`WalCorruptionError`, never
+  silently skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Any, Dict, List, Tuple
+
+from ..protocol.messages import decode_report_batch, encode_report_batch
+from ..service.events import ReportBatch
+
+__all__ = [
+    "WAL_MAGIC",
+    "WAL_VERSION",
+    "MAX_RECORD_PAYLOAD",
+    "RECORD_HEADER_BYTES",
+    "RecordType",
+    "WalError",
+    "WalCorruptionError",
+    "record_crc",
+    "encode_record",
+    "encode_json_record",
+    "decode_json_payload",
+    "encode_batch_record",
+    "decode_batch_payload",
+    "parse_records",
+]
+
+#: two-byte record preamble ("Repro Wal")
+WAL_MAGIC = b"RW"
+
+#: the WAL record-format version this module speaks
+WAL_VERSION = 1
+
+#: refusal bound for one record's payload — matches the gateway's frame
+#: bound, so any batch the server accepted can be logged, while a
+#: corrupt length field cannot make recovery allocate unbounded memory
+MAX_RECORD_PAYLOAD = 64 * 1024 * 1024
+
+_RECORD_HEADER = struct.Struct(">2sBBII")
+
+#: size of the fixed record header, in bytes
+RECORD_HEADER_BYTES = _RECORD_HEADER.size
+
+
+class RecordType:
+    """Record-type codes (one byte on disk)."""
+
+    #: run configuration (JSON) — first record of a fresh log
+    RUN_START = 1
+    #: one accepted report batch (binary payload of ``encode_report_batch``)
+    BATCH = 2
+    #: one slot's barrier commit (JSON: ``t``, ``n_reports``, ``mean``)
+    COMMIT = 3
+    #: run completion marker (JSON summary)
+    RUN_END = 4
+
+    #: every code this version understands
+    ALL = frozenset(range(1, 5))
+
+
+class WalError(ValueError):
+    """A write-ahead-log operation failed (bad input, bad state)."""
+
+
+class WalCorruptionError(WalError):
+    """A stored record is damaged (bad magic/version/type/CRC/length)."""
+
+
+def record_crc(record_type: int, payload: bytes) -> int:
+    """CRC-32 guarding one record (covers the type byte and the payload)."""
+    return zlib.crc32(bytes([record_type]) + payload) & 0xFFFFFFFF
+
+
+def encode_record(record_type: int, payload: bytes = b"") -> bytes:
+    """One complete record: header (with CRC) plus payload."""
+    if record_type not in RecordType.ALL:
+        raise WalError(f"unknown WAL record type {record_type}")
+    if len(payload) > MAX_RECORD_PAYLOAD:
+        raise WalError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_RECORD_PAYLOAD}-byte record bound"
+        )
+    header = _RECORD_HEADER.pack(
+        WAL_MAGIC, WAL_VERSION, record_type, len(payload),
+        record_crc(record_type, payload),
+    )
+    return header + payload
+
+
+def encode_json_record(record_type: int, fields: Dict[str, Any]) -> bytes:
+    """A record with a JSON object payload (``repr``-exact floats)."""
+    return encode_record(record_type, json.dumps(fields).encode("utf-8"))
+
+
+def decode_json_payload(payload: bytes) -> Dict[str, Any]:
+    """Parse a JSON record payload (must be an object)."""
+    try:
+        fields = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WalCorruptionError(
+            f"WAL record payload is not valid JSON: {error}"
+        ) from error
+    if not isinstance(fields, dict):
+        raise WalCorruptionError("WAL record payload must be a JSON object")
+    return fields
+
+
+def encode_batch_record(batch: ReportBatch) -> bytes:
+    """Frame one report batch for the log (exact float round trip)."""
+    payload = encode_report_batch(batch.shard, batch.t, batch.user_ids, batch.values)
+    return encode_record(RecordType.BATCH, payload)
+
+
+def decode_batch_payload(payload: bytes) -> ReportBatch:
+    """Decode a ``BATCH`` payload into a validated :class:`ReportBatch`."""
+    try:
+        shard, t, user_ids, values = decode_report_batch(payload)
+        return ReportBatch(shard=shard, t=t, user_ids=user_ids, values=values)
+    except (ValueError, TypeError) as error:
+        raise WalCorruptionError(f"malformed WAL batch payload: {error}") from error
+
+
+def parse_records(
+    data: bytes, source: str = "<wal>"
+) -> Tuple[List[Tuple[int, bytes]], bool]:
+    """Parse one segment's bytes into ``(records, torn_tail)``.
+
+    Returns every complete, CRC-verified ``(record_type, payload)`` pair
+    in order, plus a flag saying whether the segment ends in a torn
+    (truncated) record.  A torn tail is expected after a crash — the
+    writer appends with a single ``write`` call, so at most the final
+    record can be incomplete.  Anything else — bad magic, an unknown
+    version or type, an oversized length, a CRC mismatch on a complete
+    record — raises :class:`WalCorruptionError` naming the byte offset.
+    """
+    records: List[Tuple[int, bytes]] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < RECORD_HEADER_BYTES:
+            return records, True  # torn header at EOF
+        magic, version, record_type, length, crc = _RECORD_HEADER.unpack_from(
+            data, offset
+        )
+        if magic != WAL_MAGIC:
+            raise WalCorruptionError(
+                f"{source}: bad record magic {magic!r} at offset {offset} "
+                f"(expected {WAL_MAGIC!r})"
+            )
+        if version != WAL_VERSION:
+            raise WalCorruptionError(
+                f"{source}: unsupported WAL version {version} at offset "
+                f"{offset}; this reader speaks version {WAL_VERSION}"
+            )
+        if record_type not in RecordType.ALL:
+            raise WalCorruptionError(
+                f"{source}: unknown record type {record_type} at offset {offset}"
+            )
+        if length > MAX_RECORD_PAYLOAD:
+            raise WalCorruptionError(
+                f"{source}: record payload of {length} bytes at offset "
+                f"{offset} exceeds the {MAX_RECORD_PAYLOAD}-byte bound"
+            )
+        end = offset + RECORD_HEADER_BYTES + length
+        if end > total:
+            return records, True  # torn payload at EOF
+        payload = data[offset + RECORD_HEADER_BYTES : end]
+        if record_crc(record_type, payload) != crc:
+            raise WalCorruptionError(
+                f"{source}: CRC mismatch on record at offset {offset} "
+                f"(type {record_type}, {length} payload bytes)"
+            )
+        records.append((record_type, payload))
+        offset = end
+    return records, False

@@ -1,0 +1,386 @@
+"""Crash recovery and log compaction for the write-ahead log.
+
+:func:`recover_pipeline` rebuilds an :class:`~repro.service.IngestionPipeline`
+from a WAL directory: it loads the latest compaction checkpoint (if
+any), restores the collector state and published estimates bit-exactly,
+then replays every surviving segment's batch records through the normal
+``submit`` path — skipping anything the barrier already holds, so
+replay is idempotent however the previous process died.  Commit records
+are cross-checked against the recomputed estimates; a mismatch means
+the log and the snapshot disagree and recovery refuses to continue.
+
+:func:`compact` shrinks the log: it rotates to a fresh segment, writes
+an atomic checkpoint snapshot (everything finalized), re-appends the
+batches still waiting at the barrier into the fresh segment, and only
+then deletes the older segments.  Every intermediate crash state is
+recoverable — before the checkpoint lands the old segments still replay;
+after it lands the re-appended pending batches replay on top of it (the
+duplicate-skip makes the overlap harmless).
+
+Because the privacy ledgers live client-side (on the shard feeds), a
+collector crash never re-spends budget: recovery restores what the
+server *accepted*, and the resume handshake tells each client exactly
+which slots to re-upload without re-running any mechanism.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.streaming_queries import StreamingQueryEngine
+from ..core.serialization import wal_checkpoint_from_dict, wal_checkpoint_to_dict
+from ..service.events import SlotEstimate
+from ..service.pipeline import IngestionPipeline
+from ..service.sinks import Sink
+from .log import WriteAheadLog
+from .records import (
+    RecordType,
+    WalCorruptionError,
+    WalError,
+    decode_batch_payload,
+    decode_json_payload,
+)
+from .segment import (
+    checkpoint_path,
+    list_checkpoints,
+    list_segments,
+    read_segment_records,
+)
+
+__all__ = [
+    "WalRecovery",
+    "CompactionResult",
+    "recover_pipeline",
+    "compact",
+    "write_checkpoint",
+    "load_latest_checkpoint",
+]
+
+
+@dataclass
+class WalRecovery:
+    """Everything :func:`recover_pipeline` reconstructed."""
+
+    pipeline: IngestionPipeline = field(repr=False)
+    config: Dict[str, Any]
+    metadata: Dict[str, Any]
+    #: next slot each shard should upload (the ``resume_slot`` handshake)
+    next_expected: List[int]
+    replayed_batches: int = 0
+    skipped_batches: int = 0
+    commits_verified: int = 0
+    segments_read: int = 0
+    #: index of the checkpoint the restore started from (None = none found)
+    checkpoint_index: Optional[int] = None
+    #: the final segment ended in a truncated record (a torn write)
+    torn_tail: bool = False
+    #: a RUN_END record was found — the crashed run had already finished
+    run_ended: bool = False
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe recovery report (CLI output, operator logs)."""
+        return {
+            "next_slot": self.pipeline.next_slot,
+            "horizon": self.pipeline.horizon,
+            "n_shards": self.pipeline.n_shards,
+            "next_expected": list(self.next_expected),
+            "replayed_batches": self.replayed_batches,
+            "skipped_batches": self.skipped_batches,
+            "commits_verified": self.commits_verified,
+            "segments_read": self.segments_read,
+            "checkpoint_index": self.checkpoint_index,
+            "torn_tail": self.torn_tail,
+            "run_ended": self.run_ended,
+        }
+
+
+@dataclass
+class CompactionResult:
+    """What one :func:`compact` pass did."""
+
+    checkpoint_path: str
+    live_segment: int
+    segments_deleted: int
+    checkpoints_deleted: int
+    pending_reappended: int
+
+
+def write_checkpoint(directory: str, index: int, payload: Dict[str, Any]) -> str:
+    """Atomically persist one checkpoint file (tmp + fsync + rename)."""
+    path = checkpoint_path(directory, index)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    dir_fd = os.open(str(directory), os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return path
+
+
+def load_latest_checkpoint(
+    directory: str,
+) -> Optional[Tuple[int, Dict[str, Any]]]:
+    """The newest checkpoint in the directory, parsed, or ``None``.
+
+    Checkpoints are written atomically (rename), so a present file is a
+    complete file; anything unparsable is corruption, not a torn write.
+    """
+    checkpoints = list_checkpoints(directory)
+    if not checkpoints:
+        return None
+    index, path = checkpoints[-1]
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+        return index, wal_checkpoint_from_dict(data)
+    except (OSError, ValueError) as error:
+        raise WalCorruptionError(
+            f"checkpoint {path} is unreadable: {error}"
+        ) from error
+
+
+def _build_pipeline(config: Dict[str, Any]) -> IngestionPipeline:
+    smoothing = config.get("smoothing_window")
+    return IngestionPipeline(
+        n_shards=int(config["n_shards"]),
+        horizon=int(config["horizon"]),
+        epsilon=float(config["epsilon"]),
+        w=int(config["w"]),
+        smoothing_window=None if smoothing is None else int(smoothing),
+        track_users=bool(config.get("track_users", False)),
+        keep_reports=bool(config.get("keep_reports", True)),
+        queue_capacity=int(config.get("queue_capacity", 256)),
+        coalesce=int(config.get("coalesce", 8)),
+        max_slot_skew=int(config.get("max_slot_skew", 8)),
+        record_batches=bool(config.get("record_batches", False)),
+    )
+
+
+def recover_pipeline(
+    directory: str,
+    sinks: Sequence[Sink] = (),
+    dashboards: Optional[Dict[str, StreamingQueryEngine]] = None,
+    verify_commits: bool = True,
+) -> WalRecovery:
+    """Rebuild a pipeline from a WAL directory after a crash.
+
+    Restores the latest checkpoint (bit-exact collector state), replays
+    every surviving segment's batches through the normal barrier path,
+    and cross-checks commit records against the recomputed estimates.
+    The returned :class:`WalRecovery` carries the per-shard
+    ``next_expected`` slots the restarted gateway hands to reconnecting
+    clients — a resumed run finishes bit-identical to an uninterrupted
+    one, with no privacy budget re-spent.
+
+    Args:
+        directory: the WAL directory of the crashed run.
+        sinks, dashboards: outputs for the *continued* run; dashboards
+            are caught up from the restored slot means before replay.
+        verify_commits: cross-check every commit record bitwise against
+            the recomputed slot estimates (disable only for forensics
+            on a log known to be damaged).
+
+    Raises:
+        WalError: the directory holds nothing to recover.
+        WalCorruptionError: a damaged record, a missing segment, or a
+            commit that contradicts the replayed state.
+    """
+    segments = list_segments(directory)
+    loaded = load_latest_checkpoint(directory)
+    if not segments and loaded is None:
+        raise WalError(f"nothing to recover: {directory} holds no WAL")
+
+    pipeline: Optional[IngestionPipeline] = None
+    config: Dict[str, Any] = {}
+    metadata: Dict[str, Any] = {}
+    next_expected: List[int] = []
+    checkpoint_index: Optional[int] = None
+
+    def attach(built: IngestionPipeline) -> IngestionPipeline:
+        for sink in sinks:
+            built.add_sink(sink)
+        for name, engine in (dashboards or {}).items():
+            built.register_dashboard(name, engine)
+        return built
+
+    if loaded is not None:
+        checkpoint_index, checkpoint = loaded
+        config = checkpoint["config"]
+        metadata = checkpoint["metadata"]
+        pipeline = attach(_build_pipeline(config))
+        pipeline.restore(
+            checkpoint["collector_state"],
+            [SlotEstimate.from_record(record) for record in checkpoint["slots"]],
+            checkpoint["next_slot"],
+        )
+        next_expected = [pipeline.next_slot] * pipeline.n_shards
+
+    replayed = skipped = commits = 0
+    torn_any = False
+    run_ended = False
+
+    for _, path in segments:
+        records, torn = read_segment_records(path)
+        torn_any = torn_any or torn
+        for record_type, payload in records:
+            if record_type == RecordType.RUN_START:
+                fields = decode_json_payload(payload)
+                if pipeline is None:
+                    config = dict(fields.get("config", {}))
+                    metadata = dict(fields.get("metadata", {}))
+                    pipeline = attach(_build_pipeline(config))
+                    next_expected = [0] * pipeline.n_shards
+                else:
+                    started = fields.get("config", {})
+                    if (
+                        int(started.get("n_shards", -1)) != pipeline.n_shards
+                        or int(started.get("horizon", -1)) != pipeline.horizon
+                    ):
+                        raise WalCorruptionError(
+                            f"{path}: RUN_START configuration "
+                            f"({started.get('n_shards')} shards, horizon "
+                            f"{started.get('horizon')}) contradicts the "
+                            f"restored run ({pipeline.n_shards} shards, "
+                            f"horizon {pipeline.horizon}) — is this "
+                            "directory shared between runs?"
+                        )
+            elif record_type == RecordType.BATCH:
+                if pipeline is None:
+                    raise WalCorruptionError(
+                        f"{path}: batch record before any run configuration "
+                        "(no checkpoint and no RUN_START)"
+                    )
+                batch = decode_batch_payload(payload)
+                if batch.shard >= pipeline.n_shards or batch.t >= pipeline.horizon:
+                    raise WalCorruptionError(
+                        f"{path}: logged batch (shard {batch.shard}, slot "
+                        f"{batch.t}) does not fit the run configuration"
+                    )
+                if pipeline.has_batch(batch.t, batch.shard):
+                    skipped += 1
+                else:
+                    pipeline.submit(batch)
+                    replayed += 1
+                next_expected[batch.shard] = max(
+                    next_expected[batch.shard], batch.t + 1
+                )
+            elif record_type == RecordType.COMMIT:
+                fields = decode_json_payload(payload)
+                if pipeline is None:
+                    raise WalCorruptionError(
+                        f"{path}: commit record before any run configuration"
+                    )
+                if verify_commits:
+                    _verify_commit(pipeline, fields, path)
+                commits += 1
+            elif record_type == RecordType.RUN_END:
+                run_ended = True
+
+    if pipeline is None:
+        raise WalError(
+            f"nothing to recover: {directory} holds segments but no run "
+            "configuration (was the log torn before its first record?)"
+        )
+    pipeline.run_metadata = metadata
+    return WalRecovery(
+        pipeline=pipeline,
+        config=config,
+        metadata=metadata,
+        next_expected=next_expected,
+        replayed_batches=replayed,
+        skipped_batches=skipped,
+        commits_verified=commits,
+        segments_read=len(segments),
+        checkpoint_index=checkpoint_index,
+        torn_tail=torn_any,
+        run_ended=run_ended,
+    )
+
+
+def _verify_commit(
+    pipeline: IngestionPipeline, fields: Dict[str, Any], path: str
+) -> None:
+    """One commit record must match the recomputed estimate bitwise."""
+    try:
+        t = int(fields["t"])
+        logged_reports = int(fields["n_reports"])
+        logged_mean = fields["mean"]
+    except (KeyError, TypeError, ValueError) as error:
+        raise WalCorruptionError(
+            f"{path}: malformed commit record {fields!r}"
+        ) from error
+    if t >= len(pipeline.slot_estimates):
+        raise WalCorruptionError(
+            f"{path}: commit for slot {t} but replay only finalized "
+            f"{len(pipeline.slot_estimates)} slots — batch records for the "
+            "slot are missing"
+        )
+    estimate = pipeline.slot_estimates[t]
+    mean_matches = (
+        estimate.mean is None
+        if logged_mean is None
+        else (estimate.mean is not None and float(logged_mean) == estimate.mean)
+    )
+    if estimate.n_reports != logged_reports or not mean_matches:
+        raise WalCorruptionError(
+            f"{path}: commit for slot {t} recorded n_reports="
+            f"{logged_reports}, mean={logged_mean!r} but replay produced "
+            f"n_reports={estimate.n_reports}, mean={estimate.mean!r} — the "
+            "log and the snapshot disagree"
+        )
+
+
+def compact(log: WriteAheadLog, pipeline: IngestionPipeline) -> CompactionResult:
+    """Fold everything finalized into a checkpoint and drop old segments.
+
+    Safe to run while the pipeline is serving (the log's lock serializes
+    against appends) and safe to crash at any point: until the old
+    segments are deleted they still replay, and the checkpoint plus the
+    re-appended pending batches cover everything from the moment it
+    lands (replay skips the duplicates).
+    """
+    if pipeline.wal is not log:
+        raise WalError(
+            "compact needs the pipeline the log is attached to (their "
+            "batches must be serialized by the same lock)"
+        )
+    with log.exclusive():
+        live = log.rotate()
+        payload = wal_checkpoint_to_dict(
+            pipeline.run_config(),
+            pipeline.run_metadata,
+            pipeline.collector.state,
+            [estimate.to_record() for estimate in pipeline.slot_estimates],
+            pipeline.next_slot,
+            live,
+        )
+        path = write_checkpoint(log.directory, live, payload)
+        pending = pipeline.pending_batches()
+        for batch in pending:
+            log.append_batch(batch)
+        log.sync()
+        segments_deleted = 0
+        for index, segment in list_segments(log.directory):
+            if index < live:
+                os.remove(segment)
+                segments_deleted += 1
+        checkpoints_deleted = 0
+        for index, checkpoint in list_checkpoints(log.directory):
+            if index < live:
+                os.remove(checkpoint)
+                checkpoints_deleted += 1
+    return CompactionResult(
+        checkpoint_path=path,
+        live_segment=live,
+        segments_deleted=segments_deleted,
+        checkpoints_deleted=checkpoints_deleted,
+        pending_reappended=len(pending),
+    )

@@ -1,0 +1,157 @@
+"""On-disk layout of a WAL directory: segments and checkpoint files.
+
+A WAL directory holds:
+
+* ``wal-%08d.seg`` — append-only record segments, numbered from 0.
+  The live log always appends to the highest-numbered segment; opening
+  an existing directory *rotates* to a fresh segment, so a torn record
+  can only ever sit at the physical end of a segment (never before live
+  appends).  Compaction deletes segments below the live one in
+  ascending order, so the surviving numbering is always a contiguous
+  run — a *gap* means a segment was lost and recovery must refuse to
+  silently skip its slots.
+* ``checkpoint-%08d.json`` — snapshot files written by compaction; the
+  number names the first segment still needed on top of the snapshot.
+
+:class:`SegmentWriter` appends **unbuffered** (``buffering=0``): every
+append is a single ``write(2)`` syscall, so the bytes reach the OS page
+cache before the caller proceeds and survive ``kill -9`` of the process
+(only power loss can take them, which is what the fsync policies in
+:mod:`repro.wal.log` are for).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import List, Tuple
+
+from .records import WalCorruptionError, WalError, parse_records
+
+__all__ = [
+    "segment_name",
+    "segment_path",
+    "list_segments",
+    "checkpoint_name",
+    "checkpoint_path",
+    "list_checkpoints",
+    "SegmentWriter",
+    "read_segment_records",
+]
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{8})\.seg$")
+_CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{8})\.json$")
+
+
+def segment_name(index: int) -> str:
+    """File name of segment ``index``."""
+    if index < 0:
+        raise WalError(f"segment index must be non-negative, got {index}")
+    return f"wal-{index:08d}.seg"
+
+
+def segment_path(directory: str, index: int) -> str:
+    """Full path of segment ``index`` inside ``directory``."""
+    return os.path.join(str(directory), segment_name(index))
+
+
+def checkpoint_name(index: int) -> str:
+    """File name of the checkpoint anchored at segment ``index``."""
+    if index < 0:
+        raise WalError(f"checkpoint index must be non-negative, got {index}")
+    return f"checkpoint-{index:08d}.json"
+
+
+def checkpoint_path(directory: str, index: int) -> str:
+    """Full path of the checkpoint anchored at segment ``index``."""
+    return os.path.join(str(directory), checkpoint_name(index))
+
+
+def _list_indexed(directory: str, pattern: re.Pattern) -> List[Tuple[int, str]]:
+    directory = str(directory)
+    if not os.path.isdir(directory):
+        return []
+    found: List[Tuple[int, str]] = []
+    for name in os.listdir(directory):
+        match = pattern.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    found.sort()
+    return found
+
+
+def list_segments(directory: str) -> List[Tuple[int, str]]:
+    """Sorted ``(index, path)`` of every segment in the directory.
+
+    Raises:
+        WalCorruptionError: the numbering has a gap — a middle segment
+            is missing, and replaying around it would silently drop its
+            slots.
+    """
+    segments = _list_indexed(directory, _SEGMENT_RE)
+    for position, (index, _) in enumerate(segments):
+        expected = segments[0][0] + position
+        if index != expected:
+            raise WalCorruptionError(
+                f"WAL directory {directory} is missing segment {expected} "
+                f"(found segment {index} after it); refusing to replay "
+                "around lost slots"
+            )
+    return segments
+
+
+def list_checkpoints(directory: str) -> List[Tuple[int, str]]:
+    """Sorted ``(index, path)`` of every checkpoint file in the directory."""
+    return _list_indexed(directory, _CHECKPOINT_RE)
+
+
+_datasync = getattr(os, "fdatasync", os.fsync)
+
+
+class SegmentWriter:
+    """Unbuffered appender for one segment file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._fh = open(self.path, "ab", buffering=0)
+        self.size = self._fh.tell()
+
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
+
+    def append(self, data: bytes) -> None:
+        """Append ``data`` with a single unbuffered write."""
+        if self._fh.closed:
+            raise WalError(f"segment {self.path} is closed")
+        self._fh.write(data)
+        self.size += len(data)
+
+    def sync(self) -> None:
+        """Force the segment to stable storage (power-loss durability).
+
+        ``fdatasync`` where the platform has it: POSIX requires it to
+        flush any metadata needed to read the appended data back (the
+        file size), while skipping the timestamp churn ``fsync`` pays.
+        """
+        if not self._fh.closed:
+            _datasync(self._fh.fileno())
+
+    def close(self, sync: bool = True) -> None:
+        """Close the segment (syncing first unless ``sync=False``)."""
+        if not self._fh.closed:
+            if sync:
+                _datasync(self._fh.fileno())
+            self._fh.close()
+
+
+def read_segment_records(path: str) -> Tuple[List[Tuple[int, bytes]], bool]:
+    """Read one segment back as ``(records, torn_tail)``.
+
+    An empty segment is valid (an open-rotate-crash cycle leaves one)
+    and returns ``([], False)``.  See :func:`repro.wal.records.parse_records`
+    for the torn-tail / corruption distinction.
+    """
+    with open(path, "rb") as fh:
+        data = fh.read()
+    return parse_records(data, source=os.path.basename(str(path)))

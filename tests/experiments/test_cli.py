@@ -186,3 +186,83 @@ class TestAlgorithmsCommand:
             assert name in out
         for column in ("scalar", "batch", "sharded", "live", "participation"):
             assert column in out
+
+
+class TestCommandHelp:
+    def test_every_command_documented(self):
+        from repro.experiments.cli import COMMAND_HELP
+
+        assert set(COMMAND_HELP) >= set(EXPERIMENTS) | {"list"}
+        for name, text in COMMAND_HELP.items():
+            assert "python -m repro" in text, f"{name} help lacks a runnable example"
+
+    def test_help_epilog_renders(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "wal-compact" in out
+        assert "gateway-serve" in out
+        assert "python -m repro table1" in out
+
+
+class TestWalCommands:
+    def _serve_with_wal(self, tmp_path):
+        return main(
+            [
+                "gateway-serve",
+                "--scale", "0.05",
+                "--datasets", "bursty",
+                "--shards", "2",
+                "--verify",
+                "--wal", str(tmp_path / "wal"),
+            ]
+        )
+
+    def test_serve_with_wal_then_compact(self, capsys, tmp_path):
+        assert self._serve_with_wal(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "write-ahead log" in out
+        assert "bit-identical to sharded run" in out and "yes" in out
+
+        assert main(["wal-compact", "--wal", str(tmp_path / "wal"), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "dry run; log unchanged" in out
+        assert "run_ended" in out
+
+        assert main(["wal-compact", "--wal", str(tmp_path / "wal")]) == 0
+        out = capsys.readouterr().out
+        assert "WAL compaction" in out
+        assert "checkpoint written" in out
+
+    def test_reserve_of_completed_wal_reports_done(self, capsys, tmp_path):
+        assert self._serve_with_wal(tmp_path) == 0
+        capsys.readouterr()
+        code = main(["gateway-serve", "--wal", str(tmp_path / "wal")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run already complete; nothing to serve" in out
+
+    def test_compact_requires_wal_flag(self, capsys):
+        assert main(["wal-compact"]) == 2
+        assert "requires --wal" in capsys.readouterr().err
+
+    def test_compact_missing_directory(self, capsys, tmp_path):
+        assert main(["wal-compact", "--wal", str(tmp_path / "nope")]) == 2
+        assert "no write-ahead log" in capsys.readouterr().err
+
+    def test_compact_damaged_log_exits_cleanly(self, capsys, tmp_path):
+        from repro.wal import WriteAheadLog, list_segments
+
+        wal = WriteAheadLog(str(tmp_path / "wal"))
+        wal.append_run_start({"n_shards": 1, "horizon": 2, "epsilon": 1.0, "w": 2}, {})
+        wal.close()
+        _, path = list_segments(str(tmp_path / "wal"))[-1]
+        with open(path, "r+b") as fh:
+            data = bytearray(fh.read())
+            data[len(data) // 2] ^= 0xFF
+            fh.seek(0)
+            fh.write(bytes(data))
+        assert main(["wal-compact", "--wal", str(tmp_path / "wal")]) == 2
+        err = capsys.readouterr().err
+        assert "damaged" in err and "Traceback" not in err

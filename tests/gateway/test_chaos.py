@@ -1,0 +1,79 @@
+"""Chaos harness: random kill/reconnect/partition, bit-equal after each.
+
+This is the acceptance drill from the durability work: a gateway fleet
+streams a full run while the server is crashed at >= 20 random accepted
+batch counts; each crash recovers from the WAL, every recovery must be
+bit-identical to the pre-crash pipeline, and the completed run must be
+bit-identical (estimates AND per-user privacy ledgers) to an offline
+``run_protocol_sharded`` of the same source.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gateway import run_chaos
+from repro.gateway.chaos import _choose_crash_points
+from repro.runtime import MatrixSource
+
+N_USERS, HORIZON, CHUNK = 36, 30, 10  # 4 shards x 30 slots = 120 batches
+
+
+def _source():
+    return MatrixSource(
+        np.random.default_rng(21).random((N_USERS, HORIZON)), chunk_size=CHUNK
+    )
+
+
+class TestCrashPoints:
+    def test_points_deterministic_and_distinct(self):
+        a = _choose_crash_points(20, 120, seed=5)
+        b = _choose_crash_points(20, 120, seed=5)
+        assert a == b
+        assert len(set(a)) == 20
+        assert a == sorted(a)
+        assert all(1 <= p < 120 for p in a)
+
+    def test_different_seed_different_points(self):
+        assert _choose_crash_points(20, 120, seed=5) != _choose_crash_points(
+            20, 120, seed=6
+        )
+
+    def test_excess_crashes_clamped_to_population(self):
+        # 120 batches admit at most 119 mid-run crash points.
+        points = _choose_crash_points(500, 120, seed=0)
+        assert points == list(range(1, 120))
+
+    def test_zero_crashes_refused(self):
+        with pytest.raises(ValueError, match="n_crashes"):
+            _choose_crash_points(0, 120, seed=0)
+
+
+class TestChaosCampaign:
+    def test_twenty_crashes_bit_equal(self, tmp_path):
+        report = run_chaos(
+            _source(),
+            str(tmp_path / "wal"),
+            n_crashes=20,
+            algorithm="capp",
+            epsilon=1.0,
+            w=6,
+            smoothing_window=3,
+            seed=3,
+            drops={0: [4, 11], 2: [7]},  # mid-run client kills too
+            crash_seed=5,
+        )
+        report.assert_bit_equal()
+        assert report.n_crashes == 20
+        assert all(c.state_bit_equal for c in report.crashes)
+        assert report.offline_bit_equal
+        assert report.ledgers_bit_equal
+        # The three dropped connections reconnected on top of the 20
+        # crash-forced reconnect rounds.
+        assert report.total_reconnects >= 20 + 3
+
+    def test_refuses_existing_wal_dir(self, tmp_path):
+        from repro.wal import WriteAheadLog
+
+        WriteAheadLog(str(tmp_path / "wal")).close()
+        with pytest.raises(ValueError, match="already holds a WAL"):
+            run_chaos(_source(), str(tmp_path / "wal"), n_crashes=1)

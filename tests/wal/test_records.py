@@ -1,0 +1,184 @@
+"""WAL record codec: framing, CRC, torn tails, corruption detection."""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.service.events import ReportBatch
+from repro.wal.records import (
+    MAX_RECORD_PAYLOAD,
+    RECORD_HEADER_BYTES,
+    WAL_MAGIC,
+    WAL_VERSION,
+    RecordType,
+    WalCorruptionError,
+    WalError,
+    decode_batch_payload,
+    decode_json_payload,
+    encode_batch_record,
+    encode_json_record,
+    encode_record,
+    parse_records,
+    record_crc,
+)
+
+
+def _batch(shard=1, t=3, n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return ReportBatch(
+        shard=shard,
+        t=t,
+        user_ids=np.arange(n, dtype=np.int64) + 100 * shard,
+        values=rng.uniform(-1.0, 1.0, size=n),
+    )
+
+
+class TestEncoding:
+    def test_header_layout(self):
+        record = encode_record(RecordType.COMMIT, b"xyz")
+        magic, version, rtype, length, crc = struct.unpack(
+            ">2sBBII", record[:RECORD_HEADER_BYTES]
+        )
+        assert magic == WAL_MAGIC
+        assert version == WAL_VERSION
+        assert rtype == RecordType.COMMIT
+        assert length == 3
+        assert crc == record_crc(RecordType.COMMIT, b"xyz")
+        assert record[RECORD_HEADER_BYTES:] == b"xyz"
+
+    def test_unknown_type_refused(self):
+        with pytest.raises(WalError, match="unknown WAL record type"):
+            encode_record(9, b"")
+
+    def test_oversized_payload_refused(self):
+        class FakeLen(bytes):
+            def __len__(self):
+                return MAX_RECORD_PAYLOAD + 1
+
+        with pytest.raises(WalError, match="exceeds"):
+            encode_record(RecordType.BATCH, FakeLen())
+
+    def test_crc_covers_type_byte(self):
+        # Same payload under two types must produce different CRCs, or a
+        # bit flip in the type byte would go undetected.
+        assert record_crc(RecordType.BATCH, b"p") != record_crc(
+            RecordType.COMMIT, b"p"
+        )
+
+
+class TestRoundTrips:
+    def test_json_record_round_trip(self):
+        fields = {"t": 4, "n_reports": 12, "mean": 0.1 + 0.2}
+        record = encode_json_record(RecordType.COMMIT, fields)
+        parsed, torn = parse_records(record)
+        assert not torn
+        [(rtype, payload)] = parsed
+        assert rtype == RecordType.COMMIT
+        decoded = decode_json_payload(payload)
+        assert decoded == fields
+        assert decoded["mean"] == 0.1 + 0.2  # repr-exact float
+
+    def test_batch_record_bit_exact(self):
+        batch = _batch(n=17, seed=5)
+        record = encode_batch_record(batch)
+        [(rtype, payload)], torn = parse_records(record)
+        assert rtype == RecordType.BATCH and not torn
+        restored = decode_batch_payload(payload)
+        assert restored.shard == batch.shard and restored.t == batch.t
+        np.testing.assert_array_equal(restored.user_ids, batch.user_ids)
+        assert restored.values.tobytes() == batch.values.tobytes()
+
+    def test_stream_of_records(self):
+        blobs = [
+            encode_json_record(RecordType.RUN_START, {"config": {}}),
+            encode_batch_record(_batch()),
+            encode_json_record(RecordType.COMMIT, {"t": 0}),
+            encode_json_record(RecordType.RUN_END, {}),
+        ]
+        records, torn = parse_records(b"".join(blobs))
+        assert not torn
+        assert [r for r, _ in records] == [
+            RecordType.RUN_START,
+            RecordType.BATCH,
+            RecordType.COMMIT,
+            RecordType.RUN_END,
+        ]
+
+
+class TestTornTails:
+    def test_torn_header(self):
+        intact = encode_json_record(RecordType.COMMIT, {"t": 0})
+        data = intact + encode_json_record(RecordType.COMMIT, {"t": 1})[:5]
+        records, torn = parse_records(data)
+        assert torn
+        assert len(records) == 1
+        assert decode_json_payload(records[0][1]) == {"t": 0}
+
+    def test_torn_payload(self):
+        intact = encode_batch_record(_batch())
+        second = encode_batch_record(_batch(t=4))
+        records, torn = parse_records(intact + second[:-3])
+        assert torn and len(records) == 1
+
+    def test_every_truncation_point_is_torn_or_clean(self):
+        # Chopping a valid stream at ANY byte must yield either a clean
+        # parse or a torn tail — never a corruption error (the writer
+        # appends whole records; only the tail can be cut).
+        first = encode_json_record(RecordType.COMMIT, {"t": 0})
+        data = first + encode_batch_record(_batch())
+        boundaries = {0, len(first), len(data)}
+        for cut in range(len(data) + 1):
+            records, torn = parse_records(data[:cut])
+            assert torn == (cut not in boundaries)
+            assert len(records) <= 2
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        record = bytearray(encode_json_record(RecordType.COMMIT, {"t": 0}))
+        record[0] = ord("X")
+        with pytest.raises(WalCorruptionError, match="bad record magic"):
+            parse_records(bytes(record))
+
+    def test_future_version(self):
+        record = bytearray(encode_json_record(RecordType.COMMIT, {"t": 0}))
+        record[2] = WAL_VERSION + 1
+        with pytest.raises(WalCorruptionError, match="unsupported WAL version"):
+            parse_records(bytes(record))
+
+    def test_unknown_record_type(self):
+        record = bytearray(encode_json_record(RecordType.COMMIT, {"t": 0}))
+        record[3] = 200
+        with pytest.raises(WalCorruptionError, match="unknown record type"):
+            parse_records(bytes(record))
+
+    def test_oversized_length_field(self):
+        record = bytearray(encode_json_record(RecordType.COMMIT, {"t": 0}))
+        struct.pack_into(">I", record, 4, MAX_RECORD_PAYLOAD + 1)
+        with pytest.raises(WalCorruptionError, match="exceeds"):
+            parse_records(bytes(record))
+
+    def test_payload_bit_flip(self):
+        record = bytearray(encode_json_record(RecordType.COMMIT, {"t": 0}))
+        record[-1] ^= 0x01
+        with pytest.raises(WalCorruptionError, match="CRC mismatch"):
+            parse_records(bytes(record))
+
+    def test_corruption_names_offset(self):
+        good = encode_json_record(RecordType.COMMIT, {"t": 0})
+        bad = bytearray(encode_json_record(RecordType.COMMIT, {"t": 1}))
+        bad[-1] ^= 0x01
+        with pytest.raises(WalCorruptionError, match=f"offset {len(good)}"):
+            parse_records(good + bytes(bad))
+
+    def test_json_payload_garbage(self):
+        with pytest.raises(WalCorruptionError, match="not valid JSON"):
+            decode_json_payload(b"\xff\xfe")
+        with pytest.raises(WalCorruptionError, match="JSON object"):
+            decode_json_payload(json.dumps([1, 2]).encode())
+
+    def test_batch_payload_garbage(self):
+        with pytest.raises(WalCorruptionError, match="malformed WAL batch"):
+            decode_batch_payload(b"not a batch")

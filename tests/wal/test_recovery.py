@@ -1,0 +1,232 @@
+"""Crash recovery and compaction: bit-exact restarts from the WAL."""
+
+import numpy as np
+import pytest
+
+from repro.gateway.chaos import pipeline_fingerprint
+from repro.service import IngestionPipeline, MemorySink, ReportBatch
+from repro.wal import (
+    WalCorruptionError,
+    WalError,
+    WriteAheadLog,
+    compact,
+    list_checkpoints,
+    list_segments,
+    recover_pipeline,
+)
+
+N_SHARDS, HORIZON = 3, 6
+CONFIGS = dict(epsilon=1.5, w=4, smoothing_window=3)
+
+
+def _pipeline():
+    return IngestionPipeline(
+        n_shards=N_SHARDS, horizon=HORIZON, keep_reports=True, **CONFIGS
+    )
+
+
+def _batches(seed=11):
+    """Every (slot, shard) batch of the run, in a fixed interleaving."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for t in range(HORIZON):
+        for shard in rng.permutation(N_SHARDS):
+            n = int(rng.integers(2, 6))
+            out.append(
+                ReportBatch(
+                    shard=int(shard),
+                    t=t,
+                    user_ids=np.arange(n, dtype=np.int64) + 100 * int(shard),
+                    values=rng.uniform(-1.0, 1.0, size=n),
+                )
+            )
+    return out
+
+
+def _run_with_wal(directory, stop_after=None, fsync="commit"):
+    """Drive a logged run, abandoning the process after N batches."""
+    pipeline = _pipeline()
+    wal = pipeline.attach_wal(WriteAheadLog(directory, fsync=fsync))
+    pipeline.start_run({"seed": 11})
+    for i, batch in enumerate(_batches()):
+        if stop_after is not None and i == stop_after:
+            wal.abandon()  # kill -9
+            return pipeline
+        pipeline.submit(batch)
+    pipeline.finish()
+    pipeline.build_result(elapsed_seconds=0.0)
+    return pipeline
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("stop_after", [1, 4, 9, 13, 17])
+    def test_mid_run_crash_recovers_bit_exact(self, tmp_path, stop_after):
+        crashed = _run_with_wal(str(tmp_path), stop_after=stop_after)
+        recovery = recover_pipeline(str(tmp_path))
+        assert pipeline_fingerprint(recovery.pipeline) == pipeline_fingerprint(
+            crashed
+        )
+        assert recovery.replayed_batches == stop_after
+        assert recovery.skipped_batches == 0
+        assert not recovery.run_ended
+
+    def test_resumed_run_matches_uninterrupted(self, tmp_path):
+        _run_with_wal(str(tmp_path / "crashed"), stop_after=10)
+        recovery = recover_pipeline(str(tmp_path / "crashed"))
+        resumed = recovery.pipeline
+        resumed.attach_wal(WriteAheadLog(str(tmp_path / "crashed")))
+        delivered = {
+            (b.t, b.shard)
+            for b in resumed.pending_batches()
+        }
+        for batch in _batches():
+            if batch.t < resumed.next_slot or (batch.t, batch.shard) in delivered:
+                continue
+            resumed.submit(batch)
+        reference = _pipeline()
+        for batch in _batches():
+            reference.submit(batch)
+        assert pipeline_fingerprint(resumed) == pipeline_fingerprint(reference)
+
+    def test_next_expected_resume_slots(self, tmp_path):
+        crashed = _run_with_wal(str(tmp_path), stop_after=7)
+        recovery = recover_pipeline(str(tmp_path))
+        # Each shard resumes at (last logged slot + 1); never below the
+        # barrier clock of the checkpoint.
+        expected = [0] * N_SHARDS
+        for i, batch in enumerate(_batches()):
+            if i == 7:
+                break
+            expected[batch.shard] = max(expected[batch.shard], batch.t + 1)
+        assert recovery.next_expected == expected
+        assert crashed.next_slot == recovery.pipeline.next_slot
+
+    def test_completed_run_recovers_as_ended(self, tmp_path):
+        _run_with_wal(str(tmp_path))
+        recovery = recover_pipeline(str(tmp_path))
+        assert recovery.run_ended
+        assert recovery.pipeline.complete
+        assert recovery.next_expected == [HORIZON] * N_SHARDS
+        assert recovery.commits_verified == HORIZON
+
+    def test_metadata_restored(self, tmp_path):
+        _run_with_wal(str(tmp_path), stop_after=5)
+        recovery = recover_pipeline(str(tmp_path))
+        assert recovery.metadata == {"seed": 11}
+        assert recovery.pipeline.run_metadata == {"seed": 11}
+        assert recovery.config["n_shards"] == N_SHARDS
+        assert recovery.config["epsilon"] == CONFIGS["epsilon"]
+
+    def test_empty_directory_refused(self, tmp_path):
+        with pytest.raises(WalError, match="nothing to recover"):
+            recover_pipeline(str(tmp_path))
+
+    def test_recovery_into_sinks(self, tmp_path):
+        _run_with_wal(str(tmp_path), stop_after=12)
+        sink = MemorySink()
+        recovery = recover_pipeline(str(tmp_path), sinks=(sink,))
+        finalized = recovery.pipeline.next_slot
+        slots = [r for r in sink.records if r.get("type") == "slot"]
+        assert len(slots) == finalized
+
+
+class TestCommitVerification:
+    def test_tampered_commit_mean_detected(self, tmp_path):
+        _run_with_wal(str(tmp_path), stop_after=9, fsync="never")
+        segments = list_segments(str(tmp_path))
+        path = segments[-1][1]
+        # Flip a bit inside a COMMIT payload and fix up its CRC so only
+        # the cross-check against the replayed state can catch it.
+        from repro.wal.records import (
+            RecordType,
+            decode_json_payload,
+            encode_json_record,
+            encode_record,
+            parse_records,
+        )
+
+        with open(path, "rb") as fh:
+            data = fh.read()
+        records, _ = parse_records(data)
+        rebuilt = b""
+        tampered = False
+        for rtype, payload in records:
+            if rtype == RecordType.COMMIT and not tampered:
+                fields = decode_json_payload(payload)
+                fields["mean"] = (fields["mean"] or 0.0) + 1.0
+                rebuilt += encode_json_record(RecordType.COMMIT, fields)
+                tampered = True
+            else:
+                rebuilt += encode_record(rtype, payload)
+        assert tampered
+        with open(path, "wb") as fh:
+            fh.write(rebuilt)
+        with pytest.raises(WalCorruptionError, match="disagree"):
+            recover_pipeline(str(tmp_path))
+        # Forensic mode still loads it.
+        recover_pipeline(str(tmp_path), verify_commits=False)
+
+
+class TestCompaction:
+    def test_mid_run_compaction_then_recovery(self, tmp_path):
+        pipeline = _pipeline()
+        wal = pipeline.attach_wal(
+            WriteAheadLog(str(tmp_path), segment_bytes=512)
+        )
+        pipeline.start_run({"seed": 11})
+        batches = _batches()
+        for batch in batches[:13]:
+            pipeline.submit(batch)
+        before = pipeline_fingerprint(pipeline)
+        outcome = compact(wal, pipeline)
+        assert outcome.segments_deleted >= 1
+        assert outcome.pending_reappended == len(pipeline.pending_batches())
+        # Everything before the live segment is gone.
+        assert all(i >= outcome.live_segment for i, _ in list_segments(str(tmp_path)))
+        assert list_checkpoints(str(tmp_path))[-1][0] == outcome.live_segment
+        wal.abandon()
+        recovery = recover_pipeline(str(tmp_path))
+        assert recovery.checkpoint_index == outcome.live_segment
+        assert pipeline_fingerprint(recovery.pipeline) == before
+        # Replay only needed the re-appended pending batches.
+        assert recovery.replayed_batches == outcome.pending_reappended
+
+    def test_repeated_compaction_keeps_single_checkpoint(self, tmp_path):
+        pipeline = _pipeline()
+        wal = pipeline.attach_wal(WriteAheadLog(str(tmp_path)))
+        pipeline.start_run({})
+        batches = _batches()
+        for batch in batches[:8]:
+            pipeline.submit(batch)
+        compact(wal, pipeline)
+        for batch in batches[8:15]:
+            pipeline.submit(batch)
+        second = compact(wal, pipeline)
+        assert second.checkpoints_deleted == 1
+        assert len(list_checkpoints(str(tmp_path))) == 1
+        wal.abandon()
+        recovery = recover_pipeline(str(tmp_path))
+        assert pipeline_fingerprint(recovery.pipeline) == pipeline_fingerprint(
+            pipeline
+        )
+
+    def test_compact_requires_attached_pipeline(self, tmp_path):
+        pipeline = _pipeline()
+        wal = WriteAheadLog(str(tmp_path))
+        with pytest.raises(WalError, match="attached"):
+            compact(wal, pipeline)
+        wal.close()
+
+    def test_compaction_of_finished_run(self, tmp_path):
+        _run_with_wal(str(tmp_path))
+        recovery = recover_pipeline(str(tmp_path))
+        wal = recovery.pipeline.attach_wal(WriteAheadLog(str(tmp_path)))
+        outcome = compact(wal, recovery.pipeline)
+        wal.close()
+        assert outcome.pending_reappended == 0
+        after = recover_pipeline(str(tmp_path))
+        assert after.pipeline.complete
+        assert after.replayed_batches == 0
+        assert pipeline_fingerprint(after.pipeline) == pipeline_fingerprint(
+            recovery.pipeline
+        )

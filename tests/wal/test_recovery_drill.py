@@ -1,0 +1,21 @@
+"""The kill -9 drill tool must pass when run exactly as the runbook says."""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+DRILL = os.path.join(REPO_ROOT, "tools", "recovery_drill.py")
+
+
+def test_recovery_drill_passes():
+    proc = subprocess.run(
+        [sys.executable, DRILL, "--rounds", "2", "--delay", "0.002"],
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "2/2 rounds bit-identical" in proc.stdout
+    assert "SIGKILL" in proc.stdout

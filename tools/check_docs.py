@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Link and reference checker for the documentation set.
+
+Walks ``README.md`` and ``docs/*.md`` and fails (exit 1) when:
+
+* a relative markdown link ``[text](path)`` points at a file that does
+  not exist (anchors are checked only for same-file ``#fragment``
+  links: the fragment must match a heading);
+* an inline-code reference to a repo path (backticked text that looks
+  like ``src/...``, ``docs/...``, ``tools/...``, ``benchmarks/...`` or
+  ``tests/...``) names a file that does not exist — stale pointers in
+  prose are exactly how runbooks rot.
+
+External ``http(s)://`` and ``mailto:`` links are *not* fetched; CI
+must not fail on someone else's outage.
+
+Usage::
+
+    python tools/check_docs.py            # check README.md + docs/*.md
+    python tools/check_docs.py FILE...    # check specific files
+"""
+
+import glob
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: [text](target) — excluding images; target split before any #fragment
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+#: backticked repo-relative paths in prose
+_CODE_PATH_RE = re.compile(
+    r"`((?:src|docs|tools|benchmarks|tests|examples)/[A-Za-z0-9_./-]+)`"
+)
+
+#: markdown headings, for same-file anchor checks
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+#: fenced code blocks — links inside them are examples, not references
+_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _anchor(heading: str) -> str:
+    """GitHub-style anchor for a heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def check_file(path: str) -> list:
+    """All broken references in one markdown file."""
+    with open(path, encoding="utf-8") as fh:
+        raw = fh.read()
+    prose = _FENCE_RE.sub("", raw)
+    base = os.path.dirname(os.path.abspath(path))
+    anchors = {_anchor(h) for h in _HEADING_RE.findall(raw)}
+    problems = []
+
+    for match in _LINK_RE.finditer(prose):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, fragment = target.partition("#")
+        if not file_part:
+            if fragment and fragment not in anchors:
+                problems.append(f"{path}: broken anchor #{fragment}")
+            continue
+        resolved = os.path.normpath(os.path.join(base, file_part))
+        if not os.path.exists(resolved):
+            problems.append(f"{path}: broken link {target}")
+
+    for match in _CODE_PATH_RE.finditer(prose):
+        target = match.group(1).rstrip(".")
+        resolved = os.path.join(REPO_ROOT, target)
+        # A trailing slash or a bare directory reference is fine;
+        # globs ("docs/*.md") are checked for at least one match.
+        if any(ch in target for ch in "*?"):
+            if not glob.glob(resolved):
+                problems.append(f"{path}: stale path reference `{target}`")
+        elif not os.path.exists(resolved):
+            problems.append(f"{path}: stale path reference `{target}`")
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        files = argv
+    else:
+        files = [os.path.join(REPO_ROOT, "README.md")] + sorted(
+            glob.glob(os.path.join(REPO_ROOT, "docs", "*.md"))
+        )
+    problems = []
+    for path in files:
+        if not os.path.exists(path):
+            problems.append(f"{path}: file not found")
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = ", ".join(os.path.relpath(f, REPO_ROOT) for f in files)
+    if problems:
+        print(f"docs check FAILED: {len(problems)} broken reference(s)")
+        return 1
+    print(f"docs check passed ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

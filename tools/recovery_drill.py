@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Kill -9 recovery drill: a real subprocess, a real SIGKILL, a bit check.
+
+This is the executable form of the crash-recovery procedure in
+``docs/operations.md``.  Each drill round:
+
+1. spawns a child process that streams a deterministic batch sequence
+   through a WAL-attached :class:`~repro.service.IngestionPipeline`,
+   printing one line per durable batch;
+2. sends the child ``SIGKILL`` (the signal that cannot be caught —
+   no destructors, no flushes, no goodbyes) after a seeded number of
+   batches;
+3. recovers the pipeline from the write-ahead log in the parent and
+   asserts the recovered state is **bit-identical** to a reference
+   pipeline fed the same durable prefix;
+4. resumes the run to completion on top of the recovered state and
+   asserts the finished run is bit-identical to an uninterrupted one.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python tools/recovery_drill.py --rounds 3
+
+Exit status 0 means every round recovered bit-exactly; any divergence
+or corruption exits non-zero.  The in-process chaos harness
+(``repro.gateway.run_chaos``) covers many more crash points per second;
+this drill exists to prove the same property against an actual process
+kill, page cache and all.
+"""
+
+import argparse
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+import numpy as np  # noqa: E402
+
+from repro.gateway.chaos import pipeline_fingerprint  # noqa: E402
+from repro.service import IngestionPipeline, ReportBatch  # noqa: E402
+from repro.wal import WriteAheadLog, recover_pipeline  # noqa: E402
+
+N_SHARDS, HORIZON = 3, 10
+CONFIG = dict(epsilon=1.0, w=6, smoothing_window=3, keep_reports=True)
+
+
+def make_pipeline():
+    return IngestionPipeline(n_shards=N_SHARDS, horizon=HORIZON, **CONFIG)
+
+
+def make_batches(seed):
+    """The deterministic batch stream both child and referee replay."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for t in range(HORIZON):
+        for shard in rng.permutation(N_SHARDS):
+            n = int(rng.integers(3, 8))
+            out.append(
+                ReportBatch(
+                    shard=int(shard),
+                    t=t,
+                    user_ids=np.arange(n, dtype=np.int64) + 1000 * int(shard),
+                    values=rng.uniform(-1.0, 1.0, size=n),
+                )
+            )
+    return out
+
+
+def child_main(wal_dir, seed, delay):
+    """The victim: log batches until killed (or, if spared, finish)."""
+    pipeline = make_pipeline()
+    pipeline.attach_wal(WriteAheadLog(wal_dir))
+    pipeline.start_run({"drill_seed": seed})
+    for i, batch in enumerate(make_batches(seed)):
+        pipeline.submit(batch)
+        print(i, flush=True)  # the batch is durable before this line
+        time.sleep(delay)
+    pipeline.finish()
+    pipeline.build_result(elapsed_seconds=0.0)
+    print("DONE", flush=True)
+    return 0
+
+
+def run_round(round_no, wal_dir, seed, kill_after, delay, log):
+    """One spawn / SIGKILL / recover / resume / verify cycle."""
+    child = subprocess.Popen(
+        [
+            sys.executable,
+            os.path.abspath(__file__),
+            "--child",
+            "--wal",
+            wal_dir,
+            "--seed",
+            str(seed),
+            "--delay",
+            str(delay),
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env={**os.environ, "PYTHONPATH": SRC},
+    )
+    finished = False
+    for line in child.stdout:
+        line = line.strip()
+        if line == "DONE":
+            finished = True
+            break
+        if int(line) + 1 >= kill_after:
+            break
+    if not finished:
+        os.kill(child.pid, signal.SIGKILL)
+    child.wait()
+    child.stdout.close()
+
+    recovery = recover_pipeline(wal_dir)
+    batches = make_batches(seed)
+
+    # 1. The recovered state matches a referee fed the durable prefix.
+    referee = make_pipeline()
+    for batch in batches[: recovery.replayed_batches]:
+        referee.submit(batch)
+    prefix_equal = pipeline_fingerprint(recovery.pipeline) == pipeline_fingerprint(
+        referee
+    )
+
+    # 2. Resuming on the recovered state finishes bit-identical to a run
+    #    that was never interrupted.
+    resumed = recovery.pipeline
+    if not recovery.run_ended:
+        resumed.attach_wal(WriteAheadLog(wal_dir))
+        held = {(b.t, b.shard) for b in resumed.pending_batches()}
+        for batch in batches:
+            if batch.t < resumed.next_slot or (batch.t, batch.shard) in held:
+                continue
+            resumed.submit(batch)
+        resumed.finish()
+        resumed.build_result(elapsed_seconds=0.0)
+    uninterrupted = make_pipeline()
+    for batch in batches:
+        uninterrupted.submit(batch)
+    uninterrupted.finish()
+    uninterrupted.build_result(elapsed_seconds=0.0)
+    final_equal = pipeline_fingerprint(resumed) == pipeline_fingerprint(uninterrupted)
+
+    verdict = "bit-identical" if prefix_equal and final_equal else "DIVERGED"
+    log(
+        f"round {round_no}: {'completed' if finished else 'SIGKILL'} after "
+        f"{recovery.replayed_batches} durable batches, "
+        f"recovered+resumed -> {verdict}"
+    )
+    return prefix_equal and final_equal
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="kill -9 a WAL-logged ingestion run and prove bit-exact recovery"
+    )
+    parser.add_argument("--rounds", type=int, default=3, help="drill rounds (default 3)")
+    parser.add_argument("--seed", type=int, default=7, help="batch-stream seed")
+    parser.add_argument(
+        "--delay",
+        type=float,
+        default=0.003,
+        help="seconds between child batches (gives SIGKILL a window)",
+    )
+    parser.add_argument(
+        "--keep",
+        action="store_true",
+        help="keep each round's WAL directory for inspection",
+    )
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--wal", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child:
+        return child_main(args.wal, args.seed, args.delay)
+
+    if args.rounds < 1:
+        parser.error("--rounds must be >= 1")
+    rng = np.random.default_rng(args.seed)
+    total = N_SHARDS * HORIZON
+    failures = 0
+    for round_no in range(1, args.rounds + 1):
+        kill_after = int(rng.integers(1, total))
+        wal_dir = tempfile.mkdtemp(prefix=f"recovery-drill-{round_no}-")
+        try:
+            ok = run_round(
+                round_no, wal_dir, args.seed, kill_after, args.delay, print
+            )
+        finally:
+            if args.keep:
+                print(f"round {round_no}: WAL kept at {wal_dir}")
+            else:
+                shutil.rmtree(wal_dir, ignore_errors=True)
+        failures += 0 if ok else 1
+    if failures:
+        print(f"recovery drill FAILED: {failures}/{args.rounds} rounds diverged")
+        return 1
+    print(f"recovery drill passed: {args.rounds}/{args.rounds} rounds bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
