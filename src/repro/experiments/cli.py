@@ -538,10 +538,12 @@ def _serve_standalone(args, scenario, source, n_shards, protocol) -> str:
             await server.wait_complete(timeout=args.serve_timeout or None)
         finally:
             await server.stop()
-        return server
+        # Build the result while the WAL is still open — build_result
+        # appends the RUN_END record, so it must precede wal.close().
+        return server.metrics.snapshot(), server.result()
 
     try:
-        server = asyncio.run(_serve())
+        snapshot, result = asyncio.run(_serve())
     except (TimeoutError, asyncio.TimeoutError) as error:
         raise CLIError(
             f"no fleet completed the run within --serve-timeout "
@@ -552,8 +554,6 @@ def _serve_standalone(args, scenario, source, n_shards, protocol) -> str:
     finally:
         if wal is not None:
             wal.close()
-    snapshot = server.metrics.snapshot()
-    result = server.result()
     rows = [
         ["scenario", scenario],
         ["reports ingested", result.n_reports],
@@ -614,10 +614,12 @@ def _serve_recovered(args: argparse.Namespace) -> str:
             await server.wait_complete(timeout=args.serve_timeout or None)
         finally:
             await server.stop()
-        return server
+        # Build the result while the WAL is still open — build_result
+        # appends the RUN_END record, so it must precede wal.close().
+        return server.metrics.snapshot(), server.result()
 
     try:
-        server = asyncio.run(_serve())
+        snapshot, result = asyncio.run(_serve())
     except (TimeoutError, asyncio.TimeoutError) as error:
         raise CLIError(
             f"no fleet completed the run within --serve-timeout "
@@ -627,8 +629,6 @@ def _serve_recovered(args: argparse.Namespace) -> str:
         raise CLIError(f"cannot listen on {args.host}:{args.port}: {error}") from error
     finally:
         wal.close()
-    snapshot = server.metrics.snapshot()
-    result = server.result()
     rows += [
         ["reports ingested (total)", result.n_reports],
         ["batches accepted after restart", snapshot["batches_accepted"]],

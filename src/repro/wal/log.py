@@ -297,6 +297,15 @@ class WriteAheadLog:
         The chaos harness uses this to make an in-process "crash"
         indistinguishable from a killed process."""
         with self._lock:
+            future, self._sync_future = self._sync_future, None
+            if future is not None and not future.cancel():
+                # A pipelined commit fdatasync is mid-flight on the sync
+                # thread: let it finish before closing its fd rather than
+                # racing fdatasync against close (EBADF, or a sync on a
+                # reused fd number).  A real kill -9 can land on either
+                # side of an in-flight flush, so this stays faithful.
+                with contextlib.suppress(Exception):
+                    future.result()
             if self._writer is not None:
                 self._writer.close(sync=False)
                 self._writer = None

@@ -1,8 +1,43 @@
 """Tests for the experiments CLI."""
 
+import socket
+import threading
+import time
+
 import pytest
 
 from repro.experiments.cli import EXPERIMENTS, build_parser, main
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _wait_listening(port: int, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            socket.create_connection(("127.0.0.1", port), timeout=1.0).close()
+            return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)
+
+
+def _serve_in_thread(argv):
+    """Run ``main(argv)`` on a thread, capturing the exit code (absent if
+    the command raised — a traceback in a serve path must fail the test)."""
+    outcome = {}
+
+    def serve():
+        outcome["code"] = main(argv)
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return thread, outcome
 
 
 class TestParser:
@@ -242,6 +277,110 @@ class TestWalCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "run already complete; nothing to serve" in out
+
+    def test_standalone_serve_with_wal_logs_run_end(self, capsys, tmp_path):
+        """--standalone --wal must append RUN_END before the log closes
+        (the result is built while the WAL is still open)."""
+        from repro.wal import recover_pipeline
+
+        wal_dir = str(tmp_path / "wal")
+        port = _free_port()
+        thread, outcome = _serve_in_thread(
+            [
+                "gateway-serve", "--standalone",
+                "--scale", "0.05",
+                "--datasets", "bursty",
+                "--shards", "2",
+                "--wal", wal_dir,
+                "--port", str(port),
+                "--serve-timeout", "60",
+            ]
+        )
+        try:
+            _wait_listening(port)
+            fleet_code = main(
+                [
+                    "gateway-fleet",
+                    "--connect", f"127.0.0.1:{port}",
+                    "--scale", "0.05",
+                    "--datasets", "bursty",
+                    "--shards", "2",
+                ]
+            )
+        finally:
+            thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert fleet_code == 0
+        assert outcome.get("code") == 0
+        out = capsys.readouterr().out
+        assert "Gateway serve (standalone)" in out
+        assert "write-ahead log" in out
+        assert recover_pipeline(wal_dir).run_ended
+
+    def test_resume_interrupted_wal_to_completion(self, capsys, tmp_path):
+        """gateway-serve --wal on an interrupted log resumes the run,
+        finishes it, and durably logs RUN_END — the recovered-serve path
+        must not close the WAL before the result is built."""
+        import asyncio
+
+        import numpy as np
+
+        from repro.gateway import GatewayClient
+        from repro.service import IngestionPipeline, ReportBatch
+        from repro.wal import WriteAheadLog, recover_pipeline
+
+        wal_dir = str(tmp_path / "wal")
+        n_shards, horizon = 2, 3
+        interrupted = IngestionPipeline(
+            n_shards=n_shards, horizon=horizon, epsilon=1.0, w=2
+        )
+        interrupted.attach_wal(WriteAheadLog(wal_dir))
+        interrupted.start_run({"origin": "resume-test"})
+
+        def batch(shard, t):
+            return ReportBatch(
+                shard=shard,
+                t=t,
+                user_ids=np.arange(3, dtype=np.int64) + 100 * shard,
+                values=np.linspace(-0.5, 0.5, 3) + 0.1 * shard + 0.01 * t,
+            )
+
+        for shard in range(n_shards):
+            interrupted.submit(batch(shard, 0))
+        interrupted.wal.abandon()  # "kill -9": slot 0 durable, run unfinished
+
+        port = _free_port()
+        thread, outcome = _serve_in_thread(
+            [
+                "gateway-serve",
+                "--wal", wal_dir,
+                "--port", str(port),
+                "--serve-timeout", "60",
+            ]
+        )
+        try:
+            _wait_listening(port)
+
+            async def upload_tail():
+                for shard in range(n_shards):
+                    client = GatewayClient("127.0.0.1", port, shard)
+                    resume = await client.connect()
+                    assert resume == 1  # the durable slot is not re-asked
+                    for t in range(resume, horizon):
+                        assert await client.send_batch(batch(shard, t)) == "accepted"
+                    await client.finish()
+
+            asyncio.run(upload_tail())
+        finally:
+            thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert outcome.get("code") == 0
+        out = capsys.readouterr().out
+        assert "Gateway serve (recovered)" in out
+        assert "reports ingested (total)" in out
+        recovery = recover_pipeline(wal_dir)
+        assert recovery.run_ended
+        assert recovery.pipeline.complete
 
     def test_compact_requires_wal_flag(self, capsys):
         assert main(["wal-compact"]) == 2

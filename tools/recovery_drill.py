@@ -134,7 +134,7 @@ def run_round(round_no, wal_dir, seed, kill_after, delay, log):
     #    that was never interrupted.
     resumed = recovery.pipeline
     if not recovery.run_ended:
-        resumed.attach_wal(WriteAheadLog(wal_dir))
+        wal = resumed.attach_wal(WriteAheadLog(wal_dir))
         held = {(b.t, b.shard) for b in resumed.pending_batches()}
         for batch in batches:
             if batch.t < resumed.next_slot or (batch.t, batch.shard) in held:
@@ -142,6 +142,7 @@ def run_round(round_no, wal_dir, seed, kill_after, delay, log):
             resumed.submit(batch)
         resumed.finish()
         resumed.build_result(elapsed_seconds=0.0)
+        wal.close()  # mirror the child path: no fd / sync-thread leak per round
     uninterrupted = make_pipeline()
     for batch in batches:
         uninterrupted.submit(batch)
