@@ -1,0 +1,122 @@
+"""Scan-orchestration bench: cells/sec through the sweep engine.
+
+Runs one small-but-real scan grid (every cell a full sharded scenario
+run) twice — serially and across a worker pool — and records the
+``scan`` section of ``BENCH_population.json``:
+
+* **cells/sec** — newly executed cells per wall-clock second, serial
+  and pooled, plus the pool speedup.  The perf gate holds a relative
+  floor on the pooled rate (and an absolute floor when
+  ``REPRO_BENCH_SCAN_MIN_CPS`` is set);
+* **worker invariance** — every bench run re-proves the headline scan
+  contract: the serial and pooled stores have bit-identical
+  fingerprints.
+
+Sized through the environment so CI smoke jobs run at toy scale:
+
+* ``REPRO_BENCH_SCAN_USERS`` / ``REPRO_BENCH_SCAN_SLOTS`` — population
+  shape per cell (default 4000 x 32).
+* ``REPRO_BENCH_SCAN_WORKERS`` — pool size for the pooled pass
+  (default 2).
+* ``REPRO_BENCH_SCAN_MIN_CPS`` — absolute floor on pooled cells/sec
+  (default 0 = disabled; the committed baseline provides the
+  relative floor).
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+from repro.scan import ScanStore, parse_config, run_scan
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def _env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+def _grid_document(n_users: int, horizon: int) -> dict:
+    """An 8-cell grid: 2 algorithms x 2 epsilons x 2 scenarios."""
+    return {
+        "scan": {"name": "bench", "seed": 7},
+        "grid": {
+            "algorithms": ["capp", "sw-direct"],
+            "epsilons": [0.5, 1.0],
+            "scenarios": ["steady", "bursty"],
+            "n_users": [n_users],
+            "horizons": [horizon],
+            "shards": [2],
+            "w": [8],
+        },
+    }
+
+
+def test_scan_throughput_and_invariance(record_table, record_population_bench):
+    n_users = _env_int("REPRO_BENCH_SCAN_USERS", 4_000)
+    horizon = _env_int("REPRO_BENCH_SCAN_SLOTS", 32)
+    pool_workers = _env_int("REPRO_BENCH_SCAN_WORKERS", 2)
+    min_cps = _env_float("REPRO_BENCH_SCAN_MIN_CPS", 0.0)
+
+    config = parse_config(_grid_document(n_users, horizon))
+    root = tempfile.mkdtemp(prefix="bench-scan-")
+    try:
+        serial_store = os.path.join(root, "serial")
+        start = time.perf_counter()
+        serial = run_scan(config, store_path=serial_store, workers=1)
+        serial_elapsed = time.perf_counter() - start
+        assert serial.complete and serial.finalized
+
+        pooled_store = os.path.join(root, "pooled")
+        start = time.perf_counter()
+        pooled = run_scan(config, store_path=pooled_store, workers=pool_workers)
+        pooled_elapsed = time.perf_counter() - start
+        assert pooled.complete and pooled.finalized
+
+        # The bench re-proves the contract it measures: worker count
+        # must never change the store, bit for bit.
+        serial_fp = ScanStore(serial_store).fingerprint()
+        pooled_fp = ScanStore(pooled_store).fingerprint()
+        assert serial_fp == pooled_fp
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    n_cells = serial.n_cells
+    serial_cps = n_cells / serial_elapsed
+    pooled_cps = n_cells / pooled_elapsed
+    speedup = pooled_cps / serial_cps if serial_cps else 0.0
+
+    lines = [
+        f"scan orchestration: {n_cells} cells of {n_users} users x "
+        f"{horizon} slots (2 shards/cell)",
+        f"  serial cells/s      : {serial_cps:12.2f} "
+        f"({serial_elapsed:.2f} s total)",
+        f"  pooled cells/s      : {pooled_cps:12.2f} "
+        f"({pool_workers} workers, {pooled_elapsed:.2f} s total)",
+        f"  pool speedup        : {speedup:12.2f}x",
+        f"  store fingerprints  : bit-identical ({serial_fp[:16]}...)",
+    ]
+    if min_cps > 0.0:
+        lines.append(f"  absolute floor      : {min_cps:12.2f} cells/s")
+    record_table("scan_throughput", "\n".join(lines))
+    record_population_bench(
+        "scan",
+        {
+            "n_cells": n_cells,
+            "n_users": n_users,
+            "horizon": horizon,
+            "pool_workers": pool_workers,
+            "serial_cells_per_second": round(serial_cps, 3),
+            "pooled_cells_per_second": round(pooled_cps, 3),
+            "pool_speedup": round(speedup, 3),
+            "worker_invariant": serial_fp == pooled_fp,
+        },
+    )
+    if min_cps > 0.0:
+        assert pooled_cps >= min_cps, (
+            f"scan orchestration ran {pooled_cps:.2f} cells/s; the "
+            f"REPRO_BENCH_SCAN_MIN_CPS floor is {min_cps:.2f}"
+        )

@@ -130,6 +130,79 @@ def compare_wal(
     return lines, regressions
 
 
+#: absolute floor on pooled scan-orchestration throughput (0 = disabled)
+SCAN_MIN_CPS = float(os.environ.get("REPRO_BENCH_SCAN_MIN_CPS", 0.0))
+
+
+def load_scan(path: str) -> Dict[str, float]:
+    """The gated scalars from a trajectory file's ``scan`` section.
+
+    Returns an empty dict when the section is absent (smoke runs that
+    measured only the estimator matrix) — the scan gate then skips.
+    """
+    with open(path) as fh:
+        document = json.load(fh)
+    section = document.get("scan", {})
+    if not isinstance(section, dict):
+        return {}
+    gated = {}
+    for key in ("pooled_cells_per_second", "serial_cells_per_second"):
+        value = section.get(key)
+        if isinstance(value, (int, float)):
+            gated[key] = float(value)
+    return gated
+
+
+def compare_scan(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    tolerance: float,
+) -> Tuple[List[str], List[str]]:
+    """Verdict lines and regressions for scan-orchestration throughput.
+
+    Two checks: the optional absolute cells/sec floor
+    (``REPRO_BENCH_SCAN_MIN_CPS``) on the pooled rate, and the usual
+    relative floors against the committed baseline.
+    """
+    lines: List[str] = []
+    regressions: List[str] = []
+    if not current:
+        lines.append("  scan: not measured — skipped")
+        return lines, regressions
+    pooled = current.get("pooled_cells_per_second")
+    if SCAN_MIN_CPS > 0.0 and pooled is not None:
+        verdict = "ok" if pooled >= SCAN_MIN_CPS else "REGRESSED"
+        lines.append(
+            f"  scan pooled cells/s {pooled:11.2f}  "
+            f"(floor {SCAN_MIN_CPS:.2f})  {verdict}"
+        )
+        if pooled < SCAN_MIN_CPS:
+            regressions.append(
+                f"scan: {pooled:.2f} pooled cells/s is below the "
+                f"REPRO_BENCH_SCAN_MIN_CPS floor of {SCAN_MIN_CPS:.2f}"
+            )
+    floor_factor = 1.0 - tolerance
+    for key in ("pooled_cells_per_second", "serial_cells_per_second"):
+        if key not in current:
+            continue
+        if key not in baseline:
+            lines.append(f"  scan {key}: {current[key]:.2f}  (no baseline — skipped)")
+            continue
+        ratio = current[key] / baseline[key]
+        verdict = "ok" if ratio >= floor_factor else "REGRESSED"
+        lines.append(
+            f"  scan {key:31s} {baseline[key]:12.2f} -> "
+            f"{current[key]:12.2f}  ({ratio:6.2f}x)  {verdict}"
+        )
+        if ratio < floor_factor:
+            regressions.append(
+                f"scan {key}: {current[key]:.2f} cells/s is "
+                f"{(1.0 - ratio) * 100:.0f}% below the committed "
+                f"{baseline[key]:.2f} (allowed drop: {tolerance * 100:.0f}%)"
+            )
+    return lines, regressions
+
+
 def compare(
     baseline: Dict[str, float],
     current: Dict[str, float],
@@ -199,6 +272,11 @@ def main(argv=None) -> int:
     )
     lines += wal_lines
     regressions += wal_regressions
+    scan_lines, scan_regressions = compare_scan(
+        load_scan(args.baseline), load_scan(args.current), args.tolerance
+    )
+    lines += scan_lines
+    regressions += scan_regressions
     print(
         f"perf gate: {METRIC}, tolerance {args.tolerance * 100:.0f}% "
         f"({len(current)} measured vs {len(baseline)} baseline)"

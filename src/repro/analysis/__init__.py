@@ -11,7 +11,13 @@ from .crowd import (
     crowd_mean_estimates,
     dkw_sample_bound,
 )
-from .queries import RangeStatistics, SubsequenceIndex
+from .queries import (
+    RangeStatistics,
+    ScanTable,
+    SubsequenceIndex,
+    load_scan_table,
+    metric_vs_epsilon,
+)
 from .streaming_queries import (
     RollingExtrema,
     RollingMean,
@@ -33,6 +39,9 @@ from .trends import (
 __all__ = [
     "SubsequenceIndex",
     "RangeStatistics",
+    "ScanTable",
+    "load_scan_table",
+    "metric_vs_epsilon",
     "StreamingQuery",
     "StreamingQueryEngine",
     "RollingMean",

@@ -1,10 +1,17 @@
-"""Constant-time subsequence queries over published streams.
+"""Constant-time subsequence queries over published streams and scan stores.
 
 The paper's collector answers statistics over arbitrary subsequences
 ``X_(i,j)``.  For interactive workloads (dashboards, range scans) a
 per-query ``mean`` over a slice is O(length); :class:`SubsequenceIndex`
 precomputes prefix sums once and answers mean/variance/count queries over
 any inclusive range in O(1), plus batched queries.
+
+The second half of the module queries :mod:`repro.scan` result stores:
+:func:`load_scan_table` reads a store's consolidated columnar table into
+a :class:`ScanTable` (pure-numpy columns with ``filter``/``pivot``), and
+:func:`metric_vs_epsilon` answers the canonical evaluation question —
+"how does the error of each algorithm move with epsilon, per scenario?"
+— in one call, however many cells the grid held.
 
 Everything here is post-processing of already-published values, so it is
 privacy-free.
@@ -13,13 +20,19 @@ privacy-free.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
 from .._validation import ensure_stream
 
-__all__ = ["SubsequenceIndex", "RangeStatistics"]
+__all__ = [
+    "SubsequenceIndex",
+    "RangeStatistics",
+    "ScanTable",
+    "load_scan_table",
+    "metric_vs_epsilon",
+]
 
 
 @dataclass(frozen=True)
@@ -109,3 +122,152 @@ class SubsequenceIndex:
             raise ValueError(f"window must be in [1, {self._n}], got {window}")
         starts = np.arange(self._n - window + 1)
         return self.batch_means(np.column_stack([starts, starts + window - 1]))
+
+
+# -- scan-store queries ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScanTable:
+    """A scan store's consolidated table as aligned numpy columns.
+
+    All columns share one row order (ascending cell index).  ``filter``
+    narrows rows by equality on any column, ``pivot`` reshapes one
+    metric over a (row axis, column axis) pair — the building blocks the
+    one-call helpers below compose.
+    """
+
+    columns: Dict[str, np.ndarray]
+
+    def __len__(self) -> int:
+        return int(self.columns["index"].size)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError:
+            known = ", ".join(sorted(self.columns))
+            raise KeyError(
+                f"unknown scan column {name!r} (known: {known})"
+            ) from None
+
+    def filter(self, **criteria) -> "ScanTable":
+        """Rows matching every ``column=value`` criterion.
+
+        A value may be a scalar or a list/tuple of accepted alternatives.
+        """
+        mask = np.ones(len(self), dtype=bool)
+        for name, wanted in criteria.items():
+            column = self[name]
+            options = wanted if isinstance(wanted, (list, tuple)) else (wanted,)
+            hit = np.zeros(len(self), dtype=bool)
+            for option in options:
+                hit |= column == np.asarray(option, dtype=column.dtype)
+            mask &= hit
+        return ScanTable(
+            columns={name: values[mask] for name, values in self.columns.items()}
+        )
+
+    def unique(self, name: str) -> "list":
+        """Sorted unique values of one column."""
+        return sorted(np.unique(self[name]).tolist())
+
+    def pivot(
+        self, metric: str, rows: str, cols: str, reduce: str = "mean"
+    ) -> "tuple[list, list, np.ndarray]":
+        """``(row_labels, col_labels, matrix)`` of a metric.
+
+        Cells holding several scan rows are reduced by ``reduce``
+        (``"mean"``, ``"min"``, ``"max"``); empty cells are NaN.
+        """
+        reducer = {"mean": np.mean, "min": np.min, "max": np.max}.get(reduce)
+        if reducer is None:
+            raise ValueError(
+                f"reduce must be 'mean', 'min' or 'max', got {reduce!r}"
+            )
+        row_labels = self.unique(rows)
+        col_labels = self.unique(cols)
+        matrix = np.full((len(row_labels), len(col_labels)), np.nan)
+        values = self[metric]
+        row_col, col_col = self[rows], self[cols]
+        for i, row in enumerate(row_labels):
+            for j, col in enumerate(col_labels):
+                hit = values[(row_col == row) & (col_col == col)]
+                if hit.size:
+                    matrix[i, j] = float(reducer(hit))
+        return row_labels, col_labels, matrix
+
+
+def load_scan_table(store: Union[str, "object"]) -> ScanTable:
+    """Load a scan store's columnar table (path or open ``ScanStore``).
+
+    Reads the finalized ``table.npz`` when present; a store that was
+    interrupted before finalization is consolidated from its manifest on
+    the fly, so partial scans are queryable too.
+    """
+    import os
+
+    from ..scan.store import ScanStore
+
+    if isinstance(store, ScanStore):
+        return ScanTable(columns=store.table())
+    path = str(store)
+    table_path = os.path.join(path, "table.npz")
+    opened = ScanStore(path)  # validates the manifest either way
+    if opened.finalized and os.path.exists(table_path):
+        with np.load(table_path) as data:
+            return ScanTable(columns={name: data[name] for name in data.files})
+    return ScanTable(columns=opened.table())
+
+
+def metric_vs_epsilon(
+    store: Union[str, "object", ScanTable],
+    metric: str = "mse",
+    scenario: Optional[str] = None,
+    n_users: Optional[int] = None,
+    engine: Optional[str] = None,
+    **criteria,
+) -> Dict[str, Dict[str, "tuple[np.ndarray, np.ndarray]"]]:
+    """Error-vs-epsilon curves for every algorithm, split by scenario.
+
+    The one-call answer to "MAE vs epsilon across all scenarios at 1M
+    users"::
+
+        curves = metric_vs_epsilon("results/", metric="mae", n_users=1_000_000)
+        epsilons, maes = curves["diurnal"]["capp"]
+
+    Args:
+        store: store directory path, open ``ScanStore``, or a
+            pre-filtered :class:`ScanTable`.
+        metric: any scalar column (``mse``, ``mae``,
+            ``max_window_spend``, throughput columns, ...).
+        scenario: restrict to one scenario (default: all, keyed in the
+            result).
+        n_users, engine: optional equality filters on those columns.
+        **criteria: further ``column=value`` filters (e.g. ``w=10``).
+
+    Returns:
+        ``{scenario: {algorithm: (epsilons, values)}}`` with both arrays
+        sorted by epsilon; cells sharing an epsilon are averaged.
+    """
+    table = store if isinstance(store, ScanTable) else load_scan_table(store)
+    if scenario is not None:
+        criteria["scenario"] = scenario
+    if n_users is not None:
+        criteria["n_users"] = int(n_users)
+    if engine is not None:
+        criteria["engine"] = engine
+    table = table.filter(**criteria)
+    curves: Dict[str, Dict[str, "tuple[np.ndarray, np.ndarray]"]] = {}
+    for name in table.unique("scenario"):
+        per_scenario = table.filter(scenario=name)
+        curves[name] = {}
+        for algorithm in per_scenario.unique("algorithm"):
+            cells = per_scenario.filter(algorithm=algorithm)
+            epsilons, values = cells["epsilon"], cells[metric]
+            grid = np.unique(epsilons)
+            averaged = np.array(
+                [float(np.mean(values[epsilons == e])) for e in grid]
+            )
+            curves[name][algorithm] = (grid, averaged)
+    return curves

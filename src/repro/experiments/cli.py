@@ -14,6 +14,9 @@ Usage::
     python -m repro gateway-fleet --connect 127.0.0.1:7070
     python -m repro gateway-serve --wal waldir --shards 4    # durable serving
     python -m repro wal-compact --wal waldir
+    python -m repro scan grid.toml --workers 4 --store results/
+    python -m repro scan grid.toml --store results/ --resume
+    python -m repro scan-report results/
     python -m repro list
 
 ``--scale`` multiplies the default subsequence/repeat counts, letting a
@@ -30,6 +33,12 @@ loopback; with ``--standalone`` it waits for an external fleet started
 via ``gateway-fleet``.  Both sides derive the shard decomposition from
 the same scenario arguments, so gateway-served estimates are
 bit-identical to the offline sharded run (``--verify`` checks).
+
+``scan`` expands a declarative TOML/YAML grid (:mod:`repro.scan`) into
+cells, fans them out over worker processes, and lands every result in a
+resumable columnar store; ``scan-report`` summarizes a store, and
+``scan --bench`` regenerates the ``BENCH_population.json`` estimator
+matrix through the same machinery.  See ``docs/scan.md``.
 
 ``--wal DIR`` makes the serve durable (:mod:`repro.wal`): a fresh
 directory starts a logged run, and a directory holding an interrupted
@@ -714,7 +723,87 @@ def _run_gateway_fleet(args: argparse.Namespace) -> str:
     )
 
 
+def _run_scan(args: argparse.Namespace) -> str:
+    from ..scan import StoreError, load_config, run_scan, summarize_plan
+
+    if args.bench:
+        from ..scan.report import bench_lines, run_bench
+
+        section = run_bench(
+            out_path=args.bench_out,
+            n_users=_scaled(2_000, args.scale),
+            horizon=_scaled(64, args.scale),
+            seed=args.seed,
+            workers=max(args.workers, 1),
+        )
+        return "\n".join(bench_lines(section))
+
+    if not args.target:
+        raise CLIError(
+            "scan needs a config file: python -m repro scan grid.toml "
+            "(or --bench to regenerate the estimator matrix)"
+        )
+    try:
+        config = load_config(args.target)
+    except (FileNotFoundError, ValueError) as error:
+        raise CLIError(str(error)) from error
+
+    def progress(result) -> None:
+        print(
+            f"  cell {result.index:4d} done "
+            f"({result.scalars.get('wall_seconds', 0.0):.2f}s)",
+            file=sys.stderr,
+        )
+
+    try:
+        run = run_scan(
+            config,
+            store_path=args.store,
+            workers=max(args.workers, 1),
+            resume=args.resume,
+            dry_run=args.dry_run,
+            stop_after=args.stop_after,
+            on_cell=progress,
+        )
+    except (StoreError, ValueError) as error:
+        raise CLIError(str(error)) from error
+    if run.dry_run:
+        return summarize_plan(run)
+    rows = [
+        ["config", f"{config.name} ({args.target})"],
+        ["cells", f"{len(run.results)} / {run.n_cells}"],
+        ["executed / resumed", f"{len(run.executed)} / {len(run.resumed)}"],
+        ["pruned", len(run.pruned)],
+        ["workers", max(args.workers, 1)],
+        ["elapsed", f"{run.elapsed_seconds:.2f}s"],
+    ]
+    if run.reran:
+        rows.append(["re-run (corrupted)", len(run.reran)])
+    if run.stopped:
+        rows.append(["stopped early", f"after {len(run.executed)} cells (--stop-after)"])
+    if run.store_path:
+        rows.append(["store", run.store_path])
+        rows.append(["finalized", "yes" if run.finalized else "no (resume to finish)"])
+    return format_table(["metric", "value"], rows, title="Scan")
+
+
+def _run_scan_report(args: argparse.Namespace) -> str:
+    from ..scan import StoreError, summarize_store
+
+    if not args.target:
+        raise CLIError(
+            "scan-report needs a store directory: "
+            "python -m repro scan-report results/"
+        )
+    try:
+        return summarize_store(args.target)
+    except StoreError as error:
+        raise CLIError(str(error)) from error
+
+
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "scan": _run_scan,
+    "scan-report": _run_scan_report,
     "table1": _run_table1,
     "models": _run_models,
     "distribution": _run_distribution,
@@ -788,6 +877,19 @@ COMMAND_HELP: Dict[str, str] = {
         "--connect HOST:PORT, reconnecting and resuming on drops.\n"
         "  python -m repro gateway-fleet --connect 127.0.0.1:7070 "
         "--datasets bursty --shards 4"
+    ),
+    "scan": (
+        "Run a declarative sweep grid (TOML/YAML) through the scan "
+        "orchestrator into a resumable columnar store; --dry-run prints "
+        "the cell plan, --resume continues an interrupted scan, --bench "
+        "regenerates the BENCH_population.json estimator matrix.\n"
+        "  python -m repro scan grid.toml --workers 4 --store results/"
+    ),
+    "scan-report": (
+        "Summarize a scan store: completion state, per-scenario winners, "
+        "per-algorithm error means, throughput, and the bit-equality "
+        "fingerprint.\n"
+        "  python -m repro scan-report results/"
     ),
     "wal-compact": (
         "Fold a write-ahead log into a checkpoint snapshot and delete "
@@ -866,6 +968,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(EXPERIMENTS) + ["list", "algorithms"],
         help="which experiment to run ('list' prints the catalogue, "
         "'algorithms' the estimator registry with capability flags)",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        help="scan: the grid config file (.toml/.yaml); scan-report: the "
+        "store directory (other commands take no positional target)",
     )
     parser.add_argument(
         "--engine",
@@ -990,6 +1098,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="standalone serve: give up after this many seconds "
         "(default 0: wait forever)",
     )
+    scan = parser.add_argument_group("scenario scans (scan / scan-report)")
+    scan.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes fanning out scan cells (default 1: serial; "
+        "the store's contents are bit-identical for every value)",
+    )
+    scan.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a partial scan in --store: completed cells are "
+        "verified and skipped, corrupted ones re-run",
+    )
+    scan.add_argument(
+        "--store",
+        metavar="DIR",
+        help="columnar result store directory (default: the config's "
+        "[scan].store key; omit both to run without persisting)",
+    )
+    scan.add_argument(
+        "--stop-after",
+        type=int,
+        default=None,
+        metavar="K",
+        help="stop cleanly after K newly completed cells (mid-scan "
+        "interrupt drill; the store stays resumable)",
+    )
+    scan.add_argument(
+        "--bench",
+        action="store_true",
+        help="scan: re-measure the estimator matrix through the scan "
+        "engine and merge users/sec into --bench-out (no config needed)",
+    )
+    scan.add_argument(
+        "--bench-out",
+        default="BENCH_population.json",
+        metavar="PATH",
+        help="trajectory file --bench merges into "
+        "(default: BENCH_population.json)",
+    )
     wal = parser.add_argument_group("durability (gateway-serve / wal-compact)")
     wal.add_argument(
         "--wal",
@@ -1010,8 +1159,9 @@ def build_parser() -> argparse.ArgumentParser:
     wal.add_argument(
         "--dry-run",
         action="store_true",
-        help="wal-compact: replay and verify the log, then stop without "
-        "writing a checkpoint or deleting anything",
+        help="wal-compact: replay and verify the log without writing a "
+        "checkpoint or deleting anything; scan: print the expanded cell "
+        "plan (filters, pruning, seeds) without executing",
     )
     return parser
 

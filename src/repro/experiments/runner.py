@@ -138,6 +138,16 @@ def _population_metric_scores(
     return None
 
 
+#: standard metrics by the scan-cell name that executes them; metrics
+#: outside this map (custom callables) have no population form the scan
+#: engine can run, so the sweep falls back to the scalar loop.
+_SWEEP_METRIC_NAMES: "Dict[Metric, str]" = {
+    mean_squared_error_of_mean: "mse_mean",
+    publication_cosine_distance: "cosine",
+    publication_jsd: "jsd",
+}
+
+
 def run_epsilon_sweep(
     stream: Sequence[float],
     algorithms: Iterable[str],
@@ -186,29 +196,84 @@ def run_epsilon_sweep(
     rng = np.random.default_rng(seed)
     subsequences = sample_subsequences(stream, q, n_subsequences, rng)
     n_repeats = ensure_positive_int(n_repeats, "n_repeats")
-    matrix = None
-    if engine == "vectorized":
+
+    metric_name = _SWEEP_METRIC_NAMES.get(metric)
+    if engine == "vectorized" and metric_name is not None:
+        # Standard metrics delegate to the scan engine: one sweep cell
+        # per (epsilon, algorithm), each with its own spawned seed, so
+        # cells are order- and worker-independent (the compatibility
+        # contract is pinned by tests/golden/epsilon_sweep.json).
         # Repetitions are extra independent rows of the same subsequence.
         matrix = np.vstack([np.tile(sub, (n_repeats, 1)) for sub in subsequences])
+        cells = _sweep_cells(
+            algorithms, epsilons, w, metric_name, n_repeats, matrix, seed
+        )
+        from ..scan.orchestrator import run_cells
 
-    values: Dict[str, list] = {name: [] for name in algorithms}
+        results, _ = run_cells(cells, workers=1)
+        values = {name: [] for name in dict.fromkeys(algorithms)}
+        for cell in cells:
+            values[cell.algorithm].append(results[cell.index].scalars["value"])
+        return SweepResult(epsilons=[float(e) for e in epsilons], values=values)
+
+    # Scalar reference loop (and the fallback for metrics without a
+    # population form): every cell consumes the one shared generator in
+    # grid order, exactly as the original per-user protocol did.
+    values = {name: [] for name in algorithms}
     for epsilon in epsilons:
         for name in values:
-            scores: "list[float] | np.ndarray" = []
-            if matrix is not None:
+            scores: "list[float]" = []
+            for sub in subsequences:
                 perturber = make_algorithm(name, epsilon, w)
-                row_scores = _population_metric_scores(
-                    metric, perturber, matrix, rng
-                )
-                if row_scores is not None:
-                    scores = row_scores
-            if not len(scores):
-                for sub in subsequences:
-                    perturber = make_algorithm(name, epsilon, w)
-                    for _ in range(n_repeats):
-                        scores.append(metric(perturber, sub, rng))
+                for _ in range(n_repeats):
+                    scores.append(metric(perturber, sub, rng))
             values[name].append(float(np.mean(scores)))
     return SweepResult(epsilons=[float(e) for e in epsilons], values=values)
+
+
+def _sweep_cells(
+    algorithms: Iterable[str],
+    epsilons: Sequence[float],
+    w: int,
+    metric_name: str,
+    n_repeats: int,
+    matrix: np.ndarray,
+    seed: int,
+) -> "list":
+    """One scan sweep cell per (epsilon, algorithm), spawn-seeded.
+
+    Cell ``i`` perturbs with the second stream of
+    ``SeedSequence(seed, spawn_key=(i,))`` — the same per-cell spawn
+    convention the scan config layer uses, so a sweep embedded in a
+    larger scan and a direct :func:`run_epsilon_sweep` call agree.
+    """
+    from ..scan import ScanCell
+
+    cells = []
+    names = list(dict.fromkeys(algorithms))
+    for epsilon in epsilons:
+        for name in names:
+            index = len(cells)
+            protocol_seed = int(
+                np.random.SeedSequence(
+                    int(seed), spawn_key=(index,)
+                ).generate_state(2)[1]
+            )
+            cells.append(
+                ScanCell(
+                    index=index,
+                    kind="sweep",
+                    algorithm=name,
+                    epsilon=float(epsilon),
+                    w=int(w),
+                    data_seed=int(seed),
+                    protocol_seed=protocol_seed,
+                    metric=metric_name,
+                    n_repeats=int(n_repeats),
+                    matrix=matrix,
+                )
+            )
+    return cells
 
 
 def run_scenario_study(
@@ -242,27 +307,47 @@ def run_scenario_study(
     Returns:
         ``{scenario: {algorithm: population-mean MSE}}``.
     """
-    from ..runtime import ScenarioSource, make_scenario, run_protocol_sharded
+    from ..scan import ScanCell
+    from ..scan.orchestrator import run_cells
 
     n_shards = ensure_positive_int(n_shards, "n_shards")
     n_users = ensure_positive_int(n_users, "n_users")
-    chunk = -(-n_users // n_shards)  # ceil division
-    results: Dict[str, Dict[str, float]] = {}
-    for scenario in scenarios:
-        spec = make_scenario(scenario, n_users=n_users, horizon=horizon)
-        source = ScenarioSource(spec, chunk_size=chunk, seed=seed)
-        per_algorithm: Dict[str, float] = {}
-        for name in algorithms:
-            run = run_protocol_sharded(
-                source,
-                algorithm=name,
-                epsilon=epsilon,
-                w=w,
-                seed=seed + 1,
-                max_workers=n_shards if max_workers is None else max_workers,
-            )
-            per_algorithm[name] = run.population_mean_mse()
-        results[scenario] = per_algorithm
+    scenario_names = list(dict.fromkeys(scenarios))
+    algorithm_names = list(dict.fromkeys(algorithms))
+    # The historical (data, protocol) = (seed, seed + 1) convention —
+    # the scan config layer's "shared" seed mode — shared by every cell,
+    # so this wrapper is bit-identical to the pre-scan per-run loop
+    # (pinned by tests/golden/scenario_study.json).
+    cells = [
+        ScanCell(
+            index=index,
+            kind="scenario",
+            algorithm=name,
+            epsilon=float(epsilon),
+            w=int(w),
+            data_seed=int(seed),
+            protocol_seed=int(seed) + 1,
+            scenario=scenario,
+            n_users=n_users,
+            horizon=int(horizon),
+            n_shards=n_shards,
+            engine="sharded",
+        )
+        for index, (scenario, name) in enumerate(
+            (scenario, name)
+            for scenario in scenario_names
+            for name in algorithm_names
+        )
+    ]
+    workers = n_shards if max_workers is None else max_workers
+    cell_results, _ = run_cells(cells, workers=workers)
+    results: Dict[str, Dict[str, float]] = {
+        scenario: {} for scenario in scenario_names
+    }
+    for cell in cells:
+        results[cell.scenario][cell.algorithm] = cell_results[
+            cell.index
+        ].scalars["mse"]
     return results
 
 

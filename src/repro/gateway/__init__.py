@@ -38,6 +38,7 @@ from .chaos import ChaosReport, CrashEvent, pipeline_fingerprint, run_chaos
 from .client import GatewayClient, GatewayError
 from .fleet import (
     GatewayRunResult,
+    NetemSpec,
     ShardUploadReport,
     drive_feed,
     run_fleet,
@@ -60,6 +61,7 @@ __all__ = [
     "GatewayMetrics",
     "GatewayServer",
     "GatewayRunResult",
+    "NetemSpec",
     "ShardUploadReport",
     "drive_feed",
     "run_fleet",

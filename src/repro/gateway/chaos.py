@@ -43,7 +43,7 @@ from ..runtime.sharding import run_protocol_sharded
 from ..service.feeds import shard_feeds
 from ..service.pipeline import IngestionPipeline, LiveRunResult
 from ..wal import WriteAheadLog, recover_pipeline
-from .fleet import ShardUploadReport, drive_feed
+from .fleet import NetemSpec, ShardUploadReport, drive_feed
 from .server import GatewayServer
 
 __all__ = ["CrashEvent", "ChaosReport", "run_chaos", "pipeline_fingerprint"]
@@ -153,6 +153,7 @@ def run_chaos(
     chunk_size: Optional[int] = None,
     fsync: str = "commit",
     drops: Optional[Dict[int, Iterable[int]]] = None,
+    netem: Optional[NetemSpec] = None,
     jitter: float = 0.0,
     crash_seed: int = 0,
     backoff: float = 0.01,
@@ -173,6 +174,11 @@ def run_chaos(
             ``kill -9`` never loses page-cache writes).
         drops: extra partition injection — ``{shard: [slots]}`` whose
             uploads tear the connection before reading the ack.
+        netem: scheduled link impairment
+            (:class:`~repro.gateway.fleet.NetemSpec`) layered on top of
+            the server crashes — delay windows stall uploads, partition
+            windows make the network unreachable before the frame is
+            written.
         jitter: max per-slot client arrival delay in seconds.
         crash_seed: seeds the kill-point draw (independent of ``seed``
             so the protocol randomness never shifts with the fault plan).
@@ -205,11 +211,12 @@ def run_chaos(
         "seed": int(seed),
         "chaos": True,
     }
-    # Reconnect budget: every server kill plus every injected drop can
-    # cost each client one reconnect, with headroom for shed retries.
+    # Reconnect budget: every server kill, every injected drop, and
+    # every partition-window slot can cost each client one reconnect,
+    # with headroom for shed retries.
     max_reconnects = len(crash_points) + sum(
         len(list(slots)) for slots in (drops or {}).values()
-    ) + 10
+    ) + (netem.partition_slot_count() if netem is not None else 0) + 10
 
     def fresh_pipeline() -> IngestionPipeline:
         return IngestionPipeline(
@@ -242,6 +249,7 @@ def run_chaos(
                     if jitter > 0.0
                     else None,
                     drop_slots=(drops or {}).get(feed.shard, ()),
+                    netem=netem,
                     max_reconnects=max_reconnects,
                     connect_attempts=200,
                     backoff=backoff,

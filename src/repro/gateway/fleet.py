@@ -33,6 +33,7 @@ from .metrics import GatewayMetrics
 from .server import GatewayServer
 
 __all__ = [
+    "NetemSpec",
     "ShardUploadReport",
     "GatewayRunResult",
     "drive_feed",
@@ -40,6 +41,73 @@ __all__ = [
     "run_fleet",
     "run_gateway",
 ]
+
+
+@dataclass(frozen=True)
+class NetemSpec:
+    """Netem-style network impairment, scheduled in protocol slots.
+
+    The client-side analogue of ``tc qdisc add dev ... netem``: inside a
+    *delay window* every upload waits ``delay`` extra seconds before
+    hitting the wire; inside a *partition window* the first upload
+    attempt of each slot finds the network unreachable — the transport
+    is aborted without the frame being read, the client sits out the
+    ``partition_outage`` blackout, then reconnects and resumes.  Both
+    impairments are transport-level only: they stall and retry
+    deliveries but never change *what* is delivered, so estimates and
+    privacy ledgers stay bit-identical to an unimpaired run (tested by
+    the chaos suite).
+
+    Windows are inclusive ``(start, end)`` slot ranges.  An empty
+    ``delay_windows`` with ``delay > 0`` delays every slot; ``shards``
+    restricts the impairment to those shard indices (``None`` = all).
+    """
+
+    delay: float = 0.0
+    delay_windows: "tuple[tuple[int, int], ...]" = ()
+    partition_windows: "tuple[tuple[int, int], ...]" = ()
+    partition_outage: float = 0.02
+    shards: Optional["tuple[int, ...]"] = None
+
+    def __post_init__(self) -> None:
+        if self.delay < 0.0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+        if self.partition_outage < 0.0:
+            raise ValueError(
+                f"partition_outage must be >= 0, got {self.partition_outage}"
+            )
+        for name in ("delay_windows", "partition_windows"):
+            for window in getattr(self, name):
+                start, end = window
+                if start > end:
+                    raise ValueError(
+                        f"{name} window {window} has start > end"
+                    )
+
+    @staticmethod
+    def _in_windows(t: int, windows: "tuple[tuple[int, int], ...]") -> bool:
+        return any(start <= t <= end for start, end in windows)
+
+    def applies_to(self, shard: int) -> bool:
+        return self.shards is None or shard in self.shards
+
+    def delay_at(self, shard: int, t: int) -> float:
+        """Extra upload latency for this (shard, slot), in seconds."""
+        if self.delay <= 0.0 or not self.applies_to(shard):
+            return 0.0
+        if self.delay_windows and not self._in_windows(t, self.delay_windows):
+            return 0.0
+        return self.delay
+
+    def partitioned(self, shard: int, t: int) -> bool:
+        """Whether this (shard, slot)'s first upload hits a partition."""
+        return self.applies_to(shard) and self._in_windows(
+            t, self.partition_windows
+        )
+
+    def partition_slot_count(self) -> int:
+        """Worst-case partitions per shard (one per in-window slot)."""
+        return sum(end - start + 1 for start, end in self.partition_windows)
 
 
 @dataclass
@@ -51,6 +119,7 @@ class ShardUploadReport:
     duplicates: int = 0
     skipped: int = 0
     reconnects: int = 0
+    partitions: int = 0
     dropped_slots: List[int] = field(default_factory=list)
 
     @property
@@ -90,6 +159,7 @@ async def drive_feed(
     jitter: float = 0.0,
     rng: Optional[np.random.Generator] = None,
     drop_slots: Iterable[int] = (),
+    netem: Optional[NetemSpec] = None,
     max_reconnects: int = 10,
     connect_attempts: int = 20,
     backoff: float = 0.05,
@@ -108,6 +178,11 @@ async def drive_feed(
         drop_slots: fault injection — after uploading each listed slot,
             the connection is torn down *before* reading the ack (the
             ambiguous window), forcing a reconnect-and-resume.
+        netem: scheduled link impairment (:class:`NetemSpec`) — extra
+            latency in delay windows, unreachable-network blackouts in
+            partition windows.  Complements ``drop_slots``: a partition
+            fails the upload *before* the frame is written, a drop
+            tears the connection *after*.
         max_reconnects: reconnect budget across the whole upload.
         connect_attempts, backoff: initial-connect retry schedule (the
             fleet may start before the server is listening).
@@ -122,6 +197,13 @@ async def drive_feed(
         for batch in feed:
             if jitter > 0.0:
                 await asyncio.sleep(float(rng.uniform(0.0, jitter)))
+            partition_pending = netem is not None and netem.partitioned(
+                feed.shard, batch.t
+            )
+            if netem is not None:
+                extra = netem.delay_at(feed.shard, batch.t)
+                if extra > 0.0:
+                    await asyncio.sleep(extra)
             while True:
                 try:
                     if not client.connected:
@@ -136,6 +218,18 @@ async def drive_feed(
                         # Delivered before the drop; only the ack was lost.
                         report.skipped += 1
                         break
+                    if partition_pending:
+                        # The link is down before the frame ever leaves:
+                        # abort the transport, sit out the blackout, and
+                        # let the reconnect path resume the upload.
+                        partition_pending = False
+                        report.partitions += 1
+                        client.abort()
+                        if netem.partition_outage > 0.0:
+                            await asyncio.sleep(netem.partition_outage)
+                        raise ConnectionResetError(
+                            f"injected partition at slot {batch.t}"
+                        )
                     drop = batch.t in pending_drops
                     if drop:
                         pending_drops.discard(batch.t)
@@ -161,6 +255,7 @@ async def run_fleet_async(
     jitter: float = 0.0,
     seed: int = 0,
     drops: Optional[Dict[int, Iterable[int]]] = None,
+    netem: Optional[NetemSpec] = None,
     max_reconnects: int = 10,
 ) -> List[ShardUploadReport]:
     """Drive every shard feed concurrently; returns per-shard reports.
@@ -169,8 +264,14 @@ async def run_fleet_async(
     (``SeedSequence([seed, shard])``) — jitter schedules are
     reproducible, and since the pipeline barrier makes timing
     answer-irrelevant, jitter only exercises arrival interleavings.
+    ``netem`` applies one impairment schedule fleet-wide (its ``shards``
+    field scopes it to a subset); partition windows consume reconnect
+    budget, so ``max_reconnects`` is raised by the worst-case partition
+    count automatically.
     """
     drops = drops or {}
+    if netem is not None:
+        max_reconnects += netem.partition_slot_count()
     tasks = [
         drive_feed(
             feed,
@@ -181,6 +282,7 @@ async def run_fleet_async(
             if jitter > 0.0
             else None,
             drop_slots=drops.get(feed.shard, ()),
+            netem=netem,
             max_reconnects=max_reconnects,
         )
         for feed in feeds
@@ -200,6 +302,7 @@ def run_fleet(
     chunk_size: Optional[int] = None,
     jitter: float = 0.0,
     drops: Optional[Dict[int, Iterable[int]]] = None,
+    netem: Optional[NetemSpec] = None,
 ) -> List[ShardUploadReport]:
     """Sync driver: sanitize a population source and upload it to a server.
 
@@ -221,7 +324,9 @@ def run_fleet(
     if not feeds:
         raise ValueError("source yielded no chunks; nothing to upload")
     return asyncio.run(
-        run_fleet_async(feeds, host, port, jitter=jitter, seed=seed, drops=drops)
+        run_fleet_async(
+            feeds, host, port, jitter=jitter, seed=seed, drops=drops, netem=netem
+        )
     )
 
 
@@ -238,6 +343,7 @@ def run_gateway(
     port: int = 0,
     jitter: float = 0.0,
     drops: Optional[Dict[int, Iterable[int]]] = None,
+    netem: Optional[NetemSpec] = None,
     max_slot_skew: int = 8,
     retry_after: float = 0.02,
     sinks: Sequence[Sink] = (),
@@ -319,7 +425,13 @@ def run_gateway(
         bound_port = server.port
         try:
             reports = await run_fleet_async(
-                feeds, host, bound_port, jitter=jitter, seed=seed, drops=drops
+                feeds,
+                host,
+                bound_port,
+                jitter=jitter,
+                seed=seed,
+                drops=drops,
+                netem=netem,
             )
             await server.wait_complete(timeout=complete_timeout)
         finally:

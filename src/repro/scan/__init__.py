@@ -1,0 +1,58 @@
+"""Config-driven sweep orchestration with a columnar result store.
+
+The evaluation substrate: declare a grid (algorithm x epsilon x
+scenario x population x shards x engine) in TOML/YAML, fan its cells
+out over worker processes, and land every result in a resumable,
+bit-reproducible on-disk store that the analysis layer queries
+directly.
+
+* :mod:`repro.scan.config` — grid spec, include/exclude filters,
+  capability-aware pruning, per-cell seed spawns;
+* :mod:`repro.scan.cells` — the executable unit and its result;
+* :mod:`repro.scan.store` — atomic per-cell persistence, corruption
+  detection, consolidated columnar table (npz always, parquet when
+  pyarrow is available);
+* :mod:`repro.scan.orchestrator` — process-pool fan-out with
+  interrupt/resume semantics;
+* :mod:`repro.scan.report` — summaries and the bench-regeneration mode.
+
+See ``docs/scan.md`` for the config schema, store layout, resume
+semantics, and a query cookbook.
+"""
+
+from .cells import CellResult, ScanCell, execute_cell, ledger_digest
+from .config import (
+    GridSpec,
+    PrunedCell,
+    ScanConfig,
+    config_digest,
+    expand_cells,
+    load_config,
+    parse_config,
+)
+from .orchestrator import ScanRunResult, run_cells, run_scan
+from .report import run_bench, summarize_plan, summarize_store
+from .store import ScanStore, StoreError, parquet_available
+
+__all__ = [
+    "GridSpec",
+    "ScanConfig",
+    "PrunedCell",
+    "ScanCell",
+    "CellResult",
+    "ScanStore",
+    "StoreError",
+    "ScanRunResult",
+    "load_config",
+    "parse_config",
+    "expand_cells",
+    "config_digest",
+    "execute_cell",
+    "ledger_digest",
+    "run_cells",
+    "run_scan",
+    "run_bench",
+    "summarize_plan",
+    "summarize_store",
+    "parquet_available",
+]

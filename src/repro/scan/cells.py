@@ -1,0 +1,324 @@
+"""Scan cells: the unit of work a sweep orchestrator fans out.
+
+A :class:`ScanCell` is one fully resolved grid point — algorithm,
+epsilon, workload, population shape, execution engine, and the two
+seeds the cell owns (data and protocol).  :func:`execute_cell` runs one
+cell to a :class:`CellResult` and is the module-level worker body, so
+cells pickle cleanly into a ``ProcessPoolExecutor``.
+
+Two cell kinds exist:
+
+``scenario``
+    synthesize the cell's scenario workload chunk by chunk
+    (:func:`repro.runtime.scenario_source`) and execute it through the
+    sharded runtime or the live ingestion pipeline.  The result carries
+    the per-slot estimate and ground-truth series, error metrics
+    (MSE/MAE), the privacy-ledger digest and maximum w-window spend,
+    plus throughput and peak RSS.
+
+``sweep``
+    the paper's subsequence protocol (Figs. 4-7): one population pass of
+    a stacked subsequence matrix through a registry algorithm, scored by
+    a named metric.  Sweep cells exist so
+    :func:`repro.experiments.runner.run_epsilon_sweep` can delegate its
+    (epsilon, algorithm) grid to the same orchestrator; the subsequence
+    matrix rides on the cell (it is shared across cells, so the store
+    only records its digest).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import resource
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "SCENARIO_ENGINES",
+    "SWEEP_METRICS",
+    "TIMING_SCALARS",
+    "ScanCell",
+    "CellResult",
+    "execute_cell",
+    "ledger_digest",
+]
+
+#: execution engines a scenario cell can run on
+SCENARIO_ENGINES = ("sharded", "live")
+
+#: named metrics a sweep cell can score (resolved in the worker)
+SWEEP_METRICS = ("mse_mean", "cosine", "jsd")
+
+#: result scalars that depend on the machine, not the math — excluded
+#: from every bit-equality fingerprint
+TIMING_SCALARS = frozenset(
+    {"wall_seconds", "users_per_sec", "reports_per_sec", "peak_rss_bytes"}
+)
+
+
+def ledger_digest(max_window_spend: np.ndarray) -> str:
+    """SHA-256 over the per-user maximum w-window spends, bit-exact.
+
+    The digest commits to every float's bit pattern (``tobytes`` on the
+    float64 array), so two runs share a digest iff their privacy ledgers
+    are bit-identical.
+    """
+    spends = np.ascontiguousarray(np.asarray(max_window_spend, dtype=np.float64))
+    return "sha256:" + hashlib.sha256(spends.tobytes()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ScanCell:
+    """One fully resolved grid point, ready to execute anywhere.
+
+    ``data_seed`` keys the workload synthesis, ``protocol_seed`` the
+    perturbation randomness — both are assigned by the config layer
+    (:meth:`repro.scan.config.ScanConfig.cell_seeds`), so executing the
+    cell is deterministic no matter which worker picks it up.
+    """
+
+    index: int
+    kind: str
+    algorithm: str
+    epsilon: float
+    w: int
+    data_seed: int
+    protocol_seed: int
+    scenario: str = ""
+    n_users: int = 0
+    horizon: int = 0
+    n_shards: int = 1
+    engine: str = "sharded"
+    metric: str = "mse_mean"
+    n_repeats: int = 1
+    #: sweep cells only — the shared (rows, q) subsequence matrix; not
+    #: part of the cell's identity (the store records its digest instead)
+    matrix: Optional[np.ndarray] = field(
+        default=None, compare=False, repr=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("scenario", "sweep"):
+            raise ValueError(f"unknown cell kind {self.kind!r}")
+        if self.kind == "scenario" and self.engine not in SCENARIO_ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r} "
+                f"(known: {', '.join(SCENARIO_ENGINES)})"
+            )
+        if self.kind == "sweep":
+            if self.metric not in SWEEP_METRICS:
+                raise ValueError(
+                    f"unknown sweep metric {self.metric!r} "
+                    f"(known: {', '.join(SWEEP_METRICS)})"
+                )
+            if self.matrix is None:
+                raise ValueError("sweep cells need their subsequence matrix")
+
+    def params(self) -> Dict[str, Any]:
+        """JSON-safe identity of the cell (what the manifest records)."""
+        out: Dict[str, Any] = {
+            "index": int(self.index),
+            "kind": self.kind,
+            "algorithm": self.algorithm,
+            "epsilon": float(self.epsilon),
+            "w": int(self.w),
+            "data_seed": int(self.data_seed),
+            "protocol_seed": int(self.protocol_seed),
+            "engine": self.engine,
+        }
+        if self.kind == "scenario":
+            out.update(
+                scenario=self.scenario,
+                n_users=int(self.n_users),
+                horizon=int(self.horizon),
+                n_shards=int(self.n_shards),
+            )
+        else:
+            out.update(
+                metric=self.metric,
+                n_repeats=int(self.n_repeats),
+                matrix_digest="sha256:"
+                + hashlib.sha256(
+                    np.ascontiguousarray(self.matrix).tobytes()
+                ).hexdigest(),
+            )
+        return out
+
+
+@dataclass
+class CellResult:
+    """What one executed cell produced.
+
+    ``scalars`` holds every per-cell number (error metrics, ledger
+    spend, throughput, peak RSS); ``series`` the per-slot (or per-row)
+    arrays.  ``scalars`` keys in :data:`TIMING_SCALARS` are
+    machine-dependent and excluded from fingerprints.
+    """
+
+    index: int
+    params: Dict[str, Any]
+    scalars: Dict[str, float]
+    series: Dict[str, np.ndarray] = field(repr=False)
+    ledger: str = ""
+
+    def deterministic_scalars(self) -> Dict[str, float]:
+        """The scalars that must be bit-identical across re-runs."""
+        return {
+            key: value
+            for key, value in sorted(self.scalars.items())
+            if key not in TIMING_SCALARS
+        }
+
+    def fingerprint(self) -> str:
+        """Bit-exact digest of the cell's deterministic content."""
+        import json
+
+        h = hashlib.sha256()
+        h.update(json.dumps(self.params, sort_keys=True).encode())
+        h.update(
+            json.dumps(
+                {k: repr(v) for k, v in self.deterministic_scalars().items()},
+                sort_keys=True,
+            ).encode()
+        )
+        h.update(self.ledger.encode())
+        for name in sorted(self.series):
+            arr = np.ascontiguousarray(self.series[name])
+            h.update(name.encode())
+            h.update(str(arr.dtype).encode())
+            h.update(str(arr.shape).encode())
+            h.update(arr.tobytes())
+        return "sha256:" + h.hexdigest()
+
+
+def _error_metrics(estimates: np.ndarray, truth: np.ndarray) -> Dict[str, float]:
+    errors = estimates - truth
+    return {
+        "mse": float(np.mean(errors**2)),
+        "mae": float(np.mean(np.abs(errors))),
+    }
+
+
+def _execute_scenario(cell: ScanCell) -> "tuple[dict, dict, str]":
+    from ..runtime import run_protocol_sharded, scenario_source
+
+    source = scenario_source(
+        cell.scenario,
+        n_users=cell.n_users,
+        horizon=cell.horizon,
+        n_shards=cell.n_shards,
+        seed=cell.data_seed,
+    )
+    if cell.engine == "sharded":
+        run = run_protocol_sharded(
+            source,
+            algorithm=cell.algorithm,
+            epsilon=cell.epsilon,
+            w=cell.w,
+            seed=cell.protocol_seed,
+            max_workers=1,  # the cell is the unit of parallelism
+        )
+        collector = run.collector
+        truth_series = run.true_population_mean()
+        spends = run.max_window_spend()
+        n_reports = collector.n_reports
+    else:  # live
+        from ..service import run_live
+
+        live = run_live(
+            source,
+            algorithm=cell.algorithm,
+            epsilon=cell.epsilon,
+            w=cell.w,
+            seed=cell.protocol_seed,
+            max_workers=1,
+        )
+        collector = live.collector
+        truth = np.zeros(cell.horizon)
+        for chunk in source.chunks():
+            truth += chunk.matrix.sum(axis=0)
+        truth_series = truth / cell.n_users
+        spends = np.zeros(cell.n_users)
+        for feed in live.feeds or ():
+            for group in feed.engine.groups:
+                spends[group.indices] = group.engine.accountant.max_window_spend()
+        n_reports = collector.n_reports
+
+    slots = np.asarray(collector.slots(), dtype=np.int64)
+    estimates = np.array([collector.population_mean(int(t)) for t in slots])
+    truth_at_slots = truth_series[slots]
+    scalars = _error_metrics(estimates, truth_at_slots)
+    scalars["max_window_spend"] = float(spends.max()) if spends.size else 0.0
+    scalars["n_reports"] = float(n_reports)
+    series = {"slots": slots, "estimates": estimates, "truth": truth_at_slots}
+    return scalars, series, ledger_digest(spends)
+
+
+def _execute_sweep(cell: ScanCell) -> "tuple[dict, dict, str]":
+    # Lazy import: experiments.runner's wrappers import repro.scan, so a
+    # module-level import here would be circular.
+    from ..experiments.runner import (
+        _population_metric_scores,
+        mean_squared_error_of_mean,
+        publication_cosine_distance,
+        publication_jsd,
+    )
+    from ..registry import make_algorithm
+
+    metric = {
+        "mse_mean": mean_squared_error_of_mean,
+        "cosine": publication_cosine_distance,
+        "jsd": publication_jsd,
+    }[cell.metric]
+    matrix = np.asarray(cell.matrix, dtype=float)
+    rng = np.random.default_rng(cell.protocol_seed)
+    perturber = make_algorithm(cell.algorithm, cell.epsilon, cell.w)
+    scores = _population_metric_scores(metric, perturber, matrix, rng)
+    if scores is None:  # pragma: no cover - all named metrics vectorize
+        raise ValueError(f"metric {cell.metric!r} has no population form")
+    scalars = {
+        "value": float(np.mean(scores)),
+        "n_reports": float(matrix.size),
+    }
+    series = {"scores": np.asarray(scores, dtype=float)}
+    # Sweep perturbation spends exactly epsilon over every w-window by
+    # construction; digest the per-row scores as the ledger commitment.
+    return scalars, series, ledger_digest(np.asarray(scores, dtype=float))
+
+
+def execute_cell(cell: ScanCell) -> CellResult:
+    """Run one cell to completion (process-pool worker body).
+
+    Deterministic content (estimates, errors, ledger digests) depends
+    only on the cell; timing scalars (``wall_seconds``,
+    ``users_per_sec``, ``reports_per_sec``, ``peak_rss_bytes``) are
+    measured on whatever machine executed it.
+    """
+    started = time.perf_counter()
+    if cell.kind == "scenario":
+        scalars, series, ledger = _execute_scenario(cell)
+        n_users = cell.n_users
+    else:
+        scalars, series, ledger = _execute_sweep(cell)
+        n_users = int(np.asarray(cell.matrix).shape[0])
+    elapsed = time.perf_counter() - started
+    scalars["wall_seconds"] = float(elapsed)
+    scalars["users_per_sec"] = float(n_users / elapsed) if elapsed > 0 else 0.0
+    scalars["reports_per_sec"] = (
+        float(scalars.get("n_reports", 0.0) / elapsed) if elapsed > 0 else 0.0
+    )
+    # ru_maxrss is the process high-water mark (KiB on Linux) — an upper
+    # bound per cell, exact for the cell that set the peak.
+    scalars["peak_rss_bytes"] = float(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    )
+    return CellResult(
+        index=cell.index,
+        params=cell.params(),
+        scalars=scalars,
+        series=series,
+        ledger=ledger,
+    )

@@ -1,0 +1,466 @@
+"""Declarative sweep grids: the configuration layer of :mod:`repro.scan`.
+
+A scan is declared, not scripted: a TOML or YAML file names the axes of
+a parameter grid (algorithm x epsilon x scenario x population size x
+shards x engine x w), optional include/exclude filters prune the raw
+cross product, and capability-aware pruning drops cells the estimator
+registry says cannot run (e.g. the sampling family under a churn
+scenario's partial participation).  The surviving cells are numbered
+``0..n-1`` in a deterministic order, and that index is the *only* input
+to each cell's seed spawn — so the cell list, and therefore every
+result, is a pure function of the config file.
+
+Example (TOML)::
+
+    [scan]
+    name = "eps-across-scenarios"
+    seed = 0
+
+    [grid]
+    algorithms = ["capp", "app", "ipp", "sw-direct"]
+    epsilons = [0.5, 1.0, 2.0]
+    scenarios = ["steady", "diurnal", "bursty", "churn", "drift"]
+    n_users = [2000]
+    horizons = [96]
+    shards = [2]
+    engines = ["sharded"]
+    w = [10]
+
+    [[exclude]]
+    algorithm = "ipp"
+    scenario = "drift"
+
+The same document structure as YAML works identically (``scan:``,
+``grid:``, ``include:``/``exclude:`` lists of mappings).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..registry import algorithm_names, capabilities
+from ..runtime.scenarios import SCENARIOS
+from .cells import SCENARIO_ENGINES, ScanCell
+
+__all__ = [
+    "GridSpec",
+    "ScanConfig",
+    "PrunedCell",
+    "load_config",
+    "parse_config",
+    "expand_cells",
+    "config_digest",
+]
+
+#: how per-cell seeds are derived (see :meth:`ScanConfig.cell_seeds`)
+SEED_MODES = ("spawn", "shared")
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """The axes of the cross product.  Every axis is a non-empty tuple."""
+
+    algorithms: Tuple[str, ...]
+    epsilons: Tuple[float, ...]
+    scenarios: Tuple[str, ...]
+    n_users: Tuple[int, ...] = (2_000,)
+    horizons: Tuple[int, ...] = (96,)
+    shards: Tuple[int, ...] = (1,)
+    engines: Tuple[str, ...] = ("sharded",)
+    w: Tuple[int, ...] = (10,)
+
+    def __post_init__(self) -> None:
+        for axis in (
+            "algorithms",
+            "epsilons",
+            "scenarios",
+            "n_users",
+            "horizons",
+            "shards",
+            "engines",
+            "w",
+        ):
+            values = getattr(self, axis)
+            if not isinstance(values, tuple) or not values:
+                raise ValueError(f"grid axis {axis!r} must be a non-empty tuple")
+        known = set(algorithm_names())
+        for name in self.algorithms:
+            if name.lower() not in known:
+                raise ValueError(
+                    f"unknown algorithm {name!r} in grid "
+                    f"(known: {', '.join(sorted(known))})"
+                )
+        for scenario in self.scenarios:
+            if scenario not in SCENARIOS:
+                raise ValueError(
+                    f"unknown scenario {scenario!r} in grid "
+                    f"(known: {', '.join(sorted(SCENARIOS))})"
+                )
+        for engine in self.engines:
+            if engine not in SCENARIO_ENGINES:
+                raise ValueError(
+                    f"unknown engine {engine!r} in grid "
+                    f"(known: {', '.join(SCENARIO_ENGINES)})"
+                )
+        for axis in ("epsilons",):
+            if any(value <= 0 for value in getattr(self, axis)):
+                raise ValueError(f"grid axis {axis!r} must be positive")
+        for axis in ("n_users", "horizons", "shards", "w"):
+            if any(int(value) < 1 for value in getattr(self, axis)):
+                raise ValueError(f"grid axis {axis!r} must be >= 1")
+
+    @property
+    def n_raw_cells(self) -> int:
+        """Cells in the raw cross product, before any filtering."""
+        return (
+            len(self.algorithms)
+            * len(self.epsilons)
+            * len(self.scenarios)
+            * len(self.n_users)
+            * len(self.horizons)
+            * len(self.shards)
+            * len(self.engines)
+            * len(self.w)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "algorithms": list(self.algorithms),
+            "epsilons": [float(e) for e in self.epsilons],
+            "scenarios": list(self.scenarios),
+            "n_users": [int(n) for n in self.n_users],
+            "horizons": [int(h) for h in self.horizons],
+            "shards": [int(s) for s in self.shards],
+            "engines": list(self.engines),
+            "w": [int(w) for w in self.w],
+        }
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """One declared scan: grid, filters, and the root seed."""
+
+    name: str
+    grid: GridSpec
+    seed: int = 0
+    seed_mode: str = "spawn"
+    include: Tuple[Mapping[str, Any], ...] = ()
+    exclude: Tuple[Mapping[str, Any], ...] = ()
+    store: Optional[str] = None
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scan name must be non-empty")
+        if self.seed_mode not in SEED_MODES:
+            raise ValueError(
+                f"seed_mode must be one of {SEED_MODES}, got {self.seed_mode!r}"
+            )
+        if self.backend not in ("auto", "npz", "parquet"):
+            raise ValueError(
+                f"backend must be 'auto', 'npz' or 'parquet', got {self.backend!r}"
+            )
+
+    def cell_seeds(self, index: int) -> Tuple[int, int]:
+        """``(data_seed, protocol_seed)`` for the cell at ``index``.
+
+        ``spawn`` (the default) derives both from
+        ``SeedSequence(seed, spawn_key=(index,))`` — every cell owns an
+        independent randomness stream, so cells may execute in any order
+        on any number of workers, and a resumed scan continues exactly
+        the stream an uninterrupted scan would have used.  ``shared``
+        reproduces the legacy experiment-harness convention (every cell
+        uses ``(seed, seed + 1)``); the compatibility wrappers in
+        :mod:`repro.experiments.runner` rely on it for bit-identical
+        refactoring.
+        """
+        if self.seed_mode == "shared":
+            return int(self.seed), int(self.seed) + 1
+        state = np.random.SeedSequence(
+            int(self.seed), spawn_key=(int(index),)
+        ).generate_state(2)
+        return int(state[0]), int(state[1])
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-safe form (the digest and manifest payload)."""
+        return {
+            "name": self.name,
+            "seed": int(self.seed),
+            "seed_mode": self.seed_mode,
+            "grid": self.grid.to_dict(),
+            "include": [dict(sorted(entry.items())) for entry in self.include],
+            "exclude": [dict(sorted(entry.items())) for entry in self.exclude],
+        }
+
+
+@dataclass(frozen=True)
+class PrunedCell:
+    """A raw-grid cell removed before execution, with the reason why."""
+
+    params: Dict[str, Any] = field(hash=False)
+    reason: str = ""
+
+
+def config_digest(config: ScanConfig) -> str:
+    """SHA-256 over the canonical config — the store's compatibility key.
+
+    ``store`` and ``backend`` are deliberately excluded: where results
+    land does not change what the results are, so moving a store or
+    switching its serialization never invalidates a resume.
+    """
+    payload = json.dumps(config.to_dict(), sort_keys=True).encode()
+    return "sha256:" + hashlib.sha256(payload).hexdigest()
+
+
+# -- document parsing ------------------------------------------------------
+
+
+def _as_tuple(value: Any) -> Tuple[Any, ...]:
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    return (value,)
+
+
+_GRID_KEYS = {
+    "algorithms",
+    "epsilons",
+    "scenarios",
+    "n_users",
+    "horizons",
+    "shards",
+    "engines",
+    "w",
+}
+
+#: filter keys -> ScanCell attribute they match against
+_FILTER_KEYS = {
+    "algorithm": "algorithm",
+    "epsilon": "epsilon",
+    "scenario": "scenario",
+    "n_users": "n_users",
+    "horizon": "horizon",
+    "shards": "n_shards",
+    "engine": "engine",
+    "w": "w",
+}
+
+
+def _check_filters(entries: Sequence[Mapping[str, Any]], what: str) -> Tuple[Dict[str, Any], ...]:
+    checked: List[Dict[str, Any]] = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, Mapping) or not entry:
+            raise ValueError(
+                f"{what} filter #{position} must be a non-empty mapping, "
+                f"got {entry!r}"
+            )
+        unknown = set(entry) - set(_FILTER_KEYS)
+        if unknown:
+            raise ValueError(
+                f"{what} filter #{position} names unknown keys "
+                f"{sorted(unknown)} (known: {sorted(_FILTER_KEYS)})"
+            )
+        checked.append(dict(entry))
+    return tuple(checked)
+
+
+def parse_config(document: Mapping[str, Any], name_hint: str = "scan") -> ScanConfig:
+    """Build a :class:`ScanConfig` from a parsed TOML/YAML document."""
+    if not isinstance(document, Mapping):
+        raise ValueError(
+            f"scan config must be a mapping at top level, got "
+            f"{type(document).__name__}"
+        )
+    unknown = set(document) - {"scan", "grid", "include", "exclude"}
+    if unknown:
+        raise ValueError(
+            f"unknown top-level config sections {sorted(unknown)} "
+            "(known: scan, grid, include, exclude)"
+        )
+    meta = document.get("scan", {})
+    if not isinstance(meta, Mapping):
+        raise ValueError("[scan] section must be a table/mapping")
+    unknown = set(meta) - {"name", "seed", "seed_mode", "store", "backend"}
+    if unknown:
+        raise ValueError(
+            f"unknown [scan] keys {sorted(unknown)} "
+            "(known: name, seed, seed_mode, store, backend)"
+        )
+    raw_grid = document.get("grid")
+    if not isinstance(raw_grid, Mapping) or not raw_grid:
+        raise ValueError("scan config needs a non-empty [grid] section")
+    unknown = set(raw_grid) - _GRID_KEYS
+    if unknown:
+        raise ValueError(
+            f"unknown [grid] axes {sorted(unknown)} (known: {sorted(_GRID_KEYS)})"
+        )
+    for axis in ("algorithms", "epsilons", "scenarios"):
+        if axis not in raw_grid:
+            raise ValueError(f"[grid] must declare {axis}")
+    grid_kwargs: Dict[str, Any] = {
+        key: _as_tuple(raw_grid[key]) for key in raw_grid
+    }
+    grid_kwargs["algorithms"] = tuple(str(a) for a in grid_kwargs["algorithms"])
+    grid_kwargs["epsilons"] = tuple(float(e) for e in grid_kwargs["epsilons"])
+    grid = GridSpec(**grid_kwargs)
+    return ScanConfig(
+        name=str(meta.get("name", name_hint)),
+        grid=grid,
+        seed=int(meta.get("seed", 0)),
+        seed_mode=str(meta.get("seed_mode", "spawn")),
+        include=_check_filters(document.get("include", ()), "include"),
+        exclude=_check_filters(document.get("exclude", ()), "exclude"),
+        store=meta.get("store"),
+        backend=str(meta.get("backend", "auto")),
+    )
+
+
+def load_config(path: str) -> ScanConfig:
+    """Load a scan config from a ``.toml`` / ``.yaml`` / ``.yml`` file."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"scan config {path} does not exist")
+    stem = os.path.splitext(os.path.basename(path))[0]
+    extension = os.path.splitext(path)[1].lower()
+    if extension == ".toml":
+        import tomllib
+
+        with open(path, "rb") as fh:
+            try:
+                document = tomllib.load(fh)
+            except tomllib.TOMLDecodeError as error:
+                raise ValueError(f"invalid TOML in {path}: {error}") from error
+    elif extension in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError as error:  # pragma: no cover - yaml ships in CI
+            raise ValueError(
+                f"{path} is YAML but PyYAML is not installed; use TOML"
+            ) from error
+        with open(path) as fh:
+            try:
+                document = yaml.safe_load(fh)
+            except yaml.YAMLError as error:
+                raise ValueError(f"invalid YAML in {path}: {error}") from error
+    else:
+        raise ValueError(
+            f"unsupported scan config extension {extension!r} for {path} "
+            "(use .toml, .yaml or .yml)"
+        )
+    try:
+        return parse_config(document, name_hint=stem)
+    except ValueError as error:
+        raise ValueError(f"{path}: {error}") from error
+
+
+# -- grid expansion --------------------------------------------------------
+
+
+def _matches(entry: Mapping[str, Any], params: Mapping[str, Any]) -> bool:
+    """One filter entry matches when *all* of its keys match the cell.
+
+    A key's value may be a scalar or a list of alternatives.  Floats are
+    compared exactly — grids are declared, not computed, so the literal
+    in the filter is the literal in the axis.
+    """
+    for key, wanted in entry.items():
+        have = params[_FILTER_KEYS[key]]
+        alternatives = wanted if isinstance(wanted, (list, tuple)) else (wanted,)
+        if not any(have == type(have)(option) for option in alternatives):
+            return False
+    return True
+
+
+def _participation_limited(scenario: str) -> bool:
+    """Whether a scenario preset runs with partial participation."""
+    preset = SCENARIOS[scenario]
+    return bool(preset.get("churn_waves")) or preset.get(
+        "baseline_participation", 1.0
+    ) < 1.0
+
+
+def expand_cells(
+    config: ScanConfig,
+) -> Tuple[List[ScanCell], List[PrunedCell]]:
+    """The config's executable cells (indexed 0..n-1) plus pruned cells.
+
+    Expansion order is the deterministic cross product
+    ``algorithms x epsilons x scenarios x n_users x horizons x shards x
+    engines x w`` with include/exclude filters and capability pruning
+    applied *before* indices are assigned — the index is a property of
+    the config, never of execution.
+
+    Capability pruning consults :func:`repro.registry.capabilities`: an
+    estimator without the ``participation`` capability cannot run a
+    scenario whose participation schedule dips below one (the sampling
+    family uploads on a shared calendar), so those cells are reported as
+    pruned instead of failing mid-scan.
+    """
+    grid = config.grid
+    cells: List[ScanCell] = []
+    pruned: List[PrunedCell] = []
+    for combo in itertools.product(
+        grid.algorithms,
+        grid.epsilons,
+        grid.scenarios,
+        grid.n_users,
+        grid.horizons,
+        grid.shards,
+        grid.engines,
+        grid.w,
+    ):
+        algorithm, epsilon, scenario, n_users, horizon, shards, engine, w = combo
+        params = {
+            "algorithm": algorithm,
+            "epsilon": float(epsilon),
+            "scenario": scenario,
+            "n_users": int(n_users),
+            "horizon": int(horizon),
+            "n_shards": int(shards),
+            "engine": engine,
+            "w": int(w),
+        }
+        if config.include and not any(
+            _matches(entry, params) for entry in config.include
+        ):
+            continue
+        if any(_matches(entry, params) for entry in config.exclude):
+            continue
+        flags = capabilities(algorithm)
+        if not flags["participation"] and _participation_limited(scenario):
+            pruned.append(
+                PrunedCell(
+                    params=params,
+                    reason=(
+                        f"{algorithm} needs full participation but scenario "
+                        f"{scenario!r} runs a churn/partial-participation "
+                        "schedule"
+                    ),
+                )
+            )
+            continue
+        if engine == "live" and not flags["live"]:  # pragma: no cover - all live
+            pruned.append(
+                PrunedCell(
+                    params=params,
+                    reason=f"{algorithm} does not support the live engine",
+                )
+            )
+            continue
+        index = len(cells)
+        data_seed, protocol_seed = config.cell_seeds(index)
+        cells.append(
+            ScanCell(
+                index=index,
+                kind="scenario",
+                data_seed=data_seed,
+                protocol_seed=protocol_seed,
+                **params,
+            )
+        )
+    return cells, pruned

@@ -1,0 +1,183 @@
+"""Human-readable scan summaries and the bench-regeneration mode.
+
+:func:`summarize_store` renders a finished (or partial) store as the
+``scan-report`` CLI text: completion state, the per-scenario winner, a
+per-algorithm error table, and aggregate throughput.
+:func:`summarize_plan` renders a ``--dry-run`` plan.  :func:`run_bench`
+drives one steady-scenario cell per registry estimator through the same
+orchestrator and merges the measured users/sec into the
+``BENCH_population.json`` estimator matrix — the scan engine regenerates
+the perf trajectory with the exact machinery the experiments use (note
+these numbers include collector and ledger overhead, unlike the raw
+engine pass in ``benchmarks/bench_registry.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..registry import algorithm_names
+from .cells import ScanCell
+from .orchestrator import ScanRunResult, run_cells
+from .store import ScanStore
+
+__all__ = ["summarize_store", "summarize_plan", "run_bench"]
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.3e}" if value == value else "-"
+
+
+def summarize_store(path: str) -> str:
+    """The ``scan-report`` text for one store directory."""
+    store = ScanStore(path)
+    columns = store.table()
+    n_done = int(columns["index"].size)
+    total = store.n_cells
+    lines = [
+        f"scan store {store.path}",
+        f"  cells      {n_done}" + ("" if total is None else f" / {total}"),
+        f"  finalized  {'yes' if store.finalized else 'no'}",
+        f"  fingerprint {store.fingerprint()}",
+    ]
+    if not n_done:
+        return "\n".join(lines)
+
+    scenario_cells = columns["kind"] == "scenario"
+    if "mse" in columns and np.any(scenario_cells):
+        lines.append("")
+        lines.append("  per-scenario best (lowest MSE):")
+        for scenario in sorted(set(columns["scenario"][scenario_cells])):
+            mask = scenario_cells & (columns["scenario"] == scenario)
+            best = int(np.nanargmin(columns["mse"][mask]))
+            algorithm = columns["algorithm"][mask][best]
+            epsilon = columns["epsilon"][mask][best]
+            mse = columns["mse"][mask][best]
+            lines.append(
+                f"    {scenario:10s} {algorithm:14s} eps={epsilon:<5g} "
+                f"mse={_fmt(float(mse))}"
+            )
+        lines.append("")
+        lines.append("  per-algorithm mean error over scenario cells:")
+        for algorithm in sorted(set(columns["algorithm"][scenario_cells])):
+            mask = scenario_cells & (columns["algorithm"] == algorithm)
+            mse = float(np.nanmean(columns["mse"][mask]))
+            mae = float(np.nanmean(columns["mae"][mask]))
+            lines.append(
+                f"    {algorithm:14s} cells={int(mask.sum()):4d} "
+                f"mse={_fmt(mse)}  mae={_fmt(mae)}"
+            )
+    if "wall_seconds" in columns:
+        wall = float(np.nansum(columns["wall_seconds"]))
+        users = float(np.nansum(columns.get("users_per_sec", np.zeros(0))))
+        peak = float(np.nanmax(columns["peak_rss_bytes"])) if "peak_rss_bytes" in columns else 0.0
+        lines.append("")
+        lines.append(
+            f"  compute    {wall:.2f}s total cell time"
+            + (f", peak RSS {peak / 1e6:.0f} MB" if peak else "")
+        )
+        if wall > 0 and users:
+            lines.append(f"  throughput {n_done / wall:.2f} cells/s (serial-equivalent)")
+    return "\n".join(lines)
+
+
+def summarize_plan(result: ScanRunResult) -> str:
+    """The ``--dry-run`` plan text: cells, filters, pruning, seeds."""
+    config = result.config
+    lines = [
+        f"scan {config.name!r}: {result.n_cells} cells "
+        f"({config.grid.n_raw_cells} raw, "
+        f"{len(result.pruned)} pruned, seed_mode={config.seed_mode})",
+    ]
+    for cell in result.cells:
+        lines.append(
+            f"  [{cell.index:4d}] {cell.algorithm:14s} eps={cell.epsilon:<5g} "
+            f"{cell.scenario:8s} users={cell.n_users:<8d} "
+            f"shards={cell.n_shards} engine={cell.engine} "
+            f"seeds=({cell.data_seed}, {cell.protocol_seed})"
+        )
+    for pruned in result.pruned:
+        lines.append(f"  pruned: {pruned.reason}")
+    if result.store_path:
+        lines.append(f"  store: {result.store_path}")
+    return "\n".join(lines)
+
+
+def run_bench(
+    out_path: str = "BENCH_population.json",
+    algorithms: Optional[Sequence[str]] = None,
+    n_users: int = 2_000,
+    horizon: int = 64,
+    epsilon: float = 1.0,
+    w: int = 10,
+    seed: int = 0,
+    workers: int = 1,
+) -> Dict[str, Any]:
+    """Re-measure the estimator matrix through the scan engine.
+
+    One steady-scenario sharded cell per registry estimator; the
+    measured users/sec are merged into ``out_path``'s ``population``
+    section (existing keys that the scan does not measure — e.g.
+    ``scalar_users_per_sec`` from the registry bench — are preserved).
+
+    Returns the merged ``population`` section.
+    """
+    names = list(algorithms) if algorithms else algorithm_names()
+    cells = [
+        ScanCell(
+            index=i,
+            kind="scenario",
+            algorithm=name,
+            epsilon=float(epsilon),
+            w=int(w),
+            data_seed=int(seed),
+            protocol_seed=int(seed) + 1,
+            scenario="steady",
+            n_users=int(n_users),
+            horizon=int(horizon),
+            n_shards=1,
+            engine="sharded",
+        )
+        for i, name in enumerate(names)
+    ]
+    results, _ = run_cells(cells, workers=workers)
+
+    document: Dict[str, Any] = {}
+    if os.path.exists(out_path):
+        with open(out_path) as fh:
+            document = json.load(fh)
+    section = document.setdefault("population", {})
+    section["n_users"] = int(n_users)
+    section["horizon"] = int(horizon)
+    estimators = section.setdefault("estimators", {})
+    for cell in cells:
+        result = results.get(cell.index)
+        if result is None:  # pragma: no cover - cells never skip serially
+            continue
+        entry = estimators.setdefault(cell.algorithm, {})
+        entry["vectorized_users_per_sec"] = float(
+            result.scalars["users_per_sec"]
+        )
+    tmp = out_path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, out_path)
+    return section
+
+
+def bench_lines(section: Dict[str, Any]) -> List[str]:
+    """Printable summary of a freshly merged bench section."""
+    lines = [
+        f"scan --bench: {len(section.get('estimators', {}))} estimators at "
+        f"{section.get('n_users')} users x {section.get('horizon')} slots"
+    ]
+    for name, entry in sorted(section.get("estimators", {}).items()):
+        rate = entry.get("vectorized_users_per_sec")
+        if rate:
+            lines.append(f"  {name:14s} {rate:12.0f} users/s")
+    return lines

@@ -55,6 +55,44 @@ def _assert_matches_offline(result, offline):
     assert result.n_reports == offline.collector.n_reports
 
 
+class TestNetemSpec:
+    def test_window_semantics(self):
+        from repro.gateway import NetemSpec
+
+        netem = NetemSpec(
+            delay=0.5,
+            delay_windows=((2, 4),),
+            partition_windows=((7, 7), (9, 10)),
+            shards=(1,),
+        )
+        assert netem.delay_at(1, 3) == 0.5
+        assert netem.delay_at(1, 5) == 0.0  # outside the delay window
+        assert netem.delay_at(0, 3) == 0.0  # shard not in scope
+        assert netem.partitioned(1, 7)
+        assert netem.partitioned(1, 10)
+        assert not netem.partitioned(1, 8)
+        assert not netem.partitioned(2, 7)
+        assert netem.partition_slot_count() == 3
+
+    def test_empty_delay_windows_delay_every_slot(self):
+        from repro.gateway import NetemSpec
+
+        netem = NetemSpec(delay=0.1)
+        assert netem.delay_at(0, 0) == 0.1
+        assert netem.delay_at(3, 99) == 0.1
+        assert not netem.partitioned(0, 0)
+
+    def test_invalid_specs_rejected(self):
+        from repro.gateway import NetemSpec
+
+        with pytest.raises(ValueError, match="delay"):
+            NetemSpec(delay=-0.1)
+        with pytest.raises(ValueError, match="partition_outage"):
+            NetemSpec(partition_outage=-1.0)
+        with pytest.raises(ValueError, match="start > end"):
+            NetemSpec(partition_windows=((5, 2),))
+
+
 class TestBitIdentity:
     def test_serial_upload_matches_offline(self, offline):
         """One shard at a time over its own connection — the serial mode."""
@@ -102,6 +140,29 @@ class TestBitIdentity:
         # A dropped upload is recovered either by the resume handshake
         # (skipped) or by an idempotent duplicate resend.
         assert by_shard[1].skipped + by_shard[1].duplicates >= 1
+        for report in run.shard_reports:
+            assert report.delivered == HORIZON
+        _assert_matches_offline(run.result, offline)
+
+    def test_netem_impairment_matches_offline(self, offline):
+        """Delay + partition windows reorder the wire, not the math."""
+        from repro.gateway import NetemSpec
+
+        netem = NetemSpec(
+            delay=0.002,
+            delay_windows=((1, 2),),
+            partition_windows=((4, 5),),
+            partition_outage=0.005,
+            shards=(0, 2),
+        )
+        run = run_gateway(_source(), netem=netem, **PARAMS)
+        by_shard = {r.shard: r for r in run.shard_reports}
+        # Only the scoped shards hit the partition window: 2 slots each.
+        assert by_shard[0].partitions == 2
+        assert by_shard[2].partitions == 2
+        assert by_shard[1].partitions == 0
+        assert by_shard[3].partitions == 0
+        assert by_shard[0].reconnects >= 2
         for report in run.shard_reports:
             assert report.delivered == HORIZON
         _assert_matches_offline(run.result, offline)

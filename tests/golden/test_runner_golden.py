@@ -1,0 +1,128 @@
+"""Golden fixtures for the experiment-runner compatibility wrappers.
+
+PR "repro.scan" rebuilt :func:`run_epsilon_sweep` (vectorized standard
+metrics) and :func:`run_scenario_study` on top of the scan cell engine.
+These fixtures pin their exact numeric outputs at fixed seeds, so the
+delegation is a provable no-op going forward: any change to cell
+seeding, execution order, or float accumulation diffs a checked-in
+file.
+
+Regenerate deliberately with::
+
+    python -m pytest tests/golden --update-golden
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import (
+    mean_squared_error_of_mean,
+    publication_cosine_distance,
+    run_epsilon_sweep,
+    run_scenario_study,
+)
+
+from .test_golden_fixtures import GOLDEN_FORMAT, _check_against_golden
+
+SWEEP_CONFIG = dict(
+    algorithms=["capp", "app", "sampling"],
+    epsilons=[0.5, 1.0, 2.0],
+    w=10,
+    n_subsequences=6,
+    n_repeats=2,
+    seed=11,
+)
+
+STUDY_CONFIG = dict(
+    scenarios=["steady", "bursty", "churn"],
+    algorithms=["capp", "sw-direct"],
+    n_users=240,
+    horizon=48,
+    epsilon=1.0,
+    w=8,
+    n_shards=3,
+    seed=17,
+)
+
+
+def _sweep_stream(seed=11, size=400):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.05, 0.95, size=size)
+
+
+@pytest.mark.parametrize(
+    "name,metric",
+    [
+        ("epsilon_sweep", mean_squared_error_of_mean),
+        ("epsilon_sweep_cosine", publication_cosine_distance),
+    ],
+)
+def test_epsilon_sweep_matches_golden(name, metric, update_golden):
+    result = run_epsilon_sweep(
+        _sweep_stream(), metric=metric, **SWEEP_CONFIG
+    )
+    snapshot = {
+        "format": GOLDEN_FORMAT,
+        "config": {
+            key: value
+            for key, value in SWEEP_CONFIG.items()
+            if key != "algorithms"
+        },
+        "metric": name,
+        "epsilons": result.epsilons,
+        "values": {
+            algo: [float(v) for v in vals]
+            for algo, vals in result.values.items()
+        },
+    }
+    _check_against_golden(name, snapshot, update_golden)
+
+
+def test_scenario_study_matches_golden(update_golden):
+    result = run_scenario_study(max_workers=1, **STUDY_CONFIG)
+    snapshot = {
+        "format": GOLDEN_FORMAT,
+        "config": {
+            key: value
+            for key, value in STUDY_CONFIG.items()
+            if key not in ("scenarios", "algorithms")
+        },
+        "mse": {
+            scenario: {algo: float(v) for algo, v in per.items()}
+            for scenario, per in result.items()
+        },
+    }
+    _check_against_golden("scenario_study", snapshot, update_golden)
+
+
+def test_scenario_study_worker_invariant():
+    """The wrapper's numbers cannot depend on the worker count."""
+    serial = run_scenario_study(max_workers=1, **STUDY_CONFIG)
+    parallel = run_scenario_study(max_workers=2, **STUDY_CONFIG)
+    assert serial == parallel
+
+
+def test_scenario_study_matches_inline_legacy_loop():
+    """The scan delegation reproduces the pre-scan per-run loop bit for bit."""
+    from repro.runtime import ScenarioSource, make_scenario, run_protocol_sharded
+
+    config = STUDY_CONFIG
+    chunk = -(-config["n_users"] // config["n_shards"])
+    legacy = {}
+    for scenario in config["scenarios"]:
+        spec = make_scenario(
+            scenario, n_users=config["n_users"], horizon=config["horizon"]
+        )
+        source = ScenarioSource(spec, chunk_size=chunk, seed=config["seed"])
+        legacy[scenario] = {
+            name: run_protocol_sharded(
+                source,
+                algorithm=name,
+                epsilon=config["epsilon"],
+                w=config["w"],
+                seed=config["seed"] + 1,
+                max_workers=1,
+            ).population_mean_mse()
+            for name in config["algorithms"]
+        }
+    assert run_scenario_study(max_workers=1, **config) == legacy

@@ -1,0 +1,51 @@
+"""Shared fixtures for the scan-subsystem tests: one tiny grid config."""
+
+import pytest
+
+from repro.scan import parse_config
+
+#: 3 algorithms x 2 epsilons x 2 scenarios = 12 raw cells; the sampling
+#: family cannot run churn's partial participation, so 2 cells prune to
+#: a 10-cell executable grid — small enough that the kill-at-every-cell
+#: resume matrix stays fast, big enough to exercise real fan-out.
+DOCUMENT = {
+    "scan": {"name": "tiny", "seed": 9},
+    "grid": {
+        "algorithms": ["capp", "sw-direct", "sampling"],
+        "epsilons": [0.5, 1.0],
+        "scenarios": ["steady", "churn"],
+        "n_users": [40],
+        "horizons": [10],
+        "shards": [2],
+        "engines": ["sharded"],
+        "w": [4],
+    },
+}
+
+TOML_TEXT = """
+[scan]
+name = "tiny"
+seed = 9
+
+[grid]
+algorithms = ["capp", "sw-direct", "sampling"]
+epsilons = [0.5, 1.0]
+scenarios = ["steady", "churn"]
+n_users = [40]
+horizons = [10]
+shards = [2]
+engines = ["sharded"]
+w = [4]
+"""
+
+
+@pytest.fixture
+def config():
+    return parse_config(DOCUMENT)
+
+
+@pytest.fixture
+def toml_path(tmp_path):
+    path = tmp_path / "tiny.toml"
+    path.write_text(TOML_TEXT)
+    return str(path)

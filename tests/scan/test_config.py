@@ -1,0 +1,187 @@
+"""Scan config layer: parsing, validation, filters, pruning, seeds."""
+
+import numpy as np
+import pytest
+
+from repro.scan import (
+    GridSpec,
+    ScanConfig,
+    config_digest,
+    expand_cells,
+    load_config,
+    parse_config,
+)
+
+from .conftest import DOCUMENT, TOML_TEXT
+
+
+def _document(**overrides):
+    doc = {
+        "scan": dict(DOCUMENT["scan"]),
+        "grid": dict(DOCUMENT["grid"]),
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestParsing:
+    def test_toml_file_round_trip(self, toml_path, config):
+        loaded = load_config(toml_path)
+        assert loaded == config
+        assert loaded.name == "tiny"
+        assert loaded.seed == 9
+        assert loaded.grid.n_raw_cells == 12
+
+    def test_yaml_file_matches_toml(self, tmp_path, config):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "tiny.yaml"
+        path.write_text(yaml.safe_dump(DOCUMENT))
+        loaded = load_config(str(path))
+        assert config_digest(loaded) == config_digest(config)
+
+    def test_name_defaults_to_file_stem(self, tmp_path):
+        path = tmp_path / "my-scan.toml"
+        path.write_text(
+            TOML_TEXT.replace('name = "tiny"\n', "")
+        )
+        assert load_config(str(path)).name == "my-scan"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_config(str(tmp_path / "nope.toml"))
+
+    def test_unsupported_extension(self, tmp_path):
+        path = tmp_path / "scan.ini"
+        path.write_text("[scan]\n")
+        with pytest.raises(ValueError, match="unsupported scan config extension"):
+            load_config(str(path))
+
+    def test_invalid_toml_names_the_file(self, tmp_path):
+        path = tmp_path / "broken.toml"
+        path.write_text("[scan\nname = ")
+        with pytest.raises(ValueError, match="invalid TOML in .*broken.toml"):
+            load_config(str(path))
+
+    def test_unknown_top_level_section(self):
+        with pytest.raises(ValueError, match="unknown top-level"):
+            parse_config(_document(bogus={}))
+
+    def test_unknown_scan_key(self):
+        doc = _document()
+        doc["scan"]["typo"] = 1
+        with pytest.raises(ValueError, match=r"unknown \[scan\] keys"):
+            parse_config(doc)
+
+    def test_unknown_grid_axis(self):
+        doc = _document()
+        doc["grid"]["epsilon"] = [1.0]  # singular: not an axis name
+        with pytest.raises(ValueError, match=r"unknown \[grid\] axes"):
+            parse_config(doc)
+
+    def test_missing_required_axis(self):
+        doc = _document()
+        del doc["grid"]["scenarios"]
+        with pytest.raises(ValueError, match="must declare scenarios"):
+            parse_config(doc)
+
+    def test_unknown_algorithm_and_scenario(self):
+        doc = _document()
+        doc["grid"]["algorithms"] = ["nope"]
+        with pytest.raises(ValueError, match="unknown algorithm 'nope'"):
+            parse_config(doc)
+        doc = _document()
+        doc["grid"]["scenarios"] = ["lunar"]
+        with pytest.raises(ValueError, match="unknown scenario 'lunar'"):
+            parse_config(doc)
+
+    def test_filter_validation(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            parse_config(_document(include=[{"algorithmz": "capp"}]))
+        with pytest.raises(ValueError, match="non-empty mapping"):
+            parse_config(_document(exclude=[{}]))
+
+    def test_scalar_axis_promoted_to_tuple(self):
+        doc = _document()
+        doc["grid"]["epsilons"] = 1.0
+        assert parse_config(doc).grid.epsilons == (1.0,)
+
+
+class TestGridSpecValidation:
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="non-empty tuple"):
+            GridSpec(algorithms=(), epsilons=(1.0,), scenarios=("steady",))
+
+    def test_nonpositive_epsilon_rejected(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            GridSpec(
+                algorithms=("capp",), epsilons=(0.0,), scenarios=("steady",)
+            )
+
+    def test_bad_seed_mode_and_backend(self, config):
+        with pytest.raises(ValueError, match="seed_mode"):
+            ScanConfig(name="x", grid=config.grid, seed_mode="chaos")
+        with pytest.raises(ValueError, match="backend"):
+            ScanConfig(name="x", grid=config.grid, backend="csv")
+
+
+class TestExpansion:
+    def test_capability_pruning(self, config):
+        cells, pruned = expand_cells(config)
+        assert len(cells) == 10
+        assert len(pruned) == 2
+        for entry in pruned:
+            assert entry.params["algorithm"] == "sampling"
+            assert entry.params["scenario"] == "churn"
+            assert "full participation" in entry.reason
+        # Indices are contiguous and assigned after pruning.
+        assert [cell.index for cell in cells] == list(range(10))
+
+    def test_exclude_filter(self):
+        doc = _document(exclude=[{"algorithm": "capp", "scenario": "churn"}])
+        cells, _ = expand_cells(parse_config(doc))
+        assert not any(
+            c.algorithm == "capp" and c.scenario == "churn" for c in cells
+        )
+        assert any(c.algorithm == "capp" and c.scenario == "steady" for c in cells)
+
+    def test_include_filter_with_alternatives(self):
+        doc = _document(include=[{"algorithm": ["capp", "sw-direct"]}])
+        cells, _ = expand_cells(parse_config(doc))
+        assert {c.algorithm for c in cells} == {"capp", "sw-direct"}
+
+    def test_expansion_is_deterministic(self, config):
+        a, _ = expand_cells(config)
+        b, _ = expand_cells(config)
+        assert a == b
+
+
+class TestSeeds:
+    def test_spawn_mode_gives_independent_streams(self, config):
+        seeds = [config.cell_seeds(i) for i in range(10)]
+        assert len(set(seeds)) == 10
+        # Matches the documented SeedSequence spawn exactly.
+        state = np.random.SeedSequence(9, spawn_key=(3,)).generate_state(2)
+        assert seeds[3] == (int(state[0]), int(state[1]))
+
+    def test_shared_mode_reproduces_legacy_convention(self, config):
+        shared = ScanConfig(
+            name=config.name, grid=config.grid, seed=9, seed_mode="shared"
+        )
+        assert shared.cell_seeds(0) == (9, 10)
+        assert shared.cell_seeds(7) == (9, 10)
+
+
+class TestDigest:
+    def test_digest_ignores_store_and_backend(self, config):
+        moved = ScanConfig(
+            name=config.name,
+            grid=config.grid,
+            seed=config.seed,
+            store="/elsewhere",
+            backend="npz",
+        )
+        assert config_digest(moved) == config_digest(config)
+
+    def test_digest_changes_with_grid_and_seed(self, config):
+        reseeded = ScanConfig(name=config.name, grid=config.grid, seed=10)
+        assert config_digest(reseeded) != config_digest(config)

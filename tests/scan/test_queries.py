@@ -1,0 +1,91 @@
+"""Analysis-layer queries over scan stores: tables, pivots, one-call curves."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ScanTable, load_scan_table, metric_vs_epsilon
+from repro.scan import ScanStore, run_scan
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory):
+    from repro.scan import parse_config
+
+    from .conftest import DOCUMENT
+
+    path = str(tmp_path_factory.mktemp("queries") / "store")
+    run = run_scan(parse_config(DOCUMENT), store_path=path, workers=2)
+    assert run.complete
+    return path
+
+
+class TestScanTable:
+    def test_load_from_path_and_open_store(self, store_path):
+        by_path = load_scan_table(store_path)
+        by_store = load_scan_table(ScanStore(store_path))
+        assert len(by_path) == len(by_store) == 10
+        np.testing.assert_array_equal(by_path["mse"], by_store["mse"])
+
+    def test_partial_store_is_queryable(self, tmp_path):
+        from repro.scan import parse_config
+
+        from .conftest import DOCUMENT
+
+        path = str(tmp_path / "partial")
+        run_scan(parse_config(DOCUMENT), store_path=path, workers=1, stop_after=4)
+        table = load_scan_table(path)
+        assert len(table) == 4
+
+    def test_filter_and_unique(self, store_path):
+        table = load_scan_table(store_path)
+        steady = table.filter(scenario="steady")
+        assert set(steady["scenario"]) == {"steady"}
+        assert len(steady) == 6  # 3 algorithms x 2 epsilons
+        pair = table.filter(algorithm=["capp", "sw-direct"])
+        assert set(pair["algorithm"]) == {"capp", "sw-direct"}
+        assert table.unique("epsilon") == [0.5, 1.0]
+
+    def test_unknown_column_lists_known(self, store_path):
+        table = load_scan_table(store_path)
+        with pytest.raises(KeyError, match="known:"):
+            table["msa"]
+
+    def test_pivot(self, store_path):
+        table = load_scan_table(store_path)
+        rows, cols, matrix = table.pivot("mse", rows="algorithm", cols="epsilon")
+        assert rows == ["capp", "sampling", "sw-direct"]
+        assert cols == [0.5, 1.0]
+        assert matrix.shape == (3, 2)
+        # sampling x churn was pruned, so its cells average over the one
+        # steady scenario; every pivot cell still has data.
+        assert not np.isnan(matrix).any()
+
+    def test_pivot_rejects_unknown_reducer(self, store_path):
+        with pytest.raises(ValueError, match="reduce"):
+            load_scan_table(store_path).pivot(
+                "mse", rows="algorithm", cols="epsilon", reduce="median"
+            )
+
+
+class TestMetricVsEpsilon:
+    def test_one_call_answers_the_headline_question(self, store_path):
+        curves = metric_vs_epsilon(store_path, metric="mae")
+        assert set(curves) == {"steady", "churn"}
+        assert set(curves["steady"]) == {"capp", "sampling", "sw-direct"}
+        assert set(curves["churn"]) == {"capp", "sw-direct"}  # sampling pruned
+        epsilons, values = curves["steady"]["capp"]
+        np.testing.assert_array_equal(epsilons, [0.5, 1.0])
+        assert values.shape == (2,)
+        assert np.all(np.isfinite(values))
+
+    def test_scenario_and_extra_criteria_filters(self, store_path):
+        curves = metric_vs_epsilon(
+            store_path, metric="mse", scenario="steady", algorithm="capp"
+        )
+        assert set(curves) == {"steady"}
+        assert set(curves["steady"]) == {"capp"}
+
+    def test_accepts_prefiltered_table(self, store_path):
+        table = load_scan_table(store_path).filter(scenario="churn")
+        curves = metric_vs_epsilon(table)
+        assert set(curves) == {"churn"}

@@ -1,0 +1,153 @@
+"""Scan store: atomic cell persistence, corruption detection, staleness."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.scan import (
+    ScanStore,
+    StoreError,
+    config_digest,
+    execute_cell,
+    expand_cells,
+)
+
+
+@pytest.fixture
+def cells(config):
+    expanded, _ = expand_cells(config)
+    return expanded
+
+
+@pytest.fixture
+def populated(tmp_path, config, cells):
+    """A store holding the first three executed cells."""
+    store = ScanStore(tmp_path / "store", config_digest=config_digest(config))
+    store.set_n_cells(len(cells))
+    for cell in cells[:3]:
+        store.write_cell(execute_cell(cell))
+    return store
+
+
+class TestRoundTrip:
+    def test_cells_read_back_bit_identical(self, populated, cells):
+        for cell in cells[:3]:
+            result = execute_cell(cell)
+            stored = populated.read_cell(cell.index)
+            assert stored.params == result.params
+            assert stored.ledger == result.ledger
+            assert stored.deterministic_scalars() == result.deterministic_scalars()
+            for name, values in result.series.items():
+                np.testing.assert_array_equal(stored.series[name], values)
+            assert stored.fingerprint() == result.fingerprint()
+
+    def test_completed_indices_sorted(self, populated):
+        assert populated.completed_indices() == [0, 1, 2]
+        assert populated.n_cells == 10
+
+    def test_no_tmp_litter_after_writes(self, populated):
+        leftovers = [
+            name
+            for root, _, names in os.walk(populated.path)
+            for name in names
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_missing_cell_refused(self, populated):
+        with pytest.raises(StoreError, match="holds no cell 7"):
+            populated.read_cell(7)
+
+    def test_fingerprint_stable_across_reopen(self, populated):
+        before = populated.fingerprint()
+        reopened = ScanStore(populated.path)
+        assert reopened.fingerprint() == before
+
+
+class TestCorruption:
+    def test_bit_flip_detected_and_dropped(self, populated):
+        path = populated.cell_path(1)
+        payload = bytearray(open(path, "rb").read())
+        payload[len(payload) // 2] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(payload))
+        assert populated.verify() == [1]
+        assert populated.completed_indices() == [0, 2]
+        # Dropped from the manifest, so reading is a clean error.
+        with pytest.raises(StoreError, match="holds no cell 1"):
+            populated.read_cell(1)
+
+    def test_truncation_detected(self, populated):
+        path = populated.cell_path(0)
+        payload = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(payload[: len(payload) // 3])
+        assert populated.verify() == [0]
+
+    def test_deleted_cell_file_detected(self, populated):
+        os.unlink(populated.cell_path(2))
+        assert populated.verify() == [2]
+
+    def test_corrupted_cell_read_raises_before_verify(self, populated):
+        path = populated.cell_path(1)
+        with open(path, "ab") as fh:
+            fh.write(b"garbage")
+        with pytest.raises(StoreError, match="do not match the manifest digest"):
+            populated.read_cell(1)
+
+    def test_intact_store_verifies_clean(self, populated):
+        assert populated.verify() == []
+
+
+class TestStaleness:
+    def test_wrong_config_digest_refused(self, populated):
+        with pytest.raises(StoreError, match="different scan config"):
+            ScanStore(populated.path, config_digest="sha256:" + "0" * 64)
+
+    def test_read_only_open_needs_manifest(self, tmp_path):
+        with pytest.raises(StoreError, match="no scan store"):
+            ScanStore(tmp_path / "empty")
+
+    def test_garbage_manifest_refused(self, populated):
+        with open(populated.manifest_path(), "w") as fh:
+            fh.write("{not json")
+        with pytest.raises(StoreError, match="not valid JSON"):
+            ScanStore(populated.path)
+
+    def test_foreign_format_refused(self, populated):
+        with open(populated.manifest_path(), "w") as fh:
+            json.dump({"format": "something.else.v9"}, fh)
+        with pytest.raises(StoreError, match="is not a repro.scan-store.v1"):
+            ScanStore(populated.path)
+
+
+class TestFinalize:
+    def test_table_columns_and_npz(self, tmp_path, config, cells):
+        store = ScanStore(tmp_path / "s", config_digest=config_digest(config))
+        store.set_n_cells(len(cells))
+        for cell in cells:
+            store.write_cell(execute_cell(cell))
+        written = store.finalize()
+        assert store.table_path() in written
+        assert store.finalized
+        with np.load(store.table_path()) as data:
+            table = {name: data[name] for name in data.files}
+        assert len(table["index"]) == len(cells)
+        for column in ("algorithm", "scenario", "epsilon", "mse", "mae",
+                       "max_window_spend", "ledger", "n_shards"):
+            assert column in table
+        # Ledger digests are real commitments, not placeholders.
+        assert all(str(d).startswith("sha256:") for d in table["ledger"])
+
+    def test_parquet_written_only_when_pyarrow_present(
+        self, tmp_path, config, cells
+    ):
+        from repro.scan import parquet_available
+
+        store = ScanStore(tmp_path / "s", config_digest=config_digest(config))
+        for cell in cells[:2]:
+            store.write_cell(execute_cell(cell))
+        written = store.finalize()
+        assert (store.parquet_path() in written) == parquet_available()
