@@ -52,6 +52,75 @@ def load_estimators(path: str) -> Dict[str, float]:
     return rates
 
 
+#: absolute users/sec floors for the rewritten population passes.  These
+#: lock in the true-population rewrites of the two former stragglers:
+#: the relative tolerance alone would let a revert slip through whenever
+#: the baseline file is refreshed, the absolute floor cannot drift.  Set
+#: conservatively below the single-core reference numbers (bd-sw ~35k,
+#: topl ~7k measured where the committed baseline was recorded) so
+#: scheduler noise on shared runners stays clear of the line.  Override
+#: per estimator via ``REPRO_BENCH_FLOOR_BD_SW`` / ``REPRO_BENCH_FLOOR_TOPL``
+#: (0 disables a floor).
+DEFAULT_ESTIMATOR_FLOORS = {
+    "bd-sw": 20_000.0,
+    "topl": 5_000.0,
+}
+
+#: floors only apply at full bench scale — tiny smoke populations spend
+#: their time in per-slot overhead, not in the gated passes
+FLOOR_MIN_USERS = 2000
+
+
+def estimator_floors() -> Dict[str, float]:
+    """The active absolute floors, after environment overrides."""
+    floors = {}
+    for name, default in DEFAULT_ESTIMATOR_FLOORS.items():
+        env_key = "REPRO_BENCH_FLOOR_" + name.upper().replace("-", "_")
+        floors[name] = float(os.environ.get(env_key, default))
+    return floors
+
+
+def load_bench_scale(path: str) -> int:
+    """``population.n_users`` of a trajectory file (0 when unrecorded)."""
+    with open(path) as fh:
+        document = json.load(fh)
+    n_users = document.get("population", {}).get("n_users", 0)
+    return int(n_users) if isinstance(n_users, (int, float)) else 0
+
+
+def compare_floors(
+    current: Dict[str, float],
+    n_users: int,
+) -> Tuple[List[str], List[str]]:
+    """Verdict lines and regressions for the absolute users/sec floors."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    if n_users < FLOOR_MIN_USERS:
+        lines.append(
+            f"  floors: skipped (measured at n_users={n_users}, "
+            f"applied from {FLOOR_MIN_USERS})"
+        )
+        return lines, regressions
+    for name, floor in sorted(estimator_floors().items()):
+        if floor <= 0.0:
+            lines.append(f"  floor {name}: disabled")
+            continue
+        rate = current.get(name)
+        if rate is None:
+            lines.append(f"  floor {name}: not measured — skipped")
+            continue
+        verdict = "ok" if rate >= floor else "REGRESSED"
+        lines.append(
+            f"  floor {name:14s} {rate:12.0f} u/s  (floor {floor:10.0f})  {verdict}"
+        )
+        if rate < floor:
+            regressions.append(
+                f"{name}: {rate:.0f} users/sec is below the absolute "
+                f"floor of {floor:.0f}"
+            )
+    return lines, regressions
+
+
 #: hard ceiling on the WAL's fractional gateway-throughput cost
 WAL_MAX_OVERHEAD = float(os.environ.get("REPRO_BENCH_WAL_MAX_OVERHEAD", 0.15))
 
@@ -267,6 +336,11 @@ def main(argv=None) -> int:
         return 2
 
     lines, regressions = compare(baseline, current, args.tolerance)
+    floor_lines, floor_regressions = compare_floors(
+        current, load_bench_scale(args.current)
+    )
+    lines += floor_lines
+    regressions += floor_regressions
     wal_lines, wal_regressions = compare_wal(
         load_wal(args.baseline), load_wal(args.current), args.tolerance
     )

@@ -34,10 +34,12 @@ semantics exactly.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import math
+from typing import Optional
 
 import numpy as np
 
+from .. import kernels
 from .._validation import ensure_positive_int
 from ..core.online import BatchOnlinePerturber
 from ..core.sampling import PPSampling, choose_num_samples, segment_bounds
@@ -45,15 +47,46 @@ from ..mechanisms import HybridMechanism, SquareWaveMechanism
 from ..privacy import per_sample_budget, samples_per_window
 from .ba_sw import BASW
 from .bd_sw import _MIN_PUBLISH_EPSILON, BDSW
-from .topl import ToPL, estimate_tau_rows, range_phase_length
+from .topl import ToPL, estimate_tau_matrix, range_phase_length
 
 __all__ = ["BatchBASW", "BatchBDSW", "BatchToPL", "BatchPPSampling"]
 
-#: cap on cached per-budget SW mechanisms.  BA-SW's pot takes a handful
-#: of discrete values so its cache stays tiny; BD-SW's halving-rule
-#: candidates are continuous, so on unbounded streams the cache would
-#: otherwise grow O(users x slots).
-_MECH_CACHE_LIMIT = 1024
+#: cap on cached per-budget SW constant rows.  BA-SW's pot takes a
+#: handful of discrete values so its cache stays tiny; BD-SW's
+#: halving-rule candidates are data-dependent, so on adversarial streams
+#: the cache could otherwise grow O(users x slots).  A row is seven
+#: floats, so the cap is generous; an eviction only costs re-deriving
+#: the constants.
+_CONST_CACHE_LIMIT = 65536
+
+#: columns of a cached constants row (see ``_sw_constants``)
+_B, _NEAR_MASS, _P_MINUS_Q, _MEAN_CONST, _MEAN_COEF, _BASE_MOMENT = range(6)
+
+
+def _sw_constants(eps, _exp=math.exp, _expm1=math.expm1):
+    """The publish pass's scalar SW constants at one budget.
+
+    Inlined :func:`sw_probabilities` (same ``math``-library expressions,
+    minus the validation — publish budgets are halves of already
+    validated pools) followed by the value-independent subexpressions of
+    ``near_mass``, ``expected_output`` and the second raw moment, each
+    in the exact Python-float expression order of
+    :class:`SquareWaveMechanism`.  BD-SW's halving rule produces tens of
+    thousands of distinct budgets per population run, so this runs hot:
+    every call is a cache miss in ``_VariableSpendEngine``.
+    """
+    b = (eps + _expm1(-eps)) / (2.0 * (_expm1(eps) - eps))
+    e_eps = _exp(eps)
+    q = 1.0 / (2.0 * b * e_eps + 1.0)
+    p = e_eps * q
+    return (
+        b,
+        2.0 * b * p,  # near_mass
+        p - q,
+        q * (1.0 + 2.0 * b) / 2.0,  # value-independent part of E[y]
+        2.0 * b * (p - q),  # coefficient of x in E[y]
+        q * ((1.0 + b) ** 3 - (-b) ** 3) / 3,  # E[y^2] base term
+    )
 
 
 class _VariableSpendEngine(BatchOnlinePerturber):
@@ -71,56 +104,134 @@ class _VariableSpendEngine(BatchOnlinePerturber):
         )
         self._spends = np.zeros(self.n_users)
         self.accumulated_deviation = np.zeros(self.n_users)
-        self._mech_cache: Dict[float, SquareWaveMechanism] = {}
+        self._const_keys = np.empty(0)
+        self._const_kidx = np.empty(0, dtype=np.intp)
+        self._const_buf = np.empty((256, 6))
+        self._const_n = 0
 
     def _slot_spends(self, mask):
         spends = self._spends.copy()
         self._spends[:] = 0.0
         return spends
 
-    def _sw_for(self, budget: float) -> SquareWaveMechanism:
-        """A cached SW mechanism at a data-dependent budget.
+    def _constants_rows(self, budgets: np.ndarray) -> np.ndarray:
+        """``(budgets.size, 6)`` constants matrix at per-user budgets.
 
-        Construction goes through the scalar :func:`sw_probabilities`
-        (``math`` transcendentals), keeping the batch path's constants
-        bit-identical to the scalar baselines, which build a fresh
-        mechanism per publication.  The cache is bounded so continuous
-        budget trajectories (BD-SW) cannot grow it without limit; a
-        reset only costs re-deriving the constants.
+        The scalar baselines build a fresh mechanism per publication;
+        here each distinct budget's scalar constants row is computed once
+        (:func:`_sw_constants`, Python float arithmetic in the exact
+        scalar expression order — NumPy's SIMD ``exp``/``expm1`` differ
+        from ``libm`` in the last ulp, so the constants can never be
+        vectorized) and memoized in an append-only row buffer addressed
+        through a sorted key array.  BD-SW's halving rule makes most
+        budgets distinct across a population run, so lookups have to be
+        cheap on both sides: hits are one vectorized ``searchsorted``,
+        and the Python miss loop touches each new budget exactly once.
+        ``budgets`` may be unsorted and contain duplicates.
         """
-        mech = self._mech_cache.get(budget)
-        if mech is None:
-            if len(self._mech_cache) >= _MECH_CACHE_LIMIT:
-                self._mech_cache.clear()
-            mech = self._mech_cache[budget] = SquareWaveMechanism(budget)
-        return mech
+        keys = self._const_keys
+        pos = np.searchsorted(keys, budgets)
+        if keys.size:
+            inb = pos < keys.size
+            found = inb.copy()
+            found[inb] = keys[pos[inb]] == budgets[inb]
+            miss = ~found
+        else:
+            miss = np.ones(budgets.size, dtype=bool)
+        if miss.any():
+            missing = np.unique(budgets[miss])
+            start = self._const_n
+            if start + missing.size > _CONST_CACHE_LIMIT:
+                keys = np.empty(0)
+                self._const_kidx = np.empty(0, dtype=np.intp)
+                start = 0
+            buf = self._const_buf
+            while start + missing.size > buf.shape[0]:
+                buf = self._const_buf = np.concatenate([buf, np.empty_like(buf)])
+            buf[start : start + missing.size] = np.array(
+                [_sw_constants(b) for b in missing.tolist()]
+            )
+            where = np.searchsorted(keys, missing)
+            self._const_keys = keys = np.insert(keys, where, missing)
+            self._const_kidx = np.insert(
+                self._const_kidx, where, np.arange(start, start + missing.size)
+            )
+            self._const_n = start + missing.size
+            pos = np.searchsorted(keys, budgets)
+        return self._const_buf[self._const_kidx[pos]]
 
     def _grouped_publish_noise(
-        self, budgets: np.ndarray, values: np.ndarray
+        self,
+        budgets: np.ndarray,
+        values: np.ndarray,
+        consts: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """``sqrt(Var_SW(budget)(x))`` per user, grouped by distinct budget."""
-        noise = np.empty(values.size)
-        for budget in np.unique(budgets):
-            group = budgets == budget
-            mech = self._sw_for(float(budget))
-            noise[group] = np.sqrt(
-                np.asarray(mech.output_variance(values[group]), dtype=float)
-            )
-        return noise
+        """``sqrt(Var_SW(budget)(x))`` per user, at per-user budgets.
+
+        One vectorized pass over the whole slice: the per-budget scalar
+        constants come from the cache (or a caller-precomputed per-user
+        slice of it — the rows are pure functions of the budget, so the
+        assembly route cannot change the bits), the value-dependent
+        arithmetic runs elementwise with per-user constant arrays —
+        bit-identical to evaluating ``output_variance`` one budget group
+        at a time.
+        """
+        if consts is None:
+            consts = self._constants_rows(budgets)
+        return kernels.sw_publish_noise(
+            values,
+            consts[:, _B],
+            consts[:, _P_MINUS_Q],
+            consts[:, _MEAN_CONST],
+            consts[:, _MEAN_COEF],
+            consts[:, _BASE_MOMENT],
+        )
 
     def _grouped_publish_draw(
-        self, budgets: np.ndarray, values: np.ndarray
+        self,
+        budgets: np.ndarray,
+        values: np.ndarray,
+        consts: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """SW publication draws per user, grouped by distinct budget.
 
-        Groups are drawn in ascending-budget order — deterministic, and
-        vacuous for a single user (the bit-identity case).
+        Groups consume the generator in ascending-budget order — the
+        historical contract, vacuous for a single user (the bit-identity
+        case).  Instead of one ``perturb`` call per group, the pass
+        draws every group's three uniform blocks as a single
+        ``random(3 * n)`` call (the ``Generator.random`` fill is
+        sequential, so one call sliced per group consumes the exact
+        doubles of the per-group calls) and applies the SW arithmetic
+        elementwise with per-user constants via the kernel tier.
         """
-        reports = np.empty(values.size)
-        for budget in np.unique(budgets):
-            group = budgets == budget
-            mech = self._sw_for(float(budget))
-            reports[group] = mech.perturb(values[group], self._rng)
+        uniq, inverse = np.unique(budgets, return_inverse=True)
+        if consts is None:
+            consts = self._constants_rows(uniq)[inverse]
+        # Users sorted by (budget, original position): the stable argsort
+        # reproduces each group's historical intra-group order.
+        order = np.argsort(inverse, kind="stable")
+        group = inverse[order]
+        rows = consts[order]
+        # perturb() clips through _prepare before drawing.
+        v = np.clip(values[order], 0.0, 1.0)
+        n = values.size
+        uniforms = self._rng.random(3 * n)
+        counts = np.bincount(inverse, minlength=uniq.size)
+        starts = np.cumsum(counts) - counts
+        # Group g's block is uniforms[3 * start : 3 * start + 3 * count],
+        # split [near | span | far]; position-in-group indexes into each.
+        pos = np.arange(n) - starts[group]
+        base = 3 * starts[group]
+        size = counts[group]
+        reports = np.empty(n)
+        reports[order] = kernels.sw_report_from_uniforms(
+            v,
+            rows[:, _B],
+            rows[:, _NEAR_MASS],
+            uniforms[base + pos],
+            uniforms[base + size + pos],
+            uniforms[base + 2 * size + pos],
+        )
         return reports
 
 
@@ -235,7 +346,12 @@ class BatchBDSW(_VariableSpendEngine):
         probes = self._probe_mech.perturb_batch(values, self._rng)
         self._spends[active] = self.probe_epsilon
 
-        window = self.window_spends[active]
+        # Full participation (the common case) mutates the state matrix in
+        # place; a partial slot works on a gathered copy, scattered back
+        # below.  NumPy buffers the overlapping in-place shift, so both
+        # paths see identical values.
+        full = active.size == self.n_users
+        window = self.window_spends if full else self.window_spends[active]
         window[:, :-1] = window[:, 1:]
         window[:, -1] = 0.0
         # Left-to-right accumulation mirrors the scalar `sum(deque)`.
@@ -248,17 +364,33 @@ class BatchBDSW(_VariableSpendEngine):
         first = np.isnan(last)
         can_publish = candidate > _MIN_PUBLISH_EPSILON
         publish = first & can_publish
+        # Both the noise comparison and the publication draw need the SW
+        # constants at the halving-rule candidates, and the publishing
+        # users are a subset of the capable ones — one cache pass over
+        # the capable slice (sorted-unique keys keep the lookup cheap)
+        # serves both.  The rows are pure functions of the budget, so
+        # slicing a shared matrix is bit-identical to two lookups.
+        can_idx = np.flatnonzero(can_publish)
+        if can_idx.size:
+            uniq, inv = np.unique(candidate[can_idx], return_inverse=True)
+            rows_can = self._constants_rows(uniq)[inv]
+            pos_in_can = np.empty(values.size, dtype=np.intp)
+            pos_in_can[can_idx] = np.arange(can_idx.size)
         decide = np.flatnonzero(~first & can_publish)
         if decide.size:
             dissimilarity = np.abs(probes[decide] - last[decide])
-            noise = self._grouped_publish_noise(candidate[decide], values[decide])
+            noise = self._grouped_publish_noise(
+                candidate[decide], values[decide], rows_can[pos_in_can[decide]]
+            )
             publish[decide] = dissimilarity > noise
 
         pub = np.flatnonzero(publish)
         if pub.size:
             pub_ids = active[pub]
             spend = candidate[pub]
-            drawn = self._grouped_publish_draw(spend, values[pub])
+            drawn = self._grouped_publish_draw(
+                spend, values[pub], rows_can[pos_in_can[pub]]
+            )
             self._spends[pub_ids] += spend
             window[pub, -1] = spend
             self.last_report[pub_ids] = drawn
@@ -271,7 +403,8 @@ class BatchBDSW(_VariableSpendEngine):
         if fallback.size:
             self.last_report[active[fallback]] = probes[fallback]
 
-        self.window_spends[active] = window
+        if not full:
+            self.window_spends[active] = window
         self.accumulated_deviation[active] += values - reports
         return reports
 
@@ -315,8 +448,12 @@ class BatchToPL(BatchOnlinePerturber):
         self.accumulated_deviation = np.zeros(self.n_users)
 
     def _fit_tau(self) -> None:
-        rows = [row[np.isfinite(row)] for row in self._phase1]
-        self.tau = estimate_tau_rows(rows, self.epsilon_per_slot, self.quantile)
+        # One batched fit over the NaN-padded phase-1 buffer: bit-identical
+        # to extracting each row's finite reports and fitting row lists,
+        # without the per-user Python extraction loop.
+        self.tau = estimate_tau_matrix(
+            self._phase1, self.epsilon_per_slot, self.quantile
+        )
 
     def _perturb_active(self, values: np.ndarray, active: np.ndarray) -> np.ndarray:
         t = self._t

@@ -34,7 +34,7 @@ from ..core.base import StreamPerturber
 from ..mechanisms import HybridMechanism, Mechanism, SquareWaveMechanism
 from ..privacy import WEventAccountant
 
-__all__ = ["ToPL", "estimate_tau_rows", "range_phase_length"]
+__all__ = ["ToPL", "estimate_tau_matrix", "estimate_tau_rows", "range_phase_length"]
 
 #: smallest admissible clipping threshold (guards against a degenerate fit)
 _MIN_TAU = 0.05
@@ -47,6 +47,16 @@ def range_phase_length(horizon: int, range_fraction: float) -> int:
     """Number of leading slots spent on range estimation."""
     n_range = max(int(round(horizon * range_fraction)), 1)
     return min(n_range, horizon)
+
+
+def _tau_from_distributions(distributions: np.ndarray, quantile: float) -> np.ndarray:
+    """Quantile thresholds of fitted per-row distributions, floored."""
+    cdf = np.cumsum(distributions, axis=1)
+    # First bin whose CDF reaches the quantile — the vectorized form of
+    # ``np.searchsorted(cdf_row, quantile)`` for nondecreasing rows.
+    idx = (cdf < quantile).sum(axis=1)
+    tau = (np.minimum(idx, _TAU_BINS - 1) + 1.0) / _TAU_BINS
+    return np.maximum(tau, _MIN_TAU)
 
 
 def estimate_tau_rows(
@@ -63,12 +73,27 @@ def estimate_tau_rows(
     """
     mech = SquareWaveMechanism(epsilon)
     distributions = mech.estimate_distribution_rows(report_rows, n_bins=_TAU_BINS)
-    cdf = np.cumsum(distributions, axis=1)
-    # First bin whose CDF reaches the quantile — the vectorized form of
-    # ``np.searchsorted(cdf_row, quantile)`` for nondecreasing rows.
-    idx = (cdf < quantile).sum(axis=1)
-    tau = (np.minimum(idx, _TAU_BINS - 1) + 1.0) / _TAU_BINS
-    return np.maximum(tau, _MIN_TAU)
+    return _tau_from_distributions(distributions, quantile)
+
+
+def estimate_tau_matrix(
+    report_matrix: np.ndarray,
+    epsilon: float,
+    quantile: float,
+) -> np.ndarray:
+    """:func:`estimate_tau_rows` for a NaN-padded phase-1 report matrix.
+
+    Bit-identical to calling :func:`estimate_tau_rows` on the list of
+    each row's finite entries, without the per-row Python extraction —
+    the population engine's fit path.  Non-finite entries mark slots the
+    user never reported; an all-NaN row keeps the uniform prior
+    (``tau = 1``, no clipping).
+    """
+    mech = SquareWaveMechanism(epsilon)
+    distributions = mech.estimate_distribution_matrix(
+        report_matrix, n_bins=_TAU_BINS
+    )
+    return _tau_from_distributions(distributions, quantile)
 
 
 class ToPL(StreamPerturber):

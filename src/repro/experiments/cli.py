@@ -98,7 +98,7 @@ def _format_algorithms() -> str:
     from ..registry import ALGORITHMS, capability_matrix
 
     matrix = capability_matrix()
-    columns = ["scalar", "batch", "sharded", "live", "participation"]
+    columns = ["scalar", "batch", "sharded", "live", "participation", "kernels"]
     rows = []
     for name in sorted(matrix):
         flags = matrix[name]

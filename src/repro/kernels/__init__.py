@@ -1,0 +1,145 @@
+"""Optional compiled-kernel tier for the perturbation hot paths.
+
+The population engines spend their time in a handful of elementwise
+passes: the Square Wave draw (the paper's primary randomizer, the
+perturbation substrate of 10 of the 17 registered estimators) and the
+BD/BA publish pass (per-user SW draws and noise thresholds at
+data-dependent budgets).  This package holds those passes as free
+functions with two interchangeable backends:
+
+* ``numpy`` — the reference implementation, always available; expression
+  by expression identical to the historical inline code, so routing
+  through the kernel tier changes **zero bits**.
+* ``numba`` — ``@njit``-compiled loops (``fastmath=False``, so LLVM may
+  not contract multiplies and adds into FMAs), used only when numba is
+  importable.  Kernels consume **pre-drawn uniforms**: the caller draws
+  from its ``Generator`` exactly as the numpy path does, so the stream
+  consumption order — the determinism contract of the whole runtime —
+  is backend-invariant, and the arithmetic is restricted to operations
+  (add/sub/mul/div/compare/select) whose IEEE results cannot differ
+  between a C loop and a NumPy ufunc.
+
+Backend selection happens at import and is re-evaluated by
+:func:`select_backend`:
+
+* ``REPRO_KERNELS=auto`` (default) — numba when importable, else numpy;
+* ``REPRO_KERNELS=numba`` — require numba, raise if it is missing;
+* ``REPRO_KERNELS=numpy`` / ``REPRO_KERNELS=off`` — force the fallback.
+
+The equivalence harness (``tests/kernels/``) pins every kernel bitwise
+against the pre-kernel inline expressions, for both backends, and the
+golden fixtures hold the full engines to the pre-rewrite numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from . import _numpy
+
+__all__ = [
+    "active_backend",
+    "numba_available",
+    "select_backend",
+    "sw_report_from_uniforms",
+    "sw_publish_noise",
+]
+
+#: env switch consulted by :func:`select_backend`
+ENV_VAR = "REPRO_KERNELS"
+
+_VALID_MODES = ("auto", "numba", "numpy", "off")
+
+_impl = _numpy
+_backend = "numpy"
+
+
+def numba_available() -> bool:
+    """Whether the numba backend can be imported and compiled."""
+    try:
+        from . import _numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def select_backend(mode: Optional[str] = None) -> str:
+    """(Re-)select the kernel backend; returns the active backend name.
+
+    ``mode`` overrides the :data:`ENV_VAR` environment switch; invalid
+    modes raise ``ValueError`` and ``mode="numba"`` raises
+    ``ImportError`` when numba is not importable (``auto`` silently
+    falls back to numpy instead).
+    """
+    global _impl, _backend
+    if mode is None:
+        mode = os.environ.get(ENV_VAR, "auto").strip().lower() or "auto"
+    if mode not in _VALID_MODES:
+        raise ValueError(
+            f"{ENV_VAR} must be one of {_VALID_MODES}, got {mode!r}"
+        )
+    if mode in ("numpy", "off"):
+        _impl, _backend = _numpy, "numpy"
+    elif mode == "numba":
+        from . import _numba
+
+        _impl, _backend = _numba, "numba"
+    else:  # auto
+        try:
+            from . import _numba
+
+            _impl, _backend = _numba, "numba"
+        except ImportError:
+            _impl, _backend = _numpy, "numpy"
+    return _backend
+
+
+def active_backend() -> str:
+    """The backend currently executing the kernels (``numpy``/``numba``)."""
+    return _backend
+
+
+def sw_report_from_uniforms(
+    values: np.ndarray,
+    b,
+    near_mass,
+    u_near: np.ndarray,
+    u_span: np.ndarray,
+    u_far: np.ndarray,
+) -> np.ndarray:
+    """Square Wave reports from pre-drawn uniforms.
+
+    ``values`` are canonical-domain inputs; ``b``/``near_mass`` are the
+    SW constants, scalar for a fixed-budget mechanism or per-element
+    arrays for the grouped data-dependent-budget pass.  The three
+    uniform arrays are the mechanism's draws in its historical order:
+    branch selector, near-window offset, far-region position.
+    """
+    return _impl.sw_report_from_uniforms(values, b, near_mass, u_near, u_span, u_far)
+
+
+def sw_publish_noise(
+    values: np.ndarray,
+    b,
+    p_minus_q,
+    mean_const,
+    mean_coef,
+    base_moment,
+) -> np.ndarray:
+    """``sqrt(Var_SW(x))`` with (possibly per-element) SW constants.
+
+    The scalar parts of the variance formula (``mean_const``,
+    ``mean_coef``, ``base_moment``) must be precomputed with Python
+    float arithmetic in the historical expression order — see
+    ``repro.baselines.batch._sw_constants`` — so the result stays
+    bit-identical to ``sqrt(SquareWaveMechanism.output_variance(x))``.
+    """
+    return _impl.sw_publish_noise(
+        values, b, p_minus_q, mean_const, mean_coef, base_moment
+    )
+
+
+select_backend()

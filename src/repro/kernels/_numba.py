@@ -1,0 +1,68 @@
+"""Numba-compiled kernel implementations.
+
+Importing this module requires numba; :func:`repro.kernels.select_backend`
+treats the ImportError as "backend unavailable".  The compiled loops are
+restricted to add/sub/mul/div/compare/select on float64 — operations
+whose IEEE-754 results are identical between a scalar C loop and a
+NumPy ufunc — and are compiled with ``fastmath=False`` so LLVM cannot
+contract a multiply-add into an FMA (which would change the last ulp).
+
+The noise kernel stays on the NumPy implementation even under this
+backend: its cube terms go through NumPy's integer-exponent ``power``
+fast path, which a hand-written loop cannot be proven to reproduce
+bit-for-bit, and the draw loop is where the time goes anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from ._numpy import sw_publish_noise  # noqa: F401  (numpy-only on purpose)
+
+
+@njit(cache=True, fastmath=False)
+def _sw_report_scalar_const(values, b, near_mass, u_near, u_span, u_far):
+    n = values.size
+    out = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        if u_near[i] < near_mass:
+            out[i] = values[i] + b * (2.0 * u_span[i] - 1.0)
+        elif u_far[i] < values[i]:
+            out[i] = -b + u_far[i]
+        else:
+            out[i] = b + u_far[i]
+    return out
+
+
+@njit(cache=True, fastmath=False)
+def _sw_report_array_const(values, b, near_mass, u_near, u_span, u_far):
+    n = values.size
+    out = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        if u_near[i] < near_mass[i]:
+            out[i] = values[i] + b[i] * (2.0 * u_span[i] - 1.0)
+        elif u_far[i] < values[i]:
+            out[i] = -b[i] + u_far[i]
+        else:
+            out[i] = b[i] + u_far[i]
+    return out
+
+
+def sw_report_from_uniforms(values, b, near_mass, u_near, u_span, u_far):
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    u_near = np.ascontiguousarray(u_near, dtype=np.float64)
+    u_span = np.ascontiguousarray(u_span, dtype=np.float64)
+    u_far = np.ascontiguousarray(u_far, dtype=np.float64)
+    if np.ndim(b) == 0:
+        return _sw_report_scalar_const(
+            values, float(b), float(near_mass), u_near, u_span, u_far
+        )
+    return _sw_report_array_const(
+        values,
+        np.ascontiguousarray(b, dtype=np.float64),
+        np.ascontiguousarray(near_mass, dtype=np.float64),
+        u_near,
+        u_span,
+        u_far,
+    )

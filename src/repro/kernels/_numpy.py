@@ -1,0 +1,33 @@
+"""Reference (pure NumPy) kernel implementations.
+
+These are the exact expressions the mechanisms and batch engines used
+inline before the kernel tier existed — moved, not rewritten.  Every
+operation is elementwise IEEE arithmetic, so broadcasting a Python-float
+constant and indexing a per-element constant array produce the same
+bits; the equivalence harness pins both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sw_report_from_uniforms(values, b, near_mass, u_near, u_span, u_far):
+    # Historically the body of SquareWaveMechanism.perturb: branch
+    # selector, then uniform in [v - b, v + b], then a position on the
+    # length-1 far region [-b, v - b) u (v + b, 1 + b].
+    near = u_near < near_mass
+    near_draw = values + b * (2.0 * u_span - 1.0)
+    left = u_far < values
+    far_draw = np.where(left, -b + u_far, b + u_far)
+    return np.where(near, near_draw, far_draw)
+
+
+def sw_publish_noise(values, b, p_minus_q, mean_const, mean_coef, base_moment):
+    # sqrt of SquareWaveMechanism.output_variance with the all-scalar
+    # subexpressions precomputed (Python float arithmetic) and the
+    # value-dependent parts kept in the historical ufunc order.
+    mean = mean_const + mean_coef * values
+    window = p_minus_q * ((values + b) ** 3 - (values - b) ** 3) / 3
+    raw_second = base_moment + window
+    return np.sqrt(raw_second - mean**2)

@@ -24,6 +24,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from .. import kernels
 from .._validation import ensure_epsilon, ensure_positive_int
 from .base import Mechanism, OutputDomain
 
@@ -89,16 +90,17 @@ class SquareWaveMechanism(Mechanism):
         flat = arr.ravel()
         n = flat.size
 
-        near = rng.random(n) < self.near_mass
-        # Near branch: uniform in [v - b, v + b].
-        near_draw = flat + self.b * (2.0 * rng.random(n) - 1.0)
-        # Far branch: uniform over [-b, 1 + b] \ [v - b, v + b], which has
-        # total length exactly 1: the left part [-b, v - b) has length v and
-        # the right part (v + b, 1 + b] has length 1 - v.
-        s = rng.random(n)
-        left = s < flat
-        far_draw = np.where(left, -self.b + s, self.b + s)
-        out = np.where(near, near_draw, far_draw)
+        # Draw order is the determinism contract: branch selector, then
+        # the near-window offset (uniform in [v - b, v + b]), then the
+        # position on the far region [-b, 1 + b] \ [v - b, v + b] (total
+        # length exactly 1: [-b, v - b) has length v, (v + b, 1 + b] has
+        # length 1 - v).  The arithmetic itself runs in the kernel tier.
+        u_near = rng.random(n)
+        u_span = rng.random(n)
+        u_far = rng.random(n)
+        out = kernels.sw_report_from_uniforms(
+            flat, self.b, self.near_mass, u_near, u_span, u_far
+        )
         return out.reshape(shape)
 
     def pdf(
@@ -253,6 +255,39 @@ class SquareWaveMechanism(Mechanism):
         )
         return np.bincount(idx, minlength=n_output_bins).astype(float)
 
+    def report_histogram_matrix(
+        self, report_matrix: np.ndarray, n_output_bins: int
+    ) -> np.ndarray:
+        """Per-row output-domain histograms of a NaN-padded report matrix.
+
+        The population form of :meth:`report_histogram`: row ``i`` of the
+        result is the histogram of the finite entries of
+        ``report_matrix[i]`` (non-finite entries mark slots the user never
+        reported).  One ``bincount`` over row-offset bin indices replaces
+        the per-row Python loop; the counts are integers, so the rule is
+        bit-identical to binning each row alone.
+        """
+        report_matrix = np.asarray(report_matrix, dtype=float)
+        n_output_bins = ensure_positive_int(n_output_bins, "n_output_bins")
+        if report_matrix.ndim != 2:
+            raise ValueError(
+                f"report_matrix must be 2-D, got shape {report_matrix.shape}"
+            )
+        n_rows = report_matrix.shape[0]
+        rows, cols = np.nonzero(np.isfinite(report_matrix))
+        if rows.size == 0:
+            return np.zeros((n_rows, n_output_bins))
+        clipped = np.clip(report_matrix[rows, cols], -self.b, 1.0 + self.b)
+        width = 1.0 + 2.0 * self.b
+        idx = np.minimum(
+            ((clipped + self.b) / width * n_output_bins).astype(int),
+            n_output_bins - 1,
+        )
+        flat = np.bincount(
+            rows * n_output_bins + idx, minlength=n_rows * n_output_bins
+        )
+        return flat.reshape(n_rows, n_output_bins).astype(float)
+
     def estimate_distribution_rows(
         self,
         report_rows: "Sequence[np.ndarray]",
@@ -285,42 +320,121 @@ class SquareWaveMechanism(Mechanism):
         n_bins = ensure_positive_int(n_bins, "n_bins")
         if n_output_bins is None:
             n_output_bins = 2 * n_bins
-        matrix = self.transition_matrix(n_bins, n_output_bins)
         counts = np.stack(
             [self.report_histogram(row, n_output_bins) for row in report_rows]
         ) if len(report_rows) else np.zeros((0, n_output_bins))
+        return self._em_rows(counts, n_bins, max_iterations, tol, smoothing)
 
-        n_rows = counts.shape[0]
+    def estimate_distribution_matrix(
+        self,
+        report_matrix: np.ndarray,
+        n_bins: int = 64,
+        n_output_bins: Optional[int] = None,
+        max_iterations: int = 200,
+        tol: float = 1e-7,
+        smoothing: bool = True,
+    ) -> np.ndarray:
+        """Multi-row EM/EMS over a NaN-padded report matrix.
+
+        Bit-identical to :meth:`estimate_distribution_rows` on the list
+        of each row's finite entries — the batched entry point for
+        population engines that buffer phase reports as a dense
+        ``(n_users, n_slots)`` matrix with NaN for missed slots.
+        """
+        n_bins = ensure_positive_int(n_bins, "n_bins")
+        if n_output_bins is None:
+            n_output_bins = 2 * n_bins
+        counts = self.report_histogram_matrix(report_matrix, n_output_bins)
+        return self._em_rows(counts, n_bins, max_iterations, tol, smoothing)
+
+    def _em_rows(
+        self,
+        counts: np.ndarray,
+        n_bins: int,
+        max_iterations: int,
+        tol: float,
+        smoothing: bool,
+    ) -> np.ndarray:
+        """Frozen-convergence EM over per-row histogram counts.
+
+        The working set is kept compact: converged (or collapsed) rows
+        are dropped by boolean compression instead of re-gathering the
+        shrinking active slice from the full estimate matrix every
+        iteration.  Each survivor sees exactly the operations — same
+        values, same C-contiguous layouts, same matmul shapes per
+        iteration — as the historical ``estimate[active]`` formulation,
+        so the trajectories are bit-identical.
+        """
+        matrix = self.transition_matrix(n_bins, counts.shape[1])
+        matrix_t = matrix.T
+        n_rows, n_out = counts.shape
         estimate = np.full((n_rows, n_bins), 1.0 / n_bins)
-        active = np.arange(n_rows)
+        index = np.arange(n_rows)
+        work = estimate.copy()
+        counts_work = np.array(counts, dtype=float)
+        # Preallocated ping-pong buffers: every elementwise step writes
+        # into one of these with ``out=`` (same ufunc, same operands and
+        # evaluation order as the expression form — only the destination
+        # differs, which cannot change the bits), so the 200-iteration
+        # loop allocates nothing large in steady state.  After a row
+        # compression the buffers are resized; content never survives an
+        # iteration, so fresh ``empty`` storage is fine.
+        mix = np.empty((n_rows, n_out))
+        upd = np.empty((n_rows, n_bins))
+        pad = np.empty((n_rows, n_bins + 2)) if smoothing else None
+        scratch = np.empty((n_rows, n_bins)) if smoothing else None
         for _ in range(max_iterations):
-            if active.size == 0:
+            if index.size == 0:
                 break
-            current = estimate[active]
-            mixture = np.maximum(current @ matrix.T, 1e-300)
-            weighted = (counts[active] / mixture) @ matrix
-            updated = current * weighted
-            total = updated.sum(axis=1)
+            np.matmul(work, matrix_t, out=mix)
+            np.maximum(mix, 1e-300, out=mix)
+            np.divide(counts_work, mix, out=mix)
+            np.matmul(mix, matrix, out=upd)
+            np.multiply(work, upd, out=upd)
+            total = upd.sum(axis=1)
             # A row whose mass collapses freezes at its pre-update value,
             # like the scalar path's `total <= 0: break`.
             alive = total > 0
-            active = active[alive]
-            if active.size == 0:
-                break
-            updated = updated[alive] / total[alive, None]
+            if not alive.all():
+                index = index[alive]
+                if index.size == 0:
+                    break
+                upd = np.ascontiguousarray(upd[alive])
+                total = total[alive]
+                work = np.ascontiguousarray(work[alive])
+                counts_work = np.ascontiguousarray(counts_work[alive])
+                mix = mix[: index.size]
+                if smoothing:
+                    pad = pad[: index.size]
+                    scratch = scratch[: index.size]
+            np.divide(upd, total[:, None], out=upd)
             if smoothing:
-                padded = np.concatenate(
-                    [updated[:, :1], updated, updated[:, -1:]], axis=1
-                )
-                updated = (
-                    padded[:, :-2] * 0.25
-                    + padded[:, 1:-1] * 0.5
-                    + padded[:, 2:] * 0.25
-                )
-                updated = updated / updated.sum(axis=1, keepdims=True)
-            delta = np.abs(updated - estimate[active]).sum(axis=1)
-            estimate[active] = updated
-            active = active[delta >= tol]
+                pad[:, 0] = upd[:, 0]
+                pad[:, 1:-1] = upd
+                pad[:, -1] = upd[:, -1]
+                np.multiply(pad[:, :-2], 0.25, out=upd)
+                np.multiply(pad[:, 1:-1], 0.5, out=scratch)
+                np.add(upd, scratch, out=upd)
+                np.multiply(pad[:, 2:], 0.25, out=scratch)
+                np.add(upd, scratch, out=upd)
+                np.divide(upd, upd.sum(axis=1, keepdims=True), out=upd)
+            np.subtract(upd, work, out=work)
+            np.abs(work, out=work)
+            delta = work.sum(axis=1)
+            estimate[index] = upd
+            converged = delta < tol
+            if converged.any():
+                keep = ~converged
+                index = index[keep]
+                work = np.ascontiguousarray(upd[keep])
+                counts_work = np.ascontiguousarray(counts_work[keep])
+                upd = np.empty_like(work)
+                mix = mix[: index.size]
+                if smoothing:
+                    pad = pad[: index.size]
+                    scratch = scratch[: index.size]
+            else:
+                work, upd = upd, work
         return estimate
 
     def estimate_mean(

@@ -27,6 +27,13 @@ layer can ask by canonical name instead of hardcoding algorithm lists:
 ``needs_horizon``
     whether the batch engine must know the stream horizon at
     construction (two-phase and segmented schedules).
+``kernels``
+    whether the estimator's hot loops route through the optional
+    compiled-kernel tier (:mod:`repro.kernels`).  True for the SW-based
+    family (probe and publication draws run through the SW report
+    kernel); the Laplace/SR/PM mechanism-generalizability variants stay
+    on plain NumPy.  The tier is a drop-in accelerator — backends are
+    bit-identical — so the flag describes routing, not results.
 """
 
 from __future__ import annotations
@@ -66,6 +73,7 @@ class AlgorithmSpec:
     description: str = ""
     needs_horizon: bool = False
     supports_participation: bool = True
+    uses_kernels: bool = True
 
     def capabilities(self) -> Dict[str, bool]:
         """Execution-mode capability flags for this estimator."""
@@ -76,6 +84,7 @@ class AlgorithmSpec:
             "live": True,
             "participation": self.supports_participation,
             "needs_horizon": self.needs_horizon,
+            "kernels": self.uses_kernels,
         }
 
 
@@ -165,12 +174,23 @@ ALGORITHMS: Dict[str, AlgorithmSpec] = {
             "laplace-direct",
             _mechanism_direct("laplace"),
             "per-slot Laplace reporting",
+            uses_kernels=False,
         ),
-        _spec("laplace-app", _mechanism_app("laplace"), "APP with Laplace"),
-        _spec("sr-direct", _mechanism_direct("sr"), "per-slot Duchi SR reporting"),
-        _spec("sr-app", _mechanism_app("sr"), "APP with Duchi SR"),
-        _spec("pm-direct", _mechanism_direct("pm"), "per-slot PM reporting"),
-        _spec("pm-app", _mechanism_app("pm"), "APP with PM"),
+        _spec(
+            "laplace-app",
+            _mechanism_app("laplace"),
+            "APP with Laplace",
+            uses_kernels=False,
+        ),
+        _spec(
+            "sr-direct",
+            _mechanism_direct("sr"),
+            "per-slot Duchi SR reporting",
+            uses_kernels=False,
+        ),
+        _spec("sr-app", _mechanism_app("sr"), "APP with Duchi SR", uses_kernels=False),
+        _spec("pm-direct", _mechanism_direct("pm"), "per-slot PM reporting", uses_kernels=False),
+        _spec("pm-app", _mechanism_app("pm"), "APP with PM", uses_kernels=False),
     ]
 }
 

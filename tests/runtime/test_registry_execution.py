@@ -115,3 +115,20 @@ def test_unknown_name_suggests_close_matches():
         run_protocol_vectorized(
             MATRIX, algorithm="cap", epsilon=1.0, w=5, rng=np.random.default_rng(0)
         )
+
+
+def test_kernels_capability_marks_the_sw_family():
+    # Every registered name exposes the column; the SW-based estimators
+    # route their draws through repro.kernels, the Laplace/SR/PM
+    # mechanism-generalizability variants stay on plain NumPy.
+    flags = {name: capabilities(name)["kernels"] for name in algorithm_names()}
+    plain_numpy = {name for name, uses in flags.items() if not uses}
+    assert plain_numpy == {
+        "laplace-direct",
+        "laplace-app",
+        "sr-direct",
+        "sr-app",
+        "pm-direct",
+        "pm-app",
+    }
+    assert flags["bd-sw"] and flags["topl"] and flags["sw-direct"]

@@ -151,3 +151,28 @@ class TestFinalize:
             store.write_cell(execute_cell(cell))
         written = store.finalize()
         assert (store.parquet_path() in written) == parquet_available()
+
+    def test_parquet_round_trips_equal_to_npz(self, tmp_path, config, cells):
+        from repro.scan import parquet_available
+
+        if not parquet_available():
+            pytest.skip("pyarrow not installed; npz is the tested contract")
+        import pyarrow.parquet as pq
+
+        store = ScanStore(tmp_path / "s", config_digest=config_digest(config))
+        store.set_n_cells(len(cells))
+        for cell in cells:
+            store.write_cell(execute_cell(cell))
+        store.finalize()
+        with np.load(store.table_path()) as data:
+            npz = {name: data[name] for name in data.files}
+        parquet = pq.read_table(store.parquet_path())
+        assert sorted(parquet.column_names) == sorted(npz)
+        for name, reference in npz.items():
+            values = parquet.column(name).to_pylist()
+            if reference.dtype.kind in "if":
+                np.testing.assert_array_equal(
+                    np.asarray(values, dtype=reference.dtype), reference
+                )
+            else:
+                assert [str(v) for v in values] == [str(v) for v in reference]

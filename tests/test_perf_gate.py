@@ -17,16 +17,16 @@ perf_gate = importlib.util.module_from_spec(spec)
 spec.loader.exec_module(perf_gate)
 
 
-def _trajectory(path, estimators):
-    payload = {
-        "population": {
-            "estimators": {
-                name: {"vectorized_users_per_sec": rate}
-                for name, rate in estimators.items()
-            }
+def _trajectory(path, estimators, n_users=None):
+    population = {
+        "estimators": {
+            name: {"vectorized_users_per_sec": rate}
+            for name, rate in estimators.items()
         }
     }
-    path.write_text(json.dumps(payload))
+    if n_users is not None:
+        population["n_users"] = n_users
+    path.write_text(json.dumps({"population": population}))
     return str(path)
 
 
@@ -84,6 +84,67 @@ class TestGateVerdicts:
         out = capsys.readouterr().out
         assert "not measured — skipped" in out  # retired
         assert "no baseline — skipped" in out  # brand-new
+
+
+class TestAbsoluteFloors:
+    def _files(self, tmp_path, rates, n_users):
+        baseline = _trajectory(tmp_path / "baseline.json", rates, n_users=n_users)
+        current = _trajectory(tmp_path / "current.json", rates, n_users=n_users)
+        return baseline, current
+
+    def test_floor_breach_fails_at_full_scale(self, tmp_path, capsys):
+        # Relative gate passes (identical numbers) but bd-sw sits below
+        # its absolute floor — a revert of the population rewrite would
+        # look exactly like this after a baseline refresh.
+        baseline, current = self._files(
+            tmp_path, {"bd-sw": 1_500.0, "topl": 6_000.0}, n_users=2000
+        )
+        code = perf_gate.main(["--baseline", baseline, "--current", current])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "below the absolute floor" in captured.err
+        assert "bd-sw" in captured.err and "topl" not in captured.err
+
+    def test_floors_pass_above_the_line(self, tmp_path):
+        baseline, current = self._files(
+            tmp_path, {"bd-sw": 30_000.0, "topl": 6_000.0}, n_users=2000
+        )
+        assert perf_gate.main(["--baseline", baseline, "--current", current]) == 0
+
+    def test_floors_skip_at_smoke_scale(self, tmp_path, capsys):
+        baseline, current = self._files(
+            tmp_path, {"bd-sw": 100.0, "topl": 100.0}, n_users=300
+        )
+        assert perf_gate.main(["--baseline", baseline, "--current", current]) == 0
+        assert "floors: skipped" in capsys.readouterr().out
+
+    def test_floors_skip_without_scale_metadata(self, files):
+        baseline, current = files({"bd-sw": 100.0}, {"bd-sw": 100.0})
+        assert perf_gate.main(["--baseline", baseline, "--current", current]) == 0
+
+    def test_env_override_raises_and_disables(self, tmp_path, monkeypatch, capsys):
+        baseline, current = self._files(
+            tmp_path, {"bd-sw": 30_000.0, "topl": 6_000.0}, n_users=2000
+        )
+        monkeypatch.setenv("REPRO_BENCH_FLOOR_BD_SW", "40000")
+        assert perf_gate.main(["--baseline", baseline, "--current", current]) == 1
+        monkeypatch.setenv("REPRO_BENCH_FLOOR_BD_SW", "0")
+        assert perf_gate.main(["--baseline", baseline, "--current", current]) == 0
+        assert "floor bd-sw: disabled" in capsys.readouterr().out
+
+    def test_unmeasured_floor_estimator_skips(self, tmp_path, capsys):
+        baseline, current = self._files(tmp_path, {"capp": 90_000.0}, n_users=2000)
+        assert perf_gate.main(["--baseline", baseline, "--current", current]) == 0
+        assert "not measured — skipped" in capsys.readouterr().out
+
+    def test_committed_floors_hold_in_the_committed_trajectory(self):
+        """The repo-root numbers must clear their own floors."""
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        path = os.path.join(root, "BENCH_population.json")
+        rates = perf_gate.load_estimators(path)
+        if perf_gate.load_bench_scale(path) >= perf_gate.FLOOR_MIN_USERS:
+            for name, floor in perf_gate.DEFAULT_ESTIMATOR_FLOORS.items():
+                assert rates[name] >= floor, (name, rates[name], floor)
 
 
 class TestGateErrors:
