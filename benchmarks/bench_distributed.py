@@ -1,0 +1,134 @@
+"""Distributed gateway bench: scaling curve across worker processes.
+
+Serves one population through the shard-state aggregation tree at 1, 2,
+and 4 worker processes — each worker an OS process with its own
+listener, pipeline, and loopback client fleet, streaming finalized
+per-slot shard states to the root over TCP — and records aggregate
+worker-side reports/sec per fleet size.  Every point on the curve is
+asserted bit-identical to ``run_protocol_sharded`` (scale-out must
+never change an answer), and on machines with enough cores the curve
+must clear the scaling floor.
+
+Sized through the environment so CI smoke jobs run at toy scale:
+
+* ``REPRO_BENCH_DIST_USERS`` / ``REPRO_BENCH_DIST_SLOTS`` — population
+  shape (default 8000 x 40).
+* ``REPRO_BENCH_DIST_SHARDS`` — user-shards (default 8; every worker
+  count must divide into contiguous ranges of these).
+* ``REPRO_BENCH_DIST_WORKERS`` — comma-separated fleet sizes
+  (default ``1,2,4``).
+* ``REPRO_BENCH_DIST_MIN_SCALING`` — required speedup of the largest
+  fleet over one worker (default 1.5).  Enforced only when the machine
+  has at least as many CPUs as the largest fleet; the recorded
+  ``cpu_count`` lets ``perf_gate.py`` apply the same rule offline.
+"""
+
+import os
+
+import numpy as np
+
+from repro.gateway import run_distributed_processes
+from repro.runtime import MatrixSource, run_protocol_sharded
+
+_PARAMS = dict(epsilon=1.0, w=10, seed=1)
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def _matrix_source(n_users: int, horizon: int, chunk: int) -> MatrixSource:
+    """Rebuild the bench population inside each worker process.
+
+    Top-level so ``functools.partial`` over it pickles under any
+    multiprocessing start method; the seeded generator makes every
+    process materialize the same matrix.
+    """
+    matrix = np.random.default_rng(0).random((n_users, horizon))
+    return MatrixSource(matrix, chunk_size=chunk)
+
+
+def test_distributed_scaling(record_table, record_population_bench):
+    import functools
+
+    n_users = _env_int("REPRO_BENCH_DIST_USERS", 8_000)
+    horizon = _env_int("REPRO_BENCH_DIST_SLOTS", 40)
+    n_shards = _env_int("REPRO_BENCH_DIST_SHARDS", 8)
+    min_scaling = float(os.environ.get("REPRO_BENCH_DIST_MIN_SCALING", "1.5"))
+    fleet_sizes = [
+        int(part)
+        for part in os.environ.get("REPRO_BENCH_DIST_WORKERS", "1,2,4").split(",")
+        if part.strip()
+    ]
+    cpu_count = os.cpu_count() or 1
+
+    chunk = -(-n_users // n_shards)  # ceil division
+    make_source = functools.partial(_matrix_source, n_users, horizon, chunk)
+    offline = run_protocol_sharded(make_source(), **_PARAMS)
+
+    curve = {}
+    for workers in fleet_sizes:
+        run = run_distributed_processes(
+            make_source,
+            n_shards=n_shards,
+            workers=workers,
+            keep_reports=False,
+            **_PARAMS,
+        )
+        # Scale-out must never change an answer, bit for bit.
+        assert (
+            run.result.collector.state.slot_sums == offline.collector.state.slot_sums
+        )
+        assert (
+            run.result.collector.state.slot_counts
+            == offline.collector.state.slot_counts
+        )
+        np.testing.assert_array_equal(
+            run.result.population_mean_series(),
+            offline.collector.population_mean_series(),
+        )
+        assert run.result.n_reports == n_users * horizon
+        totals = run.metrics_payload()["totals"]
+        curve[str(workers)] = {
+            "reports_per_second": totals["reports_per_second"],
+            "elapsed_seconds": totals["elapsed_seconds"],
+        }
+
+    base = curve[str(fleet_sizes[0])]["reports_per_second"]
+    top_fleet = max(fleet_sizes)
+    scaling = curve[str(top_fleet)]["reports_per_second"] / base if base else 0.0
+    floor_armed = cpu_count >= top_fleet
+
+    lines = [
+        f"distributed tree at {n_users} users x {horizon} slots "
+        f"({n_shards} shards, {cpu_count} cpus)",
+    ]
+    for workers in fleet_sizes:
+        point = curve[str(workers)]
+        lines.append(
+            f"  {workers} worker(s): {point['reports_per_second']:12.0f} "
+            f"reports/s  ({point['elapsed_seconds']:7.3f}s)"
+        )
+    lines.append(
+        f"  scaling at {top_fleet} workers: {scaling:.2f}x  "
+        f"(floor {min_scaling:.2f}x, "
+        f"{'armed' if floor_armed else f'not armed on {cpu_count} cpu(s)'})"
+    )
+    record_table("distributed_scaling", "\n".join(lines))
+    record_population_bench(
+        "distributed",
+        {
+            "n_users": n_users,
+            "horizon": horizon,
+            "n_shards": n_shards,
+            "cpu_count": cpu_count,
+            "workers": curve,
+            "scaling": round(scaling, 3),
+            "min_scaling": min_scaling,
+        },
+    )
+    if floor_armed:
+        assert scaling >= min_scaling, (
+            f"distributed scaling {scaling:.2f}x at {top_fleet} workers is "
+            f"below the {min_scaling:.2f}x floor on a {cpu_count}-cpu machine"
+        )

@@ -272,6 +272,107 @@ def compare_scan(
     return lines, regressions
 
 
+def distributed_min_scaling() -> float:
+    """The multi-worker speedup floor (read at call time for tests)."""
+    return float(os.environ.get("REPRO_BENCH_DIST_MIN_SCALING", 1.5))
+
+
+def load_distributed(path: str) -> Dict[str, object]:
+    """The gated scalars from a trajectory file's ``distributed`` section.
+
+    Returns an empty dict when the section is absent (smoke runs that
+    measured only the estimator matrix) — the distributed gate then
+    skips.
+    """
+    with open(path) as fh:
+        document = json.load(fh)
+    section = document.get("distributed", {})
+    if not isinstance(section, dict):
+        return {}
+    gated: Dict[str, object] = {}
+    workers = section.get("workers")
+    if isinstance(workers, dict):
+        rates = {}
+        for count, payload in workers.items():
+            rate = (payload or {}).get("reports_per_second")
+            if isinstance(rate, (int, float)) and rate > 0:
+                rates[str(count)] = float(rate)
+        if rates:
+            gated["workers"] = rates
+    for key in ("scaling", "cpu_count"):
+        value = section.get(key)
+        if isinstance(value, (int, float)):
+            gated[key] = float(value)
+    return gated
+
+
+def compare_distributed(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    tolerance: float,
+) -> Tuple[List[str], List[str]]:
+    """Verdict lines and regressions for the worker scaling curve.
+
+    Two checks: the relative floor on each fleet size's aggregate
+    reports/sec against the committed baseline, and the absolute
+    multi-worker scaling floor (``REPRO_BENCH_DIST_MIN_SCALING``,
+    default 1.5x) — the latter armed only when the measuring machine
+    recorded at least as many CPUs as the largest fleet, because a
+    single-core box cannot express process-level parallelism.
+    """
+    lines: List[str] = []
+    regressions: List[str] = []
+    if not current:
+        lines.append("  distributed: not measured — skipped")
+        return lines, regressions
+    floor_factor = 1.0 - tolerance
+    base_rates = baseline.get("workers") or {}
+    cur_rates = current.get("workers") or {}
+    for count in sorted(cur_rates, key=int):
+        rate = cur_rates[count]
+        if count not in base_rates:
+            lines.append(
+                f"  distributed {count} worker(s): {rate:.0f}  "
+                "(no baseline — skipped)"
+            )
+            continue
+        ratio = rate / base_rates[count]
+        verdict = "ok" if ratio >= floor_factor else "REGRESSED"
+        lines.append(
+            f"  distributed {count} worker(s) {base_rates[count]:12.0f} -> "
+            f"{rate:12.0f}  ({ratio:6.2f}x)  {verdict}"
+        )
+        if ratio < floor_factor:
+            regressions.append(
+                f"distributed {count} worker(s): {rate:.0f} reports/s is "
+                f"{(1.0 - ratio) * 100:.0f}% below the committed "
+                f"{base_rates[count]:.0f} (allowed drop: {tolerance * 100:.0f}%)"
+            )
+    scaling = current.get("scaling")
+    if isinstance(scaling, float) and cur_rates:
+        top_fleet = max(int(count) for count in cur_rates)
+        cpus = int(current.get("cpu_count") or 0)
+        min_scaling = distributed_min_scaling()
+        if cpus >= top_fleet > 1:
+            verdict = "ok" if scaling >= min_scaling else "REGRESSED"
+            lines.append(
+                f"  distributed scaling at {top_fleet} workers: "
+                f"{scaling:.2f}x  (floor {min_scaling:.2f}x)  {verdict}"
+            )
+            if scaling < min_scaling:
+                regressions.append(
+                    f"distributed: {scaling:.2f}x scaling at {top_fleet} "
+                    f"workers is below the {min_scaling:.2f}x floor "
+                    f"(measured on {cpus} cpus)"
+                )
+        else:
+            lines.append(
+                f"  distributed scaling at {top_fleet} workers: "
+                f"{scaling:.2f}x  (floor not armed on {cpus} cpu(s))"
+            )
+    return lines, regressions
+
+
 def compare(
     baseline: Dict[str, float],
     current: Dict[str, float],
@@ -351,6 +452,11 @@ def main(argv=None) -> int:
     )
     lines += scan_lines
     regressions += scan_regressions
+    dist_lines, dist_regressions = compare_distributed(
+        load_distributed(args.baseline), load_distributed(args.current), args.tolerance
+    )
+    lines += dist_lines
+    regressions += dist_regressions
     print(
         f"perf gate: {METRIC}, tolerance {args.tolerance * 100:.0f}% "
         f"({len(current)} measured vs {len(baseline)} baseline)"

@@ -55,7 +55,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .figures import (
     run_fig4,
@@ -421,6 +421,42 @@ def _gateway_workload(args):
     return scenario, source, n_shards, protocol
 
 
+def _worker_scenario_source(scenario, n_users, horizon, n_shards, seed):
+    """Rebuild the workload source inside a worker process.
+
+    Top-level so :func:`functools.partial` over it pickles under any
+    multiprocessing start method (spawn included).
+    """
+    from ..runtime import scenario_source
+
+    return scenario_source(
+        scenario, n_users=n_users, horizon=horizon, n_shards=n_shards, seed=seed
+    )
+
+
+def _distributed_source_factory(args: argparse.Namespace):
+    """The picklable ``make_source`` for process-per-worker serving."""
+    import functools
+
+    return functools.partial(
+        _worker_scenario_source,
+        (args.datasets or ["bursty"])[0],
+        _scaled(2_000, args.scale),
+        _scaled(96, args.scale),
+        max(args.shards, 1),
+        args.seed,
+    )
+
+
+def _parse_hostport(text: str, flag: str) -> Tuple[str, int]:
+    host, _, port_text = text.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise CLIError(f"{flag} must be HOST:PORT, got {text!r}") from None
+    return host or "127.0.0.1", port
+
+
 def _write_metrics_json(path: str, payload: Dict) -> None:
     import json
 
@@ -434,6 +470,24 @@ def _write_metrics_json(path: str, payload: Dict) -> None:
 def _run_gateway_serve(args: argparse.Namespace) -> str:
     from ..gateway import run_gateway
     from ..runtime import run_protocol_sharded
+
+    workers = max(args.workers, 1)
+    if args.connect_root:
+        return _serve_distributed_workers(args)
+    if workers > 1:
+        if args.standalone:
+            raise CLIError(
+                "--standalone hosts one in-process gateway; for multi-worker "
+                "serving start gateway-root and attach gateway-serve "
+                "--connect-root HOST:PORT --workers N"
+            )
+        if args.wal:
+            raise CLIError(
+                "--wal is per-worker state that gateway-serve --workers N "
+                "does not manage; drill durability on a single worker "
+                "(--workers 1 --wal DIR)"
+            )
+        return _serve_distributed(args)
 
     if args.wal:
         from ..wal import WriteAheadLog
@@ -653,6 +707,271 @@ def _serve_recovered(args: argparse.Namespace) -> str:
     return format_table(["metric", "value"], rows, title="Gateway serve (recovered)")
 
 
+def _serve_distributed(args: argparse.Namespace) -> str:
+    """Root aggregator plus N worker processes, all driven in-process.
+
+    One OS process per worker, each serving its contiguous shard range
+    behind its own listener and streaming finalized shard states to the
+    root over loopback TCP — the single-command version of the
+    ``gateway-root`` + ``--connect-root`` two-command deployment.
+    """
+    from ..gateway import GatewayError, run_distributed_processes
+    from ..runtime import run_protocol_sharded
+
+    scenario, source, n_shards, protocol = _gateway_workload(args)
+    workers = max(args.workers, 1)
+    if workers > n_shards:
+        raise CLIError(
+            f"--workers {workers} exceeds the {n_shards} shard(s); "
+            "each worker needs at least one contiguous shard (raise --shards)"
+        )
+    try:
+        run = run_distributed_processes(
+            _distributed_source_factory(args),
+            n_shards=n_shards,
+            workers=workers,
+            host=args.host,
+            root_port=args.port,
+            complete_timeout=args.serve_timeout or 300.0,
+            **protocol,
+        )
+    except (ConnectionError, TimeoutError, OSError, GatewayError, RuntimeError) as error:
+        raise CLIError(f"distributed gateway serve failed: {error}") from error
+    snapshot = run.metrics.snapshot()
+    totals = run.metrics_payload()["totals"]
+    bit_identical = None
+    if args.verify:
+        offline = run_protocol_sharded(source, **protocol)
+        bit_identical = bool(
+            run.result.collector.state.slot_sums == offline.collector.state.slot_sums
+            and run.result.collector.state.slot_counts
+            == offline.collector.state.slot_counts
+        )
+    rows = [
+        ["scenario", scenario],
+        ["workers (processes)", workers],
+        ["shards (connections)", n_shards],
+        ["algorithm", protocol["algorithm"]],
+        ["reports ingested", run.result.n_reports],
+        ["workers reports/s (aggregate)", f"{totals['reports_per_second']:.0f}"],
+        [
+            "worst worker p99 slot latency",
+            f"{totals['worst_p99_slot_latency_seconds'] * 1e3:.3f} ms",
+        ],
+        ["root bytes received", snapshot["bytes_received"]],
+        ["root duplicates", snapshot["duplicates"]],
+        ["reconnects", sum(r.reconnects for r in run.shard_reports)],
+    ]
+    if bit_identical is not None:
+        rows.append(["bit-identical to sharded run", "yes" if bit_identical else "NO"])
+    if args.metrics_out:
+        payload = run.metrics_payload()
+        payload.update(
+            {
+                "scenario": scenario,
+                "n_shards": n_shards,
+                "n_workers": workers,
+                "algorithm": protocol["algorithm"],
+                "bit_identical": bit_identical,
+                "shards": [
+                    {
+                        "shard": r.shard,
+                        "uploaded": r.uploaded,
+                        "duplicates": r.duplicates,
+                        "skipped": r.skipped,
+                        "reconnects": r.reconnects,
+                    }
+                    for r in run.shard_reports
+                ],
+            }
+        )
+        _write_metrics_json(args.metrics_out, payload)
+        rows.append(["metrics json", args.metrics_out])
+    if bit_identical is False:
+        raise CLIError(
+            "distributed estimates diverged from the offline sharded run"
+        )
+    return format_table(
+        ["metric", "value"], rows, title="Gateway serve (distributed tree)"
+    )
+
+
+def _serve_distributed_workers(args: argparse.Namespace) -> str:
+    """Host worker processes that attach to an external gateway-root."""
+    import multiprocessing
+
+    from ..gateway.distributed import _worker_process_main, shard_ranges
+
+    if args.standalone:
+        raise CLIError("--connect-root and --standalone are mutually exclusive")
+    if args.wal:
+        raise CLIError(
+            "--wal is per-worker state that gateway-serve --connect-root "
+            "does not manage; drill durability on a single worker "
+            "(--workers 1 --wal DIR)"
+        )
+    root_host, root_port = _parse_hostport(args.connect_root, "--connect-root")
+    scenario, source, n_shards, protocol = _gateway_workload(args)
+    workers = max(args.workers, 1)
+    if workers > n_shards:
+        raise CLIError(
+            f"--workers {workers} exceeds the {n_shards} shard(s); "
+            "each worker needs at least one contiguous shard (raise --shards)"
+        )
+    make_source = _distributed_source_factory(args)
+    timeout = args.serve_timeout or 300.0
+    ctx = multiprocessing.get_context()
+    queue = ctx.Queue()
+    procs = []
+    for i, (lo, hi) in enumerate(shard_ranges(n_shards, workers)):
+        cfg = {
+            "worker": i,
+            "shard_lo": lo,
+            "shard_hi": hi,
+            "algorithm": protocol["algorithm"],
+            "epsilon": protocol["epsilon"],
+            "w": protocol["w"],
+            "smoothing_window": 3,
+            "participation": None,
+            "seed": protocol["seed"],
+            "chunk_size": None,
+            "track_users": False,
+            "keep_reports": True,
+            "host": "127.0.0.1",
+            "root_host": root_host,
+            "root_port": root_port,
+            "max_slot_skew": 8,
+            "retry_after": 0.02,
+            "complete_timeout": timeout,
+        }
+        proc = ctx.Process(
+            target=_worker_process_main, args=(make_source, cfg, queue), daemon=True
+        )
+        proc.start()
+        procs.append(proc)
+    for proc in procs:
+        proc.join(timeout + 30.0)
+    summaries = []
+    while True:
+        try:
+            summaries.append(queue.get_nowait())
+        except Exception:
+            break
+    stuck = [p for p in procs if p.is_alive()]
+    for proc in stuck:
+        proc.terminate()
+    failed = [s for s in summaries if not s.get("ok")]
+    if failed:
+        raise CLIError(
+            "worker process failed: "
+            + "; ".join(f"worker {s.get('worker')}: {s.get('error')}" for s in failed)
+        )
+    if stuck or len(summaries) < workers:
+        raise CLIError(
+            f"worker processes did not finish within {timeout:g}s — is "
+            f"gateway-root listening at {args.connect_root}?"
+        )
+    rows = [
+        [fields["shard"], fields["uploaded"], fields["duplicates"],
+         fields["skipped"], fields["reconnects"]]
+        for summary in sorted(summaries, key=lambda s: s["worker"])
+        for fields in summary.get("reports", ())
+    ]
+    rows.sort(key=lambda r: r[0])
+    return format_table(
+        ["shard", "uploaded", "duplicates", "skipped", "reconnects"],
+        rows,
+        title=f"Gateway workers: {scenario} ({workers} procs) -> {args.connect_root}",
+    )
+
+
+def _run_gateway_root(args: argparse.Namespace) -> str:
+    """Serve the root of the aggregation tree and wait for workers."""
+    import asyncio
+
+    from ..gateway import (
+        RootAggregator,
+        ShardStateAggregator,
+        aggregate_worker_metrics,
+        gateway_run,
+    )
+    from ..runtime import run_protocol_sharded
+
+    scenario, source, n_shards, protocol = _gateway_workload(args)
+    workers = max(args.workers, 1)
+
+    async def _serve():
+        aggregator = ShardStateAggregator(
+            n_shards,
+            int(source.horizon),
+            epsilon=protocol["epsilon"],
+            w=protocol["w"],
+        )
+        root = RootAggregator(aggregator, host=args.host, port=args.port)
+        await root.start()
+        print(
+            f"root aggregator listening on {args.host}:{root.port} — attach "
+            f"workers with\n"
+            f"  python -m repro gateway-serve --connect-root "
+            f"{args.host}:{root.port} --workers {workers} --datasets "
+            f"{scenario} --shards {n_shards} --scale {args.scale:g} "
+            f"--seed {args.seed}",
+            file=sys.stderr,
+        )
+        try:
+            await root.wait_complete(timeout=args.serve_timeout or None)
+        finally:
+            await root.stop()
+        return root
+
+    try:
+        root = gateway_run(_serve())
+    except (TimeoutError, asyncio.TimeoutError) as error:
+        raise CLIError(
+            f"no worker fleet completed the run within --serve-timeout "
+            f"{args.serve_timeout:g}s"
+        ) from error
+    except OSError as error:
+        raise CLIError(f"cannot listen on {args.host}:{args.port}: {error}") from error
+    result = root.result()
+    snapshot = root.metrics.snapshot()
+    aggregated = aggregate_worker_metrics(root.worker_metrics)
+    bit_identical = None
+    if args.verify:
+        offline = run_protocol_sharded(source, **protocol)
+        bit_identical = bool(
+            result.collector.state.slot_sums == offline.collector.state.slot_sums
+            and result.collector.state.slot_counts
+            == offline.collector.state.slot_counts
+        )
+    rows = [
+        ["scenario", scenario],
+        ["shards aggregated", n_shards],
+        ["workers reported", aggregated["totals"]["n_workers"]],
+        ["reports ingested", result.n_reports],
+        ["root bytes received", snapshot["bytes_received"]],
+        ["root duplicates", snapshot["duplicates"]],
+    ]
+    if bit_identical is not None:
+        rows.append(["bit-identical to sharded run", "yes" if bit_identical else "NO"])
+    if args.metrics_out:
+        payload = {
+            "scenario": scenario,
+            "n_shards": n_shards,
+            "algorithm": protocol["algorithm"],
+            "bit_identical": bit_identical,
+            "root": snapshot,
+        }
+        payload.update(aggregated)
+        _write_metrics_json(args.metrics_out, payload)
+        rows.append(["metrics json", args.metrics_out])
+    if bit_identical is False:
+        raise CLIError(
+            "root-aggregated estimates diverged from the offline sharded run"
+        )
+    return format_table(["metric", "value"], rows, title="Gateway root aggregator")
+
+
 def _run_wal_compact(args: argparse.Namespace) -> str:
     from ..wal import WalCorruptionError, WriteAheadLog, compact, recover_pipeline
 
@@ -812,6 +1131,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "serve-replay": _run_serve_replay,
     "gateway-serve": _run_gateway_serve,
     "gateway-fleet": _run_gateway_fleet,
+    "gateway-root": _run_gateway_root,
     "wal-compact": _run_wal_compact,
     "fig4": _run_fig_grid(run_fig4, "Fig.4"),
     "fig5": _run_fig_grid(run_fig5, "Fig.5"),
@@ -867,9 +1187,21 @@ COMMAND_HELP: Dict[str, str] = {
         "default, --standalone to wait for an external gateway-fleet, "
         "--wal DIR for a durable run (an existing WAL directory is "
         "recovered and resumed instead), --verify for the bit-equality "
-        "audit.\n"
+        "audit.  --workers N scales out to one OS process per worker "
+        "under an in-process root aggregator; --connect-root HOST:PORT "
+        "attaches the worker processes to an external gateway-root "
+        "instead.\n"
         "  python -m repro gateway-serve --datasets bursty --shards 4 "
-        "--wal waldir --verify"
+        "--workers 2 --verify"
+    ),
+    "gateway-root": (
+        "The root of the shard-state aggregation tree: listen for "
+        "gateway-serve --connect-root worker processes, merge their "
+        "finalized per-slot shard states in shard order, and (with "
+        "--verify) audit the merged estimates against the offline "
+        "sharded run bit for bit.\n"
+        "  python -m repro gateway-root --datasets bursty --shards 4 "
+        "--port 7171 --verify"
     ),
     "gateway-fleet": (
         "The client half of a two-process deployment: rebuild the shard "
@@ -1044,7 +1376,7 @@ def build_parser() -> argparse.ArgumentParser:
         "0.5 at strong per-report privacy, so alert just above rest)",
     )
     gateway = parser.add_argument_group(
-        "network gateway (gateway-serve / gateway-fleet)"
+        "network gateway (gateway-serve / gateway-fleet / gateway-root)"
     )
     gateway.add_argument(
         "--algorithm",
@@ -1067,6 +1399,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--connect",
         metavar="HOST:PORT",
         help="gateway-fleet: the serving gateway's address",
+    )
+    gateway.add_argument(
+        "--connect-root",
+        metavar="HOST:PORT",
+        help="gateway-serve: attach this invocation's worker processes "
+        "to an external gateway-root instead of hosting the root "
+        "in-process",
     )
     gateway.add_argument(
         "--jitter",
@@ -1103,8 +1442,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="worker processes fanning out scan cells (default 1: serial; "
-        "the store's contents are bit-identical for every value)",
+        help="worker processes: scan cells fan out across them, and "
+        "gateway-serve scales out to one gateway process per worker "
+        "(default 1: serial / single gateway; results are bit-identical "
+        "for every value)",
     )
     scan.add_argument(
         "--resume",

@@ -36,6 +36,20 @@ crash the server without ever changing an answer.
 
 from .chaos import ChaosReport, CrashEvent, pipeline_fingerprint, run_chaos
 from .client import GatewayClient, GatewayError
+from .distributed import (
+    DistributedRunResult,
+    GatewayWorker,
+    RootAggregator,
+    ShardStateAggregator,
+    WorkerSpec,
+    recover_worker,
+    run_distributed,
+    run_distributed_fleet_async,
+    run_distributed_processes,
+    shard_ranges,
+    worker_for_shard,
+)
+from .eventloop import LOOP_ENV_VAR, gateway_run, install_event_loop
 from .fleet import (
     GatewayRunResult,
     NetemSpec,
@@ -45,7 +59,7 @@ from .fleet import (
     run_fleet_async,
     run_gateway,
 )
-from .metrics import GatewayMetrics
+from .metrics import GatewayMetrics, aggregate_worker_metrics
 from .server import GatewayServer
 from .wire import (
     MAX_PAYLOAD_BYTES,
@@ -71,6 +85,21 @@ __all__ = [
     "CrashEvent",
     "run_chaos",
     "pipeline_fingerprint",
+    "DistributedRunResult",
+    "GatewayWorker",
+    "RootAggregator",
+    "ShardStateAggregator",
+    "WorkerSpec",
+    "recover_worker",
+    "run_distributed",
+    "run_distributed_fleet_async",
+    "run_distributed_processes",
+    "shard_ranges",
+    "worker_for_shard",
+    "aggregate_worker_metrics",
+    "LOOP_ENV_VAR",
+    "gateway_run",
+    "install_event_loop",
     "FrameType",
     "WireError",
     "WIRE_MAGIC",

@@ -43,6 +43,7 @@ from ..runtime.sharding import run_protocol_sharded
 from ..service.feeds import shard_feeds
 from ..service.pipeline import IngestionPipeline, LiveRunResult
 from ..wal import WriteAheadLog, recover_pipeline
+from .eventloop import gateway_run
 from .fleet import NetemSpec, ShardUploadReport, drive_feed
 from .server import GatewayServer
 
@@ -159,6 +160,7 @@ def run_chaos(
     backoff: float = 0.01,
     host: str = "127.0.0.1",
     complete_timeout: float = 120.0,
+    workers: int = 1,
 ) -> ChaosReport:
     """Serve a population while randomly killing the WAL-backed server.
 
@@ -185,11 +187,21 @@ def run_chaos(
         backoff: client reconnect backoff in seconds.
         host: listen address (loopback for tests).
         complete_timeout: bound on waiting for the final slot.
+        workers: must be 1 — the chaos harness drills exactly one
+            WAL-backed server (fingerprint/recover/compare assumes a
+            single pipeline); a multi-worker tree is drilled per worker
+            with :func:`~repro.gateway.recover_worker`.
 
     Returns:
         A :class:`ChaosReport`; call :meth:`ChaosReport.assert_bit_equal`
         to enforce the bit-equality contract in one line.
     """
+    if workers != 1:
+        raise ValueError(
+            "run_chaos drills a single WAL-backed gateway; for a "
+            "multi-worker tree, crash and recover one worker at a time "
+            "via recover_worker (workers must be 1)"
+        )
     if WriteAheadLog.exists(wal_dir):
         raise ValueError(f"{wal_dir} already holds a WAL; chaos runs start fresh")
     feeds = shard_feeds(
@@ -323,7 +335,7 @@ def run_chaos(
             wal.close()
         return result, reports, crashes, port
 
-    result, reports, crashes, port = asyncio.run(_campaign())
+    result, reports, crashes, port = gateway_run(_campaign())
     result.assert_valid()
 
     offline = run_protocol_sharded(

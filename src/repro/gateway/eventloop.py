@@ -1,0 +1,75 @@
+"""Event-loop selection for the gateway tier (optional uvloop).
+
+The gateway, fleet, and distributed drivers all enter asyncio through
+:func:`gateway_run`, which honours the ``REPRO_GATEWAY_LOOP``
+environment variable:
+
+``asyncio``  (default)
+    the stdlib event loop.
+``uvloop``
+    install uvloop's loop policy; falls back to asyncio with a warning
+    when uvloop is not importable (it is an optional extra, never a
+    hard dependency).
+``auto``
+    use uvloop when importable, silently use asyncio otherwise.
+
+Selection changes scheduling only — never results.  The determinism
+contract (bit-equality against ``run_protocol_sharded``) holds under
+either loop because batch order per shard is fixed by the protocol, and
+the slot barrier serializes ingestion.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import warnings
+from typing import Any, Coroutine, Optional, TypeVar
+
+__all__ = ["LOOP_ENV_VAR", "install_event_loop", "gateway_run"]
+
+#: environment variable naming the event-loop implementation
+LOOP_ENV_VAR = "REPRO_GATEWAY_LOOP"
+
+_T = TypeVar("_T")
+
+
+def install_event_loop(choice: Optional[str] = None) -> str:
+    """Install the requested loop policy; returns ``"uvloop"`` or ``"asyncio"``.
+
+    ``choice`` overrides the environment variable; ``None``/empty means
+    ``auto``.  An explicit ``uvloop`` request degrades to asyncio with a
+    ``RuntimeWarning`` when the module is missing; any other value
+    raises ``ValueError``.
+    """
+    if choice is None:
+        choice = os.environ.get(LOOP_ENV_VAR, "")
+    choice = (choice or "auto").strip().lower()
+    if choice not in ("auto", "asyncio", "uvloop"):
+        raise ValueError(
+            f"{LOOP_ENV_VAR} must be 'asyncio', 'uvloop', or 'auto', "
+            f"got {choice!r}"
+        )
+    if choice == "asyncio":
+        asyncio.set_event_loop_policy(None)
+        return "asyncio"
+    try:
+        import uvloop  # type: ignore[import-not-found]
+    except ImportError:
+        if choice == "uvloop":
+            warnings.warn(
+                f"{LOOP_ENV_VAR}=uvloop requested but uvloop is not "
+                "installed; falling back to asyncio",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        asyncio.set_event_loop_policy(None)
+        return "asyncio"
+    uvloop.install()
+    return "uvloop"
+
+
+def gateway_run(coro: Coroutine[Any, Any, _T], loop: Optional[str] = None) -> _T:
+    """``asyncio.run`` behind the configured loop policy."""
+    install_event_loop(loop)
+    return asyncio.run(coro)

@@ -29,6 +29,7 @@ from ..service.feeds import ShardFeed, shard_feeds
 from ..service.pipeline import IngestionPipeline, LiveRunResult
 from ..service.sinks import Sink
 from .client import GatewayClient
+from .eventloop import gateway_run
 from .metrics import GatewayMetrics
 from .server import GatewayServer
 
@@ -323,7 +324,7 @@ def run_fleet(
     )
     if not feeds:
         raise ValueError("source yielded no chunks; nothing to upload")
-    return asyncio.run(
+    return gateway_run(
         run_fleet_async(
             feeds, host, port, jitter=jitter, seed=seed, drops=drops, netem=netem
         )
@@ -445,7 +446,7 @@ def run_gateway(
         )
 
     try:
-        run = asyncio.run(_serve())
+        run = gateway_run(_serve())
     finally:
         if wal is not None:
             wal.close()

@@ -14,7 +14,23 @@ from typing import Any, Dict, List
 
 import numpy as np
 
-__all__ = ["GatewayMetrics"]
+__all__ = ["GatewayMetrics", "aggregate_worker_metrics"]
+
+#: snapshot keys that sum meaningfully across workers
+_ADDITIVE_KEYS = (
+    "connections_opened",
+    "connections_closed",
+    "frames_received",
+    "frames_sent",
+    "bytes_received",
+    "bytes_sent",
+    "batches_accepted",
+    "reports_accepted",
+    "duplicates",
+    "sheds",
+    "protocol_errors",
+    "slots_finalized",
+)
 
 
 @dataclass
@@ -86,3 +102,38 @@ class GatewayMetrics:
             "p50_slot_latency_seconds": round(self.latency_quantile(0.50), 6),
             "p99_slot_latency_seconds": round(self.latency_quantile(0.99), 6),
         }
+
+
+def aggregate_worker_metrics(
+    workers: Dict[str, Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Fold per-worker metric snapshots into a tree-wide summary.
+
+    Returns ``{"workers": <per-worker snapshots>, "totals": ...}``:
+    counters sum; the aggregate rate divides the summed reports by the
+    *slowest* worker's elapsed time (workers serve concurrently, so the
+    straggler bounds the tree's wall-clock).  Latency quantiles cannot
+    be recombined from per-worker quantiles — the totals carry the
+    worst worker's p50/p99 as a conservative bound.
+    """
+    totals: Dict[str, Any] = {key: 0 for key in _ADDITIVE_KEYS}
+    max_elapsed = 0.0
+    worst_p50 = worst_p99 = 0.0
+    for snapshot in workers.values():
+        for key in _ADDITIVE_KEYS:
+            totals[key] += int(snapshot.get(key, 0))
+        max_elapsed = max(max_elapsed, float(snapshot.get("elapsed_seconds", 0.0)))
+        worst_p50 = max(
+            worst_p50, float(snapshot.get("p50_slot_latency_seconds", 0.0))
+        )
+        worst_p99 = max(
+            worst_p99, float(snapshot.get("p99_slot_latency_seconds", 0.0))
+        )
+    totals["n_workers"] = len(workers)
+    totals["elapsed_seconds"] = round(max_elapsed, 6)
+    totals["reports_per_second"] = round(
+        totals["reports_accepted"] / max_elapsed if max_elapsed > 0.0 else 0.0, 1
+    )
+    totals["worst_p50_slot_latency_seconds"] = round(worst_p50, 6)
+    totals["worst_p99_slot_latency_seconds"] = round(worst_p99, 6)
+    return {"workers": dict(workers), "totals": totals}

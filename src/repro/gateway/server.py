@@ -313,7 +313,10 @@ class GatewayServer:
     ) -> None:
         if shard is None:
             raise WireError("BATCH before HELLO; handshake first")
-        batch = decode_batch_payload(payload)
+        # Zero-copy decode: the batch arrays are read-only views into the
+        # received frame.  Safe because the pipeline's collector copies
+        # values on ingest and never mutates batch arrays in place.
+        batch = decode_batch_payload(payload, copy=False)
         if batch.shard != shard:
             raise WireError(
                 f"connection authenticated shard {shard} but uploaded a "

@@ -12,10 +12,12 @@ Every message on a gateway connection is one *frame*:
     8       n     payload
 
 Control frames (``HELLO``, ``HELLO_ACK``, ``BATCH_ACK``, ``REJECT``,
-``FIN``, ``FIN_ACK``, ``ERROR``) carry a UTF-8 JSON object payload;
-``BATCH`` frames carry the binary report-batch payload from
-:mod:`repro.protocol.messages`.  The full layout and the version
-negotiation rules are documented in ``docs/wire_format.md``.
+``FIN``, ``FIN_ACK``, ``ERROR``, and the distributed-tier
+``WORKER_HELLO``, ``WORKER_HELLO_ACK``, ``SLOT_FINAL``, ``STATE_ACK``)
+carry a UTF-8 JSON object payload; ``BATCH`` frames carry the binary
+report-batch payload and ``SHARD_STATE`` frames the binary shard-state
+payload from :mod:`repro.protocol.messages`.  The full layout and the
+version negotiation rules are documented in ``docs/wire_format.md``.
 
 The reader is deliberately strict: wrong magic, an unknown version, an
 unknown frame type, or an oversized payload raise :class:`WireError`
@@ -30,7 +32,13 @@ import json
 import struct
 from typing import Any, Dict, Optional, Tuple
 
-from ..protocol.messages import decode_report_batch, encode_report_batch
+from ..protocol.messages import (
+    ShardSlotState,
+    decode_report_batch,
+    decode_shard_state,
+    encode_report_batch,
+    encode_shard_state,
+)
 from ..service.events import ReportBatch
 
 __all__ = [
@@ -42,8 +50,10 @@ __all__ = [
     "encode_frame",
     "encode_control",
     "encode_batch_frame",
+    "encode_shard_state_frame",
     "decode_control",
     "decode_batch_payload",
+    "decode_shard_state_payload",
     "read_frame",
 ]
 
@@ -72,9 +82,18 @@ class FrameType:
     FIN = 6
     FIN_ACK = 7
     ERROR = 8
+    # Distributed tier (worker -> root aggregation stream).  These ride
+    # the same wire version: endpoints that predate them reject the
+    # codes as unknown frame types, which is the correct failure for a
+    # worker pointed at a plain gateway.
+    WORKER_HELLO = 9
+    WORKER_HELLO_ACK = 10
+    SHARD_STATE = 11
+    SLOT_FINAL = 12
+    STATE_ACK = 13
 
     #: every code this version understands
-    ALL = frozenset(range(1, 9))
+    ALL = frozenset(range(1, 14))
 
 
 class WireError(ValueError):
@@ -115,13 +134,39 @@ def encode_batch_frame(batch: ReportBatch) -> bytes:
     return encode_frame(FrameType.BATCH, payload)
 
 
-def decode_batch_payload(payload: bytes) -> ReportBatch:
-    """Decode a ``BATCH`` payload into a validated :class:`ReportBatch`."""
+def decode_batch_payload(payload: bytes, copy: bool = True) -> ReportBatch:
+    """Decode a ``BATCH`` payload into a validated :class:`ReportBatch`.
+
+    ``copy=False`` is the server's hot-path mode: the batch arrays are
+    read-only zero-copy views into the received frame (see
+    :func:`repro.protocol.messages.decode_report_batch`).
+    """
     try:
-        shard, t, user_ids, values = decode_report_batch(payload)
+        shard, t, user_ids, values = decode_report_batch(payload, copy=copy)
         return ReportBatch(shard=shard, t=t, user_ids=user_ids, values=values)
     except (ValueError, TypeError) as error:
         raise WireError(f"malformed batch payload: {error}") from error
+
+
+def encode_shard_state_frame(state: ShardSlotState) -> bytes:
+    """Frame one finalized shard-slot state for the upstream wire."""
+    payload = encode_shard_state(
+        state.shard,
+        state.t,
+        state.n_reports,
+        state.total,
+        values=state.values,
+        user_ids=state.user_ids,
+    )
+    return encode_frame(FrameType.SHARD_STATE, payload)
+
+
+def decode_shard_state_payload(payload: bytes, copy: bool = False) -> ShardSlotState:
+    """Decode a ``SHARD_STATE`` payload (zero-copy views by default)."""
+    try:
+        return decode_shard_state(payload, copy=copy)
+    except (ValueError, TypeError) as error:
+        raise WireError(f"malformed shard-state payload: {error}") from error
 
 
 async def read_frame(

@@ -15,15 +15,19 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 __all__ = [
     "Report",
     "BATCH_PAYLOAD_VERSION",
+    "SHARD_STATE_PAYLOAD_VERSION",
+    "ShardSlotState",
     "encode_report_batch",
     "decode_report_batch",
+    "encode_shard_state",
+    "decode_shard_state",
 ]
 
 
@@ -88,12 +92,21 @@ def encode_report_batch(
     return header + ids.tobytes() + vals.tobytes()
 
 
-def decode_report_batch(payload: bytes) -> Tuple[int, int, np.ndarray, np.ndarray]:
+def decode_report_batch(
+    payload: bytes, copy: bool = True
+) -> Tuple[int, int, np.ndarray, np.ndarray]:
     """Inverse of :func:`encode_report_batch`.
 
     Returns ``(shard, t, user_ids, values)``.  Raises ``ValueError`` on
     truncated, oversized, or unknown-dtype payloads — the gateway server
     turns these into protocol errors rather than crashing.
+
+    With ``copy=False`` the returned arrays are read-only zero-copy
+    views into ``payload`` (the wire dtypes are the numpy-native int64 /
+    float64 on every supported platform).  The views keep the whole
+    frame buffer alive; use them only on hot paths that consume the
+    batch immediately — the collector copies values on ingest, so the
+    views never outlive the frame.
     """
     if len(payload) < _BATCH_HEADER.size:
         raise ValueError(
@@ -116,6 +129,135 @@ def decode_report_batch(payload: bytes) -> Tuple[int, int, np.ndarray, np.ndarra
     ids = np.frombuffer(payload, dtype=_ID_DTYPE, count=n_reports, offset=offset)
     offset += n_reports * _ID_DTYPE.itemsize
     vals = np.frombuffer(payload, dtype=_VALUE_DTYPE, count=n_reports, offset=offset)
+    if not copy:
+        return int(shard), int(t), ids, vals
     # Copy out of the frame buffer (frombuffer views are read-only and
     # pin the whole received frame alive).
     return int(shard), int(t), ids.astype(np.intp), vals.astype(float)
+
+
+#: version tag of the shard-state payload layout below
+SHARD_STATE_PAYLOAD_VERSION = 1
+
+# Shard-state header: shard (u32), t (u32), n_reports (u32), flags (u8),
+# reserved (u8), reserved (u16), slot sum (f64).  Big-endian, fixed
+# 24 bytes; optional trailing arrays are little-endian like the batch
+# payload.  The sum is the worker-computed ``float(segment.sum())`` —
+# shipping its exact bit pattern (not recomputing at the root) is what
+# keeps the distributed merge bit-identical to the flat fold.
+_STATE_HEADER = struct.Struct(">IIIBBHd")
+_STATE_HAS_VALUES = 1
+_STATE_HAS_IDS = 2
+
+
+@dataclass(frozen=True)
+class ShardSlotState:
+    """One shard's finalized contribution to one slot, as shipped upstream.
+
+    This is the wire-level projection of one ``(slot, shard)`` cell of a
+    :class:`~repro.protocol.collector.CollectorShardState`: the report
+    count, the shard's slot sum (exact float64 bits), and — only when the
+    run keeps them — the raw sanitized values and reporting user ids.
+    An ``n_reports == 0`` state marks barrier presence for an empty
+    shard-slot; the root never merges it (the flat path skips empty
+    batches, so merging would desynchronize ``slot_sums`` keys).
+    """
+
+    shard: int
+    t: int
+    n_reports: int
+    total: float
+    values: Optional[np.ndarray] = None
+    user_ids: Optional[np.ndarray] = None
+
+
+def encode_shard_state(
+    shard: int,
+    t: int,
+    n_reports: int,
+    total: float,
+    values: Optional[np.ndarray] = None,
+    user_ids: Optional[np.ndarray] = None,
+) -> bytes:
+    """Serialize one finalized shard-slot state to its wire payload.
+
+    ``values`` / ``user_ids`` are optional segments (present only for
+    ``keep_reports`` / ``track_users`` runs); when given they must hold
+    exactly ``n_reports`` elements.  ``total`` is shipped as raw float64
+    bits, never re-derived from the segments.
+    """
+    flags = 0
+    body = b""
+    if values is not None:
+        vals = np.ascontiguousarray(values, dtype=_VALUE_DTYPE)
+        if vals.ndim != 1 or vals.size != n_reports:
+            raise ValueError(
+                f"values segment must be a 1-D array of {n_reports} "
+                f"elements, got shape {vals.shape}"
+            )
+        flags |= _STATE_HAS_VALUES
+        body += vals.tobytes()
+    if user_ids is not None:
+        ids = np.ascontiguousarray(user_ids, dtype=_ID_DTYPE)
+        if ids.ndim != 1 or ids.size != n_reports:
+            raise ValueError(
+                f"user_ids segment must be a 1-D array of {n_reports} "
+                f"elements, got shape {ids.shape}"
+            )
+        flags |= _STATE_HAS_IDS
+        body += ids.tobytes()
+    header = _STATE_HEADER.pack(
+        int(shard), int(t), int(n_reports), flags, 0, 0, float(total)
+    )
+    return header + body
+
+
+def decode_shard_state(payload: bytes, copy: bool = False) -> ShardSlotState:
+    """Inverse of :func:`encode_shard_state`.
+
+    Segments default to zero-copy read-only views into ``payload``
+    (``copy=False``); the root aggregator consumes them immediately, so
+    the views never outlive the frame.  Raises ``ValueError`` on
+    truncated or mis-sized payloads.
+    """
+    if len(payload) < _STATE_HEADER.size:
+        raise ValueError(
+            f"shard-state payload truncated: {len(payload)} bytes is "
+            f"shorter than the {_STATE_HEADER.size}-byte header"
+        )
+    shard, t, n_reports, flags, _, _, total = _STATE_HEADER.unpack_from(payload)
+    known = _STATE_HAS_VALUES | _STATE_HAS_IDS
+    if flags & ~known:
+        raise ValueError(
+            f"unknown shard-state flags 0x{flags:02x}; this decoder "
+            f"speaks payload version {SHARD_STATE_PAYLOAD_VERSION}"
+        )
+    expected = _STATE_HEADER.size
+    if flags & _STATE_HAS_VALUES:
+        expected += n_reports * _VALUE_DTYPE.itemsize
+    if flags & _STATE_HAS_IDS:
+        expected += n_reports * _ID_DTYPE.itemsize
+    if len(payload) != expected:
+        raise ValueError(
+            f"shard-state payload for {n_reports} reports with flags "
+            f"0x{flags:02x} must be {expected} bytes, got {len(payload)}"
+        )
+    offset = _STATE_HEADER.size
+    values = user_ids = None
+    if flags & _STATE_HAS_VALUES:
+        values = np.frombuffer(payload, dtype=_VALUE_DTYPE, count=n_reports, offset=offset)
+        offset += n_reports * _VALUE_DTYPE.itemsize
+        if copy:
+            values = values.astype(float)
+    if flags & _STATE_HAS_IDS:
+        user_ids = np.frombuffer(payload, dtype=_ID_DTYPE, count=n_reports, offset=offset)
+        if copy:
+            user_ids = user_ids.astype(np.intp)
+    return ShardSlotState(
+        shard=int(shard),
+        t=int(t),
+        n_reports=int(n_reports),
+        total=float(total),
+        values=values,
+        user_ids=user_ids,
+    )

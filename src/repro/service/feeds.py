@@ -26,7 +26,7 @@ serve its merged collector instead.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -99,6 +99,7 @@ def shard_feeds(
     seed: int = 0,
     chunk_size: Optional[int] = None,
     record_history: bool = False,
+    shards: Optional[Iterable[int]] = None,
 ) -> List[ShardFeed]:
     """Build one live feed per chunk of a population source.
 
@@ -120,14 +121,21 @@ def shard_feeds(
         chunk_size: users per shard when ``source`` is a raw matrix.
         record_history: keep full per-slot budget ledgers on every feed
             engine (O(users x slots) memory — audits don't need it).
+        shards: build feeds only for these chunk indices (a distributed
+            worker's shard range).  Safe because each chunk's generator
+            is keyed by its own index — skipping neighbours changes
+            nothing for the chunks that are built.
     """
     src = as_source(source, chunk_size=chunk_size)
+    wanted = None if shards is None else frozenset(int(s) for s in shards)
     if participation is None:
         participation = src.default_participation()
     per_user = None if isinstance(algorithm, str) else list(algorithm)
 
     feeds: List[ShardFeed] = []
     for chunk in src.chunks():
+        if wanted is not None and chunk.index not in wanted:
+            continue
         if per_user is None:
             names: "str | list[str]" = algorithm
         else:

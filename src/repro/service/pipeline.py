@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -177,6 +177,14 @@ class IngestionPipeline:
         self._finished = False
         self._wal: Optional[Any] = None
         self._run_metadata: Dict[str, Any] = {}
+        #: optional hook called as ``hook(estimate, waiting)`` at the end
+        #: of every slot finalization, where ``waiting`` maps shard ->
+        #: ReportBatch for the slot.  The distributed gateway worker uses
+        #: it to stream finalized shard states upstream; WAL replay
+        #: re-fires it, so a recovered worker rebuilds its outbox.
+        self.on_slot_finalized: Optional[
+            Callable[[SlotEstimate, Dict[int, ReportBatch]], None]
+        ] = None
 
     # -- wiring ----------------------------------------------------------
 
@@ -540,6 +548,8 @@ class IngestionPipeline:
             # durable, power loss cannot take back a published slot.
             self._wal.append_commit(t, count, mean)
         self._emit(estimate.to_record())
+        if self.on_slot_finalized is not None:
+            self.on_slot_finalized(estimate, waiting)
         return estimate
 
     def finish(self) -> None:

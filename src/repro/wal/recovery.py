@@ -28,7 +28,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.streaming_queries import StreamingQueryEngine
 from ..core.serialization import wal_checkpoint_from_dict, wal_checkpoint_to_dict
@@ -169,6 +169,7 @@ def recover_pipeline(
     sinks: Sequence[Sink] = (),
     dashboards: Optional[Dict[str, StreamingQueryEngine]] = None,
     verify_commits: bool = True,
+    configure: Optional[Callable[[IngestionPipeline], None]] = None,
 ) -> WalRecovery:
     """Rebuild a pipeline from a WAL directory after a crash.
 
@@ -187,6 +188,13 @@ def recover_pipeline(
         verify_commits: cross-check every commit record bitwise against
             the recomputed slot estimates (disable only for forensics
             on a log known to be damaged).
+        configure: called on the freshly built pipeline *before*
+            checkpoint restore and segment replay — the place to set
+            hooks (e.g. ``on_slot_finalized``) that must observe the
+            replayed slots.  Replay fires the hook for every finalized
+            slot found in the surviving segments; slots compacted into
+            a checkpoint are restored, not replayed, so they do not
+            re-fire it.
 
     Raises:
         WalError: the directory holds nothing to recover.
@@ -209,6 +217,8 @@ def recover_pipeline(
             built.add_sink(sink)
         for name, engine in (dashboards or {}).items():
             built.register_dashboard(name, engine)
+        if configure is not None:
+            configure(built)
         return built
 
     if loaded is not None:

@@ -147,6 +147,104 @@ class TestAbsoluteFloors:
                 assert rates[name] >= floor, (name, rates[name], floor)
 
 
+def _distributed_trajectory(path, rates, scaling=None, cpu_count=None, extra=None):
+    """A trajectory with estimators plus a ``distributed`` section."""
+    section = {
+        "workers": {
+            count: {"reports_per_second": rate} for count, rate in rates.items()
+        }
+    }
+    if scaling is not None:
+        section["scaling"] = scaling
+    if cpu_count is not None:
+        section["cpu_count"] = cpu_count
+    document = {
+        "population": {
+            "estimators": {"capp": {"vectorized_users_per_sec": 100_000.0}}
+        },
+        "distributed": section,
+    }
+    if extra is not None:
+        document["distributed"].update(extra)
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+class TestDistributedSection:
+    def test_rate_regression_fails_the_gate(self, tmp_path, capsys):
+        baseline = _distributed_trajectory(
+            tmp_path / "b.json", {"1": 100_000.0, "4": 300_000.0}
+        )
+        current = _distributed_trajectory(
+            tmp_path / "c.json", {"1": 100_000.0, "4": 100_000.0}  # 4w dropped 67%
+        )
+        code = perf_gate.main(["--baseline", baseline, "--current", current])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "distributed 4 worker(s)" in captured.err
+        assert "67% below" in captured.err
+
+    def test_identical_rates_pass(self, tmp_path):
+        baseline = _distributed_trajectory(
+            tmp_path / "b.json", {"1": 100_000.0, "4": 300_000.0}
+        )
+        current = _distributed_trajectory(
+            tmp_path / "c.json", {"1": 100_000.0, "4": 290_000.0}
+        )
+        assert perf_gate.main(["--baseline", baseline, "--current", current]) == 0
+
+    def test_scaling_floor_armed_with_enough_cpus(self, tmp_path, capsys):
+        rates = {"1": 100_000.0, "4": 120_000.0}
+        baseline = _distributed_trajectory(tmp_path / "b.json", rates)
+        current = _distributed_trajectory(
+            tmp_path / "c.json", rates, scaling=1.2, cpu_count=8
+        )
+        code = perf_gate.main(["--baseline", baseline, "--current", current])
+        assert code == 1
+        assert "below the 1.50x floor" in capsys.readouterr().err
+
+    def test_scaling_floor_not_armed_on_small_machines(self, tmp_path, capsys):
+        rates = {"1": 100_000.0, "4": 80_000.0}
+        baseline = _distributed_trajectory(tmp_path / "b.json", rates)
+        current = _distributed_trajectory(
+            tmp_path / "c.json", rates, scaling=0.8, cpu_count=1
+        )
+        assert perf_gate.main(["--baseline", baseline, "--current", current]) == 0
+        assert "floor not armed on 1 cpu(s)" in capsys.readouterr().out
+
+    def test_env_overrides_the_scaling_floor(self, tmp_path, monkeypatch):
+        rates = {"1": 100_000.0, "4": 120_000.0}
+        baseline = _distributed_trajectory(tmp_path / "b.json", rates)
+        current = _distributed_trajectory(
+            tmp_path / "c.json", rates, scaling=1.2, cpu_count=8
+        )
+        monkeypatch.setenv("REPRO_BENCH_DIST_MIN_SCALING", "1.1")
+        assert perf_gate.main(["--baseline", baseline, "--current", current]) == 0
+
+    def test_absent_section_skips(self, files, capsys):
+        baseline, current = files({"capp": 100_000.0}, {"capp": 100_000.0})
+        assert perf_gate.main(["--baseline", baseline, "--current", current]) == 0
+        assert "distributed: not measured — skipped" in capsys.readouterr().out
+
+    def test_new_fleet_size_has_no_baseline(self, tmp_path, capsys):
+        baseline = _distributed_trajectory(tmp_path / "b.json", {"1": 100_000.0})
+        current = _distributed_trajectory(
+            tmp_path / "c.json", {"1": 100_000.0, "8": 500_000.0}
+        )
+        assert perf_gate.main(["--baseline", baseline, "--current", current]) == 0
+        assert "no baseline — skipped" in capsys.readouterr().out
+
+    def test_committed_distributed_section_parses(self):
+        """The repo-root trajectory's distributed section stays loadable."""
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        section = perf_gate.load_distributed(
+            os.path.join(root, "BENCH_population.json")
+        )
+        assert section.get("workers"), "distributed section missing from BENCH"
+        assert all(rate > 0 for rate in section["workers"].values())
+        assert "cpu_count" in section
+
+
 class TestGateErrors:
     def test_missing_section_is_usage_error(self, tmp_path, files, capsys):
         baseline, _ = files({"capp": 1.0}, {"capp": 1.0})
