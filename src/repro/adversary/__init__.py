@@ -1,0 +1,29 @@
+"""Adversarial workloads and robust aggregation for the LDP protocol.
+
+Three pieces (see :doc:`docs/adversary` for the threat model):
+
+* :class:`AttackSpec` — poisoning attacks (``extreme`` input poisoning,
+  ``targeted``/``random`` report poisoning) as deterministic, seed-free
+  scenario modifiers that compose with every execution mode;
+* :class:`RobustPolicy` — collector-boundary defenses (clip-to-domain,
+  trimmed mean, median-of-shard-means) applying one identical fold
+  across the vectorized / sharded / live / gateway / distributed paths;
+* :func:`run_adversarial_study` / :func:`manipulation_gain` — the
+  attack x defense sweep and its paired-run metric.
+"""
+
+from .attacks import ATTACK_STRATEGIES, AttackSpec, hash_uniform, make_attack
+from .policies import POLICIES, RobustPolicy, make_policy
+from .study import manipulation_gain, run_adversarial_study
+
+__all__ = [
+    "ATTACK_STRATEGIES",
+    "AttackSpec",
+    "hash_uniform",
+    "make_attack",
+    "POLICIES",
+    "RobustPolicy",
+    "make_policy",
+    "manipulation_gain",
+    "run_adversarial_study",
+]

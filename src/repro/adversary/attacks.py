@@ -1,0 +1,243 @@
+"""Attack models: data poisoning against the w-event LDP protocol.
+
+An :class:`AttackSpec` describes a coalition of compromised users — a
+fixed fraction of the population, active from an onset slot — and the
+strategy they use to skew the collector's population-mean estimates:
+
+* ``extreme`` — *input* poisoning: compromised users replace their true
+  values with the domain edge nearest the attacker's target before the
+  mechanism runs.  The honest LDP mechanism still sanitizes the lie, so
+  this is the weakest (and least detectable) strategy — every report
+  stays within the mechanism's output range.
+* ``targeted`` — *report* poisoning: compromised users bypass the
+  mechanism entirely and upload the attacker's target value verbatim.
+* ``random`` — *report* poisoning with out-of-domain values: compromised
+  users upload values far outside the mechanism's output range (up to
+  ``magnitude`` beyond the ``[0, 1]`` domain), the classic
+  output-manipulation attack a clip-to-domain policy neutralizes.
+
+Determinism contract: the attack never draws from the protocol's
+generators.  Which users are compromised, and every injected value, is a
+pure function of ``(attack seed, global user id[, slot])`` through a
+stateless splitmix64 hash — so (a) a benign and an attacked run sharing
+a protocol seed consume *identical* randomness streams (paired
+comparison, the basis of the manipulation-gain metric), and (b) the
+attack is invariant under any shard decomposition or execution mode
+(sharded / live / gateway / distributed), preserving the runtime's
+bit-identity guarantees.
+
+Report-level strategies replace only reports the user would have sent
+anyway (participation masks are respected), so attacked and benign runs
+see identical per-slot report counts.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = ["ATTACK_STRATEGIES", "AttackSpec", "make_attack"]
+
+#: the registered attack strategies (see the module docstring)
+ATTACK_STRATEGIES = ("extreme", "random", "targeted")
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _splitmix64(x: "np.ndarray | np.uint64") -> np.ndarray:
+    """One splitmix64 finalization round (vectorized, wrap-around)."""
+    x = x + _GOLDEN
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+def _hash64(seed: int, ids: np.ndarray, *extra: int) -> np.ndarray:
+    """Stateless 64-bit hash of ``(seed, id, *extra)`` per element."""
+    with np.errstate(over="ignore"):
+        x = _splitmix64(np.uint64(int(seed)))
+        x = _splitmix64(np.asarray(ids, dtype=np.uint64) ^ x)
+        for tag in extra:
+            x = _splitmix64(x ^ (np.uint64(int(tag)) * _GOLDEN))
+        return x
+
+
+def hash_uniform(seed: int, ids: np.ndarray, *extra: int) -> np.ndarray:
+    """Deterministic uniforms in ``[0, 1)`` keyed by ``(seed, id, *extra)``."""
+    return (_hash64(seed, ids, *extra) >> np.uint64(11)).astype(
+        np.float64
+    ) * 2.0**-53
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """One poisoning attack against the collection protocol.
+
+    Args:
+        fraction: fraction of the population that is compromised.
+            Membership is decided per *global* user id by a seeded hash,
+            so it is identical for every shard decomposition.
+        strategy: ``extreme`` (input poisoning at the domain edge),
+            ``targeted`` (report poisoning at ``target``), or ``random``
+            (out-of-domain report poisoning up to ``magnitude`` beyond
+            the domain).
+        onset: first slot the attack is active at (global slot index).
+        target: the attacker's preferred value.  ``extreme`` pushes
+            inputs to the domain edge nearest it; ``targeted`` uploads
+            it verbatim; ``random`` biases injections toward its side of
+            the domain.
+        magnitude: how far beyond the ``[0, 1]`` domain ``random``
+            injections reach.
+        seed: keys the compromise hash and every injected value —
+            independent of the protocol seed by construction.
+    """
+
+    fraction: float = 0.05
+    strategy: str = "extreme"
+    onset: int = 0
+    target: float = 1.0
+    magnitude: float = 3.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= float(self.fraction) <= 1.0:
+            raise ValueError(
+                f"fraction must be in [0, 1], got {self.fraction}"
+            )
+        if self.strategy not in ATTACK_STRATEGIES:
+            close = difflib.get_close_matches(
+                str(self.strategy), ATTACK_STRATEGIES, n=3, cutoff=0.5
+            )
+            hint = (
+                f"; did you mean {' or '.join(repr(c) for c in close)}?"
+                if close
+                else ""
+            )
+            known = ", ".join(ATTACK_STRATEGIES)
+            raise ValueError(
+                f"unknown attack strategy {self.strategy!r}{hint} "
+                f"(known: {known})"
+            )
+        if int(self.onset) < 0:
+            raise ValueError(f"onset must be non-negative, got {self.onset}")
+        if not np.isfinite(self.target):
+            raise ValueError(f"target must be finite, got {self.target}")
+        if float(self.magnitude) < 0.0:
+            raise ValueError(
+                f"magnitude must be non-negative, got {self.magnitude}"
+            )
+        if int(self.seed) < 0:
+            raise ValueError(f"seed must be non-negative, got {self.seed}")
+
+    # -- membership ------------------------------------------------------
+
+    def active_at(self, t: int) -> bool:
+        """Whether the attack injects anything at slot ``t``."""
+        return self.fraction > 0.0 and int(t) >= int(self.onset)
+
+    def compromised(self, user_ids: np.ndarray) -> np.ndarray:
+        """Boolean compromise mask over *global* user ids (stateless)."""
+        return hash_uniform(self.seed, user_ids) < float(self.fraction)
+
+    @property
+    def edge_value(self) -> float:
+        """The ``[0, 1]`` domain edge nearest the attacker's target."""
+        return 1.0 if float(self.target) >= 0.5 else 0.0
+
+    # -- poisoning -------------------------------------------------------
+
+    def poison_inputs(
+        self, t: int, user_ids: np.ndarray, column: np.ndarray
+    ) -> np.ndarray:
+        """Apply input-level poisoning to one slot's true-value column.
+
+        Only the ``extreme`` strategy acts here; the returned column is a
+        copy when anything changed (the input is never mutated) and the
+        poisoned values stay inside the mechanism's ``[0, 1]`` input
+        domain.
+        """
+        if self.strategy != "extreme" or not self.active_at(t):
+            return column
+        mask = self.compromised(user_ids)
+        if not mask.any():
+            return column
+        out = np.array(column, dtype=float)
+        out[mask] = self.edge_value
+        return out
+
+    def poison_reports(
+        self, t: int, user_ids: np.ndarray, reports: np.ndarray
+    ) -> np.ndarray:
+        """Apply report-level poisoning to one slot's sanitized reports.
+
+        ``targeted`` and ``random`` act here, replacing only the *finite*
+        entries of compromised users — a NaN report means the user did
+        not participate at this slot, and the attack never changes who
+        reports (attacked runs keep benign per-slot counts).
+        """
+        if self.strategy == "extreme" or not self.active_at(t):
+            return reports
+        mask = self.compromised(user_ids) & np.isfinite(reports)
+        if not mask.any():
+            return reports
+        out = np.array(reports, dtype=float)
+        if self.strategy == "targeted":
+            out[mask] = float(self.target)
+        else:  # random: out-of-domain, biased toward the target's side
+            rows = np.flatnonzero(mask)
+            h = _hash64(self.seed, np.asarray(user_ids)[rows], int(t), 1)
+            u = (h >> np.uint64(11)).astype(np.float64) * 2.0**-53
+            above = (
+                (h & np.uint64(3)) != 0
+                if float(self.target) >= 0.5
+                else (h & np.uint64(3)) == 0
+            )
+            out[rows] = np.where(
+                above,
+                1.0 + u * float(self.magnitude),
+                -u * float(self.magnitude),
+            )
+        return out
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe payload (checkpoint manifests, WAL run configs)."""
+        return {
+            "fraction": float(self.fraction),
+            "strategy": str(self.strategy),
+            "onset": int(self.onset),
+            "target": float(self.target),
+            "magnitude": float(self.magnitude),
+            "seed": int(self.seed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AttackSpec":
+        return cls(
+            fraction=float(data.get("fraction", 0.05)),
+            strategy=str(data.get("strategy", "extreme")),
+            onset=int(data.get("onset", 0)),
+            target=float(data.get("target", 1.0)),
+            magnitude=float(data.get("magnitude", 3.0)),
+            seed=int(data.get("seed", 0)),
+        )
+
+
+def make_attack(
+    attack: "AttackSpec | Dict[str, Any] | None",
+) -> Optional[AttackSpec]:
+    """Coerce an attack argument (spec, dict, or ``None``) to a spec."""
+    if attack is None:
+        return None
+    if isinstance(attack, AttackSpec):
+        return attack
+    if isinstance(attack, dict):
+        return AttackSpec.from_dict(attack)
+    raise TypeError(
+        f"attack must be an AttackSpec, a dict, or None, got "
+        f"{type(attack).__name__}"
+    )

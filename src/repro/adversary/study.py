@@ -1,0 +1,143 @@
+"""Adversarial studies: paired runs and the manipulation-gain metric.
+
+The manipulation gain of an attack is the shift it causes in the
+collector's published estimates: two runs share every seed (protocol,
+workload, participation — the attack's own hash stream is independent by
+construction, see :mod:`repro.adversary.attacks`), one benign and one
+attacked, and the gain is the mean absolute difference of their
+population-mean series.  Because the runs are paired, mechanism noise
+cancels almost entirely and the metric isolates the attacker's effect.
+
+:func:`run_adversarial_study` sweeps attack strategies against robust
+policies over the scenario presets, executing each (scenario, algorithm,
+strategy, policy) combination as one scan cell — the same engine
+`python -m repro scan` fans out, so the study inherits the scan tier's
+determinism and worker-count invariance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+__all__ = ["manipulation_gain", "run_adversarial_study"]
+
+
+def manipulation_gain(
+    benign: np.ndarray, attacked: np.ndarray
+) -> float:
+    """Mean absolute estimate shift between paired series.
+
+    Args:
+        benign: the benign run's per-slot estimate series.
+        attacked: the attacked run's series (same seeds, same slots —
+            attacks never change who reports, so the two runs observe
+            identical slot sets; trailing slots present in only one
+            series are ignored defensively).
+    """
+    benign = np.asarray(benign, dtype=float)
+    attacked = np.asarray(attacked, dtype=float)
+    n = min(benign.size, attacked.size)
+    if n == 0:
+        return 0.0
+    return float(np.mean(np.abs(attacked[:n] - benign[:n])))
+
+
+def run_adversarial_study(
+    scenarios: Iterable[str] = ("steady",),
+    algorithms: Iterable[str] = ("capp",),
+    strategies: Iterable[str] = ("extreme", "targeted", "random"),
+    policies: Iterable[str] = ("none", "clip", "trim", "median-of-means"),
+    attack_fraction: float = 0.05,
+    n_users: int = 2_000,
+    horizon: int = 48,
+    epsilon: float = 1.0,
+    w: int = 10,
+    n_shards: int = 1,
+    max_workers: Optional[int] = None,
+    seed: int = 0,
+) -> "Dict[str, Dict[str, Dict[str, Dict[str, Dict[str, float]]]]]":
+    """Attack x defense sweep over scenario workloads.
+
+    Every (scenario, algorithm, strategy, policy) combination runs as
+    one scan cell: a benign and an attacked execution sharing every
+    protocol seed, both aggregated under the cell's robust policy, so
+    the reported ``manipulation_gain`` is exactly the shift the attack
+    caused under that defense.
+
+    Args:
+        scenarios: preset names from the scenario registry.
+        algorithms: online algorithm names to evaluate.
+        strategies: attack strategies
+            (:data:`repro.adversary.ATTACK_STRATEGIES`).
+        policies: robust-policy kinds (:data:`repro.adversary.POLICIES`).
+        attack_fraction: fraction of compromised users.
+        n_users, horizon: population shape per run.
+        epsilon, w: w-event privacy parameters.
+        n_shards: user-shards per run.
+        max_workers: worker processes (default: one per shard).
+        seed: data/protocol root seed (the experiment harness's shared
+            ``(seed, seed + 1)`` convention).
+
+    Returns:
+        ``{scenario: {algorithm: {strategy: {policy: {metric: value}}}}}``
+        with metrics ``manipulation_gain``, ``mse`` (attacked run vs
+        benign ground truth) and ``mse_benign``.
+    """
+    from .._validation import ensure_positive_int
+    from ..scan import ScanCell
+    from ..scan.orchestrator import run_cells
+
+    n_users = ensure_positive_int(n_users, "n_users")
+    n_shards = ensure_positive_int(n_shards, "n_shards")
+    if not 0.0 < float(attack_fraction) <= 1.0:
+        raise ValueError(
+            f"attack_fraction must be in (0, 1], got {attack_fraction}"
+        )
+    scenario_names = list(dict.fromkeys(scenarios))
+    algorithm_names = list(dict.fromkeys(algorithms))
+    strategy_names = list(dict.fromkeys(strategies))
+    policy_names = list(dict.fromkeys(policies))
+
+    cells = []
+    keys = []
+    for scenario in scenario_names:
+        for name in algorithm_names:
+            for strategy in strategy_names:
+                for policy in policy_names:
+                    cells.append(
+                        ScanCell(
+                            index=len(cells),
+                            kind="scenario",
+                            algorithm=name,
+                            epsilon=float(epsilon),
+                            w=int(w),
+                            data_seed=int(seed),
+                            protocol_seed=int(seed) + 1,
+                            scenario=scenario,
+                            n_users=n_users,
+                            horizon=int(horizon),
+                            n_shards=n_shards,
+                            engine="sharded",
+                            attack_fraction=float(attack_fraction),
+                            attack_strategy=strategy,
+                            robust_policy=policy,
+                        )
+                    )
+                    keys.append((scenario, name, strategy, policy))
+
+    workers = n_shards if max_workers is None else max_workers
+    cell_results, _ = run_cells(cells, workers=workers)
+
+    out: Dict[str, Dict[str, Dict[str, Dict[str, Dict[str, float]]]]] = {}
+    for cell, (scenario, name, strategy, policy) in zip(cells, keys):
+        scalars = cell_results[cell.index].scalars
+        out.setdefault(scenario, {}).setdefault(name, {}).setdefault(
+            strategy, {}
+        )[policy] = {
+            "manipulation_gain": float(scalars["manipulation_gain"]),
+            "mse": float(scalars["mse"]),
+            "mse_benign": float(scalars["mse_benign"]),
+        }
+    return out

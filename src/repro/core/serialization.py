@@ -159,6 +159,19 @@ def collector_state_to_dict(state: "CollectorShardState") -> Dict[str, Any]:
             str(uid): {str(t): value for t, value in series.items()}
             for uid, series in state.by_user.items()
         }
+    # Robust-aggregation extras are emitted only when a policy is set, so
+    # snapshots of unpoliced runs keep the exact v1 payload (and digests).
+    if state.robust_policy is not None:
+        payload["robust_policy"] = state.robust_policy.to_dict()
+        if state.group_sums:
+            payload["group_sums"] = {
+                str(t): {str(g): total for g, total in groups.items()}
+                for t, groups in state.group_sums.items()
+            }
+            payload["group_counts"] = {
+                str(t): {str(g): count for g, count in groups.items()}
+                for t, groups in state.group_counts.items()
+            }
     return payload
 
 
@@ -168,6 +181,11 @@ def collector_state_from_dict(data: Dict[str, Any]) -> "CollectorShardState":
 
     if data.get("format") != _STATE_FORMAT:
         raise ValueError(f"unsupported shard-state format {data.get('format')!r}")
+    policy = None
+    if data.get("robust_policy") is not None:
+        from ..adversary.policies import RobustPolicy
+
+        policy = RobustPolicy.from_dict(data["robust_policy"])
     state = CollectorShardState(
         track_users=bool(data["track_users"]),
         keep_reports=bool(data.get("keep_reports", True)),
@@ -178,6 +196,15 @@ def collector_state_from_dict(data: Dict[str, Any]) -> "CollectorShardState":
             for t, values in data.get("slot_values", {}).items()
         },
         n_reports=int(data["n_reports"]),
+        robust_policy=policy,
+        group_sums={
+            int(t): {int(g): float(total) for g, total in groups.items()}
+            for t, groups in data.get("group_sums", {}).items()
+        },
+        group_counts={
+            int(t): {int(g): int(count) for g, count in groups.items()}
+            for t, groups in data.get("group_counts", {}).items()
+        },
     )
     if state.track_users:
         state.by_user = {

@@ -303,6 +303,48 @@ def _run_scenarios(args: argparse.Namespace) -> str:
     return format_table(["scenario"] + list(algorithms), rows, title=title)
 
 
+def _run_adversary(args: argparse.Namespace) -> str:
+    from ..adversary import ATTACK_STRATEGIES, POLICIES, run_adversarial_study
+
+    scenarios = tuple(args.datasets or ("steady",))
+    strategies = tuple(args.strategies or ATTACK_STRATEGIES)
+    policies = tuple(args.policies or POLICIES)
+    study = run_adversarial_study(
+        scenarios=scenarios,
+        algorithms=(args.algorithm,),
+        strategies=strategies,
+        policies=policies,
+        attack_fraction=args.attack_fraction,
+        n_users=_scaled(2_000, args.scale),
+        horizon=_scaled(48, args.scale),
+        epsilon=(args.epsilons or [1.0])[0],
+        w=(args.windows or [10])[0],
+        n_shards=max(args.shards, 1),
+        max_workers=args.workers,
+        seed=args.seed,
+    )
+    blocks = []
+    for scenario in scenarios:
+        per_strategy = study[scenario][args.algorithm]
+        rows = [
+            [strategy]
+            + [per_strategy[strategy][policy]["manipulation_gain"] for policy in policies]
+            for strategy in strategies
+        ]
+        blocks.append(
+            format_table(
+                ["attack \\ defense"] + list(policies),
+                rows,
+                title=(
+                    f"Manipulation gain — scenario {scenario!r}, "
+                    f"{args.attack_fraction:.0%} compromised, "
+                    f"algorithm {args.algorithm}"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)
+
+
 def _run_live(args: argparse.Namespace) -> str:
     from ..runtime.scenarios import SCENARIOS
     from .runner import run_live_study
@@ -1127,6 +1169,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "models": _run_models,
     "distribution": _run_distribution,
     "scenarios": _run_scenarios,
+    "adversary": _run_adversary,
     "live": _run_live,
     "serve-replay": _run_serve_replay,
     "gateway-serve": _run_gateway_serve,
@@ -1168,6 +1211,13 @@ COMMAND_HELP: Dict[str, str] = {
         "through the sharded runtime; reports population-mean MSE per "
         "estimator.\n"
         "  python -m repro scenarios --shards 4 --scale 0.5"
+    ),
+    "adversary": (
+        "Adversarial robustness study: run each attack strategy against "
+        "each robust-aggregation policy on paired benign/attacked runs "
+        "sharing a seed, and report the manipulation-gain matrix.\n"
+        "  python -m repro adversary --scale 0.5 --shards 2 "
+        "--attack-fraction 0.05"
     ),
     "live": (
         "Live-serving study: the slot-clocked ingestion pipeline vs the "
@@ -1479,6 +1529,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="trajectory file --bench merges into "
         "(default: BENCH_population.json)",
+    )
+    adversary = parser.add_argument_group("adversarial studies (adversary)")
+    adversary.add_argument(
+        "--attack-fraction",
+        type=float,
+        default=0.05,
+        help="fraction of the user population the attacker controls "
+        "(default 0.05)",
+    )
+    adversary.add_argument(
+        "--strategies",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="attack strategies to sweep (default: extreme targeted "
+        "random)",
+    )
+    adversary.add_argument(
+        "--policies",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="robust-aggregation policies to sweep (default: none clip "
+        "trim median-of-means)",
     )
     wal = parser.add_argument_group("durability (gateway-serve / wal-compact)")
     wal.add_argument(

@@ -52,6 +52,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 import numpy as np
 
 from ..protocol.collector import Collector, CollectorShardState
+from ..adversary.policies import RobustPolicy, make_policy
 from ..protocol.messages import ShardSlotState
 from ..service.events import ReportBatch, SlotEstimate
 from ..service.feeds import ShardFeed, shard_feeds
@@ -155,6 +156,7 @@ class ShardStateAggregator:
         smoothing_window: Optional[int] = 3,
         track_users: bool = False,
         keep_reports: bool = True,
+        robust_policy=None,
     ) -> None:
         if n_shards < 1 or horizon < 1:
             raise ValueError("n_shards and horizon must be positive")
@@ -162,11 +164,13 @@ class ShardStateAggregator:
         self.horizon = int(horizon)
         self.epsilon = float(epsilon)
         self.w = int(w)
+        self._policy: Optional[RobustPolicy] = make_policy(robust_policy)
         self.collector = Collector(
             epsilon_per_report=self.epsilon / self.w,
             smoothing_window=smoothing_window,
             track_users=track_users,
             keep_reports=keep_reports,
+            robust_policy=self._policy,
         )
         self.slot_estimates: List[SlotEstimate] = []
         self._pending: Dict[int, Dict[int, ShardSlotState]] = {}
@@ -283,6 +287,15 @@ class ShardStateAggregator:
         if track_users and state.user_ids is not None and segment is not None:
             for uid, value in zip(state.user_ids.tolist(), segment.tolist()):
                 by_user[int(uid)] = {state.t: value}
+        # Workers apply the robust policy's report transform before
+        # summing (see _encode_slot_frames), so the wire total is already
+        # the policed fold; group labels are global shard indices, the
+        # same grouping every other execution mode uses.
+        group_sums: Dict[int, Dict[int, float]] = {}
+        group_counts: Dict[int, Dict[int, int]] = {}
+        if self._policy is not None and self._policy.uses_groups and state.n_reports:
+            group_sums = {state.t: {state.shard: state.total}}
+            group_counts = {state.t: {state.shard: state.n_reports}}
         return CollectorShardState(
             track_users=track_users,
             keep_reports=keep_reports,
@@ -291,6 +304,9 @@ class ShardStateAggregator:
             slot_values=slot_values,
             by_user=by_user,
             n_reports=state.n_reports,
+            robust_policy=self._policy,
+            group_sums=group_sums,
+            group_counts=group_counts,
         )
 
     def finish(self) -> None:
@@ -556,6 +572,7 @@ def _encode_slot_frames(
     waiting: Dict[int, ReportBatch],
     keep_reports: bool,
     track_users: bool,
+    robust_policy: Optional[RobustPolicy] = None,
 ) -> List[bytes]:
     """Encode one finalized slot as its upstream frame group.
 
@@ -563,13 +580,18 @@ def _encode_slot_frames(
     closed by the slot's ``SLOT_FINAL``.  The per-shard total is
     ``float(np.array(values).sum())`` — the identical expression the
     collector folds with, so the root merges the exact bits the flat
-    path would have produced.
+    path would have produced.  When a robust policy is set, its report
+    transform (e.g. clip) is applied *before* summing, exactly where
+    :meth:`CollectorShardState.add_slot_batch` applies it, so the wire
+    total and values are the policed bits.
     """
     frames: List[bytes] = []
     for local in range(n_local_shards):
         batch = waiting[local]
         if batch.n_reports:
             segment = np.array(batch.values, dtype=float)
+            if robust_policy is not None:
+                segment = np.asarray(robust_policy.transform(segment), dtype=float)
             total = float(segment.sum())
         else:
             segment, total = None, 0.0
@@ -622,6 +644,7 @@ class GatewayWorker:
         max_slot_skew: int = 8,
         retry_after: float = 0.02,
         record_batches: bool = False,
+        robust_policy=None,
         pipeline: Optional[IngestionPipeline] = None,
         next_expected: Optional[List[int]] = None,
         outbox: Optional[List[Tuple[int, List[bytes]]]] = None,
@@ -655,6 +678,7 @@ class GatewayWorker:
                 keep_reports=keep_reports,
                 max_slot_skew=max_slot_skew,
                 record_batches=record_batches,
+                robust_policy=robust_policy,
             )
         elif pipeline.n_shards != n_local:
             raise ValueError(
@@ -696,6 +720,7 @@ class GatewayWorker:
             waiting,
             self.pipeline.collector.keep_reports,
             self.pipeline.collector.track_users,
+            robust_policy=self.pipeline.collector.robust_policy,
         )
         self._outbox.append((estimate.t, frames))
         self._outbox_grew.set()
@@ -909,6 +934,7 @@ def recover_worker(
                         waiting,
                         pipeline.collector.keep_reports,
                         pipeline.collector.track_users,
+                        robust_policy=pipeline.collector.robust_policy,
                     ),
                 )
             )
@@ -1058,6 +1084,8 @@ def run_distributed(
     keep_reports: bool = True,
     record_history: bool = False,
     complete_timeout: float = 120.0,
+    attack=None,
+    robust_policy=None,
 ) -> DistributedRunResult:
     """Serve a population through the full aggregation tree, in-process.
 
@@ -1078,6 +1106,7 @@ def run_distributed(
         seed=seed,
         chunk_size=chunk_size,
         record_history=record_history,
+        attack=attack,
     )
     if not feeds:
         raise ValueError("source yielded no chunks; nothing to serve")
@@ -1094,6 +1123,7 @@ def run_distributed(
             smoothing_window=smoothing_window,
             track_users=track_users,
             keep_reports=keep_reports,
+            robust_policy=robust_policy,
         )
         root = RootAggregator(aggregator, host=host, port=root_port)
         await root.start()
@@ -1117,6 +1147,7 @@ def run_distributed(
                     root_port=root.port,
                     max_slot_skew=max_slot_skew,
                     retry_after=retry_after,
+                    robust_policy=robust_policy,
                 )
                 await wkr.start(
                     metadata={
@@ -1185,6 +1216,7 @@ def _worker_process_main(
             seed=cfg["seed"],
             chunk_size=cfg["chunk_size"],
             shards=range(lo, hi),
+            attack=cfg.get("attack"),
         )
         if len(feeds) != hi - lo:
             raise RuntimeError(
@@ -1208,6 +1240,7 @@ def _worker_process_main(
                 root_port=cfg["root_port"],
                 max_slot_skew=cfg["max_slot_skew"],
                 retry_after=cfg["retry_after"],
+                robust_policy=cfg.get("robust_policy"),
             )
             await wkr.start(metadata={"seed": cfg["seed"]})
             topology = [
@@ -1260,6 +1293,8 @@ def run_distributed_processes(
     retry_after: float = 0.02,
     complete_timeout: float = 300.0,
     mp_context: Optional[str] = None,
+    attack=None,
+    robust_policy=None,
 ) -> DistributedRunResult:
     """Serve a population with one OS process per worker.
 
@@ -1279,6 +1314,15 @@ def run_distributed_processes(
     horizon = int(source.horizon)
     ranges = shard_ranges(n_shards, workers)
     ctx = multiprocessing.get_context(mp_context)
+    # Ship the adversarial knobs as their JSON-safe dict forms — worker
+    # processes rebuild them via make_attack/make_policy, which keeps the
+    # cfg payload picklable under every start method.
+    from ..adversary.attacks import make_attack
+
+    attack_spec = make_attack(attack)
+    attack_cfg = None if attack_spec is None else attack_spec.to_dict()
+    policy = make_policy(robust_policy)
+    policy_cfg = None if policy is None else policy.to_dict()
 
     async def _serve() -> DistributedRunResult:
         aggregator = ShardStateAggregator(
@@ -1289,6 +1333,7 @@ def run_distributed_processes(
             smoothing_window=smoothing_window,
             track_users=track_users,
             keep_reports=keep_reports,
+            robust_policy=policy,
         )
         root = RootAggregator(aggregator, host=host, port=root_port)
         await root.start()
@@ -1315,6 +1360,8 @@ def run_distributed_processes(
                 "max_slot_skew": max_slot_skew,
                 "retry_after": retry_after,
                 "complete_timeout": complete_timeout,
+                "attack": attack_cfg,
+                "robust_policy": policy_cfg,
             }
             proc = ctx.Process(
                 target=_worker_process_main,

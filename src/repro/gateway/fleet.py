@@ -304,6 +304,7 @@ def run_fleet(
     jitter: float = 0.0,
     drops: Optional[Dict[int, Iterable[int]]] = None,
     netem: Optional[NetemSpec] = None,
+    attack=None,
 ) -> List[ShardUploadReport]:
     """Sync driver: sanitize a population source and upload it to a server.
 
@@ -321,6 +322,7 @@ def run_fleet(
         participation=participation,
         seed=seed,
         chunk_size=chunk_size,
+        attack=attack,
     )
     if not feeds:
         raise ValueError("source yielded no chunks; nothing to upload")
@@ -356,6 +358,8 @@ def run_gateway(
     complete_timeout: float = 120.0,
     wal_dir: Optional[str] = None,
     fsync: str = "commit",
+    attack=None,
+    robust_policy=None,
 ) -> GatewayRunResult:
     """Serve a population through the gateway over loopback TCP.
 
@@ -383,6 +387,7 @@ def run_gateway(
         seed=seed,
         chunk_size=chunk_size,
         record_history=record_history,
+        attack=attack,
     )
     if not feeds:
         raise ValueError("source yielded no chunks; nothing to serve")
@@ -396,6 +401,7 @@ def run_gateway(
         keep_reports=keep_reports,
         max_slot_skew=max_slot_skew,
         record_batches=record_batches,
+        robust_policy=robust_policy,
     )
     for sink in sinks:
         pipeline.add_sink(sink)

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from .._validation import ensure_epsilon, ensure_positive_int
+from ..adversary.policies import RobustPolicy, make_policy
 from ..core.online import OnlineSmoother
 from ..core.smoothing import simple_moving_average
 from ..mechanisms import SquareWaveMechanism
@@ -73,11 +74,26 @@ class CollectorShardState:
     slot_values: Dict[int, List["np.ndarray | float"]] = field(default_factory=dict)
     by_user: Dict[int, Dict[int, float]] = field(default_factory=dict)
     n_reports: int = 0
+    #: optional robust-aggregation policy (:mod:`repro.adversary`): a
+    #: ``clip`` policy transforms every value at ingestion time (before
+    #: it enters any running sum, preserving the fold order exactly);
+    #: ``median-of-means`` additionally accumulates per-group sums and
+    #: counts keyed by the ingesting batch's ``group`` label (the global
+    #: chunk index).  Merging requires both operands to carry the same
+    #: policy.
+    robust_policy: Optional[RobustPolicy] = None
+    group_sums: Dict[int, Dict[int, float]] = field(default_factory=dict)
+    group_counts: Dict[int, Dict[int, int]] = field(default_factory=dict)
 
     # -- ingestion -------------------------------------------------------
 
-    def add_report(self, user_id: int, t: int, value: float) -> None:
+    def add_report(
+        self, user_id: int, t: int, value: float, group: int = 0
+    ) -> None:
         """Fold one report in (scalar fast path — no array per report)."""
+        policy = self.robust_policy
+        if policy is not None:
+            value = policy.transform_scalar(value)
         if self.track_users:
             self.by_user.setdefault(user_id, {})[t] = value
         if self.keep_reports:
@@ -85,19 +101,41 @@ class CollectorShardState:
         self.slot_sums[t] = self.slot_sums.get(t, 0.0) + value
         self.slot_counts[t] = self.slot_counts.get(t, 0) + 1
         self.n_reports += 1
+        if policy is not None and policy.uses_groups:
+            sums = self.group_sums.setdefault(t, {})
+            counts = self.group_counts.setdefault(t, {})
+            sums[group] = sums.get(group, 0.0) + value
+            counts[group] = counts.get(group, 0) + 1
 
-    def add_slot_batch(self, t: int, ids: "list[int]", values: np.ndarray) -> None:
-        """Fold one slot's reports in (inputs already validated)."""
+    def add_slot_batch(
+        self, t: int, ids: "list[int]", values: np.ndarray, group: int = 0
+    ) -> None:
+        """Fold one slot's reports in (inputs already validated).
+
+        ``group`` labels the batch's shard group for the
+        ``median-of-means`` policy; every execution mode passes the
+        *global* chunk index, so group aggregates are identical across
+        execution modes for the same chunking.
+        """
         segment = np.array(values, dtype=float)  # own the memory
+        policy = self.robust_policy
+        if policy is not None:
+            segment = np.asarray(policy.transform(segment), dtype=float)
         if self.track_users:
             by_user = self.by_user
             for uid, value in zip(ids, segment.tolist()):
                 by_user.setdefault(uid, {})[t] = value
         if self.keep_reports:
             self.slot_values.setdefault(t, []).append(segment)
-        self.slot_sums[t] = self.slot_sums.get(t, 0.0) + float(segment.sum())
+        total = float(segment.sum())
+        self.slot_sums[t] = self.slot_sums.get(t, 0.0) + total
         self.slot_counts[t] = self.slot_counts.get(t, 0) + segment.size
         self.n_reports += segment.size
+        if policy is not None and policy.uses_groups:
+            sums = self.group_sums.setdefault(t, {})
+            counts = self.group_counts.setdefault(t, {})
+            sums[group] = sums.get(group, 0.0) + total
+            counts[group] = counts.get(group, 0) + segment.size
 
     def slot_reports(self, t: int) -> np.ndarray:
         """All reports ingested at slot ``t`` (ingestion order, compacted).
@@ -130,8 +168,16 @@ class CollectorShardState:
         Raises:
             ValueError: if both states track users and share any
                 (user, slot) pair — the duplicate-report rule
-                :meth:`Collector.ingest` enforces, applied across shards.
+                :meth:`Collector.ingest` enforces, applied across shards
+                — or if the states carry different robust policies (a
+                mixed-policy fold has no well-defined estimate).
         """
+        if self.robust_policy != other.robust_policy:
+            raise ValueError(
+                f"cannot merge shard states with different robust "
+                f"policies ({self.robust_policy!r} vs "
+                f"{other.robust_policy!r})"
+            )
         if self.track_users and other.track_users:
             for uid, series in other.by_user.items():
                 mine = self.by_user.get(uid)
@@ -159,6 +205,14 @@ class CollectorShardState:
         if self.track_users:
             for uid, series in other.by_user.items():
                 self.by_user.setdefault(uid, {}).update(series)
+        for t, groups in other.group_sums.items():
+            mine = self.group_sums.setdefault(t, {})
+            for group, total in groups.items():
+                mine[group] = mine.get(group, 0.0) + total
+        for t, groups in other.group_counts.items():
+            mine_counts = self.group_counts.setdefault(t, {})
+            for group, count in groups.items():
+                mine_counts[group] = mine_counts.get(group, 0) + count
 
     def merge(self, other: "CollectorShardState") -> "CollectorShardState":
         """Combined state of two shards (neither operand is mutated).
@@ -184,6 +238,9 @@ class CollectorShardState:
             slot_values={t: list(v) for t, v in self.slot_values.items()},
             by_user={uid: dict(s) for uid, s in self.by_user.items()},
             n_reports=self.n_reports,
+            robust_policy=self.robust_policy,
+            group_sums={t: dict(g) for t, g in self.group_sums.items()},
+            group_counts={t: dict(g) for t, g in self.group_counts.items()},
         )
 
 
@@ -204,6 +261,13 @@ class Collector:
             ``False`` at extreme scale to keep only O(slots) running
             aggregates; mean queries still work, distribution queries
             raise.
+        robust_policy: optional robust-aggregation policy — a
+            :class:`~repro.adversary.RobustPolicy`, a kind name
+            (``"clip"``, ``"trim"``, ``"median-of-means"``), a policy
+            dict, or ``None``/``"none"`` for the plain fold.  ``clip``
+            transforms values at ingestion; ``trim`` and
+            ``median-of-means`` change the :meth:`population_mean`
+            query fold (``trim`` requires ``keep_reports=True``).
     """
 
     def __init__(
@@ -212,6 +276,7 @@ class Collector:
         smoothing_window: Optional[int] = 3,
         track_users: bool = True,
         keep_reports: bool = True,
+        robust_policy: "RobustPolicy | str | dict | None" = None,
     ) -> None:
         if epsilon_per_report is not None:
             epsilon_per_report = ensure_epsilon(
@@ -221,10 +286,18 @@ class Collector:
             smoothing_window = ensure_positive_int(smoothing_window, "smoothing_window")
             if smoothing_window % 2 == 0:
                 raise ValueError("smoothing_window must be odd")
+        policy = make_policy(robust_policy)
+        if policy is not None and policy.needs_reports and not keep_reports:
+            raise ValueError(
+                f"robust policy {policy.kind!r} reads retained report "
+                "arrays; it requires keep_reports=True"
+            )
         self.epsilon_per_report = epsilon_per_report
         self.smoothing_window = smoothing_window
         self._state = CollectorShardState(
-            track_users=bool(track_users), keep_reports=bool(keep_reports)
+            track_users=bool(track_users),
+            keep_reports=bool(keep_reports),
+            robust_policy=policy,
         )
 
     # -- shard state -----------------------------------------------------
@@ -241,6 +314,10 @@ class Collector:
     @property
     def keep_reports(self) -> bool:
         return self._state.keep_reports
+
+    @property
+    def robust_policy(self) -> Optional[RobustPolicy]:
+        return self._state.robust_policy
 
     def restore_state(self, state: CollectorShardState) -> None:
         """Replace this collector's aggregate state wholesale.
@@ -272,6 +349,12 @@ class Collector:
                 f"keep_reports={state.keep_reports} but this collector is "
                 f"configured with track_users={self._state.track_users}/"
                 f"keep_reports={self._state.keep_reports}"
+            )
+        if state.robust_policy != self._state.robust_policy:
+            raise ValueError(
+                "checkpoint state was built with robust_policy="
+                f"{state.robust_policy!r} but this collector is "
+                f"configured with {self._state.robust_policy!r}"
             )
         self._state = state
 
@@ -312,6 +395,7 @@ class Collector:
         t: int,
         user_ids: np.ndarray,
         values: np.ndarray,
+        group: int = 0,
     ) -> None:
         """Record one slot's reports for many users in a single call.
 
@@ -326,6 +410,9 @@ class Collector:
             t: the time slot every value belongs to.
             user_ids: ``(k,)`` non-negative, distinct user ids.
             values: ``(k,)`` perturbed values aligned with ``user_ids``.
+            group: shard-group label for the ``median-of-means`` robust
+                policy (the batch's global chunk index; ignored
+                otherwise).
         """
         t = int(t)
         if t < 0:
@@ -354,7 +441,7 @@ class Collector:
         for uid in id_list:
             if self._state.has_report(uid, t):
                 raise ValueError(f"duplicate report for user {uid} at t={t}")
-        self._state.add_slot_batch(t, id_list, vals)
+        self._state.add_slot_batch(t, id_list, vals, group=int(group))
 
     # -- inspection ------------------------------------------------------
 
@@ -373,10 +460,20 @@ class Collector:
     # -- aggregate queries -------------------------------------------------
 
     def population_mean(self, t: int) -> float:
-        """Cross-user mean of reports at slot ``t`` (O(1) via running sums)."""
+        """Cross-user mean of reports at slot ``t``.
+
+        O(1) via running sums by default.  Under a ``trim`` or
+        ``median-of-means`` robust policy the query applies the policy's
+        fold instead (sorted trimmed mean / median of group means) —
+        both are pure functions of the slot's report multiset and group
+        aggregates, so every execution mode answers identically.
+        """
         count = self._state.slot_counts.get(t)
         if not count:
             raise KeyError(f"no reports at slot {t}")
+        policy = self._state.robust_policy
+        if policy is not None:
+            return policy.slot_mean(self._state, t)
         return self._state.slot_sums[t] / count
 
     def population_mean_series(self) -> np.ndarray:

@@ -24,6 +24,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from .._validation import ensure_rng, ensure_stream_matrix
+from ..adversary.attacks import AttackSpec, make_attack
 from ..core.online import (
     BatchOnlineAPP,
     BatchOnlineCAPP,
@@ -142,6 +143,13 @@ class PopulationSlotEngine:
         rng: master generator (group seeds + participation masks).
         record_history: keep full per-slot budget ledgers.
         user_id_offset: global id of user row 0 (shard placement).
+        attack: optional :class:`~repro.adversary.AttackSpec` — the
+            engine is the single choke point every execution mode's
+            reports flow through, so poisoning applied here is identical
+            for the vectorized, sharded, live, gateway, and distributed
+            paths.  The attack's randomness is a stateless hash of
+            global user ids (never a generator draw), so an attacked run
+            consumes exactly the benign run's seed streams.
     """
 
     def __init__(
@@ -155,6 +163,7 @@ class PopulationSlotEngine:
         rng: Optional[np.random.Generator] = None,
         record_history: bool = True,
         user_id_offset: int = 0,
+        attack: "AttackSpec | dict | None" = None,
     ) -> None:
         # Zero users (and, for an empty population, zero slots) are valid,
         # matching ensure_stream_matrix's contract for the batch runner.
@@ -269,6 +278,7 @@ class PopulationSlotEngine:
         self._rng = rng
         self._all_ids = np.arange(self.n_users) + user_id_offset
         self._t = 0
+        self.attack = make_attack(attack)
 
     @property
     def slots_processed(self) -> int:
@@ -300,6 +310,12 @@ class PopulationSlotEngine:
             raise ValueError(
                 f"values must have shape ({self.n_users},), got {column.shape}"
             )
+        if self.attack is not None:
+            # Input-level poisoning (extreme): compromised users lie
+            # before the mechanism runs.  The mechanism consumes the
+            # same generator draws regardless of input values, so the
+            # honest users' reports stay bit-identical to a benign run.
+            column = self.attack.poison_inputs(self._t, self._all_ids, column)
         probability = float(self._schedule[self._t])
         mask = None
         if probability < 1.0:
@@ -308,6 +324,13 @@ class PopulationSlotEngine:
         for group, rows in zip(self.groups, self._group_rows):
             sub_mask = None if mask is None else mask[rows]
             reports[rows] = group.engine.submit(column[rows], sub_mask)
+        if self.attack is not None:
+            # Report-level poisoning (targeted/random): compromised
+            # users bypass the mechanism and replace the reports they
+            # would have sent (participation is never changed).
+            reports = self.attack.poison_reports(
+                self._t, self._all_ids, reports
+            )
         self._t += 1
         if mask is None:
             finite = np.isfinite(reports)
@@ -340,6 +363,9 @@ def run_protocol_vectorized(
     user_id_offset: int = 0,
     track_users: bool = True,
     keep_reports: bool = True,
+    attack: "AttackSpec | dict | None" = None,
+    robust_policy=None,
+    group: int = 0,
 ) -> VectorizedSimulationResult:
     """Simulate the full collection protocol with population batching.
 
@@ -385,6 +411,15 @@ def run_protocol_vectorized(
             to also drop the O(users x slots) per-slot report arrays,
             keeping only running aggregates (disables distribution
             queries).
+        attack: optional :class:`~repro.adversary.AttackSpec` poisoning
+            the run (see :class:`PopulationSlotEngine`).  The true
+            matrix — and therefore every ground-truth metric — stays
+            benign; only the engine's outputs are poisoned.
+        robust_policy: optional robust-aggregation policy forwarded to
+            the :class:`Collector` (see :mod:`repro.adversary`).
+        group: shard-group label of this run's single chunk (the global
+            chunk index under the sharded runtime), consumed by the
+            ``median-of-means`` policy.
 
     Returns:
         A :class:`VectorizedSimulationResult` with the populated
@@ -407,18 +442,20 @@ def run_protocol_vectorized(
         rng=rng,
         record_history=record_history,
         user_id_offset=user_id_offset,
+        attack=attack,
     )
     collector = Collector(
         epsilon_per_report=epsilon / w,
         smoothing_window=smoothing_window,
         track_users=track_users,
         keep_reports=keep_reports,
+        robust_policy=robust_policy,
     )
 
     for t in range(horizon):
         ids, reports = stepper.step(matrix[:, t])
         if ids.size:
-            collector.ingest_batch(t, ids, reports)
+            collector.ingest_batch(t, ids, reports, group=group)
         if on_slot is not None:
             on_slot(t)
 

@@ -26,12 +26,14 @@ Values are clipped into ``[0, 1]``, matching the protocol's input domain.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
 from .._validation import ensure_positive_int, ensure_probability, ensure_rng
+from ..adversary.attacks import AttackSpec, make_attack
 from ..datasets.synthetic import diurnal_stream
 
 __all__ = [
@@ -72,6 +74,12 @@ class ScenarioSpec:
             trough of each wave.
         churn_width: half-width of each wave in slots (raised-cosine
             shape).
+        attack: optional :class:`~repro.adversary.AttackSpec` — a
+            coalition of compromised users poisoning the collection (see
+            :mod:`repro.adversary`).  The attack is a *protocol*-level
+            modifier: the synthesized true-value matrices stay benign
+            (ground truth is what honest collection would measure), and
+            the runtime picks the spec up as its default attack.
         name: preset name, for reporting.
     """
 
@@ -90,6 +98,7 @@ class ScenarioSpec:
     churn_waves: int = 0
     churn_depth: float = 0.5
     churn_width: int = 6
+    attack: Optional[AttackSpec] = None
     name: str = "custom"
 
     def __post_init__(self) -> None:
@@ -111,6 +120,11 @@ class ScenarioSpec:
         for field_name in ("noise_scale", "user_spread", "burst_magnitude"):
             if getattr(self, field_name) < 0:
                 raise ValueError(f"{field_name} must be >= 0")
+        if self.attack is not None and not isinstance(self.attack, AttackSpec):
+            raise TypeError(
+                f"attack must be an AttackSpec or None, got "
+                f"{type(self.attack).__name__}"
+            )
 
 
 #: preset overrides by scenario name (applied on top of the defaults)
@@ -125,16 +139,35 @@ SCENARIOS: Dict[str, dict] = {
         "baseline_participation": 0.95,
     },
     "drift": {"drift": 0.35, "noise_scale": 0.08},
+    # Adversarial presets: a steady workload with 5% of the population
+    # compromised (one preset per attack strategy; see repro.adversary).
+    "poisoned-extreme": {"attack": AttackSpec(fraction=0.05, strategy="extreme")},
+    "poisoned-random": {"attack": AttackSpec(fraction=0.05, strategy="random")},
+    "poisoned-targeted": {
+        "attack": AttackSpec(fraction=0.05, strategy="targeted", target=1.0)
+    },
 }
 
 
 def make_scenario(name: str, n_users: int, horizon: int, **overrides) -> ScenarioSpec:
-    """Instantiate a preset scenario (overrides win over the preset)."""
+    """Instantiate a preset scenario (overrides win over the preset).
+
+    The ``attack`` override may be an :class:`~repro.adversary.AttackSpec`
+    or its dict form (how TOML/CLI layers spell it).
+    """
     if name not in SCENARIOS:
         known = ", ".join(sorted(SCENARIOS))
-        raise KeyError(f"unknown scenario {name!r}; known: {known}")
+        close = difflib.get_close_matches(name, sorted(SCENARIOS), n=3, cutoff=0.5)
+        hint = (
+            f"; did you mean {' or '.join(repr(c) for c in close)}?"
+            if close
+            else ""
+        )
+        raise KeyError(f"unknown scenario {name!r}{hint} (known: {known})")
     params = dict(SCENARIOS[name])
     params.update(overrides)
+    if "attack" in params:
+        params["attack"] = make_attack(params["attack"])
     return ScenarioSpec(n_users=n_users, horizon=horizon, name=name, **params)
 
 

@@ -44,6 +44,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Unio
 
 import numpy as np
 
+from ..adversary.attacks import make_attack
+from ..adversary.policies import make_policy
 from ..core.serialization import (
     batch_accountant_from_dict,
     batch_accountant_to_dict,
@@ -292,6 +294,9 @@ def _execute_shard(task: "tuple[PopulationChunk, dict]") -> ShardResult:
         user_id_offset=chunk.start,
         track_users=params["track_users"],
         keep_reports=params["keep_reports"],
+        attack=params.get("attack"),
+        robust_policy=params.get("robust_policy"),
+        group=chunk.index,
     )
     ledgers = [
         GroupLedger(
@@ -460,6 +465,8 @@ def run_protocol_sharded(
     track_users: bool = False,
     keep_reports: bool = True,
     on_shard: Optional[Callable[[ShardResult], None]] = None,
+    attack=None,
+    robust_policy=None,
 ) -> ShardedRunResult:
     """Run the collection protocol shard by shard and merge the results.
 
@@ -501,6 +508,20 @@ def run_protocol_sharded(
             resident.
         on_shard: callback invoked with each :class:`ShardResult` as it
             completes (progress reporting), in completion order.
+        attack: optional :class:`~repro.adversary.AttackSpec` (or its
+            dict form) — a coalition of compromised users poisoning the
+            collection.  ``None`` uses the source's default (adversarial
+            scenario presets carry one); pass
+            ``AttackSpec(fraction=0.0)`` to force a benign run.  Attack
+            randomness is a pure hash of global user ids, so the result
+            stays bit-identical for any chunking or worker count.
+        robust_policy: optional
+            :class:`~repro.adversary.RobustPolicy` (or its name / dict
+            form) applied at the collector boundary — ``clip`` transforms
+            reports at ingestion, ``trim``/``median-of-means`` change the
+            estimate fold.  The per-chunk group label feeding
+            median-of-means is the global chunk index, so the grouping
+            (and estimate) is decomposition-invariant.
 
     Returns:
         A :class:`ShardedRunResult`; its ``collector`` matches what a
@@ -510,6 +531,10 @@ def run_protocol_sharded(
     src = as_source(source, chunk_size=chunk_size)
     if participation is None:
         participation = src.default_participation()
+    if attack is None:
+        attack = src.default_attack()
+    attack = make_attack(attack)
+    policy = make_policy(robust_policy)
     if max_workers is None:
         max_workers = 1
     max_workers = int(max_workers)
@@ -527,6 +552,8 @@ def run_protocol_sharded(
         "record_history": bool(record_history),
         "track_users": bool(track_users),
         "keep_reports": bool(keep_reports),
+        "attack": attack,
+        "robust_policy": policy,
     }
 
     store = None
@@ -553,6 +580,12 @@ def run_protocol_sharded(
             "track_users": params["track_users"],
             "keep_reports": params["keep_reports"],
         }
+        # Adversarial keys ride along only when set, so benign runs keep
+        # the exact v1 manifest (old checkpoint directories stay valid).
+        if attack is not None:
+            meta["attack"] = attack.to_dict()
+        if policy is not None:
+            meta["robust_policy"] = policy.to_dict()
         store = _CheckpointStore(checkpoint_dir, meta)
 
     resumed: Dict[int, ShardResult] = {}
@@ -627,6 +660,7 @@ def run_protocol_sharded(
         smoothing_window=smoothing_window,
         track_users=track_users,
         keep_reports=keep_reports,
+        robust_policy=policy,
     )
     for shard in shards:
         collector.merge_state(shard.state)

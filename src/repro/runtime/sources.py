@@ -109,6 +109,15 @@ class StreamSource(abc.ABC):
         """Participation the runtime uses when the caller passes none."""
         return 1.0
 
+    def default_attack(self):
+        """Attack spec the runtime uses when the caller passes none.
+
+        ``None`` for plain sources; scenario sources whose spec carries
+        an :class:`~repro.adversary.AttackSpec` return it, so adversarial
+        presets poison every execution mode without extra plumbing.
+        """
+        return None
+
 
 def _chunk_bounds(n_users: int, chunk_size: int) -> Iterator["tuple[int, int, int]"]:
     """(index, start, stop) triples covering ``range(n_users)``."""
@@ -276,6 +285,10 @@ class ScenarioSource(StreamSource):
         if self.spec.churn_waves or self.spec.baseline_participation < 1.0:
             return participation_schedule(self.spec)
         return 1.0
+
+    def default_attack(self):
+        """The scenario's attack spec (``None`` for benign presets)."""
+        return self.spec.attack
 
     def chunks(self) -> Iterator[PopulationChunk]:
         level = self.level_profile()

@@ -94,6 +94,12 @@ class ScanCell:
     engine: str = "sharded"
     metric: str = "mse_mean"
     n_repeats: int = 1
+    #: adversarial axes (scenario cells; see repro.adversary) — a cell
+    #: with ``attack_fraction > 0`` runs a paired benign/attacked pair
+    #: under shared seeds and reports the manipulation gain
+    attack_fraction: float = 0.0
+    attack_strategy: str = "extreme"
+    robust_policy: str = "none"
     #: sweep cells only — the shared (rows, q) subsequence matrix; not
     #: part of the cell's identity (the store records its digest instead)
     matrix: Optional[np.ndarray] = field(
@@ -107,6 +113,23 @@ class ScanCell:
             raise ValueError(
                 f"unknown engine {self.engine!r} "
                 f"(known: {', '.join(SCENARIO_ENGINES)})"
+            )
+        if not 0.0 <= float(self.attack_fraction) <= 1.0:
+            raise ValueError(
+                f"attack_fraction must lie in [0, 1], got {self.attack_fraction}"
+            )
+        from ..adversary.attacks import ATTACK_STRATEGIES
+        from ..adversary.policies import POLICIES
+
+        if self.attack_strategy not in ATTACK_STRATEGIES:
+            raise ValueError(
+                f"unknown attack strategy {self.attack_strategy!r} "
+                f"(known: {', '.join(ATTACK_STRATEGIES)})"
+            )
+        if self.robust_policy not in POLICIES:
+            raise ValueError(
+                f"unknown robust policy {self.robust_policy!r} "
+                f"(known: {', '.join(POLICIES)})"
             )
         if self.kind == "sweep":
             if self.metric not in SWEEP_METRICS:
@@ -136,6 +159,13 @@ class ScanCell:
                 horizon=int(self.horizon),
                 n_shards=int(self.n_shards),
             )
+            # Adversarial identity appears only off the benign defaults,
+            # keeping pre-existing manifests (and fingerprints) intact.
+            if self.attack_fraction > 0.0:
+                out["attack_fraction"] = float(self.attack_fraction)
+                out["attack_strategy"] = self.attack_strategy
+            if self.robust_policy != "none":
+                out["robust_policy"] = self.robust_policy
         else:
             out.update(
                 metric=self.metric,
@@ -203,57 +233,98 @@ def _error_metrics(estimates: np.ndarray, truth: np.ndarray) -> Dict[str, float]
 
 
 def _execute_scenario(cell: ScanCell) -> "tuple[dict, dict, str]":
+    from ..adversary.attacks import AttackSpec
+    from ..adversary.study import manipulation_gain
     from ..runtime import run_protocol_sharded, scenario_source
 
-    source = scenario_source(
-        cell.scenario,
-        n_users=cell.n_users,
-        horizon=cell.horizon,
-        n_shards=cell.n_shards,
-        seed=cell.data_seed,
+    policy = None if cell.robust_policy == "none" else cell.robust_policy
+
+    def _run(attack: "AttackSpec | None"):
+        """One full execution; returns (slots, estimates, truth, spends,
+        n_reports).  ``attack=None`` defers to the scenario's default."""
+        source = scenario_source(
+            cell.scenario,
+            n_users=cell.n_users,
+            horizon=cell.horizon,
+            n_shards=cell.n_shards,
+            seed=cell.data_seed,
+        )
+        if cell.engine == "sharded":
+            run = run_protocol_sharded(
+                source,
+                algorithm=cell.algorithm,
+                epsilon=cell.epsilon,
+                w=cell.w,
+                seed=cell.protocol_seed,
+                max_workers=1,  # the cell is the unit of parallelism
+                attack=attack,
+                robust_policy=policy,
+            )
+            collector = run.collector
+            truth_series = run.true_population_mean()
+            spends = run.max_window_spend()
+        else:  # live
+            from ..service import run_live
+
+            live = run_live(
+                source,
+                algorithm=cell.algorithm,
+                epsilon=cell.epsilon,
+                w=cell.w,
+                seed=cell.protocol_seed,
+                max_workers=1,
+                attack=attack,
+                robust_policy=policy,
+            )
+            collector = live.collector
+            truth = np.zeros(cell.horizon)
+            for chunk in source.chunks():
+                truth += chunk.matrix.sum(axis=0)
+            truth_series = truth / cell.n_users
+            spends = np.zeros(cell.n_users)
+            for feed in live.feeds or ():
+                for group in feed.engine.groups:
+                    spends[group.indices] = (
+                        group.engine.accountant.max_window_spend()
+                    )
+        slots = np.asarray(collector.slots(), dtype=np.int64)
+        estimates = np.array([collector.population_mean(int(t)) for t in slots])
+        return slots, estimates, truth_series[slots], spends, collector.n_reports
+
+    attack = None
+    if cell.attack_fraction > 0.0:
+        # The attack seed is the cell's data seed: part of the workload,
+        # independent of the protocol randomness the benign leg shares.
+        attack = AttackSpec(
+            fraction=cell.attack_fraction,
+            strategy=cell.attack_strategy,
+            seed=cell.data_seed,
+        )
+    effective = (
+        attack
+        if attack is not None
+        else scenario_source(
+            cell.scenario, n_users=cell.n_users, horizon=cell.horizon
+        ).default_attack()
     )
-    if cell.engine == "sharded":
-        run = run_protocol_sharded(
-            source,
-            algorithm=cell.algorithm,
-            epsilon=cell.epsilon,
-            w=cell.w,
-            seed=cell.protocol_seed,
-            max_workers=1,  # the cell is the unit of parallelism
-        )
-        collector = run.collector
-        truth_series = run.true_population_mean()
-        spends = run.max_window_spend()
-        n_reports = collector.n_reports
-    else:  # live
-        from ..service import run_live
+    attacked = effective is not None and effective.fraction > 0.0
 
-        live = run_live(
-            source,
-            algorithm=cell.algorithm,
-            epsilon=cell.epsilon,
-            w=cell.w,
-            seed=cell.protocol_seed,
-            max_workers=1,
-        )
-        collector = live.collector
-        truth = np.zeros(cell.horizon)
-        for chunk in source.chunks():
-            truth += chunk.matrix.sum(axis=0)
-        truth_series = truth / cell.n_users
-        spends = np.zeros(cell.n_users)
-        for feed in live.feeds or ():
-            for group in feed.engine.groups:
-                spends[group.indices] = group.engine.accountant.max_window_spend()
-        n_reports = collector.n_reports
-
-    slots = np.asarray(collector.slots(), dtype=np.int64)
-    estimates = np.array([collector.population_mean(int(t)) for t in slots])
-    truth_at_slots = truth_series[slots]
+    slots, estimates, truth_at_slots, spends, n_reports = _run(attack)
     scalars = _error_metrics(estimates, truth_at_slots)
     scalars["max_window_spend"] = float(spends.max()) if spends.size else 0.0
     scalars["n_reports"] = float(n_reports)
     series = {"slots": slots, "estimates": estimates, "truth": truth_at_slots}
+    if attacked:
+        # Paired benign leg: same seeds, same rng streams (attack
+        # randomness is hash-derived, never drawn), attack forced off.
+        _, benign_estimates, benign_truth, _, _ = _run(AttackSpec(fraction=0.0))
+        scalars["manipulation_gain"] = manipulation_gain(
+            benign_estimates, estimates
+        )
+        scalars["mse_benign"] = _error_metrics(benign_estimates, benign_truth)[
+            "mse"
+        ]
+        series["estimates_benign"] = benign_estimates
     return scalars, series, ledger_digest(spends)
 
 

@@ -45,6 +45,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..adversary.attacks import ATTACK_STRATEGIES
+from ..adversary.policies import POLICIES
 from ..registry import algorithm_names, capabilities
 from ..runtime.scenarios import SCENARIOS
 from .cells import SCENARIO_ENGINES, ScanCell
@@ -75,6 +77,12 @@ class GridSpec:
     shards: Tuple[int, ...] = (1,)
     engines: Tuple[str, ...] = ("sharded",)
     w: Tuple[int, ...] = (10,)
+    # Adversarial axes (see repro.adversary).  The defaults are the
+    # benign point, so grids that never mention them expand to exactly
+    # the cells (and digests) they did before the axes existed.
+    attack_fractions: Tuple[float, ...] = (0.0,)
+    attack_strategies: Tuple[str, ...] = ("extreme",)
+    robust_policies: Tuple[str, ...] = ("none",)
 
     def __post_init__(self) -> None:
         for axis in (
@@ -86,6 +94,9 @@ class GridSpec:
             "shards",
             "engines",
             "w",
+            "attack_fractions",
+            "attack_strategies",
+            "robust_policies",
         ):
             values = getattr(self, axis)
             if not isinstance(values, tuple) or not values:
@@ -115,6 +126,24 @@ class GridSpec:
         for axis in ("n_users", "horizons", "shards", "w"):
             if any(int(value) < 1 for value in getattr(self, axis)):
                 raise ValueError(f"grid axis {axis!r} must be >= 1")
+        for fraction in self.attack_fractions:
+            if not 0.0 <= float(fraction) <= 1.0:
+                raise ValueError(
+                    f"grid axis 'attack_fractions' must lie in [0, 1], "
+                    f"got {fraction}"
+                )
+        for strategy in self.attack_strategies:
+            if strategy not in ATTACK_STRATEGIES:
+                raise ValueError(
+                    f"unknown attack strategy {strategy!r} in grid "
+                    f"(known: {', '.join(ATTACK_STRATEGIES)})"
+                )
+        for policy in self.robust_policies:
+            if policy not in POLICIES:
+                raise ValueError(
+                    f"unknown robust policy {policy!r} in grid "
+                    f"(known: {', '.join(POLICIES)})"
+                )
 
     @property
     def n_raw_cells(self) -> int:
@@ -128,10 +157,13 @@ class GridSpec:
             * len(self.shards)
             * len(self.engines)
             * len(self.w)
+            * len(self.attack_fractions)
+            * len(self.attack_strategies)
+            * len(self.robust_policies)
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "algorithms": list(self.algorithms),
             "epsilons": [float(e) for e in self.epsilons],
             "scenarios": list(self.scenarios),
@@ -141,6 +173,16 @@ class GridSpec:
             "engines": list(self.engines),
             "w": [int(w) for w in self.w],
         }
+        # Adversarial axes appear only when swept off their benign
+        # defaults, so pre-existing configs keep their digests (and their
+        # stores keep resuming).
+        if self.attack_fractions != (0.0,):
+            payload["attack_fractions"] = [float(f) for f in self.attack_fractions]
+        if self.attack_strategies != ("extreme",):
+            payload["attack_strategies"] = list(self.attack_strategies)
+        if self.robust_policies != ("none",):
+            payload["robust_policies"] = list(self.robust_policies)
+        return payload
 
 
 @dataclass(frozen=True)
@@ -237,6 +279,9 @@ _GRID_KEYS = {
     "shards",
     "engines",
     "w",
+    "attack_fractions",
+    "attack_strategies",
+    "robust_policies",
 }
 
 #: filter keys -> ScanCell attribute they match against
@@ -249,6 +294,9 @@ _FILTER_KEYS = {
     "shards": "n_shards",
     "engine": "engine",
     "w": "w",
+    "attack_fraction": "attack_fraction",
+    "attack_strategy": "attack_strategy",
+    "robust_policy": "robust_policy",
 }
 
 
@@ -391,9 +439,12 @@ def expand_cells(
 
     Expansion order is the deterministic cross product
     ``algorithms x epsilons x scenarios x n_users x horizons x shards x
-    engines x w`` with include/exclude filters and capability pruning
-    applied *before* indices are assigned — the index is a property of
-    the config, never of execution.
+    engines x w x attack_fractions x attack_strategies x
+    robust_policies`` (the adversarial axes appended last, so grids that
+    keep their benign defaults enumerate exactly as before) with
+    include/exclude filters and capability pruning applied *before*
+    indices are assigned — the index is a property of the config, never
+    of execution.
 
     Capability pruning consults :func:`repro.registry.capabilities`: an
     estimator without the ``participation`` capability cannot run a
@@ -413,8 +464,23 @@ def expand_cells(
         grid.shards,
         grid.engines,
         grid.w,
+        grid.attack_fractions,
+        grid.attack_strategies,
+        grid.robust_policies,
     ):
-        algorithm, epsilon, scenario, n_users, horizon, shards, engine, w = combo
+        (
+            algorithm,
+            epsilon,
+            scenario,
+            n_users,
+            horizon,
+            shards,
+            engine,
+            w,
+            attack_fraction,
+            attack_strategy,
+            robust_policy,
+        ) = combo
         params = {
             "algorithm": algorithm,
             "epsilon": float(epsilon),
@@ -424,6 +490,9 @@ def expand_cells(
             "n_shards": int(shards),
             "engine": engine,
             "w": int(w),
+            "attack_fraction": float(attack_fraction),
+            "attack_strategy": attack_strategy,
+            "robust_policy": robust_policy,
         }
         if config.include and not any(
             _matches(entry, params) for entry in config.include

@@ -52,6 +52,9 @@ PARAM_COLUMNS = (
     "n_users",
     "horizon",
     "n_shards",
+    "attack_fraction",
+    "attack_strategy",
+    "robust_policy",
 )
 
 
@@ -293,10 +296,18 @@ class ScanStore:
             "index": np.asarray(indices, dtype=np.int64)
         }
         for column in PARAM_COLUMNS:
-            values = [e["params"].get(column, "") for e in entries]
-            if column in ("epsilon",):
+            # Adversarial columns default-fill (cells record them only
+            # when off their benign defaults; old stores never do).
+            if column == "attack_fraction":
+                default: Any = 0.0
+            elif column == "robust_policy":
+                default = "none"
+            else:
+                default = ""
+            values = [e["params"].get(column, default) for e in entries]
+            if column in ("epsilon", "attack_fraction"):
                 columns[column] = np.asarray(
-                    [float(v or "nan") for v in values], dtype=float
+                    [float(v if v != "" else "nan") for v in values], dtype=float
                 )
             elif column in ("w", "n_users", "horizon", "n_shards"):
                 columns[column] = np.asarray(

@@ -30,6 +30,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Unio
 
 import numpy as np
 
+from ..adversary.attacks import make_attack
 from ..protocol.vectorized import PopulationSlotEngine
 from ..runtime.sharding import shard_rng
 from ..runtime.sources import PopulationChunk, StreamSource, as_source
@@ -100,6 +101,7 @@ def shard_feeds(
     chunk_size: Optional[int] = None,
     record_history: bool = False,
     shards: Optional[Iterable[int]] = None,
+    attack=None,
 ) -> List[ShardFeed]:
     """Build one live feed per chunk of a population source.
 
@@ -125,11 +127,18 @@ def shard_feeds(
             worker's shard range).  Safe because each chunk's generator
             is keyed by its own index — skipping neighbours changes
             nothing for the chunks that are built.
+        attack: optional :class:`~repro.adversary.AttackSpec` (or dict
+            form); ``None`` uses the source's default.  Attack randomness
+            hashes global user ids, so a partial fleet (``shards``)
+            poisons exactly the users an offline run would.
     """
     src = as_source(source, chunk_size=chunk_size)
     wanted = None if shards is None else frozenset(int(s) for s in shards)
     if participation is None:
         participation = src.default_participation()
+    if attack is None:
+        attack = src.default_attack()
+    attack = make_attack(attack)
     per_user = None if isinstance(algorithm, str) else list(algorithm)
 
     feeds: List[ShardFeed] = []
@@ -156,6 +165,7 @@ def shard_feeds(
             rng=shard_rng(int(seed), chunk.index),
             record_history=record_history,
             user_id_offset=chunk.start,
+            attack=attack,
         )
         feeds.append(ShardFeed(chunk, engine))
     return feeds

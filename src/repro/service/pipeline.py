@@ -136,6 +136,11 @@ class IngestionPipeline:
             construction).
         record_batches: emit every ingested batch to the sinks, making a
             JSONL event log a complete replayable capture of the run.
+        robust_policy: optional
+            :class:`~repro.adversary.RobustPolicy` (or name/dict form)
+            applied by the collector — the live-serving end of the same
+            robust-aggregation layer the offline runtime threads through
+            :func:`~repro.runtime.run_protocol_sharded`.
     """
 
     def __init__(
@@ -151,6 +156,7 @@ class IngestionPipeline:
         coalesce: int = 8,
         max_slot_skew: int = 8,
         record_batches: bool = False,
+        robust_policy=None,
     ) -> None:
         self.n_shards = ensure_positive_int(n_shards, "n_shards")
         self.horizon = ensure_positive_int(horizon, "horizon")
@@ -165,6 +171,7 @@ class IngestionPipeline:
             smoothing_window=smoothing_window,
             track_users=track_users,
             keep_reports=keep_reports,
+            robust_policy=robust_policy,
         )
         self.slot_estimates: List[SlotEstimate] = []
         self._dashboards: Dict[str, StreamingQueryEngine] = {}
@@ -253,7 +260,7 @@ class IngestionPipeline:
         checkpoints store — :func:`~repro.wal.recover_pipeline` rebuilds
         an identically configured pipeline from it.
         """
-        return {
+        config: Dict[str, Any] = {
             "n_shards": self.n_shards,
             "horizon": self.horizon,
             "epsilon": self.epsilon,
@@ -266,6 +273,11 @@ class IngestionPipeline:
             "max_slot_skew": self.max_slot_skew,
             "record_batches": self.record_batches,
         }
+        # Included only when set, so unpoliced runs keep the exact v1
+        # config (old WALs and their recovery path stay byte-compatible).
+        if self.collector.robust_policy is not None:
+            config["robust_policy"] = self.collector.robust_policy.to_dict()
+        return config
 
     @property
     def dashboards(self) -> Dict[str, StreamingQueryEngine]:
@@ -387,6 +399,8 @@ class IngestionPipeline:
             "track_users": self.collector.track_users,
             "keep_reports": self.collector.keep_reports,
         }
+        if self.collector.robust_policy is not None:
+            record["robust_policy"] = self.collector.robust_policy.to_dict()
         record.update(metadata or {})
         self._run_metadata = dict(metadata or {})
         if self._wal is not None and not self._wal.resumed:
@@ -530,7 +544,12 @@ class IngestionPipeline:
         for shard in sorted(waiting):
             batch = waiting[shard]
             if batch.n_reports:
-                self.collector.ingest_batch(t, batch.user_ids, batch.values)
+                # The group label is the shard (= global chunk) index, so
+                # a median-of-means fold groups exactly as the offline
+                # sharded runtime does.
+                self.collector.ingest_batch(
+                    t, batch.user_ids, batch.values, group=shard
+                )
         count = self.collector.state.slot_counts.get(t, 0)
         mean = self.collector.population_mean(t) if count else None
         answers: Dict[str, Dict[str, Any]] = {}
@@ -741,6 +760,8 @@ def run_live(
     track_users: bool = False,
     keep_reports: bool = True,
     record_history: bool = False,
+    attack=None,
+    robust_policy=None,
 ) -> LiveRunResult:
     """Serve a population source through the live ingestion pipeline.
 
@@ -765,6 +786,11 @@ def run_live(
         record_batches: emit every batch to sinks (replayable capture).
         track_users, keep_reports: collector memory/feature switches.
         record_history: keep full per-slot budget ledgers on the feeds.
+        attack: optional :class:`~repro.adversary.AttackSpec` (or dict
+            form); ``None`` uses the source's default.
+        robust_policy: optional
+            :class:`~repro.adversary.RobustPolicy` (or name/dict form)
+            applied by the pipeline's collector.
 
     Returns:
         A :class:`LiveRunResult` (already audited).
@@ -778,6 +804,7 @@ def run_live(
         seed=seed,
         chunk_size=chunk_size,
         record_history=record_history,
+        attack=attack,
     )
     horizon = feeds[0].horizon if feeds else 0
     if not feeds:
@@ -794,6 +821,7 @@ def run_live(
         coalesce=coalesce,
         max_slot_skew=max_slot_skew,
         record_batches=record_batches,
+        robust_policy=robust_policy,
     )
     for sink in sinks:
         pipeline.add_sink(sink)
@@ -833,6 +861,7 @@ def replay_event_log(
         track_users=bool(meta.get("track_users", False)),
         keep_reports=bool(meta.get("keep_reports", True)),
         record_batches=record_batches,
+        robust_policy=meta.get("robust_policy"),
     )
     for sink in sinks:
         pipeline.add_sink(sink)

@@ -161,6 +161,7 @@ def _build_pipeline(config: Dict[str, Any]) -> IngestionPipeline:
         coalesce=int(config.get("coalesce", 8)),
         max_slot_skew=int(config.get("max_slot_skew", 8)),
         record_batches=bool(config.get("record_batches", False)),
+        robust_policy=config.get("robust_policy"),
     )
 
 

@@ -1,0 +1,137 @@
+"""AttackSpec: validation, stateless determinism, poisoning semantics."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import ATTACK_STRATEGIES, AttackSpec, hash_uniform, make_attack
+
+
+class TestValidation:
+    def test_fraction_range(self):
+        AttackSpec(fraction=0.0)
+        AttackSpec(fraction=1.0)
+        with pytest.raises(ValueError, match="fraction"):
+            AttackSpec(fraction=-0.1)
+        with pytest.raises(ValueError, match="fraction"):
+            AttackSpec(fraction=1.1)
+
+    def test_unknown_strategy_suggests_close_match(self):
+        with pytest.raises(ValueError, match="did you mean 'extreme'"):
+            AttackSpec(strategy="extrem")
+        with pytest.raises(ValueError, match="unknown attack strategy"):
+            AttackSpec(strategy="zzz")
+
+    def test_known_strategies(self):
+        assert set(ATTACK_STRATEGIES) == {"extreme", "random", "targeted"}
+        for strategy in ATTACK_STRATEGIES:
+            assert AttackSpec(strategy=strategy).strategy == strategy
+
+    def test_other_fields_validated(self):
+        with pytest.raises(ValueError, match="onset"):
+            AttackSpec(onset=-1)
+        with pytest.raises(ValueError, match="target"):
+            AttackSpec(target=float("nan"))
+        with pytest.raises(ValueError, match="magnitude"):
+            AttackSpec(magnitude=-1.0)
+        with pytest.raises(ValueError, match="seed"):
+            AttackSpec(seed=-1)
+
+    def test_round_trip(self):
+        spec = AttackSpec(
+            fraction=0.2, strategy="random", onset=3, target=0.0, magnitude=2.0, seed=9
+        )
+        assert AttackSpec.from_dict(spec.to_dict()) == spec
+
+    def test_make_attack_coercions(self):
+        assert make_attack(None) is None
+        spec = AttackSpec(fraction=0.1)
+        assert make_attack(spec) is spec
+        assert make_attack(spec.to_dict()) == spec
+        with pytest.raises(TypeError, match="attack must be"):
+            make_attack(0.1)
+
+
+class TestDeterminism:
+    def test_hash_uniform_is_stateless_and_in_range(self):
+        ids = np.arange(500, dtype=np.int64)
+        a = hash_uniform(7, ids)
+        b = hash_uniform(7, ids)
+        np.testing.assert_array_equal(a, b)
+        assert a.min() >= 0.0 and a.max() < 1.0
+        # Different seeds and different extras decorrelate the stream.
+        assert not np.array_equal(a, hash_uniform(8, ids))
+        assert not np.array_equal(a, hash_uniform(7, ids, 1))
+
+    def test_compromise_mask_is_decomposition_invariant(self):
+        spec = AttackSpec(fraction=0.3, seed=11)
+        ids = np.arange(200, dtype=np.int64)
+        whole = spec.compromised(ids)
+        parts = np.concatenate(
+            [spec.compromised(chunk) for chunk in np.array_split(ids, 7)]
+        )
+        np.testing.assert_array_equal(whole, parts)
+
+    def test_compromise_rate_tracks_fraction(self):
+        spec = AttackSpec(fraction=0.25, seed=3)
+        rate = spec.compromised(np.arange(20_000)).mean()
+        assert rate == pytest.approx(0.25, abs=0.02)
+
+    def test_active_at_respects_onset_and_fraction(self):
+        spec = AttackSpec(fraction=0.1, onset=5)
+        assert not spec.active_at(4)
+        assert spec.active_at(5)
+        assert not AttackSpec(fraction=0.0).active_at(100)
+
+
+class TestPoisoning:
+    def test_extreme_moves_inputs_to_edge_without_mutating(self):
+        spec = AttackSpec(fraction=0.5, strategy="extreme", target=1.0, seed=2)
+        ids = np.arange(100, dtype=np.int64)
+        column = np.full(100, 0.4)
+        out = spec.poison_inputs(0, ids, column)
+        assert out is not column and (column == 0.4).all()
+        mask = spec.compromised(ids)
+        assert (out[mask] == 1.0).all()
+        assert (out[~mask] == 0.4).all()
+        # Low targets push to the low edge.
+        low = AttackSpec(fraction=0.5, strategy="extreme", target=0.0, seed=2)
+        assert (low.poison_inputs(0, ids, column)[mask] == 0.0).all()
+
+    def test_extreme_leaves_reports_untouched(self):
+        spec = AttackSpec(fraction=0.5, strategy="extreme", seed=2)
+        reports = np.linspace(-0.2, 1.2, 20)
+        assert spec.poison_reports(0, np.arange(20), reports) is reports
+
+    def test_targeted_replaces_only_finite_reports(self):
+        spec = AttackSpec(fraction=1.0, strategy="targeted", target=0.7)
+        reports = np.array([0.1, np.nan, 0.9, np.nan])
+        out = spec.poison_reports(0, np.arange(4), reports)
+        assert out[0] == 0.7 and out[2] == 0.7
+        assert np.isnan(out[1]) and np.isnan(out[3])
+
+    def test_targeted_leaves_inputs_untouched(self):
+        spec = AttackSpec(fraction=1.0, strategy="targeted")
+        column = np.full(5, 0.4)
+        assert spec.poison_inputs(0, np.arange(5), column) is column
+
+    def test_random_injects_out_of_domain(self):
+        spec = AttackSpec(fraction=1.0, strategy="random", magnitude=3.0, seed=5)
+        ids = np.arange(200, dtype=np.int64)
+        out = spec.poison_reports(0, ids, np.full(200, 0.5))
+        assert ((out > 1.0) | (out < 0.0)).all()
+        assert out.max() <= 4.0 and out.min() >= -3.0
+        # target >= 0.5 biases injections above the domain
+        assert (out > 1.0).mean() > 0.5
+
+    def test_random_is_slot_keyed_but_deterministic(self):
+        spec = AttackSpec(fraction=1.0, strategy="random", seed=5)
+        ids = np.arange(50, dtype=np.int64)
+        reports = np.full(50, 0.5)
+        a = spec.poison_reports(3, ids, reports)
+        np.testing.assert_array_equal(a, spec.poison_reports(3, ids, reports))
+        assert not np.array_equal(a, spec.poison_reports(4, ids, reports))
+
+    def test_inactive_slots_are_identity(self):
+        spec = AttackSpec(fraction=1.0, strategy="targeted", onset=10)
+        reports = np.full(5, 0.5)
+        assert spec.poison_reports(9, np.arange(5), reports) is reports

@@ -1,0 +1,122 @@
+"""RobustPolicy: validation, folds, and collector integration."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import POLICIES, RobustPolicy, make_policy
+from repro.protocol import Collector
+from repro.protocol.collector import CollectorShardState
+
+
+class TestValidation:
+    def test_unknown_kind_suggests_close_match(self):
+        with pytest.raises(ValueError, match="did you mean 'clip'"):
+            RobustPolicy(kind="clipp")
+        with pytest.raises(ValueError, match="unknown robust policy"):
+            RobustPolicy(kind="zzz")
+
+    def test_known_kinds(self):
+        assert set(POLICIES) == {"none", "clip", "trim", "median-of-means"}
+
+    def test_bounds_and_trim_validated(self):
+        with pytest.raises(ValueError, match="finite"):
+            RobustPolicy(kind="clip", high=float("inf"))
+        with pytest.raises(ValueError, match="low < high"):
+            RobustPolicy(kind="clip", low=1.0, high=0.0)
+        with pytest.raises(ValueError, match="trim fraction"):
+            RobustPolicy(kind="trim", trim=0.5)
+        with pytest.raises(ValueError, match="trim fraction"):
+            RobustPolicy(kind="trim", trim=-0.1)
+
+    def test_round_trip(self):
+        policy = RobustPolicy(kind="trim", trim=0.2)
+        assert RobustPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_make_policy_coercions(self):
+        assert make_policy(None) is None
+        assert make_policy("none") is None
+        assert make_policy(RobustPolicy(kind="none")) is None
+        policy = RobustPolicy(kind="clip")
+        assert make_policy(policy) is policy
+        assert make_policy("trim") == RobustPolicy(kind="trim")
+        assert make_policy(policy.to_dict()) == policy
+        with pytest.raises(TypeError, match="robust_policy must be"):
+            make_policy(3)
+
+    def test_capability_switches(self):
+        assert RobustPolicy(kind="median-of-means").uses_groups
+        assert not RobustPolicy(kind="clip").uses_groups
+        assert RobustPolicy(kind="trim").needs_reports
+        assert not RobustPolicy(kind="clip").needs_reports
+
+
+class TestFolds:
+    def test_clip_transform(self):
+        policy = RobustPolicy(kind="clip")
+        values = np.array([-0.5, 0.3, 1.7])
+        np.testing.assert_array_equal(
+            policy.transform(values), [0.0, 0.3, 1.0]
+        )
+        assert policy.transform_scalar(-2.0) == 0.0
+        assert policy.transform_scalar(0.25) == 0.25
+        # Non-clip transforms are the identity (same object, same bits).
+        assert RobustPolicy(kind="trim").transform(values) is values
+
+    def test_trimmed_mean_drops_tails(self):
+        collector = Collector(
+            epsilon_per_report=1.0,
+            keep_reports=True,
+            robust_policy=RobustPolicy(kind="trim", trim=0.2),
+        )
+        values = np.array([100.0, 0.4, 0.5, 0.6, -100.0])
+        collector.ingest_batch(0, np.arange(5), values)
+        assert collector.population_mean(0) == pytest.approx(0.5)
+
+    def test_trim_degenerates_to_median(self):
+        # Too few reports to trim both tails: fall back to the median.
+        collector = Collector(
+            epsilon_per_report=1.0,
+            keep_reports=True,
+            robust_policy=RobustPolicy(kind="trim", trim=0.4),
+        )
+        collector.ingest_batch(0, np.arange(3), np.array([0.0, 0.2, 9.0]))
+        assert collector.population_mean(0) == pytest.approx(0.2)
+
+    def test_median_of_means_uses_group_labels(self):
+        policy = RobustPolicy(kind="median-of-means")
+        collector = Collector(epsilon_per_report=1.0, robust_policy=policy)
+        collector.ingest_batch(0, np.arange(3), np.full(3, 0.2), group=0)
+        collector.ingest_batch(0, np.arange(3, 6), np.full(3, 0.4), group=1)
+        collector.ingest_batch(0, np.arange(6, 9), np.full(3, 99.0), group=2)
+        # Median of the three group means (0.2, 0.4, 99.0).
+        assert collector.population_mean(0) == pytest.approx(0.4)
+
+    def test_clip_applies_at_ingestion(self):
+        collector = Collector(
+            epsilon_per_report=1.0, robust_policy=RobustPolicy(kind="clip")
+        )
+        collector.ingest_batch(0, np.arange(2), np.array([-4.0, 5.0]))
+        assert collector.population_mean(0) == pytest.approx(0.5)
+
+
+class TestMerge:
+    def _state(self, policy, group, values):
+        state = CollectorShardState(robust_policy=policy)
+        ids = np.arange(group * 100, group * 100 + len(values))
+        state.add_slot_batch(0, ids, np.asarray(values, dtype=float), group=group)
+        return state
+
+    def test_policy_mismatch_fails_loudly(self):
+        clip = self._state(RobustPolicy(kind="clip"), 0, [0.5])
+        trim = self._state(RobustPolicy(kind="trim"), 1, [0.5])
+        with pytest.raises(ValueError, match="different robust policies"):
+            clip.merge_in_place(trim)
+
+    def test_group_aggregates_merge(self):
+        policy = RobustPolicy(kind="median-of-means")
+        a = self._state(policy, 0, [0.2, 0.2])
+        b = self._state(policy, 1, [0.8, 0.8])
+        a.merge_in_place(b)
+        assert a.group_sums[0] == {0: pytest.approx(0.4), 1: pytest.approx(1.6)}
+        assert a.group_counts[0] == {0: 2, 1: 2}
+        assert policy.slot_mean(a, 0) == pytest.approx(0.5)

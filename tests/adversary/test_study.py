@@ -1,0 +1,56 @@
+"""manipulation_gain and the attack x defense study harness."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import manipulation_gain, run_adversarial_study
+
+
+class TestManipulationGain:
+    def test_mean_absolute_shift(self):
+        benign = np.array([0.5, 0.5, 0.5])
+        attacked = np.array([0.6, 0.4, 0.5])
+        assert manipulation_gain(benign, attacked) == pytest.approx(0.2 / 3)
+
+    def test_identical_series_is_zero(self):
+        series = np.linspace(0, 1, 10)
+        assert manipulation_gain(series, series) == 0.0
+
+    def test_length_mismatch_uses_common_prefix(self):
+        assert manipulation_gain([0.5, 0.5, 9.0], [0.7, 0.3]) == pytest.approx(0.2)
+
+    def test_empty_series(self):
+        assert manipulation_gain([], []) == 0.0
+        assert manipulation_gain([], [0.5]) == 0.0
+
+
+class TestStudy:
+    def test_rejects_benign_fraction(self):
+        with pytest.raises(ValueError, match="attack_fraction"):
+            run_adversarial_study(attack_fraction=0.0)
+
+    def test_small_study_shape_and_clip_defense(self):
+        study = run_adversarial_study(
+            scenarios=("steady",),
+            algorithms=("capp",),
+            strategies=("random",),
+            policies=("none", "clip"),
+            attack_fraction=0.2,
+            n_users=120,
+            horizon=12,
+            epsilon=1.0,
+            w=4,
+            n_shards=2,
+            max_workers=1,
+            seed=3,
+        )
+        cells = study["steady"]["capp"]["random"]
+        assert set(cells) == {"none", "clip"}
+        for metrics in cells.values():
+            assert set(metrics) == {"manipulation_gain", "mse", "mse_benign"}
+            assert metrics["manipulation_gain"] >= 0.0
+        # Out-of-domain injection is exactly what clip-to-domain removes.
+        assert (
+            cells["clip"]["manipulation_gain"]
+            < cells["none"]["manipulation_gain"]
+        )

@@ -1,0 +1,182 @@
+"""Golden fixtures for attacked runs: every execution mode, bit for bit.
+
+Companion to :mod:`tests.golden.test_golden_fixtures` for the adversarial
+tier (:mod:`repro.adversary`): one poisoned configuration per fixture is
+executed through the vectorized, sharded, live, gateway, and distributed
+paths, every path must agree bit for bit, and the sharded result is
+pinned against a checked-in JSON snapshot.  Attacks are stateless hashes
+of ``(attack seed, global user id[, slot])`` and robust policies fold at
+the collector boundary, so neither may perturb the runtime's
+decomposition invariance — these fixtures are the regression net for
+that claim.
+
+Regenerate deliberately with::
+
+    python -m pytest tests/golden --update-golden
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary import AttackSpec, RobustPolicy
+from repro.gateway import run_distributed, run_gateway
+from repro.protocol import run_protocol_vectorized
+from repro.runtime import run_protocol_sharded, shard_rng
+from repro.service import run_live
+
+from .test_golden_fixtures import (
+    GOLDEN_FORMAT,
+    _check_against_golden,
+    _ledger_digest,
+    _live_ledgers,
+    _matrix,
+    _sharded_ledgers,
+    _source,
+    _vectorized_ledgers,
+)
+
+#: one attacked configuration per (strategy, policy) pairing worth
+#: pinning; ``attack``/``robust_policy`` are serialized into the fixture
+#: via ``to_dict`` so the snapshot documents the exact threat model
+CONFIGS = {
+    # Input poisoning with no defense, single chunk: pins the vectorized
+    # attack path (the poisoned column enters the mechanism unchanged).
+    "adversarial_extreme_single_chunk": dict(
+        n_users=12,
+        horizon=8,
+        chunk_size=12,
+        algorithm="capp",
+        epsilon=1.0,
+        w=4,
+        participation=0.9,
+        data_seed=23,
+        seed=5,
+        attack=AttackSpec(fraction=0.25, strategy="extreme", onset=2, seed=99),
+        robust_policy=None,
+    ),
+    # Out-of-domain report injection under clip-to-domain, multi-shard:
+    # pins the ingestion-time transform through every merge tree.
+    "adversarial_random_clip_multi_shard": dict(
+        n_users=16,
+        horizon=8,
+        chunk_size=4,
+        algorithm="capp",
+        epsilon=1.0,
+        w=4,
+        participation=0.9,
+        data_seed=23,
+        seed=5,
+        attack=AttackSpec(fraction=0.25, strategy="random", onset=0, seed=7),
+        robust_policy=RobustPolicy(kind="clip"),
+    ),
+}
+
+
+def _protocol_kwargs(config):
+    return dict(
+        algorithm=config["algorithm"],
+        epsilon=config["epsilon"],
+        w=config["w"],
+        participation=config["participation"],
+        seed=config["seed"],
+        attack=config["attack"],
+        robust_policy=config["robust_policy"],
+    )
+
+
+def _snapshot(config, collector, ledger_digest):
+    slots = collector.slots()
+    return {
+        "format": GOLDEN_FORMAT,
+        "config": {
+            key: value
+            for key, value in config.items()
+            if key not in ("attack", "robust_policy")
+        },
+        "attack": config["attack"].to_dict(),
+        "robust_policy": (
+            None
+            if config["robust_policy"] is None
+            else config["robust_policy"].to_dict()
+        ),
+        "slots": [int(t) for t in slots],
+        "counts": [int(collector.state.slot_counts[t]) for t in slots],
+        "means": [float(collector.population_mean(t)) for t in slots],
+        "n_reports": int(collector.n_reports),
+        "ledger_digest": ledger_digest,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_attacked_runs_reproduce_golden_across_modes(name, update_golden):
+    config = CONFIGS[name]
+    kwargs = _protocol_kwargs(config)
+
+    sharded = run_protocol_sharded(_source(config), **kwargs)
+    live = run_live(_source(config), **kwargs)
+    gateway = run_gateway(_source(config), **kwargs).result
+    n_shards = -(-config["n_users"] // config["chunk_size"])
+    distributed = run_distributed(
+        _source(config), workers=min(2, n_shards), **kwargs
+    ).result
+
+    reference = sharded.collector.population_mean_series()
+    sharded_digest = _ledger_digest(_sharded_ledgers(sharded))
+    for mode in (live, gateway, distributed):
+        np.testing.assert_array_equal(
+            mode.population_mean_series(), reference
+        )
+        assert mode.n_reports == sharded.collector.n_reports
+        assert _ledger_digest(_live_ledgers(mode)) == sharded_digest
+
+    if config["chunk_size"] >= config["n_users"]:
+        # One chunk: the sharded run is exactly one vectorized pass with
+        # the shard-0 child generator — the attack hash stream included.
+        vectorized = run_protocol_vectorized(
+            _matrix(config),
+            algorithm=config["algorithm"],
+            epsilon=config["epsilon"],
+            w=config["w"],
+            participation=config["participation"],
+            rng=shard_rng(config["seed"], 0),
+            attack=config["attack"],
+            robust_policy=config["robust_policy"],
+        )
+        np.testing.assert_array_equal(
+            vectorized.collector.population_mean_series(), reference
+        )
+        assert _ledger_digest(_vectorized_ledgers(vectorized)) == sharded_digest
+
+    snapshot = _snapshot(config, sharded.collector, sharded_digest)
+    _check_against_golden(name, snapshot, update_golden)
+
+
+def test_attack_changes_estimates_but_not_counts():
+    """The paired-run contract: same slots and counts, shifted means."""
+    config = CONFIGS["adversarial_random_clip_multi_shard"]
+    kwargs = _protocol_kwargs(config)
+    benign_kwargs = dict(kwargs, attack=AttackSpec(fraction=0.0))
+    attacked = run_protocol_sharded(_source(config), **kwargs)
+    benign = run_protocol_sharded(_source(config), **benign_kwargs)
+    assert (
+        attacked.collector.state.slot_counts
+        == benign.collector.state.slot_counts
+    )
+    assert not np.array_equal(
+        attacked.collector.population_mean_series(),
+        benign.collector.population_mean_series(),
+    )
+
+
+@pytest.mark.parametrize("workers", [1, 3])
+def test_distributed_worker_count_invariance(workers):
+    """Attacked + policed estimates don't depend on the fleet size."""
+    config = CONFIGS["adversarial_random_clip_multi_shard"]
+    kwargs = _protocol_kwargs(config)
+    sharded = run_protocol_sharded(_source(config), **kwargs)
+    run = run_distributed(_source(config), workers=workers, **kwargs)
+    np.testing.assert_array_equal(
+        run.result.population_mean_series(),
+        sharded.collector.population_mean_series(),
+    )
+    assert run.result.n_reports == sharded.collector.n_reports

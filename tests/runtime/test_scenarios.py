@@ -24,6 +24,26 @@ class TestSpecValidation:
         with pytest.raises(KeyError, match="unknown scenario"):
             make_scenario("typo", n_users=10, horizon=48)
 
+    def test_unknown_preset_suggests_close_match(self):
+        # The hint covers the adversarial presets too — a near-miss on a
+        # poisoned scenario name must name the real preset.
+        with pytest.raises(KeyError, match="did you mean 'poisoned-extreme'"):
+            make_scenario("poisoned-extrem", n_users=10, horizon=48)
+        with pytest.raises(KeyError, match="did you mean 'diurnal'"):
+            make_scenario("diurnl", n_users=10, horizon=48)
+
+    def test_unknown_preset_lists_known_names(self):
+        with pytest.raises(KeyError, match="poisoned-targeted"):
+            make_scenario("typo", n_users=10, horizon=48)
+
+    def test_adversarial_presets_carry_attacks(self):
+        for strategy in ("extreme", "random", "targeted"):
+            spec = make_scenario(f"poisoned-{strategy}", n_users=10, horizon=48)
+            assert spec.attack is not None
+            assert spec.attack.strategy == strategy
+            assert spec.attack.fraction == 0.05
+        assert make_scenario("steady", n_users=10, horizon=48).attack is None
+
     def test_overrides_win(self):
         spec = make_scenario("diurnal", 10, 48, diurnal_amplitude=0.4)
         assert spec.diurnal_amplitude == 0.4
